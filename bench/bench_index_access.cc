@@ -1,0 +1,168 @@
+// E7 — Section 4.3 / Table 2: index-based access methods.
+//
+// The three Table-2 query/index shapes, executed as full scan vs DocID-list
+// vs NodeID-list across selectivity and document-size regimes. Expected
+// shapes: index access beats the scan by a widening margin as selectivity
+// drops; DocID list wins for small (single-record) documents; NodeID list
+// wins for large (multi-record) documents because it fetches subtree
+// records instead of whole documents.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/engine.h"
+#include "util/workload.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+struct Fixture {
+  // docs: number of documents; products: per document (size knob).
+  Fixture(uint32_t docs, uint32_t products, size_t budget) {
+    EngineOptions eopts;
+    eopts.in_memory = true;
+    eopts.enable_wal = false;
+    engine = Engine::Open(eopts).MoveValue();
+    CollectionOptions copts;
+    copts.record_budget = budget;
+    coll = engine->CreateCollection("catalog", copts).value();
+    if (!coll->CreateValueIndex({"regprice",
+                                 "/Catalog/Categories/Product/RegPrice",
+                                 ValueType::kDecimal, 128})
+             .ok())
+      std::abort();
+    if (!coll->CreateValueIndex(
+                 {"discount", "//Discount", ValueType::kDecimal, 128})
+             .ok())
+      std::abort();
+    Random rng(99);
+    workload::CatalogOptions opts;
+    opts.categories = 2;
+    opts.products_per_category = products / 2;
+    for (uint32_t i = 0; i < docs; i++) {
+      if (!coll->InsertDocument(nullptr, workload::GenCatalogXml(&rng, opts))
+               .ok())
+        std::abort();
+    }
+  }
+
+  std::unique_ptr<Engine> engine;
+  Collection* coll;
+};
+
+void RunQuery(benchmark::State& state, Fixture* fx, const std::string& query,
+              ForceMethod force) {
+  QueryStats last;
+  for (auto _ : state) {
+    QueryOptions o;
+    o.force = force;
+    auto res = fx->coll->Query(nullptr, query, o);
+    if (!res.ok()) std::abort();
+    last = res.value().stats;
+    benchmark::DoNotOptimize(res.value().nodes.size());
+    state.counters["results"] =
+        static_cast<double>(res.value().nodes.size());
+  }
+  state.counters["index_postings"] = static_cast<double>(last.index_postings);
+  state.counters["candidate_docs"] = static_cast<double>(last.candidate_docs);
+  state.counters["candidate_anchors"] =
+      static_cast<double>(last.candidate_anchors);
+  state.counters["docs_evaluated"] = static_cast<double>(last.docs_evaluated);
+  state.counters["records_fetched"] =
+      static_cast<double>(last.records_fetched);
+}
+
+// Table 2 case 1: exact-match index, selectivity sweep via the threshold.
+// state.range(0): price threshold (higher = more selective).
+Fixture* SmallDocs() {
+  static Fixture fx(200, 10, 4096);  // single-record documents
+  return &fx;
+}
+Fixture* LargeDocs() {
+  static Fixture fx(40, 200, 512);  // many records per document
+  return &fx;
+}
+
+std::string Case1Query(int64_t threshold) {
+  return "/Catalog/Categories/Product[RegPrice > " +
+         std::to_string(threshold) + "]";
+}
+
+void BM_Case1_Scan(benchmark::State& state) {
+  RunQuery(state, SmallDocs(), Case1Query(state.range(0)),
+           ForceMethod::kScan);
+}
+void BM_Case1_DocIdList(benchmark::State& state) {
+  RunQuery(state, SmallDocs(), Case1Query(state.range(0)),
+           ForceMethod::kDocIdList);
+}
+void BM_Case1_NodeIdList(benchmark::State& state) {
+  RunQuery(state, SmallDocs(), Case1Query(state.range(0)),
+           ForceMethod::kNodeIdList);
+}
+BENCHMARK(BM_Case1_Scan)->Arg(100)->Arg(400)->Arg(495)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Case1_DocIdList)->Arg(100)->Arg(400)->Arg(495)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Case1_NodeIdList)->Arg(100)->Arg(400)->Arg(495)->Unit(benchmark::kMicrosecond);
+
+// Table 2 case 2: containment index (//Discount) -> filtering + recheck.
+void BM_Case2_Scan(benchmark::State& state) {
+  RunQuery(state, SmallDocs(),
+           "/Catalog/Categories/Product[Discount > 0.45]",
+           ForceMethod::kScan);
+}
+void BM_Case2_Filtering(benchmark::State& state) {
+  RunQuery(state, SmallDocs(),
+           "/Catalog/Categories/Product[Discount > 0.45]",
+           ForceMethod::kDocIdList);
+}
+BENCHMARK(BM_Case2_Scan)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Case2_Filtering)->Unit(benchmark::kMicrosecond);
+
+// Table 2 case 3: ANDing two indexes.
+void BM_Case3_Scan(benchmark::State& state) {
+  RunQuery(state, SmallDocs(),
+           "/Catalog/Categories/Product[RegPrice > 400 and Discount > 0.4]",
+           ForceMethod::kScan);
+}
+void BM_Case3_DocIdAnding(benchmark::State& state) {
+  RunQuery(state, SmallDocs(),
+           "/Catalog/Categories/Product[RegPrice > 400 and Discount > 0.4]",
+           ForceMethod::kDocIdList);
+}
+void BM_Case3_NodeIdAnding(benchmark::State& state) {
+  RunQuery(state, SmallDocs(),
+           "/Catalog/Categories/Product[RegPrice > 400 and Discount > 0.4]",
+           ForceMethod::kNodeIdList);
+}
+BENCHMARK(BM_Case3_Scan)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Case3_DocIdAnding)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Case3_NodeIdAnding)->Unit(benchmark::kMicrosecond);
+
+// DocID vs NodeID crossover on LARGE documents: fetching whole documents is
+// the DocID list's cost; the NodeID list touches only matching subtrees.
+void BM_LargeDocs_Scan(benchmark::State& state) {
+  RunQuery(state, LargeDocs(), Case1Query(480), ForceMethod::kScan);
+}
+void BM_LargeDocs_DocIdList(benchmark::State& state) {
+  RunQuery(state, LargeDocs(), Case1Query(480), ForceMethod::kDocIdList);
+}
+void BM_LargeDocs_NodeIdList(benchmark::State& state) {
+  RunQuery(state, LargeDocs(), Case1Query(480), ForceMethod::kNodeIdList);
+}
+BENCHMARK(BM_LargeDocs_Scan)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LargeDocs_DocIdList)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LargeDocs_NodeIdList)->Unit(benchmark::kMicrosecond);
+
+// The planner's own choice (kAuto) should track the better method.
+void BM_SmallDocs_Auto(benchmark::State& state) {
+  RunQuery(state, SmallDocs(), Case1Query(480), ForceMethod::kAuto);
+}
+void BM_LargeDocs_Auto(benchmark::State& state) {
+  RunQuery(state, LargeDocs(), Case1Query(480), ForceMethod::kAuto);
+}
+BENCHMARK(BM_SmallDocs_Auto)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LargeDocs_Auto)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb

@@ -1,0 +1,182 @@
+// E5/E6 — Section 4.2's QuickXScan claims.
+//
+// (a) "linear performance with regard to the document size" — |D| sweep;
+// (b) live state bounded by O(|Q| * r) vs combinatorial growth for the
+//     naive streaming baseline on //a//a//a over recursive documents;
+// (c) "orders of magnitude better than some DOM-based algorithm" in time
+//     and memory (DOM pays tree construction + pointer navigation).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "xdm/dom_tree.h"
+#include "xpath/dom_evaluator.h"
+#include "xpath/naive_stream.h"
+#include "xpath/parser.h"
+#include "xpath/quickxscan.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+using xpath::EvaluateXPath;
+using xpath::ParsePath;
+using xpath::QuickXScanStats;
+
+// --- (a) linearity in |D| ---
+
+void BM_QuickXScanBySize(benchmark::State& state) {
+  NameDictionary dict;
+  std::string xml =
+      workload::GenWideXml(static_cast<uint32_t>(state.range(0)), 40);
+  std::string tokens = ParseToTokens(&dict, xml);
+  for (auto _ : state) {
+    TokenStreamSource source(tokens);
+    auto res = EvaluateXPath("/root/item[@n = \"7\"]", dict, &source, 1,
+                             false);
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+  state.counters["doc_bytes"] = static_cast<double>(xml.size());
+}
+BENCHMARK(BM_QuickXScanBySize)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- (b) recursion-degree sweep: QuickXScan vs naive streaming ---
+
+void BM_QuickXScanRecursive(benchmark::State& state) {
+  const uint32_t r = static_cast<uint32_t>(state.range(0));
+  NameDictionary dict;
+  std::string tokens =
+      ParseToTokens(&dict, workload::GenRecursiveXml(r, 6));
+  QuickXScanStats stats;
+  for (auto _ : state) {
+    TokenStreamSource source(tokens);
+    auto res = EvaluateXPath("//a//a//a", dict, &source, 1, false, &stats);
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().size());
+  }
+  state.counters["recursion_r"] = r;
+  state.counters["peak_live_state"] =
+      static_cast<double>(stats.peak_live_instances);
+}
+BENCHMARK(BM_QuickXScanRecursive)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(24)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveStreamRecursive(benchmark::State& state) {
+  const uint32_t r = static_cast<uint32_t>(state.range(0));
+  NameDictionary dict;
+  std::string tokens =
+      ParseToTokens(&dict, workload::GenRecursiveXml(r, 6));
+  auto path = ParsePath("//a//a//a").MoveValue();
+  uint64_t peak = 0;
+  for (auto _ : state) {
+    xpath::NaiveStreamEvaluator naive(&path, &dict, 1);
+    TokenStreamSource source(tokens);
+    NodeSequence out;
+    if (!naive.Run(&source, &out).ok()) std::abort();
+    peak = naive.stats().peak_live_configs;
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.counters["recursion_r"] = r;
+  state.counters["peak_live_state"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_NaiveStreamRecursive)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(24)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- (c) streaming vs DOM-based evaluation ---
+
+void BM_QuickXScanVsDom_Quick(benchmark::State& state) {
+  NameDictionary dict;
+  Random rng(11);
+  workload::CatalogOptions opts;
+  opts.categories = 4;
+  opts.products_per_category = static_cast<uint32_t>(state.range(0)) / 4;
+  std::string tokens =
+      ParseToTokens(&dict, workload::GenCatalogXml(&rng, opts));
+  QuickXScanStats stats;
+  for (auto _ : state) {
+    TokenStreamSource source(tokens);
+    auto res = EvaluateXPath(
+        "/Catalog/Categories/Product[RegPrice > 400]/ProductName", dict,
+        &source, 1, false, &stats);
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().size());
+  }
+  state.counters["eval_memory_bytes"] =
+      static_cast<double>(stats.memory_bytes);
+}
+BENCHMARK(BM_QuickXScanVsDom_Quick)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_QuickXScanVsDom_Dom(benchmark::State& state) {
+  NameDictionary dict;
+  Random rng(11);
+  workload::CatalogOptions opts;
+  opts.categories = 4;
+  opts.products_per_category = static_cast<uint32_t>(state.range(0)) / 4;
+  std::string tokens =
+      ParseToTokens(&dict, workload::GenCatalogXml(&rng, opts));
+  auto path =
+      ParsePath("/Catalog/Categories/Product[RegPrice > 400]/ProductName")
+          .MoveValue();
+  size_t dom_bytes = 0;
+  for (auto _ : state) {
+    // The DOM approach pays construction per evaluation (the intermediate
+    // in-memory tree the paper's runtime avoids).
+    auto tree = DomTree::FromTokens(tokens);
+    if (!tree.ok()) std::abort();
+    dom_bytes = tree.value()->memory_bytes();
+    xpath::DomEvaluator eval(tree.value().get(), &dict, 1);
+    auto res = eval.Evaluate(path, false);
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().size());
+  }
+  state.counters["eval_memory_bytes"] = static_cast<double>(dom_bytes);
+}
+BENCHMARK(BM_QuickXScanVsDom_Dom)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Scan over stored (packed) documents: the base access path of Section 4.
+void BM_QuickXScanOverStoredDoc(benchmark::State& state) {
+  NameDictionary dict;
+  StorageStack st;
+  Random rng(17);
+  workload::CatalogOptions opts;
+  opts.categories = 4;
+  opts.products_per_category = 100;
+  StorePacked(&st, &dict, 1, workload::GenCatalogXml(&rng, opts), 3000);
+  for (auto _ : state) {
+    StoredDocSource source(st.records.get(), st.index.get(), 1);
+    auto res = EvaluateXPath("//Product[Discount > 0.25]", dict, &source, 1,
+                             false);
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().size());
+  }
+}
+BENCHMARK(BM_QuickXScanOverStoredDoc)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb

@@ -1,0 +1,172 @@
+// E12 — Section 3.3: XPath value index build cost and size.
+//
+// Paper position: "index size should be kept much smaller than data size
+// for efficiency, and maintenance of too complex indexes can become a
+// bottleneck" — value indexes on selective paths stay a small fraction of
+// the data; key generation runs per document via QuickXScan.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/engine.h"
+#include "util/workload.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+std::unique_ptr<Engine> MemEngine() {
+  EngineOptions opts;
+  opts.in_memory = true;
+  opts.enable_wal = false;
+  return Engine::Open(opts).MoveValue();
+}
+
+// Index maintenance cost folded into inserts: with 0, 1, 2 indexes defined.
+void BM_InsertWithIndexes(benchmark::State& state) {
+  const int index_count = static_cast<int>(state.range(0));
+  Random rng(41);
+  workload::CatalogOptions opts;
+  opts.categories = 2;
+  opts.products_per_category = 20;
+  std::vector<std::string> docs;
+  for (int i = 0; i < 20; i++)
+    docs.push_back(workload::GenCatalogXml(&rng, opts));
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MemEngine();
+    Collection* coll = engine->CreateCollection("c").value();
+    if (index_count >= 1) {
+      if (!coll->CreateValueIndex({"regprice",
+                                   "/Catalog/Categories/Product/RegPrice",
+                                   ValueType::kDecimal, 128})
+               .ok())
+        std::abort();
+    }
+    if (index_count >= 2) {
+      if (!coll->CreateValueIndex(
+                   {"name", "/Catalog/Categories/Product/ProductName",
+                    ValueType::kString, 64})
+               .ok())
+        std::abort();
+    }
+    state.ResumeTiming();
+    for (const auto& xml : docs) {
+      if (!coll->InsertDocument(nullptr, xml).ok()) std::abort();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(docs.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_InsertWithIndexes)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Backfill: CreateValueIndex over an existing corpus.
+void BM_IndexBackfill(benchmark::State& state) {
+  const uint32_t docs = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MemEngine();
+    Collection* coll = engine->CreateCollection("c").value();
+    Random rng(43);
+    workload::CatalogOptions opts;
+    opts.categories = 2;
+    opts.products_per_category = 10;
+    for (uint32_t i = 0; i < docs; i++) {
+      if (!coll->InsertDocument(nullptr, workload::GenCatalogXml(&rng, opts))
+               .ok())
+        std::abort();
+    }
+    state.ResumeTiming();
+    if (!coll->CreateValueIndex({"regprice",
+                                 "/Catalog/Categories/Product/RegPrice",
+                                 ValueType::kDecimal, 128})
+             .ok())
+      std::abort();
+  }
+}
+BENCHMARK(BM_IndexBackfill)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+// Index size vs data size (the paper's "much smaller than data" position):
+// entries and leaf pages for a selective path vs a catch-all path.
+void BM_IndexSizeVsDataSize(benchmark::State& state) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("c").value();
+  if (!coll->CreateValueIndex({"selective",
+                               "/Catalog/Categories/Product/RegPrice",
+                               ValueType::kDecimal, 128})
+           .ok())
+    std::abort();
+  if (!coll->CreateValueIndex(
+               {"broad", "//*", ValueType::kString, 32})
+           .ok()) {
+    // //* is (intentionally) rejected as an index path: it would index
+    // everything. Fall back to //ProductName for the broad series.
+    if (!coll->CreateValueIndex(
+                 {"broad", "//ProductName", ValueType::kString, 64})
+             .ok())
+      std::abort();
+  }
+  Random rng(47);
+  workload::CatalogOptions opts;
+  opts.categories = 2;
+  opts.products_per_category = 25;
+  for (int i = 0; i < 40; i++) {
+    if (!coll->InsertDocument(nullptr, workload::GenCatalogXml(&rng, opts))
+             .ok())
+      std::abort();
+  }
+  uint64_t data_bytes = coll->storage_bytes();
+  uint64_t sel_entries =
+      coll->FindValueIndex("selective")->tree()->ComputeStats().value().entries;
+  uint64_t sel_pages = coll->FindValueIndex("selective")
+                           ->tree()
+                           ->ComputeStats()
+                           .value()
+                           .leaf_pages;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel_entries);
+  }
+  state.counters["data_bytes"] = static_cast<double>(data_bytes);
+  state.counters["selective_entries"] = static_cast<double>(sel_entries);
+  state.counters["selective_leaf_pages"] = static_cast<double>(sel_pages);
+  state.counters["index_to_data_ratio"] =
+      static_cast<double>(sel_pages * 4096) / static_cast<double>(data_bytes);
+}
+BENCHMARK(BM_IndexSizeVsDataSize)->Unit(benchmark::kMicrosecond);
+
+// Probe throughput (the payoff side of maintenance cost).
+void BM_IndexProbe(benchmark::State& state) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("c").value();
+  if (!coll->CreateValueIndex({"regprice",
+                               "/Catalog/Categories/Product/RegPrice",
+                               ValueType::kDecimal, 128})
+           .ok())
+    std::abort();
+  Random rng(53);
+  workload::CatalogOptions opts;
+  opts.categories = 2;
+  opts.products_per_category = 25;
+  for (int i = 0; i < 40; i++) {
+    if (!coll->InsertDocument(nullptr, workload::GenCatalogXml(&rng, opts))
+             .ok())
+      std::abort();
+  }
+  ValueIndex* idx = coll->FindValueIndex("regprice");
+  for (auto _ : state) {
+    std::string lo;
+    if (!idx->EncodeKey("450", &lo).ok()) std::abort();
+    std::vector<Posting> hits;
+    if (!idx->Scan(KeyBound{lo, true}, std::nullopt, &hits).ok()) std::abort();
+    benchmark::DoNotOptimize(hits.size());
+  }
+}
+BENCHMARK(BM_IndexProbe)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb

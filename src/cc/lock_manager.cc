@@ -1,0 +1,166 @@
+#include "cc/lock_manager.h"
+
+namespace xdb {
+
+const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kSIX: return "SIX";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+bool LockModesCompatible(LockMode a, LockMode b) {
+  // Classic multiple-granularity compatibility matrix [Gray et al.].
+  static const bool kCompat[5][5] = {
+      //            IS     IX     S      SIX    X
+      /* IS  */ {true,  true,  true,  true,  false},
+      /* IX  */ {true,  true,  false, false, false},
+      /* S   */ {true,  false, true,  false, false},
+      /* SIX */ {true,  false, false, false, false},
+      /* X   */ {false, false, false, false, false},
+  };
+  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+bool LockModeCovers(LockMode held, LockMode wanted) {
+  if (held == wanted) return true;
+  switch (held) {
+    case LockMode::kX: return true;
+    case LockMode::kSIX:
+      return wanted == LockMode::kIS || wanted == LockMode::kIX ||
+             wanted == LockMode::kS;
+    case LockMode::kS: return wanted == LockMode::kIS;
+    case LockMode::kIX: return wanted == LockMode::kIS;
+    case LockMode::kIS: return false;
+  }
+  return false;
+}
+
+LockMode LockModeSupremum(LockMode a, LockMode b) {
+  if (LockModeCovers(a, b)) return a;
+  if (LockModeCovers(b, a)) return b;
+  // {S,IX} -> SIX; everything else unresolvable below X.
+  if ((a == LockMode::kS && b == LockMode::kIX) ||
+      (a == LockMode::kIX && b == LockMode::kS))
+    return LockMode::kSIX;
+  return LockMode::kX;
+}
+
+bool LockManager::DocGrantable(const DocLock& dl, TxnId txn,
+                               LockMode mode) const {
+  for (const auto& [holder, held] : dl.granted) {
+    if (holder == txn) continue;
+    if (!LockModesCompatible(held, mode)) return false;
+  }
+  return true;
+}
+
+Status LockManager::LockDocument(TxnId txn, uint64_t doc_id, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  DocLock& dl = doc_locks_[doc_id];
+  auto mine = dl.granted.find(txn);
+  if (mine != dl.granted.end()) {
+    if (LockModeCovers(mine->second, mode)) return Status::OK();
+    mode = LockModeSupremum(mine->second, mode);
+  }
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  bool waited = false;
+  while (!DocGrantable(dl, txn, mode)) {
+    waited = true;
+    dl.waiters++;
+    bool ok = cv_.wait_until(lock, deadline) != std::cv_status::timeout;
+    dl.waiters--;
+    if (!ok) {
+      stats_.timeouts++;
+      return Status::Deadlock("document lock timeout (doc " +
+                              std::to_string(doc_id) + ", " +
+                              LockModeName(mode) + ")");
+    }
+  }
+  if (waited) stats_.waits++;
+  dl.granted[txn] = mode;
+  stats_.acquisitions++;
+  return Status::OK();
+}
+
+bool LockManager::NodeGrantable(const DocNodeLocks& dn, TxnId txn,
+                                Slice node_id, LockMode mode) {
+  for (const NodeLock& held : dn.held) {
+    if (held.txn == txn) continue;
+    if (LockModesCompatible(held.mode, mode)) continue;
+    stats_.node_prefix_checks++;
+    Slice h(held.node_id);
+    // Conflict only when the subtrees overlap: one ID prefixes the other.
+    if (h.StartsWith(node_id) || node_id.StartsWith(h)) return false;
+  }
+  return true;
+}
+
+Status LockManager::LockNode(TxnId txn, uint64_t doc_id, Slice node_id,
+                             LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  DocNodeLocks& dn = node_locks_[doc_id];
+  // Re-entrant: an existing equal-or-stronger lock on the same or an
+  // ancestor subtree suffices.
+  for (const NodeLock& held : dn.held) {
+    if (held.txn == txn && node_id.StartsWith(Slice(held.node_id)) &&
+        LockModeCovers(held.mode, mode))
+      return Status::OK();
+  }
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  bool waited = false;
+  while (!NodeGrantable(dn, txn, node_id, mode)) {
+    waited = true;
+    dn.waiters++;
+    bool ok = cv_.wait_until(lock, deadline) != std::cv_status::timeout;
+    dn.waiters--;
+    if (!ok) {
+      stats_.timeouts++;
+      return Status::Deadlock("node lock timeout");
+    }
+  }
+  if (waited) stats_.waits++;
+  dn.held.push_back(NodeLock{txn, node_id.ToString(), mode});
+  stats_.acquisitions++;
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = doc_locks_.begin(); it != doc_locks_.end();) {
+    it->second.granted.erase(txn);
+    if (it->second.granted.empty() && it->second.waiters == 0) {
+      it = doc_locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = node_locks_.begin(); it != node_locks_.end();) {
+    auto& held = it->second.held;
+    for (size_t i = 0; i < held.size();) {
+      if (held[i].txn == txn) {
+        held[i] = held.back();
+        held.pop_back();
+      } else {
+        i++;
+      }
+    }
+    if (held.empty() && it->second.waiters == 0) {
+      it = node_locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cv_.notify_all();
+}
+
+LockManagerStats LockManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace xdb

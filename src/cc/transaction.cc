@@ -1,0 +1,48 @@
+#include "cc/transaction.h"
+
+namespace xdb {
+
+Transaction TransactionManager::Begin(IsolationMode mode) {
+  Transaction txn;
+  txn.id = next_txn_.fetch_add(1);
+  txn.mode = mode;
+  return txn;
+}
+
+uint64_t TransactionManager::Snapshot(Transaction* txn,
+                                      VersionManager* versions) {
+  if (txn->snapshot == 0) txn->snapshot = versions->BeginSnapshot();
+  return txn->snapshot;
+}
+
+Result<uint64_t> TransactionManager::WriteVersion(Transaction* txn,
+                                                  VersionManager* versions) {
+  if (txn->write_version == 0) {
+    txn->write_version = versions->AllocateVersion();
+    txn->version_source = versions;
+  } else if (txn->version_source != versions) {
+    return Status::NotSupported(
+        "one transaction may write versioned data in only one collection");
+  }
+  return txn->write_version;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->committed || txn->aborted)
+    return Status::InvalidArgument("transaction already finished");
+  if (txn->write_version != 0 && txn->version_source != nullptr)
+    txn->version_source->Publish(txn->write_version);
+  locks_->ReleaseAll(txn->id);
+  txn->committed = true;
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->committed || txn->aborted)
+    return Status::InvalidArgument("transaction already finished");
+  locks_->ReleaseAll(txn->id);
+  txn->aborted = true;
+  return Status::OK();
+}
+
+}  // namespace xdb

@@ -1,0 +1,68 @@
+// Transactions: the thin coordination layer tying DocID locks and
+// document-level multiversioning to engine operations.
+#ifndef XDB_CC_TRANSACTION_H_
+#define XDB_CC_TRANSACTION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "cc/lock_manager.h"
+#include "cc/version_manager.h"
+#include "common/status.h"
+
+namespace xdb {
+
+/// How a transaction isolates its reads (Section 5.1's two schemes).
+enum class IsolationMode : uint8_t {
+  /// Lock-based: readers take S DocID locks, writers X — readers block
+  /// writers and vice versa.
+  kLocking,
+  /// Multiversioning: readers run against a snapshot and never lock;
+  /// writers still take X DocID locks against each other.
+  kSnapshot,
+};
+
+struct Transaction {
+  TxnId id = 0;
+  IsolationMode mode = IsolationMode::kLocking;
+  uint64_t snapshot = 0;       // fixed on first snapshot read
+  uint64_t write_version = 0;  // allocated on first versioned write
+  /// The version manager the write version came from (publishes at commit).
+  VersionManager* version_source = nullptr;
+  bool committed = false;
+  bool aborted = false;
+  bool autocommit = false;  // created internally for a single operation
+};
+
+class TransactionManager {
+ public:
+  explicit TransactionManager(LockManager* locks)
+      : locks_(locks), next_txn_(1) {}
+
+  Transaction Begin(IsolationMode mode);
+
+  /// The transaction's snapshot against `versions` (fixed on first call).
+  uint64_t Snapshot(Transaction* txn, VersionManager* versions);
+
+  /// Version number for this transaction's writes into `versions`
+  /// (allocated lazily; one version source per transaction).
+  Result<uint64_t> WriteVersion(Transaction* txn, VersionManager* versions);
+
+  /// Publishes the write version (if any) and releases all locks.
+  Status Commit(Transaction* txn);
+
+  /// Releases locks without publishing. Data written under an unpublished
+  /// version stays invisible to snapshot readers; locking readers were kept
+  /// out by the X lock. Physical cleanup is left to version purge.
+  Status Abort(Transaction* txn);
+
+  LockManager* locks() { return locks_; }
+
+ private:
+  LockManager* locks_;
+  std::atomic<TxnId> next_txn_;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_CC_TRANSACTION_H_

@@ -1,0 +1,21 @@
+#include "common/arena.h"
+
+namespace xdb {
+
+char* Arena::Allocate(size_t bytes) {
+  // Align to 8 bytes.
+  bytes = (bytes + 7) & ~size_t{7};
+  if (bytes > alloc_remaining_) {
+    size_t block = bytes > kBlockSize / 4 ? bytes : kBlockSize;
+    blocks_.push_back(std::make_unique<char[]>(block));
+    alloc_ptr_ = blocks_.back().get();
+    alloc_remaining_ = block;
+    memory_usage_ += block;
+  }
+  char* result = alloc_ptr_;
+  alloc_ptr_ += bytes;
+  alloc_remaining_ -= bytes;
+  return result;
+}
+
+}  // namespace xdb

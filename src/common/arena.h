@@ -1,0 +1,46 @@
+// Arena: block allocator for query-lifetime objects (matching instances,
+// in-memory sequences). Everything allocated is freed at once when the arena
+// dies, so evaluation hot paths never call free().
+#ifndef XDB_COMMON_ARENA_H_
+#define XDB_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace xdb {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns naturally-aligned memory; never fails (aborts on OOM like new).
+  char* Allocate(size_t bytes);
+
+  /// Construct a T inside the arena. T must be trivially destructible or the
+  /// caller must not rely on its destructor running.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    char* mem = Allocate(sizeof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Total bytes reserved from the system (the memory-usage metric reported
+  /// by the QuickXScan benchmarks).
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  static constexpr size_t kBlockSize = 64 * 1024;
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_remaining_ = 0;
+  size_t memory_usage_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_COMMON_ARENA_H_

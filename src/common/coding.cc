@@ -1,0 +1,159 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace xdb {
+
+void EncodeFixed16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  EncodeFixed16(buf, v);
+  dst->append(buf, 2);
+}
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+uint16_t DecodeFixed16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void PutBig32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v >> 24);
+  buf[1] = static_cast<char>(v >> 16);
+  buf[2] = static_cast<char>(v >> 8);
+  buf[3] = static_cast<char>(v);
+  dst->append(buf, 4);
+}
+
+void PutBig64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; i++) buf[i] = static_cast<char>(v >> (56 - 8 * i));
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeBig32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return (static_cast<uint32_t>(u[0]) << 24) |
+         (static_cast<uint32_t>(u[1]) << 16) |
+         (static_cast<uint32_t>(u[2]) << 8) | static_cast<uint32_t>(u[3]);
+}
+
+uint64_t DecodeBig64(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++) v = (v << 8) | u[i];
+  return v;
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  PutVarint64(dst, v);
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+size_t GetVarint64(const char* p, const char* limit, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  const char* q = p;
+  while (q < limit && shift <= 63) {
+    uint64_t byte = static_cast<unsigned char>(*q++);
+    result |= (byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return static_cast<size_t>(q - p);
+    }
+    shift += 7;
+  }
+  return 0;
+}
+
+size_t GetVarint32(const char* p, const char* limit, uint32_t* v) {
+  uint64_t v64;
+  size_t n = GetVarint64(p, limit, &v64);
+  if (n == 0 || v64 > UINT32_MAX) return 0;
+  *v = static_cast<uint32_t>(v64);
+  return n;
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    n++;
+  }
+  return n;
+}
+
+void PutLengthPrefixed(std::string* dst, Slice s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* out) {
+  uint64_t len;
+  size_t n = GetVarint64(input->data(), input->data() + input->size(), &len);
+  if (n == 0 || input->size() < n + len) return false;
+  *out = Slice(input->data() + n, static_cast<size_t>(len));
+  input->RemovePrefix(n + static_cast<size_t>(len));
+  return true;
+}
+
+void PutOrderedDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  // Flip: positive numbers get the sign bit set; negatives are bitwise
+  // complemented, so the full encoding sorts in numeric order.
+  if (bits & 0x8000000000000000ULL) {
+    bits = ~bits;
+  } else {
+    bits |= 0x8000000000000000ULL;
+  }
+  PutBig64(dst, bits);
+}
+
+double DecodeOrderedDouble(const char* p) {
+  uint64_t bits = DecodeBig64(p);
+  if (bits & 0x8000000000000000ULL) {
+    bits &= ~0x8000000000000000ULL;
+  } else {
+    bits = ~bits;
+  }
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+}  // namespace xdb

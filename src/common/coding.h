@@ -1,0 +1,55 @@
+// Integer and string wire encodings shared by the token stream, packed XML
+// records, index keys, and the WAL: fixed-width big/little-endian and LEB128
+// varints, plus order-preserving encodings for index key components.
+#ifndef XDB_COMMON_CODING_H_
+#define XDB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace xdb {
+
+// --- fixed-width little-endian (storage-internal structures) ---
+
+void PutFixed16(std::string* dst, uint16_t v);
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void EncodeFixed16(char* dst, uint16_t v);
+void EncodeFixed32(char* dst, uint32_t v);
+void EncodeFixed64(char* dst, uint64_t v);
+uint16_t DecodeFixed16(const char* p);
+uint32_t DecodeFixed32(const char* p);
+uint64_t DecodeFixed64(const char* p);
+
+// --- big-endian (byte-comparable key components) ---
+
+void PutBig32(std::string* dst, uint32_t v);
+void PutBig64(std::string* dst, uint64_t v);
+uint32_t DecodeBig32(const char* p);
+uint64_t DecodeBig64(const char* p);
+
+// --- LEB128 varints (token stream, packed records) ---
+
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+/// Returns bytes consumed, or 0 on malformed input.
+size_t GetVarint32(const char* p, const char* limit, uint32_t* v);
+size_t GetVarint64(const char* p, const char* limit, uint64_t* v);
+size_t VarintLength(uint64_t v);
+
+/// Length-prefixed string.
+void PutLengthPrefixed(std::string* dst, Slice s);
+/// Advances *input past the string on success.
+bool GetLengthPrefixed(Slice* input, Slice* out);
+
+/// Order-preserving encoding of an IEEE double: byte comparison of the output
+/// matches numeric comparison of the input (NaN sorts last).
+void PutOrderedDouble(std::string* dst, double v);
+double DecodeOrderedDouble(const char* p);
+
+}  // namespace xdb
+
+#endif  // XDB_COMMON_CODING_H_

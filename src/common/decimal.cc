@@ -1,0 +1,216 @@
+#include "common/decimal.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/coding.h"
+
+namespace xdb {
+
+namespace {
+constexpr int64_t kMaxCoeff = 999999999999999999LL;  // 18 nines
+constexpr int32_t kMaxExp = 127;
+constexpr int32_t kMinExp = -127;
+}  // namespace
+
+void Decimal::Normalize() {
+  if (coeff_ == 0) {
+    exp_ = 0;
+    return;
+  }
+  while (coeff_ % 10 == 0 && exp_ < kMaxExp) {
+    coeff_ /= 10;
+    exp_++;
+  }
+}
+
+Result<Decimal> Decimal::FromString(Slice s) {
+  const char* p = s.data();
+  const char* end = p + s.size();
+  // Trim surrounding whitespace (XML text values commonly carry it).
+  while (p < end && std::isspace(static_cast<unsigned char>(*p))) p++;
+  while (end > p && std::isspace(static_cast<unsigned char>(end[-1]))) end--;
+  if (p == end) return Status::InvalidArgument("empty decimal");
+
+  bool neg = false;
+  if (*p == '+' || *p == '-') {
+    neg = (*p == '-');
+    p++;
+  }
+  int64_t coeff = 0;
+  int32_t exp = 0;
+  int digits = 0;
+  bool seen_digit = false;
+  bool after_point = false;
+  for (; p < end; p++) {
+    char c = *p;
+    if (c >= '0' && c <= '9') {
+      seen_digit = true;
+      if (coeff > kMaxCoeff / 10 ||
+          (coeff == kMaxCoeff / 10 && (c - '0') > kMaxCoeff % 10)) {
+        // Out of precision: drop trailing digits, bump exponent (round toward
+        // zero keeps ordering monotone for index purposes).
+        if (!after_point) exp++;
+        continue;
+      }
+      coeff = coeff * 10 + (c - '0');
+      if (after_point) exp--;
+      digits++;
+    } else if (c == '.') {
+      if (after_point) return Status::InvalidArgument("two decimal points");
+      after_point = true;
+    } else if (c == 'e' || c == 'E') {
+      p++;
+      bool eneg = false;
+      if (p < end && (*p == '+' || *p == '-')) {
+        eneg = (*p == '-');
+        p++;
+      }
+      if (p == end) return Status::InvalidArgument("empty exponent");
+      int32_t e = 0;
+      for (; p < end; p++) {
+        if (*p < '0' || *p > '9')
+          return Status::InvalidArgument("bad exponent digit");
+        e = e * 10 + (*p - '0');
+        if (e > 1000) return Status::InvalidArgument("exponent overflow");
+      }
+      exp += eneg ? -e : e;
+      break;
+    } else {
+      return Status::InvalidArgument("bad decimal character");
+    }
+  }
+  if (!seen_digit) return Status::InvalidArgument("no digits");
+  if (exp > kMaxExp || exp < kMinExp)
+    return Status::InvalidArgument("decimal exponent out of range");
+  return Decimal(neg ? -coeff : coeff, exp);
+}
+
+double Decimal::ToDouble() const {
+  return static_cast<double>(coeff_) * std::pow(10.0, exp_);
+}
+
+int Decimal::Compare(const Decimal& other) const {
+  const bool a_neg = coeff_ < 0, b_neg = other.coeff_ < 0;
+  if (coeff_ == 0 && other.coeff_ == 0) return 0;
+  if (coeff_ == 0) return b_neg ? 1 : -1;
+  if (other.coeff_ == 0) return a_neg ? -1 : 1;
+  if (a_neg != b_neg) return a_neg ? -1 : 1;
+
+  // Same sign, both non-zero. Compare magnitudes via digit counts, then by
+  // aligning coefficients without overflow (long-division style).
+  auto digits_of = [](int64_t c) {
+    int d = 0;
+    uint64_t u = c < 0 ? static_cast<uint64_t>(-(c + 1)) + 1
+                       : static_cast<uint64_t>(c);
+    while (u != 0) {
+      u /= 10;
+      d++;
+    }
+    return d;
+  };
+  const int mag_a = digits_of(coeff_) + exp_;
+  const int mag_b = digits_of(other.coeff_) + other.exp_;
+  int sign = a_neg ? -1 : 1;
+  if (mag_a != mag_b) return mag_a < mag_b ? -sign : sign;
+
+  // Same order of magnitude: compare digit strings.
+  std::string sa = std::to_string(coeff_ < 0 ? -coeff_ : coeff_);
+  std::string sb =
+      std::to_string(other.coeff_ < 0 ? -other.coeff_ : other.coeff_);
+  size_t width = std::max(sa.size(), sb.size());
+  sa.append(width - sa.size(), '0');
+  sb.append(width - sb.size(), '0');
+  int c = sa.compare(sb);
+  if (c == 0) return 0;
+  return c < 0 ? -sign : sign;
+}
+
+std::string Decimal::ToString() const {
+  if (coeff_ == 0) return "0";
+  std::string digits = std::to_string(coeff_ < 0 ? -coeff_ : coeff_);
+  std::string out;
+  if (coeff_ < 0) out += '-';
+  if (exp_ >= 0) {
+    out += digits;
+    out.append(exp_, '0');
+  } else {
+    int32_t frac = -exp_;
+    if (static_cast<size_t>(frac) >= digits.size()) {
+      out += "0.";
+      out.append(frac - digits.size(), '0');
+      out += digits;
+    } else {
+      out += digits.substr(0, digits.size() - frac);
+      out += '.';
+      out += digits.substr(digits.size() - frac);
+    }
+  }
+  return out;
+}
+
+void Decimal::EncodeKey(std::string* dst) const {
+  // Encoding: 1 class byte + 2-byte adjusted magnitude + 8-byte scaled
+  // digit string prefix. Classes: 0 = negative, 1 = zero, 2 = positive.
+  // For negatives, magnitude and digits are complemented so larger
+  // magnitude sorts first.
+  if (coeff_ == 0) {
+    dst->push_back(1);
+    return;
+  }
+  const bool neg = coeff_ < 0;
+  dst->push_back(neg ? 0 : 2);
+  std::string digits = std::to_string(neg ? -coeff_ : coeff_);
+  // magnitude = exponent of the leading digit = digits + exp - 1.
+  int32_t mag = static_cast<int32_t>(digits.size()) + exp_ - 1;
+  uint16_t biased = static_cast<uint16_t>(mag + 16384);
+  if (neg) biased = static_cast<uint16_t>(~biased);
+  dst->push_back(static_cast<char>(biased >> 8));
+  dst->push_back(static_cast<char>(biased));
+  // Up to 18 significant digits, two digits per byte, value 10..109 to keep
+  // bytes nonzero; pad with zeros.
+  std::string padded = digits;
+  padded.append(18 - std::min<size_t>(18, padded.size()), '0');
+  for (int i = 0; i < 18; i += 2) {
+    unsigned char b =
+        static_cast<unsigned char>(10 + (padded[i] - '0') * 10 + (padded[i + 1] - '0'));
+    if (neg) b = static_cast<unsigned char>(255 - b);
+    dst->push_back(static_cast<char>(b));
+  }
+}
+
+Result<Decimal> Decimal::DecodeKey(Slice* input) {
+  if (input->empty()) return Status::Corruption("empty decimal key");
+  unsigned char cls = static_cast<unsigned char>((*input)[0]);
+  if (cls == 1) {
+    input->RemovePrefix(1);
+    return Decimal();
+  }
+  if (input->size() < 1 + 2 + 9) return Status::Corruption("short decimal key");
+  const bool neg = (cls == 0);
+  uint16_t biased = (static_cast<uint16_t>(static_cast<unsigned char>((*input)[1])) << 8) |
+                    static_cast<unsigned char>((*input)[2]);
+  if (neg) biased = static_cast<uint16_t>(~biased);
+  int32_t mag = static_cast<int32_t>(biased) - 16384;
+  std::string digits;
+  for (int i = 0; i < 9; i++) {
+    unsigned char b = static_cast<unsigned char>((*input)[3 + i]);
+    if (neg) b = static_cast<unsigned char>(255 - b);
+    int v = b - 10;
+    if (v < 0 || v > 99) return Status::Corruption("bad decimal key byte");
+    digits.push_back(static_cast<char>('0' + v / 10));
+    digits.push_back(static_cast<char>('0' + v % 10));
+  }
+  input->RemovePrefix(1 + 2 + 9);
+  // Strip trailing zeros of the 18-digit field.
+  size_t last = digits.find_last_not_of('0');
+  if (last == std::string::npos) return Status::Corruption("zero digits");
+  digits.resize(last + 1);
+  int64_t coeff = 0;
+  for (char c : digits) coeff = coeff * 10 + (c - '0');
+  int32_t exp = mag - static_cast<int32_t>(digits.size()) + 1;
+  return Decimal(neg ? -coeff : coeff, exp);
+}
+
+}  // namespace xdb

@@ -1,0 +1,66 @@
+// Decimal: exact decimal numbers for XPath value-index keys.
+//
+// The paper (Section 4.3) indexes numeric values as IEEE 754r decimal
+// floating point so that key values are precise within range. This is a
+// software decimal with the same observable property: decimal strings
+// round-trip exactly, comparison is numeric, and the key encoding is
+// byte-comparable in numeric order.
+#ifndef XDB_COMMON_DECIMAL_H_
+#define XDB_COMMON_DECIMAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace xdb {
+
+/// A decimal value: sign * coefficient * 10^exponent, with up to 18
+/// significant digits (fits an int64 coefficient, like decimal64's 16 digits
+/// plus headroom).
+class Decimal {
+ public:
+  Decimal() : coeff_(0), exp_(0) {}
+  Decimal(int64_t coeff, int32_t exp) : coeff_(coeff), exp_(exp) {
+    Normalize();
+  }
+
+  /// Parses "[+-]digits[.digits][eE[+-]digits]". Fails on overflow beyond 18
+  /// significant digits or exponent out of [-127, 127].
+  static Result<Decimal> FromString(Slice s);
+
+  /// Exact conversion from an integer.
+  static Decimal FromInt(int64_t v) { return Decimal(v, 0); }
+
+  /// Nearest-double view (inexact; for mixed-type comparisons only).
+  double ToDouble() const;
+
+  int64_t coefficient() const { return coeff_; }
+  int32_t exponent() const { return exp_; }
+  bool IsZero() const { return coeff_ == 0; }
+
+  /// Numeric three-way comparison (exact; no double round-trip).
+  int Compare(const Decimal& other) const;
+
+  bool operator==(const Decimal& o) const { return Compare(o) == 0; }
+  bool operator<(const Decimal& o) const { return Compare(o) < 0; }
+
+  /// Canonical decimal string, round-trippable through FromString.
+  std::string ToString() const;
+
+  /// Appends a byte-comparable encoding: byte order == numeric order.
+  /// Layout: [sign/exponent byte-pair][big-endian scaled coefficient].
+  void EncodeKey(std::string* dst) const;
+  static Result<Decimal> DecodeKey(Slice* input);
+
+ private:
+  void Normalize();
+
+  int64_t coeff_;
+  int32_t exp_;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_COMMON_DECIMAL_H_

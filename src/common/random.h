@@ -1,0 +1,42 @@
+// Deterministic PRNG for workload generators and property tests. Fixed
+// algorithm (xorshift*) so test corpora are reproducible across platforms.
+#ifndef XDB_COMMON_RANDOM_H_
+#define XDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace xdb {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi].
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability num/den.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / static_cast<double>(1ULL << 53);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_COMMON_RANDOM_H_

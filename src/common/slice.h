@@ -1,0 +1,72 @@
+// Slice: a non-owning view over a byte range, the currency of the storage and
+// index layers (keys, record payloads, node IDs are all byte strings).
+#ifndef XDB_COMMON_SLICE_H_
+#define XDB_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace xdb {
+
+/// A pointer + length view over bytes. Does not own the data; the caller must
+/// keep the backing storage alive for the Slice's lifetime.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Three-way byte comparison (the document order of node IDs, and the sort
+  /// order of every B+tree in the engine).
+  int Compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) return -1;
+      if (size_ > b.size_) return 1;
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+  bool operator==(const Slice& b) const {
+    return size_ == b.size_ && std::memcmp(data_, b.data_, size_) == 0;
+  }
+  bool operator!=(const Slice& b) const { return !(*this == b); }
+  bool operator<(const Slice& b) const { return Compare(b) < 0; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_COMMON_SLICE_H_

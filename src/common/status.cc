@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace xdb {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kNotFound: return "NotFound";
+    case Status::Code::kCorruption: return "Corruption";
+    case Status::Code::kInvalidArgument: return "InvalidArgument";
+    case Status::Code::kIOError: return "IOError";
+    case Status::Code::kNotSupported: return "NotSupported";
+    case Status::Code::kBusy: return "Busy";
+    case Status::Code::kDeadlock: return "Deadlock";
+    case Status::Code::kParseError: return "ParseError";
+    case Status::Code::kValidationError: return "ValidationError";
+    case Status::Code::kFull: return "Full";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string s = CodeName(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace xdb

@@ -1,0 +1,118 @@
+// Status and Result<T>: exception-free error propagation for all engine paths.
+//
+// Follows the RocksDB/Arrow idiom: every fallible operation returns a Status
+// (or Result<T> when it also produces a value); callers must check ok().
+#ifndef XDB_COMMON_STATUS_H_
+#define XDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace xdb {
+
+/// Outcome of a fallible engine operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kIOError,
+    kNotSupported,
+    kBusy,
+    kDeadlock,
+    kParseError,
+    kValidationError,
+    kFull,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status ParseError(std::string msg = "") {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status ValidationError(std::string msg = "") {
+    return Status(Code::kValidationError, std::move(msg));
+  }
+  static Status Full(std::string msg = "") {
+    return Status(Code::kFull, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<code>: <message>" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A Status carrying a value on success.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)), value_() {}       // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T&& MoveValue() { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_;
+};
+
+}  // namespace xdb
+
+/// Propagate a non-OK Status to the caller.
+#define XDB_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::xdb::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Evaluate a Result expression, propagate failure, bind the value.
+#define XDB_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto XDB_CONCAT_(_res_, __LINE__) = (expr);                   \
+  if (!XDB_CONCAT_(_res_, __LINE__).ok())                       \
+    return XDB_CONCAT_(_res_, __LINE__).status();               \
+  lhs = XDB_CONCAT_(_res_, __LINE__).MoveValue()
+
+#define XDB_CONCAT_(a, b) XDB_CONCAT_IMPL_(a, b)
+#define XDB_CONCAT_IMPL_(a, b) a##b
+
+#endif  // XDB_COMMON_STATUS_H_

@@ -1,0 +1,257 @@
+#include "construct/constructor.h"
+
+#include "common/coding.h"
+#include "xml/serializer.h"
+
+namespace xdb {
+namespace construct {
+
+CtorExpr XmlElement(std::string name, std::vector<CtorExpr> children) {
+  CtorExpr e;
+  e.kind = CtorExpr::Kind::kElement;
+  e.name = std::move(name);
+  e.children = std::move(children);
+  return e;
+}
+
+CtorExpr XmlAttribute(std::string name, int arg_index) {
+  CtorExpr e;
+  e.kind = CtorExpr::Kind::kAttribute;
+  e.name = std::move(name);
+  e.arg_index = arg_index;
+  return e;
+}
+
+CtorExpr XmlForestItem(std::string name, int arg_index) {
+  CtorExpr e;
+  e.kind = CtorExpr::Kind::kElement;
+  e.name = std::move(name);
+  CtorExpr arg;
+  arg.kind = CtorExpr::Kind::kArg;
+  arg.arg_index = arg_index;
+  e.children.push_back(std::move(arg));
+  return e;
+}
+
+CtorExpr XmlConcat(std::vector<CtorExpr> children) {
+  CtorExpr e;
+  e.kind = CtorExpr::Kind::kConcat;
+  e.children = std::move(children);
+  return e;
+}
+
+CtorExpr Arg(int arg_index) {
+  CtorExpr e;
+  e.kind = CtorExpr::Kind::kArg;
+  e.arg_index = arg_index;
+  return e;
+}
+
+CtorExpr ConstText(std::string text) {
+  CtorExpr e;
+  e.kind = CtorExpr::Kind::kConstText;
+  e.text = std::move(text);
+  return e;
+}
+
+std::string MakeArgRecord(const std::vector<Slice>& args) {
+  std::string record;
+  PutVarint64(&record, args.size());
+  for (const Slice& a : args) PutLengthPrefixed(&record, a);
+  return record;
+}
+
+Status SplitArgRecord(Slice record, std::vector<Slice>* out) {
+  out->clear();
+  uint64_t count;
+  size_t n =
+      GetVarint64(record.data(), record.data() + record.size(), &count);
+  if (n == 0) return Status::Corruption("bad argument record");
+  record.RemovePrefix(n);
+  for (uint64_t i = 0; i < count; i++) {
+    Slice v;
+    if (!GetLengthPrefixed(&record, &v))
+      return Status::Corruption("truncated argument record");
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status CompiledConstructor::Flatten(const CtorExpr& expr,
+                                    bool inside_element) {
+  switch (expr.kind) {
+    case CtorExpr::Kind::kElement: {
+      ops_.push_back(Op{OpKind::kOpenStart, expr.name, -1, ""});
+      // Attributes first, then the open tag is closed.
+      for (const CtorExpr& c : expr.children) {
+        if (c.kind != CtorExpr::Kind::kAttribute) continue;
+        if (c.arg_index < 0)
+          return Status::InvalidArgument("attribute without an argument");
+        arg_count_ = std::max(arg_count_, c.arg_index + 1);
+        ops_.push_back(Op{OpKind::kAttr, c.name, c.arg_index, ""});
+      }
+      ops_.push_back(Op{OpKind::kOpenEnd, "", -1, ""});
+      for (const CtorExpr& c : expr.children) {
+        if (c.kind == CtorExpr::Kind::kAttribute) continue;
+        XDB_RETURN_NOT_OK(Flatten(c, /*inside_element=*/true));
+      }
+      ops_.push_back(Op{OpKind::kClose, expr.name, -1, ""});
+      return Status::OK();
+    }
+    case CtorExpr::Kind::kAttribute:
+      return Status::InvalidArgument(
+          "XMLATTRIBUTES is only valid directly inside XMLELEMENT");
+    case CtorExpr::Kind::kForest:
+    case CtorExpr::Kind::kConcat:
+      for (const CtorExpr& c : expr.children)
+        XDB_RETURN_NOT_OK(Flatten(c, inside_element));
+      return Status::OK();
+    case CtorExpr::Kind::kArg:
+      if (expr.arg_index < 0)
+        return Status::InvalidArgument("argument slot without an index");
+      arg_count_ = std::max(arg_count_, expr.arg_index + 1);
+      ops_.push_back(Op{OpKind::kArgText, "", expr.arg_index, ""});
+      return Status::OK();
+    case CtorExpr::Kind::kConstText:
+      ops_.push_back(Op{OpKind::kConstText, "", -1, expr.text});
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown constructor kind");
+}
+
+Result<CompiledConstructor> CompiledConstructor::Compile(
+    const CtorExpr& expr) {
+  CompiledConstructor cc;
+  XDB_RETURN_NOT_OK(cc.Flatten(expr, false));
+  return cc;
+}
+
+Status CompiledConstructor::SerializeRow(const std::vector<Slice>& args,
+                                         std::string* out) const {
+  if (static_cast<int>(args.size()) < arg_count_)
+    return Status::InvalidArgument("too few constructor arguments");
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kOpenStart:
+        out->push_back('<');
+        out->append(op.name);
+        break;
+      case OpKind::kOpenEnd:
+        out->push_back('>');
+        break;
+      case OpKind::kClose:
+        out->append("</");
+        out->append(op.name);
+        out->push_back('>');
+        break;
+      case OpKind::kAttr:
+        out->push_back(' ');
+        out->append(op.name);
+        out->append("=\"");
+        EscapeAttribute(args[op.arg], out);
+        out->push_back('"');
+        break;
+      case OpKind::kArgText:
+        EscapeText(args[op.arg], out);
+        break;
+      case OpKind::kConstText:
+        EscapeText(op.text, out);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status CompiledConstructor::SerializeRecord(Slice arg_record,
+                                            std::string* out) const {
+  std::vector<Slice> args;
+  XDB_RETURN_NOT_OK(SplitArgRecord(arg_record, &args));
+  return SerializeRow(args, out);
+}
+
+Status CompiledConstructor::EmitTokens(const std::vector<Slice>& args,
+                                       NameDictionary* dict,
+                                       TokenWriter* out) const {
+  if (static_cast<int>(args.size()) < arg_count_)
+    return Status::InvalidArgument("too few constructor arguments");
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kOpenStart:
+        out->StartElement(dict->Intern(op.name));
+        break;
+      case OpKind::kOpenEnd:
+        break;
+      case OpKind::kClose:
+        out->EndElement();
+        break;
+      case OpKind::kAttr:
+        out->Attribute(dict->Intern(op.name), args[op.arg]);
+        break;
+      case OpKind::kArgText:
+        out->Text(args[op.arg]);
+        break;
+      case OpKind::kConstText:
+        out->Text(op.text);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status NaiveEvaluate(const CtorExpr& expr, const std::vector<Slice>& args,
+                     std::string* out) {
+  // "The standard function evaluation process is to evaluate the arguments
+  // first, then evaluate the function" — each level materializes its own
+  // string, which the parent then copies.
+  switch (expr.kind) {
+    case CtorExpr::Kind::kElement: {
+      std::string attrs, content;
+      for (const CtorExpr& c : expr.children) {
+        if (c.kind == CtorExpr::Kind::kAttribute) {
+          if (c.arg_index < 0 ||
+              c.arg_index >= static_cast<int>(args.size()))
+            return Status::InvalidArgument("bad attribute argument");
+          std::string value;
+          EscapeAttribute(args[c.arg_index], &value);
+          attrs += " " + c.name + "=\"" + value + "\"";
+        } else {
+          std::string child;
+          XDB_RETURN_NOT_OK(NaiveEvaluate(c, args, &child));
+          content += child;  // the per-level copy
+        }
+      }
+      *out += "<" + expr.name + attrs + ">" + content + "</" + expr.name + ">";
+      return Status::OK();
+    }
+    case CtorExpr::Kind::kAttribute:
+      return Status::InvalidArgument(
+          "XMLATTRIBUTES is only valid directly inside XMLELEMENT");
+    case CtorExpr::Kind::kForest:
+    case CtorExpr::Kind::kConcat: {
+      for (const CtorExpr& c : expr.children) {
+        std::string child;
+        XDB_RETURN_NOT_OK(NaiveEvaluate(c, args, &child));
+        *out += child;
+      }
+      return Status::OK();
+    }
+    case CtorExpr::Kind::kArg: {
+      if (expr.arg_index < 0 || expr.arg_index >= static_cast<int>(args.size()))
+        return Status::InvalidArgument("bad argument index");
+      std::string value;
+      EscapeText(args[expr.arg_index], &value);
+      *out += value;
+      return Status::OK();
+    }
+    case CtorExpr::Kind::kConstText: {
+      std::string value;
+      EscapeText(expr.text, &value);
+      *out += value;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown constructor kind");
+}
+
+}  // namespace construct
+}  // namespace xdb

@@ -1,0 +1,128 @@
+#include "construct/xml_agg.h"
+
+#include <algorithm>
+
+namespace xdb {
+namespace construct {
+
+XmlAgg::~XmlAgg() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+}
+
+void XmlAgg::Add(Slice sort_key, std::string arg_record) {
+  Node* n = new Node;
+  n->key = sort_key.ToString();
+  n->args = std::move(arg_record);
+  if (tail_ == nullptr) {
+    head_ = tail_ = n;
+  } else {
+    tail_->next = n;
+    tail_ = n;
+  }
+  count_++;
+}
+
+XmlAgg::Node* XmlAgg::QuickSort(Node* head) {
+  if (head == nullptr || head->next == nullptr) return head;
+  // Pivot on the middle node (slow/fast walk) so pre-sorted ORDER BY keys —
+  // common in practice — do not degenerate the recursion. The middle's
+  // payload is swapped into the head; links are untouched.
+  Node* slow = head;
+  Node* fast = head;
+  while (fast->next != nullptr && fast->next->next != nullptr) {
+    slow = slow->next;
+    fast = fast->next->next;
+  }
+  std::swap(head->key, slow->key);
+  std::swap(head->args, slow->args);
+  // Partition around the head as pivot into <, ==, > lists.
+  Node* pivot = head;
+  Node* less = nullptr;
+  Node* equal = pivot;
+  Node* equal_tail = pivot;
+  Node* greater = nullptr;
+  Node* cur = head->next;
+  pivot->next = nullptr;
+  while (cur != nullptr) {
+    Node* next = cur->next;
+    int c = Slice(cur->key).Compare(Slice(pivot->key));
+    if (c < 0) {
+      cur->next = less;
+      less = cur;
+    } else if (c == 0) {
+      equal_tail->next = cur;
+      cur->next = nullptr;
+      equal_tail = cur;
+    } else {
+      cur->next = greater;
+      greater = cur;
+    }
+    cur = next;
+  }
+  less = QuickSort(less);
+  greater = QuickSort(greater);
+  equal_tail->next = greater;
+  if (less == nullptr) return equal;
+  Node* t = less;
+  while (t->next != nullptr) t = t->next;
+  t->next = equal;
+  return less;
+}
+
+Status XmlAgg::Finish(std::string* out) {
+  head_ = QuickSort(head_);
+  tail_ = nullptr;
+  for (Node* n = head_; n != nullptr; n = n->next) {
+    XDB_RETURN_NOT_OK(tmpl_->SerializeRecord(n->args, out));
+  }
+  return Status::OK();
+}
+
+void ExternalSortAgg::Add(Slice sort_key, std::string arg_record) {
+  current_.push_back(Row{sort_key.ToString(), std::move(arg_record)});
+  if (current_.size() >= run_limit_) SpillRun();
+}
+
+void ExternalSortAgg::SpillRun() {
+  if (current_.empty()) return;
+  std::stable_sort(current_.begin(), current_.end(),
+                   [](const Row& a, const Row& b) {
+                     return Slice(a.key).Compare(Slice(b.key)) < 0;
+                   });
+  // "Write" the run: a work file would copy the rows out; model that cost
+  // with a fresh materialized copy.
+  std::vector<Row> run;
+  run.reserve(current_.size());
+  for (Row& r : current_) run.push_back(Row{r.key, r.args});
+  runs_.push_back(std::move(run));
+  current_.clear();
+}
+
+Status ExternalSortAgg::Finish(std::string* out) {
+  SpillRun();
+  // K-way merge over the runs.
+  std::vector<size_t> pos(runs_.size(), 0);
+  for (;;) {
+    int best = -1;
+    for (size_t r = 0; r < runs_.size(); r++) {
+      if (pos[r] >= runs_[r].size()) continue;
+      if (best < 0 ||
+          Slice(runs_[r][pos[r]].key)
+                  .Compare(Slice(runs_[best][pos[best]].key)) < 0) {
+        best = static_cast<int>(r);
+      }
+    }
+    if (best < 0) break;
+    XDB_RETURN_NOT_OK(tmpl_->SerializeRecord(runs_[best][pos[best]].args, out));
+    pos[best]++;
+  }
+  return Status::OK();
+}
+
+}  // namespace construct
+}  // namespace xdb

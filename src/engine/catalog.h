@@ -1,0 +1,52 @@
+// Catalog: persistent metadata — collections, index roots, registered
+// (compiled) schemas, and the database-wide name dictionary. The paper's
+// "catalog and directory" infrastructure component, reused with XML
+// additions (schema binaries, XPath index definitions).
+#ifndef XDB_ENGINE_CATALOG_H_
+#define XDB_ENGINE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/value_index.h"
+#include "storage/page.h"
+
+namespace xdb {
+
+struct ValueIndexMeta {
+  ValueIndexDef def;
+  PageId root = kInvalidPageId;
+};
+
+struct CollectionMeta {
+  std::string name;
+  std::string space_file;  // file name within the engine directory
+  PageId docid_index_root = kInvalidPageId;
+  PageId nodeid_index_root = kInvalidPageId;
+  PageId versioned_index_root = kInvalidPageId;  // MVCC collections only
+  std::vector<ValueIndexMeta> value_indexes;
+  uint64_t next_doc_id = 1;
+  uint64_t last_version = 0;  // persisted MVCC version counter
+  bool mvcc_enabled = false;
+  std::string schema_name;  // validate-on-insert when non-empty
+};
+
+struct CatalogData {
+  std::map<std::string, CollectionMeta> collections;
+  std::map<std::string, std::string> schemas;  // name -> compiled binary
+  std::string dictionary;                      // serialized NameDictionary
+
+  void Serialize(std::string* out) const;
+  static Result<CatalogData> Deserialize(Slice data);
+};
+
+/// Saves atomically (write temp + rename).
+Status SaveCatalog(const CatalogData& data, const std::string& path);
+Result<CatalogData> LoadCatalog(const std::string& path);
+
+}  // namespace xdb
+
+#endif  // XDB_ENGINE_CATALOG_H_

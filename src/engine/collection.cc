@@ -1,0 +1,1024 @@
+#include "engine/collection.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/coding.h"
+#include "engine/engine.h"
+#include "query/executor.h"
+#include "runtime/iterators.h"
+#include "xml/node_id.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+#include "xpath/quickxscan.h"
+
+namespace xdb {
+
+namespace {
+
+/// Runs an operation inside the caller's transaction, or wraps it in an
+/// autocommit transaction when none is given.
+class AutoTxn {
+ public:
+  AutoTxn(Engine* engine, Transaction* txn, IsolationMode mode)
+      : engine_(engine) {
+    if (txn == nullptr) {
+      own_ = engine->Begin(mode);
+      own_.autocommit = true;
+      txn_ = &own_;
+      owned_ = true;
+    } else {
+      txn_ = txn;
+    }
+  }
+  ~AutoTxn() {
+    if (owned_ && !own_.committed && !own_.aborted)
+      engine_->Abort(&own_);
+  }
+
+  Transaction* get() { return txn_; }
+
+  Status Finish(Status st) {
+    if (!owned_) return st;
+    if (st.ok()) return engine_->Commit(&own_);
+    engine_->Abort(&own_);
+    return st;
+  }
+
+ private:
+  Engine* engine_;
+  Transaction own_;
+  Transaction* txn_ = nullptr;
+  bool owned_ = false;
+};
+
+std::string DocKey(uint64_t doc_id) {
+  std::string key;
+  PutBig64(&key, doc_id);
+  return key;
+}
+
+}  // namespace
+
+Status Collection::ReadLockDoc(Transaction* txn, uint64_t doc_id) {
+  if (txn->mode == IsolationMode::kSnapshot && meta_.mvcc_enabled)
+    return Status::OK();  // snapshot readers never lock
+  return engine_->locks()->LockDocument(txn->id, doc_id, LockMode::kS);
+}
+
+Status Collection::WriteLockDoc(Transaction* txn, uint64_t doc_id) {
+  return engine_->locks()->LockDocument(txn->id, doc_id, LockMode::kX);
+}
+
+Result<uint64_t> Collection::InsertDocument(Transaction* txn, Slice xml) {
+  Parser parser = engine_->MakeParser();
+  TokenWriter tokens;
+  XDB_RETURN_NOT_OK(parser.Parse(xml, &tokens));
+  if (!meta_.schema_name.empty()) {
+    XDB_ASSIGN_OR_RETURN(const schema::CompiledSchema* cs,
+                         engine_->FindSchema(meta_.schema_name));
+    TokenWriter validated;
+    schema::ValidatorVm vm(cs, engine_->dict());
+    XDB_RETURN_NOT_OK(vm.Validate(tokens.data(), &validated));
+    return InsertTokens(txn, validated.data());
+  }
+  return InsertTokens(txn, tokens.data());
+}
+
+Result<uint64_t> Collection::InsertTokens(Transaction* txn, Slice tokens) {
+  AutoTxn at(engine_, txn, IsolationMode::kLocking);
+  uint64_t doc_id;
+  {
+    std::lock_guard<std::mutex> lock(docid_mu_);
+    doc_id = meta_.next_doc_id++;
+  }
+  Status st = [&]() -> Status {
+    XDB_RETURN_NOT_OK(WriteLockDoc(at.get(), doc_id));
+    XDB_RETURN_NOT_OK(engine_->LogInsert(meta_.name, doc_id, tokens));
+    XDB_ASSIGN_OR_RETURN(uint64_t got,
+                         InsertTokensLocked(at.get(), tokens, doc_id));
+    (void)got;
+    return Status::OK();
+  }();
+  XDB_RETURN_NOT_OK(at.Finish(st));
+  return doc_id;
+}
+
+Result<uint64_t> Collection::InsertTokensLocked(Transaction* txn, Slice tokens,
+                                                uint64_t doc_id) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  uint64_t version = 0;
+  if (meta_.mvcc_enabled) {
+    XDB_ASSIGN_OR_RETURN(version,
+                         engine_->txns()->WriteVersion(txn, versions_.get()));
+  }
+  RecordBuilderOptions rb_options;
+  rb_options.record_budget = record_budget_;
+  RecordBuilder builder(rb_options);
+  Status st = builder.Build(tokens, [&](PackedRecordOut&& rec) -> Status {
+    XDB_ASSIGN_OR_RETURN(Rid rid, records_->Insert(rec.bytes));
+    XDB_RETURN_NOT_OK(node_index_->AddRecord(doc_id, rec.bytes, rid));
+    if (meta_.mvcc_enabled) {
+      XDB_RETURN_NOT_OK(
+          versions_->AddRecord(doc_id, version, rec.bytes, rid));
+    }
+    return Status::OK();
+  });
+  XDB_RETURN_NOT_OK(st);
+  XDB_RETURN_NOT_OK(docid_tree_->Insert(DocKey(doc_id), Slice()));
+  latch.unlock();
+  XDB_RETURN_NOT_OK(AddValueIndexEntries(doc_id, tokens, nullptr));
+  return doc_id;
+}
+
+Status Collection::AddValueIndexEntries(uint64_t doc_id, Slice tokens,
+                                        ValueIndex* only_index) {
+  // "Index keys for the node ID index and XPath value indexes are generated
+  // per record" in the paper; here keys are generated in one streaming pass
+  // per index over the document, then mapped to record RIDs through the
+  // NodeID index.
+  for (auto& owned : value_indexes_) {
+    ValueIndex* index = owned.index.get();
+    if (only_index != nullptr && index != only_index) continue;
+    TokenStreamSource source(tokens);
+    XDB_ASSIGN_OR_RETURN(
+        NodeSequence hits,
+        xpath::EvaluateXPath(index->def().path, *engine_->dict(), &source,
+                             doc_id, /*want_values=*/true));
+    for (const ResultNode& hit : hits) {
+      XDB_ASSIGN_OR_RETURN(Rid rid,
+                           node_index_->Lookup(doc_id, Slice(hit.node_id)));
+      XDB_RETURN_NOT_OK(index->Add(Slice(hit.string_value), doc_id,
+                                   Slice(hit.node_id), rid));
+    }
+  }
+  return Status::OK();
+}
+
+Status Collection::RemoveValueIndexEntries(Transaction* txn, uint64_t doc_id) {
+  (void)txn;
+  for (auto& owned : value_indexes_) {
+    ValueIndex* index = owned.index.get();
+    StoredDocSource source(records_.get(), node_index_.get(), doc_id);
+    XDB_ASSIGN_OR_RETURN(
+        NodeSequence hits,
+        xpath::EvaluateXPath(index->def().path, *engine_->dict(), &source,
+                             doc_id, /*want_values=*/true));
+    for (const ResultNode& hit : hits) {
+      XDB_ASSIGN_OR_RETURN(Rid rid,
+                           node_index_->Lookup(doc_id, Slice(hit.node_id)));
+      XDB_RETURN_NOT_OK(index->Remove(Slice(hit.string_value), doc_id,
+                                      Slice(hit.node_id), rid));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> Collection::GetDocumentText(Transaction* txn,
+                                                uint64_t doc_id) {
+  AutoTxn at(engine_, txn, IsolationMode::kLocking);
+  std::string out;
+  Status st = [&]() -> Status {
+    XDB_RETURN_NOT_OK(ReadLockDoc(at.get(), doc_id));
+    std::shared_lock<std::shared_mutex> latch(latch_);
+    NodeLocator* locator = node_index_.get();
+    SnapshotLocator snap(versions_.get(), 0);
+    if (at.get()->mode == IsolationMode::kSnapshot && meta_.mvcc_enabled) {
+      snap = SnapshotLocator(
+          versions_.get(),
+          engine_->txns()->Snapshot(at.get(), versions_.get()));
+      locator = &snap;
+    } else {
+      XDB_ASSIGN_OR_RETURN(bool exists, docid_tree_->Contains(DocKey(doc_id)));
+      if (!exists) return Status::NotFound("no such document");
+    }
+    StoredDocSource source(records_.get(), locator, doc_id);
+    TokenWriter tokens;
+    XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
+    return SerializeTokens(tokens.data(), *engine_->dict(), {}, &out);
+  }();
+  XDB_RETURN_NOT_OK(at.Finish(st));
+  return out;
+}
+
+Status Collection::DeleteDocument(Transaction* txn, uint64_t doc_id) {
+  AutoTxn at(engine_, txn, IsolationMode::kLocking);
+  Status st = [&]() -> Status {
+    XDB_RETURN_NOT_OK(WriteLockDoc(at.get(), doc_id));
+    XDB_ASSIGN_OR_RETURN(bool exists, docid_tree_->Contains(DocKey(doc_id)));
+    if (!exists) return Status::NotFound("no such document");
+    XDB_RETURN_NOT_OK(engine_->LogDelete(meta_.name, doc_id));
+    XDB_RETURN_NOT_OK(RemoveValueIndexEntries(at.get(), doc_id));
+    return DeleteDocumentLocked(at.get(), doc_id);
+  }();
+  return at.Finish(st);
+}
+
+Status Collection::DeleteDocumentLocked(Transaction* txn, uint64_t doc_id) {
+  (void)txn;
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  std::set<uint64_t> rids;
+  std::vector<Rid> current;
+  XDB_RETURN_NOT_OK(node_index_->ListDocRecords(doc_id, &current));
+  for (Rid r : current) rids.insert(r.Pack());
+  if (meta_.mvcc_enabled) {
+    std::vector<Rid> freed;
+    XDB_RETURN_NOT_OK(versions_->PurgeVersionsBefore(
+        doc_id, std::numeric_limits<uint64_t>::max(), &freed));
+    for (Rid r : freed) rids.insert(r.Pack());
+  }
+  XDB_RETURN_NOT_OK(node_index_->RemoveDocEntries(doc_id));
+  for (uint64_t packed : rids) {
+    XDB_RETURN_NOT_OK(records_->Delete(Rid::Unpack(packed)));
+  }
+  return docid_tree_->Delete(DocKey(doc_id), Slice());
+}
+
+Status Collection::MaintainValueIndexesForTextUpdate(uint64_t doc_id,
+                                                     Slice text_node_id,
+                                                     NodeLocator* locator,
+                                                     Slice old_text,
+                                                     Slice new_text) {
+  if (value_indexes_.empty()) return Status::OK();
+  (void)old_text;
+  (void)new_text;
+  // Collect the ancestor elements of the text node with their concrete
+  // name paths: in-record names come from a walk; out-of-record ancestors
+  // from the record header's root path.
+  XDB_ASSIGN_OR_RETURN(Rid rid, locator->Lookup(doc_id, text_node_id));
+  std::string record;
+  XDB_RETURN_NOT_OK(records_->Get(rid, &record));
+  RecordWalker walker((Slice(record)));
+  XDB_RETURN_NOT_OK(walker.Init());
+
+  struct Ancestor {
+    std::string abs_id;
+    NameId local;
+  };
+  std::vector<Ancestor> ancestors;
+  const RecordHeader& header = walker.header();
+  {
+    std::vector<Slice> levels;
+    XDB_RETURN_NOT_OK(
+        nodeid::SplitLevels(header.context_node_id, &levels));
+    if (levels.size() != header.root_path.size())
+      return Status::Corruption("record root path/context id mismatch");
+    std::string prefix;
+    for (size_t i = 0; i < levels.size(); i++) {
+      prefix.append(levels[i].data(), levels[i].size());
+      ancestors.push_back(Ancestor{prefix, header.root_path[i].local});
+    }
+  }
+  for (;;) {
+    RecordWalker::Event ev;
+    XDB_RETURN_NOT_OK(walker.Next(&ev));
+    if (ev.type == RecordWalker::EventType::kDone)
+      return Status::NotFound("text node not found for index maintenance");
+    if (ev.type != RecordWalker::EventType::kStart) continue;
+    Slice abs(ev.entry.abs_id);
+    if (abs == text_node_id) break;
+    if (ev.entry.kind == NodeKind::kElement) {
+      if (nodeid::IsAncestor(abs, text_node_id)) {
+        ancestors.push_back(Ancestor{ev.entry.abs_id, ev.entry.local});
+      } else {
+        walker.SkipChildren();
+      }
+    }
+  }
+
+  // Concrete absolute path of each ancestor (pure child steps).
+  StoredTreeNavigator nav(records_.get(), node_index_.get(), doc_id);
+  xpath::Path concrete;
+  concrete.absolute = true;
+  for (const Ancestor& a : ancestors) {
+    xpath::Step step;
+    step.axis = xpath::Axis::kChild;
+    step.test = xpath::NodeTest::kName;
+    XDB_ASSIGN_OR_RETURN(step.name, engine_->dict()->Name(a.local));
+    concrete.steps.push_back(std::move(step));
+    for (auto& owned : value_indexes_) {
+      ValueIndex* index = owned.index.get();
+      auto ipath = xpath::ParsePath(index->def().path);
+      if (!ipath.ok()) continue;
+      if (!xpath::PathContains(ipath.value(), concrete)) continue;
+      // This ancestor's string value is indexed: swap old for new. The
+      // "old" value is still stored (the record is not yet updated).
+      XDB_ASSIGN_OR_RETURN(std::string old_val,
+                           nav.StringValue(Slice(a.abs_id)));
+      // New value: the old value with this text node's contribution
+      // replaced; recompute by splicing is fragile, so re-derive from the
+      // subtree with the text overridden.
+      std::string new_val;
+      {
+        StoredDocSource source(records_.get(), node_index_.get(), doc_id,
+                               a.abs_id);
+        XmlEvent ev;
+        for (;;) {
+          XDB_ASSIGN_OR_RETURN(bool more, source.Next(&ev));
+          if (!more) break;
+          if (ev.type != XmlEvent::Type::kText) continue;
+          if (ev.node_id == text_node_id) {
+            new_val.append(new_text.data(), new_text.size());
+          } else {
+            new_val.append(ev.value.data(), ev.value.size());
+          }
+        }
+      }
+      XDB_ASSIGN_OR_RETURN(Rid arid,
+                           node_index_->Lookup(doc_id, Slice(a.abs_id)));
+      XDB_RETURN_NOT_OK(
+          index->Remove(old_val, doc_id, Slice(a.abs_id), arid));
+      XDB_RETURN_NOT_OK(index->Add(new_val, doc_id, Slice(a.abs_id), arid));
+    }
+  }
+  return Status::OK();
+}
+
+Status Collection::UpdateTextNode(Transaction* txn, uint64_t doc_id,
+                                  Slice node_id, Slice new_text) {
+  AutoTxn at(engine_, txn, IsolationMode::kLocking);
+  Status st = [&]() -> Status {
+    // Subdocument protocol: IX on the document, X on the updated subtree.
+    XDB_RETURN_NOT_OK(
+        engine_->locks()->LockDocument(at.get()->id, doc_id, LockMode::kIX));
+    XDB_RETURN_NOT_OK(engine_->locks()->LockNode(at.get()->id, doc_id,
+                                                 node_id, LockMode::kX));
+    XDB_RETURN_NOT_OK(
+        engine_->LogUpdate(meta_.name, doc_id, node_id, new_text));
+
+    std::unique_lock<std::shared_mutex> latch(latch_);
+    XDB_ASSIGN_OR_RETURN(Rid rid, node_index_->Lookup(doc_id, node_id));
+    std::string old_record;
+    XDB_RETURN_NOT_OK(records_->Get(rid, &old_record));
+
+    // Value-index maintenance runs against the pre-update image.
+    XDB_RETURN_NOT_OK(MaintainValueIndexesForTextUpdate(
+        doc_id, node_id, node_index_.get(), Slice(), new_text));
+
+    XDB_ASSIGN_OR_RETURN(std::string new_record,
+                         ReplaceTextValue(old_record, node_id, new_text));
+    if (!meta_.mvcc_enabled) {
+      return records_->Update(rid, new_record);
+    }
+
+    // MVCC: copy-on-write of the changed record under a new version.
+    XDB_ASSIGN_OR_RETURN(
+        uint64_t version,
+        engine_->txns()->WriteVersion(at.get(), versions_.get()));
+    XDB_ASSIGN_OR_RETURN(Rid new_rid, records_->Insert(new_record));
+    // New version's entries: previous effective entries, with the changed
+    // record's entries re-pointed at the new RID.
+    XDB_ASSIGN_OR_RETURN(
+        uint64_t prev_ver,
+        versions_->EffectiveVersion(doc_id,
+                                    std::numeric_limits<uint64_t>::max() - 1));
+    std::vector<std::pair<std::string, Rid>> entries;
+    XDB_RETURN_NOT_OK(versions_->ListVersionEntries(doc_id, prev_ver, &entries));
+    for (auto& [upper, entry_rid] : entries) {
+      Rid target = (entry_rid == rid) ? new_rid : entry_rid;
+      XDB_RETURN_NOT_OK(versions_->AddEntry(doc_id, version, upper, target));
+    }
+    // The unversioned NodeID index tracks the newest version.
+    XDB_RETURN_NOT_OK(node_index_->RemoveRecord(doc_id, old_record, rid));
+    XDB_RETURN_NOT_OK(node_index_->AddRecord(doc_id, new_record, new_rid));
+    return Status::OK();
+  }();
+  return at.Finish(st);
+}
+
+Status Collection::ReindexDocument(uint64_t doc_id) {
+  if (value_indexes_.empty()) return Status::OK();
+  StoredDocSource source(records_.get(), node_index_.get(), doc_id);
+  TokenWriter tokens;
+  XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
+  return AddValueIndexEntries(doc_id, tokens.data(), nullptr);
+}
+
+Status Collection::CollectSubtreeRecords(uint64_t doc_id, Slice node_id,
+                                         Slice record,
+                                         std::vector<Rid>* out) {
+  // Proxies inside the subtree name evicted records; those records' context
+  // node is inside the subtree, so their entire content (and their own
+  // proxies, recursively) belongs to it.
+  std::vector<std::string> worklist;
+  {
+    RecordWalker walker(record);
+    XDB_RETURN_NOT_OK(walker.Init());
+    for (;;) {
+      RecordWalker::Event ev;
+      XDB_RETURN_NOT_OK(walker.Next(&ev));
+      if (ev.type == RecordWalker::EventType::kDone) break;
+      if (ev.type != RecordWalker::EventType::kStart) continue;
+      Slice abs(ev.entry.abs_id);
+      if (ev.entry.kind == NodeKind::kProxy) {
+        if (abs == node_id || nodeid::IsAncestor(node_id, abs))
+          worklist.push_back(ev.entry.abs_id);
+      } else if (ev.entry.kind == NodeKind::kElement && abs != node_id &&
+                 !nodeid::IsAncestor(abs, node_id) &&
+                 !nodeid::IsAncestor(node_id, abs)) {
+        walker.SkipChildren();  // disjoint sibling: nothing to find inside
+      }
+    }
+  }
+  while (!worklist.empty()) {
+    std::string proxy_abs = std::move(worklist.back());
+    worklist.pop_back();
+    XDB_ASSIGN_OR_RETURN(Rid rid, node_index_->Lookup(doc_id, proxy_abs));
+    if (std::find(out->begin(), out->end(), rid) != out->end()) continue;
+    out->push_back(rid);
+    std::string bytes;
+    XDB_RETURN_NOT_OK(records_->Get(rid, &bytes));
+    RecordWalker walker((Slice(bytes)));
+    XDB_RETURN_NOT_OK(walker.Init());
+    for (;;) {
+      RecordWalker::Event ev;
+      XDB_RETURN_NOT_OK(walker.Next(&ev));
+      if (ev.type == RecordWalker::EventType::kDone) break;
+      if (ev.type == RecordWalker::EventType::kStart &&
+          ev.entry.kind == NodeKind::kProxy)
+        worklist.push_back(ev.entry.abs_id);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> Collection::InsertSubtree(Transaction* txn,
+                                              uint64_t doc_id,
+                                              Slice parent_id,
+                                              Slice after_sibling_id,
+                                              Slice fragment) {
+  if (meta_.mvcc_enabled)
+    return Status::NotSupported(
+        "subtree operations on MVCC collections are future work");
+  if (parent_id.empty())
+    return Status::InvalidArgument(
+        "subtrees are inserted under an element, not the document node");
+  Parser parser = engine_->MakeParser();
+  TokenWriter tokens;
+  XDB_RETURN_NOT_OK(parser.Parse(fragment, &tokens));
+
+  AutoTxn at(engine_, txn, IsolationMode::kLocking);
+  std::string new_id;
+  Status st = [&]() -> Status {
+    XDB_RETURN_NOT_OK(
+        engine_->locks()->LockDocument(at.get()->id, doc_id, LockMode::kIX));
+    XDB_RETURN_NOT_OK(engine_->locks()->LockNode(at.get()->id, doc_id,
+                                                 parent_id, LockMode::kX));
+    XDB_RETURN_NOT_OK(engine_->LogInsertSubtree(
+        meta_.name, doc_id, parent_id, after_sibling_id, tokens.data()));
+    std::unique_lock<std::shared_mutex> latch(latch_);
+    XDB_ASSIGN_OR_RETURN(
+        new_id, InsertSubtreeLocked(at.get(), doc_id, parent_id,
+                                    after_sibling_id, tokens.data()));
+    return Status::OK();
+  }();
+  XDB_RETURN_NOT_OK(at.Finish(st));
+  return new_id;
+}
+
+Result<std::string> Collection::InsertSubtreeLocked(Transaction* txn,
+                                                    uint64_t doc_id,
+                                                    Slice parent_id,
+                                                    Slice after_sibling_id,
+                                                    Slice fragment_tokens) {
+  (void)txn;
+  // Value index entries are rebuilt from scratch around the change (ancestor
+  // string values change too, so per-entry surgery would be error-prone).
+  XDB_RETURN_NOT_OK(RemoveValueIndexEntries(nullptr, doc_id));
+
+  XDB_ASSIGN_OR_RETURN(Rid parent_rid,
+                       node_index_->Lookup(doc_id, parent_id));
+  std::string parent_record;
+  XDB_RETURN_NOT_OK(records_->Get(parent_rid, &parent_record));
+
+  // Direct children of the parent (inline entries and proxies) in order.
+  std::vector<std::string> child_ids;
+  bool parent_is_element = false;
+  {
+    RecordWalker walker((Slice(parent_record)));
+    XDB_RETURN_NOT_OK(walker.Init());
+    for (;;) {
+      RecordWalker::Event ev;
+      XDB_RETURN_NOT_OK(walker.Next(&ev));
+      if (ev.type == RecordWalker::EventType::kDone) break;
+      if (ev.type != RecordWalker::EventType::kStart) continue;
+      Slice abs(ev.entry.abs_id);
+      if (abs == parent_id) {
+        if (ev.entry.kind != NodeKind::kElement)
+          return Status::InvalidArgument("parent is not an element");
+        parent_is_element = true;
+        continue;  // descend into it
+      }
+      auto eparent = nodeid::Parent(abs);
+      if (eparent.ok() && eparent.value() == parent_id) {
+        child_ids.push_back(ev.entry.abs_id);
+        if (ev.entry.kind == NodeKind::kElement) walker.SkipChildren();
+      } else if (ev.entry.kind == NodeKind::kElement &&
+                 !nodeid::IsAncestor(abs, parent_id)) {
+        walker.SkipChildren();
+      }
+    }
+  }
+  if (!parent_is_element)
+    return Status::NotFound("parent element not found");
+
+  // Choose the new relative ID with Between().
+  std::string left_rel, right_rel;
+  if (after_sibling_id.empty()) {
+    if (!child_ids.empty()) {
+      Slice last(child_ids.back());
+      last.RemovePrefix(parent_id.size());
+      left_rel = last.ToString();
+    }
+  } else {
+    size_t pos = 0;
+    bool found = false;
+    for (; pos < child_ids.size(); pos++) {
+      if (Slice(child_ids[pos]) == after_sibling_id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      return Status::NotFound("after-sibling is not a child of the parent");
+    Slice l(child_ids[pos]);
+    l.RemovePrefix(parent_id.size());
+    left_rel = l.ToString();
+    if (pos + 1 < child_ids.size()) {
+      Slice r(child_ids[pos + 1]);
+      r.RemovePrefix(parent_id.size());
+      right_rel = r.ToString();
+    }
+  }
+  std::string new_rel;
+  XDB_RETURN_NOT_OK(nodeid::Between(left_rel, right_rel, &new_rel));
+  std::string new_abs = parent_id.ToString() + new_rel;
+
+  // Build the subtree's record, with the parent as its context node.
+  uint64_t node_count = 0;
+  XDB_ASSIGN_OR_RETURN(std::string entry,
+                       BuildSubtreeEntry(fragment_tokens, new_rel,
+                                         &node_count));
+  RecordHeader parent_header;
+  Slice parent_payload;
+  XDB_RETURN_NOT_OK(
+      ParseRecordHeader(parent_record, &parent_header, &parent_payload));
+  RecordHeader header;
+  header.context_node_id = parent_id;
+  header.namespaces = parent_header.namespaces;
+  header.subtree_count = 1;
+  // Root path = parent record's path to its context + in-record element
+  // names down to the parent.
+  header.root_path = parent_header.root_path;
+  {
+    RecordWalker walker((Slice(parent_record)));
+    XDB_RETURN_NOT_OK(walker.Init());
+    for (;;) {
+      RecordWalker::Event ev;
+      XDB_RETURN_NOT_OK(walker.Next(&ev));
+      if (ev.type == RecordWalker::EventType::kDone) break;
+      if (ev.type != RecordWalker::EventType::kStart) continue;
+      Slice abs(ev.entry.abs_id);
+      if (ev.entry.kind == NodeKind::kElement &&
+          (abs == parent_id || nodeid::IsAncestor(abs, parent_id))) {
+        header.root_path.push_back({ev.entry.local, ev.entry.ns_uri});
+        if (abs == parent_id) break;
+      } else if (ev.entry.kind == NodeKind::kElement) {
+        walker.SkipChildren();
+      }
+    }
+  }
+  std::string new_record;
+  AppendRecordHeader(header, &new_record);
+  new_record += entry;
+  XDB_ASSIGN_OR_RETURN(Rid new_record_rid, records_->Insert(new_record));
+  XDB_RETURN_NOT_OK(
+      node_index_->AddRecord(doc_id, new_record, new_record_rid));
+
+  // Splice a proxy into the parent's child list.
+  XDB_ASSIGN_OR_RETURN(std::string new_parent_record,
+                       InsertProxyEntry(parent_record, parent_id, new_rel));
+  XDB_RETURN_NOT_OK(
+      node_index_->RemoveRecord(doc_id, parent_record, parent_rid));
+  XDB_RETURN_NOT_OK(records_->Update(parent_rid, new_parent_record));
+  XDB_RETURN_NOT_OK(
+      node_index_->AddRecord(doc_id, new_parent_record, parent_rid));
+
+  XDB_RETURN_NOT_OK(ReindexDocument(doc_id));
+  return new_abs;
+}
+
+Status Collection::DeleteSubtree(Transaction* txn, uint64_t doc_id,
+                                 Slice node_id) {
+  if (meta_.mvcc_enabled)
+    return Status::NotSupported(
+        "subtree operations on MVCC collections are future work");
+  if (node_id.empty())
+    return Status::InvalidArgument("cannot delete the document node");
+  AutoTxn at(engine_, txn, IsolationMode::kLocking);
+  Status st = [&]() -> Status {
+    XDB_RETURN_NOT_OK(
+        engine_->locks()->LockDocument(at.get()->id, doc_id, LockMode::kIX));
+    XDB_RETURN_NOT_OK(engine_->locks()->LockNode(at.get()->id, doc_id,
+                                                 node_id, LockMode::kX));
+    XDB_RETURN_NOT_OK(
+        engine_->LogDeleteSubtree(meta_.name, doc_id, node_id));
+    std::unique_lock<std::shared_mutex> latch(latch_);
+    return DeleteSubtreeLocked(at.get(), doc_id, node_id);
+  }();
+  return at.Finish(st);
+}
+
+Status Collection::DeleteSubtreeLocked(Transaction* txn, uint64_t doc_id,
+                                       Slice node_id) {
+  (void)txn;
+  XDB_ASSIGN_OR_RETURN(Slice parent_id, nodeid::Parent(node_id));
+  if (parent_id.empty())
+    return Status::InvalidArgument("cannot delete the root element");
+  XDB_RETURN_NOT_OK(RemoveValueIndexEntries(nullptr, doc_id));
+
+  // The record holding the parent's child list holds either the subtree
+  // inline or a proxy for it.
+  XDB_ASSIGN_OR_RETURN(Rid parent_rid,
+                       node_index_->Lookup(doc_id, parent_id));
+  std::string parent_record;
+  XDB_RETURN_NOT_OK(records_->Get(parent_rid, &parent_record));
+
+  // Records fully inside the subtree (reachable through proxies).
+  std::vector<Rid> doomed;
+  XDB_RETURN_NOT_OK(
+      CollectSubtreeRecords(doc_id, node_id, parent_record, &doomed));
+
+  bool now_empty = false;
+  XDB_ASSIGN_OR_RETURN(std::string new_parent_record,
+                       RemoveEntry(parent_record, node_id, &now_empty));
+  XDB_RETURN_NOT_OK(
+      node_index_->RemoveRecord(doc_id, parent_record, parent_rid));
+  XDB_RETURN_NOT_OK(records_->Update(parent_rid, new_parent_record));
+  XDB_RETURN_NOT_OK(
+      node_index_->AddRecord(doc_id, new_parent_record, parent_rid));
+
+  for (Rid rid : doomed) {
+    std::string bytes;
+    XDB_RETURN_NOT_OK(records_->Get(rid, &bytes));
+    XDB_RETURN_NOT_OK(node_index_->RemoveRecord(doc_id, bytes, rid));
+    XDB_RETURN_NOT_OK(records_->Delete(rid));
+  }
+  return ReindexDocument(doc_id);
+}
+
+Status Collection::CreateValueIndex(const ValueIndexDef& def) {
+  XDB_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(def.path));
+  if (!xpath::IsIndexablePath(path))
+    return Status::InvalidArgument(
+        "value index paths must be linear, predicate-free, and end in an "
+        "element or attribute");
+  for (auto& owned : value_indexes_) {
+    if (owned.index->def().name == def.name)
+      return Status::InvalidArgument("index '" + def.name + "' exists");
+  }
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree,
+                       BTree::Create(buffer_.get()));
+  auto index = std::make_unique<ValueIndex>(def, tree.get());
+  ValueIndex* raw = index.get();
+  meta_.value_indexes.push_back(ValueIndexMeta{def, tree->root()});
+  value_indexes_.push_back(OwnedValueIndex{std::move(tree), std::move(index)});
+  latch.unlock();
+
+  // Backfill from existing documents.
+  XDB_ASSIGN_OR_RETURN(std::vector<uint64_t> docs, ListDocIds());
+  for (uint64_t doc_id : docs) {
+    StoredDocSource source(records_.get(), node_index_.get(), doc_id);
+    TokenWriter tokens;
+    XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
+    XDB_RETURN_NOT_OK(AddValueIndexEntries(doc_id, tokens.data(), raw));
+  }
+  return Status::OK();
+}
+
+ValueIndex* Collection::FindValueIndex(const std::string& name) {
+  for (auto& owned : value_indexes_) {
+    if (owned.index->def().name == name) return owned.index.get();
+  }
+  return nullptr;
+}
+
+Result<std::vector<uint64_t>> Collection::ListDocIds() {
+  std::vector<uint64_t> out;
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  XDB_ASSIGN_OR_RETURN(BTree::Iterator it, docid_tree_->SeekToFirst());
+  while (it.Valid()) {
+    if (it.key().size() == 8) out.push_back(DecodeBig64(it.key().data()));
+    XDB_RETURN_NOT_OK(it.Next());
+  }
+  return out;
+}
+
+Result<uint64_t> Collection::DocCount() {
+  XDB_ASSIGN_OR_RETURN(std::vector<uint64_t> ids, ListDocIds());
+  return static_cast<uint64_t>(ids.size());
+}
+
+Status Collection::VacuumVersions(uint64_t doc_id,
+                                  uint64_t oldest_live_snapshot) {
+  if (!meta_.mvcc_enabled) return Status::OK();
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  auto keep = versions_->EffectiveVersion(doc_id, oldest_live_snapshot);
+  if (keep.status().IsNotFound()) return Status::OK();  // nothing visible
+  XDB_RETURN_NOT_OK(keep.status());
+  std::vector<Rid> freed;
+  XDB_RETURN_NOT_OK(
+      versions_->PurgeVersionsBefore(doc_id, keep.value(), &freed));
+  // Free records no surviving version references.
+  std::set<uint64_t> live;
+  // Collect every rid still referenced by any remaining version.
+  {
+    BTree* tree = versions_->tree();
+    std::string start;
+    PutBig64(&start, doc_id);
+    XDB_ASSIGN_OR_RETURN(BTree::Iterator it, tree->Seek(start));
+    while (it.Valid()) {
+      if (it.key().size() < 8 || DecodeBig64(it.key().data()) != doc_id) break;
+      live.insert(DecodeFixed64(it.value().data()));
+      XDB_RETURN_NOT_OK(it.Next());
+    }
+  }
+  for (Rid rid : freed) {
+    if (live.count(rid.Pack()) != 0) continue;
+    // The unversioned index may still reference it (newest version).
+    Status st = records_->Delete(rid);
+    if (!st.ok() && !st.IsNotFound()) return st;
+  }
+  return Status::OK();
+}
+
+Result<std::string> Collection::SerializeSubtree(Transaction* txn,
+                                                 uint64_t doc_id,
+                                                 Slice node_id) {
+  AutoTxn at(engine_, txn, IsolationMode::kLocking);
+  std::string out;
+  Status st = [&]() -> Status {
+    XDB_RETURN_NOT_OK(ReadLockDoc(at.get(), doc_id));
+    std::shared_lock<std::shared_mutex> latch(latch_);
+    NodeLocator* locator = node_index_.get();
+    SnapshotLocator snap(versions_.get(), 0);
+    if (at.get()->mode == IsolationMode::kSnapshot && meta_.mvcc_enabled) {
+      snap = SnapshotLocator(
+          versions_.get(),
+          engine_->txns()->Snapshot(at.get(), versions_.get()));
+      locator = &snap;
+    }
+    StoredDocSource source(records_.get(), locator, doc_id,
+                           node_id.ToString());
+    TokenWriter tokens;
+    XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
+    return SerializeTokens(tokens.data(), *engine_->dict(), {}, &out);
+  }();
+  XDB_RETURN_NOT_OK(at.Finish(st));
+  return out;
+}
+
+Result<QueryResult> Collection::Query(Transaction* txn, Slice xpath,
+                                      const QueryOptions& options) {
+  XDB_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(xpath));
+  return ExecutePath(txn, path, options);
+}
+
+Result<QueryResult> Collection::ExecutePath(Transaction* txn,
+                                            const xpath::Path& path,
+                                            const QueryOptions& options) {
+  AutoTxn at(engine_, txn, IsolationMode::kLocking);
+  QueryResult result;
+  Status st = [&]() -> Status {
+    // Plan.
+    query::PlannerContext ctx;
+    for (auto& owned : value_indexes_) ctx.indexes.push_back(owned.index.get());
+    XDB_ASSIGN_OR_RETURN(uint64_t docs, DocCount());
+    ctx.doc_count = docs;
+    // Cheap cardinality statistic (no index walk): stored records per doc.
+    uint64_t live = records_->stats().live_records;
+    ctx.avg_records_per_doc =
+        docs == 0 ? 1.0
+                  : static_cast<double>(std::max<uint64_t>(live, docs)) /
+                        static_cast<double>(docs);
+    XDB_ASSIGN_OR_RETURN(query::QueryPlan plan,
+                         query::ChoosePlan(path, ctx, options.force));
+    result.stats.method = plan.method;
+    result.stats.explain = plan.explain;
+    result.stats.rechecked = plan.need_recheck;
+
+    // Snapshot vs locking read machinery.
+    NodeLocator* locator = node_index_.get();
+    SnapshotLocator snap(versions_.get(), 0);
+    const bool snapshot_read =
+        at.get()->mode == IsolationMode::kSnapshot && meta_.mvcc_enabled;
+    if (snapshot_read) {
+      snap = SnapshotLocator(
+          versions_.get(),
+          engine_->txns()->Snapshot(at.get(), versions_.get()));
+      locator = &snap;
+    }
+
+    // Compile the full query once for rechecks/scans.
+    XDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<xpath::QueryTree> full_tree,
+        xpath::QueryTree::Compile(path, *engine_->dict(),
+                                  options.want_values));
+
+    auto eval_doc = [&](uint64_t doc_id) -> Status {
+      if (!snapshot_read) XDB_RETURN_NOT_OK(ReadLockDoc(at.get(), doc_id));
+      StoredDocSource source(records_.get(), locator, doc_id);
+      xpath::QuickXScan scan(full_tree.get(), doc_id);
+      NodeSequence hits;
+      Status est = scan.Run(&source, &hits);
+      if (est.IsNotFound()) return Status::OK();  // invisible at snapshot
+      XDB_RETURN_NOT_OK(est);
+      result.stats.records_fetched += source.records_fetched();
+      result.stats.docs_evaluated++;
+      for (ResultNode& r : hits) result.nodes.push_back(std::move(r));
+      return Status::OK();
+    };
+
+    if (plan.method == query::AccessMethod::kFullScan) {
+      XDB_ASSIGN_OR_RETURN(std::vector<uint64_t> all_docs, ListDocIds());
+      for (uint64_t doc_id : all_docs) XDB_RETURN_NOT_OK(eval_doc(doc_id));
+      NormalizeSequence(&result.nodes);
+      return Status::OK();
+    }
+
+    // Probe the indexes.
+    std::vector<std::vector<Posting>> postings_per_probe;
+    for (const query::PlannedProbe& probe : plan.probes) {
+      std::optional<KeyBound> lo, hi;
+      bool not_equal = false;
+      XDB_RETURN_NOT_OK(
+          query::ProbeBounds(*probe.index, probe.pred, &lo, &hi, &not_equal));
+      std::vector<Posting> postings;
+      XDB_RETURN_NOT_OK(probe.index->Scan(lo, hi, &postings));
+      result.stats.index_postings += postings.size();
+      postings_per_probe.push_back(std::move(postings));
+    }
+
+    const bool node_level =
+        plan.method == query::AccessMethod::kNodeIdList ||
+        plan.method == query::AccessMethod::kNodeIdAndOr;
+
+    if (!node_level) {
+      // DocID list / ANDing / ORing, then per-document evaluation.
+      std::vector<std::vector<uint64_t>> doc_lists;
+      for (auto& postings : postings_per_probe)
+        doc_lists.push_back(query::DistinctDocIds(postings));
+      std::vector<uint64_t> docs_list =
+          plan.disjunctive ? query::UnionDocIds(std::move(doc_lists))
+                           : query::IntersectDocIds(std::move(doc_lists));
+      result.stats.candidate_docs = docs_list.size();
+      for (uint64_t doc_id : docs_list) XDB_RETURN_NOT_OK(eval_doc(doc_id));
+      NormalizeSequence(&result.nodes);
+      return Status::OK();
+    }
+
+    // NodeID-level: anchor each posting at the predicate step.
+    std::vector<std::vector<Posting>> anchored;
+    for (size_t i = 0; i < postings_per_probe.size(); i++) {
+      std::vector<Posting> a;
+      XDB_RETURN_NOT_OK(query::AnchorPostings(
+          postings_per_probe[i], plan.probes[i].pred.strip_levels, &a));
+      anchored.push_back(std::move(a));
+    }
+    std::vector<Posting> anchors =
+        plan.disjunctive ? query::UnionPostings(std::move(anchored))
+                         : query::IntersectPostings(std::move(anchored));
+    result.stats.candidate_anchors = anchors.size();
+    XDB_RETURN_NOT_OK(RecheckAnchors(snapshot_read ? nullptr : at.get(), path,
+                                     plan.anchor_step, anchors, options,
+                                     locator, &result));
+    NormalizeSequence(&result.nodes);
+    return Status::OK();
+  }();
+  XDB_RETURN_NOT_OK(at.Finish(st));
+  return result;
+}
+
+Status Collection::RecheckAnchors(Transaction* txn,
+                                  const xpath::Path& path, size_t anchor_step,
+                                  const std::vector<Posting>& anchors,
+                                  const QueryOptions& options,
+                                  NodeLocator* locator, QueryResult* result) {
+  // Residual relative path evaluated on each anchor's subtree:
+  //   self-context [anchor predicates] / remaining steps...
+  xpath::Path residual;
+  residual.absolute = false;
+  {
+    xpath::Step self;
+    self.axis = xpath::Axis::kSelf;
+    self.test = xpath::NodeTest::kAnyKind;
+    // Anchor predicates are re-evaluated; index exactness already pruned
+    // most of the work, and this also covers predicates no index served.
+    for (const auto& pred : path.steps[anchor_step].predicates)
+      self.predicates.push_back(xpath::CloneExpr(*pred));
+    residual.steps.push_back(std::move(self));
+  }
+  for (size_t i = anchor_step + 1; i < path.steps.size(); i++)
+    residual.steps.push_back(xpath::CloneStep(path.steps[i]));
+
+  // Anchor names/structure above the anchor step are verified against the
+  // main-path prefix via the record header's root path when the index was
+  // only a filter; exact plans skip this.
+  xpath::Path prefix_pattern;
+  prefix_pattern.absolute = true;
+  for (size_t i = 0; i <= anchor_step; i++)
+    prefix_pattern.steps.push_back(xpath::CloneStep(path.steps[i]));
+  for (auto& s : prefix_pattern.steps) s.predicates.clear();
+
+  XDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<xpath::QueryTree> residual_tree,
+      xpath::QueryTree::Compile(residual, *engine_->dict(),
+                                options.want_values));
+
+  std::set<uint64_t> locked_docs;
+  for (const Posting& anchor : anchors) {
+    if (txn != nullptr && locked_docs.insert(anchor.doc_id).second) {
+      XDB_RETURN_NOT_OK(ReadLockDoc(txn, anchor.doc_id));
+    }
+    // Verify the anchor's own path against the main-path prefix.
+    {
+      auto rid = locator->Lookup(anchor.doc_id, Slice(anchor.node_id));
+      if (!rid.ok()) continue;  // e.g. not visible at this snapshot
+      std::string record;
+      Status st = records_->Get(rid.value(), &record);
+      if (!st.ok()) continue;
+      RecordWalker walker((Slice(record)));
+      XDB_RETURN_NOT_OK(walker.Init());
+      // Build the anchor's concrete path: header path + in-record names.
+      xpath::Path concrete;
+      concrete.absolute = true;
+      const RecordHeader& header = walker.header();
+      std::vector<Slice> levels;
+      XDB_RETURN_NOT_OK(
+          nodeid::SplitLevels(header.context_node_id, &levels));
+      bool bad = false;
+      for (size_t i = 0; i < header.root_path.size(); i++) {
+        xpath::Step step;
+        step.axis = xpath::Axis::kChild;
+        step.test = xpath::NodeTest::kName;
+        auto name = engine_->dict()->Name(header.root_path[i].local);
+        if (!name.ok()) {
+          bad = true;
+          break;
+        }
+        step.name = name.MoveValue();
+        concrete.steps.push_back(std::move(step));
+      }
+      if (bad) continue;
+      // Walk down to the anchor collecting element names.
+      bool found = Slice(anchor.node_id) == header.context_node_id;
+      while (!found) {
+        RecordWalker::Event ev;
+        XDB_RETURN_NOT_OK(walker.Next(&ev));
+        if (ev.type == RecordWalker::EventType::kDone) break;
+        if (ev.type != RecordWalker::EventType::kStart) continue;
+        Slice abs(ev.entry.abs_id);
+        bool on_path = abs == Slice(anchor.node_id) ||
+                       nodeid::IsAncestor(abs, Slice(anchor.node_id));
+        if (!on_path) {
+          if (ev.entry.kind == NodeKind::kElement) walker.SkipChildren();
+          continue;
+        }
+        if (ev.entry.kind == NodeKind::kElement ||
+            ev.entry.kind == NodeKind::kAttribute) {
+          xpath::Step step;
+          step.axis = ev.entry.kind == NodeKind::kAttribute
+                          ? xpath::Axis::kAttribute
+                          : xpath::Axis::kChild;
+          step.test = xpath::NodeTest::kName;
+          auto name = engine_->dict()->Name(ev.entry.local);
+          if (!name.ok()) {
+            bad = true;
+            break;
+          }
+          step.name = name.MoveValue();
+          concrete.steps.push_back(std::move(step));
+        }
+        if (abs == Slice(anchor.node_id)) found = true;
+      }
+      if (bad || !found) continue;
+      if (!xpath::PathContains(prefix_pattern, concrete)) continue;
+    }
+
+    // Evaluate the residual on the anchor subtree.
+    StoredDocSource source(records_.get(), locator, anchor.doc_id,
+                           anchor.node_id);
+    xpath::QuickXScan scan(residual_tree.get(), anchor.doc_id);
+    NodeSequence hits;
+    Status st = scan.Run(&source, &hits);
+    if (st.IsNotFound()) continue;
+    XDB_RETURN_NOT_OK(st);
+    result->stats.records_fetched += source.records_fetched();
+    for (ResultNode& r : hits) result->nodes.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace xdb

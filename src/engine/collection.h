@@ -1,0 +1,207 @@
+// Collection: a base table with an XML column, backed by the paper's
+// Figure 2 layout — base-table DocID index, internal XML table of packed
+// records, NodeID index, and any number of XPath value indexes, all sharing
+// one table space.
+#ifndef XDB_ENGINE_COLLECTION_H_
+#define XDB_ENGINE_COLLECTION_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "cc/transaction.h"
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "index/nodeid_index.h"
+#include "index/value_index.h"
+#include "pack/record_builder.h"
+#include "pack/tree_cursor.h"
+#include "query/access_path.h"
+#include "storage/buffer_manager.h"
+#include "storage/record_manager.h"
+#include "storage/tablespace.h"
+#include "xdm/item.h"
+#include "xpath/ast.h"
+
+namespace xdb {
+
+class Engine;
+
+struct CollectionOptions {
+  bool mvcc = false;              // enable document-level multiversioning
+  std::string schema;             // registered schema to validate against
+  size_t record_budget = 3000;    // packing budget (the p knob)
+  size_t buffer_pages = 512;
+  uint32_t page_size = kDefaultPageSize;
+};
+
+/// How the executor accessed the data, plus its work counters — benches and
+/// EXPERIMENTS.md report these.
+struct QueryStats {
+  query::AccessMethod method = query::AccessMethod::kFullScan;
+  uint64_t index_postings = 0;    // entries read from value indexes
+  uint64_t candidate_docs = 0;    // docs identified before recheck
+  uint64_t candidate_anchors = 0; // node anchors identified before recheck
+  uint64_t docs_evaluated = 0;    // documents QuickXScan actually ran over
+  uint64_t records_fetched = 0;   // XML records fetched from storage
+  bool rechecked = false;
+  std::string explain;
+};
+
+struct QueryResult {
+  NodeSequence nodes;
+  QueryStats stats;
+};
+
+using query::ForceMethod;
+
+struct QueryOptions {
+  ForceMethod force = ForceMethod::kAuto;
+  bool want_values = false;  // compute result nodes' string values
+};
+
+/// Plan plus planner narration — what Plan() hands to the executor.
+struct QueryPlanExec {
+  query::QueryPlan plan;
+};
+
+class Collection {
+ public:
+  ~Collection() = default;
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+
+  const std::string& name() const { return meta_.name; }
+  bool mvcc_enabled() const { return meta_.mvcc_enabled; }
+
+  /// Parses (and validates, when the collection has a schema) and stores a
+  /// document. A null txn runs the operation autocommitted.
+  Result<uint64_t> InsertDocument(Transaction* txn, Slice xml);
+
+  /// Stores an already-tokenized document (constructor pipelines insert
+  /// without an XML-text round trip).
+  Result<uint64_t> InsertTokens(Transaction* txn, Slice tokens);
+
+  /// Serializes the stored document back to XML text.
+  Result<std::string> GetDocumentText(Transaction* txn, uint64_t doc_id);
+
+  Status DeleteDocument(Transaction* txn, uint64_t doc_id);
+
+  /// Subdocument update: replaces the value of one text node. Under MVCC
+  /// this creates a new document version (copy-on-write of the containing
+  /// record); otherwise it updates the record in place. Takes a node-ID
+  /// subtree lock on the text node's parent.
+  Status UpdateTextNode(Transaction* txn, uint64_t doc_id, Slice node_id,
+                        Slice new_text);
+
+  /// Subdocument insert: parses `fragment` (one root element) and grafts it
+  /// as a new child of `parent_id`, immediately after `after_sibling_id`
+  /// (empty = append as last child). The new subtree gets a node ID from
+  /// Between(), so existing IDs — and therefore all index entries for other
+  /// nodes — are untouched ("there is always space for insertion in the
+  /// middle by extending the node ID length"). Returns the new subtree
+  /// root's absolute node ID. Locking collections only (kNotSupported under
+  /// MVCC).
+  Result<std::string> InsertSubtree(Transaction* txn, uint64_t doc_id,
+                                    Slice parent_id, Slice after_sibling_id,
+                                    Slice fragment);
+
+  /// Subdocument delete: removes the subtree rooted at `node_id` (any
+  /// non-root node), including all records it spans. Locking collections
+  /// only.
+  Status DeleteSubtree(Transaction* txn, uint64_t doc_id, Slice node_id);
+
+  /// Creates an XPath value index and backfills it from existing documents.
+  Status CreateValueIndex(const ValueIndexDef& def);
+
+  /// Evaluates an XPath query over the collection.
+  Result<QueryResult> Query(Transaction* txn, Slice xpath,
+                            const QueryOptions& options = {});
+  Result<QueryResult> ExecutePath(Transaction* txn, const xpath::Path& path,
+                                  const QueryOptions& options);
+
+  Result<std::vector<uint64_t>> ListDocIds();
+  Result<uint64_t> DocCount();
+
+  /// Drops versions of `doc_id` older than the given snapshot and frees the
+  /// records only they referenced (MVCC garbage collection; a no-op for
+  /// non-MVCC collections). Callers guarantee no active reader holds an
+  /// older snapshot.
+  Status VacuumVersions(uint64_t doc_id, uint64_t oldest_live_snapshot);
+
+  /// Serializes the subtree a handle points to (deferred fetch).
+  Result<std::string> SerializeSubtree(Transaction* txn, uint64_t doc_id,
+                                       Slice node_id);
+
+  // Component access for tests and benchmarks.
+  RecordManager* records() { return records_.get(); }
+  NodeIdIndex* node_index() { return node_index_.get(); }
+  VersionManager* versions() { return versions_.get(); }
+  ValueIndex* FindValueIndex(const std::string& name);
+  BufferManager* buffer_manager() { return buffer_.get(); }
+  const CollectionMeta& meta() const { return meta_; }
+  uint64_t storage_bytes() const { return records_->StorageBytes(); }
+
+ private:
+  friend class Engine;
+  Collection() = default;
+
+  // Locking helpers honoring the transaction's isolation mode; autocommit
+  // transactions are created/finished by the public methods.
+  Status ReadLockDoc(Transaction* txn, uint64_t doc_id);
+  Status WriteLockDoc(Transaction* txn, uint64_t doc_id);
+
+  Result<uint64_t> InsertTokensLocked(Transaction* txn, Slice tokens,
+                                      uint64_t forced_doc_id);
+  Status DeleteDocumentLocked(Transaction* txn, uint64_t doc_id);
+  Status AddValueIndexEntries(uint64_t doc_id, Slice tokens,
+                              ValueIndex* only_index);
+  Status RemoveValueIndexEntries(Transaction* txn, uint64_t doc_id);
+  Status MaintainValueIndexesForTextUpdate(uint64_t doc_id, Slice text_node_id,
+                                           NodeLocator* locator,
+                                           Slice old_text, Slice new_text);
+
+  Result<std::string> InsertSubtreeLocked(Transaction* txn, uint64_t doc_id,
+                                          Slice parent_id,
+                                          Slice after_sibling_id,
+                                          Slice fragment_tokens);
+  Status DeleteSubtreeLocked(Transaction* txn, uint64_t doc_id, Slice node_id);
+  /// Re-derives all value index entries of one document from stored data.
+  Status ReindexDocument(uint64_t doc_id);
+  /// RIDs of all records fully contained in the subtree at `node_id`,
+  /// starting from proxies inside `record` (recursive across records).
+  Status CollectSubtreeRecords(uint64_t doc_id, Slice node_id, Slice record,
+                               std::vector<Rid>* out);
+
+  Status RecheckAnchors(Transaction* txn, const xpath::Path& path,
+                        size_t anchor_step,
+                        const std::vector<Posting>& anchors,
+                        const QueryOptions& options, NodeLocator* locator,
+                        QueryResult* result);
+
+  Engine* engine_ = nullptr;
+  CollectionMeta meta_;
+  size_t record_budget_ = 3000;
+  std::unique_ptr<TableSpace> space_;
+  std::unique_ptr<BufferManager> buffer_;
+  std::unique_ptr<RecordManager> records_;
+  std::unique_ptr<BTree> docid_tree_;
+  std::unique_ptr<BTree> nodeid_tree_;
+  std::unique_ptr<BTree> versioned_tree_;
+  std::unique_ptr<NodeIdIndex> node_index_;
+  std::unique_ptr<VersionManager> versions_;
+  struct OwnedValueIndex {
+    std::unique_ptr<BTree> tree;
+    std::unique_ptr<ValueIndex> index;
+  };
+  std::vector<OwnedValueIndex> value_indexes_;
+  std::shared_mutex latch_;  // short-duration structure latch
+  std::mutex docid_mu_;      // doc id allocation
+};
+
+}  // namespace xdb
+
+#endif  // XDB_ENGINE_COLLECTION_H_

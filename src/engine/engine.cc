@@ -1,0 +1,323 @@
+#include "engine/engine.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+
+#include "common/coding.h"
+#include "schema/schema_parser.h"
+
+namespace xdb {
+
+Engine::~Engine() {
+  if (!options_.in_memory) Checkpoint();
+}
+
+Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
+  auto engine = std::unique_ptr<Engine>(new Engine());
+  engine->options_ = options;
+  engine->txns_ = std::make_unique<TransactionManager>(&engine->locks_);
+
+  if (options.in_memory) return engine;
+
+  if (::mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST)
+    return Status::IOError("cannot create directory " + options.dir);
+
+  // Load the catalog if one exists.
+  auto cat = LoadCatalog(options.dir + "/catalog.xdb");
+  if (cat.ok()) {
+    engine->catalog_ = cat.MoveValue();
+    XDB_RETURN_NOT_OK(engine->dict_.Load(engine->catalog_.dictionary));
+    for (const auto& [name, binary] : engine->catalog_.schemas) {
+      XDB_ASSIGN_OR_RETURN(schema::CompiledSchema cs,
+                           schema::CompiledSchema::Deserialize(binary));
+      engine->schemas_.emplace(name, std::move(cs));
+    }
+    for (const auto& [name, meta] : engine->catalog_.collections) {
+      CollectionOptions copts;
+      copts.mvcc = meta.mvcc_enabled;
+      copts.schema = meta.schema_name;
+      XDB_ASSIGN_OR_RETURN(
+          std::unique_ptr<Collection> coll,
+          engine->OpenCollection(meta, /*create=*/false, copts));
+      engine->collections_.emplace(name, std::move(coll));
+    }
+  } else if (cat.status().code() != Status::Code::kNotFound) {
+    return cat.status();
+  }
+
+  if (options.enable_wal) {
+    XDB_ASSIGN_OR_RETURN(engine->wal_, WalLog::Open(options.dir + "/wal.log"));
+    XDB_RETURN_NOT_OK(engine->ReplayWal());
+  }
+  return engine;
+}
+
+Result<std::unique_ptr<Collection>> Engine::OpenCollection(
+    const CollectionMeta& meta, bool create, const CollectionOptions& options) {
+  auto coll = std::unique_ptr<Collection>(new Collection());
+  coll->engine_ = this;
+  coll->meta_ = meta;
+  coll->record_budget_ = options.record_budget;
+
+  TableSpaceOptions ts_options;
+  ts_options.page_size = options.page_size;
+  ts_options.in_memory = options_.in_memory;
+  std::string path =
+      options_.in_memory ? "" : options_.dir + "/" + meta.space_file;
+  if (create) {
+    XDB_ASSIGN_OR_RETURN(coll->space_, TableSpace::Create(path, ts_options));
+  } else {
+    XDB_ASSIGN_OR_RETURN(coll->space_, TableSpace::Open(path, ts_options));
+  }
+  coll->buffer_ = std::make_unique<BufferManager>(coll->space_.get(),
+                                                  options.buffer_pages);
+  coll->records_ = std::make_unique<RecordManager>(coll->buffer_.get());
+  if (!create) XDB_RETURN_NOT_OK(coll->records_->Recover());
+
+  auto open_tree = [&](PageId root) -> Result<std::unique_ptr<BTree>> {
+    if (create || root == kInvalidPageId)
+      return BTree::Create(coll->buffer_.get());
+    return BTree::Open(coll->buffer_.get(), root);
+  };
+  XDB_ASSIGN_OR_RETURN(coll->docid_tree_, open_tree(meta.docid_index_root));
+  XDB_ASSIGN_OR_RETURN(coll->nodeid_tree_, open_tree(meta.nodeid_index_root));
+  coll->meta_.docid_index_root = coll->docid_tree_->root();
+  coll->meta_.nodeid_index_root = coll->nodeid_tree_->root();
+  coll->node_index_ = std::make_unique<NodeIdIndex>(coll->nodeid_tree_.get());
+
+  if (meta.mvcc_enabled) {
+    XDB_ASSIGN_OR_RETURN(coll->versioned_tree_,
+                         open_tree(meta.versioned_index_root));
+    coll->meta_.versioned_index_root = coll->versioned_tree_->root();
+    coll->versions_ =
+        std::make_unique<VersionManager>(coll->versioned_tree_.get());
+    coll->versions_->InitCounters(meta.last_version);
+  }
+
+  for (const ValueIndexMeta& vi : meta.value_indexes) {
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree, open_tree(vi.root));
+    auto index = std::make_unique<ValueIndex>(vi.def, tree.get());
+    coll->value_indexes_.push_back(
+        Collection::OwnedValueIndex{std::move(tree), std::move(index)});
+  }
+  for (size_t i = 0; i < coll->value_indexes_.size(); i++)
+    coll->meta_.value_indexes[i].root = coll->value_indexes_[i].tree->root();
+  return coll;
+}
+
+Result<Collection*> Engine::CreateCollection(const std::string& name,
+                                             const CollectionOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (collections_.find(name) != collections_.end())
+    return Status::InvalidArgument("collection '" + name + "' exists");
+  if (!options.schema.empty() &&
+      schemas_.find(options.schema) == schemas_.end())
+    return Status::InvalidArgument("schema '" + options.schema +
+                                   "' is not registered");
+  CollectionMeta meta;
+  meta.name = name;
+  meta.space_file = name + ".xts";
+  meta.mvcc_enabled = options.mvcc;
+  meta.schema_name = options.schema;
+  XDB_ASSIGN_OR_RETURN(std::unique_ptr<Collection> coll,
+                       OpenCollection(meta, /*create=*/true, options));
+  Collection* raw = coll.get();
+  collections_.emplace(name, std::move(coll));
+  return raw;
+}
+
+Result<Collection*> Engine::GetCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end())
+    return Status::NotFound("no collection '" + name + "'");
+  return it->second.get();
+}
+
+Status Engine::DropCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end())
+    return Status::NotFound("no collection '" + name + "'");
+  std::string file = options_.dir + "/" + it->second->meta().space_file;
+  collections_.erase(it);
+  catalog_.collections.erase(name);
+  if (!options_.in_memory) ::remove(file.c_str());
+  return Status::OK();
+}
+
+Status Engine::RegisterSchema(const std::string& name, Slice schema_text) {
+  XDB_ASSIGN_OR_RETURN(schema::SchemaDoc doc,
+                       schema::ParseSchema(schema_text));
+  XDB_ASSIGN_OR_RETURN(schema::CompiledSchema cs, schema::CompileSchema(doc));
+  std::string binary;
+  cs.Serialize(&binary);
+  std::lock_guard<std::mutex> lock(mu_);
+  schemas_[name] = std::move(cs);
+  catalog_.schemas[name] = std::move(binary);
+  return Status::OK();
+}
+
+Result<const schema::CompiledSchema*> Engine::FindSchema(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schemas_.find(name);
+  if (it == schemas_.end())
+    return Status::NotFound("schema '" + name + "' is not registered");
+  return &it->second;
+}
+
+Transaction Engine::Begin(IsolationMode mode) { return txns_->Begin(mode); }
+
+Status Engine::Checkpoint() {
+  if (options_.in_memory) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  catalog_.collections.clear();
+  for (auto& [name, coll] : collections_) {
+    XDB_RETURN_NOT_OK(coll->buffer_->FlushAll());
+    XDB_RETURN_NOT_OK(coll->space_->Sync());
+    CollectionMeta meta = coll->meta_;
+    if (coll->versions_ != nullptr)
+      meta.last_version = coll->versions_->BeginSnapshot();
+    catalog_.collections.emplace(name, std::move(meta));
+  }
+  catalog_.dictionary.clear();
+  dict_.Save(&catalog_.dictionary);
+  XDB_RETURN_NOT_OK(SaveCatalog(catalog_, options_.dir + "/catalog.xdb"));
+  if (wal_ != nullptr) XDB_RETURN_NOT_OK(wal_->Reset());
+  return Status::OK();
+}
+
+Status Engine::LogInsert(const std::string& collection, uint64_t doc_id,
+                         Slice tokens) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, collection);
+  PutFixed64(&payload, doc_id);
+  payload.append(tokens.data(), tokens.size());
+  return wal_->Append(WalRecordType::kInsertDocument, payload).status();
+}
+
+Status Engine::LogDelete(const std::string& collection, uint64_t doc_id) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, collection);
+  PutFixed64(&payload, doc_id);
+  return wal_->Append(WalRecordType::kDeleteDocument, payload).status();
+}
+
+Status Engine::LogUpdate(const std::string& collection, uint64_t doc_id,
+                         Slice node_id, Slice new_text) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, collection);
+  PutFixed64(&payload, doc_id);
+  PutLengthPrefixed(&payload, node_id);
+  payload.append(new_text.data(), new_text.size());
+  return wal_->Append(WalRecordType::kUpdateNode, payload).status();
+}
+
+Status Engine::LogInsertSubtree(const std::string& collection,
+                                uint64_t doc_id, Slice parent_id,
+                                Slice after_id, Slice tokens) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, collection);
+  PutFixed64(&payload, doc_id);
+  PutLengthPrefixed(&payload, parent_id);
+  PutLengthPrefixed(&payload, after_id);
+  payload.append(tokens.data(), tokens.size());
+  return wal_->Append(WalRecordType::kInsertSubtree, payload).status();
+}
+
+Status Engine::LogDeleteSubtree(const std::string& collection,
+                                uint64_t doc_id, Slice node_id) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, collection);
+  PutFixed64(&payload, doc_id);
+  payload.append(node_id.data(), node_id.size());
+  return wal_->Append(WalRecordType::kDeleteSubtree, payload).status();
+}
+
+Status Engine::ReplayWal() {
+  replaying_ = true;
+  Status replay_status = wal_->Replay([&](uint64_t /*lsn*/, WalRecordType type,
+                                          Slice payload) -> Status {
+    Slice name_slice;
+    if (!GetLengthPrefixed(&payload, &name_slice))
+      return Status::Corruption("bad wal payload");
+    std::string name = name_slice.ToString();
+    if (payload.size() < 8) return Status::Corruption("bad wal payload");
+    uint64_t doc_id = DecodeFixed64(payload.data());
+    payload.RemovePrefix(8);
+    auto it = collections_.find(name);
+    if (it == collections_.end()) return Status::OK();  // dropped later
+    Collection* coll = it->second.get();
+    switch (type) {
+      case WalRecordType::kInsertDocument: {
+        auto exists = coll->docid_tree_->Contains(
+            [&] {
+              std::string k;
+              PutBig64(&k, doc_id);
+              return k;
+            }());
+        if (exists.ok() && exists.value()) return Status::OK();  // redone
+        Transaction txn = Begin(IsolationMode::kLocking);
+        auto res = coll->InsertTokensLocked(&txn, payload, doc_id);
+        Status st = res.ok() ? Status::OK() : res.status();
+        if (st.ok()) st = Commit(&txn);
+        else Abort(&txn);
+        if (doc_id >= coll->meta_.next_doc_id)
+          coll->meta_.next_doc_id = doc_id + 1;
+        return st;
+      }
+      case WalRecordType::kDeleteDocument: {
+        Status st = coll->DeleteDocument(nullptr, doc_id);
+        if (st.IsNotFound()) return Status::OK();  // already gone / redone
+        return st;
+      }
+      case WalRecordType::kUpdateNode: {
+        Slice node_id;
+        if (!GetLengthPrefixed(&payload, &node_id))
+          return Status::Corruption("bad wal update payload");
+        Status st = coll->UpdateTextNode(nullptr, doc_id, node_id, payload);
+        if (st.IsNotFound()) return Status::OK();
+        return st;
+      }
+      case WalRecordType::kInsertSubtree: {
+        Slice parent_id, after_id;
+        if (!GetLengthPrefixed(&payload, &parent_id) ||
+            !GetLengthPrefixed(&payload, &after_id))
+          return Status::Corruption("bad wal subtree payload");
+        Transaction txn = Begin(IsolationMode::kLocking);
+        auto res = [&]() -> Result<std::string> {
+          std::unique_lock<std::shared_mutex> latch(coll->latch_);
+          return coll->InsertSubtreeLocked(&txn, doc_id, parent_id, after_id,
+                                           payload);
+        }();
+        Status st = res.ok() ? Status::OK() : res.status();
+        // Idempotency: if the subtree is already present (the operation hit
+        // the data pages before the crash), the Between() ID may collide —
+        // re-running is still safe because replay starts from the last
+        // checkpointed image, which cannot contain post-checkpoint work.
+        if (st.ok()) st = Commit(&txn);
+        else Abort(&txn);
+        if (st.IsNotFound()) return Status::OK();
+        return st;
+      }
+      case WalRecordType::kDeleteSubtree: {
+        Status st = coll->DeleteSubtree(nullptr, doc_id, payload);
+        if (st.IsNotFound()) return Status::OK();
+        return st;
+      }
+      default:
+        return Status::OK();
+    }
+  });
+  replaying_ = false;
+  return replay_status;
+}
+
+}  // namespace xdb

@@ -1,0 +1,105 @@
+// Engine: the database facade — collections, schema registry, the shared
+// name dictionary, transactions, WAL-based recovery, and catalog
+// persistence. This is the integration point of Figure 1: XML services and
+// relational-style services over one data management infrastructure.
+#ifndef XDB_ENGINE_ENGINE_H_
+#define XDB_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cc/lock_manager.h"
+#include "cc/transaction.h"
+#include "engine/catalog.h"
+#include "engine/collection.h"
+#include "schema/schema_compiler.h"
+#include "schema/validator_vm.h"
+#include "storage/wal_log.h"
+#include "xml/name_dictionary.h"
+#include "xml/parser.h"
+
+namespace xdb {
+
+struct EngineOptions {
+  /// Directory for table spaces, WAL and catalog. Ignored when in_memory.
+  std::string dir;
+  /// Pure in-memory engine: no files, no WAL (tests and CPU benches).
+  bool in_memory = false;
+  /// Strip whitespace-only text nodes at parse time (data-centric mode).
+  bool strip_whitespace = true;
+  /// Write-ahead logging for document operations.
+  bool enable_wal = true;
+};
+
+class Engine {
+ public:
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Opens (or creates) a database. Runs catalog load + WAL replay.
+  static Result<std::unique_ptr<Engine>> Open(const EngineOptions& options);
+
+  Result<Collection*> CreateCollection(const std::string& name,
+                                       const CollectionOptions& options = {});
+  Result<Collection*> GetCollection(const std::string& name);
+  Status DropCollection(const std::string& name);
+
+  /// Registers a schema: parse + compile to the binary format + store in
+  /// the catalog (Figure 4's registration path).
+  Status RegisterSchema(const std::string& name, Slice schema_text);
+  Result<const schema::CompiledSchema*> FindSchema(const std::string& name);
+
+  /// Begins a transaction (kLocking or kSnapshot isolation).
+  Transaction Begin(IsolationMode mode = IsolationMode::kLocking);
+  Status Commit(Transaction* txn) { return txns_->Commit(txn); }
+  Status Abort(Transaction* txn) { return txns_->Abort(txn); }
+
+  /// Flushes data, persists the catalog, truncates the WAL.
+  Status Checkpoint();
+
+  NameDictionary* dict() { return &dict_; }
+  LockManager* locks() { return &locks_; }
+  TransactionManager* txns() { return txns_.get(); }
+  const EngineOptions& options() const { return options_; }
+  Parser MakeParser() {
+    ParserOptions po;
+    po.strip_whitespace_text = options_.strip_whitespace;
+    return Parser(&dict_, po);
+  }
+
+ private:
+  friend class Collection;
+  Engine() : locks_() {}
+
+  Result<std::unique_ptr<Collection>> OpenCollection(const CollectionMeta& meta,
+                                                     bool create,
+                                                     const CollectionOptions& options);
+  Status ReplayWal();
+  Status LogInsert(const std::string& collection, uint64_t doc_id,
+                   Slice tokens);
+  Status LogDelete(const std::string& collection, uint64_t doc_id);
+  Status LogUpdate(const std::string& collection, uint64_t doc_id,
+                   Slice node_id, Slice new_text);
+  Status LogInsertSubtree(const std::string& collection, uint64_t doc_id,
+                          Slice parent_id, Slice after_id, Slice tokens);
+  Status LogDeleteSubtree(const std::string& collection, uint64_t doc_id,
+                          Slice node_id);
+
+  EngineOptions options_;
+  NameDictionary dict_;
+  LockManager locks_;
+  std::unique_ptr<TransactionManager> txns_;
+  std::unique_ptr<WalLog> wal_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+  std::map<std::string, schema::CompiledSchema> schemas_;
+  CatalogData catalog_;
+  std::mutex mu_;
+  bool replaying_ = false;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_ENGINE_ENGINE_H_

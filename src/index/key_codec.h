@@ -1,0 +1,50 @@
+// Order-preserving typed key encodings for XPath value indexes.
+//
+// Section 3.3: "A few simple types supported, such as double, string, and
+// date. Key values are converted from the string values of the nodes"; and
+// Section 4.3: "we use decimal floating-point number based on the new IEEE
+// 754r for numeric value indexing, which provides precise values within its
+// range."
+#ifndef XDB_INDEX_KEY_CODEC_H_
+#define XDB_INDEX_KEY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace xdb {
+
+enum class ValueType : uint8_t {
+  kString = 1,   // VARCHAR(n)-equivalent
+  kDouble = 2,
+  kDecimal = 3,  // IEEE-754r-style exact decimal
+  kDate = 4,     // xs:date, day precision
+};
+
+const char* ValueTypeName(ValueType t);
+Result<ValueType> ValueTypeFromName(Slice name);
+
+/// Converts a node's string value into a byte-comparable key of the given
+/// type, appended to `out`. Fails with kInvalidArgument when the value is
+/// not castable (the caller skips such nodes — no index entry is created).
+Status EncodeTypedKey(ValueType type, Slice value, uint32_t max_string_len,
+                      std::string* out);
+
+/// Parses "[-]YYYY-MM-DD" into days since 1970-01-01 (proleptic Gregorian).
+Result<int64_t> ParseDateDays(Slice s);
+
+// Posting payload: the (DocID, NodeID, RID) part of a value index entry.
+void EncodePosting(uint64_t doc_id, Slice node_id, uint64_t rid_packed,
+                   std::string* out);
+Status DecodePosting(Slice payload, uint64_t* doc_id, Slice* node_id,
+                     uint64_t* rid_packed);
+
+// NodeID index key: [doc_id big64][node id bytes].
+void EncodeNodeIdKey(uint64_t doc_id, Slice node_id, std::string* out);
+Status DecodeNodeIdKey(Slice key, uint64_t* doc_id, Slice* node_id);
+
+}  // namespace xdb
+
+#endif  // XDB_INDEX_KEY_CODEC_H_

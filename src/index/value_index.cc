@@ -1,0 +1,75 @@
+#include "index/value_index.h"
+
+namespace xdb {
+
+Status ValueIndex::Add(Slice value, uint64_t doc_id, Slice node_id, Rid rid) {
+  std::string key;
+  Status st = EncodeTypedKey(def_.type, value, def_.max_string_len, &key);
+  if (!st.ok()) {
+    // Uncastable value: no entry ("zero ... index entries per record").
+    if (st.code() == Status::Code::kInvalidArgument) return Status::OK();
+    return st;
+  }
+  std::string posting;
+  EncodePosting(doc_id, node_id, rid.Pack(), &posting);
+  return tree_->Insert(key, posting);
+}
+
+Status ValueIndex::Remove(Slice value, uint64_t doc_id, Slice node_id,
+                          Rid rid) {
+  std::string key;
+  Status st = EncodeTypedKey(def_.type, value, def_.max_string_len, &key);
+  if (!st.ok()) {
+    if (st.code() == Status::Code::kInvalidArgument) return Status::OK();
+    return st;
+  }
+  std::string posting;
+  EncodePosting(doc_id, node_id, rid.Pack(), &posting);
+  return tree_->Delete(key, posting);
+}
+
+Status ValueIndex::Scan(const std::optional<KeyBound>& lo,
+                        const std::optional<KeyBound>& hi,
+                        std::vector<Posting>* out) {
+  BTree::Iterator it;
+  if (lo.has_value()) {
+    XDB_ASSIGN_OR_RETURN(it, tree_->Seek(lo->key));
+    // Exclusive lower bound: skip equal keys.
+    if (!lo->inclusive) {
+      while (it.Valid() && it.key() == Slice(lo->key)) {
+        XDB_RETURN_NOT_OK(it.Next());
+      }
+    }
+  } else {
+    XDB_ASSIGN_OR_RETURN(it, tree_->SeekToFirst());
+  }
+  while (it.Valid()) {
+    if (hi.has_value()) {
+      int c = it.key().Compare(Slice(hi->key));
+      if (c > 0 || (c == 0 && !hi->inclusive)) break;
+    }
+    Posting p;
+    Slice node_id;
+    uint64_t rid_packed;
+    XDB_RETURN_NOT_OK(
+        DecodePosting(it.value(), &p.doc_id, &node_id, &rid_packed));
+    p.node_id = node_id.ToString();
+    p.rid = Rid::Unpack(rid_packed);
+    out->push_back(std::move(p));
+    XDB_RETURN_NOT_OK(it.Next());
+  }
+  return Status::OK();
+}
+
+Status ValueIndex::ScanEqual(Slice value, std::vector<Posting>* out) {
+  std::string key;
+  Status st = EncodeTypedKey(def_.type, value, def_.max_string_len, &key);
+  if (!st.ok()) {
+    if (st.code() == Status::Code::kInvalidArgument) return Status::OK();
+    return st;
+  }
+  KeyBound b{key, true};
+  return Scan(b, b, out);
+}
+
+}  // namespace xdb

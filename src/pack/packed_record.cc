@@ -1,0 +1,690 @@
+#include "pack/packed_record.h"
+
+#include <functional>
+
+#include "common/coding.h"
+#include "xml/node_id.h"
+
+namespace xdb {
+
+namespace {
+
+// Reads a self-delimiting relative node ID (odd* even) from [*p, limit).
+bool ReadRelId(const char** p, const char* limit, Slice* out) {
+  const char* q = *p;
+  while (q < limit && (static_cast<unsigned char>(*q) & 1) != 0) q++;
+  if (q >= limit) return false;
+  q++;  // include the terminating even byte
+  *out = Slice(*p, static_cast<size_t>(q - *p));
+  *p = q;
+  return true;
+}
+
+bool ReadVar32(const char** p, const char* limit, uint32_t* v) {
+  size_t n = GetVarint32(*p, limit, v);
+  if (n == 0) return false;
+  *p += n;
+  return true;
+}
+
+bool ReadLp(const char** p, const char* limit, Slice* out) {
+  uint64_t len;
+  size_t n = GetVarint64(*p, limit, &len);
+  if (n == 0 || *p + n + len > limit) return false;
+  *out = Slice(*p + n, static_cast<size_t>(len));
+  *p += n + len;
+  return true;
+}
+
+}  // namespace
+
+namespace packfmt {
+
+void AppendAttribute(std::string* dst, Slice rel_id, NameId local,
+                     NameId ns_uri, NameId prefix, TypeAnno type,
+                     Slice value) {
+  dst->push_back(static_cast<char>(NodeKind::kAttribute));
+  dst->append(rel_id.data(), rel_id.size());
+  PutVarint32(dst, local);
+  PutVarint32(dst, ns_uri);
+  PutVarint32(dst, prefix);
+  dst->push_back(static_cast<char>(type));
+  PutLengthPrefixed(dst, value);
+}
+
+void AppendText(std::string* dst, Slice rel_id, TypeAnno type, Slice value) {
+  dst->push_back(static_cast<char>(NodeKind::kText));
+  dst->append(rel_id.data(), rel_id.size());
+  dst->push_back(static_cast<char>(type));
+  PutLengthPrefixed(dst, value);
+}
+
+void AppendNamespace(std::string* dst, Slice rel_id, NameId prefix,
+                     NameId uri) {
+  dst->push_back(static_cast<char>(NodeKind::kNamespace));
+  dst->append(rel_id.data(), rel_id.size());
+  PutVarint32(dst, prefix);
+  PutVarint32(dst, uri);
+}
+
+void AppendComment(std::string* dst, Slice rel_id, Slice value) {
+  dst->push_back(static_cast<char>(NodeKind::kComment));
+  dst->append(rel_id.data(), rel_id.size());
+  PutLengthPrefixed(dst, value);
+}
+
+void AppendPi(std::string* dst, Slice rel_id, NameId target, Slice value) {
+  dst->push_back(static_cast<char>(NodeKind::kProcessingInstruction));
+  dst->append(rel_id.data(), rel_id.size());
+  PutVarint32(dst, target);
+  PutLengthPrefixed(dst, value);
+}
+
+void AppendElement(std::string* dst, Slice rel_id, NameId local, NameId ns_uri,
+                   NameId prefix, uint32_t child_count, Slice children) {
+  dst->push_back(static_cast<char>(NodeKind::kElement));
+  dst->append(rel_id.data(), rel_id.size());
+  PutVarint32(dst, local);
+  PutVarint32(dst, ns_uri);
+  PutVarint32(dst, prefix);
+  PutVarint32(dst, child_count);
+  PutVarint64(dst, children.size());
+  dst->append(children.data(), children.size());
+}
+
+void AppendProxy(std::string* dst, Slice rel_id) {
+  dst->push_back(static_cast<char>(NodeKind::kProxy));
+  dst->append(rel_id.data(), rel_id.size());
+}
+
+}  // namespace packfmt
+
+void AppendRecordHeader(const RecordHeader& header, std::string* dst) {
+  PutLengthPrefixed(dst, header.context_node_id);
+  PutVarint64(dst, header.root_path.size());
+  for (const auto& step : header.root_path) {
+    PutVarint32(dst, step.local);
+    PutVarint32(dst, step.ns_uri);
+  }
+  PutVarint64(dst, header.namespaces.size());
+  for (const auto& [prefix, uri] : header.namespaces) {
+    PutVarint32(dst, prefix);
+    PutVarint32(dst, uri);
+  }
+  PutVarint32(dst, header.subtree_count);
+}
+
+Status ParseRecordHeader(Slice record, RecordHeader* header, Slice* payload) {
+  const char* p = record.data();
+  const char* limit = p + record.size();
+  if (!ReadLp(&p, limit, &header->context_node_id))
+    return Status::Corruption("bad record header: context id");
+  uint32_t path_len;
+  if (!ReadVar32(&p, limit, &path_len))
+    return Status::Corruption("bad record header: path length");
+  header->root_path.clear();
+  header->root_path.reserve(path_len);
+  for (uint32_t i = 0; i < path_len; i++) {
+    RecordHeader::PathStep step;
+    if (!ReadVar32(&p, limit, &step.local) ||
+        !ReadVar32(&p, limit, &step.ns_uri))
+      return Status::Corruption("bad record header: path step");
+    header->root_path.push_back(step);
+  }
+  uint32_t ns_count;
+  if (!ReadVar32(&p, limit, &ns_count))
+    return Status::Corruption("bad record header: namespace count");
+  header->namespaces.clear();
+  for (uint32_t i = 0; i < ns_count; i++) {
+    uint32_t prefix, uri;
+    if (!ReadVar32(&p, limit, &prefix) || !ReadVar32(&p, limit, &uri))
+      return Status::Corruption("bad record header: namespace pair");
+    header->namespaces.emplace_back(prefix, uri);
+  }
+  if (!ReadVar32(&p, limit, &header->subtree_count))
+    return Status::Corruption("bad record header: subtree count");
+  *payload = Slice(p, static_cast<size_t>(limit - p));
+  return Status::OK();
+}
+
+RecordWalker::RecordWalker(Slice record) : record_(record) {}
+
+Status RecordWalker::Init() {
+  Slice payload;
+  XDB_RETURN_NOT_OK(ParseRecordHeader(record_, &header_, &payload));
+  p_ = payload.data();
+  limit_ = p_ + payload.size();
+  context_id_ = header_.context_node_id.ToString();
+  return Status::OK();
+}
+
+void RecordWalker::SkipChildren() { pending_skip_ = true; }
+
+Status RecordWalker::Next(Event* event) {
+  if (pending_skip_) {
+    pending_skip_ = false;
+    if (!stack_.empty()) {
+      p_ = stack_.back().end;
+      stack_.pop_back();
+    }
+  }
+  // Close any elements whose children are exhausted.
+  if (!stack_.empty() && p_ >= stack_.back().end) {
+    event->type = EventType::kEnd;
+    event->entry = PackedEntry();
+    event->entry.kind = NodeKind::kElement;
+    event->entry.abs_id = stack_.back().abs_id;
+    event->entry.depth = static_cast<int>(stack_.size()) - 1;
+    stack_.pop_back();
+    return Status::OK();
+  }
+  if (p_ >= limit_) {
+    event->type = EventType::kDone;
+    return Status::OK();
+  }
+
+  PackedEntry& e = event->entry;
+  e = PackedEntry();
+  e.kind = static_cast<NodeKind>(*p_++);
+  if (!ReadRelId(&p_, limit_, &e.rel_id))
+    return Status::Corruption("bad packed entry: relative id");
+  const std::string& parent_id =
+      stack_.empty() ? context_id_ : stack_.back().abs_id;
+  e.abs_id = parent_id;
+  e.abs_id.append(e.rel_id.data(), e.rel_id.size());
+  e.depth = static_cast<int>(stack_.size());
+
+  switch (e.kind) {
+    case NodeKind::kElement: {
+      if (!ReadVar32(&p_, limit_, &e.local) ||
+          !ReadVar32(&p_, limit_, &e.ns_uri) ||
+          !ReadVar32(&p_, limit_, &e.prefix) ||
+          !ReadVar32(&p_, limit_, &e.child_count) ||
+          !ReadVar32(&p_, limit_, &e.children_len))
+        return Status::Corruption("bad packed element entry");
+      if (p_ + e.children_len > limit_)
+        return Status::Corruption("element children overrun record");
+      stack_.push_back(Frame{p_ + e.children_len, e.abs_id});
+      break;
+    }
+    case NodeKind::kAttribute: {
+      if (!ReadVar32(&p_, limit_, &e.local) ||
+          !ReadVar32(&p_, limit_, &e.ns_uri) ||
+          !ReadVar32(&p_, limit_, &e.prefix))
+        return Status::Corruption("bad packed attribute entry");
+      if (p_ >= limit_) return Status::Corruption("truncated attribute");
+      e.type = static_cast<TypeAnno>(*p_++);
+      if (!ReadLp(&p_, limit_, &e.value))
+        return Status::Corruption("bad attribute value");
+      break;
+    }
+    case NodeKind::kText: {
+      if (p_ >= limit_) return Status::Corruption("truncated text entry");
+      e.type = static_cast<TypeAnno>(*p_++);
+      if (!ReadLp(&p_, limit_, &e.value))
+        return Status::Corruption("bad text value");
+      break;
+    }
+    case NodeKind::kNamespace: {
+      if (!ReadVar32(&p_, limit_, &e.local) ||
+          !ReadVar32(&p_, limit_, &e.ns_uri))
+        return Status::Corruption("bad namespace entry");
+      break;
+    }
+    case NodeKind::kComment: {
+      if (!ReadLp(&p_, limit_, &e.value))
+        return Status::Corruption("bad comment value");
+      break;
+    }
+    case NodeKind::kProcessingInstruction: {
+      if (!ReadVar32(&p_, limit_, &e.local) ||
+          !ReadLp(&p_, limit_, &e.value))
+        return Status::Corruption("bad PI entry");
+      break;
+    }
+    case NodeKind::kProxy:
+      break;
+    default:
+      return Status::Corruption("unknown packed entry kind");
+  }
+  event->type = EventType::kStart;
+  return Status::OK();
+}
+
+Status ComputeNodeIdIntervals(Slice record,
+                              std::vector<std::string>* interval_uppers) {
+  interval_uppers->clear();
+  RecordWalker walker(record);
+  XDB_RETURN_NOT_OK(walker.Init());
+  std::string last_id;
+  bool in_interval = false;
+  for (;;) {
+    RecordWalker::Event ev;
+    XDB_RETURN_NOT_OK(walker.Next(&ev));
+    if (ev.type == RecordWalker::EventType::kDone) break;
+    if (ev.type != RecordWalker::EventType::kStart) continue;
+    if (ev.entry.kind == NodeKind::kProxy) {
+      // A gap: everything inside the proxy's subtree lives elsewhere.
+      if (in_interval) {
+        interval_uppers->push_back(last_id);
+        in_interval = false;
+      }
+      continue;
+    }
+    last_id = ev.entry.abs_id;
+    in_interval = true;
+  }
+  if (in_interval) interval_uppers->push_back(last_id);
+  return Status::OK();
+}
+
+Result<std::string> ReplaceTextValue(Slice record, Slice node_id,
+                                     Slice new_value) {
+  RecordWalker walker(record);
+  XDB_RETURN_NOT_OK(walker.Init());
+
+  std::string out;
+  AppendRecordHeader(walker.header(), &out);
+
+  struct Frame {
+    std::string rel_id;
+    NameId local, ns_uri, prefix;
+    uint32_t child_count;
+    std::string buf;
+  };
+  std::vector<Frame> stack;
+  bool replaced = false;
+  auto sink = [&]() -> std::string* {
+    return stack.empty() ? &out : &stack.back().buf;
+  };
+
+  for (;;) {
+    RecordWalker::Event ev;
+    XDB_RETURN_NOT_OK(walker.Next(&ev));
+    if (ev.type == RecordWalker::EventType::kDone) break;
+    if (ev.type == RecordWalker::EventType::kEnd) {
+      Frame f = std::move(stack.back());
+      stack.pop_back();
+      packfmt::AppendElement(sink(), f.rel_id, f.local, f.ns_uri, f.prefix,
+                             f.child_count, f.buf);
+      continue;
+    }
+    const PackedEntry& e = ev.entry;
+    switch (e.kind) {
+      case NodeKind::kElement:
+        stack.push_back(Frame{e.rel_id.ToString(), e.local, e.ns_uri,
+                              e.prefix, e.child_count, {}});
+        break;
+      case NodeKind::kText:
+        if (Slice(e.abs_id) == node_id) {
+          packfmt::AppendText(sink(), e.rel_id, e.type, new_value);
+          replaced = true;
+        } else {
+          packfmt::AppendText(sink(), e.rel_id, e.type, e.value);
+        }
+        break;
+      case NodeKind::kAttribute:
+        packfmt::AppendAttribute(sink(), e.rel_id, e.local, e.ns_uri, e.prefix,
+                                 e.type, e.value);
+        break;
+      case NodeKind::kNamespace:
+        packfmt::AppendNamespace(sink(), e.rel_id, e.local, e.ns_uri);
+        break;
+      case NodeKind::kComment:
+        packfmt::AppendComment(sink(), e.rel_id, e.value);
+        break;
+      case NodeKind::kProcessingInstruction:
+        packfmt::AppendPi(sink(), e.rel_id, e.local, e.value);
+        break;
+      case NodeKind::kProxy:
+        packfmt::AppendProxy(sink(), e.rel_id);
+        break;
+      default:
+        return Status::Corruption("unknown packed entry kind");
+    }
+  }
+  if (!replaced)
+    return Status::NotFound("text node not present in this record");
+  return out;
+}
+
+namespace {
+
+// Shared rebuild pass: walks the record and re-emits every entry, letting a
+// hook adjust what happens around one target node. The hook contract:
+//  - OnEntry(entry, sink) returns true if it consumed the entry (suppressing
+//    the default re-emit);
+//  - OnChildrenDone(elem_abs_id, child_count) may adjust an element's child
+//    count just before its header is written.
+struct RebuildHooks {
+  std::function<bool(const PackedEntry&, std::string*)> on_entry;
+  std::function<uint32_t(const std::string&, uint32_t)> adjust_child_count;
+  std::function<void(std::string*)> top_level_prologue;  // before 1st entry
+};
+
+Status RebuildRecord(Slice record, const RecordHeader& header,
+                     const RebuildHooks& hooks, std::string* out) {
+  RecordWalker walker(record);
+  XDB_RETURN_NOT_OK(walker.Init());
+  AppendRecordHeader(header, out);
+  if (hooks.top_level_prologue) hooks.top_level_prologue(out);
+
+  struct Frame {
+    std::string rel_id;
+    std::string abs_id;
+    NameId local, ns_uri, prefix;
+    uint32_t child_count;
+    std::string buf;
+  };
+  std::vector<Frame> stack;
+  auto sink = [&]() -> std::string* {
+    return stack.empty() ? out : &stack.back().buf;
+  };
+  for (;;) {
+    RecordWalker::Event ev;
+    XDB_RETURN_NOT_OK(walker.Next(&ev));
+    if (ev.type == RecordWalker::EventType::kDone) break;
+    if (ev.type == RecordWalker::EventType::kEnd) {
+      Frame f = std::move(stack.back());
+      stack.pop_back();
+      uint32_t count = f.child_count;
+      if (hooks.adjust_child_count)
+        count = hooks.adjust_child_count(f.abs_id, count);
+      packfmt::AppendElement(sink(), f.rel_id, f.local, f.ns_uri, f.prefix,
+                             count, f.buf);
+      continue;
+    }
+    const PackedEntry& e = ev.entry;
+    if (hooks.on_entry && hooks.on_entry(e, sink())) {
+      if (e.kind == NodeKind::kElement) walker.SkipChildren();
+      continue;
+    }
+    switch (e.kind) {
+      case NodeKind::kElement:
+        stack.push_back(Frame{e.rel_id.ToString(), e.abs_id, e.local,
+                              e.ns_uri, e.prefix, e.child_count, {}});
+        break;
+      case NodeKind::kText:
+        packfmt::AppendText(sink(), e.rel_id, e.type, e.value);
+        break;
+      case NodeKind::kAttribute:
+        packfmt::AppendAttribute(sink(), e.rel_id, e.local, e.ns_uri,
+                                 e.prefix, e.type, e.value);
+        break;
+      case NodeKind::kNamespace:
+        packfmt::AppendNamespace(sink(), e.rel_id, e.local, e.ns_uri);
+        break;
+      case NodeKind::kComment:
+        packfmt::AppendComment(sink(), e.rel_id, e.value);
+        break;
+      case NodeKind::kProcessingInstruction:
+        packfmt::AppendPi(sink(), e.rel_id, e.local, e.value);
+        break;
+      case NodeKind::kProxy:
+        packfmt::AppendProxy(sink(), e.rel_id);
+        break;
+      default:
+        return Status::Corruption("unknown packed entry kind");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> InsertProxyEntry(Slice record, Slice parent_abs,
+                                     Slice new_rel) {
+  RecordWalker header_walker(record);
+  XDB_RETURN_NOT_OK(header_walker.Init());
+  RecordHeader header = header_walker.header();
+  const std::string new_abs = parent_abs.ToString() + new_rel.ToString();
+  const bool top_level = parent_abs == header.context_node_id;
+  if (top_level) header.subtree_count++;
+
+  bool inserted = false;
+  std::string parent_abs_str = parent_abs.ToString();
+  std::string out;
+  {
+    // Custom rebuild (RebuildRecord's hooks cannot express "append at the
+    // end of one element's child list"): splice the proxy before the first
+    // later sibling, or at the parent's close when it is the new last child.
+    RecordWalker walker(record);
+    XDB_RETURN_NOT_OK(walker.Init());
+    AppendRecordHeader(header, &out);
+    struct Frame {
+      std::string rel_id, abs_id;
+      NameId local, ns_uri, prefix;
+      uint32_t child_count;
+      std::string buf;
+    };
+    std::vector<Frame> stack;
+    auto sink = [&]() -> std::string* {
+      return stack.empty() ? &out : &stack.back().buf;
+    };
+    bool parent_found = top_level;
+    for (;;) {
+      RecordWalker::Event ev;
+      XDB_RETURN_NOT_OK(walker.Next(&ev));
+      if (ev.type == RecordWalker::EventType::kDone) break;
+      if (ev.type == RecordWalker::EventType::kEnd) {
+        Frame f = std::move(stack.back());
+        stack.pop_back();
+        uint32_t count = f.child_count;
+        if (f.abs_id == parent_abs_str) {
+          if (!inserted) {
+            packfmt::AppendProxy(&f.buf, new_rel);
+            inserted = true;
+          }
+          count++;
+        }
+        packfmt::AppendElement(sink(), f.rel_id, f.local, f.ns_uri, f.prefix,
+                               count, f.buf);
+        continue;
+      }
+      const PackedEntry& e = ev.entry;
+      XDB_ASSIGN_OR_RETURN(Slice eparent, nodeid::Parent(Slice(e.abs_id)));
+      if (!inserted && eparent == Slice(parent_abs_str) &&
+          Slice(e.abs_id).Compare(Slice(new_abs)) > 0) {
+        packfmt::AppendProxy(sink(), new_rel);
+        inserted = true;
+      }
+      switch (e.kind) {
+        case NodeKind::kElement:
+          if (e.abs_id == parent_abs_str) parent_found = true;
+          stack.push_back(Frame{e.rel_id.ToString(), e.abs_id, e.local,
+                                e.ns_uri, e.prefix, e.child_count, {}});
+          break;
+        case NodeKind::kText:
+          packfmt::AppendText(sink(), e.rel_id, e.type, e.value);
+          break;
+        case NodeKind::kAttribute:
+          packfmt::AppendAttribute(sink(), e.rel_id, e.local, e.ns_uri,
+                                   e.prefix, e.type, e.value);
+          break;
+        case NodeKind::kNamespace:
+          packfmt::AppendNamespace(sink(), e.rel_id, e.local, e.ns_uri);
+          break;
+        case NodeKind::kComment:
+          packfmt::AppendComment(sink(), e.rel_id, e.value);
+          break;
+        case NodeKind::kProcessingInstruction:
+          packfmt::AppendPi(sink(), e.rel_id, e.local, e.value);
+          break;
+        case NodeKind::kProxy:
+          packfmt::AppendProxy(sink(), e.rel_id);
+          break;
+        default:
+          return Status::Corruption("unknown packed entry kind");
+      }
+    }
+    if (top_level && !inserted) {
+      packfmt::AppendProxy(&out, new_rel);
+      inserted = true;
+    }
+    if (!parent_found && !top_level)
+      return Status::NotFound("parent element not in this record");
+  }
+  if (!inserted)
+    return Status::NotFound("insertion point not found in this record");
+  return out;
+}
+
+Result<std::string> RemoveEntry(Slice record, Slice node_abs,
+                                bool* now_empty) {
+  RecordWalker header_walker(record);
+  XDB_RETURN_NOT_OK(header_walker.Init());
+  RecordHeader header = header_walker.header();
+  const bool top_level = [&] {
+    auto parent = nodeid::Parent(node_abs);
+    return parent.ok() && parent.value() == header.context_node_id;
+  }();
+  if (top_level && header.subtree_count > 0) header.subtree_count--;
+
+  std::string parent_abs;
+  {
+    XDB_ASSIGN_OR_RETURN(Slice p, nodeid::Parent(node_abs));
+    parent_abs = p.ToString();
+  }
+  bool removed = false;
+  RebuildHooks hooks;
+  hooks.on_entry = [&](const PackedEntry& e, std::string*) -> bool {
+    if (Slice(e.abs_id) == node_abs) {
+      removed = true;
+      return true;  // consumed: entry (and its children) dropped
+    }
+    return false;
+  };
+  hooks.adjust_child_count = [&](const std::string& abs,
+                                 uint32_t count) -> uint32_t {
+    if (abs == parent_abs && removed && count > 0) return count - 1;
+    return count;
+  };
+  std::string out;
+  XDB_RETURN_NOT_OK(RebuildRecord(record, header, hooks, &out));
+  if (!removed) return Status::NotFound("entry not in this record");
+  if (now_empty != nullptr) {
+    XDB_ASSIGN_OR_RETURN(uint64_t nodes, CountRecordNodes(out));
+    *now_empty = nodes == 0;
+  }
+  return out;
+}
+
+Result<std::string> BuildSubtreeEntry(Slice fragment_tokens, Slice root_rel,
+                                      uint64_t* node_count) {
+  TokenReader reader(fragment_tokens);
+  Token t;
+  struct Frame {
+    std::string rel_id;
+    NameId local, ns_uri, prefix;
+    uint32_t ordinal = 0;
+    uint32_t child_count = 0;
+    std::string buf;
+  };
+  std::vector<Frame> stack;
+  std::string out;
+  uint64_t count = 0;
+  bool root_done = false;
+
+  auto child_rel = [&]() -> std::string {
+    Frame& f = stack.back();
+    f.ordinal++;
+    f.child_count++;
+    return nodeid::ChildId(f.ordinal);
+  };
+
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
+    if (!more) break;
+    switch (t.kind) {
+      case TokenKind::kStartDocument:
+      case TokenKind::kEndDocument:
+        break;
+      case TokenKind::kStartElement: {
+        if (root_done)
+          return Status::InvalidArgument(
+              "fragment must have a single root element");
+        Frame frame;
+        frame.rel_id = stack.empty() ? root_rel.ToString() : child_rel();
+        frame.local = t.local;
+        frame.ns_uri = t.ns_uri;
+        frame.prefix = t.prefix;
+        stack.push_back(std::move(frame));
+        count++;
+        break;
+      }
+      case TokenKind::kEndElement: {
+        if (stack.empty())
+          return Status::Corruption("unbalanced fragment tokens");
+        Frame f = std::move(stack.back());
+        stack.pop_back();
+        std::string* sink = stack.empty() ? &out : &stack.back().buf;
+        packfmt::AppendElement(sink, f.rel_id, f.local, f.ns_uri, f.prefix,
+                               f.child_count, f.buf);
+        if (stack.empty()) root_done = true;
+        break;
+      }
+      case TokenKind::kAttribute: {
+        if (stack.empty())
+          return Status::InvalidArgument("attribute outside the fragment root");
+        std::string rel = child_rel();
+        packfmt::AppendAttribute(&stack.back().buf, rel, t.local, t.ns_uri,
+                                 t.prefix, t.type, t.text);
+        count++;
+        break;
+      }
+      case TokenKind::kNamespaceDecl: {
+        if (stack.empty())
+          return Status::InvalidArgument("namespace outside the fragment root");
+        std::string rel = child_rel();
+        packfmt::AppendNamespace(&stack.back().buf, rel, t.local, t.ns_uri);
+        count++;
+        break;
+      }
+      case TokenKind::kText: {
+        if (stack.empty())
+          return Status::InvalidArgument("text outside the fragment root");
+        std::string rel = child_rel();
+        packfmt::AppendText(&stack.back().buf, rel, t.type, t.text);
+        count++;
+        break;
+      }
+      case TokenKind::kComment: {
+        if (stack.empty())
+          return Status::InvalidArgument("comment outside the fragment root");
+        std::string rel = child_rel();
+        packfmt::AppendComment(&stack.back().buf, rel, t.text);
+        count++;
+        break;
+      }
+      case TokenKind::kProcessingInstruction: {
+        if (stack.empty())
+          return Status::InvalidArgument("PI outside the fragment root");
+        std::string rel = child_rel();
+        packfmt::AppendPi(&stack.back().buf, rel, t.local, t.text);
+        count++;
+        break;
+      }
+    }
+  }
+  if (!stack.empty() || !root_done)
+    return Status::InvalidArgument("fragment has no complete root element");
+  if (node_count != nullptr) *node_count = count;
+  return out;
+}
+
+Result<uint64_t> CountRecordNodes(Slice record) {
+  RecordWalker walker(record);
+  XDB_RETURN_NOT_OK(walker.Init());
+  uint64_t count = 0;
+  for (;;) {
+    RecordWalker::Event ev;
+    XDB_RETURN_NOT_OK(walker.Next(&ev));
+    if (ev.type == RecordWalker::EventType::kDone) break;
+    if (ev.type == RecordWalker::EventType::kStart &&
+        ev.entry.kind != NodeKind::kProxy)
+      count++;
+  }
+  return count;
+}
+
+}  // namespace xdb

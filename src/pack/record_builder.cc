@@ -1,0 +1,229 @@
+#include "pack/record_builder.h"
+
+#include <vector>
+
+#include "common/coding.h"
+#include "xml/node_id.h"
+
+namespace xdb {
+
+namespace {
+
+struct Item {
+  std::string rel_id;
+  std::string bytes;  // serialized entry (empty if already a proxy)
+  bool is_proxy = false;
+};
+
+struct Frame {
+  NameId local = kEmptyNameId, ns_uri = kEmptyNameId, prefix = kEmptyNameId;
+  std::string rel_id;
+  std::string abs_id;
+  uint32_t child_ordinal = 0;
+  uint32_t child_count = 0;
+  std::vector<Item> items;
+  size_t bytes = 0;  // total serialized size of non-proxy items
+};
+
+struct NsBinding {
+  NameId prefix, uri;
+  size_t depth;
+};
+
+class Builder {
+ public:
+  Builder(const RecordBuilderOptions& options,
+          const std::function<Status(PackedRecordOut&&)>& emit)
+      : options_(options), emit_(emit) {}
+
+  Status Run(Slice tokens);
+
+ private:
+  Frame& top() { return stack_.back(); }
+
+  std::string NextChildId() {
+    Frame& f = top();
+    f.child_ordinal++;
+    f.child_count++;
+    return nodeid::ChildId(f.child_ordinal);
+  }
+
+  /// Appends a completed item to the innermost open frame and cuts a record
+  /// if the frame's accumulated bytes exceed the budget.
+  Status AddItem(std::string rel_id, std::string bytes) {
+    Frame& f = top();
+    f.bytes += bytes.size();
+    f.items.push_back(Item{std::move(rel_id), std::move(bytes), false});
+    if (f.bytes > options_.record_budget && stack_.size() > 1) {
+      return FlushFrame(&f);
+    }
+    return Status::OK();
+  }
+
+  /// Packs the frame's completed (non-proxy) items into one record with the
+  /// frame's element as context node, replacing them with proxies.
+  Status FlushFrame(Frame* f) {
+    PackedRecordOut out;
+    RecordHeader header;
+    header.context_node_id = Slice(f->abs_id);
+    // Root path: element names from the root to (and including) the context.
+    for (size_t i = 1; i < stack_.size(); i++) {
+      header.root_path.push_back(
+          {stack_[i].local, stack_[i].ns_uri});
+    }
+    // In-scope namespaces at the context node: innermost binding per prefix.
+    for (auto it = ns_stack_.rbegin(); it != ns_stack_.rend(); ++it) {
+      bool seen = false;
+      for (const auto& [p, u] : header.namespaces) {
+        (void)u;
+        if (p == it->prefix) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) header.namespaces.emplace_back(it->prefix, it->uri);
+    }
+    uint32_t real = 0;
+    for (const Item& item : f->items)
+      if (!item.is_proxy) real++;
+    if (real == 0) return Status::OK();  // nothing evictable
+    header.subtree_count = real;
+    AppendRecordHeader(header, &out.bytes);
+    bool first = true;
+    for (Item& item : f->items) {
+      if (item.is_proxy) continue;
+      if (first) {
+        out.min_node_id = f->abs_id + item.rel_id;
+        first = false;
+      }
+      out.bytes.append(item.bytes);
+      item.bytes.clear();
+      item.bytes.shrink_to_fit();
+      item.is_proxy = true;
+    }
+    f->bytes = 0;
+    return emit_(std::move(out));
+  }
+
+  Status CloseElement() {
+    // Serialize the closing element (its remaining items inline, evicted
+    // ones as proxies) and hand it to the parent frame.
+    Frame f = std::move(top());
+    stack_.pop_back();
+    std::string children;
+    for (const Item& item : f.items) {
+      if (item.is_proxy) {
+        packfmt::AppendProxy(&children, item.rel_id);
+      } else {
+        children.append(item.bytes);
+      }
+    }
+    std::string entry;
+    packfmt::AppendElement(&entry, f.rel_id, f.local, f.ns_uri, f.prefix,
+                           f.child_count, children);
+    while (!ns_stack_.empty() && ns_stack_.back().depth >= stack_.size() + 1)
+      ns_stack_.pop_back();
+    return AddItem(std::move(f.rel_id), std::move(entry));
+  }
+
+  const RecordBuilderOptions& options_;
+  const std::function<Status(PackedRecordOut&&)>& emit_;
+  std::vector<Frame> stack_;
+  std::vector<NsBinding> ns_stack_;
+};
+
+Status Builder::Run(Slice tokens) {
+  TokenReader reader(tokens);
+  Token t;
+  // Frame 0 is the document node (context id "", path empty).
+  stack_.push_back(Frame{});
+
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
+    if (!more) break;
+    switch (t.kind) {
+      case TokenKind::kStartDocument:
+      case TokenKind::kEndDocument:
+        break;
+      case TokenKind::kStartElement: {
+        std::string rel = NextChildId();
+        Frame f;
+        f.local = t.local;
+        f.ns_uri = t.ns_uri;
+        f.prefix = t.prefix;
+        f.abs_id = top().abs_id + rel;
+        f.rel_id = std::move(rel);
+        stack_.push_back(std::move(f));
+        break;
+      }
+      case TokenKind::kEndElement:
+        if (stack_.size() <= 1)
+          return Status::Corruption("unbalanced token stream");
+        XDB_RETURN_NOT_OK(CloseElement());
+        break;
+      case TokenKind::kNamespaceDecl: {
+        std::string rel = NextChildId();
+        std::string entry;
+        packfmt::AppendNamespace(&entry, rel, t.local, t.ns_uri);
+        ns_stack_.push_back(NsBinding{t.local, t.ns_uri, stack_.size()});
+        XDB_RETURN_NOT_OK(AddItem(std::move(rel), std::move(entry)));
+        break;
+      }
+      case TokenKind::kAttribute: {
+        std::string rel = NextChildId();
+        std::string entry;
+        packfmt::AppendAttribute(&entry, rel, t.local, t.ns_uri, t.prefix,
+                                 t.type, t.text);
+        XDB_RETURN_NOT_OK(AddItem(std::move(rel), std::move(entry)));
+        break;
+      }
+      case TokenKind::kText: {
+        std::string rel = NextChildId();
+        std::string entry;
+        packfmt::AppendText(&entry, rel, t.type, t.text);
+        XDB_RETURN_NOT_OK(AddItem(std::move(rel), std::move(entry)));
+        break;
+      }
+      case TokenKind::kComment: {
+        std::string rel = NextChildId();
+        std::string entry;
+        packfmt::AppendComment(&entry, rel, t.text);
+        XDB_RETURN_NOT_OK(AddItem(std::move(rel), std::move(entry)));
+        break;
+      }
+      case TokenKind::kProcessingInstruction: {
+        std::string rel = NextChildId();
+        std::string entry;
+        packfmt::AppendPi(&entry, rel, t.local, t.text);
+        XDB_RETURN_NOT_OK(AddItem(std::move(rel), std::move(entry)));
+        break;
+      }
+    }
+  }
+  if (stack_.size() != 1)
+    return Status::Corruption("token stream ended with open elements");
+  // The document-level frame becomes the root record (never evicted, so a
+  // lookup of the document root always succeeds).
+  return FlushFrame(&top());
+}
+
+}  // namespace
+
+Status RecordBuilder::Build(
+    Slice tokens, const std::function<Status(PackedRecordOut&&)>& emit) {
+  Builder builder(options_, emit);
+  return builder.Run(tokens);
+}
+
+Result<std::vector<PackedRecordOut>> PackDocument(Slice tokens,
+                                                  RecordBuilderOptions options) {
+  std::vector<PackedRecordOut> records;
+  RecordBuilder builder(options);
+  XDB_RETURN_NOT_OK(builder.Build(tokens, [&](PackedRecordOut&& rec) {
+    records.push_back(std::move(rec));
+    return Status::OK();
+  }));
+  return records;
+}
+
+}  // namespace xdb

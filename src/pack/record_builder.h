@@ -1,0 +1,58 @@
+// RecordBuilder: streams a token stream into tree-packed records, bottom-up.
+//
+// "Assuming the tree is too big for one record, we pack a subtree or a
+// sequence of subtrees into a separate record, in a bottom-up fashion. A
+// packed subtree is represented using a proxy node in its containing record."
+// (Section 3.1). "During tree construction, no separate trees of in-memory
+// format are built. Rather, tree-packed records are generated from the
+// bottom up in a streaming fashion." (Section 3.2).
+//
+// Grouping is size-based (the paper's contrast to Natix's split matrix): a
+// record is cut whenever the accumulated completed-subtree bytes of the
+// innermost open element exceed the record budget.
+#ifndef XDB_PACK_RECORD_BUILDER_H_
+#define XDB_PACK_RECORD_BUILDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "pack/packed_record.h"
+#include "xml/token_stream.h"
+
+namespace xdb {
+
+struct RecordBuilderOptions {
+  /// Soft cap on record payload bytes; the knob behind the paper's packing
+  /// factor p. Records exceed it only when a single entry is itself larger.
+  size_t record_budget = 3000;
+};
+
+struct PackedRecordOut {
+  std::string min_node_id;  // minimum (document-order first) node ID inside
+  std::string bytes;        // header + entries
+};
+
+class RecordBuilder {
+ public:
+  explicit RecordBuilder(RecordBuilderOptions options = {})
+      : options_(options) {}
+
+  /// Packs one document's token stream; emits records in bottom-up creation
+  /// order (descendant records before the records that proxy them).
+  Status Build(Slice tokens,
+               const std::function<Status(PackedRecordOut&&)>& emit);
+
+ private:
+  RecordBuilderOptions options_;
+};
+
+/// Convenience wrapper collecting all records.
+Result<std::vector<PackedRecordOut>> PackDocument(
+    Slice tokens, RecordBuilderOptions options = {});
+
+}  // namespace xdb
+
+#endif  // XDB_PACK_RECORD_BUILDER_H_

@@ -1,0 +1,214 @@
+#include "pack/shredded_store.h"
+
+#include "common/coding.h"
+#include "index/key_codec.h"
+#include "xml/node_id.h"
+
+namespace xdb {
+
+namespace {
+// Node record: [kind u8][type u8][local var][ns var][prefix var][value lp].
+void EncodeNodeRecord(const XmlEvent& ev, NodeKind kind, std::string* out) {
+  out->push_back(static_cast<char>(kind));
+  out->push_back(static_cast<char>(ev.type_anno));
+  PutVarint32(out, ev.local);
+  PutVarint32(out, ev.ns_uri);
+  PutVarint32(out, ev.prefix);
+  PutLengthPrefixed(out, ev.value);
+}
+
+Status DecodeNodeRecord(Slice record, XmlEvent* ev, NodeKind* kind) {
+  const char* p = record.data();
+  const char* limit = p + record.size();
+  if (limit - p < 2) return Status::Corruption("short shredded record");
+  *kind = static_cast<NodeKind>(*p++);
+  ev->type_anno = static_cast<TypeAnno>(*p++);
+  uint32_t v;
+  size_t n = GetVarint32(p, limit, &v);
+  if (n == 0) return Status::Corruption("bad shredded record");
+  ev->local = v;
+  p += n;
+  n = GetVarint32(p, limit, &v);
+  if (n == 0) return Status::Corruption("bad shredded record");
+  ev->ns_uri = v;
+  p += n;
+  n = GetVarint32(p, limit, &v);
+  if (n == 0) return Status::Corruption("bad shredded record");
+  ev->prefix = v;
+  p += n;
+  Slice rest(p, static_cast<size_t>(limit - p));
+  Slice value;
+  if (!GetLengthPrefixed(&rest, &value))
+    return Status::Corruption("bad shredded record value");
+  ev->value = value;
+  return Status::OK();
+}
+
+NodeKind KindOfEvent(const XmlEvent& ev) {
+  switch (ev.type) {
+    case XmlEvent::Type::kStartElement: return NodeKind::kElement;
+    case XmlEvent::Type::kAttribute: return NodeKind::kAttribute;
+    case XmlEvent::Type::kNamespace: return NodeKind::kNamespace;
+    case XmlEvent::Type::kText: return NodeKind::kText;
+    case XmlEvent::Type::kComment: return NodeKind::kComment;
+    case XmlEvent::Type::kPi: return NodeKind::kProcessingInstruction;
+    default: return NodeKind::kDocument;
+  }
+}
+}  // namespace
+
+Status ShreddedStore::InsertDocument(uint64_t doc_id, Slice tokens,
+                                     uint64_t* node_count) {
+  TokenStreamSource source(tokens);
+  XmlEvent ev;
+  uint64_t count = 0;
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool more, source.Next(&ev));
+    if (!more) break;
+    switch (ev.type) {
+      case XmlEvent::Type::kStartDocument:
+      case XmlEvent::Type::kEndDocument:
+      case XmlEvent::Type::kEndElement:
+        continue;
+      default:
+        break;
+    }
+    std::string record;
+    EncodeNodeRecord(ev, KindOfEvent(ev), &record);
+    XDB_ASSIGN_OR_RETURN(Rid rid, records_->Insert(record));
+    std::string key, value;
+    EncodeNodeIdKey(doc_id, ev.node_id, &key);
+    PutFixed64(&value, rid.Pack());
+    XDB_RETURN_NOT_OK(node_index_->Insert(key, value));
+    count++;
+  }
+  if (node_count != nullptr) *node_count = count;
+  return Status::OK();
+}
+
+Status ShreddedStore::GetNode(uint64_t doc_id, Slice node_id,
+                              std::string* record) {
+  std::string key;
+  EncodeNodeIdKey(doc_id, node_id, &key);
+  XDB_ASSIGN_OR_RETURN(BTree::Iterator it, node_index_->Seek(key));
+  if (!it.Valid() || it.key() != Slice(key))
+    return Status::NotFound("no such node");
+  Rid rid = Rid::Unpack(DecodeFixed64(it.value().data()));
+  return records_->Get(rid, record);
+}
+
+ShreddedStore::Source::Source(ShreddedStore* store, uint64_t doc_id,
+                              bool reseek_per_node)
+    : reseek_per_node_(reseek_per_node), store_(store), doc_id_(doc_id) {}
+
+Result<bool> ShreddedStore::Source::Next(XmlEvent* event) {
+  if (finished_) return false;
+  if (!started_) {
+    started_ = true;
+    std::string key;
+    EncodeNodeIdKey(doc_id_, Slice(), &key);
+    XDB_ASSIGN_OR_RETURN(it_, store_->node_index_->Seek(key));
+    *event = XmlEvent();
+    event->type = XmlEvent::Type::kStartDocument;
+    return true;
+  }
+
+  // Emit pending node (deferred while ancestors were being closed).
+  auto emit_pending_or_fetch = [&]() -> Result<bool> {
+    if (has_pending_) {
+      *event = pending_;
+      cur_id_ = pending_id_;
+      event->node_id = Slice(cur_id_);
+      has_pending_ = false;
+      if (event->type == XmlEvent::Type::kStartElement)
+        open_elements_.push_back(cur_id_);
+      return true;
+    }
+    return false;
+  };
+
+  for (;;) {
+    // Fetch the next node from the index if none pending.
+    if (!has_pending_ && !iter_done_) {
+      if (!it_.Valid()) {
+        iter_done_ = true;
+      } else {
+        uint64_t doc;
+        Slice node_id;
+        XDB_RETURN_NOT_OK(DecodeNodeIdKey(it_.key(), &doc, &node_id));
+        if (doc != doc_id_) {
+          iter_done_ = true;
+        } else {
+          Rid rid = Rid::Unpack(DecodeFixed64(it_.value().data()));
+          XDB_RETURN_NOT_OK(store_->records_->Get(rid, &cur_record_));
+          records_fetched_++;
+          pending_ = XmlEvent();
+          NodeKind kind;
+          XDB_RETURN_NOT_OK(DecodeNodeRecord(cur_record_, &pending_, &kind));
+          switch (kind) {
+            case NodeKind::kElement:
+              pending_.type = XmlEvent::Type::kStartElement;
+              break;
+            case NodeKind::kAttribute:
+              pending_.type = XmlEvent::Type::kAttribute;
+              break;
+            case NodeKind::kNamespace:
+              pending_.type = XmlEvent::Type::kNamespace;
+              break;
+            case NodeKind::kText:
+              pending_.type = XmlEvent::Type::kText;
+              break;
+            case NodeKind::kComment:
+              pending_.type = XmlEvent::Type::kComment;
+              break;
+            case NodeKind::kProcessingInstruction:
+              pending_.type = XmlEvent::Type::kPi;
+              break;
+            default:
+              return Status::Corruption("bad shredded node kind");
+          }
+          pending_id_ = node_id.ToString();
+          // pending_.value views cur_record_, which stays alive until the
+          // next fetch.
+          has_pending_ = true;
+          if (reseek_per_node_) {
+            // Model the per-node join: a fresh root-to-leaf descent.
+            std::string key = it_.key().ToString();
+            XDB_ASSIGN_OR_RETURN(it_, store_->node_index_->Seek(key));
+          }
+          XDB_RETURN_NOT_OK(it_.Next());
+        }
+      }
+    }
+
+    // Close any open elements that are not ancestors of the pending node.
+    if (!open_elements_.empty()) {
+      bool close;
+      if (!has_pending_) {
+        close = true;
+      } else {
+        close = !nodeid::IsAncestor(Slice(open_elements_.back()),
+                                    Slice(pending_id_));
+      }
+      if (close) {
+        *event = XmlEvent();
+        event->type = XmlEvent::Type::kEndElement;
+        cur_id_ = open_elements_.back();
+        event->node_id = Slice(cur_id_);
+        open_elements_.pop_back();
+        return true;
+      }
+    }
+
+    XDB_ASSIGN_OR_RETURN(bool emitted, emit_pending_or_fetch());
+    if (emitted) return true;
+    if (iter_done_) {
+      finished_ = true;
+      *event = XmlEvent();
+      event->type = XmlEvent::Type::kEndDocument;
+      return true;
+    }
+  }
+}
+
+}  // namespace xdb

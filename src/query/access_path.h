@@ -1,0 +1,118 @@
+// Access path selection for XPath queries (Section 4.3, Table 2).
+//
+// "Our approach is to use indexes to quickly identify a small subset of
+// candidates and then perform further processing on them." The planner
+// extracts indexable comparison predicates from the query, matches each
+// against the available XPath value indexes (exact match vs containment ->
+// filtering), and picks among: full scan (QuickXScan per document), DocID
+// list, NodeID list, and DocID/NodeID ANDing/ORing.
+#ifndef XDB_QUERY_ACCESS_PATH_H_
+#define XDB_QUERY_ACCESS_PATH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/value_index.h"
+#include "xpath/ast.h"
+#include "xpath/path_containment.h"
+
+namespace xdb {
+namespace query {
+
+/// One indexable comparison found in the query: the anchor step it predicates
+/// plus the root-to-value linear path an index must cover.
+struct CandidatePredicate {
+  size_t step_index = 0;   // index of the anchor step in the main path
+  xpath::Path full_path;   // absolute linear path root..anchor..branch value
+  xpath::CompOp op = xpath::CompOp::kEq;
+  bool literal_is_number = false;
+  double number = 0;
+  std::string string;
+  /// Number of levels between the value node and the anchor node when the
+  /// branch uses only child/attribute steps; -1 when unknown (descendant
+  /// steps), which forbids node-level anchoring.
+  int strip_levels = -1;
+  /// True when this conjunct came from an OR group (only usable by ORing).
+  bool or_group = false;
+  int group_id = -1;  // conjuncts of one OR share a group id
+};
+
+/// Extracts indexable comparisons from the query's main-path predicates.
+/// Top-level AND splits into conjuncts; a top-level OR of comparisons forms
+/// an OR group. Anything else is left for recheck.
+Status ExtractCandidates(const xpath::Path& query,
+                         std::vector<CandidatePredicate>* out,
+                         bool* has_unindexable_predicates);
+
+/// A deep copy of a path without predicates (the linear skeleton).
+xpath::Path ClonePathSkeleton(const xpath::Path& path);
+
+/// The concatenation main_path[0..step] + branch_path as one linear path.
+xpath::Path ConcatPredicatePath(const xpath::Path& main, size_t step_index,
+                                const xpath::Path& branch);
+
+/// Access methods of Table 2.
+enum class AccessMethod : uint8_t {
+  kFullScan = 0,
+  kDocIdList = 1,
+  kNodeIdList = 2,
+  kDocIdAndOr = 3,
+  kNodeIdAndOr = 4,
+};
+
+const char* AccessMethodName(AccessMethod m);
+
+/// Planner override used by experiments (kAuto = Section 4.3 heuristics).
+enum class ForceMethod : uint8_t {
+  kAuto = 0,
+  kScan = 1,
+  kDocIdList = 2,
+  kNodeIdList = 3,
+};
+
+/// One index probe in a plan.
+struct PlannedProbe {
+  ValueIndex* index = nullptr;
+  CandidatePredicate pred;
+  xpath::IndexMatch match = xpath::IndexMatch::kNone;
+};
+
+struct QueryPlan {
+  AccessMethod method = AccessMethod::kFullScan;
+  std::vector<PlannedProbe> probes;
+  bool disjunctive = false;  // ORing instead of ANDing
+  /// At least one probe is containment-only or predicates remain uncovered:
+  /// results must be rechecked against the documents ("filtering").
+  bool need_recheck = true;
+  size_t anchor_step = 0;  // step the node-level methods anchor at
+  std::string explain;
+};
+
+// --- posting-list algebra (executor building blocks) ---
+
+/// Distinct DocIDs in first-appearance order.
+std::vector<uint64_t> DistinctDocIds(const std::vector<Posting>& postings);
+
+/// Anchor postings at the predicate step by stripping `strip_levels` node-ID
+/// levels from each value node. Fails entries whose IDs are too short.
+Status AnchorPostings(const std::vector<Posting>& postings, int strip_levels,
+                      std::vector<Posting>* out);
+
+std::vector<uint64_t> IntersectDocIds(std::vector<std::vector<uint64_t>> lists);
+std::vector<uint64_t> UnionDocIds(std::vector<std::vector<uint64_t>> lists);
+
+/// Set operations on (doc, node) anchors. Postings must be anchored first.
+std::vector<Posting> IntersectPostings(std::vector<std::vector<Posting>> lists);
+std::vector<Posting> UnionPostings(std::vector<std::vector<Posting>> lists);
+
+/// Converts a comparison into index key range bounds for a probe.
+Status ProbeBounds(const ValueIndex& index, const CandidatePredicate& pred,
+                   std::optional<KeyBound>* lo, std::optional<KeyBound>* hi,
+                   bool* not_equal);
+
+}  // namespace query
+}  // namespace xdb
+
+#endif  // XDB_QUERY_ACCESS_PATH_H_

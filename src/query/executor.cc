@@ -1,0 +1,159 @@
+#include "query/executor.h"
+
+#include <map>
+#include <set>
+
+#include "xpath/parser.h"
+
+namespace xdb {
+namespace query {
+
+namespace {
+
+// Best usable index for one candidate: exact match preferred over
+// containment; the literal must be encodable with the index's type.
+PlannedProbe MatchIndexes(const CandidatePredicate& cand,
+                          const std::vector<ValueIndex*>& indexes) {
+  PlannedProbe best;
+  for (ValueIndex* idx : indexes) {
+    auto path_res = xpath::ParsePath(idx->def().path);
+    if (!path_res.ok()) continue;
+    xpath::IndexMatch match =
+        xpath::ClassifyIndexMatch(path_res.value(), cand.full_path);
+    if (match == xpath::IndexMatch::kNone) continue;
+    // Type check: the literal must encode.
+    std::string probe_key;
+    std::string literal = cand.literal_is_number
+                              ? std::to_string(cand.number)
+                              : cand.string;
+    if (!idx->EncodeKey(literal, &probe_key).ok()) continue;
+    if (best.index == nullptr ||
+        (best.match == xpath::IndexMatch::kContains &&
+         match == xpath::IndexMatch::kExact)) {
+      best.index = idx;
+      best.pred = cand;
+      best.match = match;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<QueryPlan> ChoosePlan(const xpath::Path& query,
+                             const PlannerContext& ctx, ForceMethod force) {
+  QueryPlan plan;
+  plan.method = AccessMethod::kFullScan;
+  plan.explain = "full scan (QuickXScan per document)";
+  if (force == ForceMethod::kScan) return plan;
+
+  std::vector<CandidatePredicate> candidates;
+  bool unindexable = false;
+  XDB_RETURN_NOT_OK(ExtractCandidates(query, &candidates, &unindexable));
+  if (candidates.empty()) return plan;
+
+  // Match candidates against indexes. OR groups are usable only if *every*
+  // member of the group has an index; otherwise the group is dropped and
+  // left to recheck.
+  std::vector<PlannedProbe> and_probes;
+  std::map<int, std::vector<PlannedProbe>> or_groups;
+  std::set<int> broken_groups;
+  bool uncovered = unindexable;
+  for (const CandidatePredicate& cand : candidates) {
+    PlannedProbe probe = MatchIndexes(cand, ctx.indexes);
+    if (cand.or_group) {
+      if (probe.index == nullptr) {
+        broken_groups.insert(cand.group_id);
+        uncovered = true;
+      } else {
+        or_groups[cand.group_id].push_back(std::move(probe));
+      }
+    } else if (probe.index == nullptr) {
+      uncovered = true;
+    } else {
+      and_probes.push_back(std::move(probe));
+    }
+  }
+  for (int g : broken_groups) or_groups.erase(g);
+
+  // Assemble: prefer AND probes; else one OR group.
+  bool disjunctive = false;
+  std::vector<PlannedProbe> probes;
+  if (!and_probes.empty()) {
+    probes = std::move(and_probes);
+    if (!or_groups.empty()) uncovered = true;  // extra ORs left to recheck
+  } else if (or_groups.size() == 1 && !uncovered) {
+    probes = std::move(or_groups.begin()->second);
+    disjunctive = true;
+  } else if (!or_groups.empty()) {
+    // Multiple OR groups (or ORs plus unindexables): take the first group
+    // as the filter, recheck everything.
+    probes = std::move(or_groups.begin()->second);
+    disjunctive = true;
+    uncovered = true;
+  }
+  if (probes.empty()) return plan;
+
+  // Node-level anchoring needs every probe at the same step with a
+  // child-only branch.
+  bool node_capable = true;
+  size_t anchor = probes[0].pred.step_index;
+  for (const PlannedProbe& p : probes) {
+    if (p.pred.step_index != anchor || p.pred.strip_levels < 0) {
+      node_capable = false;
+      break;
+    }
+  }
+
+  bool all_exact = true;
+  for (const PlannedProbe& p : probes)
+    if (p.match != xpath::IndexMatch::kExact) all_exact = false;
+  // "If all the indexes match exactly with the predicates, the result list
+  // is exact. If one of them is exact match, while the others are
+  // containment, NodeID level ANDing will result in an exact list."
+  bool any_exact = false;
+  for (const PlannedProbe& p : probes)
+    if (p.match == xpath::IndexMatch::kExact) any_exact = true;
+
+  bool want_node_level;
+  switch (force) {
+    case ForceMethod::kDocIdList: want_node_level = false; break;
+    case ForceMethod::kNodeIdList: want_node_level = true; break;
+    default:
+      // "For small documents, using indexes to identify qualifying
+      // documents would be efficient ... For large documents, the DocID
+      // list access is no longer efficient. Instead, the NodeID list
+      // access applies."
+      want_node_level = node_capable && ctx.avg_records_per_doc > 2.0;
+  }
+  if (want_node_level && !node_capable)
+    want_node_level = false;
+
+  plan.probes = std::move(probes);
+  plan.disjunctive = disjunctive;
+  plan.anchor_step = anchor;
+  bool anchor_exact =
+      want_node_level ? (!disjunctive && any_exact) || all_exact : all_exact;
+  plan.need_recheck = uncovered || !anchor_exact;
+  if (plan.probes.size() > 1) {
+    plan.method = want_node_level ? AccessMethod::kNodeIdAndOr
+                                  : AccessMethod::kDocIdAndOr;
+  } else {
+    plan.method =
+        want_node_level ? AccessMethod::kNodeIdList : AccessMethod::kDocIdList;
+  }
+  plan.explain = std::string(AccessMethodName(plan.method)) + " via";
+  for (const PlannedProbe& p : plan.probes) {
+    plan.explain += " [" + p.pred.full_path.ToString() + " " +
+                    xpath::CompOpName(p.pred.op) + " ... using index '" +
+                    p.index->def().name + "' (" +
+                    (p.match == xpath::IndexMatch::kExact ? "exact"
+                                                          : "filtering") +
+                    ")]";
+  }
+  if (plan.need_recheck) plan.explain += " + recheck";
+  return plan;
+}
+
+}  // namespace query
+}  // namespace xdb

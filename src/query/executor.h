@@ -1,0 +1,39 @@
+// Plan selection (the "relatively simple at the moment" access path
+// selection of Section 4) — rule-based choice among the Table 2 methods.
+#ifndef XDB_QUERY_EXECUTOR_H_
+#define XDB_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/value_index.h"
+#include "query/access_path.h"
+#include "xpath/ast.h"
+
+namespace xdb {
+namespace query {
+
+struct PlannerContext {
+  std::vector<ValueIndex*> indexes;
+  uint64_t doc_count = 0;
+  /// Average records per document; documents spanning several records make
+  /// NodeID list access cheaper than fetching whole documents.
+  double avg_records_per_doc = 1.0;
+};
+
+/// Chooses the access method:
+///  - no usable probe            -> full scan;
+///  - probes whose predicates all anchor at one step and whose branches are
+///    child-only chains         -> NodeID-level list/and/or when documents
+///                                 are multi-record (or when forced),
+///                                 DocID-level otherwise;
+///  - exact index matches and fully covered predicates -> no recheck for
+///    the anchor's own predicates (the residual path still runs);
+///  - containment matches       -> filtering (recheck required).
+Result<QueryPlan> ChoosePlan(const xpath::Path& query,
+                             const PlannerContext& ctx, ForceMethod force);
+
+}  // namespace query
+}  // namespace xdb
+
+#endif  // XDB_QUERY_EXECUTOR_H_

@@ -1,0 +1,63 @@
+#include "runtime/iterators.h"
+
+namespace xdb {
+
+Status EventsToTokens(XmlEventSource* source, TokenWriter* out) {
+  XmlEvent ev;
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool more, source->Next(&ev));
+    if (!more) return Status::OK();
+    switch (ev.type) {
+      case XmlEvent::Type::kStartDocument:
+        out->StartDocument();
+        break;
+      case XmlEvent::Type::kEndDocument:
+        out->EndDocument();
+        break;
+      case XmlEvent::Type::kStartElement:
+        out->StartElement(ev.local, ev.ns_uri, ev.prefix, ev.type_anno);
+        break;
+      case XmlEvent::Type::kEndElement:
+        out->EndElement();
+        break;
+      case XmlEvent::Type::kAttribute:
+        out->Attribute(ev.local, ev.value, ev.ns_uri, ev.prefix, ev.type_anno);
+        break;
+      case XmlEvent::Type::kNamespace:
+        out->NamespaceDecl(ev.local, ev.ns_uri);
+        break;
+      case XmlEvent::Type::kText:
+        out->Text(ev.value, ev.type_anno);
+        break;
+      case XmlEvent::Type::kComment:
+        out->Comment(ev.value);
+        break;
+      case XmlEvent::Type::kPi:
+        out->ProcessingInstruction(ev.local, ev.value);
+        break;
+    }
+  }
+}
+
+Result<uint64_t> DrainEvents(XmlEventSource* source) {
+  XmlEvent ev;
+  uint64_t count = 0;
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool more, source->Next(&ev));
+    if (!more) return count;
+    count++;
+  }
+}
+
+Result<std::string> CollectText(XmlEventSource* source) {
+  XmlEvent ev;
+  std::string out;
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool more, source->Next(&ev));
+    if (!more) return out;
+    if (ev.type == XmlEvent::Type::kText)
+      out.append(ev.value.data(), ev.value.size());
+  }
+}
+
+}  // namespace xdb

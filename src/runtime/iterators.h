@@ -1,0 +1,27 @@
+// Runtime glue between the data forms of Section 4.4: event streams back to
+// token streams (tree construction / serialization sinks) and in-memory
+// sequences exposed as event sources.
+#ifndef XDB_RUNTIME_ITERATORS_H_
+#define XDB_RUNTIME_ITERATORS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "runtime/virtual_sax.h"
+#include "xdm/item.h"
+
+namespace xdb {
+
+/// Drains an event source into a token stream (the "tree construction"
+/// sink: the result can be packed, serialized, or re-scanned).
+Status EventsToTokens(XmlEventSource* source, TokenWriter* out);
+
+/// Drains an event source, counting events (benchmarks' no-op sink).
+Result<uint64_t> DrainEvents(XmlEventSource* source);
+
+/// Concatenated text content of an event stream (XPath string value).
+Result<std::string> CollectText(XmlEventSource* source);
+
+}  // namespace xdb
+
+#endif  // XDB_RUNTIME_ITERATORS_H_

@@ -1,0 +1,92 @@
+#include "runtime/virtual_sax.h"
+
+#include "xml/node_id.h"
+
+namespace xdb {
+
+TokenStreamSource::TokenStreamSource(Slice tokens) : reader_(tokens) {
+  stack_.push_back(Level{0, 0});  // document node, id ""
+}
+
+Result<bool> TokenStreamSource::Next(XmlEvent* event) {
+  Token t;
+  XDB_ASSIGN_OR_RETURN(bool more, reader_.Next(&t));
+  if (!more) return false;
+
+  auto child_id = [&]() -> Slice {
+    Level& parent = stack_.back();
+    id_buf_.resize(parent.id_len);
+    nodeid::AppendChildId(++parent.child_ordinal, &id_buf_);
+    return Slice(id_buf_);
+  };
+
+  *event = XmlEvent();
+  event->depth = static_cast<int>(stack_.size()) - 1;
+  switch (t.kind) {
+    case TokenKind::kStartDocument:
+      event->type = XmlEvent::Type::kStartDocument;
+      event->node_id = Slice();
+      return true;
+    case TokenKind::kEndDocument:
+      event->type = XmlEvent::Type::kEndDocument;
+      event->node_id = Slice();
+      return true;
+    case TokenKind::kStartElement: {
+      event->type = XmlEvent::Type::kStartElement;
+      event->local = t.local;
+      event->ns_uri = t.ns_uri;
+      event->prefix = t.prefix;
+      event->type_anno = t.type;
+      event->node_id = child_id();
+      event->depth++;
+      stack_.push_back(Level{id_buf_.size(), 0});
+      return true;
+    }
+    case TokenKind::kEndElement: {
+      if (stack_.size() <= 1)
+        return Status::Corruption("unbalanced token stream");
+      size_t elem_id_len = stack_.back().id_len;
+      stack_.pop_back();
+      event->type = XmlEvent::Type::kEndElement;
+      // The prefix of id_buf_ up to the popped level is the element's id.
+      event->node_id = Slice(id_buf_.data(), elem_id_len);
+      event->depth = static_cast<int>(stack_.size());
+      return true;
+    }
+    case TokenKind::kAttribute:
+      event->type = XmlEvent::Type::kAttribute;
+      event->local = t.local;
+      event->ns_uri = t.ns_uri;
+      event->prefix = t.prefix;
+      event->value = t.text;
+      event->type_anno = t.type;
+      event->node_id = child_id();
+      return true;
+    case TokenKind::kNamespaceDecl:
+      event->type = XmlEvent::Type::kNamespace;
+      event->local = t.local;
+      event->ns_uri = t.ns_uri;
+      event->node_id = child_id();
+      return true;
+    case TokenKind::kText:
+      event->type = XmlEvent::Type::kText;
+      event->value = t.text;
+      event->type_anno = t.type;
+      event->node_id = child_id();
+      return true;
+    case TokenKind::kComment:
+      event->type = XmlEvent::Type::kComment;
+      event->value = t.text;
+      event->node_id = child_id();
+      return true;
+    case TokenKind::kProcessingInstruction:
+      event->type = XmlEvent::Type::kPi;
+      event->local = t.local;
+      event->value = t.text;
+      event->node_id = child_id();
+      return true;
+  }
+  return Status::Corruption("unknown token kind");
+}
+
+}  // namespace xdb

@@ -1,0 +1,79 @@
+// Virtual SAX: the unifying runtime event model of the paper's Figure 8.
+//
+// "As the iterator traverses through the data, each input data item is
+// converted into a virtual SAX-like event, which is a set of parameters
+// required by the routines performing the task." XML data may be a token
+// stream, persistent packed records, constructed data, or an in-memory
+// sequence; each form gets an iterator that produces the same XmlEvent
+// stream, so serialization, tree construction, and XPath evaluation are all
+// written once against XmlEventSource.
+#ifndef XDB_RUNTIME_VIRTUAL_SAX_H_
+#define XDB_RUNTIME_VIRTUAL_SAX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "xml/name_dictionary.h"
+#include "xml/node_kind.h"
+#include "xml/token_stream.h"
+
+namespace xdb {
+
+struct XmlEvent {
+  enum class Type : uint8_t {
+    kStartDocument,
+    kEndDocument,
+    kStartElement,
+    kEndElement,
+    kAttribute,
+    kNamespace,
+    kText,
+    kComment,
+    kPi,
+  };
+
+  Type type = Type::kStartDocument;
+  NameId local = kEmptyNameId;
+  NameId ns_uri = kEmptyNameId;
+  NameId prefix = kEmptyNameId;
+  Slice value;    // views storage owned by the source; valid until next Next()
+  Slice node_id;  // absolute prefix-encoded node ID (same lifetime)
+  TypeAnno type_anno = TypeAnno::kUntyped;
+  int depth = 0;  // element nesting depth; document node = 0
+};
+
+/// A stream of XmlEvents over some physical form of XML data.
+class XmlEventSource {
+ public:
+  virtual ~XmlEventSource() = default;
+  /// Produces the next event; returns false at end of input.
+  virtual Result<bool> Next(XmlEvent* event) = 0;
+};
+
+/// Events over a buffered token stream, assigning node IDs on the fly with
+/// the canonical convention (n-th child — namespaces, attributes, content,
+/// in token order — gets relative ID ChildId(n)). Used at insertion time to
+/// generate index keys "per record ... which fits existing infrastructure".
+class TokenStreamSource : public XmlEventSource {
+ public:
+  explicit TokenStreamSource(Slice tokens);
+
+  Result<bool> Next(XmlEvent* event) override;
+
+ private:
+  TokenReader reader_;
+  struct Level {
+    size_t id_len;          // length of id_buf_ up to this element's id
+    uint32_t child_ordinal;
+  };
+  std::vector<Level> stack_;
+  std::string id_buf_;      // absolute id of the current position
+  uint32_t doc_child_ordinal_ = 0;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_RUNTIME_VIRTUAL_SAX_H_

@@ -1,0 +1,43 @@
+#include "schema/schema_ast.h"
+
+namespace xdb {
+namespace schema {
+
+TypeAnno ToTypeAnno(SimpleType t) {
+  switch (t) {
+    case SimpleType::kUntyped: return TypeAnno::kUntyped;
+    case SimpleType::kString: return TypeAnno::kString;
+    case SimpleType::kDouble: return TypeAnno::kDouble;
+    case SimpleType::kDecimal: return TypeAnno::kDecimal;
+    case SimpleType::kInteger: return TypeAnno::kInteger;
+    case SimpleType::kDate: return TypeAnno::kDate;
+    case SimpleType::kBoolean: return TypeAnno::kBoolean;
+  }
+  return TypeAnno::kUntyped;
+}
+
+Result<SimpleType> SimpleTypeFromName(const std::string& name) {
+  if (name == "string") return SimpleType::kString;
+  if (name == "double") return SimpleType::kDouble;
+  if (name == "decimal") return SimpleType::kDecimal;
+  if (name == "integer") return SimpleType::kInteger;
+  if (name == "date") return SimpleType::kDate;
+  if (name == "boolean") return SimpleType::kBoolean;
+  return Status::InvalidArgument("unknown simple type '" + name + "'");
+}
+
+const char* SimpleTypeName(SimpleType t) {
+  switch (t) {
+    case SimpleType::kUntyped: return "untyped";
+    case SimpleType::kString: return "string";
+    case SimpleType::kDouble: return "double";
+    case SimpleType::kDecimal: return "decimal";
+    case SimpleType::kInteger: return "integer";
+    case SimpleType::kDate: return "date";
+    case SimpleType::kBoolean: return "boolean";
+  }
+  return "unknown";
+}
+
+}  // namespace schema
+}  // namespace xdb

@@ -1,0 +1,92 @@
+// Schema language AST.
+//
+// The paper compiles registered XML Schemas into a binary parsing-table
+// format executed by a validation VM (Figure 4). This reproduction uses a
+// compact schema language with the same architectural pipeline — element
+// declarations with regular-expression content models, typed attributes and
+// typed text — compiled to Glushkov DFAs (see DESIGN.md, substitutions).
+//
+// Example:
+//   schema catalog;
+//   root Catalog;
+//   element Catalog  { content: Categories+; }
+//   element Categories { content: Product*; }
+//   element Product  { attribute id: string required;
+//                      content: ProductName, RegPrice?, Discount?; }
+//   element ProductName { text: string; }
+//   element RegPrice { text: decimal; }
+#ifndef XDB_SCHEMA_SCHEMA_AST_H_
+#define XDB_SCHEMA_SCHEMA_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/token_stream.h"
+
+namespace xdb {
+namespace schema {
+
+enum class SimpleType : uint8_t {
+  kUntyped = 0,
+  kString = 1,
+  kDouble = 2,
+  kDecimal = 3,
+  kInteger = 4,
+  kDate = 5,
+  kBoolean = 6,
+};
+
+TypeAnno ToTypeAnno(SimpleType t);
+Result<SimpleType> SimpleTypeFromName(const std::string& name);
+const char* SimpleTypeName(SimpleType t);
+
+/// Content-model regular expression over child element names.
+struct Regex {
+  enum class Kind : uint8_t {
+    kEpsilon,  // empty word
+    kName,     // one child element
+    kSeq,      // children in order
+    kChoice,   // one of the children
+    kStar,     // zero or more
+    kPlus,     // one or more
+    kOpt,      // zero or one
+  };
+
+  Kind kind = Kind::kEpsilon;
+  std::string name;  // kName
+  std::vector<std::unique_ptr<Regex>> children;
+};
+
+struct AttrDecl {
+  std::string name;
+  SimpleType type = SimpleType::kString;
+  bool required = false;
+};
+
+enum class ContentKind : uint8_t {
+  kChildren = 0,  // element-only content per the regex model
+  kText = 1,      // typed text content, no child elements
+  kEmpty = 2,     // no content
+  kMixed = 3,     // text interleaved with any declared elements
+};
+
+struct ElementDecl {
+  std::string name;
+  std::vector<AttrDecl> attrs;
+  ContentKind content = ContentKind::kEmpty;
+  SimpleType text_type = SimpleType::kString;  // kText content
+  std::unique_ptr<Regex> model;                // kChildren content
+};
+
+struct SchemaDoc {
+  std::string name;
+  std::string root;  // required root element name
+  std::vector<ElementDecl> elements;
+};
+
+}  // namespace schema
+}  // namespace xdb
+
+#endif  // XDB_SCHEMA_SCHEMA_AST_H_

@@ -1,0 +1,291 @@
+#include "schema/schema_compiler.h"
+
+#include <map>
+#include <set>
+
+#include "common/coding.h"
+#include "schema/schema_parser.h"
+
+namespace xdb {
+namespace schema {
+
+namespace {
+
+// --- Glushkov position automaton ---
+
+struct Positions {
+  // Each position is one kName occurrence; sym[i] is its symbol index.
+  std::vector<int> sym;
+  bool nullable = false;
+  std::set<int> first, last;
+  std::vector<std::set<int>> follow;
+};
+
+struct GlushkovBuilder {
+  std::map<std::string, int> symbol_ids;
+  std::vector<std::string> symbols;
+  Positions pos;
+
+  int SymbolId(const std::string& name) {
+    auto it = symbol_ids.find(name);
+    if (it != symbol_ids.end()) return it->second;
+    int id = static_cast<int>(symbols.size());
+    symbols.push_back(name);
+    symbol_ids.emplace(name, id);
+    return id;
+  }
+
+  struct NodeInfo {
+    bool nullable;
+    std::set<int> first, last;
+  };
+
+  NodeInfo Build(const Regex& r) {
+    switch (r.kind) {
+      case Regex::Kind::kEpsilon:
+        return {true, {}, {}};
+      case Regex::Kind::kName: {
+        int p = static_cast<int>(pos.sym.size());
+        pos.sym.push_back(SymbolId(r.name));
+        pos.follow.emplace_back();
+        return {false, {p}, {p}};
+      }
+      case Regex::Kind::kSeq: {
+        NodeInfo acc = Build(*r.children[0]);
+        for (size_t i = 1; i < r.children.size(); i++) {
+          NodeInfo next = Build(*r.children[i]);
+          for (int l : acc.last)
+            pos.follow[l].insert(next.first.begin(), next.first.end());
+          NodeInfo merged;
+          merged.nullable = acc.nullable && next.nullable;
+          merged.first = acc.first;
+          if (acc.nullable)
+            merged.first.insert(next.first.begin(), next.first.end());
+          merged.last = next.last;
+          if (next.nullable)
+            merged.last.insert(acc.last.begin(), acc.last.end());
+          acc = std::move(merged);
+        }
+        return acc;
+      }
+      case Regex::Kind::kChoice: {
+        NodeInfo acc{false, {}, {}};
+        for (const auto& c : r.children) {
+          NodeInfo next = Build(*c);
+          acc.nullable = acc.nullable || next.nullable;
+          acc.first.insert(next.first.begin(), next.first.end());
+          acc.last.insert(next.last.begin(), next.last.end());
+        }
+        return acc;
+      }
+      case Regex::Kind::kStar:
+      case Regex::Kind::kPlus: {
+        NodeInfo inner = Build(*r.children[0]);
+        for (int l : inner.last)
+          pos.follow[l].insert(inner.first.begin(), inner.first.end());
+        inner.nullable = inner.nullable || r.kind == Regex::Kind::kStar;
+        return inner;
+      }
+      case Regex::Kind::kOpt: {
+        NodeInfo inner = Build(*r.children[0]);
+        inner.nullable = true;
+        return inner;
+      }
+    }
+    return {true, {}, {}};
+  }
+};
+
+// Subset construction over Glushkov position sets.
+void BuildDfa(const GlushkovBuilder& gb, const GlushkovBuilder::NodeInfo& root,
+              CompiledElement* out) {
+  out->symbols = gb.symbols;
+  const size_t nsym = gb.symbols.size();
+  std::map<std::set<int>, int> state_ids;
+  std::vector<std::set<int>> states;
+  auto intern = [&](const std::set<int>& s) {
+    auto it = state_ids.find(s);
+    if (it != state_ids.end()) return it->second;
+    int id = static_cast<int>(states.size());
+    states.push_back(s);
+    state_ids.emplace(s, id);
+    return id;
+  };
+  // State 0 = the "initial" marker set {-1} representing start.
+  std::set<int> start{-1};
+  intern(start);
+  out->start_state = 0;
+  std::vector<std::set<int>> worklist{start};
+  out->trans.clear();
+  out->accepting.clear();
+  while (out->trans.size() < states.size()) {
+    size_t idx = out->trans.size();
+    const std::set<int> cur = states[idx];
+    std::vector<int32_t> row(nsym, -1);
+    // Accepting: start set accepts iff nullable; others iff they contain a
+    // last position.
+    bool acc;
+    if (cur.count(-1) != 0) {
+      acc = root.nullable;
+    } else {
+      acc = false;
+      for (int p : cur)
+        if (root.last.count(p) != 0) {
+          acc = true;
+          break;
+        }
+    }
+    out->accepting.push_back(acc ? 1 : 0);
+    for (size_t s = 0; s < nsym; s++) {
+      std::set<int> next;
+      if (cur.count(-1) != 0) {
+        for (int p : root.first)
+          if (gb.pos.sym[p] == static_cast<int>(s)) next.insert(p);
+      } else {
+        for (int p : cur)
+          for (int f : gb.pos.follow[p])
+            if (gb.pos.sym[f] == static_cast<int>(s)) next.insert(f);
+      }
+      if (!next.empty()) row[s] = intern(next);
+    }
+    out->trans.push_back(std::move(row));
+  }
+}
+
+}  // namespace
+
+int CompiledSchema::FindElement(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<CompiledSchema> CompileSchema(const SchemaDoc& doc) {
+  CompiledSchema cs;
+  cs.name_ = doc.name;
+  cs.root_ = doc.root;
+  for (const ElementDecl& e : doc.elements) {
+    CompiledElement ce;
+    ce.name = e.name;
+    ce.content = e.content;
+    ce.text_type = e.text_type;
+    for (const AttrDecl& a : e.attrs)
+      ce.attrs.push_back(CompiledAttr{a.name, a.type, a.required});
+    if (e.content == ContentKind::kChildren) {
+      GlushkovBuilder gb;
+      GlushkovBuilder::NodeInfo root = gb.Build(*e.model);
+      BuildDfa(gb, root, &ce);
+    }
+    cs.index_.emplace(ce.name, static_cast<int>(cs.elements_.size()));
+    cs.elements_.push_back(std::move(ce));
+  }
+  return cs;
+}
+
+Result<CompiledSchema> CompileSchemaText(Slice text) {
+  XDB_ASSIGN_OR_RETURN(SchemaDoc doc, ParseSchema(text));
+  return CompileSchema(doc);
+}
+
+void CompiledSchema::Serialize(std::string* out) const {
+  PutFixed32(out, 0x58534348);  // "XSCH"
+  PutLengthPrefixed(out, name_);
+  PutLengthPrefixed(out, root_);
+  PutVarint64(out, elements_.size());
+  for (const CompiledElement& e : elements_) {
+    PutLengthPrefixed(out, e.name);
+    out->push_back(static_cast<char>(e.content));
+    out->push_back(static_cast<char>(e.text_type));
+    PutVarint64(out, e.attrs.size());
+    for (const CompiledAttr& a : e.attrs) {
+      PutLengthPrefixed(out, a.name);
+      out->push_back(static_cast<char>(a.type));
+      out->push_back(a.required ? 1 : 0);
+    }
+    PutVarint64(out, e.symbols.size());
+    for (const std::string& s : e.symbols) PutLengthPrefixed(out, s);
+    PutVarint64(out, e.trans.size());
+    PutVarint32(out, static_cast<uint32_t>(e.start_state));
+    for (size_t st = 0; st < e.trans.size(); st++) {
+      out->push_back(e.accepting[st]);
+      for (int32_t t : e.trans[st])
+        PutVarint32(out, static_cast<uint32_t>(t + 1));  // -1 -> 0
+    }
+  }
+}
+
+Result<CompiledSchema> CompiledSchema::Deserialize(Slice data) {
+  CompiledSchema cs;
+  if (data.size() < 4 || DecodeFixed32(data.data()) != 0x58534348)
+    return Status::Corruption("bad compiled schema magic");
+  data.RemovePrefix(4);
+  Slice s;
+  if (!GetLengthPrefixed(&data, &s))
+    return Status::Corruption("bad schema name");
+  cs.name_ = s.ToString();
+  if (!GetLengthPrefixed(&data, &s))
+    return Status::Corruption("bad schema root");
+  cs.root_ = s.ToString();
+  uint64_t nelem;
+  size_t n = GetVarint64(data.data(), data.data() + data.size(), &nelem);
+  if (n == 0) return Status::Corruption("bad element count");
+  data.RemovePrefix(n);
+  auto read_var = [&](uint64_t* v) -> bool {
+    size_t k = GetVarint64(data.data(), data.data() + data.size(), v);
+    if (k == 0) return false;
+    data.RemovePrefix(k);
+    return true;
+  };
+  for (uint64_t i = 0; i < nelem; i++) {
+    CompiledElement e;
+    if (!GetLengthPrefixed(&data, &s))
+      return Status::Corruption("bad element name");
+    e.name = s.ToString();
+    if (data.size() < 2) return Status::Corruption("truncated element");
+    e.content = static_cast<ContentKind>(data[0]);
+    e.text_type = static_cast<SimpleType>(data[1]);
+    data.RemovePrefix(2);
+    uint64_t nattr;
+    if (!read_var(&nattr)) return Status::Corruption("bad attr count");
+    for (uint64_t a = 0; a < nattr; a++) {
+      CompiledAttr attr;
+      if (!GetLengthPrefixed(&data, &s))
+        return Status::Corruption("bad attr name");
+      attr.name = s.ToString();
+      if (data.size() < 2) return Status::Corruption("truncated attr");
+      attr.type = static_cast<SimpleType>(data[0]);
+      attr.required = data[1] != 0;
+      data.RemovePrefix(2);
+      e.attrs.push_back(std::move(attr));
+    }
+    uint64_t nsym;
+    if (!read_var(&nsym)) return Status::Corruption("bad symbol count");
+    for (uint64_t k = 0; k < nsym; k++) {
+      if (!GetLengthPrefixed(&data, &s))
+        return Status::Corruption("bad symbol");
+      e.symbols.push_back(s.ToString());
+    }
+    uint64_t nstate;
+    if (!read_var(&nstate)) return Status::Corruption("bad state count");
+    uint64_t start;
+    if (!read_var(&start)) return Status::Corruption("bad start state");
+    e.start_state = static_cast<int32_t>(start);
+    for (uint64_t st = 0; st < nstate; st++) {
+      if (data.empty()) return Status::Corruption("truncated dfa");
+      e.accepting.push_back(data[0]);
+      data.RemovePrefix(1);
+      std::vector<int32_t> row;
+      for (uint64_t k = 0; k < nsym; k++) {
+        uint64_t t;
+        if (!read_var(&t)) return Status::Corruption("bad transition");
+        row.push_back(static_cast<int32_t>(t) - 1);
+      }
+      e.trans.push_back(std::move(row));
+    }
+    cs.index_.emplace(e.name, static_cast<int>(cs.elements_.size()));
+    cs.elements_.push_back(std::move(e));
+  }
+  return cs;
+}
+
+}  // namespace schema
+}  // namespace xdb

@@ -1,0 +1,72 @@
+// Schema compiler: AST -> compiled binary schema (Figure 4's "Schema Bin
+// Format" stored in the catalog at registration time).
+//
+// Content models compile to DFAs via the Glushkov position construction +
+// subset construction; the validation VM then runs a pure table-driven walk,
+// which is the performance property the paper gets from its LALR-generated
+// validation tables.
+#ifndef XDB_SCHEMA_SCHEMA_COMPILER_H_
+#define XDB_SCHEMA_SCHEMA_COMPILER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "schema/schema_ast.h"
+
+namespace xdb {
+namespace schema {
+
+struct CompiledAttr {
+  std::string name;
+  SimpleType type = SimpleType::kString;
+  bool required = false;
+};
+
+struct CompiledElement {
+  std::string name;
+  ContentKind content = ContentKind::kEmpty;
+  SimpleType text_type = SimpleType::kString;
+  std::vector<CompiledAttr> attrs;
+
+  // Child-content DFA (kChildren only). Symbols are indices into `symbols`;
+  // trans[state][symbol] is the next state or -1.
+  std::vector<std::string> symbols;
+  std::vector<char> accepting;
+  std::vector<std::vector<int32_t>> trans;
+  int32_t start_state = 0;
+};
+
+class CompiledSchema {
+ public:
+  const std::string& name() const { return name_; }
+  const std::string& root() const { return root_; }
+  const std::vector<CompiledElement>& elements() const { return elements_; }
+
+  /// Index of an element declaration by name; -1 if undeclared.
+  int FindElement(const std::string& name) const;
+
+  /// Binary (de)serialization — the catalog-stored form.
+  void Serialize(std::string* out) const;
+  static Result<CompiledSchema> Deserialize(Slice data);
+
+ private:
+  friend Result<CompiledSchema> CompileSchema(const SchemaDoc& doc);
+
+  std::string name_, root_;
+  std::vector<CompiledElement> elements_;
+  std::unordered_map<std::string, int> index_;
+};
+
+/// Compiles a parsed schema document.
+Result<CompiledSchema> CompileSchema(const SchemaDoc& doc);
+
+/// Convenience: parse + compile.
+Result<CompiledSchema> CompileSchemaText(Slice text);
+
+}  // namespace schema
+}  // namespace xdb
+
+#endif  // XDB_SCHEMA_SCHEMA_COMPILER_H_

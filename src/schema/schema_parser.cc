@@ -1,0 +1,266 @@
+#include "schema/schema_parser.h"
+
+#include <cctype>
+#include <set>
+
+namespace xdb {
+namespace schema {
+
+namespace {
+
+class Scanner {
+ public:
+  explicit Scanner(Slice text)
+      : p_(text.data()), limit_(p_ + text.size()), begin_(p_) {}
+
+  Status Fail(const std::string& what) {
+    return Status::ParseError("schema: " + what + " at offset " +
+                              std::to_string(p_ - begin_));
+  }
+
+  void SkipWs() {
+    for (;;) {
+      while (p_ < limit_ && std::isspace(static_cast<unsigned char>(*p_)))
+        p_++;
+      if (p_ + 1 < limit_ && p_[0] == '/' && p_[1] == '/') {
+        while (p_ < limit_ && *p_ != '\n') p_++;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return p_ >= limit_;
+  }
+
+  bool Accept(char c) {
+    SkipWs();
+    if (p_ < limit_ && *p_ == c) {
+      p_++;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Accept(c)) return Fail(std::string("expected '") + c + "'");
+    return Status::OK();
+  }
+
+  bool AcceptWord(const char* w) {
+    SkipWs();
+    size_t n = std::strlen(w);
+    if (static_cast<size_t>(limit_ - p_) >= n && std::memcmp(p_, w, n) == 0) {
+      // Must not be a prefix of a longer identifier.
+      if (p_ + n < limit_ &&
+          (std::isalnum(static_cast<unsigned char>(p_[n])) || p_[n] == '_'))
+        return false;
+      p_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Status ReadName(std::string* out) {
+    SkipWs();
+    if (p_ >= limit_ ||
+        !(std::isalpha(static_cast<unsigned char>(*p_)) || *p_ == '_'))
+      return Fail("expected an identifier");
+    const char* start = p_;
+    while (p_ < limit_ && (std::isalnum(static_cast<unsigned char>(*p_)) ||
+                           *p_ == '_' || *p_ == '-' || *p_ == '.'))
+      p_++;
+    out->assign(start, p_ - start);
+    return Status::OK();
+  }
+
+  char Peek() {
+    SkipWs();
+    return p_ < limit_ ? *p_ : '\0';
+  }
+
+ private:
+  const char* p_;
+  const char* limit_;
+  const char* begin_;
+};
+
+class SchemaParser {
+ public:
+  explicit SchemaParser(Slice text) : sc_(text) {}
+
+  Result<SchemaDoc> Parse();
+
+ private:
+  Result<std::unique_ptr<Regex>> ParseChoice();
+  Result<std::unique_ptr<Regex>> ParseSeq();
+  Result<std::unique_ptr<Regex>> ParseTerm();
+  Status ParseElement(ElementDecl* decl);
+
+  Scanner sc_;
+};
+
+Result<std::unique_ptr<Regex>> SchemaParser::ParseTerm() {
+  auto node = std::make_unique<Regex>();
+  if (sc_.Accept('(')) {
+    XDB_ASSIGN_OR_RETURN(node, ParseChoice());
+    XDB_RETURN_NOT_OK(sc_.Expect(')'));
+  } else {
+    node->kind = Regex::Kind::kName;
+    XDB_RETURN_NOT_OK(sc_.ReadName(&node->name));
+  }
+  for (;;) {
+    char c = sc_.Peek();
+    Regex::Kind k;
+    if (c == '*') k = Regex::Kind::kStar;
+    else if (c == '+') k = Regex::Kind::kPlus;
+    else if (c == '?') k = Regex::Kind::kOpt;
+    else break;
+    sc_.Accept(c);
+    auto wrap = std::make_unique<Regex>();
+    wrap->kind = k;
+    wrap->children.push_back(std::move(node));
+    node = std::move(wrap);
+  }
+  return node;
+}
+
+Result<std::unique_ptr<Regex>> SchemaParser::ParseSeq() {
+  XDB_ASSIGN_OR_RETURN(std::unique_ptr<Regex> first, ParseTerm());
+  if (sc_.Peek() != ',') return first;
+  auto seq = std::make_unique<Regex>();
+  seq->kind = Regex::Kind::kSeq;
+  seq->children.push_back(std::move(first));
+  while (sc_.Accept(',')) {
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<Regex> next, ParseTerm());
+    seq->children.push_back(std::move(next));
+  }
+  return seq;
+}
+
+Result<std::unique_ptr<Regex>> SchemaParser::ParseChoice() {
+  XDB_ASSIGN_OR_RETURN(std::unique_ptr<Regex> first, ParseSeq());
+  if (sc_.Peek() != '|') return first;
+  auto choice = std::make_unique<Regex>();
+  choice->kind = Regex::Kind::kChoice;
+  choice->children.push_back(std::move(first));
+  while (sc_.Accept('|')) {
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<Regex> next, ParseSeq());
+    choice->children.push_back(std::move(next));
+  }
+  return choice;
+}
+
+Status SchemaParser::ParseElement(ElementDecl* decl) {
+  XDB_RETURN_NOT_OK(sc_.ReadName(&decl->name));
+  XDB_RETURN_NOT_OK(sc_.Expect('{'));
+  bool content_seen = false;
+  while (!sc_.Accept('}')) {
+    if (sc_.AcceptWord("attribute")) {
+      AttrDecl attr;
+      XDB_RETURN_NOT_OK(sc_.ReadName(&attr.name));
+      XDB_RETURN_NOT_OK(sc_.Expect(':'));
+      std::string type_name;
+      XDB_RETURN_NOT_OK(sc_.ReadName(&type_name));
+      XDB_ASSIGN_OR_RETURN(attr.type, SimpleTypeFromName(type_name));
+      if (sc_.AcceptWord("required")) attr.required = true;
+      else if (sc_.AcceptWord("optional")) attr.required = false;
+      XDB_RETURN_NOT_OK(sc_.Expect(';'));
+      decl->attrs.push_back(std::move(attr));
+    } else if (sc_.AcceptWord("content")) {
+      if (content_seen) return sc_.Fail("duplicate content declaration");
+      content_seen = true;
+      XDB_RETURN_NOT_OK(sc_.Expect(':'));
+      decl->content = ContentKind::kChildren;
+      XDB_ASSIGN_OR_RETURN(decl->model, ParseChoice());
+      XDB_RETURN_NOT_OK(sc_.Expect(';'));
+    } else if (sc_.AcceptWord("text")) {
+      if (content_seen) return sc_.Fail("duplicate content declaration");
+      content_seen = true;
+      XDB_RETURN_NOT_OK(sc_.Expect(':'));
+      std::string type_name;
+      XDB_RETURN_NOT_OK(sc_.ReadName(&type_name));
+      XDB_ASSIGN_OR_RETURN(decl->text_type, SimpleTypeFromName(type_name));
+      decl->content = ContentKind::kText;
+      XDB_RETURN_NOT_OK(sc_.Expect(';'));
+    } else if (sc_.AcceptWord("empty")) {
+      if (content_seen) return sc_.Fail("duplicate content declaration");
+      content_seen = true;
+      decl->content = ContentKind::kEmpty;
+      XDB_RETURN_NOT_OK(sc_.Expect(';'));
+    } else if (sc_.AcceptWord("mixed")) {
+      if (content_seen) return sc_.Fail("duplicate content declaration");
+      content_seen = true;
+      decl->content = ContentKind::kMixed;
+      XDB_RETURN_NOT_OK(sc_.Expect(';'));
+    } else {
+      return sc_.Fail("expected attribute/content/text/empty/mixed");
+    }
+  }
+  if (!content_seen) decl->content = ContentKind::kEmpty;
+  return Status::OK();
+}
+
+void CollectNames(const Regex& r, std::set<std::string>* names) {
+  if (r.kind == Regex::Kind::kName) names->insert(r.name);
+  for (const auto& c : r.children) CollectNames(*c, names);
+}
+
+Result<SchemaDoc> SchemaParser::Parse() {
+  SchemaDoc doc;
+  if (sc_.AcceptWord("schema")) {
+    XDB_RETURN_NOT_OK(sc_.ReadName(&doc.name));
+    XDB_RETURN_NOT_OK(sc_.Expect(';'));
+  }
+  while (!sc_.AtEnd()) {
+    if (sc_.AcceptWord("root")) {
+      XDB_RETURN_NOT_OK(sc_.ReadName(&doc.root));
+      XDB_RETURN_NOT_OK(sc_.Expect(';'));
+    } else if (sc_.AcceptWord("element")) {
+      ElementDecl decl;
+      XDB_RETURN_NOT_OK(ParseElement(&decl));
+      doc.elements.push_back(std::move(decl));
+    } else {
+      return sc_.Fail("expected 'element' or 'root' declaration");
+    }
+  }
+  // Semantic checks.
+  std::set<std::string> declared;
+  for (const auto& e : doc.elements) {
+    if (!declared.insert(e.name).second)
+      return Status::InvalidArgument("element '" + e.name +
+                                     "' declared twice");
+  }
+  for (const auto& e : doc.elements) {
+    if (e.model != nullptr) {
+      std::set<std::string> refs;
+      CollectNames(*e.model, &refs);
+      for (const auto& r : refs) {
+        if (declared.find(r) == declared.end())
+          return Status::InvalidArgument("element '" + r +
+                                         "' referenced but not declared");
+      }
+    }
+  }
+  if (doc.root.empty()) {
+    if (doc.elements.empty())
+      return Status::InvalidArgument("schema declares no elements");
+    doc.root = doc.elements[0].name;
+  } else if (declared.find(doc.root) == declared.end()) {
+    return Status::InvalidArgument("root element '" + doc.root +
+                                   "' is not declared");
+  }
+  return doc;
+}
+
+}  // namespace
+
+Result<SchemaDoc> ParseSchema(Slice text) {
+  SchemaParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace schema
+}  // namespace xdb

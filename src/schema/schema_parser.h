@@ -1,0 +1,19 @@
+// Parser for the schema language (see schema_ast.h for the grammar sketch).
+#ifndef XDB_SCHEMA_SCHEMA_PARSER_H_
+#define XDB_SCHEMA_SCHEMA_PARSER_H_
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "schema/schema_ast.h"
+
+namespace xdb {
+namespace schema {
+
+/// Parses schema text into an AST. Checks that all referenced child
+/// elements are declared and that the root exists.
+Result<SchemaDoc> ParseSchema(Slice text);
+
+}  // namespace schema
+}  // namespace xdb
+
+#endif  // XDB_SCHEMA_SCHEMA_PARSER_H_

@@ -1,0 +1,52 @@
+// ValidatorVm: table-driven validation over the buffered token stream.
+//
+// "At the execution time, the binary schema is loaded and executed by a
+// validation runtime to generate a token stream" (Figure 4). The VM walks
+// the input tokens, runs each element's content-model DFA, checks attribute
+// declarations, verifies simple-typed values, and emits a new token stream
+// annotated with type information (which typed value indexing consumes).
+#ifndef XDB_SCHEMA_VALIDATOR_VM_H_
+#define XDB_SCHEMA_VALIDATOR_VM_H_
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "schema/schema_compiler.h"
+#include "xml/name_dictionary.h"
+#include "xml/token_stream.h"
+
+namespace xdb {
+namespace schema {
+
+struct ValidatorStats {
+  uint64_t elements_validated = 0;
+  uint64_t attributes_validated = 0;
+  uint64_t text_values_checked = 0;
+};
+
+class ValidatorVm {
+ public:
+  /// `schema` and `dict` must outlive the VM. The dictionary resolves the
+  /// input stream's name ids back to strings for schema lookup; lookups are
+  /// memoized so steady-state validation is id-indexed.
+  ValidatorVm(const CompiledSchema* schema, const NameDictionary* dict);
+
+  /// Validates `input`; on success appends the annotated stream to `out`.
+  /// Fails with kValidationError on the first violation.
+  Status Validate(Slice input, TokenWriter* out);
+
+  const ValidatorStats& stats() const { return stats_; }
+
+ private:
+  Result<int> ElementIndexFor(NameId local);
+  Result<bool> CheckSimpleValue(SimpleType type, Slice value);
+
+  const CompiledSchema* schema_;
+  const NameDictionary* dict_;
+  std::vector<int> name_to_element_;  // NameId -> element index (-2 unknown)
+  ValidatorStats stats_;
+};
+
+}  // namespace schema
+}  // namespace xdb
+
+#endif  // XDB_SCHEMA_VALIDATOR_VM_H_

@@ -1,0 +1,149 @@
+#include "storage/buffer_manager.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace xdb {
+
+PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
+  if (this != &o) {
+    Release();
+    bm_ = o.bm_;
+    frame_ = o.frame_;
+    page_id_ = o.page_id_;
+    o.bm_ = nullptr;
+    o.frame_ = nullptr;
+    o.page_id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+char* PageHandle::MutableData() {
+  frame_->dirty = true;
+  return frame_->data.get();
+}
+
+void PageHandle::Release() {
+  if (frame_ != nullptr) {
+    bm_->Unpin(frame_);
+    frame_ = nullptr;
+    bm_ = nullptr;
+  }
+}
+
+BufferManager::BufferManager(TableSpace* space, size_t capacity)
+    : space_(space), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; i++) {
+    auto f = std::make_unique<internal::Frame>();
+    f->data = std::make_unique<char[]>(space_->page_size());
+    free_frames_.push_back(f.get());
+    frames_.push_back(std::move(f));
+  }
+}
+
+BufferManager::~BufferManager() { FlushAll(); }
+
+Status BufferManager::WriteBack(internal::Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  XDB_RETURN_NOT_OK(space_->WritePage(frame->page_id, frame->data.get()));
+  frame->dirty = false;
+  stats_.writebacks++;
+  return Status::OK();
+}
+
+Result<internal::Frame*> BufferManager::GetFreeFrame() {
+  if (!free_frames_.empty()) {
+    internal::Frame* f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty())
+    return Status::Busy("all buffer frames are pinned");
+  internal::Frame* victim = lru_.front();
+  lru_.pop_front();
+  victim->in_lru = false;
+  XDB_RETURN_NOT_OK(WriteBack(victim));
+  table_.erase(victim->page_id);
+  stats_.evictions++;
+  return victim;
+}
+
+Result<PageHandle> BufferManager::FixPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    internal::Frame* f = it->second;
+    if (f->in_lru) {
+      lru_.erase(f->lru_pos);
+      f->in_lru = false;
+    }
+    f->pin_count++;
+    stats_.hits++;
+    return PageHandle(this, f, id);
+  }
+  stats_.misses++;
+  XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame());
+  XDB_RETURN_NOT_OK(space_->ReadPage(id, f->data.get()));
+  f->page_id = id;
+  f->pin_count = 1;
+  f->dirty = false;
+  table_[id] = f;
+  return PageHandle(this, f, id);
+}
+
+Result<PageHandle> BufferManager::NewPage() {
+  XDB_ASSIGN_OR_RETURN(PageId id, space_->AllocatePage());
+  std::lock_guard<std::mutex> lock(mu_);
+  XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame());
+  std::memset(f->data.get(), 0, space_->page_size());
+  f->page_id = id;
+  f->pin_count = 1;
+  f->dirty = true;
+  table_[id] = f;
+  return PageHandle(this, f, id);
+}
+
+Status BufferManager::FreePage(PageId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(id);
+    if (it != table_.end()) {
+      internal::Frame* f = it->second;
+      if (f->pin_count > 0)
+        return Status::Busy("freeing a pinned page");
+      if (f->in_lru) {
+        lru_.erase(f->lru_pos);
+        f->in_lru = false;
+      }
+      f->dirty = false;
+      table_.erase(it);
+      free_frames_.push_back(f);
+    }
+  }
+  return space_->FreePage(id);
+}
+
+void BufferManager::Unpin(internal::Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(frame->pin_count > 0);
+  frame->pin_count--;
+  if (frame->pin_count == 0) {
+    lru_.push_back(frame);
+    frame->lru_pos = std::prev(lru_.end());
+    frame->in_lru = true;
+  }
+}
+
+Status BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, f] : table_) {
+    (void)id;
+    XDB_RETURN_NOT_OK(WriteBack(f));
+  }
+  return Status::OK();
+}
+
+}  // namespace xdb

@@ -1,0 +1,114 @@
+// BufferManager: fixed-capacity page cache over a TableSpace with pinning,
+// dirty tracking, and LRU replacement — the paper's reused "buffer manager"
+// infrastructure component.
+#ifndef XDB_STORAGE_BUFFER_MANAGER_H_
+#define XDB_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/tablespace.h"
+
+namespace xdb {
+
+class BufferManager;
+
+namespace internal {
+struct Frame {
+  PageId page_id = kInvalidPageId;
+  int pin_count = 0;
+  bool dirty = false;
+  std::unique_ptr<char[]> data;
+  std::list<Frame*>::iterator lru_pos;
+  bool in_lru = false;
+};
+}  // namespace internal
+
+/// RAII pin on a buffered page. Movable, not copyable; unpins on destruction.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
+  PageHandle& operator=(PageHandle&& o) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return frame_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+  const char* data() const { return frame_->data.get(); }
+  /// Mutable access; marks the page dirty.
+  char* MutableData();
+  /// Explicit early unpin (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageHandle(BufferManager* bm, internal::Frame* frame, PageId id)
+      : bm_(bm), frame_(frame), page_id_(id) {}
+
+  BufferManager* bm_ = nullptr;
+  internal::Frame* frame_ = nullptr;
+  PageId page_id_ = kInvalidPageId;
+};
+
+struct BufferManagerStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+};
+
+class BufferManager {
+ public:
+  /// `capacity` is the number of page frames held in memory.
+  BufferManager(TableSpace* space, size_t capacity);
+  ~BufferManager();
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Pins page `id`, reading it from the table space on a miss.
+  Result<PageHandle> FixPage(PageId id);
+
+  /// Allocates a fresh page in the table space and pins it.
+  Result<PageHandle> NewPage();
+
+  /// Unpins and frees page `id` back to the table space. The page must not
+  /// be pinned by anyone else.
+  Status FreePage(PageId id);
+
+  /// Writes back all dirty pages.
+  Status FlushAll();
+
+  TableSpace* space() { return space_; }
+  uint32_t page_size() const { return space_->page_size(); }
+  const BufferManagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferManagerStats{}; }
+
+ private:
+  friend class PageHandle;
+
+  void Unpin(internal::Frame* frame);
+  // Both called with mu_ held.
+  Result<internal::Frame*> GetFreeFrame();
+  Status WriteBack(internal::Frame* frame);
+
+  TableSpace* space_;
+  size_t capacity_;
+  std::mutex mu_;
+  std::unordered_map<PageId, internal::Frame*> table_;
+  std::list<internal::Frame*> lru_;  // front = coldest unpinned frame
+  std::vector<std::unique_ptr<internal::Frame>> frames_;
+  std::vector<internal::Frame*> free_frames_;
+  BufferManagerStats stats_;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_STORAGE_BUFFER_MANAGER_H_

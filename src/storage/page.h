@@ -1,0 +1,42 @@
+// Page-level constants and identifiers for the relational storage substrate.
+//
+// This is the "data management infrastructure" layer of the paper's Figure 1:
+// to everything below the XML services, packed XML data is just rows in pages.
+#ifndef XDB_STORAGE_PAGE_H_
+#define XDB_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace xdb {
+
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Default page size; table spaces may be created with other powers of two.
+constexpr uint32_t kDefaultPageSize = 4096;
+
+/// Record identifier: physical position of a record, (page, slot).
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool IsValid() const { return page_id != kInvalidPageId; }
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_id) << 16) | slot;
+  }
+  static Rid Unpack(uint64_t v) {
+    return Rid{static_cast<PageId>(v >> 16), static_cast<uint16_t>(v & 0xFFFF)};
+  }
+
+  bool operator==(const Rid& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+  bool operator!=(const Rid& o) const { return !(*this == o); }
+};
+
+}  // namespace xdb
+
+#endif  // XDB_STORAGE_PAGE_H_

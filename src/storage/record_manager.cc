@@ -1,0 +1,502 @@
+#include "storage/record_manager.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace xdb {
+
+namespace {
+// Data page layout:
+//   [0]  type          u8
+//   [1]  flags         u8
+//   [2]  nslots        u16
+//   [4]  cell_start    u16  (lowest offset occupied by the cell area)
+//   [6]  reserved      u16
+//   [8]  slot array    nslots * 4 bytes: {offset u16, len u16}; offset 0 =
+//        free slot
+// Cells are allocated downward from the end of the page.
+constexpr uint32_t kPageHeader = 8;
+constexpr uint32_t kSlotSize = 4;
+
+// Overflow page layout: [0] type u8, [1] pad, [2] len u16, [4] next u32,
+// [8] data.
+constexpr uint32_t kOverflowHeader = 8;
+
+uint16_t GetNumSlots(const char* p) { return DecodeFixed16(p + 2); }
+void SetNumSlots(char* p, uint16_t n) { EncodeFixed16(p + 2, n); }
+uint16_t GetCellStart(const char* p) { return DecodeFixed16(p + 4); }
+void SetCellStart(char* p, uint16_t v) { EncodeFixed16(p + 4, v); }
+
+void ReadSlot(const char* p, uint16_t slot, uint16_t* off, uint16_t* len) {
+  const char* s = p + kPageHeader + slot * kSlotSize;
+  *off = DecodeFixed16(s);
+  *len = DecodeFixed16(s + 2);
+}
+void WriteSlot(char* p, uint16_t slot, uint16_t off, uint16_t len) {
+  char* s = p + kPageHeader + slot * kSlotSize;
+  EncodeFixed16(s, off);
+  EncodeFixed16(s + 2, len);
+}
+
+uint32_t ContiguousFree(const char* p) {
+  uint16_t nslots = GetNumSlots(p);
+  uint16_t cell_start = GetCellStart(p);
+  uint32_t used_front = kPageHeader + nslots * kSlotSize;
+  return cell_start > used_front ? cell_start - used_front : 0;
+}
+
+// Total reclaimable free space (requires compaction to become contiguous).
+uint32_t TotalFree(const char* p, uint32_t page_size) {
+  uint16_t nslots = GetNumSlots(p);
+  uint32_t live = 0;
+  for (uint16_t i = 0; i < nslots; i++) {
+    uint16_t off, len;
+    ReadSlot(p, i, &off, &len);
+    if (off != 0) live += len;
+  }
+  return page_size - kPageHeader - nslots * kSlotSize - live;
+}
+
+void InitDataPage(char* p, uint32_t page_size) {
+  std::memset(p, 0, kPageHeader);
+  p[0] = static_cast<char>(kDataPage);
+  SetNumSlots(p, 0);
+  SetCellStart(p, static_cast<uint16_t>(page_size));
+}
+
+// Rewrites all live cells against the end of the page, restoring contiguous
+// free space.
+void CompactPage(char* p, uint32_t page_size) {
+  uint16_t nslots = GetNumSlots(p);
+  std::string copies;
+  std::vector<std::pair<uint16_t, uint16_t>> live;  // slot, len
+  for (uint16_t i = 0; i < nslots; i++) {
+    uint16_t off, len;
+    ReadSlot(p, i, &off, &len);
+    if (off != 0) {
+      copies.append(p + off, len);
+      live.emplace_back(i, len);
+    }
+  }
+  uint32_t write_end = page_size;
+  size_t src = 0;
+  for (auto [slot, len] : live) {
+    write_end -= len;
+    std::memcpy(p + write_end, copies.data() + src, len);
+    WriteSlot(p, slot, static_cast<uint16_t>(write_end), len);
+    src += len;
+  }
+  SetCellStart(p, static_cast<uint16_t>(write_end));
+}
+
+}  // namespace
+
+RecordManager::RecordManager(BufferManager* bm) : bm_(bm) {}
+
+Status RecordManager::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_space_.clear();
+  overflow_pages_ = 0;
+  stats_ = RecordManagerStats{};
+  const PageId n = bm_->space()->page_count();
+  for (PageId id = 1; id < n; id++) {
+    auto res = bm_->FixPage(id);
+    if (!res.ok()) return res.status();
+    PageHandle page = res.MoveValue();
+    uint8_t type = static_cast<uint8_t>(page.data()[0]);
+    if (type == kDataPage) {
+      const char* p = page.data();
+      free_space_[id] = TotalFree(p, bm_->page_size());
+      stats_.data_pages++;
+      uint16_t nslots = GetNumSlots(p);
+      for (uint16_t s = 0; s < nslots; s++) {
+        uint16_t off, len;
+        ReadSlot(p, s, &off, &len);
+        if (off == 0) continue;
+        uint8_t flag = static_cast<uint8_t>(p[off]);
+        // Forwarding stubs and moved-in targets count as one record via the
+        // home cell only.
+        if (flag != kMovedIn) stats_.live_records++;
+      }
+    } else if (type == kOverflowPage) {
+      overflow_pages_++;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Rid> RecordManager::InsertCell(uint8_t flag, Slice payload,
+                                      Slice home_rid_prefix) {
+  const uint32_t page_size = bm_->page_size();
+  const uint32_t cell_len =
+      1 + static_cast<uint32_t>(home_rid_prefix.size() + payload.size());
+  // Worst case we also need a new slot entry.
+  const uint32_t need = cell_len + kSlotSize;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId target = kInvalidPageId;
+  for (auto& [id, free] : free_space_) {
+    if (free >= need) {
+      target = id;
+      break;
+    }
+  }
+  PageHandle page;
+  if (target == kInvalidPageId) {
+    XDB_ASSIGN_OR_RETURN(page, bm_->NewPage());
+    InitDataPage(page.MutableData(), page_size);
+    target = page.page_id();
+    stats_.data_pages++;
+  } else {
+    XDB_ASSIGN_OR_RETURN(page, bm_->FixPage(target));
+  }
+  char* p = page.MutableData();
+
+  // Find a free slot or append one.
+  uint16_t nslots = GetNumSlots(p);
+  uint16_t slot = nslots;
+  for (uint16_t i = 0; i < nslots; i++) {
+    uint16_t off, len;
+    ReadSlot(p, i, &off, &len);
+    if (off == 0) {
+      slot = i;
+      break;
+    }
+  }
+  uint32_t slot_cost = (slot == nslots) ? kSlotSize : 0;
+  if (ContiguousFree(p) < cell_len + slot_cost) {
+    CompactPage(p, page_size);
+    if (ContiguousFree(p) < cell_len + slot_cost)
+      return Status::Corruption("free-space map out of sync with page");
+  }
+  if (slot == nslots) SetNumSlots(p, static_cast<uint16_t>(nslots + 1));
+
+  uint16_t cell_start = GetCellStart(p);
+  uint16_t off = static_cast<uint16_t>(cell_start - cell_len);
+  p[off] = static_cast<char>(flag);
+  std::memcpy(p + off + 1, home_rid_prefix.data(), home_rid_prefix.size());
+  std::memcpy(p + off + 1 + home_rid_prefix.size(), payload.data(),
+              payload.size());
+  SetCellStart(p, off);
+  WriteSlot(p, slot, off, static_cast<uint16_t>(cell_len));
+  free_space_[target] = TotalFree(p, page_size);
+  return Rid{target, slot};
+}
+
+Status RecordManager::WriteOverflowChain(Slice data, PageId* first_page) {
+  const uint32_t page_size = bm_->page_size();
+  const uint32_t chunk = page_size - kOverflowHeader;
+  PageId prev = kInvalidPageId;
+  PageId first = kInvalidPageId;
+  size_t pos = 0;
+  PageHandle prev_page;
+  while (pos < data.size() || first == kInvalidPageId) {
+    XDB_ASSIGN_OR_RETURN(PageHandle page, bm_->NewPage());
+    char* p = page.MutableData();
+    p[0] = static_cast<char>(kOverflowPage);
+    size_t n = std::min<size_t>(chunk, data.size() - pos);
+    EncodeFixed16(p + 2, static_cast<uint16_t>(n));
+    EncodeFixed32(p + 4, kInvalidPageId);
+    std::memcpy(p + kOverflowHeader, data.data() + pos, n);
+    pos += n;
+    overflow_pages_++;
+    if (prev == kInvalidPageId) {
+      first = page.page_id();
+    } else {
+      EncodeFixed32(prev_page.MutableData() + 4, page.page_id());
+    }
+    prev = page.page_id();
+    prev_page = std::move(page);
+    if (pos >= data.size()) break;
+  }
+  *first_page = first;
+  return Status::OK();
+}
+
+Status RecordManager::FreeOverflowChain(PageId first_page) {
+  PageId id = first_page;
+  while (id != kInvalidPageId) {
+    PageId next;
+    {
+      XDB_ASSIGN_OR_RETURN(PageHandle page, bm_->FixPage(id));
+      if (static_cast<uint8_t>(page.data()[0]) != kOverflowPage)
+        return Status::Corruption("overflow chain hits non-overflow page");
+      next = DecodeFixed32(page.data() + 4);
+    }
+    XDB_RETURN_NOT_OK(bm_->FreePage(id));
+    overflow_pages_--;
+    id = next;
+  }
+  return Status::OK();
+}
+
+Status RecordManager::ReadOverflowChain(PageId first_page, uint32_t total_len,
+                                        std::string* out) {
+  out->clear();
+  out->reserve(total_len);
+  PageId id = first_page;
+  while (id != kInvalidPageId && out->size() < total_len) {
+    XDB_ASSIGN_OR_RETURN(PageHandle page, bm_->FixPage(id));
+    if (static_cast<uint8_t>(page.data()[0]) != kOverflowPage)
+      return Status::Corruption("overflow chain hits non-overflow page");
+    uint16_t len = DecodeFixed16(page.data() + 2);
+    out->append(page.data() + kOverflowHeader, len);
+    id = DecodeFixed32(page.data() + 4);
+  }
+  if (out->size() != total_len)
+    return Status::Corruption("overflow chain truncated");
+  return Status::OK();
+}
+
+Result<Rid> RecordManager::Insert(Slice record) {
+  const uint32_t page_size = bm_->page_size();
+  const uint32_t max_inline = page_size - kPageHeader - kSlotSize - 1;
+  stats_.inserts++;
+  stats_.live_records++;
+  if (record.size() + 1 < kMinCell) {
+    // Pad so the cell can later be rewritten as a forward/overflow stub.
+    std::string padded;
+    padded.push_back(static_cast<char>(record.size()));
+    padded.append(record.data(), record.size());
+    padded.resize(kMinCell - 1, '\0');
+    return InsertCell(kInlinePadded, padded, Slice());
+  }
+  if (record.size() <= max_inline) {
+    return InsertCell(kInline, record, Slice());
+  }
+  // Overflow: the cell holds {total_len, first_page}.
+  PageId first;
+  XDB_RETURN_NOT_OK(WriteOverflowChain(record, &first));
+  std::string cell;
+  PutFixed32(&cell, static_cast<uint32_t>(record.size()));
+  PutFixed32(&cell, first);
+  stats_.overflow_records++;
+  return InsertCell(kOverflow, cell, Slice());
+}
+
+Status RecordManager::Get(Rid rid, std::string* out) {
+  XDB_ASSIGN_OR_RETURN(PageHandle page, bm_->FixPage(rid.page_id));
+  const char* p = page.data();
+  if (static_cast<uint8_t>(p[0]) != kDataPage)
+    return Status::InvalidArgument("RID does not address a data page");
+  if (rid.slot >= GetNumSlots(p)) return Status::NotFound("no such slot");
+  uint16_t off, len;
+  ReadSlot(p, rid.slot, &off, &len);
+  if (off == 0) return Status::NotFound("deleted record");
+  uint8_t flag = static_cast<uint8_t>(p[off]);
+  switch (flag) {
+    case kInline:
+      out->assign(p + off + 1, len - 1);
+      return Status::OK();
+    case kInlinePadded: {
+      uint8_t plen = static_cast<uint8_t>(p[off + 1]);
+      out->assign(p + off + 2, plen);
+      return Status::OK();
+    }
+    case kOverflow: {
+      uint32_t total_len = DecodeFixed32(p + off + 1);
+      PageId first = DecodeFixed32(p + off + 5);
+      page.Release();
+      return ReadOverflowChain(first, total_len, out);
+    }
+    case kForward: {
+      Rid target = Rid::Unpack(DecodeFixed64(p + off + 1));
+      page.Release();
+      XDB_ASSIGN_OR_RETURN(PageHandle tp, bm_->FixPage(target.page_id));
+      const char* q = tp.data();
+      uint16_t toff, tlen;
+      ReadSlot(q, target.slot, &toff, &tlen);
+      if (toff == 0 || static_cast<uint8_t>(q[toff]) != kMovedIn)
+        return Status::Corruption("dangling forwarding pointer");
+      out->assign(q + toff + 1 + 8, tlen - 1 - 8);
+      return Status::OK();
+    }
+    case kMovedIn:
+      return Status::InvalidArgument("RID addresses a relocated cell");
+    default:
+      return Status::Corruption("bad cell flag");
+  }
+}
+
+Status RecordManager::FreeCellAt(PageHandle& page, uint16_t slot) {
+  char* p = page.MutableData();
+  uint16_t off, len;
+  ReadSlot(p, slot, &off, &len);
+  if (off == 0) return Status::NotFound("deleted record");
+  WriteSlot(p, slot, 0, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  free_space_[page.page_id()] = TotalFree(p, bm_->page_size());
+  return Status::OK();
+}
+
+Status RecordManager::Delete(Rid rid) {
+  stats_.deletes++;
+  if (stats_.live_records > 0) stats_.live_records--;
+  XDB_ASSIGN_OR_RETURN(PageHandle page, bm_->FixPage(rid.page_id));
+  char* p = page.MutableData();
+  if (static_cast<uint8_t>(p[0]) != kDataPage)
+    return Status::InvalidArgument("RID does not address a data page");
+  if (rid.slot >= GetNumSlots(p)) return Status::NotFound("no such slot");
+  uint16_t off, len;
+  ReadSlot(p, rid.slot, &off, &len);
+  if (off == 0) return Status::NotFound("deleted record");
+  uint8_t flag = static_cast<uint8_t>(p[off]);
+  if (flag == kOverflow) {
+    PageId first = DecodeFixed32(p + off + 5);
+    XDB_RETURN_NOT_OK(FreeOverflowChain(first));
+  } else if (flag == kForward) {
+    Rid target = Rid::Unpack(DecodeFixed64(p + off + 1));
+    XDB_ASSIGN_OR_RETURN(PageHandle tp, bm_->FixPage(target.page_id));
+    XDB_RETURN_NOT_OK(FreeCellAt(tp, target.slot));
+  }
+  return FreeCellAt(page, rid.slot);
+}
+
+Status RecordManager::Update(Rid rid, Slice record) {
+  stats_.updates++;
+  const uint32_t page_size = bm_->page_size();
+  const uint32_t max_inline = page_size - kPageHeader - kSlotSize - 1;
+
+  XDB_ASSIGN_OR_RETURN(PageHandle page, bm_->FixPage(rid.page_id));
+  char* p = page.MutableData();
+  if (static_cast<uint8_t>(p[0]) != kDataPage)
+    return Status::InvalidArgument("RID does not address a data page");
+  if (rid.slot >= GetNumSlots(p)) return Status::NotFound("no such slot");
+  uint16_t off, len;
+  ReadSlot(p, rid.slot, &off, &len);
+  if (off == 0) return Status::NotFound("deleted record");
+  uint8_t flag = static_cast<uint8_t>(p[off]);
+
+  // Release resources OUTSIDE the home page held by the old incarnation.
+  // The home slot itself stays occupied until the new placement is decided,
+  // so a relocation can never be handed the home slot and produce a
+  // forwarding pointer to itself.
+  if (flag == kOverflow) {
+    PageId first = DecodeFixed32(p + off + 5);
+    XDB_RETURN_NOT_OK(FreeOverflowChain(first));
+  } else if (flag == kForward) {
+    Rid target = Rid::Unpack(DecodeFixed64(p + off + 1));
+    XDB_ASSIGN_OR_RETURN(PageHandle tp, bm_->FixPage(target.page_id));
+    XDB_RETURN_NOT_OK(FreeCellAt(tp, target.slot));
+  }
+
+  // Frees the home slot and places a new cell there. `old_len` bytes come
+  // back when the dead cell is compacted away.
+  auto place_home = [&](uint8_t new_flag, Slice payload) -> bool {
+    uint32_t cell_len = 1 + static_cast<uint32_t>(payload.size());
+    WriteSlot(p, rid.slot, 0, 0);
+    if (TotalFree(p, page_size) < cell_len) return false;
+    if (ContiguousFree(p) < cell_len) CompactPage(p, page_size);
+    uint16_t cell_start = GetCellStart(p);
+    uint16_t noff = static_cast<uint16_t>(cell_start - cell_len);
+    p[noff] = static_cast<char>(new_flag);
+    std::memcpy(p + noff + 1, payload.data(), payload.size());
+    SetCellStart(p, noff);
+    WriteSlot(p, rid.slot, noff, static_cast<uint16_t>(cell_len));
+    return true;
+  };
+  auto sync_free_space = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_space_[rid.page_id] = TotalFree(p, page_size);
+  };
+
+  // A relocated cell needs 8 extra bytes for the home-RID prefix, so the
+  // update-time inline threshold is tighter than the insert-time one.
+  if (record.size() + 8 > max_inline) {
+    PageId first;
+    XDB_RETURN_NOT_OK(WriteOverflowChain(record, &first));
+    std::string cell;
+    PutFixed32(&cell, static_cast<uint32_t>(record.size()));
+    PutFixed32(&cell, first);
+    stats_.overflow_records++;
+    if (!place_home(kOverflow, cell))
+      return Status::Corruption("no room for overflow stub after free");
+    sync_free_space();
+    return Status::OK();
+  }
+
+  // Try in place: worth it iff the page has room once the old cell's bytes
+  // are reclaimed. Tiny payloads keep the padded form.
+  if (record.size() + 1 < kMinCell) {
+    std::string padded;
+    padded.push_back(static_cast<char>(record.size()));
+    padded.append(record.data(), record.size());
+    padded.resize(kMinCell - 1, '\0');
+    if (TotalFree(p, page_size) + len >= kMinCell &&
+        place_home(kInlinePadded, padded)) {
+      sync_free_space();
+      return Status::OK();
+    }
+  } else if (TotalFree(p, page_size) + len >= record.size() + 1 &&
+             place_home(kInline, record)) {
+    sync_free_space();
+    return Status::OK();
+  }
+
+  // Relocate: moved-in cell elsewhere (home slot still occupied, so it can
+  // never be chosen), then a forwarding pointer at home.
+  std::string home_prefix;
+  PutFixed64(&home_prefix, rid.Pack());
+  XDB_ASSIGN_OR_RETURN(Rid target, InsertCell(kMovedIn, record, home_prefix));
+  std::string fwd;
+  PutFixed64(&fwd, target.Pack());
+  if (!place_home(kForward, fwd))
+    return Status::Corruption("no room for forwarding pointer after free");
+  sync_free_space();
+  return Status::OK();
+}
+
+Status RecordManager::ScanAll(
+    const std::function<Status(Rid, Slice)>& visitor) {
+  const PageId n = bm_->space()->page_count();
+  for (PageId id = 1; id < n; id++) {
+    XDB_ASSIGN_OR_RETURN(PageHandle page, bm_->FixPage(id));
+    const char* p = page.data();
+    if (static_cast<uint8_t>(p[0]) != kDataPage) continue;
+    uint16_t nslots = GetNumSlots(p);
+    for (uint16_t s = 0; s < nslots; s++) {
+      uint16_t off, len;
+      ReadSlot(p, s, &off, &len);
+      if (off == 0) continue;
+      uint8_t flag = static_cast<uint8_t>(p[off]);
+      switch (flag) {
+        case kInline:
+          XDB_RETURN_NOT_OK(visitor(Rid{id, s}, Slice(p + off + 1, len - 1)));
+          break;
+        case kInlinePadded: {
+          uint8_t plen = static_cast<uint8_t>(p[off + 1]);
+          XDB_RETURN_NOT_OK(visitor(Rid{id, s}, Slice(p + off + 2, plen)));
+          break;
+        }
+        case kOverflow: {
+          uint32_t total_len = DecodeFixed32(p + off + 1);
+          PageId first = DecodeFixed32(p + off + 5);
+          std::string data;
+          XDB_RETURN_NOT_OK(ReadOverflowChain(first, total_len, &data));
+          XDB_RETURN_NOT_OK(visitor(Rid{id, s}, Slice(data)));
+          break;
+        }
+        case kMovedIn: {
+          Rid home = Rid::Unpack(DecodeFixed64(p + off + 1));
+          XDB_RETURN_NOT_OK(
+              visitor(home, Slice(p + off + 1 + 8, len - 1 - 8)));
+          break;
+        }
+        case kForward:
+          break;  // reported via its moved-in cell
+        default:
+          return Status::Corruption("bad cell flag in scan");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t RecordManager::StorageBytes() const {
+  return (stats_.data_pages + overflow_pages_) * bm_->page_size();
+}
+
+}  // namespace xdb

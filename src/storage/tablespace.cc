@@ -1,0 +1,171 @@
+#include "storage/tablespace.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace xdb {
+
+namespace {
+constexpr uint32_t kMagic = 0x58444254;  // "XDBT"
+}  // namespace
+
+TableSpace::~TableSpace() {
+  if (fd_ >= 0) {
+    // Persist allocation state; errors on close are not recoverable here.
+    WriteHeader();
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<TableSpace>> TableSpace::Create(
+    const std::string& path, const TableSpaceOptions& options) {
+  auto ts = std::unique_ptr<TableSpace>(new TableSpace());
+  ts->page_size_ = options.page_size;
+  ts->in_memory_ = options.in_memory;
+  ts->page_count_ = 1;  // header page
+  if (options.in_memory) {
+    ts->mem_pages_.push_back(std::make_unique<char[]>(options.page_size));
+    return ts;
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  ts->fd_ = fd;
+  XDB_RETURN_NOT_OK(ts->WriteHeader());
+  return ts;
+}
+
+Result<std::unique_ptr<TableSpace>> TableSpace::Open(
+    const std::string& path, const TableSpaceOptions& options) {
+  if (options.in_memory)
+    return Status::InvalidArgument("cannot reopen an in-memory table space");
+  auto ts = std::unique_ptr<TableSpace>(new TableSpace());
+  int fd = ::open(path.c_str(), O_RDWR, 0644);
+  if (fd < 0)
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  ts->fd_ = fd;
+  XDB_RETURN_NOT_OK(ts->ReadHeader());
+  return ts;
+}
+
+Status TableSpace::ReadHeader() {
+  char buf[64];
+  ssize_t n = ::pread(fd_, buf, sizeof(buf), 0);
+  if (n < static_cast<ssize_t>(sizeof(buf)))
+    return Status::Corruption("table space header too short");
+  if (DecodeFixed32(buf) != kMagic)
+    return Status::Corruption("bad table space magic");
+  page_size_ = DecodeFixed32(buf + 4);
+  page_count_ = DecodeFixed32(buf + 8);
+  free_list_head_ = DecodeFixed32(buf + 12);
+  if (page_size_ < 512 || page_size_ > 1 << 20 || page_count_ == 0)
+    return Status::Corruption("implausible table space header");
+  return Status::OK();
+}
+
+Status TableSpace::WriteHeader() {
+  std::string buf(page_size_, '\0');
+  EncodeFixed32(buf.data(), kMagic);
+  EncodeFixed32(buf.data() + 4, page_size_);
+  EncodeFixed32(buf.data() + 8, page_count_);
+  EncodeFixed32(buf.data() + 12, free_list_head_);
+  ssize_t n = ::pwrite(fd_, buf.data(), page_size_, 0);
+  if (n != static_cast<ssize_t>(page_size_))
+    return Status::IOError("write header failed");
+  return Status::OK();
+}
+
+Result<PageId> TableSpace::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_list_head_ != kInvalidPageId) {
+    PageId id = free_list_head_;
+    // Next free page id is stored in the first 4 bytes of a freed page.
+    char buf[4];
+    if (in_memory_) {
+      std::memcpy(buf, mem_pages_[id].get(), 4);
+    } else {
+      ssize_t n = ::pread(fd_, buf, 4, static_cast<off_t>(id) * page_size_);
+      if (n != 4) return Status::IOError("read free page link");
+    }
+    free_list_head_ = DecodeFixed32(buf);
+    // Zero the recycled page so callers see a clean slate.
+    std::string zeros(page_size_, '\0');
+    if (in_memory_) {
+      std::memset(mem_pages_[id].get(), 0, page_size_);
+    } else {
+      ssize_t n = ::pwrite(fd_, zeros.data(), page_size_,
+                           static_cast<off_t>(id) * page_size_);
+      if (n != static_cast<ssize_t>(page_size_))
+        return Status::IOError("zero recycled page");
+    }
+    return id;
+  }
+  PageId id = page_count_++;
+  if (in_memory_) {
+    mem_pages_.push_back(std::make_unique<char[]>(page_size_));
+  } else {
+    std::string zeros(page_size_, '\0');
+    ssize_t n = ::pwrite(fd_, zeros.data(), page_size_,
+                         static_cast<off_t>(id) * page_size_);
+    if (n != static_cast<ssize_t>(page_size_))
+      return Status::IOError("extend table space");
+  }
+  return id;
+}
+
+Status TableSpace::FreePage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id >= page_count_)
+    return Status::InvalidArgument("bad page id to free");
+  char buf[4];
+  EncodeFixed32(buf, free_list_head_);
+  if (in_memory_) {
+    std::memcpy(mem_pages_[id].get(), buf, 4);
+  } else {
+    ssize_t n = ::pwrite(fd_, buf, 4, static_cast<off_t>(id) * page_size_);
+    if (n != 4) return Status::IOError("write free page link");
+  }
+  free_list_head_ = id;
+  return Status::OK();
+}
+
+Status TableSpace::ReadPage(PageId id, char* buf) {
+  if (id >= page_count_) return Status::InvalidArgument("page out of range");
+  if (in_memory_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::memcpy(buf, mem_pages_[id].get(), page_size_);
+    return Status::OK();
+  }
+  ssize_t n = ::pread(fd_, buf, page_size_, static_cast<off_t>(id) * page_size_);
+  if (n != static_cast<ssize_t>(page_size_))
+    return Status::IOError("short page read");
+  return Status::OK();
+}
+
+Status TableSpace::WritePage(PageId id, const char* buf) {
+  if (id >= page_count_) return Status::InvalidArgument("page out of range");
+  if (in_memory_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::memcpy(mem_pages_[id].get(), buf, page_size_);
+    return Status::OK();
+  }
+  ssize_t n =
+      ::pwrite(fd_, buf, page_size_, static_cast<off_t>(id) * page_size_);
+  if (n != static_cast<ssize_t>(page_size_))
+    return Status::IOError("short page write");
+  return Status::OK();
+}
+
+Status TableSpace::Sync() {
+  if (in_memory_) return Status::OK();
+  XDB_RETURN_NOT_OK(WriteHeader());
+  if (::fsync(fd_) != 0) return Status::IOError("fsync failed");
+  return Status::OK();
+}
+
+}  // namespace xdb

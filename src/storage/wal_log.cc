@@ -1,0 +1,113 @@
+#include "storage/wal_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace xdb {
+
+namespace {
+// Record layout: [total_len u32][type u8][crc u32][payload].
+constexpr size_t kRecordHeader = 4 + 1 + 4;
+
+uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t n) {
+  uint32_t* table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; i++)
+    c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+WalLog::~WalLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WalLog>> WalLog::Open(const std::string& path) {
+  auto log = std::unique_ptr<WalLog>(new WalLog());
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0)
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  log->fd_ = fd;
+  log->path_ = path;
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) return Status::IOError("lseek failed");
+  log->size_ = static_cast<uint64_t>(end);
+  return log;
+}
+
+Result<uint64_t> WalLog::Append(WalRecordType type, Slice payload) {
+  std::string rec;
+  rec.reserve(kRecordHeader + payload.size());
+  PutFixed32(&rec, static_cast<uint32_t>(payload.size()));
+  rec.push_back(static_cast<char>(type));
+  PutFixed32(&rec, Crc32(payload.data(), payload.size()));
+  rec.append(payload.data(), payload.size());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t lsn = size_;
+  ssize_t n = ::pwrite(fd_, rec.data(), rec.size(), static_cast<off_t>(size_));
+  if (n != static_cast<ssize_t>(rec.size()))
+    return Status::IOError("short log append");
+  size_ += rec.size();
+  return lsn;
+}
+
+Status WalLog::Sync() {
+  if (::fdatasync(fd_) != 0) return Status::IOError("fdatasync failed");
+  return Status::OK();
+}
+
+Status WalLog::Replay(
+    const std::function<Status(uint64_t, WalRecordType, Slice)>& visit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t pos = 0;
+  std::vector<char> buf;
+  while (pos + kRecordHeader <= size_) {
+    char hdr[kRecordHeader];
+    ssize_t n = ::pread(fd_, hdr, kRecordHeader, static_cast<off_t>(pos));
+    if (n != static_cast<ssize_t>(kRecordHeader)) break;
+    uint32_t len = DecodeFixed32(hdr);
+    uint8_t type = static_cast<uint8_t>(hdr[4]);
+    uint32_t crc = DecodeFixed32(hdr + 5);
+    if (pos + kRecordHeader + len > size_) break;  // torn tail
+    buf.resize(len);
+    n = ::pread(fd_, buf.data(), len, static_cast<off_t>(pos + kRecordHeader));
+    if (n != static_cast<ssize_t>(len)) break;
+    if (Crc32(buf.data(), len) != crc) break;  // corrupt tail
+    XDB_RETURN_NOT_OK(visit(pos, static_cast<WalRecordType>(type),
+                            Slice(buf.data(), len)));
+    pos += kRecordHeader + len;
+  }
+  return Status::OK();
+}
+
+Status WalLog::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (::ftruncate(fd_, 0) != 0) return Status::IOError("ftruncate failed");
+  size_ = 0;
+  return Status::OK();
+}
+
+}  // namespace xdb

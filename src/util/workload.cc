@@ -1,0 +1,175 @@
+#include "util/workload.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace xdb {
+namespace workload {
+
+namespace {
+const char* kWords[] = {"alpha", "bravo", "charlie", "delta",  "echo",
+                        "foxtrot", "golf",  "hotel",   "india", "juliet"};
+
+void AppendFiller(Random* rng, uint32_t bytes, std::string* out) {
+  while (bytes > 0) {
+    const char* w = kWords[rng->Uniform(10)];
+    out->append(w);
+    uint32_t n = static_cast<uint32_t>(std::strlen(w)) + 1;
+    out->push_back(' ');
+    bytes = bytes > n ? bytes - n : 0;
+  }
+}
+}  // namespace
+
+std::string GenCatalogXml(Random* rng, const CatalogOptions& options) {
+  std::string xml = "<Catalog>";
+  uint32_t product_id = 1;
+  for (uint32_t c = 0; c < options.categories; c++) {
+    xml += "<Categories>";
+    for (uint32_t p = 0; p < options.products_per_category; p++) {
+      char buf[64];
+      double price = options.min_price +
+                     rng->NextDouble() * (options.max_price - options.min_price);
+      std::snprintf(buf, sizeof(buf), "%.2f", price);
+      xml += "<Product id=\"P" + std::to_string(product_id++) + "\">";
+      xml += "<ProductName>";
+      xml += kWords[rng->Uniform(10)];
+      xml += "-";
+      xml += std::to_string(rng->Uniform(100000));
+      xml += "</ProductName>";
+      xml += "<RegPrice>";
+      xml += buf;
+      xml += "</RegPrice>";
+      if (rng->NextDouble() < options.discount_fraction) {
+        std::snprintf(buf, sizeof(buf), "%.2f", rng->NextDouble() * 0.5);
+        xml += "<Discount>";
+        xml += buf;
+        xml += "</Discount>";
+      }
+      if (options.description_bytes > 0) {
+        xml += "<Description>";
+        AppendFiller(rng, options.description_bytes, &xml);
+        xml += "</Description>";
+      }
+      xml += "</Product>";
+    }
+    xml += "</Categories>";
+  }
+  xml += "</Catalog>";
+  return xml;
+}
+
+std::string GenRecursiveXml(uint32_t nesting, uint32_t siblings_per_level,
+                            const std::string& name) {
+  std::string xml;
+  for (uint32_t i = 0; i < nesting; i++) {
+    xml += "<" + name + ">";
+    for (uint32_t s = 0; s < siblings_per_level; s++)
+      xml += "<" + name + ">leaf" + std::to_string(i) + "." +
+             std::to_string(s) + "</" + name + ">";
+    xml += "t" + std::to_string(i);
+  }
+  // Innermost payload distinguishes the deepest level.
+  xml += "<t>XML</t>";
+  for (uint32_t i = 0; i < nesting; i++) xml += "</" + name + ">";
+  return xml;
+}
+
+std::string GenWideXml(uint32_t leaves, uint32_t leaf_bytes) {
+  std::string xml = "<root>";
+  std::string payload(leaf_bytes, 'x');
+  for (uint32_t i = 0; i < leaves; i++) {
+    xml += "<item n=\"" + std::to_string(i) + "\">" + payload + "</item>";
+  }
+  xml += "</root>";
+  return xml;
+}
+
+namespace {
+void GenRandomElement(Random* rng, uint32_t* budget, int depth,
+                      std::string* out) {
+  char name = static_cast<char>('a' + rng->Uniform(5));
+  (*budget)--;
+  out->push_back('<');
+  out->push_back(name);
+  // Attributes (names kept distinct within the element).
+  uint32_t nattrs = static_cast<uint32_t>(rng->Uniform(3));
+  bool used[3] = {false, false, false};
+  for (uint32_t i = 0; i < nattrs && *budget > 0; i++) {
+    uint32_t pick = static_cast<uint32_t>(rng->Uniform(3));
+    if (used[pick]) continue;
+    used[pick] = true;
+    char aname = static_cast<char>('v' + pick);
+    (*budget)--;
+    out->push_back(' ');
+    out->push_back(aname);
+    out->append("=\"");
+    out->append(std::to_string(rng->Uniform(1000)));
+    out->push_back('"');
+  }
+  out->push_back('>');
+  // Children.
+  while (*budget > 0 && !rng->OneIn(3)) {
+    if (depth < 12 && rng->OneIn(2)) {
+      GenRandomElement(rng, budget, depth + 1, out);
+    } else {
+      (*budget)--;
+      out->append(std::to_string(rng->Uniform(500)));
+      // Avoid merging adjacent text nodes: always follow with an element or
+      // end tag.
+      break;
+    }
+  }
+  out->append("</");
+  out->push_back(name);
+  out->push_back('>');
+}
+}  // namespace
+
+std::string GenRandomXml(Random* rng, uint32_t max_nodes) {
+  std::string out;
+  uint32_t budget = max_nodes == 0 ? 1 : max_nodes;
+  GenRandomElement(rng, &budget, 0, &out);
+  return out;
+}
+
+std::vector<EmployeeRow> GenEmployees(Random* rng, uint32_t count) {
+  std::vector<EmployeeRow> rows;
+  rows.reserve(count);
+  static const char* kDepts[] = {"Accting", "Engineering", "Sales", "HR",
+                                 "Support"};
+  for (uint32_t i = 0; i < count; i++) {
+    EmployeeRow row;
+    row.id = std::to_string(1000 + i);
+    row.fname = kWords[rng->Uniform(10)];
+    row.lname = kWords[rng->Uniform(10)];
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04u-%02u-%02u",
+                  1990 + static_cast<unsigned>(rng->Uniform(30)),
+                  1 + static_cast<unsigned>(rng->Uniform(12)),
+                  1 + static_cast<unsigned>(rng->Uniform(28)));
+    row.hire = buf;
+    row.dept = kDepts[rng->Uniform(5)];
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+const char* CatalogSchemaText() {
+  return R"(schema catalog;
+root Catalog;
+element Catalog { content: Categories+; }
+element Categories { content: Product*; }
+element Product {
+  attribute id: string required;
+  content: ProductName, RegPrice, Discount?, Description?;
+}
+element ProductName { text: string; }
+element RegPrice { text: decimal; }
+element Discount { text: decimal; }
+element Description { text: string; }
+)";
+}
+
+}  // namespace workload
+}  // namespace xdb

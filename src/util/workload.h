@@ -1,0 +1,60 @@
+// Synthetic workload generators shared by tests, examples and benchmarks.
+//
+// Each generator drives one experiment axis from DESIGN.md: product-catalog
+// documents (the paper's running example and Table 2 queries), recursive
+// documents with a controllable recursion degree r (the QuickXScan state
+// bound), random trees for differential property tests, and employee rows
+// for constructor benchmarks.
+#ifndef XDB_UTIL_WORKLOAD_H_
+#define XDB_UTIL_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xdb {
+namespace workload {
+
+struct CatalogOptions {
+  uint32_t categories = 2;
+  uint32_t products_per_category = 10;
+  /// Fraction (0..1) of products with a Discount element.
+  double discount_fraction = 0.3;
+  /// Price range [min, max] for RegPrice.
+  double min_price = 1.0;
+  double max_price = 500.0;
+  /// Extra Description padding per product (bytes of filler text).
+  uint32_t description_bytes = 40;
+};
+
+/// One /Catalog/Categories/Product[...] document.
+std::string GenCatalogXml(Random* rng, const CatalogOptions& options);
+
+/// Recursive document: `nesting` levels of <a> nested within <a>, each level
+/// carrying `siblings_per_level` additional <a> leaf children and a text
+/// payload. The recursion degree r of Section 4.2 equals `nesting`.
+std::string GenRecursiveXml(uint32_t nesting, uint32_t siblings_per_level,
+                            const std::string& name = "a");
+
+/// A "wide" document: one root with `leaves` flat <item>text</item> children
+/// of ~leaf_bytes each; scales document size without recursion.
+std::string GenWideXml(uint32_t leaves, uint32_t leaf_bytes);
+
+/// Random tree for differential testing: up to `max_nodes` nodes with names
+/// drawn from a tiny alphabet (a..e), random attributes/text/nesting.
+std::string GenRandomXml(Random* rng, uint32_t max_nodes);
+
+struct EmployeeRow {
+  std::string id, fname, lname, hire, dept;
+};
+std::vector<EmployeeRow> GenEmployees(Random* rng, uint32_t count);
+
+/// Schema text matching GenCatalogXml documents.
+const char* CatalogSchemaText();
+
+}  // namespace workload
+}  // namespace xdb
+
+#endif  // XDB_UTIL_WORKLOAD_H_

@@ -1,0 +1,141 @@
+#include "xdm/dom_tree.h"
+
+#include "xml/node_id.h"
+
+namespace xdb {
+
+DomNode* DomTree::NewNode() {
+  nodes_.push_back(std::make_unique<DomNode>());
+  memory_bytes_ += sizeof(DomNode);
+  return nodes_.back().get();
+}
+
+Result<std::unique_ptr<DomTree>> DomTree::FromTokens(Slice tokens) {
+  auto tree = std::unique_ptr<DomTree>(new DomTree());
+  DomNode* doc = tree->NewNode();
+  doc->kind = NodeKind::kDocument;
+
+  TokenReader reader(tokens);
+  Token t;
+  std::vector<DomNode*> stack{doc};
+  std::vector<uint32_t> child_counter{0};
+
+  auto attach = [&](DomNode* n, bool as_attr) {
+    DomNode* parent = stack.back();
+    n->parent = parent;
+    uint32_t ordinal = ++child_counter.back();
+    n->node_id = parent->node_id;
+    nodeid::AppendChildId(ordinal, &n->node_id);
+    tree->memory_bytes_ += n->node_id.capacity();
+    if (as_attr) {
+      parent->attrs.push_back(n);
+    } else {
+      parent->children.push_back(n);
+    }
+    tree->memory_bytes_ += sizeof(DomNode*);
+  };
+
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
+    if (!more) break;
+    switch (t.kind) {
+      case TokenKind::kStartDocument:
+      case TokenKind::kEndDocument:
+        break;
+      case TokenKind::kStartElement: {
+        DomNode* n = tree->NewNode();
+        n->kind = NodeKind::kElement;
+        n->local = t.local;
+        n->ns_uri = t.ns_uri;
+        n->prefix = t.prefix;
+        attach(n, /*as_attr=*/false);
+        stack.push_back(n);
+        child_counter.push_back(0);
+        break;
+      }
+      case TokenKind::kEndElement:
+        if (stack.size() <= 1)
+          return Status::Corruption("unbalanced token stream");
+        stack.pop_back();
+        child_counter.pop_back();
+        break;
+      case TokenKind::kNamespaceDecl: {
+        DomNode* n = tree->NewNode();
+        n->kind = NodeKind::kNamespace;
+        n->local = t.local;   // prefix being declared
+        n->ns_uri = t.ns_uri; // bound URI
+        attach(n, /*as_attr=*/true);
+        break;
+      }
+      case TokenKind::kAttribute: {
+        DomNode* n = tree->NewNode();
+        n->kind = NodeKind::kAttribute;
+        n->local = t.local;
+        n->ns_uri = t.ns_uri;
+        n->prefix = t.prefix;
+        n->value.assign(t.text.data(), t.text.size());
+        tree->memory_bytes_ += n->value.capacity();
+        attach(n, /*as_attr=*/true);
+        break;
+      }
+      case TokenKind::kText: {
+        DomNode* n = tree->NewNode();
+        n->kind = NodeKind::kText;
+        n->value.assign(t.text.data(), t.text.size());
+        tree->memory_bytes_ += n->value.capacity();
+        attach(n, /*as_attr=*/false);
+        break;
+      }
+      case TokenKind::kComment: {
+        DomNode* n = tree->NewNode();
+        n->kind = NodeKind::kComment;
+        n->value.assign(t.text.data(), t.text.size());
+        tree->memory_bytes_ += n->value.capacity();
+        attach(n, /*as_attr=*/false);
+        break;
+      }
+      case TokenKind::kProcessingInstruction: {
+        DomNode* n = tree->NewNode();
+        n->kind = NodeKind::kProcessingInstruction;
+        n->local = t.local;
+        n->value.assign(t.text.data(), t.text.size());
+        tree->memory_bytes_ += n->value.capacity();
+        attach(n, /*as_attr=*/false);
+        break;
+      }
+    }
+  }
+  if (stack.size() != 1)
+    return Status::Corruption("token stream ended with open elements");
+  tree->memory_bytes_ += tree->nodes_.capacity() * sizeof(void*);
+  tree->root_ = doc;
+  return tree;
+}
+
+namespace {
+void CollectText(const DomNode* n, std::string* out) {
+  if (n->kind == NodeKind::kText) {
+    out->append(n->value);
+    return;
+  }
+  for (const DomNode* c : n->children) CollectText(c, out);
+}
+}  // namespace
+
+std::string DomTree::StringValue(const DomNode* node) {
+  switch (node->kind) {
+    case NodeKind::kAttribute:
+    case NodeKind::kText:
+    case NodeKind::kComment:
+    case NodeKind::kProcessingInstruction:
+    case NodeKind::kNamespace:
+      return node->value;
+    default: {
+      std::string out;
+      CollectText(node, &out);
+      return out;
+    }
+  }
+}
+
+}  // namespace xdb

@@ -1,0 +1,62 @@
+#include "xdm/item.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace xdb {
+
+bool AtomicValue::EffectiveBoolean() const {
+  switch (type) {
+    case Type::kString: return !str.empty();
+    case Type::kNumber: return num != 0 && !std::isnan(num);
+    case Type::kBoolean: return boolean;
+  }
+  return false;
+}
+
+double AtomicValue::ToNumber() const {
+  switch (type) {
+    case Type::kString: return StringToNumber(str);
+    case Type::kNumber: return num;
+    case Type::kBoolean: return boolean ? 1.0 : 0.0;
+  }
+  return std::nan("");
+}
+
+std::string AtomicValue::ToString() const {
+  switch (type) {
+    case Type::kString: return str;
+    case Type::kBoolean: return boolean ? "true" : "false";
+    case Type::kNumber: {
+      if (std::isnan(num)) return "NaN";
+      if (num == static_cast<int64_t>(num) && std::abs(num) < 1e15)
+        return std::to_string(static_cast<int64_t>(num));
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", num);
+      return buf;
+    }
+  }
+  return "";
+}
+
+void NormalizeSequence(NodeSequence* seq) {
+  std::sort(seq->begin(), seq->end());
+  seq->erase(std::unique(seq->begin(), seq->end()), seq->end());
+}
+
+double StringToNumber(Slice s) {
+  // Trim whitespace, then require a full numeric parse.
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) b++;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) e--;
+  if (b == e) return std::nan("");
+  std::string t(s.data() + b, e - b);
+  char* endp = nullptr;
+  double v = std::strtod(t.c_str(), &endp);
+  if (endp != t.c_str() + t.size()) return std::nan("");
+  return v;
+}
+
+}  // namespace xdb

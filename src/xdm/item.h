@@ -1,0 +1,78 @@
+// XDM items and sequences: the in-memory result form of XPath evaluation
+// (one of the four runtime data forms of Section 4.4).
+#ifndef XDB_XDM_ITEM_H_
+#define XDB_XDM_ITEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace xdb {
+
+/// An atomic value as produced by atomization or literals.
+struct AtomicValue {
+  enum class Type { kString, kNumber, kBoolean };
+
+  Type type = Type::kString;
+  std::string str;
+  double num = 0;
+  bool boolean = false;
+
+  static AtomicValue String(std::string s) {
+    AtomicValue v;
+    v.type = Type::kString;
+    v.str = std::move(s);
+    return v;
+  }
+  static AtomicValue Number(double d) {
+    AtomicValue v;
+    v.type = Type::kNumber;
+    v.num = d;
+    return v;
+  }
+  static AtomicValue Boolean(bool b) {
+    AtomicValue v;
+    v.type = Type::kBoolean;
+    v.boolean = b;
+    return v;
+  }
+
+  /// XPath effective boolean value.
+  bool EffectiveBoolean() const;
+  /// xs:double value (NaN if not numeric).
+  double ToNumber() const;
+  std::string ToString() const;
+};
+
+/// A node in an XPath result sequence, identified database-style: by its
+/// document and prefix-encoded node ID rather than a pointer.
+struct ResultNode {
+  uint64_t doc_id = 0;
+  std::string node_id;       // absolute prefix-encoded ID (empty = root)
+  std::string string_value;  // typed/string value, when computed
+
+  bool operator==(const ResultNode& o) const {
+    return doc_id == o.doc_id && node_id == o.node_id;
+  }
+  bool operator<(const ResultNode& o) const {
+    if (doc_id != o.doc_id) return doc_id < o.doc_id;
+    return Slice(node_id).Compare(Slice(o.node_id)) < 0;  // document order
+  }
+};
+
+/// An XPath result: a document-ordered, duplicate-free sequence of nodes.
+using NodeSequence = std::vector<ResultNode>;
+
+/// Sorts into document order and removes duplicates (node identity =
+/// (doc_id, node_id)).
+void NormalizeSequence(NodeSequence* seq);
+
+/// XPath string -> number conversion ("" and garbage -> NaN).
+double StringToNumber(Slice s);
+
+}  // namespace xdb
+
+#endif  // XDB_XDM_ITEM_H_

@@ -1,0 +1,58 @@
+#include "xml/name_dictionary.h"
+
+#include "common/coding.h"
+
+namespace xdb {
+
+NameId NameDictionary::Intern(Slice name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name.ToString());
+  if (it != ids_.end()) return it->second;
+  NameId id = static_cast<NameId>(names_.size());
+  names_.push_back(name.ToString());
+  ids_.emplace(name.ToString(), id);
+  return id;
+}
+
+NameId NameDictionary::Lookup(Slice name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name.ToString());
+  return it == ids_.end() ? kInvalidNameId : it->second;
+}
+
+Result<std::string> NameDictionary::Name(NameId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= names_.size()) return Status::Corruption("unknown name id");
+  return names_[id];
+}
+
+size_t NameDictionary::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+void NameDictionary::Save(std::string* dst) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PutVarint64(dst, names_.size());
+  for (const auto& n : names_) PutLengthPrefixed(dst, n);
+}
+
+Status NameDictionary::Load(Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t count;
+  size_t n = GetVarint64(data.data(), data.data() + data.size(), &count);
+  if (n == 0) return Status::Corruption("bad name dictionary header");
+  data.RemovePrefix(n);
+  names_.clear();
+  ids_.clear();
+  for (uint64_t i = 0; i < count; i++) {
+    Slice name;
+    if (!GetLengthPrefixed(&data, &name))
+      return Status::Corruption("truncated name dictionary");
+    ids_.emplace(name.ToString(), static_cast<NameId>(names_.size()));
+    names_.push_back(name.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace xdb

@@ -1,0 +1,55 @@
+// NameDictionary: database-wide integer encoding of XML names.
+//
+// "In the stored XML data, all the names for elements, attributes, and
+// namespaces are encoded using integers across the entire database"
+// (Section 3.1). Local names, namespace prefixes, namespace URIs and PI
+// targets all intern into one id space. Id 0 is reserved for the empty
+// string (no namespace / no prefix).
+#ifndef XDB_XML_NAME_DICTIONARY_H_
+#define XDB_XML_NAME_DICTIONARY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace xdb {
+
+using NameId = uint32_t;
+
+constexpr NameId kEmptyNameId = 0;
+
+class NameDictionary {
+ public:
+  NameDictionary() { Intern(""); }
+
+  /// Returns the id for `name`, creating it if new. Thread-safe.
+  NameId Intern(Slice name);
+
+  /// Returns the id for `name` without creating it; kInvalidNameId if absent.
+  static constexpr NameId kInvalidNameId = 0xFFFFFFFFu;
+  NameId Lookup(Slice name) const;
+
+  /// Returns the string for an id. Ids come only from Intern, so an unknown
+  /// id indicates corruption.
+  Result<std::string> Name(NameId id) const;
+
+  size_t size() const;
+
+  /// Serialization for the catalog.
+  void Save(std::string* dst) const;
+  Status Load(Slice data);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, NameId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_XML_NAME_DICTIONARY_H_

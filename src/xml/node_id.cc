@@ -1,0 +1,229 @@
+#include "xml/node_id.h"
+
+#include <cassert>
+
+namespace xdb {
+namespace nodeid {
+
+namespace {
+constexpr uint32_t kDirectChildren = 126;   // bytes 02, 04, ..., FC
+
+bool IsEven(unsigned char b) { return (b & 1) == 0; }
+
+// Appends an ID strictly greater than `left` (valid relative) of the same
+// level, for "insert after last".
+void AfterLast(Slice left, std::string* out) {
+  out->assign(left.data(), left.size());
+  unsigned char e = static_cast<unsigned char>(out->back());
+  if (e <= 0xFC) {
+    out->back() = static_cast<char>(e + 2);
+  } else {
+    // 0xFE: no even headroom in this byte; extend.
+    out->back() = static_cast<char>(e + 1);  // 0xFF, odd
+    out->push_back(static_cast<char>(0x80));
+  }
+}
+
+// Appends an ID strictly less than `right` (valid relative); "insert before
+// first". Fails only at the absolute floor (right == [0x00]).
+Status BeforeFirst(Slice right, std::string* out) {
+  unsigned char b = static_cast<unsigned char>(right[0]);
+  if (b == 0x00) return Status::Full("no node id before the minimum");
+  if (IsEven(b)) {
+    // right = [b]; produce [b-1, 0x80]: b-1 is odd so the level extends,
+    // leaving unbounded room for further before-inserts.
+    out->push_back(static_cast<char>(b - 1));
+    out->push_back(static_cast<char>(0x80));
+    return Status::OK();
+  }
+  if (b >= 0x03) {
+    // right = [b, tail...]; [b-1] is even and strictly smaller, with room
+    // left below it.
+    out->push_back(static_cast<char>(b - 1));
+    return Status::OK();
+  }
+  // b == 0x01: keep the prefix and recurse into the tail so the encoding
+  // extends instead of bottoming out.
+  Slice tail(right.data() + 1, right.size() - 1);
+  std::string sub;
+  Status st = BeforeFirst(tail, &sub);
+  if (st.ok()) {
+    out->push_back(static_cast<char>(0x01));
+    out->append(sub);
+    return Status::OK();
+  }
+  // tail is the floor [0x00]: the only remaining ID is [0x00] itself.
+  out->push_back(static_cast<char>(0x00));
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendChildId(uint32_t n, std::string* dst) {
+  assert(n >= 1);
+  // Three ordered tiers, O(log n) bytes (wide fan-outs stay cheap):
+  //   n in [1, 126]:     [2n]                       (0x02..0xFC)
+  //   n in [127, 254]:   [0xFD, 2(n-127)]           (second byte even)
+  //   n >= 255:          [0xFF, 0x81+2(L-1), L base-128 digits]
+  // Digit bytes are odd (2d+1) except the final one (2d), so each level
+  // still ends at its first even byte; byte order == sibling order because
+  // tier markers and the length byte are monotone in n.
+  if (n <= kDirectChildren) {
+    dst->push_back(static_cast<char>(2 * n));
+    return;
+  }
+  if (n <= 254) {
+    dst->push_back(static_cast<char>(0xFD));
+    dst->push_back(static_cast<char>(2 * (n - 127)));
+    return;
+  }
+  uint32_t v = n - 255;
+  unsigned char digits[5];
+  int len = 0;
+  do {
+    digits[len++] = static_cast<unsigned char>(v % 128);
+    v /= 128;
+  } while (v != 0);
+  dst->push_back(static_cast<char>(0xFF));
+  dst->push_back(static_cast<char>(0x81 + 2 * (len - 1)));
+  for (int i = len - 1; i >= 1; i--)
+    dst->push_back(static_cast<char>(2 * digits[i] + 1));  // odd: continue
+  dst->push_back(static_cast<char>(2 * digits[0]));        // even: terminate
+}
+
+std::string ChildId(uint32_t n) {
+  std::string s;
+  AppendChildId(n, &s);
+  return s;
+}
+
+bool IsValidRelative(Slice rel) {
+  if (rel.empty()) return false;
+  for (size_t i = 0; i + 1 < rel.size(); i++) {
+    if (IsEven(static_cast<unsigned char>(rel[i]))) return false;
+  }
+  return IsEven(static_cast<unsigned char>(rel[rel.size() - 1]));
+}
+
+bool IsValidAbsolute(Slice abs) {
+  // Every level is odd* even, so validity == the last byte being even (or
+  // empty); but guard against pathological all-odd tails.
+  if (abs.empty()) return true;
+  return IsEven(static_cast<unsigned char>(abs[abs.size() - 1]));
+}
+
+Status SplitLevels(Slice abs, std::vector<Slice>* levels) {
+  levels->clear();
+  size_t start = 0;
+  for (size_t i = 0; i < abs.size(); i++) {
+    if (IsEven(static_cast<unsigned char>(abs[i]))) {
+      levels->push_back(Slice(abs.data() + start, i - start + 1));
+      start = i + 1;
+    }
+  }
+  if (start != abs.size())
+    return Status::Corruption("absolute node id has a dangling level");
+  return Status::OK();
+}
+
+Result<int> Depth(Slice abs) {
+  int depth = 0;
+  size_t trailing = 0;
+  for (size_t i = 0; i < abs.size(); i++) {
+    if (IsEven(static_cast<unsigned char>(abs[i]))) {
+      depth++;
+      trailing = i + 1;
+    }
+  }
+  if (trailing != abs.size())
+    return Status::Corruption("absolute node id has a dangling level");
+  return depth;
+}
+
+Result<Slice> Parent(Slice abs) {
+  if (abs.empty()) return Status::InvalidArgument("root has no parent");
+  if (!IsValidAbsolute(abs)) return Status::Corruption("invalid node id");
+  // Strip the final level: drop the trailing even byte and any odd bytes
+  // immediately before it.
+  size_t end = abs.size() - 1;  // index of final (even) byte
+  while (end > 0 && !IsEven(static_cast<unsigned char>(abs[end - 1]))) end--;
+  return Slice(abs.data(), end);
+}
+
+bool IsAncestor(Slice a, Slice d) {
+  return a.size() < d.size() && d.StartsWith(a);
+}
+
+Status Between(Slice left, Slice right, std::string* out) {
+  out->clear();
+  if (left.empty() && right.empty()) {
+    out->push_back(static_cast<char>(0x80));  // mid-range: room both sides
+    return Status::OK();
+  }
+  if (right.empty()) {
+    AfterLast(left, out);
+    return Status::OK();
+  }
+  if (left.empty()) return BeforeFirst(right, out);
+
+  assert(left.Compare(right) < 0);
+  // Neither can be a prefix of the other (a valid level ends with an even
+  // byte, which would terminate the longer one at the same point).
+  size_t i = 0;
+  while (i < left.size() && i < right.size() && left[i] == right[i]) i++;
+  assert(i < left.size() && i < right.size());
+  const unsigned char a = static_cast<unsigned char>(left[i]);
+  const unsigned char b = static_cast<unsigned char>(right[i]);
+  assert(a < b);
+  out->assign(left.data(), i);
+
+  if (b - a >= 2) {
+    if (!IsEven(a)) {
+      // a odd: a+1 is even and strictly inside (a, b).
+      out->push_back(static_cast<char>(a + 1));
+    } else if (a + 2 < b) {
+      out->push_back(static_cast<char>(a + 2));
+    } else {
+      // Only a+1 (odd) lies strictly between: extend the level.
+      out->push_back(static_cast<char>(a + 1));
+      out->push_back(static_cast<char>(0x80));
+    }
+    return Status::OK();
+  }
+
+  // Adjacent bytes (b == a + 1).
+  if (!IsEven(a)) {
+    // left continues past i (odd bytes extend), so bumping left's tail stays
+    // below right at byte i.
+    AfterLast(left, out);
+    return Status::OK();
+  }
+  // a even: left ends at i; right continues with a tail after its odd byte b.
+  out->push_back(static_cast<char>(b));
+  Slice tail(right.data() + i + 1, right.size() - i - 1);
+  std::string sub;
+  XDB_RETURN_NOT_OK(BeforeFirst(tail, &sub));
+  out->append(sub);
+  return Status::OK();
+}
+
+std::string ToString(Slice abs) {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string s;
+  size_t level_start = 0;
+  for (size_t i = 0; i < abs.size(); i++) {
+    unsigned char b = static_cast<unsigned char>(abs[i]);
+    s.push_back(kHex[b >> 4]);
+    s.push_back(kHex[b & 0xF]);
+    if ((b & 1) == 0 && i + 1 < abs.size()) {
+      s.push_back('.');
+      level_start = i + 1;
+    }
+  }
+  (void)level_start;
+  if (s.empty()) s = "00";
+  return s;
+}
+
+}  // namespace nodeid
+}  // namespace xdb

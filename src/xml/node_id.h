@@ -1,0 +1,73 @@
+// Prefix-encoded (Dewey-style) node IDs, Section 3.1 of the paper.
+//
+// A *relative* node ID is one level: zero or more odd bytes followed by one
+// even byte ("a relative node ID ends with an even-numbered byte; any
+// odd-numbered byte means that the relative ID is extended to the next
+// byte"). An *absolute* node ID is the concatenation of relative IDs along
+// the path from the root; the root's own ID is always 00 and therefore
+// implicit (represented here as the empty byte string).
+//
+// Properties delivered by this encoding:
+//  - byte comparison of absolute IDs == document order;
+//  - ancestor/descendant testing is a prefix test;
+//  - IDs are stable under update: Between() manufactures an ID strictly
+//    between two siblings by extending the length when necessary.
+#ifndef XDB_XML_NODE_ID_H_
+#define XDB_XML_NODE_ID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace xdb {
+namespace nodeid {
+
+/// Appends the relative ID of the `n`-th initial child (n >= 1) to `dst`.
+/// Children 1..126 get the single bytes 02, 04, ..., FC; later children use
+/// an FF-prefixed extension so byte order still matches sibling order.
+void AppendChildId(uint32_t n, std::string* dst);
+
+/// Relative ID of child n as a fresh string.
+std::string ChildId(uint32_t n);
+
+/// True iff `rel` is a well-formed single level (odd* even).
+bool IsValidRelative(Slice rel);
+
+/// True iff `abs` parses as a sequence of well-formed levels. The empty
+/// string (the implicit root "00") is valid.
+bool IsValidAbsolute(Slice abs);
+
+/// Splits an absolute ID into its levels.
+Status SplitLevels(Slice abs, std::vector<Slice>* levels);
+
+/// Number of levels (= depth below the root).
+Result<int> Depth(Slice abs);
+
+/// The parent's absolute ID (strips the last level). Fails on the root.
+Result<Slice> Parent(Slice abs);
+
+/// True iff `a` is a proper ancestor of `d` (the root is an ancestor of
+/// every other node). Because levels are self-delimiting, this is exactly a
+/// proper-prefix test.
+bool IsAncestor(Slice a, Slice d);
+
+/// Document-order comparison of absolute IDs (plain byte comparison; an
+/// ancestor sorts before its descendants).
+inline int Compare(Slice a, Slice b) { return a.Compare(b); }
+
+/// Manufactures a relative ID strictly between `left` and `right` at the
+/// same level. Empty `left` means "before the first sibling"; empty `right`
+/// means "after the last sibling". Fails with kFull only in the pathological
+/// left-edge case where the neighbour is the absolute minimum ID.
+Status Between(Slice left, Slice right, std::string* out);
+
+/// Debug rendering, e.g. "02.04.FF02".
+std::string ToString(Slice abs);
+
+}  // namespace nodeid
+}  // namespace xdb
+
+#endif  // XDB_XML_NODE_ID_H_

@@ -1,0 +1,39 @@
+// The seven node kinds of the XQuery data model (Section 3.1: "There are
+// seven kinds of nodes in the XQuery data model"), plus the proxy node kind
+// that represents a packed-out subtree inside a containing record (Figure 3).
+#ifndef XDB_XML_NODE_KIND_H_
+#define XDB_XML_NODE_KIND_H_
+
+#include <cstdint>
+
+namespace xdb {
+
+enum class NodeKind : uint8_t {
+  kDocument = 0,
+  kElement = 1,
+  kAttribute = 2,
+  kText = 3,
+  kNamespace = 4,
+  kProcessingInstruction = 5,
+  kComment = 6,
+  /// Storage-only: stands in for a subtree packed into another record.
+  kProxy = 7,
+};
+
+inline const char* NodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kDocument: return "document";
+    case NodeKind::kElement: return "element";
+    case NodeKind::kAttribute: return "attribute";
+    case NodeKind::kText: return "text";
+    case NodeKind::kNamespace: return "namespace";
+    case NodeKind::kProcessingInstruction: return "processing-instruction";
+    case NodeKind::kComment: return "comment";
+    case NodeKind::kProxy: return "proxy";
+  }
+  return "unknown";
+}
+
+}  // namespace xdb
+
+#endif  // XDB_XML_NODE_KIND_H_

@@ -1,0 +1,467 @@
+#include "xml/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace xdb {
+
+namespace {
+
+/// Sink adapters let one parser core drive either the buffered token stream
+/// (concrete calls, inlinable) or the SAX handler (virtual per event).
+struct TokenSink {
+  TokenWriter* w;
+  void StartDocument() { w->StartDocument(); }
+  void EndDocument() { w->EndDocument(); }
+  void StartElement(NameId l, NameId ns, NameId p) { w->StartElement(l, ns, p); }
+  void EndElement() { w->EndElement(); }
+  void Attribute(NameId l, NameId ns, NameId p, Slice v) {
+    w->Attribute(l, v, ns, p);
+  }
+  void NamespaceDecl(NameId p, NameId u) { w->NamespaceDecl(p, u); }
+  void Text(Slice v) { w->Text(v); }
+  void Comment(Slice v) { w->Comment(v); }
+  void Pi(NameId t, Slice d) { w->ProcessingInstruction(t, d); }
+};
+
+struct SaxSink {
+  SaxHandler* h;
+  void StartDocument() { h->OnStartDocument(); }
+  void EndDocument() { h->OnEndDocument(); }
+  void StartElement(NameId l, NameId ns, NameId p) {
+    h->OnStartElement(l, ns, p);
+  }
+  void EndElement() { h->OnEndElement(); }
+  void Attribute(NameId l, NameId ns, NameId p, Slice v) {
+    h->OnAttribute(l, ns, p, v);
+  }
+  void NamespaceDecl(NameId p, NameId u) { h->OnNamespaceDecl(p, u); }
+  void Text(Slice v) { h->OnText(v); }
+  void Comment(Slice v) { h->OnComment(v); }
+  void Pi(NameId t, Slice d) { h->OnProcessingInstruction(t, d); }
+};
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+struct NsBinding {
+  std::string prefix;
+  NameId uri;
+  size_t depth;
+};
+
+template <typename Sink>
+class ParserCore {
+ public:
+  ParserCore(NameDictionary* dict, const ParserOptions& options, Slice xml,
+             Sink sink)
+      : dict_(dict),
+        options_(options),
+        p_(xml.data()),
+        limit_(xml.data() + xml.size()),
+        begin_(xml.data()),
+        sink_(sink) {}
+
+  Status Run();
+
+ private:
+  Status Fail(const std::string& what) {
+    return Status::ParseError(what + " at offset " +
+                              std::to_string(p_ - begin_));
+  }
+
+  bool Eof() const { return p_ >= limit_; }
+  char Peek() const { return *p_; }
+  void SkipSpace() {
+    while (!Eof() && IsSpace(*p_)) p_++;
+  }
+  bool Consume(char c) {
+    if (!Eof() && *p_ == c) {
+      p_++;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeStr(const char* s) {
+    size_t n = std::strlen(s);
+    if (static_cast<size_t>(limit_ - p_) >= n && std::memcmp(p_, s, n) == 0) {
+      p_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  /// Bounded substring search in [p_, limit_); nullptr if absent.
+  const char* FindStr(const char* s) const {
+    size_t n = std::strlen(s);
+    return std::search(p_, limit_, s, s + n) == limit_
+               ? nullptr
+               : std::search(p_, limit_, s, s + n);
+  }
+
+  Status ReadName(std::string* out) {
+    if (Eof() || !IsNameStartChar(*p_)) return Fail("expected a name");
+    const char* start = p_;
+    while (!Eof() && IsNameChar(*p_)) p_++;
+    out->assign(start, p_ - start);
+    return Status::OK();
+  }
+
+  /// Decodes entity and character references into `out`.
+  Status DecodeText(Slice raw, std::string* out) {
+    const char* q = raw.data();
+    const char* end = q + raw.size();
+    while (q < end) {
+      if (*q != '&') {
+        out->push_back(*q++);
+        continue;
+      }
+      const char* semi = static_cast<const char*>(
+          std::memchr(q, ';', static_cast<size_t>(end - q)));
+      if (semi == nullptr) return Fail("unterminated entity reference");
+      Slice ent(q + 1, static_cast<size_t>(semi - q - 1));
+      if (ent == "lt") out->push_back('<');
+      else if (ent == "gt") out->push_back('>');
+      else if (ent == "amp") out->push_back('&');
+      else if (ent == "apos") out->push_back('\'');
+      else if (ent == "quot") out->push_back('"');
+      else if (!ent.empty() && ent[0] == '#') {
+        long code;
+        char* endp = nullptr;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(ent.data() + 2, &endp, 16);
+        } else {
+          code = std::strtol(ent.data() + 1, &endp, 10);
+        }
+        if (endp != ent.data() + ent.size() || code <= 0 || code > 0x10FFFF)
+          return Fail("bad character reference");
+        // UTF-8 encode.
+        uint32_t c = static_cast<uint32_t>(code);
+        if (c < 0x80) {
+          out->push_back(static_cast<char>(c));
+        } else if (c < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (c >> 6)));
+          out->push_back(static_cast<char>(0x80 | (c & 0x3F)));
+        } else if (c < 0x10000) {
+          out->push_back(static_cast<char>(0xE0 | (c >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((c >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (c & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xF0 | (c >> 18)));
+          out->push_back(static_cast<char>(0x80 | ((c >> 12) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | ((c >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (c & 0x3F)));
+        }
+      } else {
+        return Fail("unknown entity '" + ent.ToString() + "'");
+      }
+      q = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  NameId ResolvePrefix(const std::string& prefix, bool for_attribute) {
+    // Per XML-Namespaces, unprefixed attributes are in no namespace.
+    if (prefix.empty() && for_attribute) return kEmptyNameId;
+    for (auto it = ns_stack_.rbegin(); it != ns_stack_.rend(); ++it) {
+      if (it->prefix == prefix) return it->uri;
+    }
+    return kEmptyNameId;
+  }
+
+  Status ParseElement();
+  Status ParseContent();
+
+  NameDictionary* dict_;
+  const ParserOptions& options_;
+  const char* p_;
+  const char* limit_;
+  const char* begin_;
+  Sink sink_;
+  std::vector<NsBinding> ns_stack_;
+  size_t depth_ = 0;
+  std::string scratch_;
+};
+
+template <typename Sink>
+Status ParserCore<Sink>::Run() {
+  sink_.StartDocument();
+  SkipSpace();
+  // Prolog and misc.
+  while (!Eof() && Peek() == '<') {
+    if (ConsumeStr("<?xml")) {
+      const char* close = FindStr("?>");
+      if (close == nullptr || close >= limit_) return Fail("unterminated XML declaration");
+      p_ = close + 2;
+      SkipSpace();
+    } else if (ConsumeStr("<!--")) {
+      const char* close = FindStr("-->");
+      if (close == nullptr || close >= limit_) return Fail("unterminated comment");
+      sink_.Comment(Slice(p_, static_cast<size_t>(close - p_)));
+      p_ = close + 3;
+      SkipSpace();
+    } else if (ConsumeStr("<!DOCTYPE")) {
+      // Skip to the matching '>' (internal subsets are not supported).
+      int bracket = 0;
+      while (!Eof()) {
+        char c = *p_++;
+        if (c == '[') bracket++;
+        else if (c == ']') bracket--;
+        else if (c == '>' && bracket == 0) break;
+      }
+      SkipSpace();
+    } else if (ConsumeStr("<?")) {
+      std::string target;
+      XDB_RETURN_NOT_OK(ReadName(&target));
+      SkipSpace();
+      const char* close = FindStr("?>");
+      if (close == nullptr || close >= limit_) return Fail("unterminated PI");
+      sink_.Pi(dict_->Intern(target), Slice(p_, static_cast<size_t>(close - p_)));
+      p_ = close + 2;
+      SkipSpace();
+    } else {
+      break;
+    }
+  }
+  if (Eof() || Peek() != '<') return Fail("expected root element");
+  XDB_RETURN_NOT_OK(ParseElement());
+  SkipSpace();
+  // Trailing misc (comments / PIs).
+  while (!Eof()) {
+    if (ConsumeStr("<!--")) {
+      const char* close = FindStr("-->");
+      if (close == nullptr || close >= limit_) return Fail("unterminated comment");
+      sink_.Comment(Slice(p_, static_cast<size_t>(close - p_)));
+      p_ = close + 3;
+    } else if (ConsumeStr("<?")) {
+      std::string target;
+      XDB_RETURN_NOT_OK(ReadName(&target));
+      SkipSpace();
+      const char* close = FindStr("?>");
+      if (close == nullptr || close >= limit_) return Fail("unterminated PI");
+      sink_.Pi(dict_->Intern(target), Slice(p_, static_cast<size_t>(close - p_)));
+      p_ = close + 2;
+    } else if (IsSpace(Peek())) {
+      p_++;
+    } else {
+      return Fail("content after root element");
+    }
+  }
+  sink_.EndDocument();
+  return Status::OK();
+}
+
+template <typename Sink>
+Status ParserCore<Sink>::ParseElement() {
+  if (!Consume('<')) return Fail("expected '<'");
+  std::string qname;
+  XDB_RETURN_NOT_OK(ReadName(&qname));
+  depth_++;
+
+  struct RawAttr {
+    std::string prefix, local;
+    std::string value;
+  };
+  std::vector<RawAttr> attrs;
+  std::vector<std::pair<std::string, std::string>> ns_decls;  // prefix, uri
+  bool self_closing = false;
+
+  for (;;) {
+    SkipSpace();
+    if (Eof()) return Fail("unterminated start tag");
+    if (Consume('>')) break;
+    if (ConsumeStr("/>")) {
+      self_closing = true;
+      break;
+    }
+    std::string aname;
+    XDB_RETURN_NOT_OK(ReadName(&aname));
+    SkipSpace();
+    if (!Consume('=')) return Fail("expected '=' in attribute");
+    SkipSpace();
+    char quote = Eof() ? '\0' : *p_;
+    if (quote != '"' && quote != '\'') return Fail("expected quoted value");
+    p_++;
+    const char* vstart = p_;
+    while (!Eof() && *p_ != quote) p_++;
+    if (Eof()) return Fail("unterminated attribute value");
+    scratch_.clear();
+    XDB_RETURN_NOT_OK(
+        DecodeText(Slice(vstart, static_cast<size_t>(p_ - vstart)), &scratch_));
+    p_++;  // closing quote
+
+    if (aname == "xmlns") {
+      ns_decls.emplace_back("", scratch_);
+    } else if (aname.size() > 6 && aname.compare(0, 6, "xmlns:") == 0) {
+      ns_decls.emplace_back(aname.substr(6), scratch_);
+    } else {
+      size_t colon = aname.find(':');
+      RawAttr a;
+      if (colon != std::string::npos) {
+        a.prefix = aname.substr(0, colon);
+        a.local = aname.substr(colon + 1);
+      } else {
+        a.local = aname;
+      }
+      a.value = scratch_;
+      attrs.push_back(std::move(a));
+    }
+  }
+
+  // Push namespace bindings for this element's scope.
+  const size_t ns_mark = ns_stack_.size();
+  // "namespace order adjusted": sort declarations by prefix.
+  std::sort(ns_decls.begin(), ns_decls.end());
+  for (auto& [prefix, uri] : ns_decls) {
+    ns_stack_.push_back({prefix, dict_->Intern(uri), depth_});
+  }
+
+  // Resolve the element name.
+  std::string eprefix, elocal;
+  size_t colon = qname.find(':');
+  if (colon != std::string::npos) {
+    eprefix = qname.substr(0, colon);
+    elocal = qname.substr(colon + 1);
+  } else {
+    elocal = qname;
+  }
+  NameId ens = ResolvePrefix(eprefix, /*for_attribute=*/false);
+  if (!eprefix.empty() && ens == kEmptyNameId)
+    return Fail("unbound namespace prefix '" + eprefix + "'");
+  sink_.StartElement(dict_->Intern(elocal), ens, dict_->Intern(eprefix));
+
+  for (auto& [prefix, uri] : ns_decls)
+    sink_.NamespaceDecl(dict_->Intern(prefix), dict_->Intern(uri));
+
+  // "attribute order adjusted": resolve then sort by (ns, local) ids.
+  struct ResolvedAttr {
+    NameId local, ns, prefix;
+    std::string value;
+  };
+  std::vector<ResolvedAttr> resolved;
+  resolved.reserve(attrs.size());
+  for (auto& a : attrs) {
+    NameId ans = ResolvePrefix(a.prefix, /*for_attribute=*/true);
+    if (!a.prefix.empty() && ans == kEmptyNameId)
+      return Fail("unbound namespace prefix '" + a.prefix + "'");
+    resolved.push_back({dict_->Intern(a.local), ans, dict_->Intern(a.prefix),
+                        std::move(a.value)});
+  }
+  std::sort(resolved.begin(), resolved.end(),
+            [](const ResolvedAttr& x, const ResolvedAttr& y) {
+              return x.ns != y.ns ? x.ns < y.ns : x.local < y.local;
+            });
+  for (size_t i = 1; i < resolved.size(); i++) {
+    if (resolved[i].ns == resolved[i - 1].ns &&
+        resolved[i].local == resolved[i - 1].local)
+      return Fail("duplicate attribute");
+  }
+  for (auto& a : resolved) sink_.Attribute(a.local, a.ns, a.prefix, a.value);
+
+  if (!self_closing) {
+    XDB_RETURN_NOT_OK(ParseContent());
+    // ParseContent consumed "</"; read and match the end tag.
+    std::string end_name;
+    XDB_RETURN_NOT_OK(ReadName(&end_name));
+    if (end_name != qname)
+      return Fail("mismatched end tag </" + end_name + "> for <" + qname + ">");
+    SkipSpace();
+    if (!Consume('>')) return Fail("expected '>' in end tag");
+  }
+  sink_.EndElement();
+  ns_stack_.resize(ns_mark);
+  depth_--;
+  return Status::OK();
+}
+
+template <typename Sink>
+Status ParserCore<Sink>::ParseContent() {
+  std::string text;
+  auto flush_text = [&]() {
+    if (text.empty()) return;
+    if (options_.strip_whitespace_text) {
+      bool all_space = true;
+      for (char c : text)
+        if (!IsSpace(c)) {
+          all_space = false;
+          break;
+        }
+      if (all_space) {
+        text.clear();
+        return;
+      }
+    }
+    sink_.Text(text);
+    text.clear();
+  };
+
+  for (;;) {
+    if (Eof()) return Fail("unterminated element content");
+    if (Peek() == '<') {
+      if (ConsumeStr("</")) {
+        flush_text();
+        return Status::OK();
+      }
+      if (ConsumeStr("<!--")) {
+        flush_text();
+        const char* close = FindStr("-->");
+        if (close == nullptr || close >= limit_)
+          return Fail("unterminated comment");
+        sink_.Comment(Slice(p_, static_cast<size_t>(close - p_)));
+        p_ = close + 3;
+        continue;
+      }
+      if (ConsumeStr("<![CDATA[")) {
+        const char* close = FindStr("]]>");
+        if (close == nullptr || close >= limit_)
+          return Fail("unterminated CDATA section");
+        text.append(p_, static_cast<size_t>(close - p_));
+        p_ = close + 3;
+        continue;
+      }
+      if (ConsumeStr("<?")) {
+        flush_text();
+        std::string target;
+        XDB_RETURN_NOT_OK(ReadName(&target));
+        SkipSpace();
+        const char* close = FindStr("?>");
+        if (close == nullptr || close >= limit_) return Fail("unterminated PI");
+        sink_.Pi(dict_->Intern(target),
+                 Slice(p_, static_cast<size_t>(close - p_)));
+        p_ = close + 2;
+        continue;
+      }
+      flush_text();
+      XDB_RETURN_NOT_OK(ParseElement());
+      continue;
+    }
+    // Character data run.
+    const char* start = p_;
+    while (!Eof() && *p_ != '<') p_++;
+    XDB_RETURN_NOT_OK(
+        DecodeText(Slice(start, static_cast<size_t>(p_ - start)), &text));
+  }
+}
+
+}  // namespace
+
+Status Parser::Parse(Slice xml, TokenWriter* out) {
+  ParserCore<TokenSink> core(dict_, options_, xml, TokenSink{out});
+  return core.Run();
+}
+
+Status Parser::ParseSax(Slice xml, SaxHandler* handler) {
+  ParserCore<SaxSink> core(dict_, options_, xml, SaxSink{handler});
+  return core.Run();
+}
+
+}  // namespace xdb

@@ -1,0 +1,137 @@
+#include "xml/serializer.h"
+
+#include <vector>
+
+namespace xdb {
+
+void EscapeText(Slice s, std::string* out) {
+  for (size_t i = 0; i < s.size(); i++) {
+    char c = s[i];
+    switch (c) {
+      case '<': out->append("&lt;"); break;
+      case '>': out->append("&gt;"); break;
+      case '&': out->append("&amp;"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+void EscapeAttribute(Slice s, std::string* out) {
+  for (size_t i = 0; i < s.size(); i++) {
+    char c = s[i];
+    switch (c) {
+      case '<': out->append("&lt;"); break;
+      case '>': out->append("&gt;"); break;
+      case '&': out->append("&amp;"); break;
+      case '"': out->append("&quot;"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+Status SerializeTokens(Slice token_buffer, const NameDictionary& dict,
+                       const SerializerOptions& options, std::string* out) {
+  TokenReader reader(token_buffer);
+  Token t;
+  std::vector<std::string> open_tags;  // qualified names for end tags
+  bool tag_open = false;               // start tag not yet closed with '>'
+  bool had_child_content = false;
+
+  auto qualified = [&](NameId prefix, NameId local) -> Result<std::string> {
+    XDB_ASSIGN_OR_RETURN(std::string lname, dict.Name(local));
+    if (prefix == kEmptyNameId) return lname;
+    XDB_ASSIGN_OR_RETURN(std::string pname, dict.Name(prefix));
+    if (pname.empty()) return lname;
+    return pname + ":" + lname;
+  };
+
+  auto indent = [&](size_t depth) {
+    if (!options.indent) return;
+    out->push_back('\n');
+    out->append(depth * 2, ' ');
+  };
+
+  auto close_open_tag = [&]() {
+    if (tag_open) {
+      out->push_back('>');
+      tag_open = false;
+    }
+  };
+
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
+    if (!more) break;
+    switch (t.kind) {
+      case TokenKind::kStartDocument:
+      case TokenKind::kEndDocument:
+        break;
+      case TokenKind::kStartElement: {
+        close_open_tag();
+        if (!open_tags.empty() || had_child_content) indent(open_tags.size());
+        XDB_ASSIGN_OR_RETURN(std::string q, qualified(t.prefix, t.local));
+        out->push_back('<');
+        out->append(q);
+        open_tags.push_back(std::move(q));
+        tag_open = true;
+        had_child_content = true;
+        break;
+      }
+      case TokenKind::kNamespaceDecl: {
+        XDB_ASSIGN_OR_RETURN(std::string prefix, dict.Name(t.local));
+        XDB_ASSIGN_OR_RETURN(std::string uri, dict.Name(t.ns_uri));
+        out->append(prefix.empty() ? " xmlns=\"" : " xmlns:" + prefix + "=\"");
+        EscapeAttribute(uri, out);
+        out->push_back('"');
+        break;
+      }
+      case TokenKind::kAttribute: {
+        XDB_ASSIGN_OR_RETURN(std::string q, qualified(t.prefix, t.local));
+        out->push_back(' ');
+        out->append(q);
+        out->append("=\"");
+        EscapeAttribute(t.text, out);
+        out->push_back('"');
+        break;
+      }
+      case TokenKind::kEndElement: {
+        if (open_tags.empty())
+          return Status::Corruption("unbalanced end-element token");
+        if (tag_open) {
+          out->append("/>");
+          tag_open = false;
+        } else {
+          out->append("</");
+          out->append(open_tags.back());
+          out->push_back('>');
+        }
+        open_tags.pop_back();
+        break;
+      }
+      case TokenKind::kText:
+        close_open_tag();
+        EscapeText(t.text, out);
+        break;
+      case TokenKind::kComment:
+        close_open_tag();
+        out->append("<!--");
+        out->append(t.text.data(), t.text.size());
+        out->append("-->");
+        break;
+      case TokenKind::kProcessingInstruction: {
+        close_open_tag();
+        XDB_ASSIGN_OR_RETURN(std::string target, dict.Name(t.local));
+        out->append("<?");
+        out->append(target);
+        out->push_back(' ');
+        out->append(t.text.data(), t.text.size());
+        out->append("?>");
+        break;
+      }
+    }
+  }
+  if (!open_tags.empty())
+    return Status::Corruption("token stream ended with open elements");
+  return Status::OK();
+}
+
+}  // namespace xdb

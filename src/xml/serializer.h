@@ -1,0 +1,35 @@
+// Serializer: token stream -> XML text (the "serialization services" of the
+// paper's Figure 8 runtime architecture).
+#ifndef XDB_XML_SERIALIZER_H_
+#define XDB_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "xml/name_dictionary.h"
+#include "xml/token_stream.h"
+
+namespace xdb {
+
+struct SerializerOptions {
+  /// Pretty-print with 2-space indentation (changes whitespace only).
+  bool indent = false;
+  /// Omit the document node wrapper events if present.
+  bool omit_declaration = true;
+};
+
+/// Serializes a token buffer to XML text. Works for any token source —
+/// parser output, packed-record traversal, constructor results — which is
+/// what lets all runtime paths share this one sink.
+Status SerializeTokens(Slice token_buffer, const NameDictionary& dict,
+                       const SerializerOptions& options, std::string* out);
+
+/// Escapes `s` as XML character data into `out`.
+void EscapeText(Slice s, std::string* out);
+/// Escapes `s` as a double-quoted attribute value into `out`.
+void EscapeAttribute(Slice s, std::string* out);
+
+}  // namespace xdb
+
+#endif  // XDB_XML_SERIALIZER_H_

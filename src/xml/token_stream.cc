@@ -1,0 +1,153 @@
+#include "xml/token_stream.h"
+
+#include "common/coding.h"
+
+namespace xdb {
+
+// Wire format per token: [kind u8] then kind-specific fields.
+//   kStartElement:  [type u8][local varint][ns varint][prefix varint]
+//   kAttribute:     [type u8][local varint][ns varint][prefix varint][value lp]
+//   kNamespaceDecl: [prefix varint][uri varint]
+//   kText:          [type u8][value lp]
+//   kComment:       [value lp]
+//   kPI:            [target varint][data lp]
+//   others:         no fields
+// ("lp" = length-prefixed bytes.)
+
+void TokenWriter::StartDocument() {
+  buf_.push_back(static_cast<char>(TokenKind::kStartDocument));
+}
+void TokenWriter::EndDocument() {
+  buf_.push_back(static_cast<char>(TokenKind::kEndDocument));
+}
+void TokenWriter::StartElement(NameId local, NameId ns_uri, NameId prefix,
+                               TypeAnno type) {
+  buf_.push_back(static_cast<char>(TokenKind::kStartElement));
+  buf_.push_back(static_cast<char>(type));
+  PutVarint32(&buf_, local);
+  PutVarint32(&buf_, ns_uri);
+  PutVarint32(&buf_, prefix);
+}
+void TokenWriter::EndElement() {
+  buf_.push_back(static_cast<char>(TokenKind::kEndElement));
+}
+void TokenWriter::Attribute(NameId local, Slice value, NameId ns_uri,
+                            NameId prefix, TypeAnno type) {
+  buf_.push_back(static_cast<char>(TokenKind::kAttribute));
+  buf_.push_back(static_cast<char>(type));
+  PutVarint32(&buf_, local);
+  PutVarint32(&buf_, ns_uri);
+  PutVarint32(&buf_, prefix);
+  PutLengthPrefixed(&buf_, value);
+}
+void TokenWriter::NamespaceDecl(NameId prefix, NameId uri) {
+  buf_.push_back(static_cast<char>(TokenKind::kNamespaceDecl));
+  PutVarint32(&buf_, prefix);
+  PutVarint32(&buf_, uri);
+}
+void TokenWriter::Text(Slice value, TypeAnno type) {
+  buf_.push_back(static_cast<char>(TokenKind::kText));
+  buf_.push_back(static_cast<char>(type));
+  PutLengthPrefixed(&buf_, value);
+}
+void TokenWriter::Comment(Slice value) {
+  buf_.push_back(static_cast<char>(TokenKind::kComment));
+  PutLengthPrefixed(&buf_, value);
+}
+void TokenWriter::ProcessingInstruction(NameId target, Slice data) {
+  buf_.push_back(static_cast<char>(TokenKind::kProcessingInstruction));
+  PutVarint32(&buf_, target);
+  PutLengthPrefixed(&buf_, data);
+}
+
+void TokenWriter::Append(const Token& t) {
+  switch (t.kind) {
+    case TokenKind::kStartDocument: StartDocument(); break;
+    case TokenKind::kEndDocument: EndDocument(); break;
+    case TokenKind::kStartElement:
+      StartElement(t.local, t.ns_uri, t.prefix, t.type);
+      break;
+    case TokenKind::kEndElement: EndElement(); break;
+    case TokenKind::kAttribute:
+      Attribute(t.local, t.text, t.ns_uri, t.prefix, t.type);
+      break;
+    case TokenKind::kNamespaceDecl: NamespaceDecl(t.local, t.ns_uri); break;
+    case TokenKind::kText: Text(t.text, t.type); break;
+    case TokenKind::kComment: Comment(t.text); break;
+    case TokenKind::kProcessingInstruction:
+      ProcessingInstruction(t.local, t.text);
+      break;
+  }
+}
+
+namespace {
+bool ReadVarName(const char** p, const char* limit, NameId* out) {
+  uint32_t v;
+  size_t n = GetVarint32(*p, limit, &v);
+  if (n == 0) return false;
+  *p += n;
+  *out = v;
+  return true;
+}
+
+bool ReadLp(const char** p, const char* limit, Slice* out) {
+  uint64_t len;
+  size_t n = GetVarint64(*p, limit, &len);
+  if (n == 0 || *p + n + len > limit) return false;
+  *out = Slice(*p + n, static_cast<size_t>(len));
+  *p += n + len;
+  return true;
+}
+}  // namespace
+
+Result<bool> TokenReader::Next(Token* token) {
+  if (p_ >= limit_) return false;
+  *token = Token();
+  token->kind = static_cast<TokenKind>(*p_++);
+  switch (token->kind) {
+    case TokenKind::kStartDocument:
+    case TokenKind::kEndDocument:
+    case TokenKind::kEndElement:
+      return true;
+    case TokenKind::kStartElement:
+      if (p_ >= limit_) return Status::Corruption("truncated token");
+      token->type = static_cast<TypeAnno>(*p_++);
+      if (!ReadVarName(&p_, limit_, &token->local) ||
+          !ReadVarName(&p_, limit_, &token->ns_uri) ||
+          !ReadVarName(&p_, limit_, &token->prefix))
+        return Status::Corruption("truncated element token");
+      return true;
+    case TokenKind::kAttribute:
+      if (p_ >= limit_) return Status::Corruption("truncated token");
+      token->type = static_cast<TypeAnno>(*p_++);
+      if (!ReadVarName(&p_, limit_, &token->local) ||
+          !ReadVarName(&p_, limit_, &token->ns_uri) ||
+          !ReadVarName(&p_, limit_, &token->prefix) ||
+          !ReadLp(&p_, limit_, &token->text))
+        return Status::Corruption("truncated attribute token");
+      return true;
+    case TokenKind::kNamespaceDecl:
+      if (!ReadVarName(&p_, limit_, &token->local) ||
+          !ReadVarName(&p_, limit_, &token->ns_uri))
+        return Status::Corruption("truncated namespace token");
+      return true;
+    case TokenKind::kText:
+      if (p_ >= limit_) return Status::Corruption("truncated token");
+      token->type = static_cast<TypeAnno>(*p_++);
+      if (!ReadLp(&p_, limit_, &token->text))
+        return Status::Corruption("truncated text token");
+      return true;
+    case TokenKind::kComment:
+      if (!ReadLp(&p_, limit_, &token->text))
+        return Status::Corruption("truncated comment token");
+      return true;
+    case TokenKind::kProcessingInstruction:
+      if (!ReadVarName(&p_, limit_, &token->local) ||
+          !ReadLp(&p_, limit_, &token->text))
+        return Status::Corruption("truncated PI token");
+      return true;
+  }
+  return Status::Corruption("unknown token kind");
+}
+
+}  // namespace xdb

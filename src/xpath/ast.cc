@@ -1,0 +1,166 @@
+#include "xpath/ast.h"
+
+namespace xdb {
+namespace xpath {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild: return "child";
+    case Axis::kAttribute: return "attribute";
+    case Axis::kDescendant: return "descendant";
+    case Axis::kSelf: return "self";
+    case Axis::kDescendantOrSelf: return "descendant-or-self";
+    case Axis::kParent: return "parent";
+  }
+  return "unknown";
+}
+
+const char* CompOpName(CompOp op) {
+  switch (op) {
+    case CompOp::kEq: return "=";
+    case CompOp::kNe: return "!=";
+    case CompOp::kLt: return "<";
+    case CompOp::kLe: return "<=";
+    case CompOp::kGt: return ">";
+    case CompOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+Step::Step(const Step& o) { *this = o; }
+
+Step& Step::operator=(const Step& o) {
+  if (this == &o) return *this;
+  axis = o.axis;
+  test = o.test;
+  name = o.name;
+  predicates.clear();
+  for (const auto& p : o.predicates) predicates.push_back(CloneExpr(*p));
+  return *this;
+}
+
+std::unique_ptr<Expr> CloneExpr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  if (e.lhs != nullptr) out->lhs = CloneExpr(*e.lhs);
+  if (e.rhs != nullptr) out->rhs = CloneExpr(*e.rhs);
+  out->path = ClonePath(e.path);
+  out->op = e.op;
+  out->literal_is_number = e.literal_is_number;
+  out->number = e.number;
+  out->string = e.string;
+  return out;
+}
+
+Step CloneStep(const Step& s) {
+  Step out;
+  out.axis = s.axis;
+  out.test = s.test;
+  out.name = s.name;
+  for (const auto& p : s.predicates) out.predicates.push_back(CloneExpr(*p));
+  return out;
+}
+
+Path ClonePath(const Path& p) {
+  Path out;
+  out.absolute = p.absolute;
+  for (const auto& s : p.steps) out.steps.push_back(CloneStep(s));
+  return out;
+}
+
+namespace {
+void AppendExpr(const Expr& e, std::string* out);
+
+void AppendStep(const Step& s, std::string* out) {
+  switch (s.axis) {
+    case Axis::kChild: break;
+    case Axis::kAttribute: out->push_back('@'); break;
+    case Axis::kDescendant: out->append("descendant::"); break;
+    case Axis::kSelf: out->append("self::"); break;
+    case Axis::kDescendantOrSelf: out->append("descendant-or-self::"); break;
+    case Axis::kParent: out->append("parent::"); break;
+  }
+  switch (s.test) {
+    case NodeTest::kName: out->append(s.name); break;
+    case NodeTest::kAnyName: out->push_back('*'); break;
+    case NodeTest::kText: out->append("text()"); break;
+    case NodeTest::kComment: out->append("comment()"); break;
+    case NodeTest::kAnyKind: out->append("node()"); break;
+  }
+  for (const auto& p : s.predicates) {
+    out->push_back('[');
+    AppendExpr(*p, out);
+    out->push_back(']');
+  }
+}
+
+void AppendExpr(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case Expr::Kind::kAnd:
+      AppendExpr(*e.lhs, out);
+      out->append(" and ");
+      AppendExpr(*e.rhs, out);
+      break;
+    case Expr::Kind::kOr:
+      AppendExpr(*e.lhs, out);
+      out->append(" or ");
+      AppendExpr(*e.rhs, out);
+      break;
+    case Expr::Kind::kNot:
+      out->append("not(");
+      AppendExpr(*e.lhs, out);
+      out->push_back(')');
+      break;
+    case Expr::Kind::kExists:
+      out->append(e.path.ToString());
+      break;
+    case Expr::Kind::kCompare:
+      out->append(e.path.ToString());
+      out->push_back(' ');
+      out->append(CompOpName(e.op));
+      out->push_back(' ');
+      if (e.literal_is_number) {
+        out->append(std::to_string(e.number));
+      } else {
+        out->push_back('"');
+        out->append(e.string);
+        out->push_back('"');
+      }
+      break;
+  }
+}
+}  // namespace
+
+std::string Path::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); i++) {
+    if (i > 0 || absolute) {
+      if (steps[i].axis == Axis::kDescendant ||
+          steps[i].axis == Axis::kDescendantOrSelf) {
+        out.append("//");
+        Step plain = Step{};
+        plain.test = steps[i].test;
+        plain.name = steps[i].name;
+        // Render as abbreviated form; predicates appended below.
+        out.append(plain.test == NodeTest::kName ? steps[i].name
+                   : plain.test == NodeTest::kAnyName ? "*"
+                   : plain.test == NodeTest::kText    ? "text()"
+                   : plain.test == NodeTest::kComment ? "comment()"
+                                                      : "node()");
+        for (const auto& p : steps[i].predicates) {
+          out.push_back('[');
+          AppendExpr(*p, &out);
+          out.push_back(']');
+        }
+        continue;
+      }
+      out.push_back('/');
+    }
+    AppendStep(steps[i], &out);
+  }
+  if (out.empty()) out.push_back('.');
+  return out;
+}
+
+}  // namespace xpath
+}  // namespace xdb

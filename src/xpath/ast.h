@@ -1,0 +1,89 @@
+// XPath AST for the QuickXScan subset (Section 4.2): the five forward axes
+// child, attribute, descendant, self, descendant-or-self, plus the parent
+// axis supported via query rewrite; name/kind tests; and predicates built
+// from relative paths, comparisons with literals, and/or/not.
+#ifndef XDB_XPATH_AST_H_
+#define XDB_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xdb {
+namespace xpath {
+
+enum class Axis : uint8_t {
+  kChild,
+  kAttribute,
+  kDescendant,
+  kSelf,
+  kDescendantOrSelf,
+  kParent,  // accepted by the parser; compiled away by rewrite
+};
+
+enum class NodeTest : uint8_t {
+  kName,     // element or attribute name test
+  kAnyName,  // *
+  kText,     // text()
+  kComment,  // comment()
+  kAnyKind,  // node()
+};
+
+enum class CompOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Expr;
+
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test = NodeTest::kName;
+  std::string name;  // for kName
+  std::vector<std::unique_ptr<Expr>> predicates;
+
+  Step() = default;
+  Step(Step&&) = default;
+  Step& operator=(Step&&) = default;
+  // Copying deep-clones the predicate expressions.
+  Step(const Step& o);
+  Step& operator=(const Step& o);
+};
+
+struct Path {
+  bool absolute = false;  // leading '/'
+  std::vector<Step> steps;
+
+  std::string ToString() const;
+};
+
+/// Predicate expression.
+struct Expr {
+  enum class Kind {
+    kAnd,
+    kOr,
+    kNot,
+    kExists,   // relative path, truthy if non-empty
+    kCompare,  // relative path <op> literal
+  };
+
+  Kind kind = Kind::kExists;
+  std::unique_ptr<Expr> lhs, rhs;  // kAnd/kOr children; kNot uses lhs
+  Path path;                       // kExists / kCompare operand
+  CompOp op = CompOp::kEq;         // kCompare
+  bool literal_is_number = false;
+  double number = 0;
+  std::string string;
+};
+
+const char* AxisName(Axis axis);
+const char* CompOpName(CompOp op);
+
+/// Deep copies (Expr trees own their children through unique_ptr).
+std::unique_ptr<Expr> CloneExpr(const Expr& e);
+Step CloneStep(const Step& s);
+Path ClonePath(const Path& p);
+
+}  // namespace xpath
+}  // namespace xdb
+
+#endif  // XDB_XPATH_AST_H_

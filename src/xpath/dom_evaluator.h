@@ -1,0 +1,46 @@
+// DomEvaluator: the DOM-navigation baseline of Section 4.2 ("orders of
+// magnitude better than some DOM-based algorithm"), and the reference
+// implementation QuickXScan is differentially tested against. Builds on the
+// pointer-based DomTree and evaluates the full AST recursively, including
+// the parent axis natively (no rewrite needed here).
+#ifndef XDB_XPATH_DOM_EVALUATOR_H_
+#define XDB_XPATH_DOM_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "xdm/dom_tree.h"
+#include "xdm/item.h"
+#include "xpath/ast.h"
+
+namespace xdb {
+namespace xpath {
+
+class DomEvaluator {
+ public:
+  DomEvaluator(const DomTree* tree, const NameDictionary* dict,
+               uint64_t doc_id)
+      : tree_(tree), dict_(dict), doc_id_(doc_id) {}
+
+  /// Evaluates a path over the whole tree. Relative paths take the
+  /// document's top-level items as context (matching QuickXScan semantics).
+  Result<NodeSequence> Evaluate(const Path& path, bool want_values) const;
+
+ private:
+  void EvalSteps(const Path& path, size_t step_idx,
+                 const std::vector<const DomNode*>& context,
+                 std::vector<const DomNode*>* out) const;
+  void ApplyStep(const Step& step, const DomNode* ctx,
+                 std::vector<const DomNode*>* out) const;
+  bool TestMatches(const Step& step, const DomNode* n) const;
+  bool EvalExpr(const Expr& expr, const DomNode* ctx) const;
+
+  const DomTree* tree_;
+  const NameDictionary* dict_;
+  uint64_t doc_id_;
+};
+
+}  // namespace xpath
+}  // namespace xdb
+
+#endif  // XDB_XPATH_DOM_EVALUATOR_H_

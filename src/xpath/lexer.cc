@@ -1,0 +1,146 @@
+#include "xpath/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace xdb {
+namespace xpath {
+
+namespace {
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+}  // namespace
+
+Status Tokenize(Slice input, std::vector<Tok>* out) {
+  out->clear();
+  const char* p = input.data();
+  const char* limit = p + input.size();
+  const char* begin = p;
+  auto fail = [&](const std::string& what) {
+    return Status::ParseError("xpath: " + what + " at offset " +
+                              std::to_string(p - begin));
+  };
+  while (p < limit) {
+    char c = *p;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      p++;
+      continue;
+    }
+    Tok tok;
+    tok.offset = static_cast<size_t>(p - begin);
+    switch (c) {
+      case '/':
+        if (p + 1 < limit && p[1] == '/') {
+          tok.kind = TokKind::kDoubleSlash;
+          p += 2;
+        } else {
+          tok.kind = TokKind::kSlash;
+          p++;
+        }
+        break;
+      case '@': tok.kind = TokKind::kAt; p++; break;
+      case '[': tok.kind = TokKind::kLBracket; p++; break;
+      case ']': tok.kind = TokKind::kRBracket; p++; break;
+      case '(': tok.kind = TokKind::kLParen; p++; break;
+      case ')': tok.kind = TokKind::kRParen; p++; break;
+      case '*': tok.kind = TokKind::kStar; p++; break;
+      case '=': tok.kind = TokKind::kEq; p++; break;
+      case '!':
+        if (p + 1 < limit && p[1] == '=') {
+          tok.kind = TokKind::kNe;
+          p += 2;
+        } else {
+          return fail("stray '!'");
+        }
+        break;
+      case '<':
+        if (p + 1 < limit && p[1] == '=') {
+          tok.kind = TokKind::kLe;
+          p += 2;
+        } else {
+          tok.kind = TokKind::kLt;
+          p++;
+        }
+        break;
+      case '>':
+        if (p + 1 < limit && p[1] == '=') {
+          tok.kind = TokKind::kGe;
+          p += 2;
+        } else {
+          tok.kind = TokKind::kGt;
+          p++;
+        }
+        break;
+      case ':':
+        if (p + 1 < limit && p[1] == ':') {
+          tok.kind = TokKind::kColonColon;
+          p += 2;
+        } else {
+          return fail("stray ':'");
+        }
+        break;
+      case '.':
+        if (p + 1 < limit && p[1] == '.') {
+          tok.kind = TokKind::kDotDot;
+          p += 2;
+        } else if (p + 1 < limit && std::isdigit(static_cast<unsigned char>(p[1]))) {
+          // .5 style number
+          char* endp = nullptr;
+          tok.kind = TokKind::kNumber;
+          tok.number = std::strtod(p, &endp);
+          p = endp;
+        } else {
+          tok.kind = TokKind::kDot;
+          p++;
+        }
+        break;
+      case '"':
+      case '\'': {
+        char quote = c;
+        p++;
+        const char* start = p;
+        while (p < limit && *p != quote) p++;
+        if (p >= limit) return fail("unterminated string literal");
+        tok.kind = TokKind::kString;
+        tok.text.assign(start, p - start);
+        p++;
+        break;
+      }
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          char* endp = nullptr;
+          tok.kind = TokKind::kNumber;
+          tok.number = std::strtod(p, &endp);
+          if (endp == p) return fail("bad number");
+          p = endp;
+        } else if (IsNameStart(c)) {
+          const char* start = p;
+          while (p < limit && IsNameChar(*p)) p++;
+          // Allow one prefix colon (but not '::').
+          if (p < limit && *p == ':' && p + 1 < limit && p[1] != ':' &&
+              IsNameStart(p[1])) {
+            p++;
+            while (p < limit && IsNameChar(*p)) p++;
+          }
+          tok.kind = TokKind::kName;
+          tok.text.assign(start, p - start);
+        } else {
+          return fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+    out->push_back(std::move(tok));
+  }
+  Tok end;
+  end.kind = TokKind::kEnd;
+  end.offset = input.size();
+  out->push_back(end);
+  return Status::OK();
+}
+
+}  // namespace xpath
+}  // namespace xdb

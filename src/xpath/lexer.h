@@ -1,0 +1,54 @@
+// Tokenizer for the XPath subset. The paper generates its XQuery/XPath
+// parser with an LALR(1) generator and a deliberately simple lexical scanner
+// (Section 4); this implementation keeps the simple single-pass scanner and
+// uses hand-written recursive descent for the (small) grammar.
+#ifndef XDB_XPATH_LEXER_H_
+#define XDB_XPATH_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace xdb {
+namespace xpath {
+
+enum class TokKind : uint8_t {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kAt,           // @
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLParen,       // (
+  kRParen,       // )
+  kStar,         // *
+  kDot,          // .
+  kDotDot,       // ..
+  kColonColon,   // ::
+  kName,         // NCName (possibly "prefix:local")
+  kString,       // quoted literal, decoded
+  kNumber,       // numeric literal
+  kEq,           // =
+  kNe,           // !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kEnd,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;  // name or string value
+  double number = 0;
+  size_t offset = 0;
+};
+
+/// Tokenizes the whole input up front.
+Status Tokenize(Slice input, std::vector<Tok>* out);
+
+}  // namespace xpath
+}  // namespace xdb
+
+#endif  // XDB_XPATH_LEXER_H_

@@ -1,0 +1,120 @@
+#include "xpath/naive_stream.h"
+
+#include <algorithm>
+
+namespace xdb {
+namespace xpath {
+
+NaiveStreamEvaluator::NaiveStreamEvaluator(const Path* path,
+                                           const NameDictionary* dict,
+                                           uint64_t doc_id)
+    : path_(path), dict_(dict), doc_id_(doc_id) {}
+
+Status NaiveStreamEvaluator::Compile() {
+  if (!path_->absolute)
+    return Status::NotSupported("naive evaluator requires absolute paths");
+  for (const Step& s : path_->steps) {
+    if (!s.predicates.empty())
+      return Status::NotSupported("naive evaluator does not take predicates");
+    CompiledStep cs;
+    cs.axis = s.axis;
+    switch (s.axis) {
+      case Axis::kChild:
+      case Axis::kDescendant:
+      case Axis::kAttribute:
+        break;
+      default:
+        return Status::NotSupported("axis outside the linear subset");
+    }
+    switch (s.test) {
+      case NodeTest::kName:
+        cs.any_name = false;
+        cs.name_id = dict_->Lookup(s.name);
+        break;
+      case NodeTest::kAnyName:
+        cs.any_name = true;
+        cs.name_id = 0;
+        break;
+      default:
+        return Status::NotSupported("kind tests outside the linear subset");
+    }
+    if (cs.axis == Axis::kAttribute && &s != &path_->steps.back())
+      return Status::NotSupported("attribute step must be last");
+    steps_.push_back(cs);
+  }
+  return Status::OK();
+}
+
+Status NaiveStreamEvaluator::Run(XmlEventSource* source,
+                                 NodeSequence* results) {
+  XDB_RETURN_NOT_OK(Compile());
+  configs_.push_back(Config{0, 0});  // root context
+  stats_.configs_created = 1;
+  stats_.peak_live_configs = 1;
+
+  XmlEvent ev;
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool more, source->Next(&ev));
+    if (!more) break;
+    switch (ev.type) {
+      case XmlEvent::Type::kStartElement: {
+        depth_++;
+        size_t live_before = configs_.size();
+        frame_marks_.push_back(live_before);
+        // Every live configuration is tested against this element — the
+        // per-path bookkeeping QuickXScan's stack-top rule avoids.
+        for (size_t i = 0; i < live_before; i++) {
+          const Config& c = configs_[i];
+          if (c.next_step >= steps_.size()) continue;
+          const CompiledStep& s = steps_[c.next_step];
+          stats_.match_tests++;
+          if (s.axis == Axis::kAttribute) continue;
+          if (s.axis == Axis::kChild && c.bind_depth != depth_ - 1) continue;
+          if (!s.any_name && s.name_id != ev.local) continue;
+          Config spawned{c.next_step + 1, depth_};
+          if (spawned.next_step == steps_.size()) {
+            ResultNode r;
+            r.doc_id = doc_id_;
+            r.node_id.assign(ev.node_id.data(), ev.node_id.size());
+            results->push_back(std::move(r));
+          }
+          // Keep the configuration live inside this element even when
+          // complete (descendant results may repeat deeper for * paths).
+          configs_.push_back(spawned);
+          stats_.configs_created++;
+        }
+        stats_.peak_live_configs =
+            std::max<uint64_t>(stats_.peak_live_configs, configs_.size());
+        break;
+      }
+      case XmlEvent::Type::kEndElement:
+        configs_.resize(frame_marks_.back());
+        frame_marks_.pop_back();
+        depth_--;
+        break;
+      case XmlEvent::Type::kAttribute: {
+        for (size_t i = 0, n = configs_.size(); i < n; i++) {
+          const Config& c = configs_[i];
+          if (c.next_step + 1 != steps_.size()) continue;
+          const CompiledStep& s = steps_[c.next_step];
+          stats_.match_tests++;
+          if (s.axis != Axis::kAttribute) continue;
+          if (c.bind_depth != depth_) continue;  // owner must be last bound
+          if (!s.any_name && s.name_id != ev.local) continue;
+          ResultNode r;
+          r.doc_id = doc_id_;
+          r.node_id.assign(ev.node_id.data(), ev.node_id.size());
+          results->push_back(std::move(r));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  NormalizeSequence(results);
+  return Status::OK();
+}
+
+}  // namespace xpath
+}  // namespace xdb

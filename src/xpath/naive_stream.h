@@ -1,0 +1,66 @@
+// NaiveStreamEvaluator: the "other streaming algorithms" comparison point of
+// Figure 7. It tracks every partial matching path (binding tuple) as a live
+// configuration instead of QuickXScan's stack-top-with-transitivity scheme,
+// so on recursive documents (//a//a//a over nested <a>s) its live state
+// grows combinatorially while QuickXScan stays at O(|Q|*r).
+//
+// Supports linear paths (child/descendant/attribute axes, name/* tests,
+// no predicates) — the query class of experiment E5.
+#ifndef XDB_XPATH_NAIVE_STREAM_H_
+#define XDB_XPATH_NAIVE_STREAM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/virtual_sax.h"
+#include "xdm/item.h"
+#include "xpath/ast.h"
+
+namespace xdb {
+namespace xpath {
+
+struct NaiveStreamStats {
+  uint64_t configs_created = 0;
+  uint64_t peak_live_configs = 0;
+  uint64_t match_tests = 0;
+};
+
+class NaiveStreamEvaluator {
+ public:
+  NaiveStreamEvaluator(const Path* path, const NameDictionary* dict,
+                       uint64_t doc_id);
+
+  /// Fails with kNotSupported if the path uses predicates or axes outside
+  /// the linear subset.
+  Status Run(XmlEventSource* source, NodeSequence* results);
+
+  const NaiveStreamStats& stats() const { return stats_; }
+
+ private:
+  struct CompiledStep {
+    Axis axis;
+    bool any_name;
+    NameId name_id;
+  };
+  struct Config {
+    size_t next_step;  // index of the step to match next
+    int bind_depth;    // element depth of the last bound step
+  };
+
+  Status Compile();
+
+  const Path* path_;
+  const NameDictionary* dict_;
+  uint64_t doc_id_;
+  std::vector<CompiledStep> steps_;
+  std::vector<Config> configs_;
+  // Per-open-element: number of configs spawned (to drop on close).
+  std::vector<size_t> frame_marks_;
+  int depth_ = 0;
+  NaiveStreamStats stats_;
+};
+
+}  // namespace xpath
+}  // namespace xdb
+
+#endif  // XDB_XPATH_NAIVE_STREAM_H_

@@ -1,0 +1,330 @@
+#include "xpath/parser.h"
+
+#include <memory>
+
+#include "xpath/lexer.h"
+
+namespace xdb {
+namespace xpath {
+
+namespace {
+
+class PathParser {
+ public:
+  explicit PathParser(const std::vector<Tok>& toks) : toks_(toks) {}
+
+  Result<Path> ParseFullPath();
+
+ private:
+  const Tok& Cur() const { return toks_[pos_]; }
+  const Tok& Advance() { return toks_[pos_++]; }
+  bool Check(TokKind k) const { return Cur().kind == k; }
+  bool Accept(TokKind k) {
+    if (Check(k)) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  Status Fail(const std::string& what) {
+    return Status::ParseError("xpath: " + what + " at offset " +
+                              std::to_string(Cur().offset));
+  }
+
+  /// Parses a path; `allow_absolute` permits a leading '/'.
+  Status ParsePathInto(Path* path, bool allow_absolute);
+  Status ParseStepInto(Path* path, bool after_double_slash);
+  Result<std::unique_ptr<Expr>> ParseOrExpr();
+  Result<std::unique_ptr<Expr>> ParseAndExpr();
+  Result<std::unique_ptr<Expr>> ParseUnaryExpr();
+  Result<std::unique_ptr<Expr>> ParsePrimaryExpr();
+
+  const std::vector<Tok>& toks_;
+  size_t pos_ = 0;
+};
+
+Status PathParser::ParseStepInto(Path* path, bool after_double_slash) {
+  Step step;
+  bool explicit_axis = false;
+
+  if (Accept(TokKind::kDot)) {
+    step.axis = Axis::kSelf;
+    step.test = NodeTest::kAnyKind;
+    path->steps.push_back(std::move(step));
+    return Status::OK();
+  }
+  if (Accept(TokKind::kDotDot)) {
+    step.axis = Axis::kParent;
+    step.test = NodeTest::kAnyKind;
+    path->steps.push_back(std::move(step));
+    return Status::OK();
+  }
+
+  if (Accept(TokKind::kAt)) {
+    step.axis = Axis::kAttribute;
+    explicit_axis = true;
+    if (after_double_slash) {
+      // //@x  ==  descendant-or-self::node()/attribute::x
+      Step dos;
+      dos.axis = Axis::kDescendantOrSelf;
+      dos.test = NodeTest::kAnyKind;
+      path->steps.push_back(std::move(dos));
+      after_double_slash = false;
+    }
+  } else if (Check(TokKind::kName) && pos_ + 1 < toks_.size() &&
+             toks_[pos_ + 1].kind == TokKind::kColonColon) {
+    const std::string& axis_name = Cur().text;
+    if (axis_name == "child") step.axis = Axis::kChild;
+    else if (axis_name == "attribute") step.axis = Axis::kAttribute;
+    else if (axis_name == "descendant") step.axis = Axis::kDescendant;
+    else if (axis_name == "self") step.axis = Axis::kSelf;
+    else if (axis_name == "descendant-or-self")
+      step.axis = Axis::kDescendantOrSelf;
+    else if (axis_name == "parent") step.axis = Axis::kParent;
+    else
+      return Fail("unsupported axis '" + axis_name + "'");
+    explicit_axis = true;
+    pos_ += 2;
+    if (after_double_slash) {
+      Step dos;
+      dos.axis = Axis::kDescendantOrSelf;
+      dos.test = NodeTest::kAnyKind;
+      path->steps.push_back(std::move(dos));
+      after_double_slash = false;
+    }
+  }
+
+  if (after_double_slash && !explicit_axis) {
+    // //x  ==  descendant::x for plain tests.
+    step.axis = Axis::kDescendant;
+  }
+
+  // Node test.
+  if (Accept(TokKind::kStar)) {
+    step.test = NodeTest::kAnyName;
+  } else if (Check(TokKind::kName)) {
+    std::string name = Advance().text;
+    if (Check(TokKind::kLParen)) {
+      if (name == "text") {
+        step.test = NodeTest::kText;
+      } else if (name == "comment") {
+        step.test = NodeTest::kComment;
+      } else if (name == "node") {
+        step.test = NodeTest::kAnyKind;
+      } else {
+        return Fail("unsupported kind test '" + name + "()'");
+      }
+      Advance();
+      if (!Accept(TokKind::kRParen)) return Fail("expected ')'");
+    } else {
+      step.test = NodeTest::kName;
+      // Queries match on local names; strip any prefix.
+      size_t colon = name.find(':');
+      step.name = colon == std::string::npos ? name : name.substr(colon + 1);
+    }
+  } else {
+    return Fail("expected a node test");
+  }
+
+  while (Accept(TokKind::kLBracket)) {
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> pred, ParseOrExpr());
+    if (!Accept(TokKind::kRBracket)) return Fail("expected ']'");
+    step.predicates.push_back(std::move(pred));
+  }
+  path->steps.push_back(std::move(step));
+  return Status::OK();
+}
+
+Status PathParser::ParsePathInto(Path* path, bool allow_absolute) {
+  bool first_dslash = false;
+  if (allow_absolute) {
+    if (Accept(TokKind::kDoubleSlash)) {
+      path->absolute = true;
+      first_dslash = true;
+    } else if (Accept(TokKind::kSlash)) {
+      path->absolute = true;
+    }
+  }
+  XDB_RETURN_NOT_OK(ParseStepInto(path, first_dslash));
+  for (;;) {
+    if (Accept(TokKind::kDoubleSlash)) {
+      XDB_RETURN_NOT_OK(ParseStepInto(path, true));
+    } else if (Accept(TokKind::kSlash)) {
+      XDB_RETURN_NOT_OK(ParseStepInto(path, false));
+    } else {
+      return Status::OK();
+    }
+  }
+}
+
+Result<std::unique_ptr<Expr>> PathParser::ParseOrExpr() {
+  XDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAndExpr());
+  while (Check(TokKind::kName) && Cur().text == "or") {
+    Advance();
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAndExpr());
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kOr;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> PathParser::ParseAndExpr() {
+  XDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnaryExpr());
+  while (Check(TokKind::kName) && Cur().text == "and") {
+    Advance();
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnaryExpr());
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kAnd;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> PathParser::ParseUnaryExpr() {
+  if (Check(TokKind::kName) && Cur().text == "not" &&
+      pos_ + 1 < toks_.size() && toks_[pos_ + 1].kind == TokKind::kLParen) {
+    pos_ += 2;
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOrExpr());
+    if (!Accept(TokKind::kRParen)) return Fail("expected ')' after not(...)");
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kNot;
+    node->lhs = std::move(inner);
+    return node;
+  }
+  if (Accept(TokKind::kLParen)) {
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOrExpr());
+    if (!Accept(TokKind::kRParen)) return Fail("expected ')'");
+    return inner;
+  }
+  return ParsePrimaryExpr();
+}
+
+Result<std::unique_ptr<Expr>> PathParser::ParsePrimaryExpr() {
+  auto node = std::make_unique<Expr>();
+  // Reversed comparison: literal <op> path.
+  if (Check(TokKind::kNumber) || Check(TokKind::kString)) {
+    Tok lit = Advance();
+    CompOp op;
+    switch (Cur().kind) {
+      case TokKind::kEq: op = CompOp::kEq; break;
+      case TokKind::kNe: op = CompOp::kNe; break;
+      case TokKind::kLt: op = CompOp::kGt; break;  // mirror
+      case TokKind::kLe: op = CompOp::kGe; break;
+      case TokKind::kGt: op = CompOp::kLt; break;
+      case TokKind::kGe: op = CompOp::kLe; break;
+      default:
+        return Fail("literal must be compared with a path");
+    }
+    Advance();
+    node->kind = Expr::Kind::kCompare;
+    node->op = op;
+    if (lit.kind == TokKind::kNumber) {
+      node->literal_is_number = true;
+      node->number = lit.number;
+    } else {
+      node->string = lit.text;
+    }
+    XDB_RETURN_NOT_OK(ParsePathInto(&node->path, /*allow_absolute=*/false));
+    return node;
+  }
+
+  XDB_RETURN_NOT_OK(ParsePathInto(&node->path, /*allow_absolute=*/false));
+  switch (Cur().kind) {
+    case TokKind::kEq: node->op = CompOp::kEq; break;
+    case TokKind::kNe: node->op = CompOp::kNe; break;
+    case TokKind::kLt: node->op = CompOp::kLt; break;
+    case TokKind::kLe: node->op = CompOp::kLe; break;
+    case TokKind::kGt: node->op = CompOp::kGt; break;
+    case TokKind::kGe: node->op = CompOp::kGe; break;
+    default:
+      node->kind = Expr::Kind::kExists;
+      return node;
+  }
+  Advance();
+  node->kind = Expr::Kind::kCompare;
+  if (Check(TokKind::kNumber)) {
+    node->literal_is_number = true;
+    node->number = Advance().number;
+  } else if (Check(TokKind::kString)) {
+    node->string = Advance().text;
+  } else {
+    return Fail("expected a literal after comparison operator");
+  }
+  return node;
+}
+
+Result<Path> PathParser::ParseFullPath() {
+  Path path;
+  XDB_RETURN_NOT_OK(ParsePathInto(&path, /*allow_absolute=*/true));
+  if (!Check(TokKind::kEnd)) return Fail("trailing input");
+  XDB_RETURN_NOT_OK(RewriteParentAxis(&path));
+  return path;
+}
+
+Status RewriteExprPaths(Expr* e) {
+  switch (e->kind) {
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      XDB_RETURN_NOT_OK(RewriteExprPaths(e->lhs.get()));
+      return RewriteExprPaths(e->rhs.get());
+    case Expr::Kind::kNot:
+      return RewriteExprPaths(e->lhs.get());
+    case Expr::Kind::kExists:
+    case Expr::Kind::kCompare:
+      return RewriteParentAxis(&e->path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RewriteParentAxis(Path* path) {
+  for (auto& step : path->steps) {
+    for (auto& pred : step.predicates)
+      XDB_RETURN_NOT_OK(RewriteExprPaths(pred.get()));
+  }
+  for (size_t i = 0; i < path->steps.size(); i++) {
+    if (path->steps[i].axis != Axis::kParent) continue;
+    if (path->steps[i].test != NodeTest::kAnyKind)
+      return Status::NotSupported("parent axis with a name test");
+    if (!path->steps[i].predicates.empty())
+      return Status::NotSupported("predicates on a parent step");
+    if (i == 0)
+      return Status::NotSupported("leading parent step");
+    Step& prev = path->steps[i - 1];
+    if (prev.axis != Axis::kChild && prev.axis != Axis::kAttribute)
+      return Status::NotSupported(
+          "parent step after a non-child step cannot be rewritten");
+    // ".../X/.." == "...[X]": fold X into an existence predicate on the
+    // step before it.
+    auto pred = std::make_unique<Expr>();
+    pred->kind = Expr::Kind::kExists;
+    pred->path.steps.push_back(std::move(prev));
+    if (i >= 2) {
+      path->steps[i - 2].predicates.push_back(std::move(pred));
+      path->steps.erase(path->steps.begin() + i - 1,
+                        path->steps.begin() + i + 1);
+      i -= 2;
+    } else {
+      // "/X/.." selects the document node: representable as an empty
+      // absolute path only; not supported.
+      return Status::NotSupported("parent of a top-level step");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Path> ParsePath(Slice input) {
+  std::vector<Tok> toks;
+  XDB_RETURN_NOT_OK(Tokenize(input, &toks));
+  PathParser parser(toks);
+  return parser.ParseFullPath();
+}
+
+}  // namespace xpath
+}  // namespace xdb

@@ -1,0 +1,26 @@
+// Recursive-descent parser for the XPath subset, plus the parent-axis
+// rewrite ("The parent axis can also be supported based on query rewrite",
+// Section 4.2, citing Olteanu et al.'s "XPath: Looking Forward").
+#ifndef XDB_XPATH_PARSER_H_
+#define XDB_XPATH_PARSER_H_
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xdb {
+namespace xpath {
+
+/// Parses a path expression, applying the parent-axis rewrite so the result
+/// uses only the five forward axes QuickXScan supports.
+Result<Path> ParsePath(Slice input);
+
+/// Rewrites "X/.." steps into existence predicates ("a/b/.." -> "a[b]").
+/// Fails with kNotSupported for parent steps it cannot eliminate (a leading
+/// parent step, or one following a descendant step).
+Status RewriteParentAxis(Path* path);
+
+}  // namespace xpath
+}  // namespace xdb
+
+#endif  // XDB_XPATH_PARSER_H_

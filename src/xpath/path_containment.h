@@ -1,0 +1,45 @@
+// Path containment for index matching (Section 4.3).
+//
+// "Since we do not keep complete path information in an XPath value index,
+// when the XPath expression of the index contains a query XPath expression
+// but is not equivalent to it, we use the index for filtering, and
+// re-evaluation of the query XPath expression on the document data is
+// necessary."
+//
+// Containment of linear {/, //, name, *} paths is tested by homomorphism
+// (sound always; complete for *-free index paths), which is the PTIME
+// fragment — exactly what simple predicate-free index paths are.
+#ifndef XDB_XPATH_PATH_CONTAINMENT_H_
+#define XDB_XPATH_PATH_CONTAINMENT_H_
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xdb {
+namespace xpath {
+
+enum class IndexMatch {
+  kNone,      // the index cannot serve this path
+  kExact,     // index path selects exactly the query path's nodes
+  kContains,  // index path selects a superset: usable for filtering
+};
+
+/// True iff every node selected by `query` (in any document) is selected by
+/// `index` — i.e. a homomorphism from the index path into the query path
+/// exists. Predicates on query steps are ignored (they only narrow the
+/// selection, so containment remains sound).
+bool PathContains(const Path& index, const Path& query);
+
+/// Classifies how a (predicate-free, linear) index path can serve a query
+/// path.
+IndexMatch ClassifyIndexMatch(const Path& index, const Path& query);
+
+/// True if the path is linear (no predicates) and uses only child,
+/// descendant(-or-self) and a final attribute step with name/* tests —
+/// the legal shape for a value index definition.
+bool IsIndexablePath(const Path& path);
+
+}  // namespace xpath
+}  // namespace xdb
+
+#endif  // XDB_XPATH_PATH_CONTAINMENT_H_

@@ -1,0 +1,203 @@
+#include "xpath/query_tree.h"
+
+namespace xdb {
+namespace xpath {
+
+bool PredProgram::Eval(uint64_t bits) const {
+  if (ops.empty()) return true;
+  // Operands always precede their operator, so one forward pass suffices.
+  std::vector<char> val(ops.size());
+  for (size_t i = 0; i < ops.size(); i++) {
+    const Op& op = ops[i];
+    switch (op.kind) {
+      case OpKind::kTrue: val[i] = 1; break;
+      case OpKind::kBit: val[i] = (bits >> op.bit) & 1; break;
+      case OpKind::kNot: val[i] = !val[op.lhs]; break;
+      case OpKind::kAnd: val[i] = val[op.lhs] && val[op.rhs]; break;
+      case OpKind::kOr: val[i] = val[op.lhs] || val[op.rhs]; break;
+    }
+  }
+  return val.back() != 0;
+}
+
+QueryNode* QueryTree::NewNode() {
+  nodes_.push_back(std::make_unique<QueryNode>());
+  nodes_.back()->id = static_cast<int>(nodes_.size()) - 1;
+  pending_roots_.emplace_back();
+  return nodes_.back().get();
+}
+
+Status QueryTree::CompileExpr(const Expr& expr, QueryNode* owner,
+                              const NameDictionary& dict, int* op_index) {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      int l, r;
+      XDB_RETURN_NOT_OK(CompileExpr(*expr.lhs, owner, dict, &l));
+      XDB_RETURN_NOT_OK(CompileExpr(*expr.rhs, owner, dict, &r));
+      PredProgram::Op op;
+      op.kind = expr.kind == Expr::Kind::kAnd ? PredProgram::OpKind::kAnd
+                                              : PredProgram::OpKind::kOr;
+      op.lhs = l;
+      op.rhs = r;
+      owner->pred.ops.push_back(op);
+      *op_index = static_cast<int>(owner->pred.ops.size()) - 1;
+      return Status::OK();
+    }
+    case Expr::Kind::kNot: {
+      int l;
+      XDB_RETURN_NOT_OK(CompileExpr(*expr.lhs, owner, dict, &l));
+      PredProgram::Op op;
+      op.kind = PredProgram::OpKind::kNot;
+      op.lhs = l;
+      owner->pred.ops.push_back(op);
+      *op_index = static_cast<int>(owner->pred.ops.size()) - 1;
+      return Status::OK();
+    }
+    case Expr::Kind::kExists:
+    case Expr::Kind::kCompare: {
+      if (expr.path.absolute)
+        return Status::NotSupported("absolute paths inside predicates");
+      QueryNode* last = nullptr;
+      XDB_RETURN_NOT_OK(CompileSteps(expr.path, owner, /*is_branch=*/true,
+                                     /*want_values=*/false, dict, &last));
+      if (expr.kind == Expr::Kind::kCompare) {
+        last->has_compare = true;
+        last->op = expr.op;
+        last->literal_is_number = expr.literal_is_number;
+        last->number = expr.number;
+        last->string = expr.string;
+        if (last->test == NodeTest::kName || last->test == NodeTest::kAnyName ||
+            last->test == NodeTest::kAnyKind) {
+          last->collect_value = true;
+        }
+      }
+      // The branch's first node carries the bit on `owner`; walk up to it.
+      QueryNode* first = last;
+      while (first->parent != owner) first = first->parent;
+      PredProgram::Op op;
+      op.kind = PredProgram::OpKind::kBit;
+      op.bit = first->branch_bit;
+      owner->pred.ops.push_back(op);
+      *op_index = static_cast<int>(owner->pred.ops.size()) - 1;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown expression kind");
+}
+
+Status QueryTree::CompileSteps(const Path& path, QueryNode* origin,
+                               bool is_branch, bool want_values,
+                               const NameDictionary& dict,
+                               QueryNode** last_out) {
+  (void)want_values;
+  QueryNode* cur = origin;
+  for (const Step& step : path.steps) {
+    if (step.axis == Axis::kParent)
+      return Status::NotSupported(
+          "parent axis must be rewritten before compilation");
+    QueryNode* node = NewNode();
+    node->axis = step.axis;
+    node->test = step.test;
+    node->name = step.name;
+    if (step.test == NodeTest::kName) node->name_id = dict.Lookup(step.name);
+    node->parent = cur;
+    cur->children.push_back(node);
+    if (is_branch) {
+      node->is_branch = true;
+      node->branch_bit = cur->branch_count++;
+      if (cur->branch_count > 64)
+        return Status::NotSupported("more than 64 predicate branches");
+      if (cur != origin) {
+        // An intermediate branch step requires its continuation to match:
+        // record the bit as a conjunct on `cur` (-1 - bit marker).
+        pending_roots_[cur->id].push_back(-1 - node->branch_bit);
+      }
+    }
+    for (const auto& pred : step.predicates) {
+      int root;
+      XDB_RETURN_NOT_OK(CompileExpr(*pred, node, dict, &root));
+      pending_roots_[node->id].push_back(root);
+    }
+    cur = node;
+  }
+  *last_out = cur;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<QueryTree>> QueryTree::Compile(
+    const Path& path, const NameDictionary& dict, bool want_result_values) {
+  auto tree = std::unique_ptr<QueryTree>(new QueryTree());
+  QueryNode* root = tree->NewNode();
+  root->test = NodeTest::kAnyKind;
+  root->axis = Axis::kSelf;
+
+  QueryNode* origin = root;
+  tree->absolute_ = path.absolute;
+  if (!path.absolute) {
+    // Relative path: an implicit context node matching the top-level
+    // element(s) of the event stream (the subtree root for subtree streams).
+    QueryNode* ctx = tree->NewNode();
+    ctx->axis = Axis::kChild;
+    ctx->test = NodeTest::kAnyKind;
+    ctx->is_context = true;
+    ctx->parent = root;
+    root->children.push_back(ctx);
+    origin = ctx;
+  }
+
+  QueryNode* last = nullptr;
+  XDB_RETURN_NOT_OK(tree->CompileSteps(path, origin, /*is_branch=*/false,
+                                       want_result_values, dict, &last));
+  last->is_result = true;
+  if (want_result_values &&
+      (last->test == NodeTest::kName || last->test == NodeTest::kAnyName ||
+       last->test == NodeTest::kAnyKind)) {
+    last->collect_value = true;
+  }
+  tree->result_ = last;
+
+  // Finalize predicate programs: AND together the conjunct roots (step
+  // predicates and continuation-bit requirements).
+  for (auto& node_ptr : tree->nodes_) {
+    QueryNode* node = node_ptr.get();
+    std::vector<int> roots;
+    for (int r : tree->pending_roots_[node->id]) {
+      if (r < 0) {
+        PredProgram::Op op;
+        op.kind = PredProgram::OpKind::kBit;
+        op.bit = -1 - r;
+        node->pred.ops.push_back(op);
+        roots.push_back(static_cast<int>(node->pred.ops.size()) - 1);
+      } else {
+        roots.push_back(r);
+      }
+    }
+    if (roots.empty()) {
+      node->pred.ops.clear();  // always true
+      continue;
+    }
+    int acc = roots[0];
+    for (size_t i = 1; i < roots.size(); i++) {
+      PredProgram::Op op;
+      op.kind = PredProgram::OpKind::kAnd;
+      op.lhs = acc;
+      op.rhs = roots[i];
+      node->pred.ops.push_back(op);
+      acc = static_cast<int>(node->pred.ops.size()) - 1;
+    }
+    if (acc != static_cast<int>(node->pred.ops.size()) - 1) {
+      // Eval uses ops.back() as the root: alias it there.
+      PredProgram::Op op;
+      op.kind = PredProgram::OpKind::kOr;
+      op.lhs = acc;
+      op.rhs = acc;
+      node->pred.ops.push_back(op);
+    }
+  }
+  tree->pending_roots_.clear();
+  return tree;
+}
+
+}  // namespace xpath
+}  // namespace xdb

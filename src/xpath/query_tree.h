@@ -1,0 +1,113 @@
+// QueryTree: the compiled form of a path expression (Figure 6(a)).
+//
+// "QuickXScan models a path expression with a query tree ... each node is
+// labeled by the name test or kind test, and the axis of each step is
+// differentiated." The main path forms the spine; every relative path inside
+// a predicate becomes a branch. Branch edges carry a bit index: an instance
+// of the owning node satisfies its predicate expression when the right
+// combination of branch bits is set, which is how predicate pushdown with
+// Boolean-valued attributes (Section 4.2) is realized.
+#ifndef XDB_XPATH_QUERY_TREE_H_
+#define XDB_XPATH_QUERY_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/name_dictionary.h"
+#include "xpath/ast.h"
+
+namespace xdb {
+namespace xpath {
+
+/// Compiled boolean predicate over a node's branch bits.
+struct PredProgram {
+  enum class OpKind : uint8_t { kAnd, kOr, kNot, kBit, kTrue };
+  struct Op {
+    OpKind kind = OpKind::kTrue;
+    int lhs = -1, rhs = -1;  // operand op indices
+    int bit = -1;            // kBit: branch bit index
+  };
+  std::vector<Op> ops;  // ops.back() is the root; empty = always true
+
+  bool Eval(uint64_t bits) const;
+};
+
+struct QueryNode {
+  int id = 0;
+  Axis axis = Axis::kChild;  // edge to the parent query node
+  NodeTest test = NodeTest::kName;
+  std::string name;             // for kName tests
+  NameId name_id = NameDictionary::kInvalidNameId;  // resolved at compile
+  QueryNode* parent = nullptr;
+  std::vector<QueryNode*> children;
+
+  /// True when the edge from the parent is a predicate branch (this node's
+  /// satisfaction sets `branch_bit` on the parent instance) rather than the
+  /// main path.
+  bool is_branch = false;
+  int branch_bit = -1;
+
+  /// Comparison attached to this node (the last step of a predicate path).
+  bool has_compare = false;
+  CompOp op = CompOp::kEq;
+  bool literal_is_number = false;
+  double number = 0;
+  std::string string;
+
+  /// Predicate program over this node's branch bits.
+  PredProgram pred;
+  int branch_count = 0;
+
+  bool is_result = false;
+  /// The implicit context node of a relative path: matches the top-level
+  /// item of the stream regardless of kind (so residual evaluation works on
+  /// attribute and text subtree roots too).
+  bool is_context = false;
+  /// Instances must accumulate text content (comparison on an element, or
+  /// result values requested).
+  bool collect_value = false;
+};
+
+class QueryTree {
+ public:
+  /// Compiles a parsed path. `dict` resolves name tests to ids (a name that
+  /// is not in the dictionary can never match stored data). When
+  /// `want_result_values` is set, result-node instances collect their string
+  /// values (needed for index key generation and typed results).
+  static Result<std::unique_ptr<QueryTree>> Compile(const Path& path,
+                                                    const NameDictionary& dict,
+                                                    bool want_result_values);
+
+  const QueryNode* root() const { return nodes_[0].get(); }
+  QueryNode* root() { return nodes_[0].get(); }
+  /// All nodes in topological (parent-before-child) order; node 0 is the
+  /// implicit root matching the document node.
+  const std::vector<std::unique_ptr<QueryNode>>& nodes() const {
+    return nodes_;
+  }
+  const QueryNode* result_node() const { return result_; }
+  bool absolute() const { return absolute_; }
+
+ private:
+  QueryTree() = default;
+  QueryNode* NewNode();
+  Status CompileSteps(const Path& path, QueryNode* origin, bool is_branch,
+                      bool want_values, const NameDictionary& dict,
+                      QueryNode** last_out);
+  Status CompileExpr(const Expr& expr, QueryNode* owner,
+                     const NameDictionary& dict, int* op_index);
+
+  std::vector<std::unique_ptr<QueryNode>> nodes_;
+  QueryNode* result_ = nullptr;
+  bool absolute_ = true;
+  // Compile-time scratch: per-node predicate conjunct roots (op indices;
+  // negative values -1-bit encode continuation-bit requirements).
+  std::vector<std::vector<int>> pending_roots_;
+};
+
+}  // namespace xpath
+}  // namespace xdb
+
+#endif  // XDB_XPATH_QUERY_TREE_H_

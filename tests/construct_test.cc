@@ -1,0 +1,206 @@
+// Constructor-function tests: tagging-template compilation, equivalence
+// with the naive evaluation, escaping, token emission, and XMLAGG with the
+// linked-list quicksort vs the external-sort baseline.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "construct/constructor.h"
+#include "construct/xml_agg.h"
+#include "util/workload.h"
+#include "xml/name_dictionary.h"
+#include "xml/parser.h"
+
+namespace xdb {
+namespace construct {
+namespace {
+
+// The paper's running example:
+// XMLELEMENT(NAME "Emp", XMLATTRIBUTES(e.id AS "id",
+//                                      e.fname||' '||e.lname AS "name"),
+//            XMLFOREST(e.hire, e.dept AS "department"))
+CtorExpr PaperEmpConstructor() {
+  std::vector<CtorExpr> children;
+  children.push_back(XmlAttribute("id", 0));
+  children.push_back(XmlAttribute("name", 1));
+  children.push_back(XmlForestItem("HIRE", 2));
+  children.push_back(XmlForestItem("department", 3));
+  return XmlElement("Emp", std::move(children));
+}
+
+TEST(ConstructorTest, PaperExampleOutput) {
+  auto cc = CompiledConstructor::Compile(PaperEmpConstructor()).MoveValue();
+  EXPECT_EQ(cc.arg_count(), 4);
+  std::string out;
+  ASSERT_TRUE(cc.SerializeRow({"1234", "John Doe", "1998-02-01", "Accting"},
+                              &out)
+                  .ok());
+  EXPECT_EQ(out,
+            "<Emp id=\"1234\" name=\"John Doe\">"
+            "<HIRE>1998-02-01</HIRE>"
+            "<department>Accting</department></Emp>");
+}
+
+TEST(ConstructorTest, MatchesNaiveEvaluation) {
+  CtorExpr expr = PaperEmpConstructor();
+  auto cc = CompiledConstructor::Compile(expr).MoveValue();
+  Random rng(3);
+  auto rows = workload::GenEmployees(&rng, 50);
+  for (const auto& row : rows) {
+    std::string name = row.fname + " " + row.lname;
+    std::vector<Slice> args = {row.id, name, row.hire, row.dept};
+    std::string fast, naive;
+    ASSERT_TRUE(cc.SerializeRow(args, &fast).ok());
+    ASSERT_TRUE(NaiveEvaluate(expr, args, &naive).ok());
+    EXPECT_EQ(fast, naive);
+  }
+}
+
+TEST(ConstructorTest, EscapingInBothPaths) {
+  CtorExpr expr = XmlElement(
+      "e", [] {
+        std::vector<CtorExpr> v;
+        v.push_back(XmlAttribute("a", 0));
+        v.push_back(Arg(1));
+        return v;
+      }());
+  auto cc = CompiledConstructor::Compile(expr).MoveValue();
+  std::vector<Slice> args = {"say \"hi\" & <bye>", "body <&> text"};
+  std::string fast, naive;
+  ASSERT_TRUE(cc.SerializeRow(args, &fast).ok());
+  ASSERT_TRUE(NaiveEvaluate(expr, args, &naive).ok());
+  EXPECT_EQ(fast, naive);
+  EXPECT_EQ(fast,
+            "<e a=\"say &quot;hi&quot; &amp; &lt;bye&gt;\">"
+            "body &lt;&amp;&gt; text</e>");
+}
+
+TEST(ConstructorTest, NestedElementsAndConcat) {
+  std::vector<CtorExpr> inner;
+  inner.push_back(ConstText("prefix-"));
+  inner.push_back(Arg(0));
+  std::vector<CtorExpr> outer;
+  outer.push_back(XmlElement("inner", std::move(inner)));
+  outer.push_back(XmlElement("other", {}));
+  CtorExpr expr = XmlConcat([&] {
+    std::vector<CtorExpr> v;
+    v.push_back(XmlElement("outer", std::move(outer)));
+    return v;
+  }());
+  auto cc = CompiledConstructor::Compile(expr).MoveValue();
+  std::string out;
+  ASSERT_TRUE(cc.SerializeRow({"V"}, &out).ok());
+  EXPECT_EQ(out, "<outer><inner>prefix-V</inner><other></other></outer>");
+}
+
+TEST(ConstructorTest, InvalidShapesRejected) {
+  // Attribute outside an element.
+  EXPECT_FALSE(CompiledConstructor::Compile(XmlAttribute("x", 0)).ok());
+  // Too few arguments at evaluation time.
+  auto cc = CompiledConstructor::Compile(PaperEmpConstructor()).MoveValue();
+  std::string out;
+  EXPECT_FALSE(cc.SerializeRow({"only", "two"}, &out).ok());
+}
+
+TEST(ConstructorTest, EmitTokensParsesIdentically) {
+  auto cc = CompiledConstructor::Compile(PaperEmpConstructor()).MoveValue();
+  NameDictionary dict;
+  TokenWriter via_tokens;
+  ASSERT_TRUE(cc.EmitTokens({"1", "N N", "2001-05-05", "Sales"}, &dict,
+                            &via_tokens)
+                  .ok());
+  // Parsing the serialized XML must produce the same token stream (the
+  // pipeline skips the text round trip).
+  std::string xml;
+  ASSERT_TRUE(cc.SerializeRow({"1", "N N", "2001-05-05", "Sales"}, &xml).ok());
+  Parser parser(&dict);
+  TokenWriter via_text;
+  ASSERT_TRUE(parser.Parse(xml, &via_text).ok());
+  // via_text has document wrapper events; strip them for comparison.
+  std::string body = via_text.buffer().substr(1, via_text.buffer().size() - 2);
+  EXPECT_EQ(via_tokens.buffer(), body);
+}
+
+TEST(ArgRecordTest, RoundTrip) {
+  std::string record = MakeArgRecord({"one", "", "three"});
+  std::vector<Slice> out;
+  ASSERT_TRUE(SplitArgRecord(record, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].ToString(), "one");
+  EXPECT_TRUE(out[1].empty());
+  EXPECT_EQ(out[2].ToString(), "three");
+}
+
+class XmlAggTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tmpl_ = std::make_unique<CompiledConstructor>(
+        CompiledConstructor::Compile(PaperEmpConstructor()).MoveValue());
+  }
+
+  std::string RowRecord(const workload::EmployeeRow& row) {
+    std::string name = row.fname + " " + row.lname;
+    return MakeArgRecord({row.id, name, row.hire, row.dept});
+  }
+
+  std::unique_ptr<CompiledConstructor> tmpl_;
+};
+
+TEST_F(XmlAggTest, SortsByKey) {
+  XmlAgg agg(tmpl_.get());
+  agg.Add("b", MakeArgRecord({"2", "B B", "2000-01-01", "HR"}));
+  agg.Add("a", MakeArgRecord({"1", "A A", "2000-01-01", "HR"}));
+  agg.Add("c", MakeArgRecord({"3", "C C", "2000-01-01", "HR"}));
+  EXPECT_EQ(agg.row_count(), 3u);
+  std::string out;
+  ASSERT_TRUE(agg.Finish(&out).ok());
+  EXPECT_LT(out.find("id=\"1\""), out.find("id=\"2\""));
+  EXPECT_LT(out.find("id=\"2\""), out.find("id=\"3\""));
+}
+
+TEST_F(XmlAggTest, QuicksortMatchesExternalSortBaseline) {
+  Random rng(9);
+  auto rows = workload::GenEmployees(&rng, 500);
+  XmlAgg agg(tmpl_.get());
+  ExternalSortAgg ext(tmpl_.get(), /*run_limit=*/64);
+  for (const auto& row : rows) {
+    // Sort by hire date; duplicates exercise stability-independence (equal
+    // keys may order differently, so make keys unique with the id).
+    std::string key = row.hire + "#" + row.id;
+    agg.Add(key, RowRecord(row));
+    ext.Add(key, RowRecord(row));
+  }
+  std::string fast, baseline;
+  ASSERT_TRUE(agg.Finish(&fast).ok());
+  ASSERT_TRUE(ext.Finish(&baseline).ok());
+  EXPECT_EQ(fast, baseline);
+}
+
+TEST_F(XmlAggTest, PresortedAndReversedInputs) {
+  for (bool reversed : {false, true}) {
+    XmlAgg agg(tmpl_.get());
+    const int kN = 2000;
+    for (int i = 0; i < kN; i++) {
+      int v = reversed ? kN - i : i;
+      char key[16];
+      std::snprintf(key, sizeof(key), "%08d", v);
+      agg.Add(key, MakeArgRecord({std::to_string(v), "N N", "2000-01-01",
+                                  "HR"}));
+    }
+    std::string out;
+    ASSERT_TRUE(agg.Finish(&out).ok());
+    // Spot-check global order.
+    EXPECT_LT(out.find(reversed ? "id=\"1\"" : "id=\"0\""),
+              out.find("id=\"1999\""));
+  }
+}
+
+TEST_F(XmlAggTest, EmptyGroupProducesEmptyOutput) {
+  XmlAgg agg(tmpl_.get());
+  std::string out;
+  ASSERT_TRUE(agg.Finish(&out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace construct
+}  // namespace xdb

@@ -1,0 +1,196 @@
+// Tests for prefix-encoded node IDs: validity, document order, ancestor
+// testing, and — the load-bearing property — Between() always finding room.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "xml/node_id.h"
+
+namespace xdb {
+namespace nodeid {
+namespace {
+
+TEST(NodeIdTest, ChildIdsAreSingleEvenBytes) {
+  EXPECT_EQ(ChildId(1), std::string(1, char(0x02)));
+  EXPECT_EQ(ChildId(2), std::string(1, char(0x04)));
+  EXPECT_EQ(ChildId(126), std::string(1, char(0xFC)));
+}
+
+TEST(NodeIdTest, ChildIdsExtendPast126) {
+  std::string id127 = ChildId(127);
+  EXPECT_GT(id127.size(), 1u);
+  EXPECT_TRUE(IsValidRelative(id127));
+  // Order holds across the extension boundary.
+  EXPECT_LT(Slice(ChildId(126)).Compare(Slice(id127)), 0);
+  EXPECT_LT(Slice(id127).Compare(Slice(ChildId(128))), 0);
+  EXPECT_LT(Slice(ChildId(200)).Compare(Slice(ChildId(300))), 0);
+}
+
+TEST(NodeIdTest, SiblingOrderIsStrictlyIncreasing) {
+  std::string prev;
+  for (uint32_t n = 1; n <= 1000; n++) {
+    std::string id = ChildId(n);
+    EXPECT_TRUE(IsValidRelative(id)) << n;
+    if (!prev.empty()) {
+      EXPECT_LT(Slice(prev).Compare(Slice(id)), 0) << n;
+    }
+    prev = id;
+  }
+}
+
+TEST(NodeIdTest, Validity) {
+  EXPECT_TRUE(IsValidRelative(std::string(1, 0x02)));
+  EXPECT_TRUE(IsValidRelative(std::string{char(0x03), char(0x02)}));
+  EXPECT_FALSE(IsValidRelative(""));
+  EXPECT_FALSE(IsValidRelative(std::string(1, 0x03)));          // ends odd
+  EXPECT_FALSE(IsValidRelative(std::string{char(0x02), char(0x04)}));  // 2 levels
+  EXPECT_TRUE(IsValidAbsolute(""));  // the implicit root
+  EXPECT_TRUE(IsValidAbsolute(std::string{char(0x02), char(0x04)}));
+  EXPECT_FALSE(IsValidAbsolute(std::string{char(0x02), char(0x03)}));
+}
+
+TEST(NodeIdTest, SplitLevelsAndDepth) {
+  // 02 | 03 04 | 06
+  std::string abs{char(0x02), char(0x03), char(0x04), char(0x06)};
+  std::vector<Slice> levels;
+  ASSERT_TRUE(SplitLevels(abs, &levels).ok());
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0].size(), 1u);
+  EXPECT_EQ(levels[1].size(), 2u);
+  EXPECT_EQ(levels[2].size(), 1u);
+  EXPECT_EQ(Depth(abs).value(), 3);
+  EXPECT_EQ(Depth("").value(), 0);
+}
+
+TEST(NodeIdTest, Parent) {
+  std::string abs{char(0x02), char(0x03), char(0x04), char(0x06)};
+  Slice p = Parent(abs).value();
+  EXPECT_EQ(p.size(), 3u);  // strips the final single-byte level
+  Slice pp = Parent(p).value();
+  EXPECT_EQ(pp.size(), 1u);  // strips the two-byte level
+  Slice root = Parent(pp).value();
+  EXPECT_TRUE(root.empty());
+  EXPECT_FALSE(Parent(Slice()).ok());
+}
+
+TEST(NodeIdTest, AncestorIsProperPrefix) {
+  std::string a{char(0x02)};
+  std::string d{char(0x02), char(0x04)};
+  EXPECT_TRUE(IsAncestor(a, d));
+  EXPECT_FALSE(IsAncestor(d, a));
+  EXPECT_FALSE(IsAncestor(a, a));
+  EXPECT_TRUE(IsAncestor(Slice(), a));  // root is everyone's ancestor
+}
+
+TEST(NodeIdTest, DocumentOrderPutsAncestorsFirst) {
+  std::string parent{char(0x04)};
+  std::string child{char(0x04), char(0x02)};
+  std::string next_sibling{char(0x06)};
+  EXPECT_LT(Compare(parent, child), 0);
+  EXPECT_LT(Compare(child, next_sibling), 0);
+}
+
+TEST(BetweenTest, BasicCases) {
+  std::string mid;
+  // First child ever.
+  ASSERT_TRUE(Between(Slice(), Slice(), &mid).ok());
+  EXPECT_TRUE(IsValidRelative(mid));
+
+  // After last.
+  std::string left = ChildId(3);
+  ASSERT_TRUE(Between(left, Slice(), &mid).ok());
+  EXPECT_TRUE(IsValidRelative(mid));
+  EXPECT_LT(Slice(left).Compare(Slice(mid)), 0);
+
+  // Before first.
+  std::string right = ChildId(1);  // 0x02
+  ASSERT_TRUE(Between(Slice(), right, &mid).ok());
+  EXPECT_TRUE(IsValidRelative(mid));
+  EXPECT_LT(Slice(mid).Compare(Slice(right)), 0);
+
+  // Between adjacent single bytes: 02 < mid < 04.
+  ASSERT_TRUE(Between(ChildId(1), ChildId(2), &mid).ok());
+  EXPECT_TRUE(IsValidRelative(mid));
+  EXPECT_LT(Slice(ChildId(1)).Compare(Slice(mid)), 0);
+  EXPECT_LT(Slice(mid).Compare(Slice(ChildId(2))), 0);
+}
+
+TEST(BetweenTest, AfterLastAtByteCeiling) {
+  std::string left(1, char(0xFE));
+  std::string mid;
+  ASSERT_TRUE(Between(left, Slice(), &mid).ok());
+  EXPECT_TRUE(IsValidRelative(mid));
+  EXPECT_LT(Slice(left).Compare(Slice(mid)), 0);
+}
+
+// The property the paper claims: "there is always space for insertion in the
+// middle by extending the node ID length when necessary." Repeatedly insert
+// at random gaps and verify validity + strict order every time.
+TEST(BetweenTest, PropertyRandomInsertionsStaySorted) {
+  for (uint64_t seed = 1; seed <= 5; seed++) {
+    Random rng(seed);
+    std::vector<std::string> ids = {ChildId(1), ChildId(2), ChildId(3)};
+    for (int iter = 0; iter < 400; iter++) {
+      size_t gap = rng.Uniform(ids.size() + 1);
+      Slice left = gap == 0 ? Slice() : Slice(ids[gap - 1]);
+      Slice right = gap == ids.size() ? Slice() : Slice(ids[gap]);
+      std::string mid;
+      Status st = Between(left, right, &mid);
+      ASSERT_TRUE(st.ok()) << st.ToString() << " at iter " << iter;
+      ASSERT_TRUE(IsValidRelative(mid)) << ToString(mid);
+      if (!left.empty()) {
+        ASSERT_LT(left.Compare(Slice(mid)), 0);
+      }
+      if (!right.empty()) {
+        ASSERT_LT(Slice(mid).Compare(right), 0);
+      }
+      ids.insert(ids.begin() + gap, mid);
+    }
+    ASSERT_TRUE(std::is_sorted(ids.begin(), ids.end(),
+                               [](const std::string& a, const std::string& b) {
+                                 return Slice(a).Compare(Slice(b)) < 0;
+                               }));
+    // All distinct.
+    std::set<std::string> uniq(ids.begin(), ids.end());
+    EXPECT_EQ(uniq.size(), ids.size());
+  }
+}
+
+// Left-edge hammering: keep inserting before the first sibling; the encoding
+// extends instead of running out (until the absolute floor).
+TEST(BetweenTest, RepeatedInsertBeforeFirstExtends) {
+  std::string right = ChildId(1);
+  for (int i = 0; i < 100; i++) {
+    std::string mid;
+    Status st = Between(Slice(), right, &mid);
+    ASSERT_TRUE(st.ok()) << "iteration " << i << ": " << st.ToString();
+    ASSERT_TRUE(IsValidRelative(mid));
+    ASSERT_LT(Slice(mid).Compare(Slice(right)), 0);
+    right = mid;
+  }
+}
+
+TEST(BetweenTest, RepeatedInsertBetweenAdjacentExtends) {
+  std::string left = ChildId(1), right = ChildId(2);
+  for (int i = 0; i < 100; i++) {
+    std::string mid;
+    ASSERT_TRUE(Between(left, right, &mid).ok()) << i;
+    ASSERT_TRUE(IsValidRelative(mid));
+    ASSERT_LT(Slice(left).Compare(Slice(mid)), 0) << i;
+    ASSERT_LT(Slice(mid).Compare(Slice(right)), 0) << i;
+    // Alternate narrowing from both sides.
+    if (i % 2 == 0) left = mid; else right = mid;
+  }
+}
+
+TEST(NodeIdTest, ToStringRendersLevels) {
+  std::string abs{char(0x02), char(0x04)};
+  EXPECT_EQ(ToString(abs), "02.04");
+  EXPECT_EQ(ToString(Slice()), "00");
+}
+
+}  // namespace
+}  // namespace nodeid
+}  // namespace xdb

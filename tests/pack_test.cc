@@ -1,0 +1,525 @@
+// Tree-packing tests: record format, bottom-up building with proxies,
+// NodeID intervals, cross-record traversal, point navigation, text
+// replacement, and the shredded baseline.
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "index/nodeid_index.h"
+#include "pack/packed_record.h"
+#include "pack/record_builder.h"
+#include "pack/shredded_store.h"
+#include "pack/tree_cursor.h"
+#include "runtime/iterators.h"
+#include "storage/buffer_manager.h"
+#include "storage/record_manager.h"
+#include "storage/tablespace.h"
+#include "util/workload.h"
+#include "xml/node_id.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xdb {
+namespace {
+
+// Shared harness: parse XML, pack, store, index.
+class PackedDocFixture {
+ public:
+  explicit PackedDocFixture(size_t budget = 3000) {
+    TableSpaceOptions opts;
+    opts.in_memory = true;
+    space_ = TableSpace::Create("", opts).MoveValue();
+    bm_ = std::make_unique<BufferManager>(space_.get(), 512);
+    records_ = std::make_unique<RecordManager>(bm_.get());
+    tree_ = BTree::Create(bm_.get()).MoveValue();
+    index_ = std::make_unique<NodeIdIndex>(tree_.get());
+    budget_ = budget;
+  }
+
+  Status Store(uint64_t doc_id, const std::string& xml) {
+    Parser parser(&dict_);
+    TokenWriter tokens;
+    XDB_RETURN_NOT_OK(parser.Parse(xml, &tokens));
+    original_tokens_[doc_id] = tokens.buffer();
+    RecordBuilderOptions opts;
+    opts.record_budget = budget_;
+    RecordBuilder builder(opts);
+    record_count_ = 0;
+    return builder.Build(tokens.data(), [&](PackedRecordOut&& rec) -> Status {
+      XDB_ASSIGN_OR_RETURN(Rid rid, records_->Insert(rec.bytes));
+      XDB_RETURN_NOT_OK(index_->AddRecord(doc_id, rec.bytes, rid));
+      record_count_++;
+      return Status::OK();
+    });
+  }
+
+  // Stored traversal -> token stream, for byte-exact comparison with the
+  // original parse.
+  Result<std::string> ReadBack(uint64_t doc_id) {
+    StoredDocSource source(records_.get(), index_.get(), doc_id);
+    TokenWriter out;
+    XDB_RETURN_NOT_OK(EventsToTokens(&source, &out));
+    return out.buffer();
+  }
+
+  NameDictionary dict_;
+  std::unique_ptr<TableSpace> space_;
+  std::unique_ptr<BufferManager> bm_;
+  std::unique_ptr<RecordManager> records_;
+  std::unique_ptr<BTree> tree_;
+  std::unique_ptr<NodeIdIndex> index_;
+  std::map<uint64_t, std::string> original_tokens_;
+  size_t budget_;
+  int record_count_ = 0;
+};
+
+TEST(RecordBuilderTest, SmallDocumentIsOneRecord) {
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(parser.Parse("<a><b>x</b><c y=\"1\"/></a>", &tokens).ok());
+  auto records = PackDocument(tokens.data()).MoveValue();
+  ASSERT_EQ(records.size(), 1u);
+  // Root record: context is the document (empty id).
+  RecordHeader header;
+  Slice payload;
+  ASSERT_TRUE(ParseRecordHeader(records[0].bytes, &header, &payload).ok());
+  EXPECT_TRUE(header.context_node_id.empty());
+  EXPECT_TRUE(header.root_path.empty());
+  EXPECT_EQ(header.subtree_count, 1u);
+  EXPECT_EQ(records[0].min_node_id, nodeid::ChildId(1));
+  EXPECT_EQ(CountRecordNodes(records[0].bytes).value(), 5u);
+}
+
+TEST(RecordBuilderTest, BudgetForcesEviction) {
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  std::string xml = workload::GenWideXml(50, 100);
+  ASSERT_TRUE(parser.Parse(xml, &tokens).ok());
+  RecordBuilderOptions opts;
+  opts.record_budget = 600;
+  auto records = PackDocument(tokens.data(), opts).MoveValue();
+  EXPECT_GT(records.size(), 3u);
+  // Total stored nodes across records == total nodes in the document
+  // (proxies excluded, nothing lost, nothing duplicated).
+  uint64_t total = 0;
+  for (auto& rec : records) total += CountRecordNodes(rec.bytes).value();
+  // root + 50 items, each with attribute + text.
+  EXPECT_EQ(total, 1u + 50u * 3u);
+  // The last record emitted is the root record (bottom-up order).
+  RecordHeader header;
+  Slice payload;
+  ASSERT_TRUE(
+      ParseRecordHeader(records.back().bytes, &header, &payload).ok());
+  EXPECT_TRUE(header.context_node_id.empty());
+}
+
+TEST(RecordBuilderTest, EvictedRecordHeaderHasPathAndContext) {
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(parser
+                  .Parse("<root><mid>" + std::string(500, 'x') +
+                             "<leaf>deep</leaf></mid></root>",
+                         &tokens)
+                  .ok());
+  RecordBuilderOptions opts;
+  opts.record_budget = 100;
+  auto records = PackDocument(tokens.data(), opts).MoveValue();
+  ASSERT_GT(records.size(), 1u);
+  // The first-emitted record was evicted from inside <mid>; its header
+  // carries the root path and the context node's absolute id.
+  RecordHeader header;
+  Slice payload;
+  ASSERT_TRUE(ParseRecordHeader(records[0].bytes, &header, &payload).ok());
+  EXPECT_FALSE(header.context_node_id.empty());
+  ASSERT_GE(header.root_path.size(), 1u);
+  EXPECT_EQ(dict.Name(header.root_path[0].local).value(), "root");
+}
+
+TEST(NodeIdIntervalTest, PaperExampleShape) {
+  // A record with structure elem(a)[ elem(b){...}, proxy, elem(c) ] yields
+  // two intervals split at the proxy.
+  std::string children;
+  packfmt::AppendText(&children, nodeid::ChildId(1), TypeAnno::kUntyped, "x");
+  packfmt::AppendProxy(&children, nodeid::ChildId(2));
+  packfmt::AppendText(&children, nodeid::ChildId(3), TypeAnno::kUntyped, "y");
+  std::string elem;
+  packfmt::AppendElement(&elem, nodeid::ChildId(1), 1, 0, 0, 3, children);
+  RecordHeader header;
+  std::string record;
+  AppendRecordHeader(header, &record);
+  record += elem;
+
+  std::vector<std::string> uppers;
+  ASSERT_TRUE(ComputeNodeIdIntervals(record, &uppers).ok());
+  ASSERT_EQ(uppers.size(), 2u);
+  // First interval ends at the text node before the proxy.
+  EXPECT_EQ(uppers[0], nodeid::ChildId(1) + nodeid::ChildId(1));
+  // Second interval ends at the text node after the proxy.
+  EXPECT_EQ(uppers[1], nodeid::ChildId(1) + nodeid::ChildId(3));
+}
+
+TEST(PackedRoundTripTest, SingleRecordDocuments) {
+  PackedDocFixture fx;
+  for (const char* xml :
+       {"<a/>", "<a><b>one</b><b>two</b></a>",
+        "<a x=\"1\" y=\"2\"><!-- c --><?pi d?>text</a>",
+        "<ns:a xmlns:ns=\"urn:n\"><ns:b/></ns:a>"}) {
+    static uint64_t doc = 1;
+    ASSERT_TRUE(fx.Store(doc, xml).ok()) << xml;
+    EXPECT_EQ(fx.ReadBack(doc).value(), fx.original_tokens_[doc]) << xml;
+    doc++;
+  }
+}
+
+TEST(PackedRoundTripTest, MultiRecordDocuments) {
+  for (size_t budget : {64, 200, 700, 5000}) {
+    PackedDocFixture fx(budget);
+    Random rng(101);
+    workload::CatalogOptions opts;
+    opts.categories = 3;
+    opts.products_per_category = 12;
+    std::string xml = workload::GenCatalogXml(&rng, opts);
+    ASSERT_TRUE(fx.Store(1, xml).ok());
+    if (budget <= 200) EXPECT_GT(fx.record_count_, 5) << budget;
+    EXPECT_EQ(fx.ReadBack(1).value(), fx.original_tokens_[1])
+        << "budget " << budget;
+  }
+}
+
+TEST(PackedRoundTripTest, RandomizedDocumentsAllBudgets) {
+  Random rng(77);
+  for (int iter = 0; iter < 25; iter++) {
+    std::string xml = workload::GenRandomXml(&rng, 120);
+    for (size_t budget : {48, 150, 1000}) {
+      PackedDocFixture fx(budget);
+      ASSERT_TRUE(fx.Store(1, xml).ok()) << xml;
+      ASSERT_EQ(fx.ReadBack(1).value(), fx.original_tokens_[1])
+          << "budget " << budget << " xml " << xml;
+    }
+  }
+}
+
+TEST(PackedRoundTripTest, DeepRecursiveDocument) {
+  PackedDocFixture fx(128);
+  std::string xml = workload::GenRecursiveXml(40, 2);
+  ASSERT_TRUE(fx.Store(1, xml).ok());
+  EXPECT_EQ(fx.ReadBack(1).value(), fx.original_tokens_[1]);
+  EXPECT_GT(fx.record_count_, 2);
+}
+
+TEST(NodeIdIndexTest, LookupFindsContainingRecord) {
+  PackedDocFixture fx(100);
+  ASSERT_TRUE(fx.Store(7, workload::GenWideXml(30, 60)).ok());
+  ASSERT_GT(fx.record_count_, 1);
+  // Every node of the document must be resolvable.
+  StoredDocSource source(fx.records_.get(), fx.index_.get(), 7);
+  XmlEvent ev;
+  int checked = 0;
+  for (;;) {
+    auto more = source.Next(&ev);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    if (ev.type == XmlEvent::Type::kEndElement ||
+        ev.type == XmlEvent::Type::kStartDocument ||
+        ev.type == XmlEvent::Type::kEndDocument)
+      continue;
+    std::string id = ev.node_id.ToString();
+    auto rid = fx.index_->Lookup(7, id);
+    ASSERT_TRUE(rid.ok()) << nodeid::ToString(id);
+    // The record really contains the node.
+    std::string rec;
+    ASSERT_TRUE(fx.records_->Get(rid.value(), &rec).ok());
+    RecordWalker walker((Slice(rec)));
+    ASSERT_TRUE(walker.Init().ok());
+    bool found = false;
+    for (;;) {
+      RecordWalker::Event rev;
+      ASSERT_TRUE(walker.Next(&rev).ok());
+      if (rev.type == RecordWalker::EventType::kDone) break;
+      if (rev.type == RecordWalker::EventType::kStart &&
+          rev.entry.kind != NodeKind::kProxy && rev.entry.abs_id == id) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << nodeid::ToString(id);
+    checked++;
+  }
+  EXPECT_GT(checked, 60);
+}
+
+TEST(NodeIdIndexTest, MissingNodesReportNotFoundOrWrongDoc) {
+  PackedDocFixture fx;
+  ASSERT_TRUE(fx.Store(1, "<a><b/></a>").ok());
+  // A node id beyond the document's last node.
+  std::string huge(1, char(0xFC));
+  EXPECT_FALSE(fx.index_->Lookup(1, huge).ok());
+  // Unknown document.
+  EXPECT_FALSE(fx.index_->Lookup(99, "").ok());
+}
+
+TEST(NavigatorTest, GetNodeFirstChildNextSibling) {
+  PackedDocFixture fx;
+  ASSERT_TRUE(
+      fx.Store(1, "<a><b>one</b><c><d/><e/></c><f attr=\"v\"/></a>").ok());
+  StoredTreeNavigator nav(fx.records_.get(), fx.index_.get(), 1);
+
+  std::string root_elem = nav.FirstChildId("").value();  // <a>
+  auto info = nav.GetNode(root_elem).value();
+  EXPECT_EQ(info.kind, NodeKind::kElement);
+  EXPECT_EQ(fx.dict_.Name(info.local).value(), "a");
+  EXPECT_EQ(info.child_count, 3u);
+
+  std::string b = nav.FirstChildId(root_elem).value();
+  EXPECT_EQ(fx.dict_.Name(nav.GetNode(b).value().local).value(), "b");
+  std::string c = nav.NextSiblingId(b).value();
+  EXPECT_EQ(fx.dict_.Name(nav.GetNode(c).value().local).value(), "c");
+  std::string f = nav.NextSiblingId(c).value();
+  EXPECT_EQ(fx.dict_.Name(nav.GetNode(f).value().local).value(), "f");
+  EXPECT_TRUE(nav.NextSiblingId(f).status().IsNotFound());
+
+  // f's first child is its attribute node.
+  std::string attr = nav.FirstChildId(f).value();
+  auto attr_info = nav.GetNode(attr).value();
+  EXPECT_EQ(attr_info.kind, NodeKind::kAttribute);
+  EXPECT_EQ(attr_info.value, "v");
+}
+
+TEST(NavigatorTest, NextSiblingSkipsMultiRecordSubtree) {
+  PackedDocFixture fx(80);  // tiny budget: subtrees span many records
+  ASSERT_TRUE(fx.Store(1, "<a><big>" + workload::GenWideXml(20, 40) +
+                              "</big><after>tail</after></a>")
+                  .ok());
+  ASSERT_GT(fx.record_count_, 3);
+  StoredTreeNavigator nav(fx.records_.get(), fx.index_.get(), 1);
+  std::string a = nav.FirstChildId("").value();
+  std::string big = nav.FirstChildId(a).value();
+  EXPECT_EQ(fx.dict_.Name(nav.GetNode(big).value().local).value(), "big");
+  std::string after = nav.NextSiblingId(big).value();
+  EXPECT_EQ(fx.dict_.Name(nav.GetNode(after).value().local).value(), "after");
+  EXPECT_EQ(nav.StringValue(after).value(), "tail");
+}
+
+TEST(NavigatorTest, StringValueCrossesRecords) {
+  PackedDocFixture fx(64);
+  ASSERT_TRUE(fx.Store(1, "<a><p>one </p><p>two </p><p>three</p></a>").ok());
+  StoredTreeNavigator nav(fx.records_.get(), fx.index_.get(), 1);
+  std::string a = nav.FirstChildId("").value();
+  EXPECT_EQ(nav.StringValue(a).value(), "one two three");
+}
+
+TEST(SubtreeSourceTest, StreamsOnlyTheSubtree) {
+  PackedDocFixture fx;
+  ASSERT_TRUE(fx.Store(1, "<a><b><x>1</x></b><c><y>2</y></c></a>").ok());
+  StoredTreeNavigator nav(fx.records_.get(), fx.index_.get(), 1);
+  std::string a = nav.FirstChildId("").value();
+  std::string b = nav.FirstChildId(a).value();
+  std::string c = nav.NextSiblingId(b).value();
+
+  StoredDocSource source(fx.records_.get(), fx.index_.get(), 1,
+                         c);  // just <c>
+  std::vector<std::string> names;
+  XmlEvent ev;
+  for (;;) {
+    auto more = source.Next(&ev);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    if (ev.type == XmlEvent::Type::kStartElement)
+      names.push_back(fx.dict_.Name(ev.local).value());
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"c", "y"}));
+}
+
+TEST(ReplaceTextValueTest, RewritesValueAndPreservesStructure) {
+  PackedDocFixture fx;
+  ASSERT_TRUE(fx.Store(1, "<a><b>old</b><c>keep</c></a>").ok());
+  StoredTreeNavigator nav(fx.records_.get(), fx.index_.get(), 1);
+  std::string a = nav.FirstChildId("").value();
+  std::string b = nav.FirstChildId(a).value();
+  std::string text = nav.FirstChildId(b).value();
+
+  Rid rid = fx.index_->Lookup(1, text).value();
+  std::string record;
+  ASSERT_TRUE(fx.records_->Get(rid, &record).ok());
+  std::string updated =
+      ReplaceTextValue(record, text, "replacement value").MoveValue();
+  ASSERT_TRUE(fx.records_->Update(rid, updated).ok());
+
+  EXPECT_EQ(nav.StringValue(b).value(), "replacement value");
+  std::string c = nav.NextSiblingId(b).value();
+  EXPECT_EQ(nav.StringValue(c).value(), "keep");
+  // Intervals are unchanged: same ids resolve to the same record.
+  EXPECT_EQ(fx.index_->Lookup(1, text).value(), rid);
+}
+
+TEST(ReplaceTextValueTest, MissingNodeFails) {
+  PackedDocFixture fx;
+  ASSERT_TRUE(fx.Store(1, "<a>t</a>").ok());
+  Rid rid = fx.index_->Lookup(1, "").value();
+  std::string record;
+  ASSERT_TRUE(fx.records_->Get(rid, &record).ok());
+  std::string bogus_id = nodeid::ChildId(9) + nodeid::ChildId(9);
+  EXPECT_TRUE(
+      ReplaceTextValue(record, bogus_id, "x").status().IsNotFound());
+}
+
+TEST(RecordSurgeryTest, BuildSubtreeEntryShape) {
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(parser.Parse("<n a=\"1\"><m>text</m></n>", &tokens).ok());
+  uint64_t nodes = 0;
+  std::string rel = nodeid::ChildId(5);
+  auto entry = BuildSubtreeEntry(tokens.data(), rel, &nodes);
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  EXPECT_EQ(nodes, 4u);  // n, @a, m, text
+  // Wrap in a record and walk it.
+  RecordHeader header;
+  header.subtree_count = 1;
+  std::string record;
+  AppendRecordHeader(header, &record);
+  record += entry.value();
+  RecordWalker walker((Slice(record)));
+  ASSERT_TRUE(walker.Init().ok());
+  RecordWalker::Event ev;
+  ASSERT_TRUE(walker.Next(&ev).ok());
+  EXPECT_EQ(ev.entry.kind, NodeKind::kElement);
+  EXPECT_EQ(ev.entry.rel_id.ToString(), rel);
+  EXPECT_EQ(ev.entry.child_count, 2u);
+}
+
+TEST(RecordSurgeryTest, InsertProxyAndRemoveEntry) {
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(parser.Parse("<a><b/><d/></a>", &tokens).ok());
+  auto records = PackDocument(tokens.data()).MoveValue();
+  ASSERT_EQ(records.size(), 1u);
+  std::string a_id = nodeid::ChildId(1);
+  std::string b_id = a_id + nodeid::ChildId(1);
+  std::string d_id = a_id + nodeid::ChildId(2);
+
+  // Splice a proxy between b and d.
+  std::string mid_rel;
+  ASSERT_TRUE(nodeid::Between(nodeid::ChildId(1), nodeid::ChildId(2), &mid_rel)
+                  .ok());
+  auto patched = InsertProxyEntry(records[0].bytes, a_id, mid_rel);
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  // Walk: a's child count is 3 and the proxy sits between b and d.
+  std::vector<std::pair<NodeKind, std::string>> seen;
+  RecordWalker walker((Slice(patched.value())));
+  ASSERT_TRUE(walker.Init().ok());
+  for (;;) {
+    RecordWalker::Event ev;
+    ASSERT_TRUE(walker.Next(&ev).ok());
+    if (ev.type == RecordWalker::EventType::kDone) break;
+    if (ev.type == RecordWalker::EventType::kStart)
+      seen.emplace_back(ev.entry.kind, ev.entry.abs_id);
+  }
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0].second, a_id);
+  EXPECT_EQ(seen[1].second, b_id);
+  EXPECT_EQ(seen[2].first, NodeKind::kProxy);
+  EXPECT_EQ(seen[2].second, a_id + mid_rel);
+  EXPECT_EQ(seen[3].second, d_id);
+
+  // Interval computation now splits at the proxy.
+  std::vector<std::string> uppers;
+  ASSERT_TRUE(ComputeNodeIdIntervals(patched.value(), &uppers).ok());
+  EXPECT_EQ(uppers.size(), 2u);
+
+  // Remove <b>: count back to 2 (proxy still there).
+  bool empty = false;
+  auto removed = RemoveEntry(patched.value(), b_id, &empty);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_FALSE(empty);
+  RecordWalker w2((Slice(removed.value())));
+  ASSERT_TRUE(w2.Init().ok());
+  RecordWalker::Event first;
+  ASSERT_TRUE(w2.Next(&first).ok());
+  EXPECT_EQ(first.entry.child_count, 2u);
+
+  // Removing a non-existent node fails.
+  EXPECT_TRUE(RemoveEntry(records[0].bytes, a_id + nodeid::ChildId(9), nullptr)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(RecordSurgeryTest, AppendAsLastChild) {
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(parser.Parse("<a><b/></a>", &tokens).ok());
+  auto records = PackDocument(tokens.data()).MoveValue();
+  std::string a_id = nodeid::ChildId(1);
+  std::string tail_rel = nodeid::ChildId(9);
+  auto patched = InsertProxyEntry(records[0].bytes, a_id, tail_rel);
+  ASSERT_TRUE(patched.ok());
+  std::vector<std::string> ids;
+  RecordWalker walker((Slice(patched.value())));
+  ASSERT_TRUE(walker.Init().ok());
+  for (;;) {
+    RecordWalker::Event ev;
+    ASSERT_TRUE(walker.Next(&ev).ok());
+    if (ev.type == RecordWalker::EventType::kDone) break;
+    if (ev.type == RecordWalker::EventType::kStart)
+      ids.push_back(ev.entry.abs_id);
+  }
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids.back(), a_id + tail_rel);
+}
+
+TEST(ShreddedStoreTest, RoundTripMatchesPacked) {
+  TableSpaceOptions opts;
+  opts.in_memory = true;
+  auto space = TableSpace::Create("", opts).MoveValue();
+  BufferManager bm(space.get(), 512);
+  RecordManager records(&bm);
+  auto tree = BTree::Create(&bm).MoveValue();
+  ShreddedStore store(&records, tree.get());
+
+  NameDictionary dict;
+  Parser parser(&dict);
+  Random rng(55);
+  std::string xml = workload::GenCatalogXml(&rng, {});
+  TokenWriter tokens;
+  ASSERT_TRUE(parser.Parse(xml, &tokens).ok());
+  uint64_t node_count = 0;
+  ASSERT_TRUE(store.InsertDocument(3, tokens.data(), &node_count).ok());
+  EXPECT_GT(node_count, 50u);
+  // One record and one index entry per node.
+  EXPECT_EQ(records.stats().inserts, node_count);
+  EXPECT_EQ(tree->ComputeStats().value().entries, node_count);
+
+  ShreddedStore::Source source(&store, 3);
+  TokenWriter out;
+  ASSERT_TRUE(EventsToTokens(&source, &out).ok());
+  EXPECT_EQ(out.buffer(), tokens.buffer());
+  EXPECT_EQ(source.records_fetched(), node_count);
+}
+
+TEST(ShreddedStoreTest, GetNodeByid) {
+  TableSpaceOptions opts;
+  opts.in_memory = true;
+  auto space = TableSpace::Create("", opts).MoveValue();
+  BufferManager bm(space.get(), 128);
+  RecordManager records(&bm);
+  auto tree = BTree::Create(&bm).MoveValue();
+  ShreddedStore store(&records, tree.get());
+
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(parser.Parse("<a><b>x</b></a>", &tokens).ok());
+  ASSERT_TRUE(store.InsertDocument(1, tokens.data(), nullptr).ok());
+  std::string rec;
+  ASSERT_TRUE(store.GetNode(1, nodeid::ChildId(1), &rec).ok());
+  EXPECT_FALSE(rec.empty());
+  EXPECT_TRUE(store.GetNode(1, nodeid::ChildId(5), &rec).IsNotFound());
+}
+
+}  // namespace
+}  // namespace xdb

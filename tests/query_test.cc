@@ -1,0 +1,265 @@
+// Query-planning tests: candidate extraction, index matching, access-method
+// selection (Table 2), anchoring, and posting-list algebra.
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "query/access_path.h"
+#include "query/executor.h"
+#include "storage/buffer_manager.h"
+#include "storage/tablespace.h"
+#include "xml/node_id.h"
+#include "xpath/parser.h"
+
+namespace xdb {
+namespace query {
+namespace {
+
+using xpath::ParsePath;
+
+TEST(ExtractCandidatesTest, SingleComparison) {
+  auto path =
+      ParsePath("/Catalog/Categories/Product[RegPrice > 100]").MoveValue();
+  std::vector<CandidatePredicate> cands;
+  bool leftover;
+  ASSERT_TRUE(ExtractCandidates(path, &cands, &leftover).ok());
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_FALSE(leftover);
+  EXPECT_EQ(cands[0].step_index, 2u);
+  EXPECT_EQ(cands[0].full_path.ToString(),
+            "/Catalog/Categories/Product/RegPrice");
+  EXPECT_EQ(cands[0].op, xpath::CompOp::kGt);
+  EXPECT_EQ(cands[0].strip_levels, 1);
+  EXPECT_FALSE(cands[0].or_group);
+}
+
+TEST(ExtractCandidatesTest, ConjunctsSplitAndOrGroups) {
+  auto path =
+      ParsePath("/c/p[a > 1 and b < 2][x = \"s\" or y = \"t\"]").MoveValue();
+  std::vector<CandidatePredicate> cands;
+  bool leftover;
+  ASSERT_TRUE(ExtractCandidates(path, &cands, &leftover).ok());
+  ASSERT_EQ(cands.size(), 4u);
+  EXPECT_FALSE(leftover);
+  int and_count = 0, or_count = 0;
+  for (auto& c : cands) (c.or_group ? or_count : and_count)++;
+  EXPECT_EQ(and_count, 2);
+  EXPECT_EQ(or_count, 2);
+  EXPECT_EQ(cands[2].group_id, cands[3].group_id);
+}
+
+TEST(ExtractCandidatesTest, UnindexableShapesFlagged) {
+  // not(...) and != are not probes.
+  auto path = ParsePath("/c/p[not(a = 1)]").MoveValue();
+  std::vector<CandidatePredicate> cands;
+  bool leftover;
+  ASSERT_TRUE(ExtractCandidates(path, &cands, &leftover).ok());
+  EXPECT_TRUE(cands.empty());
+  EXPECT_TRUE(leftover);
+
+  path = ParsePath("/c/p[a != 1]").MoveValue();
+  ASSERT_TRUE(ExtractCandidates(path, &cands, &leftover).ok());
+  EXPECT_TRUE(cands.empty());
+  EXPECT_TRUE(leftover);
+}
+
+TEST(ExtractCandidatesTest, DescendantBranchForbidsAnchoring) {
+  auto path = ParsePath("/c/p[.//deep = 5]").MoveValue();
+  std::vector<CandidatePredicate> cands;
+  bool leftover;
+  ASSERT_TRUE(ExtractCandidates(path, &cands, &leftover).ok());
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].strip_levels, -1);
+}
+
+TEST(ClonePathSkeletonTest, DropsPredicatesKeepsShape) {
+  auto path = ParsePath("/a/b[c > 1]//d[@x]").MoveValue();
+  xpath::Path skel = ClonePathSkeleton(path);
+  EXPECT_EQ(skel.ToString(), "/a/b//d");
+  for (const auto& s : skel.steps) EXPECT_TRUE(s.predicates.empty());
+}
+
+TEST(AnchorPostingsTest, StripsBranchLevels) {
+  std::vector<Posting> postings;
+  Posting p;
+  p.doc_id = 1;
+  p.node_id = nodeid::ChildId(1) + nodeid::ChildId(2) + nodeid::ChildId(3);
+  p.rid = Rid{1, 0};
+  postings.push_back(p);
+  std::vector<Posting> anchored;
+  ASSERT_TRUE(AnchorPostings(postings, 1, &anchored).ok());
+  EXPECT_EQ(anchored[0].node_id, nodeid::ChildId(1) + nodeid::ChildId(2));
+  ASSERT_TRUE(AnchorPostings(postings, 2, &anchored).ok());
+  EXPECT_EQ(anchored[0].node_id, nodeid::ChildId(1));
+  EXPECT_FALSE(AnchorPostings(postings, -1, &anchored).ok());
+}
+
+TEST(PostingAlgebraTest, IntersectAndUnion) {
+  auto mk = [](uint64_t doc, uint32_t child) {
+    Posting p;
+    p.doc_id = doc;
+    p.node_id = nodeid::ChildId(child);
+    p.rid = Rid{1, 0};
+    return p;
+  };
+  std::vector<Posting> a = {mk(1, 1), mk(1, 2), mk(2, 1)};
+  std::vector<Posting> b = {mk(1, 2), mk(2, 2), mk(1, 1)};
+  auto inter = IntersectPostings({a, b});
+  ASSERT_EQ(inter.size(), 2u);
+  EXPECT_EQ(inter[0].node_id, nodeid::ChildId(1));
+  EXPECT_EQ(inter[1].node_id, nodeid::ChildId(2));
+  auto uni = UnionPostings({a, b});
+  EXPECT_EQ(uni.size(), 4u);
+
+  EXPECT_EQ(IntersectDocIds({{1, 2, 3}, {2, 3, 4}, {3, 2}}),
+            (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(UnionDocIds({{1, 2}, {2, 4}}), (std::vector<uint64_t>{1, 2, 4}));
+  EXPECT_TRUE(IntersectDocIds({}).empty());
+}
+
+class PlannerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSpaceOptions opts;
+    opts.in_memory = true;
+    space_ = TableSpace::Create("", opts).MoveValue();
+    bm_ = std::make_unique<BufferManager>(space_.get(), 128);
+  }
+
+  ValueIndex* AddIndex(const std::string& name, const std::string& path,
+                       ValueType type) {
+    trees_.push_back(BTree::Create(bm_.get()).MoveValue());
+    ValueIndexDef def;
+    def.name = name;
+    def.path = path;
+    def.type = type;
+    indexes_.push_back(
+        std::make_unique<ValueIndex>(def, trees_.back().get()));
+    ctx_.indexes.push_back(indexes_.back().get());
+    return indexes_.back().get();
+  }
+
+  QueryPlan Plan(const std::string& query,
+                 ForceMethod force = ForceMethod::kAuto) {
+    auto path = ParsePath(query).MoveValue();
+    auto plan = ChoosePlan(path, ctx_, force);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.MoveValue();
+  }
+
+  std::unique_ptr<TableSpace> space_;
+  std::unique_ptr<BufferManager> bm_;
+  std::vector<std::unique_ptr<BTree>> trees_;
+  std::vector<std::unique_ptr<ValueIndex>> indexes_;
+  PlannerContext ctx_;
+};
+
+TEST_F(PlannerFixture, NoIndexesMeansFullScan) {
+  QueryPlan plan = Plan("/Catalog/Categories/Product[RegPrice > 100]");
+  EXPECT_EQ(plan.method, AccessMethod::kFullScan);
+}
+
+TEST_F(PlannerFixture, Table2Case1ExactDocIdList) {
+  AddIndex("regprice", "/Catalog/Categories/Product/RegPrice",
+           ValueType::kDouble);
+  ctx_.avg_records_per_doc = 1.0;  // small documents -> DocID level
+  QueryPlan plan = Plan("/Catalog/Categories/Product[RegPrice > 100]");
+  EXPECT_EQ(plan.method, AccessMethod::kDocIdList);
+  ASSERT_EQ(plan.probes.size(), 1u);
+  EXPECT_EQ(plan.probes[0].match, xpath::IndexMatch::kExact);
+}
+
+TEST_F(PlannerFixture, Table2Case2FilteringViaContainment) {
+  AddIndex("discount", "//Discount", ValueType::kDouble);
+  ctx_.avg_records_per_doc = 1.0;
+  QueryPlan plan = Plan("/Catalog/Categories/Product[Discount > 0.1]");
+  EXPECT_EQ(plan.method, AccessMethod::kDocIdList);
+  ASSERT_EQ(plan.probes.size(), 1u);
+  EXPECT_EQ(plan.probes[0].match, xpath::IndexMatch::kContains);
+  EXPECT_TRUE(plan.need_recheck);
+}
+
+TEST_F(PlannerFixture, Table2Case3Anding) {
+  AddIndex("regprice", "/Catalog/Categories/Product/RegPrice",
+           ValueType::kDouble);
+  AddIndex("discount", "//Discount", ValueType::kDouble);
+  ctx_.avg_records_per_doc = 8.0;  // large documents -> NodeID level
+  QueryPlan plan =
+      Plan("/Catalog/Categories/Product[RegPrice > 100 and Discount > 0.1]");
+  EXPECT_EQ(plan.method, AccessMethod::kNodeIdAndOr);
+  EXPECT_EQ(plan.probes.size(), 2u);
+  EXPECT_FALSE(plan.disjunctive);
+  // One exact + one containment: node-level ANDing makes the list exact,
+  // but the residual path below the anchor still runs.
+}
+
+TEST_F(PlannerFixture, LargeDocsPickNodeIdList) {
+  AddIndex("regprice", "/Catalog/Categories/Product/RegPrice",
+           ValueType::kDouble);
+  ctx_.avg_records_per_doc = 10.0;
+  QueryPlan plan = Plan("/Catalog/Categories/Product[RegPrice > 100]");
+  EXPECT_EQ(plan.method, AccessMethod::kNodeIdList);
+  EXPECT_EQ(plan.anchor_step, 2u);
+}
+
+TEST_F(PlannerFixture, ForceOverridesHeuristic) {
+  AddIndex("regprice", "/Catalog/Categories/Product/RegPrice",
+           ValueType::kDouble);
+  ctx_.avg_records_per_doc = 10.0;
+  EXPECT_EQ(Plan("/Catalog/Categories/Product[RegPrice > 100]",
+                 ForceMethod::kDocIdList)
+                .method,
+            AccessMethod::kDocIdList);
+  EXPECT_EQ(Plan("/Catalog/Categories/Product[RegPrice > 100]",
+                 ForceMethod::kScan)
+                .method,
+            AccessMethod::kFullScan);
+}
+
+TEST_F(PlannerFixture, OrGroupNeedsAllMembersIndexed) {
+  AddIndex("regprice", "/Catalog/Categories/Product/RegPrice",
+           ValueType::kDouble);
+  // Only one side of the OR is indexed: the whole group is unusable.
+  QueryPlan plan =
+      Plan("/Catalog/Categories/Product[RegPrice > 100 or Discount > 0.1]");
+  EXPECT_EQ(plan.method, AccessMethod::kFullScan);
+
+  AddIndex("discount", "//Discount", ValueType::kDouble);
+  plan = Plan("/Catalog/Categories/Product[RegPrice > 100 or Discount > 0.1]");
+  EXPECT_EQ(plan.method, AccessMethod::kDocIdAndOr);
+  EXPECT_TRUE(plan.disjunctive);
+  EXPECT_EQ(plan.probes.size(), 2u);
+}
+
+TEST_F(PlannerFixture, TypeMismatchSkipsIndex) {
+  AddIndex("name", "/Catalog/Categories/Product/ProductName",
+           ValueType::kDouble);
+  // A string literal cannot be probed against a double index.
+  QueryPlan plan =
+      Plan("/Catalog/Categories/Product[ProductName = \"gizmo\"]");
+  EXPECT_EQ(plan.method, AccessMethod::kFullScan);
+}
+
+TEST_F(PlannerFixture, ProbeBoundsFromOperators) {
+  ValueIndex* idx = AddIndex("price", "/c/p/v", ValueType::kDouble);
+  auto path = ParsePath("/c/p[v >= 10]").MoveValue();
+  std::vector<CandidatePredicate> cands;
+  bool leftover;
+  ASSERT_TRUE(ExtractCandidates(path, &cands, &leftover).ok());
+  std::optional<KeyBound> lo, hi;
+  bool ne;
+  ASSERT_TRUE(ProbeBounds(*idx, cands[0], &lo, &hi, &ne).ok());
+  ASSERT_TRUE(lo.has_value());
+  EXPECT_TRUE(lo->inclusive);
+  EXPECT_FALSE(hi.has_value());
+
+  path = ParsePath("/c/p[v < 10]").MoveValue();
+  ASSERT_TRUE(ExtractCandidates(path, &cands, &leftover).ok());
+  ASSERT_TRUE(ProbeBounds(*idx, cands[0], &lo, &hi, &ne).ok());
+  EXPECT_FALSE(lo.has_value());
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_FALSE(hi->inclusive);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace xdb

@@ -1,0 +1,327 @@
+// Parameterized property sweeps across the engine's tuning axes: page
+// sizes, packing budgets, buffer capacities, and query shapes. Each TEST_P
+// asserts an invariant that must hold at every point of the sweep.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "engine/engine.h"
+#include "index/nodeid_index.h"
+#include "pack/record_builder.h"
+#include "pack/tree_cursor.h"
+#include "runtime/iterators.h"
+#include "storage/buffer_manager.h"
+#include "storage/record_manager.h"
+#include "storage/tablespace.h"
+#include "util/workload.h"
+#include "xml/node_id.h"
+#include "xml/parser.h"
+#include "xpath/dom_evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/quickxscan.h"
+
+namespace xdb {
+namespace {
+
+// --- record manager across page sizes ---
+
+class RecordManagerPageSizeSweep : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(RecordManagerPageSizeSweep, InsertUpdateDeleteInvariants) {
+  TableSpaceOptions opts;
+  opts.in_memory = true;
+  opts.page_size = GetParam();
+  auto space = TableSpace::Create("", opts).MoveValue();
+  BufferManager bm(space.get(), 256);
+  RecordManager rm(&bm);
+
+  Random rng(GetParam());
+  std::map<uint64_t, std::string> model;  // rid.Pack() -> contents
+  for (int op = 0; op < 1500; op++) {
+    int dice = static_cast<int>(rng.Uniform(10));
+    if (dice < 5 || model.empty()) {
+      size_t len = rng.Uniform(3 * GetParam() / 2) + 1;
+      std::string data(len, static_cast<char>('a' + rng.Uniform(26)));
+      Rid rid = rm.Insert(data).value();
+      ASSERT_EQ(model.count(rid.Pack()), 0u);
+      model[rid.Pack()] = data;
+    } else if (dice < 8) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      size_t len = rng.Uniform(2 * GetParam()) + 1;
+      std::string data(len, static_cast<char>('A' + rng.Uniform(26)));
+      ASSERT_TRUE(rm.Update(Rid::Unpack(it->first), data).ok());
+      it->second = data;
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(rm.Delete(Rid::Unpack(it->first)).ok());
+      model.erase(it);
+    }
+  }
+  // Every surviving record reads back exactly.
+  for (const auto& [packed, expected] : model) {
+    std::string out;
+    ASSERT_TRUE(rm.Get(Rid::Unpack(packed), &out).ok());
+    EXPECT_EQ(out, expected);
+  }
+  // The scan sees exactly the surviving set.
+  size_t seen = 0;
+  ASSERT_TRUE(rm.ScanAll([&](Rid rid, Slice data) {
+                  auto it = model.find(rid.Pack());
+                  EXPECT_NE(it, model.end());
+                  if (it != model.end()) EXPECT_EQ(data.ToString(), it->second);
+                  seen++;
+                  return Status::OK();
+                })
+                  .ok());
+  EXPECT_EQ(seen, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, RecordManagerPageSizeSweep,
+                         ::testing::Values(512u, 1024u, 4096u, 16384u));
+
+// --- btree under tiny buffer pools (eviction pressure) ---
+
+class BtreeBufferSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BtreeBufferSweep, SortedIterationUnderEviction) {
+  TableSpaceOptions opts;
+  opts.in_memory = true;
+  auto space = TableSpace::Create("", opts).MoveValue();
+  BufferManager bm(space.get(), GetParam());
+  auto tree = BTree::Create(&bm).MoveValue();
+  Random rng(17);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 4000; i++) {
+    std::string k = "k" + std::to_string(rng.Uniform(100000));
+    std::string v = k + "-value";  // deterministic: re-inserts are no-ops
+    if (tree->Insert(k, v).ok()) model.emplace(k, v);
+  }
+  auto it = tree->SeekToFirst().MoveValue();
+  size_t count = 0;
+  std::string prev;
+  while (it.Valid()) {
+    if (count > 0) ASSERT_LT(Slice(prev).Compare(it.key()), 0);
+    prev = it.key().ToString();
+    count++;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, model.size());
+  if (GetParam() <= 8) EXPECT_GT(bm.stats().evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferSizes, BtreeBufferSweep,
+                         ::testing::Values(4u, 16u, 64u, 1024u));
+
+// --- packed round trip across budget x document-shape grid ---
+
+struct PackCase {
+  size_t budget;
+  int shape;  // 0 = catalog, 1 = recursive, 2 = wide
+};
+
+class PackSweep : public ::testing::TestWithParam<PackCase> {};
+
+TEST_P(PackSweep, StoreTraverseRoundTrip) {
+  const PackCase& pc = GetParam();
+  Random rng(42);
+  std::string xml;
+  switch (pc.shape) {
+    case 0: {
+      workload::CatalogOptions opts;
+      opts.categories = 2;
+      opts.products_per_category = 15;
+      xml = workload::GenCatalogXml(&rng, opts);
+      break;
+    }
+    case 1:
+      xml = workload::GenRecursiveXml(15, 3);
+      break;
+    default:
+      xml = workload::GenWideXml(120, 25);
+  }
+
+  TableSpaceOptions opts;
+  opts.in_memory = true;
+  auto space = TableSpace::Create("", opts).MoveValue();
+  BufferManager bm(space.get(), 512);
+  RecordManager records(&bm);
+  auto tree = BTree::Create(&bm).MoveValue();
+  NodeIdIndex index(tree.get());
+
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(parser.Parse(xml, &tokens).ok());
+  RecordBuilderOptions rb;
+  rb.record_budget = pc.budget;
+  RecordBuilder builder(rb);
+  uint64_t total_nodes = 0;
+  ASSERT_TRUE(builder
+                  .Build(tokens.data(),
+                         [&](PackedRecordOut&& rec) -> Status {
+                           XDB_ASSIGN_OR_RETURN(Rid rid,
+                                                records.Insert(rec.bytes));
+                           XDB_RETURN_NOT_OK(
+                               index.AddRecord(1, rec.bytes, rid));
+                           XDB_ASSIGN_OR_RETURN(uint64_t n,
+                                                CountRecordNodes(rec.bytes));
+                           total_nodes += n;
+                           return Status::OK();
+                         })
+                  .ok());
+  // Invariant 1: node conservation — stored nodes == source nodes.
+  uint64_t source_nodes = 0;
+  {
+    TokenStreamSource src(tokens.data());
+    XmlEvent ev;
+    for (;;) {
+      auto more = src.Next(&ev);
+      ASSERT_TRUE(more.ok());
+      if (!more.value()) break;
+      switch (ev.type) {
+        case XmlEvent::Type::kStartDocument:
+        case XmlEvent::Type::kEndDocument:
+        case XmlEvent::Type::kEndElement:
+          break;
+        default:
+          source_nodes++;
+      }
+    }
+  }
+  EXPECT_EQ(total_nodes, source_nodes);
+
+  // Invariant 2: byte-exact token round trip through stored traversal.
+  StoredDocSource source(&records, &index, 1);
+  TokenWriter back;
+  ASSERT_TRUE(EventsToTokens(&source, &back).ok());
+  EXPECT_EQ(back.buffer(), tokens.buffer());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndShapes, PackSweep,
+    ::testing::Values(PackCase{48, 0}, PackCase{48, 1}, PackCase{48, 2},
+                      PackCase{300, 0}, PackCase{300, 1}, PackCase{300, 2},
+                      PackCase{2000, 0}, PackCase{2000, 1}, PackCase{2000, 2},
+                      PackCase{64 * 1024, 0}, PackCase{64 * 1024, 1},
+                      PackCase{64 * 1024, 2}));
+
+// --- QuickXScan ≡ DOM across a query corpus on fixed tricky documents ---
+
+class QueryAgreementSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QueryAgreementSweep, QuickXScanMatchesDomOnTrickyDocs) {
+  static const char* kDocs[] = {
+      "<a><a><a><a/></a></a></a>",
+      "<a><b><a><b><a><b/></a></b></a></b></a>",
+      "<a x=\"1\"><b x=\"2\"><c x=\"3\"/></b><b/></a>",
+      "<a>t1<b>t2<c>t3</c>t4</b>t5</a>",
+      "<a><b v=\"10\"/><b v=\"20\"><b v=\"30\"/></b></a>",
+      "<a><!--c1--><b><!--c2--></b><?p d?></a>",
+  };
+  NameDictionary dict;
+  Parser parser(&dict);
+  for (const char* doc : kDocs) {
+    TokenWriter tokens;
+    ASSERT_TRUE(parser.Parse(doc, &tokens).ok()) << doc;
+    TokenStreamSource source(tokens.data());
+    auto quick = xpath::EvaluateXPath(GetParam(), dict, &source, 1, false);
+    ASSERT_TRUE(quick.ok()) << GetParam() << ": "
+                            << quick.status().ToString();
+    auto tree = DomTree::FromTokens(tokens.data()).MoveValue();
+    auto path = xpath::ParsePath(GetParam()).MoveValue();
+    xpath::DomEvaluator dom_eval(tree.get(), &dict, 1);
+    auto dom = dom_eval.Evaluate(path, false).MoveValue();
+    ASSERT_EQ(quick.value().size(), dom.size()) << GetParam() << " on " << doc;
+    for (size_t i = 0; i < dom.size(); i++) {
+      EXPECT_EQ(quick.value()[i].node_id, dom[i].node_id)
+          << GetParam() << " on " << doc;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, QueryAgreementSweep,
+    ::testing::Values("//a", "//a//a", "//a//a//a", "//a/a", "//a[a]",
+                      "//a[not(a)]", "//b[@v > 15]", "//b[@v > 15 or @x]",
+                      "//a//b[.//a]", "//*[@x]", "//a/text()", "//comment()",
+                      "//b[. = \"t2t3t4\"]", "/a/b/c", "/a//c",
+                      "//a[b and not(b/c)]"));
+
+// --- engine model test: random ops vs an in-memory map, with reopen ---
+
+TEST(EngineModelTest, RandomOpsMatchModelAcrossReopen) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("xdb_model_" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(dir);
+  EngineOptions eopts;
+  eopts.dir = dir;
+
+  std::map<uint64_t, std::string> model;  // doc id -> serialized text
+  Random rng(1234);
+  workload::CatalogOptions wopts;
+  wopts.categories = 1;
+  wopts.products_per_category = 3;
+
+  auto engine = Engine::Open(eopts).MoveValue();
+  Collection* coll = engine->CreateCollection("docs").value();
+  for (int step = 0; step < 120; step++) {
+    int dice = static_cast<int>(rng.Uniform(10));
+    if (dice < 4 || model.empty()) {
+      std::string xml = workload::GenCatalogXml(&rng, wopts);
+      uint64_t doc = coll->InsertDocument(nullptr, xml).value();
+      model[doc] = coll->GetDocumentText(nullptr, doc).value();
+    } else if (dice < 6) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(coll->DeleteDocument(nullptr, it->first).ok());
+      model.erase(it);
+    } else if (dice < 8) {
+      // Update a random product's name text.
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      auto texts =
+          coll->Query(nullptr, "/Catalog/Categories/Product/ProductName/text()")
+              .MoveValue();
+      for (auto& n : texts.nodes) {
+        if (n.doc_id == it->first) {
+          ASSERT_TRUE(coll->UpdateTextNode(nullptr, it->first, n.node_id,
+                                           "renamed-" + std::to_string(step))
+                          .ok());
+          it->second = coll->GetDocumentText(nullptr, it->first).value();
+          break;
+        }
+      }
+    } else if (dice == 8) {
+      // Reopen the engine (checkpoint via destructor).
+      engine.reset();
+      engine = Engine::Open(eopts).MoveValue();
+      coll = engine->GetCollection("docs").value();
+    } else {
+      // Verify a random document + the doc-id census.
+      auto ids = coll->ListDocIds().value();
+      ASSERT_EQ(ids.size(), model.size());
+      if (!model.empty()) {
+        auto it = model.begin();
+        std::advance(it, rng.Uniform(model.size()));
+        EXPECT_EQ(coll->GetDocumentText(nullptr, it->first).value(),
+                  it->second);
+      }
+    }
+  }
+  // Final full audit.
+  for (const auto& [doc, text] : model) {
+    EXPECT_EQ(coll->GetDocumentText(nullptr, doc).value(), text);
+  }
+  engine.reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace xdb

@@ -1,0 +1,405 @@
+// Tests for the XML base layer: name dictionary, parser -> token stream,
+// SAX parity, serializer round trips, entity handling, namespaces.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "util/workload.h"
+#include "xml/name_dictionary.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/token_stream.h"
+#include "runtime/iterators.h"
+#include "runtime/virtual_sax.h"
+
+namespace xdb {
+namespace {
+
+TEST(NameDictionaryTest, InternIsStableAndBidirectional) {
+  NameDictionary dict;
+  EXPECT_EQ(dict.Intern(""), kEmptyNameId);
+  NameId a = dict.Intern("alpha");
+  NameId b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  EXPECT_EQ(dict.Name(a).value(), "alpha");
+  EXPECT_EQ(dict.Lookup("beta"), b);
+  EXPECT_EQ(dict.Lookup("gamma"), NameDictionary::kInvalidNameId);
+  EXPECT_FALSE(dict.Name(9999).ok());
+}
+
+TEST(NameDictionaryTest, SaveLoadRoundTrip) {
+  NameDictionary dict;
+  NameId a = dict.Intern("one");
+  NameId b = dict.Intern("two");
+  std::string blob;
+  dict.Save(&blob);
+  NameDictionary loaded;
+  ASSERT_TRUE(loaded.Load(blob).ok());
+  EXPECT_EQ(loaded.Name(a).value(), "one");
+  EXPECT_EQ(loaded.Lookup("two"), b);
+  EXPECT_EQ(loaded.size(), dict.size());
+}
+
+struct TokenList {
+  std::vector<Token> tokens;
+  std::vector<std::string> texts;  // owned copies of token text
+};
+
+TokenList ReadAll(Slice buf) {
+  TokenList out;
+  TokenReader reader(buf);
+  Token t;
+  for (;;) {
+    auto more = reader.Next(&t);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !more.value()) break;
+    out.texts.push_back(t.text.ToString());
+    out.tokens.push_back(t);
+  }
+  return out;
+}
+
+TEST(TokenStreamTest, WriterReaderRoundTrip) {
+  TokenWriter w;
+  w.StartDocument();
+  w.StartElement(5, 2, 1, TypeAnno::kDecimal);
+  w.NamespaceDecl(1, 2);
+  w.Attribute(7, "value<>&", 0, 0, TypeAnno::kString);
+  w.Text("body text", TypeAnno::kUntyped);
+  w.Comment("a comment");
+  w.ProcessingInstruction(9, "pi data");
+  w.EndElement();
+  w.EndDocument();
+
+  TokenList all = ReadAll(w.data());
+  ASSERT_EQ(all.tokens.size(), 9u);
+  EXPECT_EQ(all.tokens[0].kind, TokenKind::kStartDocument);
+  EXPECT_EQ(all.tokens[1].kind, TokenKind::kStartElement);
+  EXPECT_EQ(all.tokens[1].local, 5u);
+  EXPECT_EQ(all.tokens[1].ns_uri, 2u);
+  EXPECT_EQ(all.tokens[1].prefix, 1u);
+  EXPECT_EQ(all.tokens[1].type, TypeAnno::kDecimal);
+  EXPECT_EQ(all.tokens[2].kind, TokenKind::kNamespaceDecl);
+  EXPECT_EQ(all.tokens[3].kind, TokenKind::kAttribute);
+  EXPECT_EQ(all.texts[3], "value<>&");
+  EXPECT_EQ(all.tokens[4].kind, TokenKind::kText);
+  EXPECT_EQ(all.texts[4], "body text");
+  EXPECT_EQ(all.tokens[5].kind, TokenKind::kComment);
+  EXPECT_EQ(all.tokens[6].kind, TokenKind::kProcessingInstruction);
+  EXPECT_EQ(all.tokens[7].kind, TokenKind::kEndElement);
+  EXPECT_EQ(all.tokens[8].kind, TokenKind::kEndDocument);
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Result<TokenList> Parse(const std::string& xml, ParserOptions opts = {}) {
+    Parser parser(&dict_, opts);
+    writer_.Clear();
+    Status st = parser.Parse(xml, &writer_);
+    if (!st.ok()) return st;
+    return ReadAll(writer_.data());
+  }
+
+  NameDictionary dict_;
+  TokenWriter writer_;
+};
+
+TEST_F(ParserTest, SimpleDocument) {
+  auto res = Parse("<a><b>hi</b></a>");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  auto& t = res.value().tokens;
+  ASSERT_EQ(t.size(), 7u);
+  EXPECT_EQ(t[1].kind, TokenKind::kStartElement);
+  EXPECT_EQ(dict_.Name(t[1].local).value(), "a");
+  EXPECT_EQ(t[2].kind, TokenKind::kStartElement);
+  EXPECT_EQ(t[3].kind, TokenKind::kText);
+  EXPECT_EQ(res.value().texts[3], "hi");
+}
+
+TEST_F(ParserTest, AttributesSortedByNameId) {
+  // zeta interned before alpha, so the sort is by id (interning order), not
+  // alphabetical.
+  auto res = Parse("<e zeta=\"1\" alpha=\"2\"/>");
+  ASSERT_TRUE(res.ok());
+  auto& t = res.value().tokens;
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[1].kind, TokenKind::kStartElement);
+  EXPECT_EQ(t[2].kind, TokenKind::kAttribute);
+  EXPECT_EQ(t[3].kind, TokenKind::kAttribute);
+  EXPECT_LT(t[2].local, t[3].local);
+}
+
+TEST_F(ParserTest, NamespacesResolved) {
+  auto res = Parse(
+      "<p:root xmlns:p=\"urn:one\" xmlns=\"urn:two\">"
+      "<child p:attr=\"v\"/></p:root>");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  auto& t = res.value().tokens;
+  // root element in urn:one.
+  EXPECT_EQ(dict_.Name(t[1].ns_uri).value(), "urn:one");
+  EXPECT_EQ(dict_.Name(t[1].prefix).value(), "p");
+  // Two namespace decl tokens (sorted by prefix: "" then "p").
+  EXPECT_EQ(t[2].kind, TokenKind::kNamespaceDecl);
+  EXPECT_EQ(t[3].kind, TokenKind::kNamespaceDecl);
+  // child element picks up the default namespace urn:two.
+  size_t child_idx = 4;
+  ASSERT_EQ(t[child_idx].kind, TokenKind::kStartElement);
+  EXPECT_EQ(dict_.Name(t[child_idx].local).value(), "child");
+  EXPECT_EQ(dict_.Name(t[child_idx].ns_uri).value(), "urn:two");
+  // Prefixed attribute resolves to urn:one.
+  ASSERT_EQ(t[child_idx + 1].kind, TokenKind::kAttribute);
+  EXPECT_EQ(dict_.Name(t[child_idx + 1].ns_uri).value(), "urn:one");
+}
+
+TEST_F(ParserTest, UnboundPrefixFails) {
+  EXPECT_FALSE(Parse("<q:root/>").ok());
+  EXPECT_FALSE(Parse("<root q:attr=\"v\"/>").ok());
+}
+
+TEST_F(ParserTest, EntityAndCharRefs) {
+  auto res = Parse("<a attr=\"&quot;x&quot;\">&lt;&amp;&gt; &#65;&#x42;</a>");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().texts[2], "\"x\"");   // attribute value
+  EXPECT_EQ(res.value().texts[3], "<&> AB");  // text
+}
+
+TEST_F(ParserTest, UnknownEntityFails) {
+  EXPECT_FALSE(Parse("<a>&bogus;</a>").ok());
+}
+
+TEST_F(ParserTest, CdataBecomesText) {
+  auto res = Parse("<a><![CDATA[<not><parsed>&amp;]]></a>");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().texts[2], "<not><parsed>&amp;");
+}
+
+TEST_F(ParserTest, CommentsAndPis) {
+  auto res = Parse("<?xml version=\"1.0\"?><!-- head --><a><?target data?>"
+                   "<!-- inner --></a><!-- tail -->");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  int comments = 0, pis = 0;
+  for (auto& t : res.value().tokens) {
+    if (t.kind == TokenKind::kComment) comments++;
+    if (t.kind == TokenKind::kProcessingInstruction) pis++;
+  }
+  EXPECT_EQ(comments, 3);
+  EXPECT_EQ(pis, 1);
+}
+
+TEST_F(ParserTest, WhitespaceStrippingOption) {
+  ParserOptions opts;
+  opts.strip_whitespace_text = true;
+  auto res = Parse("<a>\n  <b>keep me</b>\n</a>", opts);
+  ASSERT_TRUE(res.ok());
+  int texts = 0;
+  for (auto& t : res.value().tokens)
+    if (t.kind == TokenKind::kText) texts++;
+  EXPECT_EQ(texts, 1);
+}
+
+TEST_F(ParserTest, MalformedInputsFail) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("<a>").ok());
+  EXPECT_FALSE(Parse("<a></b>").ok());
+  EXPECT_FALSE(Parse("<a foo></a>").ok());
+  EXPECT_FALSE(Parse("<a foo=bar></a>").ok());
+  EXPECT_FALSE(Parse("<a x=\"1\" x=\"2\"/>").ok());
+  EXPECT_FALSE(Parse("text only").ok());
+  EXPECT_FALSE(Parse("<a/><b/>").ok());
+}
+
+TEST_F(ParserTest, SelfClosingAndDeepNesting) {
+  std::string xml;
+  const int kDepth = 200;
+  for (int i = 0; i < kDepth; i++) xml += "<d>";
+  xml += "<leaf/>";
+  for (int i = 0; i < kDepth; i++) xml += "</d>";
+  auto res = Parse(xml);
+  ASSERT_TRUE(res.ok());
+  int starts = 0, ends = 0;
+  for (auto& t : res.value().tokens) {
+    if (t.kind == TokenKind::kStartElement) starts++;
+    if (t.kind == TokenKind::kEndElement) ends++;
+  }
+  EXPECT_EQ(starts, kDepth + 1);
+  EXPECT_EQ(ends, kDepth + 1);
+}
+
+// The SAX path must produce the same event sequence as the token stream.
+class RecordingSax : public SaxHandler {
+ public:
+  void OnStartDocument() override { log.push_back("SD"); }
+  void OnEndDocument() override { log.push_back("ED"); }
+  void OnStartElement(NameId local, NameId ns, NameId prefix) override {
+    log.push_back("SE:" + std::to_string(local) + ":" + std::to_string(ns) +
+                  ":" + std::to_string(prefix));
+  }
+  void OnEndElement() override { log.push_back("EE"); }
+  void OnAttribute(NameId local, NameId ns, NameId prefix,
+                   Slice value) override {
+    log.push_back("AT:" + std::to_string(local) + ":" + std::to_string(ns) +
+                  ":" + std::to_string(prefix) + "=" + value.ToString());
+  }
+  void OnNamespaceDecl(NameId prefix, NameId uri) override {
+    log.push_back("NS:" + std::to_string(prefix) + ":" + std::to_string(uri));
+  }
+  void OnText(Slice value) override { log.push_back("TX:" + value.ToString()); }
+  void OnComment(Slice value) override {
+    log.push_back("CM:" + value.ToString());
+  }
+  void OnProcessingInstruction(NameId target, Slice data) override {
+    log.push_back("PI:" + std::to_string(target) + ":" + data.ToString());
+  }
+  std::vector<std::string> log;
+};
+
+TEST_F(ParserTest, SaxMatchesTokenStream) {
+  Random rng(17);
+  for (int iter = 0; iter < 30; iter++) {
+    std::string xml = workload::GenRandomXml(&rng, 60);
+    auto tokens = Parse(xml);
+    ASSERT_TRUE(tokens.ok()) << xml;
+    RecordingSax sax;
+    Parser parser(&dict_);
+    ASSERT_TRUE(parser.ParseSax(xml, &sax).ok());
+    std::vector<std::string> from_tokens;
+    for (size_t i = 0; i < tokens.value().tokens.size(); i++) {
+      const Token& t = tokens.value().tokens[i];
+      const std::string& text = tokens.value().texts[i];
+      switch (t.kind) {
+        case TokenKind::kStartDocument: from_tokens.push_back("SD"); break;
+        case TokenKind::kEndDocument: from_tokens.push_back("ED"); break;
+        case TokenKind::kStartElement:
+          from_tokens.push_back("SE:" + std::to_string(t.local) + ":" +
+                                std::to_string(t.ns_uri) + ":" +
+                                std::to_string(t.prefix));
+          break;
+        case TokenKind::kEndElement: from_tokens.push_back("EE"); break;
+        case TokenKind::kAttribute:
+          from_tokens.push_back("AT:" + std::to_string(t.local) + ":" +
+                                std::to_string(t.ns_uri) + ":" +
+                                std::to_string(t.prefix) + "=" + text);
+          break;
+        case TokenKind::kNamespaceDecl:
+          from_tokens.push_back("NS:" + std::to_string(t.local) + ":" +
+                                std::to_string(t.ns_uri));
+          break;
+        case TokenKind::kText: from_tokens.push_back("TX:" + text); break;
+        case TokenKind::kComment: from_tokens.push_back("CM:" + text); break;
+        case TokenKind::kProcessingInstruction:
+          from_tokens.push_back("PI:" + std::to_string(t.local) + ":" + text);
+          break;
+      }
+    }
+    EXPECT_EQ(sax.log, from_tokens) << xml;
+  }
+}
+
+class SerializerTest : public ::testing::Test {
+ protected:
+  // parse -> serialize -> parse: token streams must be identical.
+  void CheckRoundTrip(const std::string& xml) {
+    Parser parser(&dict_);
+    TokenWriter first;
+    ASSERT_TRUE(parser.Parse(xml, &first).ok()) << xml;
+    std::string serialized;
+    ASSERT_TRUE(
+        SerializeTokens(first.data(), dict_, {}, &serialized).ok());
+    TokenWriter second;
+    ASSERT_TRUE(parser.Parse(serialized, &second).ok())
+        << "reparse failed for: " << serialized;
+    EXPECT_EQ(first.buffer(), second.buffer())
+        << "original: " << xml << "\nserialized: " << serialized;
+  }
+
+  NameDictionary dict_;
+};
+
+TEST_F(SerializerTest, BasicRoundTrips) {
+  CheckRoundTrip("<a/>");
+  CheckRoundTrip("<a><b>text</b><c x=\"1\"/></a>");
+  CheckRoundTrip("<a>one<b/>two</a>");
+  CheckRoundTrip("<a attr=\"has &quot;quotes&quot; &amp; more\"/>");
+  CheckRoundTrip("<a>escaped &lt;tags&gt; &amp; ampersands</a>");
+  CheckRoundTrip("<a><!-- comment --><?pi stuff?></a>");
+}
+
+TEST_F(SerializerTest, NamespaceRoundTrips) {
+  CheckRoundTrip("<p:a xmlns:p=\"urn:x\"><p:b/></p:a>");
+  CheckRoundTrip("<a xmlns=\"urn:default\"><b/></a>");
+  CheckRoundTrip(
+      "<a xmlns:x=\"urn:1\" xmlns:y=\"urn:2\"><x:b y:attr=\"v\"/></a>");
+}
+
+TEST_F(SerializerTest, RandomizedRoundTrips) {
+  Random rng(23);
+  for (int iter = 0; iter < 50; iter++) {
+    CheckRoundTrip(workload::GenRandomXml(&rng, 80));
+  }
+}
+
+TEST_F(SerializerTest, CatalogWorkloadRoundTrips) {
+  Random rng(5);
+  workload::CatalogOptions opts;
+  opts.categories = 3;
+  opts.products_per_category = 5;
+  CheckRoundTrip(workload::GenCatalogXml(&rng, opts));
+}
+
+TEST(EscapeTest, TextAndAttribute) {
+  std::string out;
+  EscapeText("<a&b>", &out);
+  EXPECT_EQ(out, "&lt;a&amp;b&gt;");
+  out.clear();
+  EscapeAttribute("say \"hi\" <now>", &out);
+  EXPECT_EQ(out, "say &quot;hi&quot; &lt;now&gt;");
+}
+
+
+TEST(SerializerTest2, IndentModeStillReparses) {
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(
+      parser.Parse("<a><b>x</b><c><d/></c></a>", &tokens).ok());
+  SerializerOptions opts;
+  opts.indent = true;
+  std::string pretty;
+  ASSERT_TRUE(SerializeTokens(tokens.data(), dict, opts, &pretty).ok());
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  // Whitespace-insensitive reparse (strip mode) matches the original shape.
+  ParserOptions po;
+  po.strip_whitespace_text = true;
+  Parser p2(&dict, po);
+  TokenWriter again;
+  ASSERT_TRUE(p2.Parse(pretty, &again).ok()) << pretty;
+}
+
+TEST(RuntimeGlueTest, EventsToTokensRoundTrip) {
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(parser.Parse("<a x=\"1\">t<b/>u</a>", &tokens).ok());
+  TokenStreamSource source(tokens.data());
+  TokenWriter back;
+  ASSERT_TRUE(EventsToTokens(&source, &back).ok());
+  EXPECT_EQ(back.buffer(), tokens.buffer());
+}
+
+TEST(RuntimeGlueTest, DrainAndCollectText) {
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(parser.Parse("<a>one<b>two</b>three</a>", &tokens).ok());
+  {
+    TokenStreamSource source(tokens.data());
+    EXPECT_EQ(DrainEvents(&source).value(), 9u);  // SD <a> one <b> two </b> three </a> ED
+  }
+  {
+    TokenStreamSource source(tokens.data());
+    EXPECT_EQ(CollectText(&source).value(), "onetwothree");
+  }
+}
+
+}  // namespace
+}  // namespace xdb
