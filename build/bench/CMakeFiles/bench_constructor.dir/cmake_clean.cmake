@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constructor.dir/bench_constructor.cc.o"
+  "CMakeFiles/bench_constructor.dir/bench_constructor.cc.o.d"
+  "bench_constructor"
+  "bench_constructor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constructor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_access.dir/bench_index_access.cc.o"
+  "CMakeFiles/bench_index_access.dir/bench_index_access.cc.o.d"
+  "bench_index_access"
+  "bench_index_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

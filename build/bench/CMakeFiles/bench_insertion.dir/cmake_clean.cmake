@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insertion.dir/bench_insertion.cc.o"
+  "CMakeFiles/bench_insertion.dir/bench_insertion.cc.o.d"
+  "bench_insertion"
+  "bench_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

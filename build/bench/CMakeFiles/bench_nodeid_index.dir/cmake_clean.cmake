@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nodeid_index.dir/bench_nodeid_index.cc.o"
+  "CMakeFiles/bench_nodeid_index.dir/bench_nodeid_index.cc.o.d"
+  "bench_nodeid_index"
+  "bench_nodeid_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nodeid_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

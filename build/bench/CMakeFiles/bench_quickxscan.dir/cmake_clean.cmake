@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quickxscan.dir/bench_quickxscan.cc.o"
+  "CMakeFiles/bench_quickxscan.dir/bench_quickxscan.cc.o.d"
+  "bench_quickxscan"
+  "bench_quickxscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quickxscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

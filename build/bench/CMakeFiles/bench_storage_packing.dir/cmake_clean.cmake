@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_packing.dir/bench_storage_packing.cc.o"
+  "CMakeFiles/bench_storage_packing.dir/bench_storage_packing.cc.o.d"
+  "bench_storage_packing"
+  "bench_storage_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

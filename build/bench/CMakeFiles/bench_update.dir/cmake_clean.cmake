@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update.dir/bench_update.cc.o"
+  "CMakeFiles/bench_update.dir/bench_update.cc.o.d"
+  "bench_update"
+  "bench_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_value_index.dir/bench_value_index.cc.o"
+  "CMakeFiles/bench_value_index.dir/bench_value_index.cc.o.d"
+  "bench_value_index"
+  "bench_value_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_value_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

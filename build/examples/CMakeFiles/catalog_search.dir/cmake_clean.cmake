@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_search.dir/catalog_search.cpp.o"
+  "CMakeFiles/catalog_search.dir/catalog_search.cpp.o.d"
+  "catalog_search"
+  "catalog_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publish_reports.dir/publish_reports.cpp.o"
+  "CMakeFiles/publish_reports.dir/publish_reports.cpp.o.d"
+  "publish_reports"
+  "publish_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publish_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

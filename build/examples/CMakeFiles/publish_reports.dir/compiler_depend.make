@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for publish_reports.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for publish_reports.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_documents.dir/versioned_documents.cpp.o"
+  "CMakeFiles/versioned_documents.dir/versioned_documents.cpp.o.d"
+  "versioned_documents"
+  "versioned_documents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_documents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for versioned_documents.
+# This may be replaced when dependencies are built.

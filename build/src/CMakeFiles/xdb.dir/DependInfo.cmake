@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/xdb.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/xdb.dir/btree/btree.cc.o.d"
+  "/root/repo/src/cc/lock_manager.cc" "src/CMakeFiles/xdb.dir/cc/lock_manager.cc.o" "gcc" "src/CMakeFiles/xdb.dir/cc/lock_manager.cc.o.d"
+  "/root/repo/src/cc/transaction.cc" "src/CMakeFiles/xdb.dir/cc/transaction.cc.o" "gcc" "src/CMakeFiles/xdb.dir/cc/transaction.cc.o.d"
+  "/root/repo/src/cc/version_manager.cc" "src/CMakeFiles/xdb.dir/cc/version_manager.cc.o" "gcc" "src/CMakeFiles/xdb.dir/cc/version_manager.cc.o.d"
+  "/root/repo/src/common/arena.cc" "src/CMakeFiles/xdb.dir/common/arena.cc.o" "gcc" "src/CMakeFiles/xdb.dir/common/arena.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/xdb.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/xdb.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/decimal.cc" "src/CMakeFiles/xdb.dir/common/decimal.cc.o" "gcc" "src/CMakeFiles/xdb.dir/common/decimal.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xdb.dir/common/status.cc.o.d"
+  "/root/repo/src/construct/constructor.cc" "src/CMakeFiles/xdb.dir/construct/constructor.cc.o" "gcc" "src/CMakeFiles/xdb.dir/construct/constructor.cc.o.d"
+  "/root/repo/src/construct/xml_agg.cc" "src/CMakeFiles/xdb.dir/construct/xml_agg.cc.o" "gcc" "src/CMakeFiles/xdb.dir/construct/xml_agg.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/CMakeFiles/xdb.dir/engine/catalog.cc.o" "gcc" "src/CMakeFiles/xdb.dir/engine/catalog.cc.o.d"
+  "/root/repo/src/engine/collection.cc" "src/CMakeFiles/xdb.dir/engine/collection.cc.o" "gcc" "src/CMakeFiles/xdb.dir/engine/collection.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/xdb.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/xdb.dir/engine/engine.cc.o.d"
+  "/root/repo/src/index/key_codec.cc" "src/CMakeFiles/xdb.dir/index/key_codec.cc.o" "gcc" "src/CMakeFiles/xdb.dir/index/key_codec.cc.o.d"
+  "/root/repo/src/index/nodeid_index.cc" "src/CMakeFiles/xdb.dir/index/nodeid_index.cc.o" "gcc" "src/CMakeFiles/xdb.dir/index/nodeid_index.cc.o.d"
+  "/root/repo/src/index/value_index.cc" "src/CMakeFiles/xdb.dir/index/value_index.cc.o" "gcc" "src/CMakeFiles/xdb.dir/index/value_index.cc.o.d"
+  "/root/repo/src/pack/packed_record.cc" "src/CMakeFiles/xdb.dir/pack/packed_record.cc.o" "gcc" "src/CMakeFiles/xdb.dir/pack/packed_record.cc.o.d"
+  "/root/repo/src/pack/record_builder.cc" "src/CMakeFiles/xdb.dir/pack/record_builder.cc.o" "gcc" "src/CMakeFiles/xdb.dir/pack/record_builder.cc.o.d"
+  "/root/repo/src/pack/shredded_store.cc" "src/CMakeFiles/xdb.dir/pack/shredded_store.cc.o" "gcc" "src/CMakeFiles/xdb.dir/pack/shredded_store.cc.o.d"
+  "/root/repo/src/pack/tree_cursor.cc" "src/CMakeFiles/xdb.dir/pack/tree_cursor.cc.o" "gcc" "src/CMakeFiles/xdb.dir/pack/tree_cursor.cc.o.d"
+  "/root/repo/src/query/access_path.cc" "src/CMakeFiles/xdb.dir/query/access_path.cc.o" "gcc" "src/CMakeFiles/xdb.dir/query/access_path.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/xdb.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/xdb.dir/query/executor.cc.o.d"
+  "/root/repo/src/runtime/iterators.cc" "src/CMakeFiles/xdb.dir/runtime/iterators.cc.o" "gcc" "src/CMakeFiles/xdb.dir/runtime/iterators.cc.o.d"
+  "/root/repo/src/runtime/virtual_sax.cc" "src/CMakeFiles/xdb.dir/runtime/virtual_sax.cc.o" "gcc" "src/CMakeFiles/xdb.dir/runtime/virtual_sax.cc.o.d"
+  "/root/repo/src/schema/schema_ast.cc" "src/CMakeFiles/xdb.dir/schema/schema_ast.cc.o" "gcc" "src/CMakeFiles/xdb.dir/schema/schema_ast.cc.o.d"
+  "/root/repo/src/schema/schema_compiler.cc" "src/CMakeFiles/xdb.dir/schema/schema_compiler.cc.o" "gcc" "src/CMakeFiles/xdb.dir/schema/schema_compiler.cc.o.d"
+  "/root/repo/src/schema/schema_parser.cc" "src/CMakeFiles/xdb.dir/schema/schema_parser.cc.o" "gcc" "src/CMakeFiles/xdb.dir/schema/schema_parser.cc.o.d"
+  "/root/repo/src/schema/validator_vm.cc" "src/CMakeFiles/xdb.dir/schema/validator_vm.cc.o" "gcc" "src/CMakeFiles/xdb.dir/schema/validator_vm.cc.o.d"
+  "/root/repo/src/storage/buffer_manager.cc" "src/CMakeFiles/xdb.dir/storage/buffer_manager.cc.o" "gcc" "src/CMakeFiles/xdb.dir/storage/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/record_manager.cc" "src/CMakeFiles/xdb.dir/storage/record_manager.cc.o" "gcc" "src/CMakeFiles/xdb.dir/storage/record_manager.cc.o.d"
+  "/root/repo/src/storage/tablespace.cc" "src/CMakeFiles/xdb.dir/storage/tablespace.cc.o" "gcc" "src/CMakeFiles/xdb.dir/storage/tablespace.cc.o.d"
+  "/root/repo/src/storage/wal_log.cc" "src/CMakeFiles/xdb.dir/storage/wal_log.cc.o" "gcc" "src/CMakeFiles/xdb.dir/storage/wal_log.cc.o.d"
+  "/root/repo/src/util/workload.cc" "src/CMakeFiles/xdb.dir/util/workload.cc.o" "gcc" "src/CMakeFiles/xdb.dir/util/workload.cc.o.d"
+  "/root/repo/src/xdm/dom_tree.cc" "src/CMakeFiles/xdb.dir/xdm/dom_tree.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xdm/dom_tree.cc.o.d"
+  "/root/repo/src/xdm/item.cc" "src/CMakeFiles/xdb.dir/xdm/item.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xdm/item.cc.o.d"
+  "/root/repo/src/xml/name_dictionary.cc" "src/CMakeFiles/xdb.dir/xml/name_dictionary.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xml/name_dictionary.cc.o.d"
+  "/root/repo/src/xml/node_id.cc" "src/CMakeFiles/xdb.dir/xml/node_id.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xml/node_id.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xdb.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xdb.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xml/token_stream.cc" "src/CMakeFiles/xdb.dir/xml/token_stream.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xml/token_stream.cc.o.d"
+  "/root/repo/src/xpath/ast.cc" "src/CMakeFiles/xdb.dir/xpath/ast.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/ast.cc.o.d"
+  "/root/repo/src/xpath/dom_evaluator.cc" "src/CMakeFiles/xdb.dir/xpath/dom_evaluator.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/dom_evaluator.cc.o.d"
+  "/root/repo/src/xpath/lexer.cc" "src/CMakeFiles/xdb.dir/xpath/lexer.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/lexer.cc.o.d"
+  "/root/repo/src/xpath/naive_stream.cc" "src/CMakeFiles/xdb.dir/xpath/naive_stream.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/naive_stream.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/CMakeFiles/xdb.dir/xpath/parser.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/parser.cc.o.d"
+  "/root/repo/src/xpath/path_containment.cc" "src/CMakeFiles/xdb.dir/xpath/path_containment.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/path_containment.cc.o.d"
+  "/root/repo/src/xpath/query_tree.cc" "src/CMakeFiles/xdb.dir/xpath/query_tree.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/query_tree.cc.o.d"
+  "/root/repo/src/xpath/quickxscan.cc" "src/CMakeFiles/xdb.dir/xpath/quickxscan.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/quickxscan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/construct_test.dir/construct_test.cc.o"
+  "CMakeFiles/construct_test.dir/construct_test.cc.o.d"
+  "construct_test"
+  "construct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/construct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

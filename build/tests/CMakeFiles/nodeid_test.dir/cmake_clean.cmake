@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodeid_test.dir/nodeid_test.cc.o"
+  "CMakeFiles/nodeid_test.dir/nodeid_test.cc.o.d"
+  "nodeid_test"
+  "nodeid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodeid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack_test.dir/pack_test.cc.o"
+  "CMakeFiles/pack_test.dir/pack_test.cc.o.d"
+  "pack_test"
+  "pack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

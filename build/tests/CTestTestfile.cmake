@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(btree_test "/root/repo/build/tests/btree_test")
+set_tests_properties(btree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nodeid_test "/root/repo/build/tests/nodeid_test")
+set_tests_properties(nodeid_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(xml_test "/root/repo/build/tests/xml_test")
+set_tests_properties(xml_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(schema_test "/root/repo/build/tests/schema_test")
+set_tests_properties(schema_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pack_test "/root/repo/build/tests/pack_test")
+set_tests_properties(pack_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(xpath_test "/root/repo/build/tests/xpath_test")
+set_tests_properties(xpath_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build/tests/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(construct_test "/root/repo/build/tests/construct_test")
+set_tests_properties(construct_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cc_test "/root/repo/build/tests/cc_test")
+set_tests_properties(cc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(query_test "/root/repo/build/tests/query_test")
+set_tests_properties(query_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build/tests/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sweep_test "/root/repo/build/tests/sweep_test")
+set_tests_properties(sweep_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;20;xdb_test;/root/repo/tests/CMakeLists.txt;0;")
