@@ -65,6 +65,9 @@ class Status {
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 

@@ -50,6 +50,9 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
     XDB_ASSIGN_OR_RETURN(engine->wal_, WalLog::Open(options.dir + "/wal.log"));
     XDB_RETURN_NOT_OK(engine->ReplayWal());
   }
+  // Everything in the dictionary now is recoverable: it came from the
+  // catalog or was just replayed from kDefineName records still in the WAL.
+  engine->wal_names_logged_ = engine->dict_.size();
   return engine;
 }
 
@@ -183,15 +186,40 @@ Status Engine::Checkpoint() {
     catalog_.collections.emplace(name, std::move(meta));
   }
   catalog_.dictionary.clear();
+  // Capture the size before Save: names interned concurrently may or may not
+  // make the saved snapshot, and re-logging one is harmless (replay skips
+  // ids it already knows) while failing to log one loses it.
+  size_t saved_names = dict_.size();
   dict_.Save(&catalog_.dictionary);
   XDB_RETURN_NOT_OK(SaveCatalog(catalog_, options_.dir + "/catalog.xdb"));
-  if (wal_ != nullptr) XDB_RETURN_NOT_OK(wal_->Reset());
+  if (wal_ != nullptr) {
+    XDB_RETURN_NOT_OK(wal_->Reset());
+    std::lock_guard<std::mutex> nlock(wal_names_mu_);
+    wal_names_logged_ = saved_names;
+  }
+  return Status::OK();
+}
+
+Status Engine::LogNewNames() {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::lock_guard<std::mutex> lock(wal_names_mu_);
+  while (wal_names_logged_ < dict_.size()) {
+    NameId id = static_cast<NameId>(wal_names_logged_);
+    XDB_ASSIGN_OR_RETURN(std::string name, dict_.Name(id));
+    std::string payload;
+    PutFixed32(&payload, id);
+    payload.append(name);
+    XDB_RETURN_NOT_OK(
+        wal_->Append(WalRecordType::kDefineName, payload).status());
+    wal_names_logged_ = id + 1;
+  }
   return Status::OK();
 }
 
 Status Engine::LogInsert(const std::string& collection, uint64_t doc_id,
                          Slice tokens) {
   if (wal_ == nullptr || replaying_) return Status::OK();
+  XDB_RETURN_NOT_OK(LogNewNames());
   std::string payload;
   PutLengthPrefixed(&payload, collection);
   PutFixed64(&payload, doc_id);
@@ -222,6 +250,7 @@ Status Engine::LogInsertSubtree(const std::string& collection,
                                 uint64_t doc_id, Slice parent_id,
                                 Slice after_id, Slice tokens) {
   if (wal_ == nullptr || replaying_) return Status::OK();
+  XDB_RETURN_NOT_OK(LogNewNames());
   std::string payload;
   PutLengthPrefixed(&payload, collection);
   PutFixed64(&payload, doc_id);
@@ -245,6 +274,16 @@ Status Engine::ReplayWal() {
   replaying_ = true;
   Status replay_status = wal_->Replay([&](uint64_t /*lsn*/, WalRecordType type,
                                           Slice payload) -> Status {
+    if (type == WalRecordType::kDefineName) {
+      if (payload.size() < 4) return Status::Corruption("bad wal name record");
+      NameId id = DecodeFixed32(payload.data());
+      payload.RemovePrefix(4);
+      if (id < dict_.size()) return Status::OK();  // already in the catalog
+      if (id != dict_.size())
+        return Status::Corruption("wal name record out of order");
+      dict_.Intern(payload);
+      return Status::OK();
+    }
     Slice name_slice;
     if (!GetLengthPrefixed(&payload, &name_slice))
       return Status::Corruption("bad wal payload");

@@ -78,6 +78,10 @@ class Engine {
                                                      bool create,
                                                      const CollectionOptions& options);
   Status ReplayWal();
+  /// Appends a kDefineName record for every dictionary entry interned since
+  /// the last checkpoint (or the last call). Must run before logging any
+  /// record whose token payload references those names.
+  Status LogNewNames();
   Status LogInsert(const std::string& collection, uint64_t doc_id,
                    Slice tokens);
   Status LogDelete(const std::string& collection, uint64_t doc_id);
@@ -98,6 +102,10 @@ class Engine {
   CatalogData catalog_;
   std::mutex mu_;
   bool replaying_ = false;
+  // Dictionary entries with id < wal_names_logged_ are durable (in the
+  // checkpointed catalog or already in the WAL).
+  std::mutex wal_names_mu_;
+  size_t wal_names_logged_ = 0;
 };
 
 }  // namespace xdb

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "testing/fault_injector.h"
+
 namespace xdb {
 
 PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
@@ -48,6 +50,8 @@ BufferManager::~BufferManager() { FlushAll(); }
 
 Status BufferManager::WriteBack(internal::Frame* frame) {
   if (!frame->dirty) return Status::OK();
+  if (auto* fi = testing::FaultInjector::active())
+    XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kBufferWriteback));
   XDB_RETURN_NOT_OK(space_->WritePage(frame->page_id, frame->data.get()));
   frame->dirty = false;
   stats_.writebacks++;

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/coding.h"
+#include "testing/fault_injector.h"
 
 namespace xdb {
 
@@ -139,11 +140,15 @@ Status TableSpace::ReadPage(PageId id, char* buf) {
   if (in_memory_) {
     std::lock_guard<std::mutex> lock(mu_);
     std::memcpy(buf, mem_pages_[id].get(), page_size_);
+    if (auto* fi = testing::FaultInjector::active())
+      return fi->OnRead(testing::FaultPoint::kTableSpaceRead, buf, page_size_);
     return Status::OK();
   }
   ssize_t n = ::pread(fd_, buf, page_size_, static_cast<off_t>(id) * page_size_);
   if (n != static_cast<ssize_t>(page_size_))
     return Status::IOError("short page read");
+  if (auto* fi = testing::FaultInjector::active())
+    return fi->OnRead(testing::FaultPoint::kTableSpaceRead, buf, page_size_);
   return Status::OK();
 }
 
@@ -151,8 +156,25 @@ Status TableSpace::WritePage(PageId id, const char* buf) {
   if (id >= page_count_) return Status::InvalidArgument("page out of range");
   if (in_memory_) {
     std::lock_guard<std::mutex> lock(mu_);
+    if (auto* fi = testing::FaultInjector::active()) {
+      testing::FaultInjector::WriteSink sink;
+      sink.mem = mem_pages_[id].get();
+      bool handled = false;
+      Status s = fi->OnWrite(testing::FaultPoint::kTableSpaceWrite, buf,
+                             page_size_, sink, &handled);
+      if (handled) return s;
+    }
     std::memcpy(mem_pages_[id].get(), buf, page_size_);
     return Status::OK();
+  }
+  if (auto* fi = testing::FaultInjector::active()) {
+    testing::FaultInjector::WriteSink sink;
+    sink.fd = fd_;
+    sink.offset = static_cast<uint64_t>(id) * page_size_;
+    bool handled = false;
+    Status s = fi->OnWrite(testing::FaultPoint::kTableSpaceWrite, buf,
+                           page_size_, sink, &handled);
+    if (handled) return s;
   }
   ssize_t n =
       ::pwrite(fd_, buf, page_size_, static_cast<off_t>(id) * page_size_);
@@ -163,6 +185,8 @@ Status TableSpace::WritePage(PageId id, const char* buf) {
 
 Status TableSpace::Sync() {
   if (in_memory_) return Status::OK();
+  if (auto* fi = testing::FaultInjector::active())
+    XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kTableSpaceSync));
   XDB_RETURN_NOT_OK(WriteHeader());
   if (::fsync(fd_) != 0) return Status::IOError("fsync failed");
   return Status::OK();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/coding.h"
+#include "testing/fault_injector.h"
 
 namespace xdb {
 
@@ -67,6 +68,19 @@ Result<uint64_t> WalLog::Append(WalRecordType type, Slice payload) {
 
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t lsn = size_;
+  if (auto* fi = testing::FaultInjector::active()) {
+    testing::FaultInjector::WriteSink sink;
+    sink.fd = fd_;
+    sink.offset = size_;
+    bool handled = false;
+    Status s = fi->OnWrite(testing::FaultPoint::kWalAppend, rec.data(),
+                           rec.size(), sink, &handled);
+    if (handled) {
+      XDB_RETURN_NOT_OK(s);
+      size_ += rec.size();  // silent-corruption fault: the bytes did land
+      return lsn;
+    }
+  }
   ssize_t n = ::pwrite(fd_, rec.data(), rec.size(), static_cast<off_t>(size_));
   if (n != static_cast<ssize_t>(rec.size()))
     return Status::IOError("short log append");
@@ -75,6 +89,8 @@ Result<uint64_t> WalLog::Append(WalRecordType type, Slice payload) {
 }
 
 Status WalLog::Sync() {
+  if (auto* fi = testing::FaultInjector::active())
+    XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kWalSync));
   if (::fdatasync(fd_) != 0) return Status::IOError("fdatasync failed");
   return Status::OK();
 }

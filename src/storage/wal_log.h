@@ -28,6 +28,11 @@ enum class WalRecordType : uint8_t {
   kCheckpoint = 6,
   kInsertSubtree = 7,
   kDeleteSubtree = 8,
+  /// Name-dictionary entry interned since the last checkpoint. Logged before
+  /// any record whose token payload references the name: the catalog only
+  /// persists the dictionary at checkpoint time, so without these records a
+  /// crash would leave replayed documents pointing at unknown name ids.
+  kDefineName = 9,
 };
 
 uint32_t Crc32(const char* data, size_t n);

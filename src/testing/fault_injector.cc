@@ -1,0 +1,155 @@
+#include "testing/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cassert>
+#include <cstring>
+#include <string>
+
+namespace xdb {
+namespace testing {
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+
+const char* FaultPointName(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::kTableSpaceRead: return "tablespace-read";
+    case FaultPoint::kTableSpaceWrite: return "tablespace-write";
+    case FaultPoint::kTableSpaceSync: return "tablespace-sync";
+    case FaultPoint::kWalAppend: return "wal-append";
+    case FaultPoint::kWalSync: return "wal-sync";
+    case FaultPoint::kBufferWriteback: return "buffer-writeback";
+  }
+  return "?";
+}
+
+namespace {
+Status Injected(FaultPoint p, const char* what) {
+  return Status::IOError(std::string("injected ") + what + " at " +
+                         FaultPointName(p));
+}
+
+// Lands `len` bytes of `buf` at the sink (file or memory).
+bool SinkWrite(const FaultInjector::WriteSink& sink, const char* buf,
+               size_t len) {
+  if (sink.mem != nullptr) {
+    std::memcpy(sink.mem, buf, len);
+    return true;
+  }
+  if (sink.fd >= 0) {
+    return ::pwrite(sink.fd, buf, len, static_cast<off_t>(sink.offset)) ==
+           static_cast<ssize_t>(len);
+  }
+  return len == 0;
+}
+}  // namespace
+
+void FaultInjector::Arm(FaultPoint point, uint64_t nth, FaultKind kind,
+                        uint32_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.push_back(Armed{point, nth, kind, bytes, false});
+}
+
+bool FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return any_fired_;
+}
+
+uint64_t FaultInjector::op_count(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(point)];
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  std::memset(counts_, 0, sizeof(counts_));
+  crashed_ = false;
+  any_fired_ = false;
+}
+
+FaultInjector::Armed* FaultInjector::Count(FaultPoint point) {
+  uint64_t n = ++counts_[static_cast<int>(point)];
+  for (Armed& a : armed_) {
+    if (!a.fired && a.point == point && a.nth == n) {
+      a.fired = true;
+      any_fired_ = true;
+      if (crash_after_fire_) crashed_ = true;
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+Status FaultInjector::OnWrite(FaultPoint point, const char* buf, size_t len,
+                              const WriteSink& sink, bool* handled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    *handled = true;
+    return Injected(point, "post-crash write failure");
+  }
+  Armed* a = Count(point);
+  if (a == nullptr) return Status::OK();
+  *handled = true;
+  switch (a->kind) {
+    case FaultKind::kError:
+      return Injected(point, "write error");
+    case FaultKind::kTornWrite: {
+      size_t keep = a->bytes < len ? a->bytes : len;
+      SinkWrite(sink, buf, keep);
+      return Injected(point, "torn write");
+    }
+    case FaultKind::kCorruptBit: {
+      std::string copy(buf, len);
+      if (len > 0) copy[a->bytes % len] ^= 0x01;
+      if (!SinkWrite(sink, copy.data(), len))
+        return Injected(point, "corrupting write");
+      return Status::OK();  // silent corruption: the caller sees success
+    }
+    case FaultKind::kShortRead:
+      // A read fault armed on a write point degenerates to an error.
+      return Injected(point, "write error");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnRead(FaultPoint point, char* buf, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Armed* a = Count(point);
+  if (a == nullptr) return Status::OK();
+  switch (a->kind) {
+    case FaultKind::kShortRead: {
+      size_t keep = a->bytes < len ? a->bytes : len;
+      std::memset(buf + keep, 0, len - keep);
+      return Injected(point, "short read");
+    }
+    case FaultKind::kCorruptBit:
+      if (len > 0) buf[a->bytes % len] ^= 0x01;
+      return Status::OK();  // silent corruption
+    default:
+      return Injected(point, "read error");
+  }
+}
+
+Status FaultInjector::OnOp(FaultPoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Injected(point, "post-crash failure");
+  Armed* a = Count(point);
+  if (a == nullptr) return Status::OK();
+  return Injected(point, "operation failure");
+}
+
+ScopedFaultInjector::ScopedFaultInjector() {
+  FaultInjector* expected = nullptr;
+  bool installed = FaultInjector::active_.compare_exchange_strong(
+      expected, &injector_, std::memory_order_acq_rel);
+  assert(installed && "another FaultInjector is already active");
+  (void)installed;
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  FaultInjector::active_.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace testing
+}  // namespace xdb

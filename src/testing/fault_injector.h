@@ -1,0 +1,152 @@
+// FaultInjector: deterministic storage-fault injection for crash-recovery
+// testing.
+//
+// The storage stack (TableSpace, BufferManager, WalLog) consults the active
+// injector — a process-global installed via ScopedFaultInjector — at each
+// physical I/O. Tests arm one-shot faults ("fail the 3rd WAL append",
+// "tear the 7th page write after 12 bytes") and then drive a normal
+// workload; the injector fires at the exact operation, optionally switching
+// into crash mode where every later write fails, which models the process
+// dying mid-operation. Reopening the store afterwards exercises the same
+// recovery path a real crash would.
+//
+// When no injector is installed the hook is a single relaxed atomic load,
+// so production code pays essentially nothing.
+#ifndef XDB_TESTING_FAULT_INJECTOR_H_
+#define XDB_TESTING_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xdb {
+namespace testing {
+
+/// Physical operations the storage stack exposes to injection.
+enum class FaultPoint : uint8_t {
+  kTableSpaceRead = 0,
+  kTableSpaceWrite,
+  kTableSpaceSync,
+  kWalAppend,
+  kWalSync,
+  kBufferWriteback,
+};
+constexpr int kNumFaultPoints = 6;
+
+const char* FaultPointName(FaultPoint p);
+
+enum class FaultKind : uint8_t {
+  /// The operation fails with an IOError; no bytes reach the medium.
+  kError,
+  /// Only the first `bytes` bytes of the write land, then IOError — the
+  /// classic torn write of a power cut mid-sector.
+  kTornWrite,
+  /// The write lands in full with one bit flipped, and *reports success* —
+  /// silent media corruption, caught (or not) by checksums downstream.
+  kCorruptBit,
+  /// The read fails with an IOError after delivering only `bytes` bytes
+  /// (the rest of the buffer is zeroed).
+  kShortRead,
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // ---- test-side configuration ----
+
+  /// Arms a one-shot fault at the `nth` (1-based) operation on `point`.
+  /// `bytes` parameterizes kTornWrite / kShortRead (prefix length) and
+  /// kCorruptBit (which byte gets flipped, modulo the buffer length).
+  void Arm(FaultPoint point, uint64_t nth, FaultKind kind, uint32_t bytes = 0);
+
+  /// After any armed fault fires, every subsequent write-side operation
+  /// (writes, appends, syncs, writebacks) fails too: the process is "dead"
+  /// and nothing more reaches disk.
+  void set_crash_after_fire(bool v) { crash_after_fire_ = v; }
+
+  /// True once at least one armed fault has fired.
+  bool fired() const;
+  /// Number of operations observed at `point` since construction/Reset.
+  uint64_t op_count(FaultPoint point) const;
+  /// Clears armed faults, counters and crash mode.
+  void Reset();
+
+  // ---- storage-side hooks ----
+
+  /// Where a (possibly partial) write should land — exactly one of fd/mem.
+  struct WriteSink {
+    int fd = -1;
+    uint64_t offset = 0;
+    char* mem = nullptr;
+  };
+
+  /// Called before a physical write of `len` bytes from `buf`. If the
+  /// injector takes over (fault or crash mode) it sets *handled and the
+  /// caller must skip its own write and return this status as-is (kCorruptBit
+  /// lands flipped bytes and returns OK).
+  Status OnWrite(FaultPoint point, const char* buf, size_t len,
+                 const WriteSink& sink, bool* handled);
+
+  /// Called after a physical read delivered `len` bytes into `buf`; may
+  /// corrupt the buffer or turn the read into a failure.
+  Status OnRead(FaultPoint point, char* buf, size_t len);
+
+  /// Called before an operation with no data payload (syncs, writebacks).
+  Status OnOp(FaultPoint point);
+
+  /// The installed injector, or nullptr (the common case).
+  static FaultInjector* active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class ScopedFaultInjector;
+
+  struct Armed {
+    FaultPoint point;
+    uint64_t nth;
+    FaultKind kind;
+    uint32_t bytes;
+    bool fired = false;
+  };
+
+  /// Counts the op and returns the armed fault firing on it, if any.
+  /// Called with mu_ held.
+  Armed* Count(FaultPoint point);
+
+  mutable std::mutex mu_;
+  uint64_t counts_[kNumFaultPoints] = {};
+  std::vector<Armed> armed_;
+  bool crash_after_fire_ = false;
+  bool crashed_ = false;
+  bool any_fired_ = false;
+
+  static std::atomic<FaultInjector*> active_;
+};
+
+/// Installs a fresh FaultInjector for the enclosing scope. At most one may
+/// be active per process at a time.
+class ScopedFaultInjector {
+ public:
+  ScopedFaultInjector();
+  ~ScopedFaultInjector();
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+  FaultInjector* operator->() { return &injector_; }
+  FaultInjector& get() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+}  // namespace testing
+}  // namespace xdb
+
+#endif  // XDB_TESTING_FAULT_INJECTOR_H_

@@ -86,19 +86,24 @@ std::string GenWideXml(uint32_t leaves, uint32_t leaf_bytes) {
 }
 
 namespace {
-void GenRandomElement(Random* rng, uint32_t* budget, int depth,
-                      std::string* out) {
-  char name = static_cast<char>('a' + rng->Uniform(5));
+void GenRandomElement(Random* rng, const RandomXmlOptions& options,
+                      uint32_t* budget, int depth, std::string* out) {
+  char name = static_cast<char>('a' + rng->Uniform(options.element_names));
   (*budget)--;
   out->push_back('<');
   out->push_back(name);
-  // Attributes (names kept distinct within the element).
-  uint32_t nattrs = static_cast<uint32_t>(rng->Uniform(3));
-  bool used[3] = {false, false, false};
+  // Attributes. The guard keeps names distinct within the element — the
+  // parser rejects duplicates, and an invalid document would make
+  // differential and round-trip tests fail (or pass) for the wrong reason.
+  uint32_t nattrs = static_cast<uint32_t>(
+      rng->Uniform(options.max_attrs_per_element + 1));
+  uint64_t used = 0;
   for (uint32_t i = 0; i < nattrs && *budget > 0; i++) {
-    uint32_t pick = static_cast<uint32_t>(rng->Uniform(3));
-    if (used[pick]) continue;
-    used[pick] = true;
+    uint32_t pick = static_cast<uint32_t>(rng->Uniform(options.attribute_names));
+    if (!options.allow_duplicate_attrs) {
+      if (used & (1ULL << pick)) continue;
+      used |= 1ULL << pick;
+    }
     char aname = static_cast<char>('v' + pick);
     (*budget)--;
     out->push_back(' ');
@@ -110,8 +115,8 @@ void GenRandomElement(Random* rng, uint32_t* budget, int depth,
   out->push_back('>');
   // Children.
   while (*budget > 0 && !rng->OneIn(3)) {
-    if (depth < 12 && rng->OneIn(2)) {
-      GenRandomElement(rng, budget, depth + 1, out);
+    if (depth < options.max_depth && rng->OneIn(2)) {
+      GenRandomElement(rng, options, budget, depth + 1, out);
     } else {
       (*budget)--;
       out->append(std::to_string(rng->Uniform(500)));
@@ -126,10 +131,118 @@ void GenRandomElement(Random* rng, uint32_t* budget, int depth,
 }
 }  // namespace
 
-std::string GenRandomXml(Random* rng, uint32_t max_nodes) {
+std::string GenRandomXml(Random* rng, const RandomXmlOptions& options) {
   std::string out;
-  uint32_t budget = max_nodes == 0 ? 1 : max_nodes;
-  GenRandomElement(rng, &budget, 0, &out);
+  uint32_t budget = options.max_nodes == 0 ? 1 : options.max_nodes;
+  GenRandomElement(rng, options, &budget, 0, &out);
+  return out;
+}
+
+std::string GenRandomXml(Random* rng, uint32_t max_nodes) {
+  RandomXmlOptions options;
+  options.max_nodes = max_nodes;
+  return GenRandomXml(rng, options);
+}
+
+namespace {
+// One name test from the element alphabet, or '*'.
+void AppendNameTest(Random* rng, const XPathOptions& o, std::string* out) {
+  if (rng->NextDouble() < o.wildcard_prob) {
+    out->push_back('*');
+  } else {
+    out->push_back(static_cast<char>('a' + rng->Uniform(o.element_names)));
+  }
+}
+
+// A short relative path for a predicate branch, e.g. "a//b", "@v", "a/text()".
+void AppendBranchPath(Random* rng, const XPathOptions& o, bool leaf_value,
+                      std::string* out) {
+  uint32_t steps = 1 + static_cast<uint32_t>(
+                           rng->Uniform(o.max_branch_steps == 0
+                                            ? 1
+                                            : o.max_branch_steps));
+  for (uint32_t i = 0; i < steps; i++) {
+    bool last = i + 1 == steps;
+    if (i > 0) out->append(rng->NextDouble() < o.descendant_prob ? "//" : "/");
+    if (last && rng->NextDouble() < o.attribute_prob) {
+      out->push_back('@');
+      out->push_back(static_cast<char>('v' + rng->Uniform(o.attribute_names)));
+      return;
+    }
+    if (last && leaf_value && rng->NextDouble() < o.text_prob && i > 0) {
+      out->append("text()");
+      return;
+    }
+    AppendNameTest(rng, o, out);
+  }
+}
+
+// One predicate expression (possibly a 2-way and/or), e.g.
+// "[a/@v > 17]", "[not(b)]", "[c and @w = 3]".
+void AppendPredicate(Random* rng, const XPathOptions& o, std::string* out) {
+  out->push_back('[');
+  uint32_t terms = rng->OneIn(4) ? 2 : 1;
+  for (uint32_t t = 0; t < terms; t++) {
+    if (t > 0) out->append(rng->OneIn(2) ? " and " : " or ");
+    bool negate = rng->OneIn(5);
+    if (negate) out->append("not(");
+    if (rng->OneIn(2)) {
+      // Existence test.
+      AppendBranchPath(rng, o, /*leaf_value=*/false, out);
+    } else {
+      // Value comparison against a literal from the generator's value space.
+      AppendBranchPath(rng, o, /*leaf_value=*/true, out);
+      static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+      out->push_back(' ');
+      out->append(kOps[rng->Uniform(6)]);
+      out->push_back(' ');
+      if (rng->OneIn(3)) {
+        out->push_back('"');
+        out->append(std::to_string(rng->Uniform(1000)));
+        out->push_back('"');
+      } else {
+        out->append(std::to_string(rng->Uniform(1000)));
+      }
+    }
+    if (negate) out->push_back(')');
+  }
+  out->push_back(']');
+}
+}  // namespace
+
+std::string GenRandomXPath(Random* rng, const XPathOptions& o) {
+  std::string out;
+  uint32_t steps =
+      1 + static_cast<uint32_t>(rng->Uniform(o.max_steps == 0 ? 1 : o.max_steps));
+  uint32_t predicates_left = o.allow_predicates ? o.max_predicates : 0;
+  for (uint32_t i = 0; i < steps; i++) {
+    bool last = i + 1 == steps;
+    if (i > 0) {
+      out.append(rng->NextDouble() < o.descendant_prob ? "//" : "/");
+    } else {
+      // Leading separator: absolute "/", descendant "//", or a relative
+      // start (top-level items as context, QuickXScan semantics).
+      switch (rng->Uniform(4)) {
+        case 0: break;  // relative
+        case 1: out.append("//"); break;
+        default: out.push_back('/');
+      }
+    }
+    if (last && rng->NextDouble() < o.attribute_prob) {
+      out.push_back('@');
+      out.push_back(static_cast<char>('v' + rng->Uniform(o.attribute_names)));
+      break;
+    }
+    if (last && i > 0 && rng->NextDouble() < o.text_prob) {
+      out.append("text()");
+      break;
+    }
+    AppendNameTest(rng, o, &out);
+    if (predicates_left > 0 && rng->NextDouble() < 0.35) {
+      predicates_left--;
+      AppendPredicate(rng, o, &out);
+    }
+  }
   return out;
 }
 

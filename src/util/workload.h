@@ -42,9 +42,47 @@ std::string GenRecursiveXml(uint32_t nesting, uint32_t siblings_per_level,
 /// of ~leaf_bytes each; scales document size without recursion.
 std::string GenWideXml(uint32_t leaves, uint32_t leaf_bytes);
 
-/// Random tree for differential testing: up to `max_nodes` nodes with names
-/// drawn from a tiny alphabet (a..e), random attributes/text/nesting.
+/// Knobs for GenRandomXml. Element names come from a..(a+element_names-1),
+/// attribute names from v..(v+attribute_names-1) — the same tiny alphabets
+/// GenRandomXPath draws from, so random queries hit random documents.
+struct RandomXmlOptions {
+  uint32_t max_nodes = 40;
+  int max_depth = 12;
+  uint32_t element_names = 5;    // a..e
+  uint32_t attribute_names = 3;  // v..x
+  uint32_t max_attrs_per_element = 2;
+  /// The generator guards against emitting two attributes with the same name
+  /// on one element (invalid XML the parser rejects, which would make
+  /// round-trip tests spuriously fail — or pass for the wrong reason).
+  /// Setting this lets duplicates through, for parser-rejection tests only.
+  bool allow_duplicate_attrs = false;
+};
+
+/// Random tree for differential testing: up to `max_nodes` nodes with
+/// random attributes/text/nesting.
+std::string GenRandomXml(Random* rng, const RandomXmlOptions& options);
+
+/// Back-compat shorthand: default options with `max_nodes` nodes.
 std::string GenRandomXml(Random* rng, uint32_t max_nodes);
+
+/// Knobs for GenRandomXPath. Probabilities are per decision point.
+struct XPathOptions {
+  uint32_t max_steps = 4;        // steps on the main path (>= 1)
+  uint32_t max_predicates = 2;   // total predicates across all steps
+  uint32_t max_branch_steps = 2; // steps inside a predicate's relative path
+  uint32_t element_names = 5;    // name-test alphabet a..e
+  uint32_t attribute_names = 3;  // attribute alphabet v..x
+  bool allow_predicates = true;
+  double descendant_prob = 0.4;  // '//' instead of '/' before a step
+  double wildcard_prob = 0.15;   // '*' instead of a name test
+  double attribute_prob = 0.2;   // final step becomes '@name'
+  double text_prob = 0.1;        // final step becomes 'text()'
+};
+
+/// Seeded random XPath over the GenRandomXml alphabets: child / descendant /
+/// attribute / wildcard / text() steps plus exists, not() and value
+/// comparison predicates. Always parses with xpath::ParsePath.
+std::string GenRandomXPath(Random* rng, const XPathOptions& options = {});
 
 struct EmployeeRow {
   std::string id, fname, lname, hire, dept;

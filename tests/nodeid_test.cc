@@ -4,9 +4,19 @@
 
 #include <algorithm>
 #include <set>
+#include <vector>
 
+#include "btree/btree.h"
 #include "common/random.h"
+#include "index/nodeid_index.h"
+#include "pack/record_builder.h"
+#include "pack/tree_cursor.h"
+#include "storage/buffer_manager.h"
+#include "storage/record_manager.h"
+#include "storage/tablespace.h"
+#include "util/workload.h"
 #include "xml/node_id.h"
+#include "xml/parser.h"
 
 namespace xdb {
 namespace nodeid {
@@ -190,6 +200,186 @@ TEST(NodeIdTest, ToStringRendersLevels) {
   EXPECT_EQ(ToString(abs), "02.04");
   EXPECT_EQ(ToString(Slice()), "00");
 }
+
+// --- Edge-case sweeps: deep Dewey prefixes and sibling overflow, first as
+// raw ID properties, then fed through the NodeID B+tree index. ---
+
+// A 64-deep chain: every proper prefix is an ancestor, depth counts levels
+// exactly, and Parent() walks the chain back to the root.
+TEST(NodeIdEdgeTest, DeepPrefixChainContainmentAndOrder) {
+  std::vector<std::string> chain;  // chain[d] has depth d+1
+  std::string id;
+  for (int d = 0; d < 64; d++) {
+    id += ChildId(static_cast<uint32_t>(d % 5 + 1));
+    ASSERT_TRUE(IsValidAbsolute(id)) << d;
+    EXPECT_EQ(Depth(id).value(), d + 1);
+    chain.push_back(id);
+  }
+  for (size_t i = 0; i < chain.size(); i++) {
+    for (size_t j = i + 1; j < chain.size(); j++) {
+      EXPECT_TRUE(IsAncestor(chain[i], chain[j])) << i << "," << j;
+      EXPECT_FALSE(IsAncestor(chain[j], chain[i])) << i << "," << j;
+      // Document order puts ancestors first.
+      EXPECT_LT(Compare(chain[i], chain[j]), 0) << i << "," << j;
+    }
+  }
+  // Parent() inverts the construction.
+  Slice cur = chain.back();
+  for (int d = 63; d >= 1; d--) {
+    cur = Parent(cur).value();
+    EXPECT_EQ(cur.ToString(), chain[d - 1]) << d;
+  }
+  EXPECT_TRUE(Parent(cur).value().empty());
+}
+
+// Sibling overflow: once ChildId crosses the single-byte ceiling (126) the
+// encoding extends. No sibling may become a prefix (= ancestor) of another,
+// and order must stay strict through the boundary and far past it.
+TEST(NodeIdEdgeTest, SiblingOverflowIsOrderedAndPrefixFree) {
+  std::vector<std::string> sibs;
+  for (uint32_t n = 100; n <= 600; n++) sibs.push_back(ChildId(n));
+  for (size_t i = 0; i < sibs.size(); i++) {
+    ASSERT_TRUE(IsValidRelative(sibs[i])) << 100 + i;
+    if (i > 0) {
+      EXPECT_LT(Slice(sibs[i - 1]).Compare(Slice(sibs[i])), 0) << 100 + i;
+      // Siblings are never ancestors of each other, even when the shorter
+      // one ends where the longer one's extension begins.
+      EXPECT_FALSE(IsAncestor(sibs[i - 1], sibs[i])) << 100 + i;
+      EXPECT_FALSE(IsAncestor(sibs[i], sibs[i - 1])) << 100 + i;
+    }
+  }
+}
+
+// Overflowed siblings used as interior levels: a child under sibling #n>126
+// is a descendant of exactly that sibling, not its neighbours.
+TEST(NodeIdEdgeTest, DeepPrefixesThroughOverflowedLevels) {
+  for (uint32_t n : {126u, 127u, 128u, 254u, 255u, 300u}) {
+    std::string parent = ChildId(n);
+    std::string child = parent + ChildId(1);
+    std::string grandchild = child + ChildId(200);
+    ASSERT_TRUE(IsValidAbsolute(child)) << n;
+    ASSERT_TRUE(IsValidAbsolute(grandchild)) << n;
+    EXPECT_TRUE(IsAncestor(parent, child)) << n;
+    EXPECT_TRUE(IsAncestor(parent, grandchild)) << n;
+    EXPECT_TRUE(IsAncestor(child, grandchild)) << n;
+    EXPECT_FALSE(IsAncestor(ChildId(n + 1), child)) << n;
+    EXPECT_LT(Compare(parent, child), 0) << n;
+    EXPECT_LT(Compare(grandchild, ChildId(n + 1)), 0) << n;
+  }
+}
+
+// The same shapes, end to end: pack a document, feed the NodeID B+tree
+// index, and verify every node resolves and the interval entries are sane.
+struct IndexSweepParam {
+  const char* label;
+  uint32_t depth;    // nesting levels (GenRecursiveXml)
+  uint32_t fanout;   // siblings per level; > 126 forces ID extension
+  size_t budget;     // record budget — small values force many records
+};
+
+void PrintTo(const IndexSweepParam& p, std::ostream* os) { *os << p.label; }
+
+class NodeIdIndexSweep : public ::testing::TestWithParam<IndexSweepParam> {};
+
+TEST_P(NodeIdIndexSweep, EveryNodeResolvesAndIntervalsAreOrdered) {
+  const IndexSweepParam& p = GetParam();
+  std::string xml = workload::GenRecursiveXml(p.depth, p.fanout);
+
+  TableSpaceOptions opts;
+  opts.in_memory = true;
+  auto space = TableSpace::Create("", opts).MoveValue();
+  BufferManager bm(space.get(), 512);
+  RecordManager records(&bm);
+  auto tree = BTree::Create(&bm).MoveValue();
+  NodeIdIndex index(tree.get());
+
+  NameDictionary dict;
+  Parser parser(&dict);
+  TokenWriter tokens;
+  ASSERT_TRUE(parser.Parse(xml, &tokens).ok());
+  RecordBuilderOptions rb;
+  rb.record_budget = p.budget;
+  RecordBuilder builder(rb);
+  std::vector<Rid> inserted;
+  ASSERT_TRUE(builder
+                  .Build(tokens.data(),
+                         [&](PackedRecordOut&& rec) -> Status {
+                           XDB_ASSIGN_OR_RETURN(Rid rid,
+                                                records.Insert(rec.bytes));
+                           XDB_RETURN_NOT_OK(
+                               index.AddRecord(1, rec.bytes, rid));
+                           inserted.push_back(rid);
+                           return Status::OK();
+                         })
+                  .ok());
+  ASSERT_GT(inserted.size(), 1u) << "budget did not force a split";
+
+  // Walk the stored document; every node's ID must be valid, resolvable,
+  // and in strictly increasing document order, with every ancestor also
+  // resolvable (containment holds level by level).
+  StoredDocSource source(&records, &index, 1);
+  XmlEvent ev;
+  std::string prev;
+  uint32_t nodes = 0;
+  int max_depth = 0;
+  for (;;) {
+    auto more = source.Next(&ev);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.value()) break;
+    if (ev.type == XmlEvent::Type::kEndElement ||
+        ev.type == XmlEvent::Type::kStartDocument ||
+        ev.type == XmlEvent::Type::kEndDocument)
+      continue;
+    std::string id = ev.node_id.ToString();
+    ASSERT_TRUE(IsValidAbsolute(id)) << ToString(id);
+    if (!prev.empty()) {
+      ASSERT_LT(Compare(prev, id), 0)
+          << ToString(prev) << " !< " << ToString(id);
+    }
+    prev = id;
+    max_depth = std::max(max_depth, Depth(id).value());
+    ASSERT_TRUE(index.Lookup(1, id).ok()) << ToString(id);
+    for (auto par = Parent(id); par.ok() && !par.value().empty();
+         par = Parent(par.value())) {
+      ASSERT_TRUE(IsAncestor(par.value(), id));
+      ASSERT_TRUE(index.Lookup(1, par.value()).ok()) << ToString(par.value());
+    }
+    nodes++;
+  }
+  EXPECT_GE(max_depth, static_cast<int>(p.depth));
+  EXPECT_GT(nodes, p.depth * p.fanout);
+
+  // Interval entries: upper end points strictly increasing, and the distinct
+  // RIDs cover exactly the records we inserted.
+  std::vector<std::pair<std::string, Rid>> entries;
+  ASSERT_TRUE(index.ListDocEntries(1, &entries).ok());
+  ASSERT_GE(entries.size(), inserted.size());
+  for (size_t i = 1; i < entries.size(); i++) {
+    EXPECT_LT(Compare(entries[i - 1].first, entries[i].first), 0) << i;
+  }
+  std::vector<Rid> listed;
+  ASSERT_TRUE(index.ListDocRecords(1, &listed).ok());
+  std::set<std::pair<PageId, uint16_t>> want, got;
+  for (const Rid& r : inserted) want.insert({r.page_id, r.slot});
+  for (const Rid& r : listed) got.insert({r.page_id, r.slot});
+  EXPECT_EQ(got, want);
+
+  // Past-the-end IDs miss cleanly instead of resolving to a neighbour.
+  EXPECT_FALSE(index.Lookup(1, ChildId(2000)).ok());
+  EXPECT_FALSE(index.Lookup(2, ChildId(1)).ok());  // other doc untouched
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NodeIdIndexSweep,
+    ::testing::Values(
+        IndexSweepParam{"DeepChain", 48, 1, 96},
+        IndexSweepParam{"DeepModeratelyWide", 16, 4, 128},
+        IndexSweepParam{"SiblingOverflow", 2, 150, 512},
+        IndexSweepParam{"OverflowTinyRecords", 2, 140, 64},
+        IndexSweepParam{"DeepAndOverflowed", 6, 130, 256}),
+    [](const ::testing::TestParamInfo<IndexSweepParam>& info) {
+      return std::string(info.param.label);
+    });
 
 }  // namespace
 }  // namespace nodeid
