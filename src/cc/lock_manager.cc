@@ -59,6 +59,37 @@ bool LockManager::DocGrantable(const DocLock& dl, TxnId txn,
   return true;
 }
 
+std::vector<TxnId> LockManager::DocBlockers(const DocLock& dl, TxnId txn,
+                                            LockMode mode) const {
+  std::vector<TxnId> out;
+  for (const auto& [holder, held] : dl.granted) {
+    if (holder == txn) continue;
+    if (!LockModesCompatible(held, mode)) out.push_back(holder);
+  }
+  return out;
+}
+
+bool LockManager::WouldDeadlock(TxnId txn,
+                                const std::vector<TxnId>& blockers) const {
+  // DFS over waits_for_ starting from the transactions blocking `txn`: if
+  // any path leads back to `txn`, granting the wait would close a cycle.
+  std::vector<TxnId> stack(blockers);
+  std::vector<TxnId> seen;
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == txn) return true;
+    bool visited = false;
+    for (TxnId s : seen) visited = visited || s == cur;
+    if (visited) continue;
+    seen.push_back(cur);
+    auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) continue;
+    stack.insert(stack.end(), it->second.begin(), it->second.end());
+  }
+  return false;
+}
+
 Status LockManager::LockDocument(TxnId txn, uint64_t doc_id, LockMode mode) {
   std::unique_lock<std::mutex> lock(mu_);
   DocLock& dl = doc_locks_[doc_id];
@@ -70,17 +101,28 @@ Status LockManager::LockDocument(TxnId txn, uint64_t doc_id, LockMode mode) {
   auto deadline = std::chrono::steady_clock::now() + timeout_;
   bool waited = false;
   while (!DocGrantable(dl, txn, mode)) {
+    std::vector<TxnId> blockers = DocBlockers(dl, txn, mode);
+    if (WouldDeadlock(txn, blockers)) {
+      waits_for_.erase(txn);
+      stats_.deadlocks++;
+      return Status::Deadlock("waits-for cycle (doc " +
+                              std::to_string(doc_id) + ", " +
+                              LockModeName(mode) + ")");
+    }
+    waits_for_[txn] = std::move(blockers);
     waited = true;
     dl.waiters++;
     bool ok = cv_.wait_until(lock, deadline) != std::cv_status::timeout;
     dl.waiters--;
     if (!ok) {
+      waits_for_.erase(txn);
       stats_.timeouts++;
       return Status::Deadlock("document lock timeout (doc " +
                               std::to_string(doc_id) + ", " +
                               LockModeName(mode) + ")");
     }
   }
+  waits_for_.erase(txn);
   if (waited) stats_.waits++;
   dl.granted[txn] = mode;
   stats_.acquisitions++;
@@ -100,6 +142,19 @@ bool LockManager::NodeGrantable(const DocNodeLocks& dn, TxnId txn,
   return true;
 }
 
+std::vector<TxnId> LockManager::NodeBlockers(const DocNodeLocks& dn, TxnId txn,
+                                             Slice node_id,
+                                             LockMode mode) const {
+  std::vector<TxnId> out;
+  for (const NodeLock& held : dn.held) {
+    if (held.txn == txn) continue;
+    if (LockModesCompatible(held.mode, mode)) continue;
+    Slice h(held.node_id);
+    if (h.StartsWith(node_id) || node_id.StartsWith(h)) out.push_back(held.txn);
+  }
+  return out;
+}
+
 Status LockManager::LockNode(TxnId txn, uint64_t doc_id, Slice node_id,
                              LockMode mode) {
   std::unique_lock<std::mutex> lock(mu_);
@@ -114,15 +169,25 @@ Status LockManager::LockNode(TxnId txn, uint64_t doc_id, Slice node_id,
   auto deadline = std::chrono::steady_clock::now() + timeout_;
   bool waited = false;
   while (!NodeGrantable(dn, txn, node_id, mode)) {
+    std::vector<TxnId> blockers = NodeBlockers(dn, txn, node_id, mode);
+    if (WouldDeadlock(txn, blockers)) {
+      waits_for_.erase(txn);
+      stats_.deadlocks++;
+      return Status::Deadlock("waits-for cycle (node lock, doc " +
+                              std::to_string(doc_id) + ")");
+    }
+    waits_for_[txn] = std::move(blockers);
     waited = true;
     dn.waiters++;
     bool ok = cv_.wait_until(lock, deadline) != std::cv_status::timeout;
     dn.waiters--;
     if (!ok) {
+      waits_for_.erase(txn);
       stats_.timeouts++;
       return Status::Deadlock("node lock timeout");
     }
   }
+  waits_for_.erase(txn);
   if (waited) stats_.waits++;
   dn.held.push_back(NodeLock{txn, node_id.ToString(), mode});
   stats_.acquisitions++;
@@ -131,6 +196,7 @@ Status LockManager::LockNode(TxnId txn, uint64_t doc_id, Slice node_id,
 
 void LockManager::ReleaseAll(TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
+  waits_for_.erase(txn);
   for (auto it = doc_locks_.begin(); it != doc_locks_.end();) {
     it->second.granted.erase(txn);
     if (it->second.granted.empty() && it->second.waiters == 0) {

@@ -12,7 +12,11 @@
 // conflict, which is what lets concurrent writers update different subtrees
 // of one document.
 //
-// Deadlocks are resolved by timeout (waiters give up with kDeadlock).
+// Deadlocks are detected eagerly: before a transaction blocks, its edges in
+// the waits-for graph are checked for a cycle, and the requester is chosen
+// as the victim (immediate kDeadlock) — no waiting out a timeout. The
+// timeout remains as a backstop for waits the graph cannot see (e.g. a
+// holder stuck outside the lock manager); both are counted separately.
 #ifndef XDB_CC_LOCK_MANAGER_H_
 #define XDB_CC_LOCK_MANAGER_H_
 
@@ -44,6 +48,8 @@ struct LockManagerStats {
   uint64_t acquisitions = 0;
   uint64_t waits = 0;
   uint64_t timeouts = 0;
+  /// Waits-for cycles caught at acquire time (victim aborted immediately).
+  uint64_t deadlocks = 0;
   uint64_t node_prefix_checks = 0;
 };
 
@@ -84,12 +90,24 @@ class LockManager {
   bool DocGrantable(const DocLock& dl, TxnId txn, LockMode mode) const;
   bool NodeGrantable(const DocNodeLocks& dn, TxnId txn, Slice node_id,
                      LockMode mode);
+  /// Transactions currently blocking `txn`'s pending doc-lock request.
+  std::vector<TxnId> DocBlockers(const DocLock& dl, TxnId txn,
+                                 LockMode mode) const;
+  /// Transactions currently blocking `txn`'s pending node-lock request.
+  std::vector<TxnId> NodeBlockers(const DocNodeLocks& dn, TxnId txn,
+                                  Slice node_id, LockMode mode) const;
+  /// True if adding edges txn -> blockers closes a cycle in waits_for_.
+  /// Called with mu_ held.
+  bool WouldDeadlock(TxnId txn, const std::vector<TxnId>& blockers) const;
 
   std::chrono::milliseconds timeout_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<uint64_t, DocLock> doc_locks_;
   std::map<uint64_t, DocNodeLocks> node_locks_;
+  /// Waits-for edges of currently blocked transactions (refreshed on every
+  /// wait iteration, erased on grant/timeout/victim).
+  std::map<TxnId, std::vector<TxnId>> waits_for_;
   LockManagerStats stats_;
 };
 

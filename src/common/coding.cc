@@ -156,4 +156,29 @@ double DecodeOrderedDouble(const char* p) {
   return v;
 }
 
+namespace {
+const uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t n) {
+  const uint32_t* table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; i++)
+    c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
 }  // namespace xdb

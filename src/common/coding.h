@@ -50,6 +50,10 @@ bool GetLengthPrefixed(Slice* input, Slice* out);
 void PutOrderedDouble(std::string* dst, double v);
 double DecodeOrderedDouble(const char* p);
 
+/// CRC-32 (polynomial 0xEDB88320) over `n` bytes — shared by WAL records and
+/// page checksums.
+uint32_t Crc32(const char* data, size_t n);
+
 }  // namespace xdb
 
 #endif  // XDB_COMMON_CODING_H_

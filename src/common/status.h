@@ -42,6 +42,14 @@ class Status {
   static Status IOError(std::string msg = "") {
     return Status(Code::kIOError, std::move(msg));
   }
+  /// An IOError the retry policy may mask: the operation failed for a
+  /// transient environmental reason (EINTR/EAGAIN, injected transient fault)
+  /// and retrying it after a backoff is expected to succeed.
+  static Status TransientIOError(std::string msg = "") {
+    Status s(Code::kIOError, std::move(msg));
+    s.retryable_ = true;
+    return s;
+  }
   static Status NotSupported(std::string msg = "") {
     return Status(Code::kNotSupported, std::move(msg));
   }
@@ -68,6 +76,8 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  /// True for failures worth retrying with backoff (see TransientIOError).
+  bool IsTransient() const { return retryable_; }
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 
@@ -78,6 +88,7 @@ class Status {
   Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
 
   Code code_;
+  bool retryable_ = false;
   std::string msg_;
 };
 

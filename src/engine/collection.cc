@@ -87,6 +87,7 @@ Result<uint64_t> Collection::InsertDocument(Transaction* txn, Slice xml) {
 }
 
 Result<uint64_t> Collection::InsertTokens(Transaction* txn, Slice tokens) {
+  XDB_RETURN_NOT_OK(GuardRepair());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   uint64_t doc_id;
   {
@@ -177,6 +178,7 @@ Status Collection::RemoveValueIndexEntries(Transaction* txn, uint64_t doc_id) {
 
 Result<std::string> Collection::GetDocumentText(Transaction* txn,
                                                 uint64_t doc_id) {
+  XDB_RETURN_NOT_OK(GuardRepair());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   std::string out;
   Status st = [&]() -> Status {
@@ -203,6 +205,7 @@ Result<std::string> Collection::GetDocumentText(Transaction* txn,
 }
 
 Status Collection::DeleteDocument(Transaction* txn, uint64_t doc_id) {
+  XDB_RETURN_NOT_OK(GuardRepair());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   Status st = [&]() -> Status {
     XDB_RETURN_NOT_OK(WriteLockDoc(at.get(), doc_id));
@@ -337,6 +340,7 @@ Status Collection::MaintainValueIndexesForTextUpdate(uint64_t doc_id,
 
 Status Collection::UpdateTextNode(Transaction* txn, uint64_t doc_id,
                                   Slice node_id, Slice new_text) {
+  XDB_RETURN_NOT_OK(GuardRepair());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   Status st = [&]() -> Status {
     // Subdocument protocol: IX on the document, X on the updated subtree.
@@ -448,6 +452,7 @@ Result<std::string> Collection::InsertSubtree(Transaction* txn,
                                               Slice parent_id,
                                               Slice after_sibling_id,
                                               Slice fragment) {
+  XDB_RETURN_NOT_OK(GuardRepair());
   if (meta_.mvcc_enabled)
     return Status::NotSupported(
         "subtree operations on MVCC collections are future work");
@@ -611,6 +616,7 @@ Result<std::string> Collection::InsertSubtreeLocked(Transaction* txn,
 
 Status Collection::DeleteSubtree(Transaction* txn, uint64_t doc_id,
                                  Slice node_id) {
+  XDB_RETURN_NOT_OK(GuardRepair());
   if (meta_.mvcc_enabled)
     return Status::NotSupported(
         "subtree operations on MVCC collections are future work");
@@ -669,6 +675,7 @@ Status Collection::DeleteSubtreeLocked(Transaction* txn, uint64_t doc_id,
 }
 
 Status Collection::CreateValueIndex(const ValueIndexDef& def) {
+  XDB_RETURN_NOT_OK(GuardRepair());
   XDB_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(def.path));
   if (!xpath::IsIndexablePath(path))
     return Status::InvalidArgument(
@@ -706,8 +713,13 @@ ValueIndex* Collection::FindValueIndex(const std::string& name) {
 }
 
 Result<std::vector<uint64_t>> Collection::ListDocIds() {
-  std::vector<uint64_t> out;
+  XDB_RETURN_NOT_OK(GuardRepair());
   std::shared_lock<std::shared_mutex> latch(latch_);
+  return ListDocIdsUnlocked();
+}
+
+Result<std::vector<uint64_t>> Collection::ListDocIdsUnlocked() {
+  std::vector<uint64_t> out;
   XDB_ASSIGN_OR_RETURN(BTree::Iterator it, docid_tree_->SeekToFirst());
   while (it.Valid()) {
     if (it.key().size() == 8) out.push_back(DecodeBig64(it.key().data()));
@@ -723,6 +735,7 @@ Result<uint64_t> Collection::DocCount() {
 
 Status Collection::VacuumVersions(uint64_t doc_id,
                                   uint64_t oldest_live_snapshot) {
+  XDB_RETURN_NOT_OK(GuardRepair());
   if (!meta_.mvcc_enabled) return Status::OK();
   std::unique_lock<std::shared_mutex> latch(latch_);
   auto keep = versions_->EffectiveVersion(doc_id, oldest_live_snapshot);
@@ -757,6 +770,7 @@ Status Collection::VacuumVersions(uint64_t doc_id,
 Result<std::string> Collection::SerializeSubtree(Transaction* txn,
                                                  uint64_t doc_id,
                                                  Slice node_id) {
+  XDB_RETURN_NOT_OK(GuardRepair());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   std::string out;
   Status st = [&]() -> Status {
@@ -789,6 +803,7 @@ Result<QueryResult> Collection::Query(Transaction* txn, Slice xpath,
 Result<QueryResult> Collection::ExecutePath(Transaction* txn,
                                             const xpath::Path& path,
                                             const QueryOptions& options) {
+  XDB_RETURN_NOT_OK(GuardRepair());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   QueryResult result;
   Status st = [&]() -> Status {
@@ -1017,6 +1032,188 @@ Status Collection::RecheckAnchors(Transaction* txn,
     XDB_RETURN_NOT_OK(st);
     result->stats.records_fetched += source.records_fetched();
     for (ResultNode& r : hits) result->nodes.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+Status Collection::GuardRepair() const {
+  if (!needs_repair_) return Status::OK();
+  return Status::Corruption("collection '" + meta_.name +
+                            "' is quarantined pending repair: " +
+                            repair_reason_);
+}
+
+Result<std::string> Collection::ReadDocTokensForScrub(uint64_t doc_id) {
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  StoredDocSource source(records_.get(), node_index_.get(), doc_id);
+  TokenWriter tokens;
+  XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
+  if (tokens.data().size() == 0)
+    return Status::Corruption("document " + std::to_string(doc_id) +
+                              " reads back empty");
+  return tokens.data().ToString();
+}
+
+Status Collection::RebuildStorage() {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  // Tear down top-down so nothing flushes into the space after it is reset.
+  value_indexes_.clear();
+  node_index_.reset();
+  versions_.reset();
+  docid_tree_.reset();
+  nodeid_tree_.reset();
+  versioned_tree_.reset();
+  records_.reset();
+  buffer_.reset();
+
+  if (space_ != nullptr) {
+    XDB_RETURN_NOT_OK(space_->Reset());
+  } else {
+    // The space header itself was unreadable: recreate the file from scratch
+    // (Create truncates).
+    TableSpaceOptions ts;
+    ts.in_memory = engine_->options_.in_memory;
+    ts.page_size = page_size_hint_;
+    XDB_ASSIGN_OR_RETURN(space_, TableSpace::Create(space_path_, ts));
+  }
+
+  buffer_ = std::make_unique<BufferManager>(space_.get(), buffer_pages_);
+  Engine* eng = engine_;
+  buffer_->set_lsn_source(
+      [eng] { return eng->wal_ != nullptr ? eng->wal_->size() : 0; });
+  records_ = std::make_unique<RecordManager>(buffer_.get());
+
+  XDB_ASSIGN_OR_RETURN(docid_tree_, BTree::Create(buffer_.get()));
+  XDB_ASSIGN_OR_RETURN(nodeid_tree_, BTree::Create(buffer_.get()));
+  meta_.docid_index_root = docid_tree_->root();
+  meta_.nodeid_index_root = nodeid_tree_->root();
+  node_index_ = std::make_unique<NodeIdIndex>(nodeid_tree_.get());
+  if (meta_.mvcc_enabled) {
+    XDB_ASSIGN_OR_RETURN(versioned_tree_, BTree::Create(buffer_.get()));
+    meta_.versioned_index_root = versioned_tree_->root();
+    versions_ = std::make_unique<VersionManager>(versioned_tree_.get());
+    versions_->InitCounters(meta_.last_version);
+  }
+  for (ValueIndexMeta& vi : meta_.value_indexes) {
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree,
+                         BTree::Create(buffer_.get()));
+    vi.root = tree->root();
+    auto index = std::make_unique<ValueIndex>(vi.def, tree.get());
+    value_indexes_.push_back(
+        OwnedValueIndex{std::move(tree), std::move(index)});
+  }
+  return Status::OK();
+}
+
+Status Collection::ScrubAndRepair(CollectionScrubReport* report,
+                                  std::set<uint64_t>* salvaged_ids,
+                                  std::set<uint64_t>* lost_ids) {
+  report->collection = meta_.name;
+  bool structural = needs_repair_;
+  uint64_t corrupt_pages = 0;
+
+  if (space_ != nullptr) {
+    // Make the sweep see current state, then read raw below the buffer pool
+    // so quarantined pages are inspected too. Flush failures themselves are
+    // damage worth repairing, not a reason to abort the scrub.
+    if (buffer_ != nullptr) {
+      Status fs = buffer_->FlushAll();
+      if (!fs.ok()) {
+        structural = true;
+        report->notes.push_back("flush before scrub: " + fs.ToString());
+      }
+    }
+    const uint32_t psize = space_->page_size();
+    std::vector<char> buf(psize);
+    for (PageId id = 1; id < space_->page_count(); id++) {
+      report->pages_scanned++;
+      Status rs = space_->ReadPage(id, buf.data());
+      if (!rs.ok()) {
+        corrupt_pages++;
+        report->checksum_failures++;  // unreadable counts as corrupt
+        report->notes.push_back("page " + std::to_string(id) + ": " +
+                                rs.ToString());
+        continue;
+      }
+      if (space_->format_version() >= kTableSpaceFormatV2) {
+        Status vs = VerifyPageChecksum(buf.data(), psize, id);
+        if (!vs.ok()) {
+          corrupt_pages++;
+          report->checksum_failures++;
+          report->notes.push_back(vs.ToString());
+          continue;
+        }
+        if (PageFlags(buf.data()) & kPageFlagFree) continue;
+      }
+      const char* payload = buf.data() + space_->data_offset();
+      if (static_cast<uint8_t>(payload[0]) == kDataPage) {
+        Status es =
+            RecordManager::VerifyDataPage(payload, space_->usable_page_size());
+        if (!es.ok()) {
+          corrupt_pages++;
+          report->envelope_failures++;
+          report->notes.push_back("page " + std::to_string(id) + ": " +
+                                  es.ToString());
+        }
+      }
+    }
+  }
+
+  bool any_damage = structural || corrupt_pages > 0;
+  if (!any_damage && buffer_ != nullptr)
+    any_damage = !buffer_->quarantined_pages().empty();
+  if (!any_damage) return Status::OK();
+
+  // Salvage every document that still reads back intact, as a serialized
+  // token stream (independent of the storage about to be rebuilt).
+  std::vector<std::pair<uint64_t, std::string>> salvage;
+  if (!structural) {
+    auto ids = ListDocIdsUnlocked();
+    if (ids.ok()) {
+      for (uint64_t doc : ids.value()) {
+        auto tok = ReadDocTokensForScrub(doc);
+        if (tok.ok()) {
+          salvage.emplace_back(doc, tok.MoveValue());
+        } else {
+          lost_ids->insert(doc);
+          report->notes.push_back("doc " + std::to_string(doc) +
+                                  " unreadable: " + tok.status().ToString());
+        }
+      }
+    } else {
+      // DocID index itself is damaged — nothing enumerable; the WAL replay
+      // after the rebuild is the only recovery path.
+      report->notes.push_back("docid index unreadable: " +
+                              ids.status().ToString());
+    }
+  } else {
+    report->notes.push_back("structural corruption (" + repair_reason_ +
+                            "); salvage limited to WAL replay");
+  }
+
+  XDB_RETURN_NOT_OK(RebuildStorage());
+  report->rebuilt = true;
+  needs_repair_ = false;
+  repair_reason_.clear();
+
+  for (auto& [doc, tokens] : salvage) {
+    Transaction txn = engine_->Begin(IsolationMode::kLocking);
+    Status st = WriteLockDoc(&txn, doc);
+    if (st.ok()) {
+      auto res = InsertTokensLocked(&txn, Slice(tokens), doc);
+      st = res.ok() ? Status::OK() : res.status();
+    }
+    if (st.ok()) st = engine_->Commit(&txn);
+    else engine_->Abort(&txn);
+    if (st.ok()) {
+      salvaged_ids->insert(doc);
+      report->docs_salvaged++;
+    } else {
+      lost_ids->insert(doc);
+      report->notes.push_back("doc " + std::to_string(doc) +
+                              " lost during re-insert: " + st.ToString());
+    }
+    if (doc >= meta_.next_doc_id) meta_.next_doc_id = doc + 1;
   }
   return Status::OK();
 }

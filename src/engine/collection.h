@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -68,6 +69,20 @@ struct QueryPlanExec {
   query::QueryPlan plan;
 };
 
+/// Per-collection outcome of Engine::Scrub() — what was scanned, what was
+/// damaged, and how much of the data survived repair.
+struct CollectionScrubReport {
+  std::string collection;
+  uint64_t pages_scanned = 0;
+  uint64_t checksum_failures = 0;   // pages failing CRC (or unreadable)
+  uint64_t envelope_failures = 0;   // data pages with a broken slot layout
+  bool rebuilt = false;             // storage was reset and repopulated
+  uint64_t docs_salvaged = 0;       // re-inserted from still-readable records
+  uint64_t docs_recovered_from_wal = 0;  // restored by filtered WAL replay
+  uint64_t docs_lost = 0;           // present before, unrecoverable after
+  std::vector<std::string> notes;
+};
+
 class Collection {
  public:
   ~Collection() = default;
@@ -76,6 +91,12 @@ class Collection {
 
   const std::string& name() const { return meta_.name; }
   bool mvcc_enabled() const { return meta_.mvcc_enabled; }
+
+  /// True when structural corruption was found at open time: every data
+  /// operation returns kCorruption until Engine::Scrub() repairs the
+  /// collection.
+  bool needs_repair() const { return needs_repair_; }
+  const std::string& repair_reason() const { return repair_reason_; }
 
   /// Parses (and validates, when the collection has a schema) and stores a
   /// document. A null txn runs the operation autocommitted.
@@ -182,6 +203,32 @@ class Collection {
                         const QueryOptions& options, NodeLocator* locator,
                         QueryResult* result);
 
+  /// kCorruption when the collection is quarantined; call at the top of every
+  /// public data operation.
+  Status GuardRepair() const;
+
+  /// Sweeps every page of the table space (checksum + record-envelope
+  /// checks), and if any damage is found salvages what is readable, rebuilds
+  /// the storage from scratch, and re-inserts the salvaged documents.
+  /// Fills `salvaged_ids` (re-inserted, WAL replay must skip them) and
+  /// `lost_ids` (present before, unreadable — WAL replay may still restore
+  /// them). A clean sweep leaves the collection untouched.
+  Status ScrubAndRepair(CollectionScrubReport* report,
+                        std::set<uint64_t>* salvaged_ids,
+                        std::set<uint64_t>* lost_ids);
+
+  /// Resets the table space and recreates every storage component (records,
+  /// trees, indexes) empty, updating meta_ roots. Destroys components
+  /// top-down so nothing flushes into the reset space.
+  Status RebuildStorage();
+
+  /// ListDocIds without the repair guard or latch (callers hold latch_ or
+  /// run single-threaded during scrub).
+  Result<std::vector<uint64_t>> ListDocIdsUnlocked();
+  /// Reads one document back as a serialized token stream (the salvage
+  /// representation; survives the storage rebuild).
+  Result<std::string> ReadDocTokensForScrub(uint64_t doc_id);
+
   Engine* engine_ = nullptr;
   CollectionMeta meta_;
   size_t record_budget_ = 3000;
@@ -200,6 +247,15 @@ class Collection {
   std::vector<OwnedValueIndex> value_indexes_;
   std::shared_mutex latch_;  // short-duration structure latch
   std::mutex docid_mu_;      // doc id allocation
+
+  // Quarantine + repair state. A collection whose table space or recovery
+  // pass failed structurally still opens as a shell (so Engine::Open
+  // succeeds and Scrub() can repair it) but refuses data operations.
+  bool needs_repair_ = false;
+  std::string repair_reason_;
+  std::string space_path_;     // for recreating a space whose header is gone
+  size_t buffer_pages_ = 512;  // for rebuilding the buffer pool
+  uint32_t page_size_hint_ = kDefaultPageSize;
 };
 
 }  // namespace xdb

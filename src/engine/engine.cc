@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 
 #include <cerrno>
+#include <set>
 
 #include "common/coding.h"
 #include "schema/schema_parser.h"
@@ -48,8 +49,21 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
 
   if (options.enable_wal) {
     XDB_ASSIGN_OR_RETURN(engine->wal_, WalLog::Open(options.dir + "/wal.log"));
-    XDB_RETURN_NOT_OK(engine->ReplayWal());
+    XDB_RETURN_NOT_OK(engine->ReplayWal({}, &engine->recovery_.wal));
   }
+  // Quarantine decisions can come from open (structural damage) or from the
+  // replay itself hitting a corrupt page — collect them all here.
+  for (const auto& [name, coll] : engine->collections_)
+    if (coll->needs_repair())
+      engine->recovery_.quarantined_collections.push_back(name);
+  if (engine->recovery_.wal.corrupt_records_skipped > 0)
+    engine->recovery_.warning +=
+        "wal: skipped " +
+        std::to_string(engine->recovery_.wal.corrupt_records_skipped) +
+        " corrupt mid-log record(s); ";
+  for (const std::string& name : engine->recovery_.quarantined_collections)
+    engine->recovery_.warning +=
+        "collection '" + name + "' quarantined (run Scrub to repair); ";
   // Everything in the dictionary now is recoverable: it came from the
   // catalog or was just replayed from kDefineName records still in the WAL.
   engine->wal_names_logged_ = engine->dict_.size();
@@ -62,50 +76,71 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
   coll->engine_ = this;
   coll->meta_ = meta;
   coll->record_budget_ = options.record_budget;
+  coll->buffer_pages_ = options.buffer_pages;
+  coll->page_size_hint_ = options.page_size;
 
   TableSpaceOptions ts_options;
   ts_options.page_size = options.page_size;
   ts_options.in_memory = options_.in_memory;
   std::string path =
       options_.in_memory ? "" : options_.dir + "/" + meta.space_file;
-  if (create) {
-    XDB_ASSIGN_OR_RETURN(coll->space_, TableSpace::Create(path, ts_options));
-  } else {
-    XDB_ASSIGN_OR_RETURN(coll->space_, TableSpace::Open(path, ts_options));
-  }
-  coll->buffer_ = std::make_unique<BufferManager>(coll->space_.get(),
-                                                  options.buffer_pages);
-  coll->records_ = std::make_unique<RecordManager>(coll->buffer_.get());
-  if (!create) XDB_RETURN_NOT_OK(coll->records_->Recover());
+  coll->space_path_ = path;
 
-  auto open_tree = [&](PageId root) -> Result<std::unique_ptr<BTree>> {
-    if (create || root == kInvalidPageId)
-      return BTree::Create(coll->buffer_.get());
-    return BTree::Open(coll->buffer_.get(), root);
-  };
-  XDB_ASSIGN_OR_RETURN(coll->docid_tree_, open_tree(meta.docid_index_root));
-  XDB_ASSIGN_OR_RETURN(coll->nodeid_tree_, open_tree(meta.nodeid_index_root));
-  coll->meta_.docid_index_root = coll->docid_tree_->root();
-  coll->meta_.nodeid_index_root = coll->nodeid_tree_->root();
-  coll->node_index_ = std::make_unique<NodeIdIndex>(coll->nodeid_tree_.get());
+  Status st = [&]() -> Status {
+    if (create) {
+      XDB_ASSIGN_OR_RETURN(coll->space_, TableSpace::Create(path, ts_options));
+    } else {
+      XDB_ASSIGN_OR_RETURN(coll->space_, TableSpace::Open(path, ts_options));
+    }
+    coll->buffer_ = std::make_unique<BufferManager>(coll->space_.get(),
+                                                    options.buffer_pages);
+    coll->buffer_->set_lsn_source(
+        [this] { return wal_ != nullptr ? wal_->size() : 0; });
+    coll->records_ = std::make_unique<RecordManager>(coll->buffer_.get());
+    if (!create) XDB_RETURN_NOT_OK(coll->records_->Recover());
 
-  if (meta.mvcc_enabled) {
-    XDB_ASSIGN_OR_RETURN(coll->versioned_tree_,
-                         open_tree(meta.versioned_index_root));
-    coll->meta_.versioned_index_root = coll->versioned_tree_->root();
-    coll->versions_ =
-        std::make_unique<VersionManager>(coll->versioned_tree_.get());
-    coll->versions_->InitCounters(meta.last_version);
-  }
+    auto open_tree = [&](PageId root) -> Result<std::unique_ptr<BTree>> {
+      if (create || root == kInvalidPageId)
+        return BTree::Create(coll->buffer_.get());
+      return BTree::Open(coll->buffer_.get(), root);
+    };
+    XDB_ASSIGN_OR_RETURN(coll->docid_tree_, open_tree(meta.docid_index_root));
+    XDB_ASSIGN_OR_RETURN(coll->nodeid_tree_, open_tree(meta.nodeid_index_root));
+    coll->meta_.docid_index_root = coll->docid_tree_->root();
+    coll->meta_.nodeid_index_root = coll->nodeid_tree_->root();
+    coll->node_index_ =
+        std::make_unique<NodeIdIndex>(coll->nodeid_tree_.get());
 
-  for (const ValueIndexMeta& vi : meta.value_indexes) {
-    XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree, open_tree(vi.root));
-    auto index = std::make_unique<ValueIndex>(vi.def, tree.get());
-    coll->value_indexes_.push_back(
-        Collection::OwnedValueIndex{std::move(tree), std::move(index)});
+    if (meta.mvcc_enabled) {
+      XDB_ASSIGN_OR_RETURN(coll->versioned_tree_,
+                           open_tree(meta.versioned_index_root));
+      coll->meta_.versioned_index_root = coll->versioned_tree_->root();
+      coll->versions_ =
+          std::make_unique<VersionManager>(coll->versioned_tree_.get());
+      coll->versions_->InitCounters(meta.last_version);
+    }
+
+    for (const ValueIndexMeta& vi : meta.value_indexes) {
+      XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree, open_tree(vi.root));
+      auto index = std::make_unique<ValueIndex>(vi.def, tree.get());
+      coll->value_indexes_.push_back(
+          Collection::OwnedValueIndex{std::move(tree), std::move(index)});
+    }
+    for (size_t i = 0; i < coll->value_indexes_.size(); i++)
+      coll->meta_.value_indexes[i].root = coll->value_indexes_[i].tree->root();
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    if (!create && (st.IsCorruption() || st.IsIOError())) {
+      // Structural damage in an existing collection: open it as a
+      // quarantined shell so the rest of the database stays available and
+      // Scrub() can rebuild it, instead of failing the whole Open().
+      coll->needs_repair_ = true;
+      coll->repair_reason_ = st.ToString();
+      return coll;
+    }
+    return st;
   }
-  for (size_t i = 0; i < coll->value_indexes_.size(); i++)
-    coll->meta_.value_indexes[i].root = coll->value_indexes_[i].tree->root();
   return coll;
 }
 
@@ -177,7 +212,15 @@ Status Engine::Checkpoint() {
   if (options_.in_memory) return Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
   catalog_.collections.clear();
+  bool any_quarantined = false;
   for (auto& [name, coll] : collections_) {
+    if (coll->needs_repair_) {
+      // Leave the damaged files and the last good metadata untouched so
+      // Scrub() still has everything to repair from.
+      any_quarantined = true;
+      catalog_.collections.emplace(name, coll->meta_);
+      continue;
+    }
     XDB_RETURN_NOT_OK(coll->buffer_->FlushAll());
     XDB_RETURN_NOT_OK(coll->space_->Sync());
     CollectionMeta meta = coll->meta_;
@@ -192,7 +235,9 @@ Status Engine::Checkpoint() {
   size_t saved_names = dict_.size();
   dict_.Save(&catalog_.dictionary);
   XDB_RETURN_NOT_OK(SaveCatalog(catalog_, options_.dir + "/catalog.xdb"));
-  if (wal_ != nullptr) {
+  // The WAL may still be the only copy of a quarantined collection's
+  // post-checkpoint history — keep it until Scrub() has repaired everything.
+  if (wal_ != nullptr && !any_quarantined) {
     XDB_RETURN_NOT_OK(wal_->Reset());
     std::lock_guard<std::mutex> nlock(wal_names_mu_);
     wal_names_logged_ = saved_names;
@@ -270,10 +315,10 @@ Status Engine::LogDeleteSubtree(const std::string& collection,
   return wal_->Append(WalRecordType::kDeleteSubtree, payload).status();
 }
 
-Status Engine::ReplayWal() {
+Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
   replaying_ = true;
-  Status replay_status = wal_->Replay([&](uint64_t /*lsn*/, WalRecordType type,
-                                          Slice payload) -> Status {
+  Status replay_status = wal_->Replay(
+      [&](uint64_t /*lsn*/, WalRecordType type, Slice payload) -> Status {
     if (type == WalRecordType::kDefineName) {
       if (payload.size() < 4) return Status::Corruption("bad wal name record");
       NameId id = DecodeFixed32(payload.data());
@@ -294,6 +339,11 @@ Status Engine::ReplayWal() {
     auto it = collections_.find(name);
     if (it == collections_.end()) return Status::OK();  // dropped later
     Collection* coll = it->second.get();
+    // Quarantined collections cannot take replay until Scrub() has rebuilt
+    // their storage; Scrub then re-runs the replay with a filter.
+    if (coll->needs_repair()) return Status::OK();
+    if (filter && !filter(name, doc_id)) return Status::OK();
+    Status op_status = [&]() -> Status {
     switch (type) {
       case WalRecordType::kInsertDocument: {
         auto exists = coll->docid_tree_->Contains(
@@ -354,9 +404,79 @@ Status Engine::ReplayWal() {
       default:
         return Status::OK();
     }
-  });
+    }();
+    if (op_status.IsCorruption() || op_status.IsIOError()) {
+      // Replay ran into damaged storage. Failing Open() here would take the
+      // whole database down; instead quarantine the collection (skipping its
+      // remaining records — the WAL survives until Scrub() repairs it).
+      coll->needs_repair_ = true;
+      coll->repair_reason_ = "wal replay: " + op_status.ToString();
+      return Status::OK();
+    }
+    return op_status;
+  },
+  info);
   replaying_ = false;
   return replay_status;
+}
+
+Result<ScrubReport> Engine::Scrub() {
+  ScrubReport report;
+  std::vector<Collection*> colls;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, coll] : collections_) colls.push_back(coll.get());
+  }
+
+  std::map<std::string, std::set<uint64_t>> salvaged, lost;
+  std::map<std::string, bool> rebuilt;
+  for (Collection* coll : colls) {
+    CollectionScrubReport crep;
+    XDB_RETURN_NOT_OK(coll->ScrubAndRepair(&crep, &salvaged[coll->name()],
+                                           &lost[coll->name()]));
+    rebuilt[coll->name()] = crep.rebuilt;
+    report.collections.push_back(std::move(crep));
+  }
+
+  bool any_rebuilt = false;
+  for (const auto& [name, r] : rebuilt) any_rebuilt = any_rebuilt || r;
+  if (any_rebuilt && wal_ != nullptr) {
+    // Replay only what the salvage pass could not restore: records of
+    // rebuilt collections for documents that were NOT re-inserted (salvaged
+    // documents already contain their post-insert updates, so re-applying
+    // their records would duplicate work or whole subtrees).
+    XDB_RETURN_NOT_OK(ReplayWal(
+        [&](const std::string& coll, uint64_t doc_id) {
+          auto it = rebuilt.find(coll);
+          if (it == rebuilt.end() || !it->second) return false;
+          return salvaged[coll].count(doc_id) == 0;
+        },
+        &report.replay));
+  }
+
+  // Post-replay accounting: which lost documents came back from the WAL,
+  // which are gone for good.
+  for (CollectionScrubReport& crep : report.collections) {
+    if (!crep.rebuilt) continue;
+    auto cres = GetCollection(crep.collection);
+    if (!cres.ok()) continue;
+    auto ids = cres.value()->ListDocIds();
+    if (!ids.ok()) continue;
+    std::set<uint64_t> present(ids.value().begin(), ids.value().end());
+    for (uint64_t id : present)
+      if (salvaged[crep.collection].count(id) == 0)
+        crep.docs_recovered_from_wal++;
+    for (uint64_t id : lost[crep.collection])
+      if (present.count(id) == 0) crep.docs_lost++;
+  }
+
+  for (const CollectionScrubReport& crep : report.collections)
+    report.clean = report.clean && !crep.rebuilt &&
+                   crep.checksum_failures == 0 && crep.envelope_failures == 0;
+
+  // Persist the repaired state and retire the WAL records it covers.
+  XDB_RETURN_NOT_OK(Checkpoint());
+  return report;
 }
 
 }  // namespace xdb

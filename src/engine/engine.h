@@ -5,10 +5,12 @@
 #ifndef XDB_ENGINE_ENGINE_H_
 #define XDB_ENGINE_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "cc/lock_manager.h"
 #include "cc/transaction.h"
@@ -31,6 +33,25 @@ struct EngineOptions {
   bool strip_whitespace = true;
   /// Write-ahead logging for document operations.
   bool enable_wal = true;
+};
+
+/// What Engine::Scrub() found and fixed across the whole database.
+struct ScrubReport {
+  std::vector<CollectionScrubReport> collections;
+  /// Stats of the filtered WAL replay run for rebuilt collections (zero when
+  /// nothing needed a rebuild).
+  WalReplayInfo replay;
+  /// True when no collection had any damage.
+  bool clean = true;
+};
+
+/// What Open() observed while recovering: WAL replay stats plus any
+/// collections that had to be quarantined for later repair.
+struct RecoveryInfo {
+  WalReplayInfo wal;
+  std::vector<std::string> quarantined_collections;
+  /// Human-readable summary of anything abnormal; empty on a clean open.
+  std::string warning;
 };
 
 class Engine {
@@ -60,6 +81,15 @@ class Engine {
   /// Flushes data, persists the catalog, truncates the WAL.
   Status Checkpoint();
 
+  /// Sweeps every table space: verifies every page checksum and every data
+  /// page's record envelope, rebuilds damaged collections from still-readable
+  /// records plus a filtered WAL replay, and checkpoints the repaired state.
+  /// Quarantined collections come back online when repair succeeds.
+  Result<ScrubReport> Scrub();
+
+  /// WAL replay stats and quarantine decisions from the last Open().
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+
   NameDictionary* dict() { return &dict_; }
   LockManager* locks() { return &locks_; }
   TransactionManager* txns() { return txns_.get(); }
@@ -77,7 +107,13 @@ class Engine {
   Result<std::unique_ptr<Collection>> OpenCollection(const CollectionMeta& meta,
                                                      bool create,
                                                      const CollectionOptions& options);
-  Status ReplayWal();
+  /// Replays the WAL. When `filter` is set, only records for which
+  /// filter(collection, doc_id) returns true are applied (Scrub uses this to
+  /// skip documents it already salvaged); kDefineName records always apply.
+  /// Replay stats land in `info` when non-null.
+  using ReplayFilter = std::function<bool(const std::string&, uint64_t)>;
+  Status ReplayWal(const ReplayFilter& filter = {},
+                   WalReplayInfo* info = nullptr);
   /// Appends a kDefineName record for every dictionary entry interned since
   /// the last checkpoint (or the last call). Must run before logging any
   /// record whose token payload references those names.
@@ -101,6 +137,7 @@ class Engine {
   std::map<std::string, schema::CompiledSchema> schemas_;
   CatalogData catalog_;
   std::mutex mu_;
+  RecoveryInfo recovery_;
   bool replaying_ = false;
   // Dictionary entries with id < wal_names_logged_ are durable (in the
   // checkpointed catalog or already in the WAL).

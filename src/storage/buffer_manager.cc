@@ -13,9 +13,11 @@ PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
     bm_ = o.bm_;
     frame_ = o.frame_;
     page_id_ = o.page_id_;
+    offset_ = o.offset_;
     o.bm_ = nullptr;
     o.frame_ = nullptr;
     o.page_id_ = kInvalidPageId;
+    o.offset_ = 0;
   }
   return *this;
 }
@@ -24,7 +26,7 @@ PageHandle::~PageHandle() { Release(); }
 
 char* PageHandle::MutableData() {
   frame_->dirty = true;
-  return frame_->data.get();
+  return frame_->data.get() + offset_;
 }
 
 void PageHandle::Release() {
@@ -36,7 +38,10 @@ void PageHandle::Release() {
 }
 
 BufferManager::BufferManager(TableSpace* space, size_t capacity)
-    : space_(space), capacity_(capacity == 0 ? 1 : capacity) {
+    : space_(space),
+      capacity_(capacity == 0 ? 1 : capacity),
+      data_offset_(space->data_offset()),
+      checksums_(space->format_version() >= kTableSpaceFormatV2) {
   frames_.reserve(capacity_);
   for (size_t i = 0; i < capacity_; i++) {
     auto f = std::make_unique<internal::Frame>();
@@ -52,6 +57,10 @@ Status BufferManager::WriteBack(internal::Frame* frame) {
   if (!frame->dirty) return Status::OK();
   if (auto* fi = testing::FaultInjector::active())
     XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kBufferWriteback));
+  if (checksums_) {
+    uint64_t lsn = lsn_source_ ? lsn_source_() : 0;
+    StampPageHeader(frame->data.get(), space_->page_size(), lsn, 0);
+  }
   XDB_RETURN_NOT_OK(space_->WritePage(frame->page_id, frame->data.get()));
   frame->dirty = false;
   stats_.writebacks++;
@@ -77,6 +86,9 @@ Result<internal::Frame*> BufferManager::GetFreeFrame() {
 
 Result<PageHandle> BufferManager::FixPage(PageId id) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (quarantined_.count(id) != 0)
+    return Status::Corruption("page " + std::to_string(id) +
+                              " is quarantined");
   auto it = table_.find(id);
   if (it != table_.end()) {
     internal::Frame* f = it->second;
@@ -86,28 +98,43 @@ Result<PageHandle> BufferManager::FixPage(PageId id) {
     }
     f->pin_count++;
     stats_.hits++;
-    return PageHandle(this, f, id);
+    return PageHandle(this, f, id, data_offset_);
   }
   stats_.misses++;
   XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame());
-  XDB_RETURN_NOT_OK(space_->ReadPage(id, f->data.get()));
+  Status read = space_->ReadPage(id, f->data.get());
+  if (read.ok() && checksums_)
+    read = VerifyPageChecksum(f->data.get(), space_->page_size(), id);
+  if (!read.ok()) {
+    // The frame was never published in table_; hand it back so a failed read
+    // doesn't shrink the pool.
+    free_frames_.push_back(f);
+    if (read.IsCorruption()) {
+      quarantined_.insert(id);
+      stats_.checksum_failures++;
+      space_->mutable_io_stats()->checksum_failures.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    return read;
+  }
   f->page_id = id;
   f->pin_count = 1;
   f->dirty = false;
   table_[id] = f;
-  return PageHandle(this, f, id);
+  return PageHandle(this, f, id, data_offset_);
 }
 
 Result<PageHandle> BufferManager::NewPage() {
   XDB_ASSIGN_OR_RETURN(PageId id, space_->AllocatePage());
   std::lock_guard<std::mutex> lock(mu_);
+  quarantined_.erase(id);  // a recycled page starts a new, clean life
   XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame());
   std::memset(f->data.get(), 0, space_->page_size());
   f->page_id = id;
   f->pin_count = 1;
   f->dirty = true;
   table_[id] = f;
-  return PageHandle(this, f, id);
+  return PageHandle(this, f, id, data_offset_);
 }
 
 Status BufferManager::FreePage(PageId id) {
@@ -148,6 +175,11 @@ Status BufferManager::FlushAll() {
     XDB_RETURN_NOT_OK(WriteBack(f));
   }
   return Status::OK();
+}
+
+std::vector<PageId> BufferManager::quarantined_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<PageId>(quarantined_.begin(), quarantined_.end());
 }
 
 }  // namespace xdb

@@ -1,14 +1,23 @@
 // BufferManager: fixed-capacity page cache over a TableSpace with pinning,
 // dirty tracking, and LRU replacement — the paper's reused "buffer manager"
 // infrastructure component.
+//
+// For format-v2 table spaces this layer owns page integrity: every fetch
+// verifies the page checksum (failures quarantine the page and surface
+// kCorruption), every writeback stamps the header with the current CRC and
+// page LSN. Clients see only the payload behind the header via
+// PageHandle::data()/page_size(), so slotted-page and B+tree layouts are
+// format-agnostic.
 #ifndef XDB_STORAGE_BUFFER_MANAGER_H_
 #define XDB_STORAGE_BUFFER_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -42,7 +51,7 @@ class PageHandle {
 
   bool valid() const { return frame_ != nullptr; }
   PageId page_id() const { return page_id_; }
-  const char* data() const { return frame_->data.get(); }
+  const char* data() const { return frame_->data.get() + offset_; }
   /// Mutable access; marks the page dirty.
   char* MutableData();
   /// Explicit early unpin (also done by the destructor).
@@ -50,12 +59,14 @@ class PageHandle {
 
  private:
   friend class BufferManager;
-  PageHandle(BufferManager* bm, internal::Frame* frame, PageId id)
-      : bm_(bm), frame_(frame), page_id_(id) {}
+  PageHandle(BufferManager* bm, internal::Frame* frame, PageId id,
+             uint32_t offset)
+      : bm_(bm), frame_(frame), page_id_(id), offset_(offset) {}
 
   BufferManager* bm_ = nullptr;
   internal::Frame* frame_ = nullptr;
   PageId page_id_ = kInvalidPageId;
+  uint32_t offset_ = 0;
 };
 
 struct BufferManagerStats {
@@ -63,6 +74,7 @@ struct BufferManagerStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
+  uint64_t checksum_failures = 0;
 };
 
 class BufferManager {
@@ -73,7 +85,8 @@ class BufferManager {
   BufferManager(const BufferManager&) = delete;
   BufferManager& operator=(const BufferManager&) = delete;
 
-  /// Pins page `id`, reading it from the table space on a miss.
+  /// Pins page `id`, reading it from the table space on a miss. Returns
+  /// kCorruption (and quarantines the page) when its checksum fails.
   Result<PageHandle> FixPage(PageId id);
 
   /// Allocates a fresh page in the table space and pins it.
@@ -86,8 +99,18 @@ class BufferManager {
   /// Writes back all dirty pages.
   Status FlushAll();
 
+  /// WAL position stamped into page headers on writeback (page LSN). Unset,
+  /// pages are stamped with LSN 0.
+  void set_lsn_source(std::function<uint64_t()> source) {
+    lsn_source_ = std::move(source);
+  }
+
+  /// Pages whose checksum failed; they stay unreadable until repaired.
+  std::vector<PageId> quarantined_pages() const;
+
   TableSpace* space() { return space_; }
-  uint32_t page_size() const { return space_->page_size(); }
+  /// Client-usable bytes per page (physical size minus the page header).
+  uint32_t page_size() const { return space_->usable_page_size(); }
   const BufferManagerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferManagerStats{}; }
 
@@ -101,8 +124,12 @@ class BufferManager {
 
   TableSpace* space_;
   size_t capacity_;
-  std::mutex mu_;
+  uint32_t data_offset_;
+  bool checksums_;
+  std::function<uint64_t()> lsn_source_;
+  mutable std::mutex mu_;
   std::unordered_map<PageId, internal::Frame*> table_;
+  std::unordered_set<PageId> quarantined_;
   std::list<internal::Frame*> lru_;  // front = coldest unpinned frame
   std::vector<std::unique_ptr<internal::Frame>> frames_;
   std::vector<internal::Frame*> free_frames_;

@@ -1,0 +1,77 @@
+#include "storage/io_retry.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+
+namespace xdb {
+
+namespace {
+class RealClock : public IoClock {
+ public:
+  void SleepMicros(uint64_t us) override {
+    ::usleep(static_cast<useconds_t>(us));
+  }
+};
+
+// Deterministic per-process jitter source: a cheap LCG stepped once per
+// backoff. Decorrelates concurrent retry loops without OS entropy.
+uint64_t NextJitterSeed() {
+  static std::atomic<uint64_t> seed{0x9e3779b97f4a7c15ULL};
+  return seed.fetch_add(0xbf58476d1ce4e5b9ULL, std::memory_order_relaxed);
+}
+}  // namespace
+
+IoClock* IoClock::Default() {
+  static RealClock clock;
+  return &clock;
+}
+
+IoStatsSnapshot SnapshotIoStats(const IoStats& stats) {
+  IoStatsSnapshot s;
+  s.reads = stats.reads.load(std::memory_order_relaxed);
+  s.writes = stats.writes.load(std::memory_order_relaxed);
+  s.syncs = stats.syncs.load(std::memory_order_relaxed);
+  s.retries = stats.retries.load(std::memory_order_relaxed);
+  s.transient_errors = stats.transient_errors.load(std::memory_order_relaxed);
+  s.permanent_failures =
+      stats.permanent_failures.load(std::memory_order_relaxed);
+  s.checksum_failures = stats.checksum_failures.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status RetryTransient(const RetryPolicy& policy, IoClock* clock,
+                      IoStats* stats, const char* what,
+                      const std::function<Status()>& op) {
+  if (clock == nullptr) clock = IoClock::Default();
+  int attempts = std::max(1, policy.max_attempts);
+  uint64_t backoff = policy.initial_backoff_us;
+  for (int attempt = 1;; attempt++) {
+    Status s = op();
+    if (s.ok()) return s;
+    if (!s.IsTransient()) {
+      if (stats != nullptr)
+        stats->permanent_failures.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+    if (stats != nullptr)
+      stats->transient_errors.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= attempts) {
+      if (stats != nullptr)
+        stats->permanent_failures.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(std::string(what) + " failed after " +
+                             std::to_string(attempt) +
+                             " attempts: " + s.message());
+    }
+    uint64_t sleep_us = backoff;
+    if (policy.jitter_pct > 0 && backoff > 0)
+      sleep_us += (NextJitterSeed() >> 33) % (backoff * policy.jitter_pct / 100 + 1);
+    clock->SleepMicros(sleep_us);
+    if (stats != nullptr)
+      stats->retries.fetch_add(1, std::memory_order_relaxed);
+    backoff = std::min(policy.max_backoff_us, backoff * 2);
+  }
+}
+
+}  // namespace xdb

@@ -1,0 +1,72 @@
+// Transient-I/O retry: bounded attempts with exponential backoff and jitter
+// around the physical read/write/sync paths of TableSpace and WalLog.
+//
+// Only statuses marked transient (Status::IsTransient — EINTR/EAGAIN and the
+// injector's kTransientError kind) are retried; a plain IOError or a
+// checksum failure surfaces immediately. The clock is injectable so tests
+// observe the backoff schedule without sleeping.
+#ifndef XDB_STORAGE_IO_RETRY_H_
+#define XDB_STORAGE_IO_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace xdb {
+
+struct RetryPolicy {
+  /// Total tries including the first (so max_attempts - 1 retries).
+  int max_attempts = 4;
+  uint64_t initial_backoff_us = 100;
+  uint64_t max_backoff_us = 10000;
+  /// Extra jitter as a percentage of the backoff, in [0, jitter_pct).
+  uint32_t jitter_pct = 50;
+};
+
+/// Sleep source for backoff — virtual so tests can record instead of wait.
+class IoClock {
+ public:
+  virtual ~IoClock() = default;
+  virtual void SleepMicros(uint64_t us) = 0;
+  /// Process-wide real clock (usleep).
+  static IoClock* Default();
+};
+
+/// Per-tablespace (or per-WAL) I/O health counters. Atomic so readers never
+/// block the I/O path.
+struct IoStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> syncs{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> transient_errors{0};
+  std::atomic<uint64_t> permanent_failures{0};
+  std::atomic<uint64_t> checksum_failures{0};
+};
+
+/// Value snapshot of IoStats for reporting.
+struct IoStatsSnapshot {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t syncs = 0;
+  uint64_t retries = 0;
+  uint64_t transient_errors = 0;
+  uint64_t permanent_failures = 0;
+  uint64_t checksum_failures = 0;
+};
+
+IoStatsSnapshot SnapshotIoStats(const IoStats& stats);
+
+/// Runs `op`, retrying transient failures per `policy`, sleeping on `clock`
+/// between attempts and accounting into `stats` (both may be null). The final
+/// failure of an exhausted retry loop is returned non-transient so callers
+/// upstream don't retry again.
+Status RetryTransient(const RetryPolicy& policy, IoClock* clock,
+                      IoStats* stats, const char* what,
+                      const std::function<Status()>& op);
+
+}  // namespace xdb
+
+#endif  // XDB_STORAGE_IO_RETRY_H_

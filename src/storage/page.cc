@@ -1,0 +1,37 @@
+#include "storage/page.h"
+
+#include <string>
+
+#include "common/coding.h"
+
+namespace xdb {
+
+void StampPageHeader(char* page, uint32_t page_size, uint64_t lsn,
+                     uint16_t flags) {
+  EncodeFixed64(page + 4, lsn);
+  EncodeFixed16(page + 12, flags);
+  EncodeFixed16(page + 14, 0);
+  EncodeFixed32(page, Crc32(page + 4, page_size - 4));
+}
+
+Status VerifyPageChecksum(const char* page, uint32_t page_size, PageId id) {
+  uint32_t stored = DecodeFixed32(page);
+  uint32_t actual = Crc32(page + 4, page_size - 4);
+  if (stored == actual) return Status::OK();
+  // A page that has never been written (extension/recycling) is all zeros —
+  // that is a valid blank page, not corruption.
+  bool all_zero = stored == 0;
+  for (uint32_t i = 4; all_zero && i < page_size; i++)
+    all_zero = page[i] == 0;
+  if (all_zero) return Status::OK();
+  return Status::Corruption("page " + std::to_string(id) +
+                            " checksum mismatch (stored " +
+                            std::to_string(stored) + ", computed " +
+                            std::to_string(actual) + ")");
+}
+
+uint64_t PageLsn(const char* page) { return DecodeFixed64(page + 4); }
+
+uint16_t PageFlags(const char* page) { return DecodeFixed16(page + 12); }
+
+}  // namespace xdb

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "common/status.h"
+
 namespace xdb {
 
 using PageId = uint32_t;
@@ -16,6 +18,39 @@ constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
 
 /// Default page size; table spaces may be created with other powers of two.
 constexpr uint32_t kDefaultPageSize = 4096;
+
+// --- physical page header (table space format v2) ---
+//
+// Every page of a checksummed (v2) table space carries a 16-byte header in
+// front of the client-visible payload:
+//   [0]  crc32     u32  over bytes [4, page_size) — header remainder + payload
+//   [4]  page LSN  u64  WAL size when the page was last written back
+//   [12] flags     u16  bit 0 = page is on the free list
+//   [14] reserved  u16
+// The BufferManager verifies the CRC on every fetch and stamps it on every
+// writeback; clients address the payload through PageHandle::data(), so the
+// slotted-page / B+tree layouts are unchanged. Format v1 spaces (pre-header)
+// have data_offset 0 and no verification — the migration path for existing
+// files.
+
+constexpr uint32_t kPageHeaderSize = 16;
+constexpr uint16_t kPageFlagFree = 0x1;
+
+/// Table space on-disk format versions (stored in the space header page).
+constexpr uint32_t kTableSpaceFormatV1 = 1;  // legacy: no page headers
+constexpr uint32_t kTableSpaceFormatV2 = 2;  // checksummed page headers
+
+/// Writes the v2 page header (CRC last, covering everything after itself).
+void StampPageHeader(char* page, uint32_t page_size, uint64_t lsn,
+                     uint16_t flags);
+
+/// Checks the v2 header CRC. An all-zero page passes: freshly extended or
+/// recycled pages are legitimately blank (the PageIsNew idiom).
+Status VerifyPageChecksum(const char* page, uint32_t page_size, PageId id);
+
+/// Header field accessors (valid only for stamped pages).
+uint64_t PageLsn(const char* page);
+uint16_t PageFlags(const char* page);
 
 /// Record identifier: physical position of a record, (page, slot).
 struct Rid {

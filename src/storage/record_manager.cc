@@ -96,6 +96,32 @@ void CompactPage(char* p, uint32_t page_size) {
 
 RecordManager::RecordManager(BufferManager* bm) : bm_(bm) {}
 
+Status RecordManager::VerifyDataPage(const char* page, uint32_t page_size) {
+  if (static_cast<uint8_t>(page[0]) != kDataPage)
+    return Status::InvalidArgument("not a data page");
+  uint16_t nslots = GetNumSlots(page);
+  uint16_t cell_start = GetCellStart(page);
+  uint32_t slots_end = kPageHeader + static_cast<uint32_t>(nslots) * kSlotSize;
+  if (slots_end > page_size)
+    return Status::Corruption("slot directory overruns page");
+  if (cell_start > page_size || cell_start < slots_end)
+    return Status::Corruption("cell area out of bounds");
+  for (uint16_t s = 0; s < nslots; s++) {
+    uint16_t off, len;
+    ReadSlot(page, s, &off, &len);
+    if (off == 0) continue;
+    if (off < cell_start || static_cast<uint32_t>(off) + len > page_size)
+      return Status::Corruption("cell extent out of bounds (slot " +
+                                std::to_string(s) + ")");
+    if (len == 0) return Status::Corruption("zero-length occupied cell");
+    uint8_t flag = static_cast<uint8_t>(page[off]);
+    if (flag > kInlinePadded)
+      return Status::Corruption("bad cell flag (slot " + std::to_string(s) +
+                                ")");
+  }
+  return Status::OK();
+}
+
 Status RecordManager::Recover() {
   std::lock_guard<std::mutex> lock(mu_);
   free_space_.clear();
@@ -104,7 +130,15 @@ Status RecordManager::Recover() {
   const PageId n = bm_->space()->page_count();
   for (PageId id = 1; id < n; id++) {
     auto res = bm_->FixPage(id);
-    if (!res.ok()) return res.status();
+    if (!res.ok()) {
+      // A corrupt page costs only the records it held: skip it (it stays
+      // quarantined in the buffer manager) so the rest of the space opens.
+      if (res.status().IsCorruption()) {
+        stats_.corrupt_pages++;
+        continue;
+      }
+      return res.status();
+    }
     PageHandle page = res.MoveValue();
     uint8_t type = static_cast<uint8_t>(page.data()[0]);
     if (type == kDataPage) {

@@ -41,6 +41,9 @@ struct RecordManagerStats {
   /// Records currently stored (maintained incrementally; rebuilt by
   /// Recover) — cheap cardinality for planner heuristics.
   uint64_t live_records = 0;
+  /// Pages Recover() skipped because their checksum failed; the data they
+  /// held is unreadable until Engine::Scrub() repairs from the WAL.
+  uint64_t corrupt_pages = 0;
 };
 
 class RecordManager {
@@ -48,8 +51,16 @@ class RecordManager {
   explicit RecordManager(BufferManager* bm);
 
   /// Rebuilds the free-space map by scanning existing data pages. Call after
-  /// reopening a table space that already holds records.
+  /// reopening a table space that already holds records. Pages that fail
+  /// their checksum are counted (stats().corrupt_pages) and skipped — the
+  /// rest of the space stays readable; touching a quarantined page later
+  /// surfaces kCorruption.
   Status Recover();
+
+  /// Structural check of one data page's envelope (slot directory and cell
+  /// extents within bounds, valid cell flags). `page` is the client payload,
+  /// `page_size` the usable size. Used by the scrub sweep.
+  static Status VerifyDataPage(const char* page, uint32_t page_size);
 
   Result<Rid> Insert(Slice record);
 

@@ -13,6 +13,19 @@ namespace xdb {
 
 namespace {
 constexpr uint32_t kMagic = 0x58444254;  // "XDBT"
+// Space header layout (page 0): [0] magic, [4] page_size, [8] page_count,
+// [12] free_list_head, [16] format_version, [20] header crc over [0, 20).
+// v1 files have zeros at [16]; the version field doubles as the format probe.
+
+// Offset of the next-free-page link inside a freed page. v2 keeps the link
+// out of both the page header and the payload's type byte, so a freed page
+// scans as kFreePage instead of masquerading as whatever page type its link
+// bytes happen to spell.
+uint32_t FreeLinkOffset(uint32_t format_version) {
+  return format_version >= kTableSpaceFormatV2 ? kPageHeaderSize + 4 : 0;
+}
+
+bool TransientErrno(int err) { return err == EINTR || err == EAGAIN; }
 }  // namespace
 
 TableSpace::~TableSpace() {
@@ -28,6 +41,8 @@ Result<std::unique_ptr<TableSpace>> TableSpace::Create(
   auto ts = std::unique_ptr<TableSpace>(new TableSpace());
   ts->page_size_ = options.page_size;
   ts->in_memory_ = options.in_memory;
+  ts->format_version_ =
+      options.page_checksums ? kTableSpaceFormatV2 : kTableSpaceFormatV1;
   ts->page_count_ = 1;  // header page
   if (options.in_memory) {
     ts->mem_pages_.push_back(std::make_unique<char[]>(options.page_size));
@@ -64,8 +79,30 @@ Status TableSpace::ReadHeader() {
   page_size_ = DecodeFixed32(buf + 4);
   page_count_ = DecodeFixed32(buf + 8);
   free_list_head_ = DecodeFixed32(buf + 12);
+  uint32_t version = DecodeFixed32(buf + 16);
+  if (version == 0) {
+    format_version_ = kTableSpaceFormatV1;  // pre-versioning file
+  } else if (version == kTableSpaceFormatV1 ||
+             version == kTableSpaceFormatV2) {
+    format_version_ = version;
+    uint32_t stored_crc = DecodeFixed32(buf + 20);
+    if (stored_crc != Crc32(buf, 20))
+      return Status::Corruption("table space header checksum mismatch");
+  } else {
+    return Status::Corruption("unsupported table space format " +
+                              std::to_string(version));
+  }
   if (page_size_ < 512 || page_size_ > 1 << 20 || page_count_ == 0)
     return Status::Corruption("implausible table space header");
+  // The header's page count is only rewritten at Sync(); a crash after pages
+  // were flushed but before the header leaves it stale. The file length is
+  // authoritative: whole pages beyond the counted ones are real (flushed
+  // data, checksummed) or all-zero (treated as empty). A trailing partial
+  // page is a torn extension and is ignored.
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return Status::IOError("lseek failed");
+  uint32_t file_pages = static_cast<uint32_t>(end / page_size_);
+  if (file_pages > page_count_) page_count_ = file_pages;
   return Status::OK();
 }
 
@@ -75,6 +112,8 @@ Status TableSpace::WriteHeader() {
   EncodeFixed32(buf.data() + 4, page_size_);
   EncodeFixed32(buf.data() + 8, page_count_);
   EncodeFixed32(buf.data() + 12, free_list_head_);
+  EncodeFixed32(buf.data() + 16, format_version_);
+  EncodeFixed32(buf.data() + 20, Crc32(buf.data(), 20));
   ssize_t n = ::pwrite(fd_, buf.data(), page_size_, 0);
   if (n != static_cast<ssize_t>(page_size_))
     return Status::IOError("write header failed");
@@ -83,14 +122,15 @@ Status TableSpace::WriteHeader() {
 
 Result<PageId> TableSpace::AllocatePage() {
   std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t link_off = FreeLinkOffset(format_version_);
   if (free_list_head_ != kInvalidPageId) {
     PageId id = free_list_head_;
-    // Next free page id is stored in the first 4 bytes of a freed page.
     char buf[4];
     if (in_memory_) {
-      std::memcpy(buf, mem_pages_[id].get(), 4);
+      std::memcpy(buf, mem_pages_[id].get() + link_off, 4);
     } else {
-      ssize_t n = ::pread(fd_, buf, 4, static_cast<off_t>(id) * page_size_);
+      ssize_t n = ::pread(fd_, buf, 4,
+                          static_cast<off_t>(id) * page_size_ + link_off);
       if (n != 4) return Status::IOError("read free page link");
     }
     free_list_head_ = DecodeFixed32(buf);
@@ -123,20 +163,37 @@ Status TableSpace::FreePage(PageId id) {
   std::lock_guard<std::mutex> lock(mu_);
   if (id == 0 || id >= page_count_)
     return Status::InvalidArgument("bad page id to free");
-  char buf[4];
-  EncodeFixed32(buf, free_list_head_);
-  if (in_memory_) {
-    std::memcpy(mem_pages_[id].get(), buf, 4);
+  if (format_version_ >= kTableSpaceFormatV2) {
+    // Write a full stamped free page: checksum valid, free flag set, payload
+    // type byte kFreePage (0), link after the type byte — so checksum sweeps
+    // and recovery scans see a well-formed page, not leftover data.
+    std::string page(page_size_, '\0');
+    EncodeFixed32(page.data() + FreeLinkOffset(format_version_),
+                  free_list_head_);
+    StampPageHeader(page.data(), page_size_, 0, kPageFlagFree);
+    if (in_memory_) {
+      std::memcpy(mem_pages_[id].get(), page.data(), page_size_);
+    } else {
+      ssize_t n = ::pwrite(fd_, page.data(), page_size_,
+                           static_cast<off_t>(id) * page_size_);
+      if (n != static_cast<ssize_t>(page_size_))
+        return Status::IOError("write free page");
+    }
   } else {
-    ssize_t n = ::pwrite(fd_, buf, 4, static_cast<off_t>(id) * page_size_);
-    if (n != 4) return Status::IOError("write free page link");
+    char buf[4];
+    EncodeFixed32(buf, free_list_head_);
+    if (in_memory_) {
+      std::memcpy(mem_pages_[id].get(), buf, 4);
+    } else {
+      ssize_t n = ::pwrite(fd_, buf, 4, static_cast<off_t>(id) * page_size_);
+      if (n != 4) return Status::IOError("write free page link");
+    }
   }
   free_list_head_ = id;
   return Status::OK();
 }
 
-Status TableSpace::ReadPage(PageId id, char* buf) {
-  if (id >= page_count_) return Status::InvalidArgument("page out of range");
+Status TableSpace::ReadPageImpl(PageId id, char* buf) {
   if (in_memory_) {
     std::lock_guard<std::mutex> lock(mu_);
     std::memcpy(buf, mem_pages_[id].get(), page_size_);
@@ -145,15 +202,24 @@ Status TableSpace::ReadPage(PageId id, char* buf) {
     return Status::OK();
   }
   ssize_t n = ::pread(fd_, buf, page_size_, static_cast<off_t>(id) * page_size_);
-  if (n != static_cast<ssize_t>(page_size_))
+  if (n != static_cast<ssize_t>(page_size_)) {
+    if (n < 0 && TransientErrno(errno))
+      return Status::TransientIOError("page read interrupted");
     return Status::IOError("short page read");
+  }
   if (auto* fi = testing::FaultInjector::active())
     return fi->OnRead(testing::FaultPoint::kTableSpaceRead, buf, page_size_);
   return Status::OK();
 }
 
-Status TableSpace::WritePage(PageId id, const char* buf) {
+Status TableSpace::ReadPage(PageId id, char* buf) {
   if (id >= page_count_) return Status::InvalidArgument("page out of range");
+  io_stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  return RetryTransient(retry_policy_, clock_, &io_stats_, "page read",
+                        [&] { return ReadPageImpl(id, buf); });
+}
+
+Status TableSpace::WritePageImpl(PageId id, const char* buf) {
   if (in_memory_) {
     std::lock_guard<std::mutex> lock(mu_);
     if (auto* fi = testing::FaultInjector::active()) {
@@ -178,18 +244,49 @@ Status TableSpace::WritePage(PageId id, const char* buf) {
   }
   ssize_t n =
       ::pwrite(fd_, buf, page_size_, static_cast<off_t>(id) * page_size_);
-  if (n != static_cast<ssize_t>(page_size_))
+  if (n != static_cast<ssize_t>(page_size_)) {
+    if (n < 0 && TransientErrno(errno))
+      return Status::TransientIOError("page write interrupted");
     return Status::IOError("short page write");
+  }
   return Status::OK();
+}
+
+Status TableSpace::WritePage(PageId id, const char* buf) {
+  if (id >= page_count_) return Status::InvalidArgument("page out of range");
+  io_stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  return RetryTransient(retry_policy_, clock_, &io_stats_, "page write",
+                        [&] { return WritePageImpl(id, buf); });
 }
 
 Status TableSpace::Sync() {
   if (in_memory_) return Status::OK();
-  if (auto* fi = testing::FaultInjector::active())
-    XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kTableSpaceSync));
-  XDB_RETURN_NOT_OK(WriteHeader());
-  if (::fsync(fd_) != 0) return Status::IOError("fsync failed");
-  return Status::OK();
+  io_stats_.syncs.fetch_add(1, std::memory_order_relaxed);
+  return RetryTransient(retry_policy_, clock_, &io_stats_, "space sync", [&] {
+    if (auto* fi = testing::FaultInjector::active())
+      XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kTableSpaceSync));
+    XDB_RETURN_NOT_OK(WriteHeader());
+    if (::fsync(fd_) != 0) {
+      if (TransientErrno(errno))
+        return Status::TransientIOError("fsync interrupted");
+      return Status::IOError("fsync failed");
+    }
+    return Status::OK();
+  });
+}
+
+Status TableSpace::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  page_count_ = 1;
+  free_list_head_ = kInvalidPageId;
+  if (in_memory_) {
+    mem_pages_.clear();
+    mem_pages_.push_back(std::make_unique<char[]>(page_size_));
+    return Status::OK();
+  }
+  if (::ftruncate(fd_, 0) != 0)
+    return Status::IOError("truncate table space failed");
+  return WriteHeader();
 }
 
 }  // namespace xdb

@@ -4,6 +4,12 @@
 // Figure 2 live in table spaces; "relational table spaces are well tuned for
 // efficient space management, reliability and scalability" — this is that
 // substrate, reduced to its load-bearing essentials.
+//
+// Format v2 reserves a 16-byte checksummed header (see storage/page.h) at
+// the front of every page; the BufferManager verifies/stamps it, this layer
+// stays checksum-agnostic for raw page I/O. v1 files (no page headers) still
+// open and run unverified — the migration path. All physical I/O is wrapped
+// in a transient-retry policy with per-space IoStats.
 #ifndef XDB_STORAGE_TABLESPACE_H_
 #define XDB_STORAGE_TABLESPACE_H_
 
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/io_retry.h"
 #include "storage/page.h"
 
 namespace xdb {
@@ -23,6 +30,10 @@ struct TableSpaceOptions {
   /// In-memory table spaces keep pages in RAM only — used by tests and by
   /// CPU-bound benchmarks to take file-system noise out of measurements.
   bool in_memory = false;
+  /// Create with per-page checksummed headers (format v2). Off produces a
+  /// legacy v1 space — kept for migration tests and the checksum-overhead
+  /// bench.
+  bool page_checksums = true;
 };
 
 /// A fixed-page-size storage container. Page 0 is the space header; data
@@ -45,6 +56,15 @@ class TableSpace {
   /// Number of pages including the header page.
   PageId page_count() const { return page_count_; }
 
+  /// On-disk format: kTableSpaceFormatV1 (no page headers) or V2.
+  uint32_t format_version() const { return format_version_; }
+  /// Bytes of physical page reserved for the page header.
+  uint32_t data_offset() const {
+    return format_version_ >= kTableSpaceFormatV2 ? kPageHeaderSize : 0;
+  }
+  /// Client-visible bytes per page.
+  uint32_t usable_page_size() const { return page_size_ - data_offset(); }
+
   /// Allocates a page (zeroed on return via the free list or extension).
   Result<PageId> AllocatePage();
   /// Returns a page to the free list.
@@ -58,19 +78,34 @@ class TableSpace {
   /// Flushes OS buffers to stable storage (no-op for in-memory spaces).
   Status Sync();
 
+  /// Truncates the space back to an empty header-only state (scrub/repair
+  /// rebuilds into a Reset space). Keeps page size and format.
+  Status Reset();
+
+  void set_retry_policy(const RetryPolicy& p) { retry_policy_ = p; }
+  void set_io_clock(IoClock* clock) { clock_ = clock; }
+  IoStatsSnapshot io_stats() const { return SnapshotIoStats(io_stats_); }
+  IoStats* mutable_io_stats() { return &io_stats_; }
+
  private:
   TableSpace() = default;
 
   Status ReadHeader();
   Status WriteHeader();
+  Status ReadPageImpl(PageId id, char* buf);
+  Status WritePageImpl(PageId id, const char* buf);
 
   std::mutex mu_;
   int fd_ = -1;
   bool in_memory_ = false;
   uint32_t page_size_ = kDefaultPageSize;
+  uint32_t format_version_ = kTableSpaceFormatV2;
   PageId page_count_ = 0;
   PageId free_list_head_ = kInvalidPageId;
   std::vector<std::unique_ptr<char[]>> mem_pages_;
+  RetryPolicy retry_policy_;
+  IoClock* clock_ = nullptr;
+  IoStats io_stats_;
 };
 
 }  // namespace xdb

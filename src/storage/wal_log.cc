@@ -8,7 +8,6 @@
 #include <memory>
 #include <vector>
 
-#include "common/coding.h"
 #include "testing/fault_injector.h"
 
 namespace xdb {
@@ -16,30 +15,7 @@ namespace xdb {
 namespace {
 // Record layout: [total_len u32][type u8][crc u32][payload].
 constexpr size_t kRecordHeader = 4 + 1 + 4;
-
-uint32_t* CrcTable() {
-  static uint32_t table[256];
-  static bool init = [] {
-    for (uint32_t i = 0; i < 256; i++) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; k++)
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      table[i] = c;
-    }
-    return true;
-  }();
-  (void)init;
-  return table;
-}
 }  // namespace
-
-uint32_t Crc32(const char* data, size_t n) {
-  uint32_t* table = CrcTable();
-  uint32_t c = 0xFFFFFFFFu;
-  for (size_t i = 0; i < n; i++)
-    c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xFF] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
 
 WalLog::~WalLog() {
   if (fd_ >= 0) ::close(fd_);
@@ -54,7 +30,7 @@ Result<std::unique_ptr<WalLog>> WalLog::Open(const std::string& path) {
   log->path_ = path;
   off_t end = ::lseek(fd, 0, SEEK_END);
   if (end < 0) return Status::IOError("lseek failed");
-  log->size_ = static_cast<uint64_t>(end);
+  log->size_.store(static_cast<uint64_t>(end), std::memory_order_relaxed);
   return log;
 }
 
@@ -67,54 +43,98 @@ Result<uint64_t> WalLog::Append(WalRecordType type, Slice payload) {
   rec.append(payload.data(), payload.size());
 
   std::lock_guard<std::mutex> lock(mu_);
-  uint64_t lsn = size_;
-  if (auto* fi = testing::FaultInjector::active()) {
-    testing::FaultInjector::WriteSink sink;
-    sink.fd = fd_;
-    sink.offset = size_;
-    bool handled = false;
-    Status s = fi->OnWrite(testing::FaultPoint::kWalAppend, rec.data(),
-                           rec.size(), sink, &handled);
-    if (handled) {
-      XDB_RETURN_NOT_OK(s);
-      size_ += rec.size();  // silent-corruption fault: the bytes did land
-      return lsn;
-    }
-  }
-  ssize_t n = ::pwrite(fd_, rec.data(), rec.size(), static_cast<off_t>(size_));
-  if (n != static_cast<ssize_t>(rec.size()))
-    return Status::IOError("short log append");
-  size_ += rec.size();
+  uint64_t lsn = size_.load(std::memory_order_relaxed);
+  io_stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  Status s = RetryTransient(
+      retry_policy_, clock_, &io_stats_, "wal append", [&]() -> Status {
+        if (auto* fi = testing::FaultInjector::active()) {
+          testing::FaultInjector::WriteSink sink;
+          sink.fd = fd_;
+          sink.offset = lsn;
+          bool handled = false;
+          Status st = fi->OnWrite(testing::FaultPoint::kWalAppend, rec.data(),
+                                  rec.size(), sink, &handled);
+          if (handled) return st;  // incl. OK for silent corruption: landed
+        }
+        ssize_t n =
+            ::pwrite(fd_, rec.data(), rec.size(), static_cast<off_t>(lsn));
+        if (n != static_cast<ssize_t>(rec.size())) {
+          if (n < 0 && (errno == EINTR || errno == EAGAIN))
+            return Status::TransientIOError("log append interrupted");
+          return Status::IOError("short log append");
+        }
+        return Status::OK();
+      });
+  XDB_RETURN_NOT_OK(s);
+  size_.store(lsn + rec.size(), std::memory_order_relaxed);
   return lsn;
 }
 
 Status WalLog::Sync() {
-  if (auto* fi = testing::FaultInjector::active())
-    XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kWalSync));
-  if (::fdatasync(fd_) != 0) return Status::IOError("fdatasync failed");
-  return Status::OK();
+  io_stats_.syncs.fetch_add(1, std::memory_order_relaxed);
+  return RetryTransient(retry_policy_, clock_, &io_stats_, "wal sync", [&] {
+    if (auto* fi = testing::FaultInjector::active())
+      XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kWalSync));
+    if (::fdatasync(fd_) != 0) {
+      if (errno == EINTR || errno == EAGAIN)
+        return Status::TransientIOError("fdatasync interrupted");
+      return Status::IOError("fdatasync failed");
+    }
+    return Status::OK();
+  });
 }
 
 Status WalLog::Replay(
-    const std::function<Status(uint64_t, WalRecordType, Slice)>& visit) {
+    const std::function<Status(uint64_t, WalRecordType, Slice)>& visit,
+    WalReplayInfo* info) {
   std::lock_guard<std::mutex> lock(mu_);
+  WalReplayInfo local;
+  if (info == nullptr) info = &local;
+  *info = WalReplayInfo{};
+  const uint64_t size = size_.load(std::memory_order_relaxed);
   uint64_t pos = 0;
   std::vector<char> buf;
-  while (pos + kRecordHeader <= size_) {
+  while (pos + kRecordHeader <= size) {
     char hdr[kRecordHeader];
     ssize_t n = ::pread(fd_, hdr, kRecordHeader, static_cast<off_t>(pos));
-    if (n != static_cast<ssize_t>(kRecordHeader)) break;
+    if (n != static_cast<ssize_t>(kRecordHeader)) {
+      info->torn_tail = true;
+      break;
+    }
     uint32_t len = DecodeFixed32(hdr);
     uint8_t type = static_cast<uint8_t>(hdr[4]);
     uint32_t crc = DecodeFixed32(hdr + 5);
-    if (pos + kRecordHeader + len > size_) break;  // torn tail
+    uint64_t end = pos + kRecordHeader + len;
+    if (end > size) {
+      // Truncated last record — the normal crash signature. (A corrupted
+      // length field mid-log also lands here; without a trustworthy length
+      // there is no way to resynchronize, so stopping is the safe choice.)
+      info->torn_tail = true;
+      break;
+    }
     buf.resize(len);
     n = ::pread(fd_, buf.data(), len, static_cast<off_t>(pos + kRecordHeader));
-    if (n != static_cast<ssize_t>(len)) break;
-    if (Crc32(buf.data(), len) != crc) break;  // corrupt tail
+    if (n != static_cast<ssize_t>(len)) {
+      info->torn_tail = true;
+      break;
+    }
+    if (Crc32(buf.data(), len) != crc) {
+      if (end == size) {
+        // CRC failure on the very last record: torn/partial final write.
+        info->torn_tail = true;
+        break;
+      }
+      // Intact records follow — this is mid-log corruption, not a crash
+      // artifact. Skip the record, keep replaying, and let the caller warn.
+      info->corrupt_records_skipped++;
+      info->bytes_skipped += kRecordHeader + len;
+      pos = end;
+      continue;
+    }
     XDB_RETURN_NOT_OK(visit(pos, static_cast<WalRecordType>(type),
                             Slice(buf.data(), len)));
-    pos += kRecordHeader + len;
+    info->records_replayed++;
+    pos = end;
   }
   return Status::OK();
 }
@@ -122,7 +142,7 @@ Status WalLog::Replay(
 Status WalLog::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   if (::ftruncate(fd_, 0) != 0) return Status::IOError("ftruncate failed");
-  size_ = 0;
+  size_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -7,14 +7,17 @@
 #ifndef XDB_STORAGE_WAL_LOG_H_
 #define XDB_STORAGE_WAL_LOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "common/coding.h"  // Crc32, shared with page checksums
 #include "common/slice.h"
 #include "common/status.h"
+#include "storage/io_retry.h"
 
 namespace xdb {
 
@@ -35,7 +38,17 @@ enum class WalRecordType : uint8_t {
   kDefineName = 9,
 };
 
-uint32_t Crc32(const char* data, size_t n);
+/// What Replay() found besides the replayable records. A torn tail (the last
+/// record truncated or CRC-failing, nothing after it) is the normal crash
+/// signature; corrupt records *followed by intact ones* are media damage and
+/// are skipped with a count so recovery can warn instead of silently
+/// truncating history.
+struct WalReplayInfo {
+  uint64_t records_replayed = 0;
+  uint64_t corrupt_records_skipped = 0;
+  uint64_t bytes_skipped = 0;
+  bool torn_tail = false;
+};
 
 class WalLog {
  public:
@@ -52,14 +65,21 @@ class WalLog {
   Status Sync();
 
   /// Replays every intact record in order. Stops cleanly at a torn tail
-  /// (truncated or CRC-failing record), which is the normal crash case.
+  /// (truncated or CRC-failing last record), which is the normal crash case;
+  /// CRC-failing records with intact data after them are mid-log corruption:
+  /// skipped and counted in `info` (which may be null) so callers can warn.
   Status Replay(
-      const std::function<Status(uint64_t lsn, WalRecordType, Slice)>& visit);
+      const std::function<Status(uint64_t lsn, WalRecordType, Slice)>& visit,
+      WalReplayInfo* info = nullptr);
 
   /// Truncates the log (after a checkpoint has made its contents redundant).
   Status Reset();
 
-  uint64_t size() const { return size_; }
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  void set_retry_policy(const RetryPolicy& p) { retry_policy_ = p; }
+  void set_io_clock(IoClock* clock) { clock_ = clock; }
+  IoStatsSnapshot io_stats() const { return SnapshotIoStats(io_stats_); }
 
  private:
   WalLog() = default;
@@ -67,7 +87,10 @@ class WalLog {
   std::mutex mu_;
   int fd_ = -1;
   std::string path_;
-  uint64_t size_ = 0;
+  std::atomic<uint64_t> size_{0};
+  RetryPolicy retry_policy_;
+  IoClock* clock_ = nullptr;
+  IoStats io_stats_;
 };
 
 }  // namespace xdb

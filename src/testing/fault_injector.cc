@@ -29,6 +29,11 @@ Status Injected(FaultPoint p, const char* what) {
                          FaultPointName(p));
 }
 
+Status InjectedTransient(FaultPoint p) {
+  return Status::TransientIOError(std::string("injected transient error at ") +
+                                  FaultPointName(p));
+}
+
 // Lands `len` bytes of `buf` at the sink (file or memory).
 bool SinkWrite(const FaultInjector::WriteSink& sink, const char* buf,
                size_t len) {
@@ -109,6 +114,8 @@ Status FaultInjector::OnWrite(FaultPoint point, const char* buf, size_t len,
     case FaultKind::kShortRead:
       // A read fault armed on a write point degenerates to an error.
       return Injected(point, "write error");
+    case FaultKind::kTransientError:
+      return InjectedTransient(point);
   }
   return Status::OK();
 }
@@ -126,6 +133,8 @@ Status FaultInjector::OnRead(FaultPoint point, char* buf, size_t len) {
     case FaultKind::kCorruptBit:
       if (len > 0) buf[a->bytes % len] ^= 0x01;
       return Status::OK();  // silent corruption
+    case FaultKind::kTransientError:
+      return InjectedTransient(point);
     default:
       return Injected(point, "read error");
   }
@@ -136,6 +145,7 @@ Status FaultInjector::OnOp(FaultPoint point) {
   if (crashed_) return Injected(point, "post-crash failure");
   Armed* a = Count(point);
   if (a == nullptr) return Status::OK();
+  if (a->kind == FaultKind::kTransientError) return InjectedTransient(point);
   return Injected(point, "operation failure");
 }
 

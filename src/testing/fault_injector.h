@@ -50,6 +50,10 @@ enum class FaultKind : uint8_t {
   /// The read fails with an IOError after delivering only `bytes` bytes
   /// (the rest of the buffer is zeroed).
   kShortRead,
+  /// The operation fails once with a *transient* IOError (Status::IsTransient)
+  /// — the storage retry policy is expected to mask it. No bytes reach the
+  /// medium on the failing attempt; the retried operation proceeds normally.
+  kTransientError,
 };
 
 class FaultInjector {

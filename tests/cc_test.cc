@@ -88,6 +88,70 @@ TEST(LockManagerTest, DifferentDocumentsDontConflict) {
   EXPECT_TRUE(lm.LockDocument(2, 11, LockMode::kX).ok());
 }
 
+// Classic two-transaction cross request. The waits-for cycle check must
+// pick a victim immediately — the 10 s timeout here is deliberately huge so
+// a fall-back-to-timeout implementation fails the elapsed-time assertion.
+TEST(LockManagerTest, WaitsForCycleVictimizedImmediately) {
+  LockManager lm(std::chrono::milliseconds(10000));
+  ASSERT_TRUE(lm.LockDocument(1, 10, LockMode::kX).ok());
+  ASSERT_TRUE(lm.LockDocument(2, 11, LockMode::kX).ok());
+
+  auto start = std::chrono::steady_clock::now();
+  Status s1, s2;
+  std::thread t1([&] {
+    s1 = lm.LockDocument(1, 11, LockMode::kX);  // blocks on txn 2
+    if (!s1.ok()) lm.ReleaseAll(1);             // victim aborts
+  });
+  std::thread t2([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    s2 = lm.LockDocument(2, 10, LockMode::kX);  // closes the cycle
+    if (!s2.ok()) lm.ReleaseAll(2);
+  });
+  t1.join();
+  t2.join();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  // Exactly one victim; the survivor is granted once the victim releases.
+  EXPECT_NE(s1.ok(), s2.ok());
+  EXPECT_TRUE((s1.ok() ? s2 : s1).IsDeadlock());
+  EXPECT_GE(lm.stats().deadlocks, 1u);
+  EXPECT_EQ(lm.stats().timeouts, 0u);
+  EXPECT_LT(elapsed.count(), 5000) << "deadlock resolved by timeout, not by "
+                                      "cycle detection";
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+// The waits-for graph spans both lock types: a document wait and a node wait
+// can close one cycle.
+TEST(LockManagerTest, MixedDocAndNodeLockCycleDetected) {
+  LockManager lm(std::chrono::milliseconds(10000));
+  std::string node = nodeid::ChildId(1);
+  ASSERT_TRUE(lm.LockDocument(1, 10, LockMode::kX).ok());
+  ASSERT_TRUE(lm.LockNode(2, 11, node, LockMode::kX).ok());
+
+  Status s1, s2;
+  std::thread t1([&] {
+    s1 = lm.LockNode(1, 11, node, LockMode::kX);
+    if (!s1.ok()) lm.ReleaseAll(1);
+  });
+  std::thread t2([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    s2 = lm.LockDocument(2, 10, LockMode::kX);
+    if (!s2.ok()) lm.ReleaseAll(2);
+  });
+  t1.join();
+  t2.join();
+
+  EXPECT_NE(s1.ok(), s2.ok());
+  EXPECT_TRUE((s1.ok() ? s2 : s1).IsDeadlock());
+  EXPECT_GE(lm.stats().deadlocks, 1u);
+  EXPECT_EQ(lm.stats().timeouts, 0u);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
 TEST(NodeLockTest, DisjointSubtreesCoexist) {
   LockManager lm(std::chrono::milliseconds(50));
   std::string left = nodeid::ChildId(1) + nodeid::ChildId(1);   // /1/1
