@@ -91,7 +91,7 @@ bool LockManager::WouldDeadlock(TxnId txn,
 }
 
 Status LockManager::LockDocument(TxnId txn, uint64_t doc_id, LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DocLock& dl = doc_locks_[doc_id];
   auto mine = dl.granted.find(txn);
   if (mine != dl.granted.end()) {
@@ -112,7 +112,7 @@ Status LockManager::LockDocument(TxnId txn, uint64_t doc_id, LockMode mode) {
     waits_for_[txn] = std::move(blockers);
     waited = true;
     dl.waiters++;
-    bool ok = cv_.wait_until(lock, deadline) != std::cv_status::timeout;
+    bool ok = cv_.WaitUntil(lock, deadline) != std::cv_status::timeout;
     dl.waiters--;
     if (!ok) {
       waits_for_.erase(txn);
@@ -157,7 +157,7 @@ std::vector<TxnId> LockManager::NodeBlockers(const DocNodeLocks& dn, TxnId txn,
 
 Status LockManager::LockNode(TxnId txn, uint64_t doc_id, Slice node_id,
                              LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DocNodeLocks& dn = node_locks_[doc_id];
   // Re-entrant: an existing equal-or-stronger lock on the same or an
   // ancestor subtree suffices.
@@ -179,7 +179,7 @@ Status LockManager::LockNode(TxnId txn, uint64_t doc_id, Slice node_id,
     waits_for_[txn] = std::move(blockers);
     waited = true;
     dn.waiters++;
-    bool ok = cv_.wait_until(lock, deadline) != std::cv_status::timeout;
+    bool ok = cv_.WaitUntil(lock, deadline) != std::cv_status::timeout;
     dn.waiters--;
     if (!ok) {
       waits_for_.erase(txn);
@@ -195,7 +195,7 @@ Status LockManager::LockNode(TxnId txn, uint64_t doc_id, Slice node_id,
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   waits_for_.erase(txn);
   for (auto it = doc_locks_.begin(); it != doc_locks_.end();) {
     it->second.granted.erase(txn);
@@ -221,11 +221,11 @@ void LockManager::ReleaseAll(TxnId txn) {
       ++it;
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 LockManagerStats LockManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

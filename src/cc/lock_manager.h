@@ -21,15 +21,15 @@
 #define XDB_CC_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace xdb {
 
@@ -61,16 +61,18 @@ class LockManager {
 
   /// Acquires (or upgrades) a document lock. Blocks until granted or the
   /// timeout elapses (kDeadlock).
-  Status LockDocument(TxnId txn, uint64_t doc_id, LockMode mode);
+  Status LockDocument(TxnId txn, uint64_t doc_id, LockMode mode)
+      XDB_EXCLUDES(mu_);
 
   /// Acquires a subtree lock on (doc, node_id). An empty node_id locks the
   /// whole tree (equivalent to a document lock of the same mode).
-  Status LockNode(TxnId txn, uint64_t doc_id, Slice node_id, LockMode mode);
+  Status LockNode(TxnId txn, uint64_t doc_id, Slice node_id, LockMode mode)
+      XDB_EXCLUDES(mu_);
 
   /// Releases everything `txn` holds and wakes waiters.
-  void ReleaseAll(TxnId txn);
+  void ReleaseAll(TxnId txn) XDB_EXCLUDES(mu_);
 
-  LockManagerStats stats() const;
+  LockManagerStats stats() const XDB_EXCLUDES(mu_);
 
  private:
   struct DocLock {
@@ -87,28 +89,30 @@ class LockManager {
     int waiters = 0;
   };
 
-  bool DocGrantable(const DocLock& dl, TxnId txn, LockMode mode) const;
+  bool DocGrantable(const DocLock& dl, TxnId txn, LockMode mode) const
+      XDB_REQUIRES(mu_);
   bool NodeGrantable(const DocNodeLocks& dn, TxnId txn, Slice node_id,
-                     LockMode mode);
+                     LockMode mode) XDB_REQUIRES(mu_);
   /// Transactions currently blocking `txn`'s pending doc-lock request.
   std::vector<TxnId> DocBlockers(const DocLock& dl, TxnId txn,
-                                 LockMode mode) const;
+                                 LockMode mode) const XDB_REQUIRES(mu_);
   /// Transactions currently blocking `txn`'s pending node-lock request.
   std::vector<TxnId> NodeBlockers(const DocNodeLocks& dn, TxnId txn,
-                                  Slice node_id, LockMode mode) const;
+                                  Slice node_id, LockMode mode) const
+      XDB_REQUIRES(mu_);
   /// True if adding edges txn -> blockers closes a cycle in waits_for_.
-  /// Called with mu_ held.
-  bool WouldDeadlock(TxnId txn, const std::vector<TxnId>& blockers) const;
+  bool WouldDeadlock(TxnId txn, const std::vector<TxnId>& blockers) const
+      XDB_REQUIRES(mu_);
 
   std::chrono::milliseconds timeout_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<uint64_t, DocLock> doc_locks_;
-  std::map<uint64_t, DocNodeLocks> node_locks_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<uint64_t, DocLock> doc_locks_ XDB_GUARDED_BY(mu_);
+  std::map<uint64_t, DocNodeLocks> node_locks_ XDB_GUARDED_BY(mu_);
   /// Waits-for edges of currently blocked transactions (refreshed on every
   /// wait iteration, erased on grant/timeout/victim).
-  std::map<TxnId, std::vector<TxnId>> waits_for_;
-  LockManagerStats stats_;
+  std::map<TxnId, std::vector<TxnId>> waits_for_ XDB_GUARDED_BY(mu_);
+  LockManagerStats stats_ XDB_GUARDED_BY(mu_);
 };
 
 }  // namespace xdb

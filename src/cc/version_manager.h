@@ -82,6 +82,8 @@ class VersionManager {
   static Status DecodeKey(Slice key, uint64_t* doc_id, uint64_t* version,
                           Slice* node_id);
 
+  // The versioned index is guarded by the owning collection's latch_ (every
+  // caller holds it); only the version counters are touched lock-free here.
   BTree* tree_;
   std::atomic<uint64_t> last_committed_;
   std::atomic<uint64_t> next_version_;

@@ -1,0 +1,143 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex / std::shared_mutex / std::lock_guard carry no
+// capability attributes, so GUARDED_BY members protected by a raw std::mutex
+// are invisible to -Wthread-safety. These thin wrappers (same idea as
+// absl::Mutex) forward to the standard types and add the attributes; they
+// cost nothing at runtime.
+//
+// Usage:
+//   mutable Mutex mu_;
+//   std::map<K, V> table_ XDB_GUARDED_BY(mu_);
+//
+//   void Get(K k) {
+//     MutexLock lock(mu_);
+//     ... table_[k] ...            // analysis-checked access
+//   }
+//
+// CondVar wants a MutexLock (which wraps std::unique_lock) rather than a raw
+// Mutex so waits can atomically release/reacquire.
+#ifndef XDB_COMMON_MUTEX_H_
+#define XDB_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace xdb {
+
+class CondVar;
+
+/// Exclusive mutex. Prefer the RAII MutexLock over manual Lock/Unlock.
+class XDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() XDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() XDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() XDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex; wraps std::unique_lock so CondVar can
+/// wait on it.
+class XDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  // Acquires through the annotated Mutex::Lock (so the analysis sees it),
+  // then hands ownership to the unique_lock CondVar waits on.
+  explicit MutexLock(Mutex& mu) XDB_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+    lock_ = std::unique_lock<std::mutex>(mu_.mu_, std::adopt_lock);
+  }
+  ~MutexLock() XDB_RELEASE() {
+    lock_.release();  // drop ownership; unlock through the annotated path
+    mu_.Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to Mutex via MutexLock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Reader/writer latch (std::shared_mutex with capability attributes).
+class XDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() XDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() XDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() XDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void LockShared() XDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() XDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class XDB_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) XDB_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() XDB_RELEASE() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class XDB_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) XDB_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() XDB_RELEASE() { mu_.UnlockShared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_COMMON_MUTEX_H_

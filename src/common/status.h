@@ -10,8 +10,9 @@
 
 namespace xdb {
 
-/// Outcome of a fallible engine operation.
-class Status {
+/// Outcome of a fallible engine operation. [[nodiscard]]: silently dropping
+/// a Status hides failures; intentional drops must say so with (void).
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -94,7 +95,7 @@ class Status {
 
 /// A Status carrying a value on success.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)), value_() {}       // NOLINT

@@ -1,0 +1,93 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap the __attribute__((...)) spellings understood by Clang's
+// -Wthread-safety pass so locking invariants live in the type system:
+//
+//   class Cache {
+//     mutable Mutex mu_;
+//     std::map<Key, Val> table_ XDB_GUARDED_BY(mu_);
+//     void EvictLocked() XDB_REQUIRES(mu_);
+//   };
+//
+// Under any other compiler (GCC builds in this repo) every macro expands to
+// nothing, so annotated code stays portable. The analysis itself is enabled
+// by the XDB_THREAD_SAFETY_ANALYSIS CMake option, which adds
+// -Wthread-safety -Werror=thread-safety on Clang.
+//
+// Note that std::mutex and friends ship without these attributes, so the
+// annotated wrappers in common/mutex.h must be used for guarded members —
+// annotating a raw std::mutex member has no effect.
+#ifndef XDB_COMMON_THREAD_ANNOTATIONS_H_
+#define XDB_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define XDB_THREAD_ANNOTATION_(x) __has_attribute(x)
+#else
+#define XDB_THREAD_ANNOTATION_(x) 0
+#endif
+
+#if XDB_THREAD_ANNOTATION_(guarded_by)
+#define XDB_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define XDB_THREAD_ANNOTATION_ATTRIBUTE_(x)
+#endif
+
+/// Marks a class as a lockable capability (mutexes, latches).
+#define XDB_CAPABILITY(x) XDB_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define XDB_SCOPED_CAPABILITY XDB_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define XDB_GUARDED_BY(x) XDB_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define XDB_PT_GUARDED_BY(x) XDB_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Function requires the capability held (exclusively) on entry.
+#define XDB_REQUIRES(...) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability held at least shared on entry.
+#define XDB_REQUIRES_SHARED(...) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define XDB_ACQUIRE(...) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define XDB_ACQUIRE_SHARED(...) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define XDB_RELEASE(...) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define XDB_RELEASE_SHARED(...) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+/// Releases a capability held in either mode (used by generic RAII guards).
+#define XDB_RELEASE_GENERIC(...) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(release_generic_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define XDB_EXCLUDES(...) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Return value is a reference to data guarded by `x`.
+#define XDB_RETURN_CAPABILITY(x) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Opt a function out of the analysis (rare; justify in a comment).
+#define XDB_NO_THREAD_SAFETY_ANALYSIS \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+/// Try-acquire: first argument is the success value.
+#define XDB_TRY_ACQUIRE(...) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Assert (at analysis level) that the capability is held here.
+#define XDB_ASSERT_CAPABILITY(x) \
+  XDB_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#endif  // XDB_COMMON_THREAD_ANNOTATIONS_H_

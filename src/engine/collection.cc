@@ -34,7 +34,7 @@ class AutoTxn {
   }
   ~AutoTxn() {
     if (owned_ && !own_.committed && !own_.aborted)
-      engine_->Abort(&own_);
+      (void)engine_->Abort(&own_);
   }
 
   Transaction* get() { return txn_; }
@@ -42,7 +42,7 @@ class AutoTxn {
   Status Finish(Status st) {
     if (!owned_) return st;
     if (st.ok()) return engine_->Commit(&own_);
-    engine_->Abort(&own_);
+    (void)engine_->Abort(&own_);
     return st;
   }
 
@@ -91,7 +91,7 @@ Result<uint64_t> Collection::InsertTokens(Transaction* txn, Slice tokens) {
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   uint64_t doc_id;
   {
-    std::lock_guard<std::mutex> lock(docid_mu_);
+    MutexLock lock(docid_mu_);
     doc_id = meta_.next_doc_id++;
   }
   Status st = [&]() -> Status {
@@ -108,7 +108,7 @@ Result<uint64_t> Collection::InsertTokens(Transaction* txn, Slice tokens) {
 
 Result<uint64_t> Collection::InsertTokensLocked(Transaction* txn, Slice tokens,
                                                 uint64_t doc_id) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(latch_);
   uint64_t version = 0;
   if (meta_.mvcc_enabled) {
     XDB_ASSIGN_OR_RETURN(version,
@@ -128,7 +128,9 @@ Result<uint64_t> Collection::InsertTokensLocked(Transaction* txn, Slice tokens,
   });
   XDB_RETURN_NOT_OK(st);
   XDB_RETURN_NOT_OK(docid_tree_->Insert(DocKey(doc_id), Slice()));
-  latch.unlock();
+  // Value-index maintenance stays under the exclusive latch: dropping it
+  // here would let concurrent queries scan the index while this document's
+  // postings are half-written.
   XDB_RETURN_NOT_OK(AddValueIndexEntries(doc_id, tokens, nullptr));
   return doc_id;
 }
@@ -183,7 +185,7 @@ Result<std::string> Collection::GetDocumentText(Transaction* txn,
   std::string out;
   Status st = [&]() -> Status {
     XDB_RETURN_NOT_OK(ReadLockDoc(at.get(), doc_id));
-    std::shared_lock<std::shared_mutex> latch(latch_);
+    ReaderMutexLock latch(latch_);
     NodeLocator* locator = node_index_.get();
     SnapshotLocator snap(versions_.get(), 0);
     if (at.get()->mode == IsolationMode::kSnapshot && meta_.mvcc_enabled) {
@@ -209,9 +211,20 @@ Status Collection::DeleteDocument(Transaction* txn, uint64_t doc_id) {
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   Status st = [&]() -> Status {
     XDB_RETURN_NOT_OK(WriteLockDoc(at.get(), doc_id));
-    XDB_ASSIGN_OR_RETURN(bool exists, docid_tree_->Contains(DocKey(doc_id)));
-    if (!exists) return Status::NotFound("no such document");
+    {
+      // The X doc lock pins existence; the latch only protects the B-tree
+      // probe itself. WAL append happens outside the latch (replay holds
+      // the WAL lock while taking collection latches, so the reverse
+      // nesting would be an inversion).
+      ReaderMutexLock latch(latch_);
+      XDB_ASSIGN_OR_RETURN(bool exists, docid_tree_->Contains(DocKey(doc_id)));
+      if (!exists) return Status::NotFound("no such document");
+    }
     XDB_RETURN_NOT_OK(engine_->LogDelete(meta_.name, doc_id));
+    // Index-entry removal and record deletion happen under one exclusive
+    // latch section so queries never observe postings pointing at freed
+    // records.
+    WriterMutexLock latch(latch_);
     XDB_RETURN_NOT_OK(RemoveValueIndexEntries(at.get(), doc_id));
     return DeleteDocumentLocked(at.get(), doc_id);
   }();
@@ -220,7 +233,6 @@ Status Collection::DeleteDocument(Transaction* txn, uint64_t doc_id) {
 
 Status Collection::DeleteDocumentLocked(Transaction* txn, uint64_t doc_id) {
   (void)txn;
-  std::unique_lock<std::shared_mutex> latch(latch_);
   std::set<uint64_t> rids;
   std::vector<Rid> current;
   XDB_RETURN_NOT_OK(node_index_->ListDocRecords(doc_id, &current));
@@ -351,7 +363,7 @@ Status Collection::UpdateTextNode(Transaction* txn, uint64_t doc_id,
     XDB_RETURN_NOT_OK(
         engine_->LogUpdate(meta_.name, doc_id, node_id, new_text));
 
-    std::unique_lock<std::shared_mutex> latch(latch_);
+    WriterMutexLock latch(latch_);
     XDB_ASSIGN_OR_RETURN(Rid rid, node_index_->Lookup(doc_id, node_id));
     std::string old_record;
     XDB_RETURN_NOT_OK(records_->Get(rid, &old_record));
@@ -472,7 +484,7 @@ Result<std::string> Collection::InsertSubtree(Transaction* txn,
                                                  parent_id, LockMode::kX));
     XDB_RETURN_NOT_OK(engine_->LogInsertSubtree(
         meta_.name, doc_id, parent_id, after_sibling_id, tokens.data()));
-    std::unique_lock<std::shared_mutex> latch(latch_);
+    WriterMutexLock latch(latch_);
     XDB_ASSIGN_OR_RETURN(
         new_id, InsertSubtreeLocked(at.get(), doc_id, parent_id,
                                     after_sibling_id, tokens.data()));
@@ -630,7 +642,7 @@ Status Collection::DeleteSubtree(Transaction* txn, uint64_t doc_id,
                                                  node_id, LockMode::kX));
     XDB_RETURN_NOT_OK(
         engine_->LogDeleteSubtree(meta_.name, doc_id, node_id));
-    std::unique_lock<std::shared_mutex> latch(latch_);
+    WriterMutexLock latch(latch_);
     return DeleteSubtreeLocked(at.get(), doc_id, node_id);
   }();
   return at.Finish(st);
@@ -681,21 +693,21 @@ Status Collection::CreateValueIndex(const ValueIndexDef& def) {
     return Status::InvalidArgument(
         "value index paths must be linear, predicate-free, and end in an "
         "element or attribute");
+  WriterMutexLock latch(latch_);
   for (auto& owned : value_indexes_) {
     if (owned.index->def().name == def.name)
       return Status::InvalidArgument("index '" + def.name + "' exists");
   }
-  std::unique_lock<std::shared_mutex> latch(latch_);
   XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree,
                        BTree::Create(buffer_.get()));
   auto index = std::make_unique<ValueIndex>(def, tree.get());
   ValueIndex* raw = index.get();
   meta_.value_indexes.push_back(ValueIndexMeta{def, tree->root()});
   value_indexes_.push_back(OwnedValueIndex{std::move(tree), std::move(index)});
-  latch.unlock();
 
-  // Backfill from existing documents.
-  XDB_ASSIGN_OR_RETURN(std::vector<uint64_t> docs, ListDocIds());
+  // Backfill from existing documents, still under the exclusive latch so a
+  // concurrent query never plans against a half-backfilled index.
+  XDB_ASSIGN_OR_RETURN(std::vector<uint64_t> docs, ListDocIdsUnlocked());
   for (uint64_t doc_id : docs) {
     StoredDocSource source(records_.get(), node_index_.get(), doc_id);
     TokenWriter tokens;
@@ -714,7 +726,7 @@ ValueIndex* Collection::FindValueIndex(const std::string& name) {
 
 Result<std::vector<uint64_t>> Collection::ListDocIds() {
   XDB_RETURN_NOT_OK(GuardRepair());
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(latch_);
   return ListDocIdsUnlocked();
 }
 
@@ -737,7 +749,7 @@ Status Collection::VacuumVersions(uint64_t doc_id,
                                   uint64_t oldest_live_snapshot) {
   XDB_RETURN_NOT_OK(GuardRepair());
   if (!meta_.mvcc_enabled) return Status::OK();
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(latch_);
   auto keep = versions_->EffectiveVersion(doc_id, oldest_live_snapshot);
   if (keep.status().IsNotFound()) return Status::OK();  // nothing visible
   XDB_RETURN_NOT_OK(keep.status());
@@ -775,7 +787,7 @@ Result<std::string> Collection::SerializeSubtree(Transaction* txn,
   std::string out;
   Status st = [&]() -> Status {
     XDB_RETURN_NOT_OK(ReadLockDoc(at.get(), doc_id));
-    std::shared_lock<std::shared_mutex> latch(latch_);
+    ReaderMutexLock latch(latch_);
     NodeLocator* locator = node_index_.get();
     SnapshotLocator snap(versions_.get(), 0);
     if (at.get()->mode == IsolationMode::kSnapshot && meta_.mvcc_enabled) {
@@ -809,8 +821,15 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
   Status st = [&]() -> Status {
     // Plan.
     query::PlannerContext ctx;
-    for (auto& owned : value_indexes_) ctx.indexes.push_back(owned.index.get());
     XDB_ASSIGN_OR_RETURN(uint64_t docs, DocCount());
+    {
+      // The index list is copied under a brief shared latch; the ValueIndex
+      // objects themselves are stable once created (never destroyed outside
+      // a rebuild, which requires the exclusive latch).
+      ReaderMutexLock latch(latch_);
+      for (auto& owned : value_indexes_)
+        ctx.indexes.push_back(owned.index.get());
+    }
     ctx.doc_count = docs;
     // Cheap cardinality statistic (no index walk): stored records per doc.
     uint64_t live = records_->stats().live_records;
@@ -843,7 +862,9 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
                                   options.want_values));
 
     auto eval_doc = [&](uint64_t doc_id) -> Status {
+      // Doc lock first (it can block), then the shared latch for the reads.
       if (!snapshot_read) XDB_RETURN_NOT_OK(ReadLockDoc(at.get(), doc_id));
+      ReaderMutexLock latch(latch_);
       StoredDocSource source(records_.get(), locator, doc_id);
       xpath::QuickXScan scan(full_tree.get(), doc_id);
       NodeSequence hits;
@@ -863,17 +884,21 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
       return Status::OK();
     }
 
-    // Probe the indexes.
+    // Probe the indexes under the shared latch (no doc locks held yet, so
+    // this cannot invert the doc-lock-before-latch order).
     std::vector<std::vector<Posting>> postings_per_probe;
-    for (const query::PlannedProbe& probe : plan.probes) {
-      std::optional<KeyBound> lo, hi;
-      bool not_equal = false;
-      XDB_RETURN_NOT_OK(
-          query::ProbeBounds(*probe.index, probe.pred, &lo, &hi, &not_equal));
-      std::vector<Posting> postings;
-      XDB_RETURN_NOT_OK(probe.index->Scan(lo, hi, &postings));
-      result.stats.index_postings += postings.size();
-      postings_per_probe.push_back(std::move(postings));
+    {
+      ReaderMutexLock latch(latch_);
+      for (const query::PlannedProbe& probe : plan.probes) {
+        std::optional<KeyBound> lo, hi;
+        bool not_equal = false;
+        XDB_RETURN_NOT_OK(
+            query::ProbeBounds(*probe.index, probe.pred, &lo, &hi, &not_equal));
+        std::vector<Posting> postings;
+        XDB_RETURN_NOT_OK(probe.index->Scan(lo, hi, &postings));
+        result.stats.index_postings += postings.size();
+        postings_per_probe.push_back(std::move(postings));
+      }
     }
 
     const bool node_level =
@@ -954,9 +979,12 @@ Status Collection::RecheckAnchors(Transaction* txn,
 
   std::set<uint64_t> locked_docs;
   for (const Posting& anchor : anchors) {
+    // Doc lock first (it can block), then the shared latch for this
+    // anchor's reads; the latch drops at the end of each iteration.
     if (txn != nullptr && locked_docs.insert(anchor.doc_id).second) {
       XDB_RETURN_NOT_OK(ReadLockDoc(txn, anchor.doc_id));
     }
+    ReaderMutexLock latch(latch_);
     // Verify the anchor's own path against the main-path prefix.
     {
       auto rid = locator->Lookup(anchor.doc_id, Slice(anchor.node_id));
@@ -1044,7 +1072,7 @@ Status Collection::GuardRepair() const {
 }
 
 Result<std::string> Collection::ReadDocTokensForScrub(uint64_t doc_id) {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(latch_);
   StoredDocSource source(records_.get(), node_index_.get(), doc_id);
   TokenWriter tokens;
   XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
@@ -1055,7 +1083,7 @@ Result<std::string> Collection::ReadDocTokensForScrub(uint64_t doc_id) {
 }
 
 Status Collection::RebuildStorage() {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(latch_);
   // Tear down top-down so nothing flushes into the space after it is reset.
   value_indexes_.clear();
   node_index_.reset();
@@ -1168,7 +1196,10 @@ Status Collection::ScrubAndRepair(CollectionScrubReport* report,
   // token stream (independent of the storage about to be rebuilt).
   std::vector<std::pair<uint64_t, std::string>> salvage;
   if (!structural) {
-    auto ids = ListDocIdsUnlocked();
+    auto ids = [&]() {
+      ReaderMutexLock latch(latch_);
+      return ListDocIdsUnlocked();
+    }();
     if (ids.ok()) {
       for (uint64_t doc : ids.value()) {
         auto tok = ReadDocTokensForScrub(doc);
@@ -1204,7 +1235,7 @@ Status Collection::ScrubAndRepair(CollectionScrubReport* report,
       st = res.ok() ? Status::OK() : res.status();
     }
     if (st.ok()) st = engine_->Commit(&txn);
-    else engine_->Abort(&txn);
+    else (void)engine_->Abort(&txn);
     if (st.ok()) {
       salvaged_ids->insert(doc);
       report->docs_salvaged++;
@@ -1213,7 +1244,10 @@ Status Collection::ScrubAndRepair(CollectionScrubReport* report,
       report->notes.push_back("doc " + std::to_string(doc) +
                               " lost during re-insert: " + st.ToString());
     }
-    if (doc >= meta_.next_doc_id) meta_.next_doc_id = doc + 1;
+    {
+      MutexLock lock(docid_mu_);
+      if (doc >= meta_.next_doc_id) meta_.next_doc_id = doc + 1;
+    }
   }
   return Status::OK();
 }

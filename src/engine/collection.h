@@ -6,15 +6,15 @@
 #define XDB_ENGINE_COLLECTION_H_
 
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "btree/btree.h"
 #include "cc/transaction.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/catalog.h"
 #include "index/nodeid_index.h"
 #include "index/value_index.h"
@@ -104,19 +104,22 @@ class Collection {
 
   /// Stores an already-tokenized document (constructor pipelines insert
   /// without an XML-text round trip).
-  Result<uint64_t> InsertTokens(Transaction* txn, Slice tokens);
+  Result<uint64_t> InsertTokens(Transaction* txn, Slice tokens)
+      XDB_EXCLUDES(latch_);
 
   /// Serializes the stored document back to XML text.
-  Result<std::string> GetDocumentText(Transaction* txn, uint64_t doc_id);
+  Result<std::string> GetDocumentText(Transaction* txn, uint64_t doc_id)
+      XDB_EXCLUDES(latch_);
 
-  Status DeleteDocument(Transaction* txn, uint64_t doc_id);
+  Status DeleteDocument(Transaction* txn, uint64_t doc_id)
+      XDB_EXCLUDES(latch_);
 
   /// Subdocument update: replaces the value of one text node. Under MVCC
   /// this creates a new document version (copy-on-write of the containing
   /// record); otherwise it updates the record in place. Takes a node-ID
   /// subtree lock on the text node's parent.
   Status UpdateTextNode(Transaction* txn, uint64_t doc_id, Slice node_id,
-                        Slice new_text);
+                        Slice new_text) XDB_EXCLUDES(latch_);
 
   /// Subdocument insert: parses `fragment` (one root element) and grafts it
   /// as a new child of `parent_id`, immediately after `after_sibling_id`
@@ -128,34 +131,37 @@ class Collection {
   /// MVCC).
   Result<std::string> InsertSubtree(Transaction* txn, uint64_t doc_id,
                                     Slice parent_id, Slice after_sibling_id,
-                                    Slice fragment);
+                                    Slice fragment) XDB_EXCLUDES(latch_);
 
   /// Subdocument delete: removes the subtree rooted at `node_id` (any
   /// non-root node), including all records it spans. Locking collections
   /// only.
-  Status DeleteSubtree(Transaction* txn, uint64_t doc_id, Slice node_id);
+  Status DeleteSubtree(Transaction* txn, uint64_t doc_id, Slice node_id)
+      XDB_EXCLUDES(latch_);
 
   /// Creates an XPath value index and backfills it from existing documents.
-  Status CreateValueIndex(const ValueIndexDef& def);
+  Status CreateValueIndex(const ValueIndexDef& def) XDB_EXCLUDES(latch_);
 
   /// Evaluates an XPath query over the collection.
   Result<QueryResult> Query(Transaction* txn, Slice xpath,
                             const QueryOptions& options = {});
   Result<QueryResult> ExecutePath(Transaction* txn, const xpath::Path& path,
-                                  const QueryOptions& options);
+                                  const QueryOptions& options)
+      XDB_EXCLUDES(latch_);
 
-  Result<std::vector<uint64_t>> ListDocIds();
-  Result<uint64_t> DocCount();
+  Result<std::vector<uint64_t>> ListDocIds() XDB_EXCLUDES(latch_);
+  Result<uint64_t> DocCount() XDB_EXCLUDES(latch_);
 
   /// Drops versions of `doc_id` older than the given snapshot and frees the
   /// records only they referenced (MVCC garbage collection; a no-op for
   /// non-MVCC collections). Callers guarantee no active reader holds an
   /// older snapshot.
-  Status VacuumVersions(uint64_t doc_id, uint64_t oldest_live_snapshot);
+  Status VacuumVersions(uint64_t doc_id, uint64_t oldest_live_snapshot)
+      XDB_EXCLUDES(latch_);
 
   /// Serializes the subtree a handle points to (deferred fetch).
   Result<std::string> SerializeSubtree(Transaction* txn, uint64_t doc_id,
-                                       Slice node_id);
+                                       Slice node_id) XDB_EXCLUDES(latch_);
 
   // Component access for tests and benchmarks.
   RecordManager* records() { return records_.get(); }
@@ -176,32 +182,38 @@ class Collection {
   Status WriteLockDoc(Transaction* txn, uint64_t doc_id);
 
   Result<uint64_t> InsertTokensLocked(Transaction* txn, Slice tokens,
-                                      uint64_t forced_doc_id);
-  Status DeleteDocumentLocked(Transaction* txn, uint64_t doc_id);
+                                      uint64_t forced_doc_id)
+      XDB_EXCLUDES(latch_);
+  Status DeleteDocumentLocked(Transaction* txn, uint64_t doc_id)
+      XDB_REQUIRES(latch_);
   Status AddValueIndexEntries(uint64_t doc_id, Slice tokens,
-                              ValueIndex* only_index);
-  Status RemoveValueIndexEntries(Transaction* txn, uint64_t doc_id);
+                              ValueIndex* only_index) XDB_REQUIRES(latch_);
+  Status RemoveValueIndexEntries(Transaction* txn, uint64_t doc_id)
+      XDB_REQUIRES(latch_);
   Status MaintainValueIndexesForTextUpdate(uint64_t doc_id, Slice text_node_id,
                                            NodeLocator* locator,
-                                           Slice old_text, Slice new_text);
+                                           Slice old_text, Slice new_text)
+      XDB_REQUIRES(latch_);
 
   Result<std::string> InsertSubtreeLocked(Transaction* txn, uint64_t doc_id,
                                           Slice parent_id,
                                           Slice after_sibling_id,
-                                          Slice fragment_tokens);
-  Status DeleteSubtreeLocked(Transaction* txn, uint64_t doc_id, Slice node_id);
+                                          Slice fragment_tokens)
+      XDB_REQUIRES(latch_);
+  Status DeleteSubtreeLocked(Transaction* txn, uint64_t doc_id, Slice node_id)
+      XDB_REQUIRES(latch_);
   /// Re-derives all value index entries of one document from stored data.
-  Status ReindexDocument(uint64_t doc_id);
+  Status ReindexDocument(uint64_t doc_id) XDB_REQUIRES(latch_);
   /// RIDs of all records fully contained in the subtree at `node_id`,
   /// starting from proxies inside `record` (recursive across records).
   Status CollectSubtreeRecords(uint64_t doc_id, Slice node_id, Slice record,
-                               std::vector<Rid>* out);
+                               std::vector<Rid>* out) XDB_REQUIRES(latch_);
 
   Status RecheckAnchors(Transaction* txn, const xpath::Path& path,
                         size_t anchor_step,
                         const std::vector<Posting>& anchors,
                         const QueryOptions& options, NodeLocator* locator,
-                        QueryResult* result);
+                        QueryResult* result) XDB_EXCLUDES(latch_);
 
   /// kCorruption when the collection is quarantined; call at the top of every
   /// public data operation.
@@ -215,19 +227,20 @@ class Collection {
   /// them). A clean sweep leaves the collection untouched.
   Status ScrubAndRepair(CollectionScrubReport* report,
                         std::set<uint64_t>* salvaged_ids,
-                        std::set<uint64_t>* lost_ids);
+                        std::set<uint64_t>* lost_ids) XDB_EXCLUDES(latch_);
 
   /// Resets the table space and recreates every storage component (records,
   /// trees, indexes) empty, updating meta_ roots. Destroys components
   /// top-down so nothing flushes into the reset space.
-  Status RebuildStorage();
+  Status RebuildStorage() XDB_EXCLUDES(latch_);
 
-  /// ListDocIds without the repair guard or latch (callers hold latch_ or
-  /// run single-threaded during scrub).
-  Result<std::vector<uint64_t>> ListDocIdsUnlocked();
+  /// ListDocIds without the repair guard; callers hold latch_ (any mode).
+  Result<std::vector<uint64_t>> ListDocIdsUnlocked()
+      XDB_REQUIRES_SHARED(latch_);
   /// Reads one document back as a serialized token stream (the salvage
   /// representation; survives the storage rebuild).
-  Result<std::string> ReadDocTokensForScrub(uint64_t doc_id);
+  Result<std::string> ReadDocTokensForScrub(uint64_t doc_id)
+      XDB_EXCLUDES(latch_);
 
   Engine* engine_ = nullptr;
   CollectionMeta meta_;
@@ -245,8 +258,19 @@ class Collection {
     std::unique_ptr<ValueIndex> index;
   };
   std::vector<OwnedValueIndex> value_indexes_;
-  std::shared_mutex latch_;  // short-duration structure latch
-  std::mutex docid_mu_;      // doc id allocation
+  // Short-duration structure latch over the storage components above
+  // (records_, trees, node_index_, value_indexes_). Writers (document
+  // insert/delete, subtree edits, index creation, rebuild) hold it
+  // exclusively; readers (query evaluation, serialization, doc listing)
+  // hold it shared. The components themselves are not GUARDED_BY so tests
+  // and benches can poke them single-threaded; concurrent paths go through
+  // the REQUIRES-annotated *Locked helpers. Lock order: transaction-level
+  // document/node locks (LockManager) are always acquired BEFORE latch_ —
+  // never block on a doc lock while holding the latch.
+  mutable SharedMutex latch_;
+  // Doc id allocation (meta_.next_doc_id). Leaf lock: nothing else is
+  // acquired while it is held.
+  Mutex docid_mu_;
 
   // Quarantine + repair state. A collection whose table space or recovery
   // pass failed structurally still opens as a shell (so Engine::Open

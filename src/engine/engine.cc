@@ -11,7 +11,9 @@
 namespace xdb {
 
 Engine::~Engine() {
-  if (!options_.in_memory) Checkpoint();
+  // Best-effort flush on clean shutdown; a failure here is what recovery
+  // exists for.
+  if (!options_.in_memory) (void)Checkpoint();
 }
 
 Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
@@ -25,26 +27,29 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
     return Status::IOError("cannot create directory " + options.dir);
 
   // Load the catalog if one exists.
-  auto cat = LoadCatalog(options.dir + "/catalog.xdb");
-  if (cat.ok()) {
-    engine->catalog_ = cat.MoveValue();
-    XDB_RETURN_NOT_OK(engine->dict_.Load(engine->catalog_.dictionary));
-    for (const auto& [name, binary] : engine->catalog_.schemas) {
-      XDB_ASSIGN_OR_RETURN(schema::CompiledSchema cs,
-                           schema::CompiledSchema::Deserialize(binary));
-      engine->schemas_.emplace(name, std::move(cs));
+  {
+    MutexLock lock(engine->mu_);
+    auto cat = LoadCatalog(options.dir + "/catalog.xdb");
+    if (cat.ok()) {
+      engine->catalog_ = cat.MoveValue();
+      XDB_RETURN_NOT_OK(engine->dict_.Load(engine->catalog_.dictionary));
+      for (const auto& [name, binary] : engine->catalog_.schemas) {
+        XDB_ASSIGN_OR_RETURN(schema::CompiledSchema cs,
+                             schema::CompiledSchema::Deserialize(binary));
+        engine->schemas_.emplace(name, std::move(cs));
+      }
+      for (const auto& [name, meta] : engine->catalog_.collections) {
+        CollectionOptions copts;
+        copts.mvcc = meta.mvcc_enabled;
+        copts.schema = meta.schema_name;
+        XDB_ASSIGN_OR_RETURN(
+            std::unique_ptr<Collection> coll,
+            engine->OpenCollection(meta, /*create=*/false, copts));
+        engine->collections_.emplace(name, std::move(coll));
+      }
+    } else if (cat.status().code() != Status::Code::kNotFound) {
+      return cat.status();
     }
-    for (const auto& [name, meta] : engine->catalog_.collections) {
-      CollectionOptions copts;
-      copts.mvcc = meta.mvcc_enabled;
-      copts.schema = meta.schema_name;
-      XDB_ASSIGN_OR_RETURN(
-          std::unique_ptr<Collection> coll,
-          engine->OpenCollection(meta, /*create=*/false, copts));
-      engine->collections_.emplace(name, std::move(coll));
-    }
-  } else if (cat.status().code() != Status::Code::kNotFound) {
-    return cat.status();
   }
 
   if (options.enable_wal) {
@@ -53,9 +58,12 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
   }
   // Quarantine decisions can come from open (structural damage) or from the
   // replay itself hitting a corrupt page — collect them all here.
-  for (const auto& [name, coll] : engine->collections_)
-    if (coll->needs_repair())
-      engine->recovery_.quarantined_collections.push_back(name);
+  {
+    MutexLock lock(engine->mu_);
+    for (const auto& [name, coll] : engine->collections_)
+      if (coll->needs_repair())
+        engine->recovery_.quarantined_collections.push_back(name);
+  }
   if (engine->recovery_.wal.corrupt_records_skipped > 0)
     engine->recovery_.warning +=
         "wal: skipped " +
@@ -66,7 +74,10 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
         "collection '" + name + "' quarantined (run Scrub to repair); ";
   // Everything in the dictionary now is recoverable: it came from the
   // catalog or was just replayed from kDefineName records still in the WAL.
-  engine->wal_names_logged_ = engine->dict_.size();
+  {
+    MutexLock nlock(engine->wal_names_mu_);
+    engine->wal_names_logged_ = engine->dict_.size();
+  }
   return engine;
 }
 
@@ -146,7 +157,7 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
 
 Result<Collection*> Engine::CreateCollection(const std::string& name,
                                              const CollectionOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (collections_.find(name) != collections_.end())
     return Status::InvalidArgument("collection '" + name + "' exists");
   if (!options.schema.empty() &&
@@ -166,7 +177,7 @@ Result<Collection*> Engine::CreateCollection(const std::string& name,
 }
 
 Result<Collection*> Engine::GetCollection(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = collections_.find(name);
   if (it == collections_.end())
     return Status::NotFound("no collection '" + name + "'");
@@ -174,7 +185,7 @@ Result<Collection*> Engine::GetCollection(const std::string& name) {
 }
 
 Status Engine::DropCollection(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = collections_.find(name);
   if (it == collections_.end())
     return Status::NotFound("no collection '" + name + "'");
@@ -191,7 +202,7 @@ Status Engine::RegisterSchema(const std::string& name, Slice schema_text) {
   XDB_ASSIGN_OR_RETURN(schema::CompiledSchema cs, schema::CompileSchema(doc));
   std::string binary;
   cs.Serialize(&binary);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   schemas_[name] = std::move(cs);
   catalog_.schemas[name] = std::move(binary);
   return Status::OK();
@@ -199,7 +210,7 @@ Status Engine::RegisterSchema(const std::string& name, Slice schema_text) {
 
 Result<const schema::CompiledSchema*> Engine::FindSchema(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = schemas_.find(name);
   if (it == schemas_.end())
     return Status::NotFound("schema '" + name + "' is not registered");
@@ -210,7 +221,7 @@ Transaction Engine::Begin(IsolationMode mode) { return txns_->Begin(mode); }
 
 Status Engine::Checkpoint() {
   if (options_.in_memory) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   catalog_.collections.clear();
   bool any_quarantined = false;
   for (auto& [name, coll] : collections_) {
@@ -221,9 +232,18 @@ Status Engine::Checkpoint() {
       catalog_.collections.emplace(name, coll->meta_);
       continue;
     }
+    // The shared latch excludes concurrent document writers (who hold it
+    // exclusively) while the pool flushes — FlushAll requires that no page
+    // payload changes under it. Readers may proceed. The doc-id mutex
+    // covers the meta_.next_doc_id read in the copy below.
+    ReaderMutexLock latch(coll->latch_);
     XDB_RETURN_NOT_OK(coll->buffer_->FlushAll());
     XDB_RETURN_NOT_OK(coll->space_->Sync());
-    CollectionMeta meta = coll->meta_;
+    CollectionMeta meta;
+    {
+      MutexLock dlock(coll->docid_mu_);
+      meta = coll->meta_;
+    }
     if (coll->versions_ != nullptr)
       meta.last_version = coll->versions_->BeginSnapshot();
     catalog_.collections.emplace(name, std::move(meta));
@@ -239,7 +259,7 @@ Status Engine::Checkpoint() {
   // post-checkpoint history — keep it until Scrub() has repaired everything.
   if (wal_ != nullptr && !any_quarantined) {
     XDB_RETURN_NOT_OK(wal_->Reset());
-    std::lock_guard<std::mutex> nlock(wal_names_mu_);
+    MutexLock nlock(wal_names_mu_);
     wal_names_logged_ = saved_names;
   }
   return Status::OK();
@@ -247,7 +267,7 @@ Status Engine::Checkpoint() {
 
 Status Engine::LogNewNames() {
   if (wal_ == nullptr || replaying_) return Status::OK();
-  std::lock_guard<std::mutex> lock(wal_names_mu_);
+  MutexLock lock(wal_names_mu_);
   while (wal_names_logged_ < dict_.size()) {
     NameId id = static_cast<NameId>(wal_names_logged_);
     XDB_ASSIGN_OR_RETURN(std::string name, dict_.Name(id));
@@ -316,9 +336,14 @@ Status Engine::LogDeleteSubtree(const std::string& collection,
 }
 
 Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
-  replaying_ = true;
+  // Replay is single-threaded but mutates catalog state (collections_ via
+  // the visitor), so it runs under mu_. The visitor is a separate function
+  // to the analysis and cannot see the lock held here, hence the opt-out.
+  MutexLock lock(mu_);
+  replaying_.store(true, std::memory_order_release);
   Status replay_status = wal_->Replay(
-      [&](uint64_t /*lsn*/, WalRecordType type, Slice payload) -> Status {
+      [&](uint64_t /*lsn*/, WalRecordType type,
+          Slice payload) XDB_NO_THREAD_SAFETY_ANALYSIS -> Status {
     if (type == WalRecordType::kDefineName) {
       if (payload.size() < 4) return Status::Corruption("bad wal name record");
       NameId id = DecodeFixed32(payload.data());
@@ -357,9 +382,12 @@ Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
         auto res = coll->InsertTokensLocked(&txn, payload, doc_id);
         Status st = res.ok() ? Status::OK() : res.status();
         if (st.ok()) st = Commit(&txn);
-        else Abort(&txn);
-        if (doc_id >= coll->meta_.next_doc_id)
-          coll->meta_.next_doc_id = doc_id + 1;
+        else (void)Abort(&txn);
+        {
+          MutexLock dlock(coll->docid_mu_);
+          if (doc_id >= coll->meta_.next_doc_id)
+            coll->meta_.next_doc_id = doc_id + 1;
+        }
         return st;
       }
       case WalRecordType::kDeleteDocument: {
@@ -382,7 +410,7 @@ Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
           return Status::Corruption("bad wal subtree payload");
         Transaction txn = Begin(IsolationMode::kLocking);
         auto res = [&]() -> Result<std::string> {
-          std::unique_lock<std::shared_mutex> latch(coll->latch_);
+          WriterMutexLock latch(coll->latch_);
           return coll->InsertSubtreeLocked(&txn, doc_id, parent_id, after_id,
                                            payload);
         }();
@@ -392,7 +420,7 @@ Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
         // re-running is still safe because replay starts from the last
         // checkpointed image, which cannot contain post-checkpoint work.
         if (st.ok()) st = Commit(&txn);
-        else Abort(&txn);
+        else (void)Abort(&txn);
         if (st.IsNotFound()) return Status::OK();
         return st;
       }
@@ -416,7 +444,7 @@ Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
     return op_status;
   },
   info);
-  replaying_ = false;
+  replaying_.store(false, std::memory_order_release);
   return replay_status;
 }
 
@@ -424,7 +452,7 @@ Result<ScrubReport> Engine::Scrub() {
   ScrubReport report;
   std::vector<Collection*> colls;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [name, coll] : collections_) colls.push_back(coll.get());
   }
 

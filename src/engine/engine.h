@@ -5,15 +5,17 @@
 #ifndef XDB_ENGINE_ENGINE_H_
 #define XDB_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cc/lock_manager.h"
 #include "cc/transaction.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/catalog.h"
 #include "engine/collection.h"
 #include "schema/schema_compiler.h"
@@ -64,22 +66,28 @@ class Engine {
   static Result<std::unique_ptr<Engine>> Open(const EngineOptions& options);
 
   Result<Collection*> CreateCollection(const std::string& name,
-                                       const CollectionOptions& options = {});
-  Result<Collection*> GetCollection(const std::string& name);
-  Status DropCollection(const std::string& name);
+                                       const CollectionOptions& options = {})
+      XDB_EXCLUDES(mu_);
+  Result<Collection*> GetCollection(const std::string& name)
+      XDB_EXCLUDES(mu_);
+  Status DropCollection(const std::string& name) XDB_EXCLUDES(mu_);
 
   /// Registers a schema: parse + compile to the binary format + store in
   /// the catalog (Figure 4's registration path).
-  Status RegisterSchema(const std::string& name, Slice schema_text);
-  Result<const schema::CompiledSchema*> FindSchema(const std::string& name);
+  Status RegisterSchema(const std::string& name, Slice schema_text)
+      XDB_EXCLUDES(mu_);
+  Result<const schema::CompiledSchema*> FindSchema(const std::string& name)
+      XDB_EXCLUDES(mu_);
 
   /// Begins a transaction (kLocking or kSnapshot isolation).
   Transaction Begin(IsolationMode mode = IsolationMode::kLocking);
   Status Commit(Transaction* txn) { return txns_->Commit(txn); }
   Status Abort(Transaction* txn) { return txns_->Abort(txn); }
 
-  /// Flushes data, persists the catalog, truncates the WAL.
-  Status Checkpoint();
+  /// Flushes data, persists the catalog, truncates the WAL. Takes each
+  /// collection's latch shared, which excludes concurrent writers while
+  /// their pages flush.
+  Status Checkpoint() XDB_EXCLUDES(mu_);
 
   /// Sweeps every table space: verifies every page checksum and every data
   /// page's record envelope, rebuilds damaged collections from still-readable
@@ -113,11 +121,11 @@ class Engine {
   /// Replay stats land in `info` when non-null.
   using ReplayFilter = std::function<bool(const std::string&, uint64_t)>;
   Status ReplayWal(const ReplayFilter& filter = {},
-                   WalReplayInfo* info = nullptr);
+                   WalReplayInfo* info = nullptr) XDB_EXCLUDES(mu_);
   /// Appends a kDefineName record for every dictionary entry interned since
   /// the last checkpoint (or the last call). Must run before logging any
   /// record whose token payload references those names.
-  Status LogNewNames();
+  Status LogNewNames() XDB_EXCLUDES(wal_names_mu_);
   Status LogInsert(const std::string& collection, uint64_t doc_id,
                    Slice tokens);
   Status LogDelete(const std::string& collection, uint64_t doc_id);
@@ -128,21 +136,26 @@ class Engine {
   Status LogDeleteSubtree(const std::string& collection, uint64_t doc_id,
                           Slice node_id);
 
+  // options_, dict_, locks_, txns_ and wal_ are fixed after Open() and
+  // internally synchronized; mu_ guards the mutable catalog state below it.
   EngineOptions options_;
   NameDictionary dict_;
   LockManager locks_;
   std::unique_ptr<TransactionManager> txns_;
   std::unique_ptr<WalLog> wal_;
-  std::map<std::string, std::unique_ptr<Collection>> collections_;
-  std::map<std::string, schema::CompiledSchema> schemas_;
-  CatalogData catalog_;
-  std::mutex mu_;
+  Mutex mu_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_
+      XDB_GUARDED_BY(mu_);
+  std::map<std::string, schema::CompiledSchema> schemas_ XDB_GUARDED_BY(mu_);
+  CatalogData catalog_ XDB_GUARDED_BY(mu_);
   RecoveryInfo recovery_;
-  bool replaying_ = false;
+  // True while ReplayWal() re-applies logged operations (so the operations
+  // skip re-logging themselves). Read lock-free on every Log* call.
+  std::atomic<bool> replaying_{false};
   // Dictionary entries with id < wal_names_logged_ are durable (in the
   // checkpointed catalog or already in the WAL).
-  std::mutex wal_names_mu_;
-  size_t wal_names_logged_ = 0;
+  Mutex wal_names_mu_;
+  size_t wal_names_logged_ XDB_GUARDED_BY(wal_names_mu_) = 0;
 };
 
 }  // namespace xdb

@@ -51,7 +51,9 @@ BufferManager::BufferManager(TableSpace* space, size_t capacity)
   }
 }
 
-BufferManager::~BufferManager() { FlushAll(); }
+// Destructor flush is best-effort: failures surface on the next fetch
+// (checksum verify) or via explicit FlushAll calls that do check.
+BufferManager::~BufferManager() { (void)FlushAll(); }
 
 Status BufferManager::WriteBack(internal::Frame* frame) {
   if (!frame->dirty) return Status::OK();
@@ -85,7 +87,7 @@ Result<internal::Frame*> BufferManager::GetFreeFrame() {
 }
 
 Result<PageHandle> BufferManager::FixPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (quarantined_.count(id) != 0)
     return Status::Corruption("page " + std::to_string(id) +
                               " is quarantined");
@@ -126,7 +128,7 @@ Result<PageHandle> BufferManager::FixPage(PageId id) {
 
 Result<PageHandle> BufferManager::NewPage() {
   XDB_ASSIGN_OR_RETURN(PageId id, space_->AllocatePage());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   quarantined_.erase(id);  // a recycled page starts a new, clean life
   XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame());
   std::memset(f->data.get(), 0, space_->page_size());
@@ -139,7 +141,7 @@ Result<PageHandle> BufferManager::NewPage() {
 
 Status BufferManager::FreePage(PageId id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = table_.find(id);
     if (it != table_.end()) {
       internal::Frame* f = it->second;
@@ -158,7 +160,7 @@ Status BufferManager::FreePage(PageId id) {
 }
 
 void BufferManager::Unpin(internal::Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(frame->pin_count > 0);
   frame->pin_count--;
   if (frame->pin_count == 0) {
@@ -169,7 +171,7 @@ void BufferManager::Unpin(internal::Frame* frame) {
 }
 
 Status BufferManager::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [id, f] : table_) {
     (void)id;
     XDB_RETURN_NOT_OK(WriteBack(f));
@@ -178,7 +180,7 @@ Status BufferManager::FlushAll() {
 }
 
 std::vector<PageId> BufferManager::quarantined_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<PageId>(quarantined_.begin(), quarantined_.end());
 }
 

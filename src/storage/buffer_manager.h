@@ -15,12 +15,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 #include "storage/tablespace.h"
 
@@ -29,6 +30,11 @@ namespace xdb {
 class BufferManager;
 
 namespace internal {
+// Frame bookkeeping (page_id, pin_count, in_lru, lru_pos) is protected by the
+// owning BufferManager's mu_. `data` and `dirty` belong exclusively to the
+// pinning thread between FixPage and Unpin; once the frame is unpinned, mu_
+// hands them over to eviction/writeback (Unpin's lock release is the
+// synchronization point).
 struct Frame {
   PageId page_id = kInvalidPageId;
   int pin_count = 0;
@@ -87,53 +93,62 @@ class BufferManager {
 
   /// Pins page `id`, reading it from the table space on a miss. Returns
   /// kCorruption (and quarantines the page) when its checksum fails.
-  Result<PageHandle> FixPage(PageId id);
+  Result<PageHandle> FixPage(PageId id) XDB_EXCLUDES(mu_);
 
   /// Allocates a fresh page in the table space and pins it.
-  Result<PageHandle> NewPage();
+  Result<PageHandle> NewPage() XDB_EXCLUDES(mu_);
 
   /// Unpins and frees page `id` back to the table space. The page must not
   /// be pinned by anyone else.
-  Status FreePage(PageId id);
+  Status FreePage(PageId id) XDB_EXCLUDES(mu_);
 
-  /// Writes back all dirty pages.
-  Status FlushAll();
+  /// Writes back all dirty pages. Callers must exclude concurrent page
+  /// writers (the engine holds the collection latch across checkpoints).
+  Status FlushAll() XDB_EXCLUDES(mu_);
 
   /// WAL position stamped into page headers on writeback (page LSN). Unset,
   /// pages are stamped with LSN 0.
-  void set_lsn_source(std::function<uint64_t()> source) {
+  void set_lsn_source(std::function<uint64_t()> source) XDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     lsn_source_ = std::move(source);
   }
 
   /// Pages whose checksum failed; they stay unreadable until repaired.
-  std::vector<PageId> quarantined_pages() const;
+  std::vector<PageId> quarantined_pages() const XDB_EXCLUDES(mu_);
 
   TableSpace* space() { return space_; }
   /// Client-usable bytes per page (physical size minus the page header).
   uint32_t page_size() const { return space_->usable_page_size(); }
-  const BufferManagerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferManagerStats{}; }
+  /// Snapshot of the counters (copied under the lock).
+  BufferManagerStats stats() const XDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  void ResetStats() XDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    stats_ = BufferManagerStats{};
+  }
 
  private:
   friend class PageHandle;
 
-  void Unpin(internal::Frame* frame);
-  // Both called with mu_ held.
-  Result<internal::Frame*> GetFreeFrame();
-  Status WriteBack(internal::Frame* frame);
+  void Unpin(internal::Frame* frame) XDB_EXCLUDES(mu_);
+  Result<internal::Frame*> GetFreeFrame() XDB_REQUIRES(mu_);
+  Status WriteBack(internal::Frame* frame) XDB_REQUIRES(mu_);
 
   TableSpace* space_;
   size_t capacity_;
   uint32_t data_offset_;
   bool checksums_;
-  std::function<uint64_t()> lsn_source_;
-  mutable std::mutex mu_;
-  std::unordered_map<PageId, internal::Frame*> table_;
-  std::unordered_set<PageId> quarantined_;
-  std::list<internal::Frame*> lru_;  // front = coldest unpinned frame
-  std::vector<std::unique_ptr<internal::Frame>> frames_;
-  std::vector<internal::Frame*> free_frames_;
-  BufferManagerStats stats_;
+  std::function<uint64_t()> lsn_source_ XDB_GUARDED_BY(mu_);
+  mutable Mutex mu_;
+  std::unordered_map<PageId, internal::Frame*> table_ XDB_GUARDED_BY(mu_);
+  std::unordered_set<PageId> quarantined_ XDB_GUARDED_BY(mu_);
+  /// front = coldest unpinned frame
+  std::list<internal::Frame*> lru_ XDB_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<internal::Frame>> frames_;  // fixed after ctor
+  std::vector<internal::Frame*> free_frames_ XDB_GUARDED_BY(mu_);
+  BufferManagerStats stats_ XDB_GUARDED_BY(mu_);
 };
 
 }  // namespace xdb

@@ -123,7 +123,7 @@ Status RecordManager::VerifyDataPage(const char* page, uint32_t page_size) {
 }
 
 Status RecordManager::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   free_space_.clear();
   overflow_pages_ = 0;
   stats_ = RecordManagerStats{};
@@ -170,7 +170,7 @@ Result<Rid> RecordManager::InsertCell(uint8_t flag, Slice payload,
   // Worst case we also need a new slot entry.
   const uint32_t need = cell_len + kSlotSize;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PageId target = kInvalidPageId;
   for (auto& [id, free] : free_space_) {
     if (free >= need) {
@@ -236,7 +236,10 @@ Status RecordManager::WriteOverflowChain(Slice data, PageId* first_page) {
     EncodeFixed32(p + 4, kInvalidPageId);
     std::memcpy(p + kOverflowHeader, data.data() + pos, n);
     pos += n;
-    overflow_pages_++;
+    {
+      MutexLock lock(mu_);
+      overflow_pages_++;
+    }
     if (prev == kInvalidPageId) {
       first = page.page_id();
     } else {
@@ -261,7 +264,10 @@ Status RecordManager::FreeOverflowChain(PageId first_page) {
       next = DecodeFixed32(page.data() + 4);
     }
     XDB_RETURN_NOT_OK(bm_->FreePage(id));
-    overflow_pages_--;
+    {
+      MutexLock lock(mu_);
+      overflow_pages_--;
+    }
     id = next;
   }
   return Status::OK();
@@ -288,8 +294,11 @@ Status RecordManager::ReadOverflowChain(PageId first_page, uint32_t total_len,
 Result<Rid> RecordManager::Insert(Slice record) {
   const uint32_t page_size = bm_->page_size();
   const uint32_t max_inline = page_size - kPageHeader - kSlotSize - 1;
-  stats_.inserts++;
-  stats_.live_records++;
+  {
+    MutexLock lock(mu_);
+    stats_.inserts++;
+    stats_.live_records++;
+  }
   if (record.size() + 1 < kMinCell) {
     // Pad so the cell can later be rewritten as a forward/overflow stub.
     std::string padded;
@@ -307,7 +316,10 @@ Result<Rid> RecordManager::Insert(Slice record) {
   std::string cell;
   PutFixed32(&cell, static_cast<uint32_t>(record.size()));
   PutFixed32(&cell, first);
-  stats_.overflow_records++;
+  {
+    MutexLock lock(mu_);
+    stats_.overflow_records++;
+  }
   return InsertCell(kOverflow, cell, Slice());
 }
 
@@ -361,14 +373,17 @@ Status RecordManager::FreeCellAt(PageHandle& page, uint16_t slot) {
   ReadSlot(p, slot, &off, &len);
   if (off == 0) return Status::NotFound("deleted record");
   WriteSlot(p, slot, 0, 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   free_space_[page.page_id()] = TotalFree(p, bm_->page_size());
   return Status::OK();
 }
 
 Status RecordManager::Delete(Rid rid) {
-  stats_.deletes++;
-  if (stats_.live_records > 0) stats_.live_records--;
+  {
+    MutexLock lock(mu_);
+    stats_.deletes++;
+    if (stats_.live_records > 0) stats_.live_records--;
+  }
   XDB_ASSIGN_OR_RETURN(PageHandle page, bm_->FixPage(rid.page_id));
   char* p = page.MutableData();
   if (static_cast<uint8_t>(p[0]) != kDataPage)
@@ -390,7 +405,10 @@ Status RecordManager::Delete(Rid rid) {
 }
 
 Status RecordManager::Update(Rid rid, Slice record) {
-  stats_.updates++;
+  {
+    MutexLock lock(mu_);
+    stats_.updates++;
+  }
   const uint32_t page_size = bm_->page_size();
   const uint32_t max_inline = page_size - kPageHeader - kSlotSize - 1;
 
@@ -433,7 +451,7 @@ Status RecordManager::Update(Rid rid, Slice record) {
     return true;
   };
   auto sync_free_space = [&] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     free_space_[rid.page_id] = TotalFree(p, page_size);
   };
 
@@ -445,7 +463,10 @@ Status RecordManager::Update(Rid rid, Slice record) {
     std::string cell;
     PutFixed32(&cell, static_cast<uint32_t>(record.size()));
     PutFixed32(&cell, first);
-    stats_.overflow_records++;
+    {
+      MutexLock lock(mu_);
+      stats_.overflow_records++;
+    }
     if (!place_home(kOverflow, cell))
       return Status::Corruption("no room for overflow stub after free");
     sync_free_space();
@@ -530,6 +551,7 @@ Status RecordManager::ScanAll(
 }
 
 uint64_t RecordManager::StorageBytes() const {
+  MutexLock lock(mu_);
   return (stats_.data_pages + overflow_pages_) * bm_->page_size();
 }
 

@@ -11,11 +11,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/buffer_manager.h"
 #include "storage/page.h"
 
@@ -55,33 +56,37 @@ class RecordManager {
   /// their checksum are counted (stats().corrupt_pages) and skipped — the
   /// rest of the space stays readable; touching a quarantined page later
   /// surfaces kCorruption.
-  Status Recover();
+  Status Recover() XDB_EXCLUDES(mu_);
 
   /// Structural check of one data page's envelope (slot directory and cell
   /// extents within bounds, valid cell flags). `page` is the client payload,
   /// `page_size` the usable size. Used by the scrub sweep.
   static Status VerifyDataPage(const char* page, uint32_t page_size);
 
-  Result<Rid> Insert(Slice record);
+  Result<Rid> Insert(Slice record) XDB_EXCLUDES(mu_);
 
   /// Fetches the record at `rid` (following any forwarding pointer).
   Status Get(Rid rid, std::string* out);
 
   /// Replaces the record at `rid`; the RID remains valid afterwards.
-  Status Update(Rid rid, Slice record);
+  Status Update(Rid rid, Slice record) XDB_EXCLUDES(mu_);
 
-  Status Delete(Rid rid);
+  Status Delete(Rid rid) XDB_EXCLUDES(mu_);
 
   /// Visits every record as (rid, bytes). Relocated records are reported
   /// under their home RID. Iteration order is physical (page, slot).
   Status ScanAll(
       const std::function<Status(Rid, Slice)>& visitor);
 
-  const RecordManagerStats& stats() const { return stats_; }
+  /// Snapshot of the counters (copied under the lock).
+  RecordManagerStats stats() const XDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
 
   /// Bytes of storage held by data and overflow pages (for the storage-size
   /// experiments): page_count * page_size for pages this manager touched.
-  uint64_t StorageBytes() const;
+  uint64_t StorageBytes() const XDB_EXCLUDES(mu_);
 
  private:
   // Cell flags.
@@ -99,19 +104,20 @@ class RecordManager {
     PageHandle handle;
   };
 
-  Result<Rid> InsertCell(uint8_t flag, Slice payload, Slice home_rid_prefix);
-  Status WriteOverflowChain(Slice data, PageId* first_page);
-  Status FreeOverflowChain(PageId first_page);
+  Result<Rid> InsertCell(uint8_t flag, Slice payload, Slice home_rid_prefix)
+      XDB_EXCLUDES(mu_);
+  Status WriteOverflowChain(Slice data, PageId* first_page) XDB_EXCLUDES(mu_);
+  Status FreeOverflowChain(PageId first_page) XDB_EXCLUDES(mu_);
   Status ReadOverflowChain(PageId first_page, uint32_t total_len,
                            std::string* out);
-  Status FreeCellAt(PageHandle& page, uint16_t slot);
+  Status FreeCellAt(PageHandle& page, uint16_t slot) XDB_EXCLUDES(mu_);
 
   BufferManager* bm_;
-  std::mutex mu_;
+  mutable Mutex mu_;
   // page id -> free bytes (approximate; refreshed on modification).
-  std::map<PageId, uint32_t> free_space_;
-  RecordManagerStats stats_;
-  uint64_t overflow_pages_ = 0;
+  std::map<PageId, uint32_t> free_space_ XDB_GUARDED_BY(mu_);
+  RecordManagerStats stats_ XDB_GUARDED_BY(mu_);
+  uint64_t overflow_pages_ XDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace xdb

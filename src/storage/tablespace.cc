@@ -31,7 +31,10 @@ bool TransientErrno(int err) { return err == EINTR || err == EAGAIN; }
 TableSpace::~TableSpace() {
   if (fd_ >= 0) {
     // Persist allocation state; errors on close are not recoverable here.
-    WriteHeader();
+    {
+      MutexLock lock(mu_);
+      (void)WriteHeader();
+    }
     ::close(fd_);
   }
 }
@@ -43,7 +46,8 @@ Result<std::unique_ptr<TableSpace>> TableSpace::Create(
   ts->in_memory_ = options.in_memory;
   ts->format_version_ =
       options.page_checksums ? kTableSpaceFormatV2 : kTableSpaceFormatV1;
-  ts->page_count_ = 1;  // header page
+  ts->page_count_.store(1, std::memory_order_release);  // header page
+  MutexLock lock(ts->mu_);
   if (options.in_memory) {
     ts->mem_pages_.push_back(std::make_unique<char[]>(options.page_size));
     return ts;
@@ -70,6 +74,7 @@ Result<std::unique_ptr<TableSpace>> TableSpace::Open(
 }
 
 Status TableSpace::ReadHeader() {
+  MutexLock lock(mu_);
   char buf[64];
   ssize_t n = ::pread(fd_, buf, sizeof(buf), 0);
   if (n < static_cast<ssize_t>(sizeof(buf)))
@@ -77,7 +82,7 @@ Status TableSpace::ReadHeader() {
   if (DecodeFixed32(buf) != kMagic)
     return Status::Corruption("bad table space magic");
   page_size_ = DecodeFixed32(buf + 4);
-  page_count_ = DecodeFixed32(buf + 8);
+  page_count_.store(DecodeFixed32(buf + 8), std::memory_order_release);
   free_list_head_ = DecodeFixed32(buf + 12);
   uint32_t version = DecodeFixed32(buf + 16);
   if (version == 0) {
@@ -92,7 +97,8 @@ Status TableSpace::ReadHeader() {
     return Status::Corruption("unsupported table space format " +
                               std::to_string(version));
   }
-  if (page_size_ < 512 || page_size_ > 1 << 20 || page_count_ == 0)
+  if (page_size_ < 512 || page_size_ > 1 << 20 ||
+      page_count_.load(std::memory_order_relaxed) == 0)
     return Status::Corruption("implausible table space header");
   // The header's page count is only rewritten at Sync(); a crash after pages
   // were flushed but before the header leaves it stale. The file length is
@@ -102,7 +108,8 @@ Status TableSpace::ReadHeader() {
   off_t end = ::lseek(fd_, 0, SEEK_END);
   if (end < 0) return Status::IOError("lseek failed");
   uint32_t file_pages = static_cast<uint32_t>(end / page_size_);
-  if (file_pages > page_count_) page_count_ = file_pages;
+  if (file_pages > page_count_.load(std::memory_order_relaxed))
+    page_count_.store(file_pages, std::memory_order_release);
   return Status::OK();
 }
 
@@ -110,7 +117,7 @@ Status TableSpace::WriteHeader() {
   std::string buf(page_size_, '\0');
   EncodeFixed32(buf.data(), kMagic);
   EncodeFixed32(buf.data() + 4, page_size_);
-  EncodeFixed32(buf.data() + 8, page_count_);
+  EncodeFixed32(buf.data() + 8, page_count_.load(std::memory_order_acquire));
   EncodeFixed32(buf.data() + 12, free_list_head_);
   EncodeFixed32(buf.data() + 16, format_version_);
   EncodeFixed32(buf.data() + 20, Crc32(buf.data(), 20));
@@ -121,7 +128,7 @@ Status TableSpace::WriteHeader() {
 }
 
 Result<PageId> TableSpace::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint32_t link_off = FreeLinkOffset(format_version_);
   if (free_list_head_ != kInvalidPageId) {
     PageId id = free_list_head_;
@@ -146,7 +153,7 @@ Result<PageId> TableSpace::AllocatePage() {
     }
     return id;
   }
-  PageId id = page_count_++;
+  PageId id = page_count_.fetch_add(1, std::memory_order_acq_rel);
   if (in_memory_) {
     mem_pages_.push_back(std::make_unique<char[]>(page_size_));
   } else {
@@ -160,8 +167,8 @@ Result<PageId> TableSpace::AllocatePage() {
 }
 
 Status TableSpace::FreePage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id == 0 || id >= page_count_)
+  MutexLock lock(mu_);
+  if (id == 0 || id >= page_count_.load(std::memory_order_acquire))
     return Status::InvalidArgument("bad page id to free");
   if (format_version_ >= kTableSpaceFormatV2) {
     // Write a full stamped free page: checksum valid, free flag set, payload
@@ -195,7 +202,7 @@ Status TableSpace::FreePage(PageId id) {
 
 Status TableSpace::ReadPageImpl(PageId id, char* buf) {
   if (in_memory_) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::memcpy(buf, mem_pages_[id].get(), page_size_);
     if (auto* fi = testing::FaultInjector::active())
       return fi->OnRead(testing::FaultPoint::kTableSpaceRead, buf, page_size_);
@@ -213,7 +220,8 @@ Status TableSpace::ReadPageImpl(PageId id, char* buf) {
 }
 
 Status TableSpace::ReadPage(PageId id, char* buf) {
-  if (id >= page_count_) return Status::InvalidArgument("page out of range");
+  if (id >= page_count_.load(std::memory_order_acquire))
+    return Status::InvalidArgument("page out of range");
   io_stats_.reads.fetch_add(1, std::memory_order_relaxed);
   return RetryTransient(retry_policy_, clock_, &io_stats_, "page read",
                         [&] { return ReadPageImpl(id, buf); });
@@ -221,7 +229,7 @@ Status TableSpace::ReadPage(PageId id, char* buf) {
 
 Status TableSpace::WritePageImpl(PageId id, const char* buf) {
   if (in_memory_) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (auto* fi = testing::FaultInjector::active()) {
       testing::FaultInjector::WriteSink sink;
       sink.mem = mem_pages_[id].get();
@@ -253,7 +261,8 @@ Status TableSpace::WritePageImpl(PageId id, const char* buf) {
 }
 
 Status TableSpace::WritePage(PageId id, const char* buf) {
-  if (id >= page_count_) return Status::InvalidArgument("page out of range");
+  if (id >= page_count_.load(std::memory_order_acquire))
+    return Status::InvalidArgument("page out of range");
   io_stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return RetryTransient(retry_policy_, clock_, &io_stats_, "page write",
                         [&] { return WritePageImpl(id, buf); });
@@ -265,7 +274,12 @@ Status TableSpace::Sync() {
   return RetryTransient(retry_policy_, clock_, &io_stats_, "space sync", [&] {
     if (auto* fi = testing::FaultInjector::active())
       XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kTableSpaceSync));
-    XDB_RETURN_NOT_OK(WriteHeader());
+    {
+      // The header snapshots the free list; take mu_ so a concurrent
+      // AllocatePage/FreePage can't leave it half-updated on disk.
+      MutexLock lock(mu_);
+      XDB_RETURN_NOT_OK(WriteHeader());
+    }
     if (::fsync(fd_) != 0) {
       if (TransientErrno(errno))
         return Status::TransientIOError("fsync interrupted");
@@ -276,8 +290,8 @@ Status TableSpace::Sync() {
 }
 
 Status TableSpace::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  page_count_ = 1;
+  MutexLock lock(mu_);
+  page_count_.store(1, std::memory_order_release);
   free_list_head_ = kInvalidPageId;
   if (in_memory_) {
     mem_pages_.clear();

@@ -13,13 +13,15 @@
 #ifndef XDB_STORAGE_TABLESPACE_H_
 #define XDB_STORAGE_TABLESPACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/io_retry.h"
 #include "storage/page.h"
 
@@ -54,7 +56,9 @@ class TableSpace {
 
   uint32_t page_size() const { return page_size_; }
   /// Number of pages including the header page.
-  PageId page_count() const { return page_count_; }
+  PageId page_count() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
 
   /// On-disk format: kTableSpaceFormatV1 (no page headers) or V2.
   uint32_t format_version() const { return format_version_; }
@@ -66,9 +70,9 @@ class TableSpace {
   uint32_t usable_page_size() const { return page_size_ - data_offset(); }
 
   /// Allocates a page (zeroed on return via the free list or extension).
-  Result<PageId> AllocatePage();
+  Result<PageId> AllocatePage() XDB_EXCLUDES(mu_);
   /// Returns a page to the free list.
-  Status FreePage(PageId id);
+  Status FreePage(PageId id) XDB_EXCLUDES(mu_);
 
   /// Reads page `id` into `buf` (page_size bytes).
   Status ReadPage(PageId id, char* buf);
@@ -76,11 +80,11 @@ class TableSpace {
   Status WritePage(PageId id, const char* buf);
 
   /// Flushes OS buffers to stable storage (no-op for in-memory spaces).
-  Status Sync();
+  Status Sync() XDB_EXCLUDES(mu_);
 
   /// Truncates the space back to an empty header-only state (scrub/repair
   /// rebuilds into a Reset space). Keeps page size and format.
-  Status Reset();
+  Status Reset() XDB_EXCLUDES(mu_);
 
   void set_retry_policy(const RetryPolicy& p) { retry_policy_ = p; }
   void set_io_clock(IoClock* clock) { clock_ = clock; }
@@ -90,19 +94,22 @@ class TableSpace {
  private:
   TableSpace() = default;
 
-  Status ReadHeader();
-  Status WriteHeader();
-  Status ReadPageImpl(PageId id, char* buf);
-  Status WritePageImpl(PageId id, const char* buf);
+  Status ReadHeader() XDB_EXCLUDES(mu_);
+  /// Serializes allocation state (page_count_, free_list_head_) to page 0;
+  /// callers hold mu_ so the header never captures a half-updated free list.
+  Status WriteHeader() XDB_REQUIRES(mu_);
+  Status ReadPageImpl(PageId id, char* buf) XDB_EXCLUDES(mu_);
+  Status WritePageImpl(PageId id, const char* buf) XDB_EXCLUDES(mu_);
 
-  std::mutex mu_;
+  mutable Mutex mu_;
   int fd_ = -1;
   bool in_memory_ = false;
   uint32_t page_size_ = kDefaultPageSize;
   uint32_t format_version_ = kTableSpaceFormatV2;
-  PageId page_count_ = 0;
-  PageId free_list_head_ = kInvalidPageId;
-  std::vector<std::unique_ptr<char[]>> mem_pages_;
+  /// Written under mu_; read lock-free by page-bounds checks and accessors.
+  std::atomic<PageId> page_count_{0};
+  PageId free_list_head_ XDB_GUARDED_BY(mu_) = kInvalidPageId;
+  std::vector<std::unique_ptr<char[]>> mem_pages_ XDB_GUARDED_BY(mu_);
   RetryPolicy retry_policy_;
   IoClock* clock_ = nullptr;
   IoStats io_stats_;

@@ -42,7 +42,7 @@ Result<uint64_t> WalLog::Append(WalRecordType type, Slice payload) {
   PutFixed32(&rec, Crc32(payload.data(), payload.size()));
   rec.append(payload.data(), payload.size());
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t lsn = size_.load(std::memory_order_relaxed);
   io_stats_.writes.fetch_add(1, std::memory_order_relaxed);
   Status s = RetryTransient(
@@ -87,7 +87,7 @@ Status WalLog::Sync() {
 Status WalLog::Replay(
     const std::function<Status(uint64_t, WalRecordType, Slice)>& visit,
     WalReplayInfo* info) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   WalReplayInfo local;
   if (info == nullptr) info = &local;
   *info = WalReplayInfo{};
@@ -140,7 +140,7 @@ Status WalLog::Replay(
 }
 
 Status WalLog::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (::ftruncate(fd_, 0) != 0) return Status::IOError("ftruncate failed");
   size_.store(0, std::memory_order_relaxed);
   return Status::OK();

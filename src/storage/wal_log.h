@@ -11,12 +11,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/coding.h"  // Crc32, shared with page checksums
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/io_retry.h"
 
 namespace xdb {
@@ -59,7 +60,8 @@ class WalLog {
 
   /// Appends a record; returns its LSN (byte offset). Not yet durable until
   /// Sync().
-  Result<uint64_t> Append(WalRecordType type, Slice payload);
+  Result<uint64_t> Append(WalRecordType type, Slice payload)
+      XDB_EXCLUDES(mu_);
 
   /// Forces all appended records to stable storage.
   Status Sync();
@@ -70,10 +72,10 @@ class WalLog {
   /// skipped and counted in `info` (which may be null) so callers can warn.
   Status Replay(
       const std::function<Status(uint64_t lsn, WalRecordType, Slice)>& visit,
-      WalReplayInfo* info = nullptr);
+      WalReplayInfo* info = nullptr) XDB_EXCLUDES(mu_);
 
   /// Truncates the log (after a checkpoint has made its contents redundant).
-  Status Reset();
+  Status Reset() XDB_EXCLUDES(mu_);
 
   uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 
@@ -84,7 +86,10 @@ class WalLog {
  private:
   WalLog() = default;
 
-  std::mutex mu_;
+  /// Serializes appends (LSN assignment + pwrite) and replay/reset against
+  /// each other. fd_/path_ are fixed after Open; size_ is atomic so size()
+  /// and Sync() stay lock-free.
+  Mutex mu_;
   int fd_ = -1;
   std::string path_;
   std::atomic<uint64_t> size_{0};

@@ -51,22 +51,22 @@ bool SinkWrite(const FaultInjector::WriteSink& sink, const char* buf,
 
 void FaultInjector::Arm(FaultPoint point, uint64_t nth, FaultKind kind,
                         uint32_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.push_back(Armed{point, nth, kind, bytes, false});
 }
 
 bool FaultInjector::fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return any_fired_;
 }
 
 uint64_t FaultInjector::op_count(FaultPoint point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counts_[static_cast<int>(point)];
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.clear();
   std::memset(counts_, 0, sizeof(counts_));
   crashed_ = false;
@@ -88,7 +88,7 @@ FaultInjector::Armed* FaultInjector::Count(FaultPoint point) {
 
 Status FaultInjector::OnWrite(FaultPoint point, const char* buf, size_t len,
                               const WriteSink& sink, bool* handled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (crashed_) {
     *handled = true;
     return Injected(point, "post-crash write failure");
@@ -121,7 +121,7 @@ Status FaultInjector::OnWrite(FaultPoint point, const char* buf, size_t len,
 }
 
 Status FaultInjector::OnRead(FaultPoint point, char* buf, size_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Armed* a = Count(point);
   if (a == nullptr) return Status::OK();
   switch (a->kind) {
@@ -141,7 +141,7 @@ Status FaultInjector::OnRead(FaultPoint point, char* buf, size_t len) {
 }
 
 Status FaultInjector::OnOp(FaultPoint point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (crashed_) return Injected(point, "post-crash failure");
   Armed* a = Count(point);
   if (a == nullptr) return Status::OK();

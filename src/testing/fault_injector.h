@@ -17,10 +17,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace xdb {
 namespace testing {
@@ -67,19 +68,23 @@ class FaultInjector {
   /// Arms a one-shot fault at the `nth` (1-based) operation on `point`.
   /// `bytes` parameterizes kTornWrite / kShortRead (prefix length) and
   /// kCorruptBit (which byte gets flipped, modulo the buffer length).
-  void Arm(FaultPoint point, uint64_t nth, FaultKind kind, uint32_t bytes = 0);
+  void Arm(FaultPoint point, uint64_t nth, FaultKind kind, uint32_t bytes = 0)
+      XDB_EXCLUDES(mu_);
 
   /// After any armed fault fires, every subsequent write-side operation
   /// (writes, appends, syncs, writebacks) fails too: the process is "dead"
   /// and nothing more reaches disk.
-  void set_crash_after_fire(bool v) { crash_after_fire_ = v; }
+  void set_crash_after_fire(bool v) XDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    crash_after_fire_ = v;
+  }
 
   /// True once at least one armed fault has fired.
-  bool fired() const;
+  bool fired() const XDB_EXCLUDES(mu_);
   /// Number of operations observed at `point` since construction/Reset.
-  uint64_t op_count(FaultPoint point) const;
+  uint64_t op_count(FaultPoint point) const XDB_EXCLUDES(mu_);
   /// Clears armed faults, counters and crash mode.
-  void Reset();
+  void Reset() XDB_EXCLUDES(mu_);
 
   // ---- storage-side hooks ----
 
@@ -95,14 +100,14 @@ class FaultInjector {
   /// caller must skip its own write and return this status as-is (kCorruptBit
   /// lands flipped bytes and returns OK).
   Status OnWrite(FaultPoint point, const char* buf, size_t len,
-                 const WriteSink& sink, bool* handled);
+                 const WriteSink& sink, bool* handled) XDB_EXCLUDES(mu_);
 
   /// Called after a physical read delivered `len` bytes into `buf`; may
   /// corrupt the buffer or turn the read into a failure.
-  Status OnRead(FaultPoint point, char* buf, size_t len);
+  Status OnRead(FaultPoint point, char* buf, size_t len) XDB_EXCLUDES(mu_);
 
   /// Called before an operation with no data payload (syncs, writebacks).
-  Status OnOp(FaultPoint point);
+  Status OnOp(FaultPoint point) XDB_EXCLUDES(mu_);
 
   /// The installed injector, or nullptr (the common case).
   static FaultInjector* active() {
@@ -121,15 +126,14 @@ class FaultInjector {
   };
 
   /// Counts the op and returns the armed fault firing on it, if any.
-  /// Called with mu_ held.
-  Armed* Count(FaultPoint point);
+  Armed* Count(FaultPoint point) XDB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  uint64_t counts_[kNumFaultPoints] = {};
-  std::vector<Armed> armed_;
-  bool crash_after_fire_ = false;
-  bool crashed_ = false;
-  bool any_fired_ = false;
+  mutable Mutex mu_;
+  uint64_t counts_[kNumFaultPoints] XDB_GUARDED_BY(mu_) = {};
+  std::vector<Armed> armed_ XDB_GUARDED_BY(mu_);
+  bool crash_after_fire_ XDB_GUARDED_BY(mu_) = false;
+  bool crashed_ XDB_GUARDED_BY(mu_) = false;
+  bool any_fired_ XDB_GUARDED_BY(mu_) = false;
 
   static std::atomic<FaultInjector*> active_;
 };

@@ -5,7 +5,7 @@
 namespace xdb {
 
 NameId NameDictionary::Intern(Slice name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ids_.find(name.ToString());
   if (it != ids_.end()) return it->second;
   NameId id = static_cast<NameId>(names_.size());
@@ -15,30 +15,30 @@ NameId NameDictionary::Intern(Slice name) {
 }
 
 NameId NameDictionary::Lookup(Slice name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ids_.find(name.ToString());
   return it == ids_.end() ? kInvalidNameId : it->second;
 }
 
 Result<std::string> NameDictionary::Name(NameId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= names_.size()) return Status::Corruption("unknown name id");
   return names_[id];
 }
 
 size_t NameDictionary::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return names_.size();
 }
 
 void NameDictionary::Save(std::string* dst) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PutVarint64(dst, names_.size());
   for (const auto& n : names_) PutLengthPrefixed(dst, n);
 }
 
 Status NameDictionary::Load(Slice data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t count;
   size_t n = GetVarint64(data.data(), data.data() + data.size(), &count);
   if (n == 0) return Status::Corruption("bad name dictionary header");

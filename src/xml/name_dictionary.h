@@ -9,13 +9,14 @@
 #define XDB_XML_NAME_DICTIONARY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace xdb {
 
@@ -28,26 +29,26 @@ class NameDictionary {
   NameDictionary() { Intern(""); }
 
   /// Returns the id for `name`, creating it if new. Thread-safe.
-  NameId Intern(Slice name);
+  NameId Intern(Slice name) XDB_EXCLUDES(mu_);
 
   /// Returns the id for `name` without creating it; kInvalidNameId if absent.
   static constexpr NameId kInvalidNameId = 0xFFFFFFFFu;
-  NameId Lookup(Slice name) const;
+  NameId Lookup(Slice name) const XDB_EXCLUDES(mu_);
 
   /// Returns the string for an id. Ids come only from Intern, so an unknown
   /// id indicates corruption.
-  Result<std::string> Name(NameId id) const;
+  Result<std::string> Name(NameId id) const XDB_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const XDB_EXCLUDES(mu_);
 
   /// Serialization for the catalog.
-  void Save(std::string* dst) const;
-  Status Load(Slice data);
+  void Save(std::string* dst) const XDB_EXCLUDES(mu_);
+  Status Load(Slice data) XDB_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, NameId> ids_;
-  std::vector<std::string> names_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, NameId> ids_ XDB_GUARDED_BY(mu_);
+  std::vector<std::string> names_ XDB_GUARDED_BY(mu_);
 };
 
 }  // namespace xdb

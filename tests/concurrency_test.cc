@@ -1,0 +1,506 @@
+// Multithreaded stress harness for the concurrent core: engine-level
+// insert/query/delete with a checkpointer, buffer-manager fetch/evict/
+// writeback contention, lock-manager grant/release and deadlock storms,
+// parallel WAL appends, concurrent name-dictionary interning, and
+// fault-injector counter integrity. Runs under TSan in CI; thread and
+// iteration counts are kept small enough for instrumented single-core runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "engine/engine.h"
+#include "storage/buffer_manager.h"
+#include "storage/tablespace.h"
+#include "storage/wal_log.h"
+#include "testing/fault_injector.h"
+#include "xml/name_dictionary.h"
+
+namespace xdb {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("xdb_conc_") + name + "_" +
+           std::to_string(::getpid())))
+      .string();
+}
+
+/// Removes a file or directory tree on scope exit.
+class PathGuard {
+ public:
+  explicit PathGuard(std::string path) : path_(std::move(path)) {
+    std::filesystem::remove_all(path_);
+  }
+  ~PathGuard() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A status a blocking/contended operation may legitimately return: success,
+/// a lock timeout or deadlock victim, or racing with a concurrent delete.
+bool AcceptableContention(const Status& st) {
+  return st.ok() || st.IsDeadlock() || st.IsBusy() || st.IsNotFound();
+}
+
+// ---------------------------------------------------------------------------
+// Engine: concurrent document insert / query / delete with a checkpointer.
+// ---------------------------------------------------------------------------
+
+TEST(EngineConcurrencyTest, InsertQueryDeleteWithCheckpointer) {
+  PathGuard dir(TempPath("engine"));
+  EngineOptions opts;
+  opts.dir = dir.path();
+  auto engine = Engine::Open(opts).MoveValue();
+  Collection* coll = engine->CreateCollection("docs").value();
+
+  constexpr int kWriters = 2;
+  constexpr int kInsertsPerWriter = 20;
+  constexpr int kDeletePairs = 10;
+
+  std::vector<std::vector<uint64_t>> inserted(kWriters);
+  std::atomic<bool> stop{false};
+  std::atomic<int> query_failures{0};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; w++) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kInsertsPerWriter; i++) {
+        std::string xml = "<note><to>w" + std::to_string(w) + "-" +
+                          std::to_string(i) + "</to></note>";
+        auto res = coll->InsertDocument(nullptr, xml);
+        ASSERT_TRUE(res.ok()) << res.status().ToString();
+        inserted[w].push_back(res.value());
+      }
+    });
+  }
+
+  // Inserts documents and immediately deletes them again — by the end they
+  // contribute nothing, but while running they contend with every reader.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kDeletePairs; i++) {
+      auto res = coll->InsertDocument(nullptr, "<note><to>gone</to></note>");
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      Status st = coll->DeleteDocument(nullptr, res.value());
+      ASSERT_TRUE(AcceptableContention(st)) << st.ToString();
+    }
+  });
+
+  // Reader: full scans and point reads racing the writers.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto qres = coll->Query(nullptr, "/note/to");
+      if (!qres.ok() && !AcceptableContention(qres.status()))
+        query_failures.fetch_add(1);
+      auto ids = coll->ListDocIds();
+      if (ids.ok() && !ids.value().empty()) {
+        auto text = coll->GetDocumentText(nullptr, ids.value().front());
+        if (!text.ok() && !AcceptableContention(text.status()))
+          query_failures.fetch_add(1);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Checkpointer: flushes pages + truncates the WAL while everyone works.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Status st = engine->Checkpoint();
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  for (int w = 0; w < kWriters + 1; w++) threads[w].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = kWriters + 1; t < threads.size(); t++) threads[t].join();
+
+  EXPECT_EQ(query_failures.load(), 0);
+
+  // Every writer-inserted document is present exactly once, ids distinct.
+  std::set<uint64_t> all_ids;
+  for (const auto& ids : inserted)
+    for (uint64_t id : ids) EXPECT_TRUE(all_ids.insert(id).second);
+  EXPECT_EQ(all_ids.size(), size_t{kWriters * kInsertsPerWriter});
+  EXPECT_EQ(coll->DocCount().value(), all_ids.size());
+  for (uint64_t id : all_ids)
+    EXPECT_TRUE(coll->GetDocumentText(nullptr, id).ok());
+
+  // Survives a clean shutdown + recovery.
+  engine.reset();
+  engine = Engine::Open(opts).MoveValue();
+  coll = engine->GetCollection("docs").value();
+  EXPECT_EQ(coll->DocCount().value(), all_ids.size());
+  for (uint64_t id : all_ids)
+    EXPECT_TRUE(coll->GetDocumentText(nullptr, id).ok());
+}
+
+TEST(EngineConcurrencyTest, ConcurrentInsertsGetDistinctDocIds) {
+  EngineOptions opts;
+  opts.in_memory = true;
+  opts.enable_wal = false;
+  auto engine = Engine::Open(opts).MoveValue();
+  Collection* coll = engine->CreateCollection("docs").value();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 15;
+  std::vector<std::vector<uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        auto res = coll->InsertDocument(nullptr, "<d><v>x</v></d>");
+        ASSERT_TRUE(res.ok()) << res.status().ToString();
+        ids[t].push_back(res.value());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<uint64_t> distinct;
+  for (const auto& v : ids)
+    for (uint64_t id : v) EXPECT_TRUE(distinct.insert(id).second);
+  EXPECT_EQ(distinct.size(), size_t{kThreads * kPerThread});
+  EXPECT_EQ(coll->DocCount().value(), distinct.size());
+}
+
+// ---------------------------------------------------------------------------
+// BufferManager: fetch / evict / writeback contention on a tiny pool.
+// ---------------------------------------------------------------------------
+
+TEST(BufferManagerConcurrencyTest, FetchEvictWritebackContention) {
+  PathGuard file(TempPath("bm"));
+  auto space = TableSpace::Create(file.path()).MoveValue();
+  // Pool far smaller than the working set: every thread's loop evicts the
+  // others' pages constantly, hammering the LRU/writeback path.
+  BufferManager bm(space.get(), /*capacity=*/8);
+
+  constexpr int kThreads = 4;
+  constexpr int kPagesPerThread = 12;
+  constexpr int kRounds = 40;
+
+  // Each thread owns a disjoint set of pages (pins don't exclude other
+  // pinners — payload exclusivity is the caller's job, as in the engine
+  // where the collection latch serializes writers).
+  std::vector<std::vector<PageId>> pages(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    for (int p = 0; p < kPagesPerThread; p++) {
+      auto h = bm.NewPage();
+      ASSERT_TRUE(h.ok()) << h.status().ToString();
+      pages[t].push_back(h.value().page_id());
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; round++) {
+        for (int p = 0; p < kPagesPerThread; p++) {
+          auto h = bm.FixPage(pages[t][p]);
+          ASSERT_TRUE(h.ok()) << h.status().ToString();
+          char* data = h.value().MutableData();
+          // Thread-and-page tag, rewritten every round.
+          data[0] = static_cast<char>('A' + t);
+          data[1] = static_cast<char>(p);
+          data[2] = static_cast<char>(round & 0x7F);
+        }
+      }
+    });
+  }
+  // Stats reader races the workers (stats() copies under the lock).
+  std::atomic<bool> stop{false};
+  std::thread stats_reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      BufferManagerStats s = bm.stats();
+      // Every eviction is driven by a fetch (hit/miss) or by one of the
+      // kThreads * kPagesPerThread NewPage allocations, which claim a frame
+      // without counting as a fetch.
+      EXPECT_GE(s.hits + s.misses + kThreads * kPagesPerThread, s.evictions);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_release);
+  stats_reader.join();
+
+  ASSERT_TRUE(bm.FlushAll().ok());
+  // Every page holds its owner's final tag.
+  for (int t = 0; t < kThreads; t++) {
+    for (int p = 0; p < kPagesPerThread; p++) {
+      auto h = bm.FixPage(pages[t][p]);
+      ASSERT_TRUE(h.ok());
+      EXPECT_EQ(h.value().data()[0], static_cast<char>('A' + t));
+      EXPECT_EQ(h.value().data()[1], static_cast<char>(p));
+      EXPECT_EQ(h.value().data()[2], static_cast<char>((kRounds - 1) & 0x7F));
+    }
+  }
+  BufferManagerStats s = bm.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_GT(s.writebacks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// LockManager: grant/release and deadlock storms.
+// ---------------------------------------------------------------------------
+
+TEST(LockManagerConcurrencyTest, GrantReleaseStorm) {
+  LockManager lm(std::chrono::milliseconds(100));
+  constexpr int kThreads = 6;
+  constexpr int kIters = 120;
+  constexpr int kDocs = 4;
+  std::atomic<uint64_t> granted{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      // xorshift, seeded per thread: no shared RNG state.
+      uint64_t rng = 0x9E3779B97F4A7C15ull * (t + 1);
+      auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+      };
+      const LockMode modes[] = {LockMode::kIS, LockMode::kIX, LockMode::kS,
+                                LockMode::kX};
+      for (int i = 0; i < kIters; i++) {
+        TxnId txn = static_cast<TxnId>(t) * kIters + i + 1;
+        uint64_t doc = next() % kDocs;
+        LockMode mode = modes[next() % 4];
+        Status st = lm.LockDocument(txn, doc, mode);
+        if (st.ok()) {
+          granted.fetch_add(1);
+          if ((mode == LockMode::kIX || mode == LockMode::kIS) &&
+              next() % 2 == 0) {
+            // Subdocument lock under the intention lock.
+            Status ns = lm.LockNode(txn, doc, Slice("\x01\x02"),
+                                    mode == LockMode::kIX ? LockMode::kX
+                                                          : LockMode::kS);
+            EXPECT_TRUE(AcceptableContention(ns)) << ns.ToString();
+          }
+        } else {
+          EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+        }
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_GT(granted.load(), 0u);
+  // Everything was released: an X lock on every doc must grant instantly.
+  for (uint64_t doc = 0; doc < kDocs; doc++)
+    EXPECT_TRUE(lm.LockDocument(999999, doc, LockMode::kX).ok());
+  lm.ReleaseAll(999999);
+  EXPECT_GE(lm.stats().acquisitions, granted.load());
+}
+
+TEST(LockManagerConcurrencyTest, DeadlockStormResolvesWithoutHanging) {
+  LockManager lm(std::chrono::milliseconds(200));
+  constexpr int kThreads = 4;
+  constexpr int kIters = 40;
+  std::atomic<uint64_t> deadlocks{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      // Opposite acquisition orders on two docs: classic deadlock recipe.
+      uint64_t first = (t % 2 == 0) ? 1 : 2;
+      uint64_t second = (t % 2 == 0) ? 2 : 1;
+      for (int i = 0; i < kIters; i++) {
+        TxnId txn = static_cast<TxnId>(t) * kIters + i + 1;
+        Status st = lm.LockDocument(txn, first, LockMode::kX);
+        if (st.ok()) {
+          st = lm.LockDocument(txn, second, LockMode::kX);
+          if (st.IsDeadlock()) deadlocks.fetch_add(1);
+          else EXPECT_TRUE(st.ok()) << st.ToString();
+        } else {
+          EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+        }
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // The storm must finish (no hang) and leave the table clean.
+  EXPECT_TRUE(lm.LockDocument(777777, 1, LockMode::kX).ok());
+  EXPECT_TRUE(lm.LockDocument(777777, 2, LockMode::kX).ok());
+  lm.ReleaseAll(777777);
+  // The waits-for graph catches cycles eagerly; timeouts remain a backstop.
+  LockManagerStats s = lm.stats();
+  EXPECT_EQ(s.deadlocks + s.timeouts >= deadlocks.load(), true);
+}
+
+// ---------------------------------------------------------------------------
+// WAL: parallel appends with a concurrent syncer, then ordered replay.
+// ---------------------------------------------------------------------------
+
+TEST(WalConcurrencyTest, ParallelAppendsReplayIntact) {
+  PathGuard file(TempPath("wal"));
+  auto wal = WalLog::Open(file.path()).MoveValue();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 80;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        // Payload encodes (thread, seq) so replay can check per-thread order.
+        std::string payload = std::to_string(t) + ":" + std::to_string(i);
+        auto lsn = wal->Append(WalRecordType::kInsertDocument, payload);
+        ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+      }
+    });
+  }
+  std::thread syncer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(wal->Sync().ok());
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_release);
+  syncer.join();
+
+  // Replay sees every record exactly once, LSNs strictly increasing, and
+  // each thread's records in its append order.
+  std::vector<int> next_seq(kThreads, 0);
+  uint64_t last_lsn = 0;
+  uint64_t count = 0;
+  bool first = true;
+  Status st = wal->Replay([&](uint64_t lsn, WalRecordType type,
+                              Slice payload) -> Status {
+    EXPECT_EQ(type, WalRecordType::kInsertDocument);
+    EXPECT_TRUE(first || lsn > last_lsn);
+    first = false;
+    last_lsn = lsn;
+    std::string s = payload.ToString();
+    size_t colon = s.find(':');
+    EXPECT_NE(colon, std::string::npos);
+    int t = std::stoi(s.substr(0, colon));
+    int seq = std::stoi(s.substr(colon + 1));
+    EXPECT_EQ(seq, next_seq[t]);
+    next_seq[t] = seq + 1;
+    count++;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(count, uint64_t{kThreads * kPerThread});
+  for (int t = 0; t < kThreads; t++) EXPECT_EQ(next_seq[t], kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// NameDictionary: concurrent interning of overlapping name sets.
+// ---------------------------------------------------------------------------
+
+TEST(NameDictionaryConcurrencyTest, ConcurrentInterningIsConsistent) {
+  NameDictionary dict;
+  constexpr int kThreads = 6;
+  constexpr int kShared = 40;
+  constexpr int kPrivate = 20;
+
+  std::vector<std::vector<std::pair<std::string, NameId>>> observed(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      // Everyone interns the shared names (racing to create them) plus a
+      // private tail nobody else touches.
+      for (int i = 0; i < kShared; i++) {
+        std::string name = "shared-" + std::to_string(i);
+        observed[t].emplace_back(name, dict.Intern(name));
+      }
+      for (int i = 0; i < kPrivate; i++) {
+        std::string name = "t" + std::to_string(t) + "-" + std::to_string(i);
+        observed[t].emplace_back(name, dict.Intern(name));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Same name always produced the same id, and every id round-trips.
+  std::map<std::string, NameId> canonical;
+  for (const auto& per_thread : observed) {
+    for (const auto& [name, id] : per_thread) {
+      auto [it, fresh] = canonical.emplace(name, id);
+      if (!fresh) {
+        EXPECT_EQ(it->second, id) << name;
+      }
+      EXPECT_EQ(dict.Lookup(name), id);
+      auto round = dict.Name(id);
+      ASSERT_TRUE(round.ok());
+      EXPECT_EQ(round.value(), name);
+    }
+  }
+  // Empty name (id 0) + shared + per-thread privates.
+  EXPECT_EQ(dict.size(), size_t{1 + kShared + kThreads * kPrivate});
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector: counters and crash mode under concurrent hammering.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorConcurrencyTest, CountersExactUnderConcurrentOps) {
+  testing::FaultInjector fi;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; i++) {
+        Status st = fi.OnOp(testing::FaultPoint::kWalSync);
+        EXPECT_TRUE(st.ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fi.op_count(testing::FaultPoint::kWalSync),
+            uint64_t{kThreads * kPerThread});
+  EXPECT_FALSE(fi.fired());
+}
+
+TEST(FaultInjectorConcurrencyTest, ArmedFaultFiresExactlyOnceAndCrashes) {
+  testing::FaultInjector fi;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 300;
+  // Fire on an operation some thread will reach mid-storm, then enter crash
+  // mode: the firing op and every write-side op after it fail.
+  fi.Arm(testing::FaultPoint::kWalSync, /*nth=*/kThreads * kPerThread / 2,
+         testing::FaultKind::kError);
+  fi.set_crash_after_fire(true);
+
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; i++) {
+        if (!fi.OnOp(testing::FaultPoint::kWalSync).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_TRUE(fi.fired());
+  // Counting stops at the crash (post-crash ops fail without being
+  // counted), so the counter lands exactly on the armed op despite four
+  // threads racing through it.
+  EXPECT_EQ(fi.op_count(testing::FaultPoint::kWalSync),
+            uint64_t{kThreads * kPerThread / 2});
+  // The armed op and everything after it failed: exactly half the storm.
+  EXPECT_EQ(failures.load(), uint64_t{kThreads * kPerThread / 2 + 1});
+}
+
+}  // namespace
+}  // namespace xdb

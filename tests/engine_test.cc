@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "engine/engine.h"
+#include "leak_check.h"
 #include "engine/xml_handle.h"
 #include "pack/record_builder.h"
 #include "util/workload.h"
@@ -644,7 +645,7 @@ TEST_F(PersistenceTest, WalReplayRestoresUncheckpointedWork) {
     // The crash is simulated by leaking the engine: its destructor (which
     // would checkpoint and flush) never runs, so the data pages and catalog
     // stay at their last checkpointed state while the WAL has the tail.
-    Engine* crashed = Engine::Open(FileOptions()).MoveValue().release();
+    Engine* crashed = IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
     Collection* coll = crashed->CreateCollection("docs").value();
     coll->InsertDocument(nullptr, "<a>one</a>").value();
     ASSERT_TRUE(crashed->Checkpoint().ok());
@@ -666,7 +667,7 @@ TEST_F(PersistenceTest, WalReplayRestoresUncheckpointedWork) {
 
 TEST_F(PersistenceTest, WalReplaysSubtreeOperations) {
   {
-    Engine* crashed = Engine::Open(FileOptions()).MoveValue().release();
+    Engine* crashed = IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
     Collection* coll = crashed->CreateCollection("docs").value();
     uint64_t doc =
         coll->InsertDocument(nullptr, "<l><i>a</i><i>c</i></l>").value();

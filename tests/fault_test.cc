@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "leak_check.h"
 #include "storage/buffer_manager.h"
 #include "storage/io_retry.h"
 #include "storage/page.h"
@@ -487,7 +488,7 @@ TEST_F(EngineFaultTest, WalReplayRestoresNamesInternedAfterCheckpoint) {
   uint64_t doc = 0;
   const std::string xml = "<brand attr=\"v\">new<nested/></brand>";
   {
-    Engine* crashed = Engine::Open(FileOptions()).MoveValue().release();
+    Engine* crashed = IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
     Collection* coll = crashed->CreateCollection("docs").value();
     coll->InsertDocument(nullptr, "<old>1</old>").value();
     ASSERT_TRUE(crashed->Checkpoint().ok());
@@ -495,7 +496,7 @@ TEST_F(EngineFaultTest, WalReplayRestoresNamesInternedAfterCheckpoint) {
     doc = coll->InsertDocument(nullptr, xml).value();
   }
   {
-    Engine* engine = Engine::Open(FileOptions()).MoveValue().release();
+    Engine* engine = IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
     Collection* coll = engine->GetCollection("docs").value();
     auto text = coll->GetDocumentText(nullptr, doc);
     ASSERT_TRUE(text.ok()) << text.status().ToString();
@@ -522,7 +523,7 @@ TEST_F(EngineFaultTest, CommittedSurviveUncommittedVanishAcrossFaultSweep) {
     {
       // Crash idiom (see PersistenceTest): leak the engine so destructors
       // never flush; only WAL + checkpointed pages survive.
-      Engine* crashed = Engine::Open(FileOptions()).MoveValue().release();
+      Engine* crashed = IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
       Collection* coll = crashed->CreateCollection("docs").value();
       // Uses the same element/attribute names as the post-checkpoint inserts
       // so those append exactly one WAL record each (no kDefineName records
@@ -567,7 +568,7 @@ TEST_F(EngineFaultTest, CommittedSurviveUncommittedVanishAcrossFaultSweep) {
 TEST_F(EngineFaultTest, CheckpointSyncFaultLeavesStoreRecoverable) {
   uint64_t doc_a = 0, doc_b = 0;
   {
-    Engine* crashed = Engine::Open(FileOptions()).MoveValue().release();
+    Engine* crashed = IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
     Collection* coll = crashed->CreateCollection("docs").value();
     doc_a = coll->InsertDocument(nullptr, "<a>checkpointed</a>").value();
     ASSERT_TRUE(crashed->Checkpoint().ok());
@@ -607,7 +608,7 @@ uint64_t NthWalRecordOffset(const std::string& path, WalRecordType type,
 TEST_F(EngineFaultTest, RecoveryWarnsAboutMidLogWalCorruption) {
   uint64_t docs[3];
   {
-    Engine* crashed = Engine::Open(FileOptions()).MoveValue().release();
+    Engine* crashed = IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
     Collection* coll = crashed->CreateCollection("docs").value();
     ASSERT_TRUE(crashed->Checkpoint().ok());
     docs[0] = coll->InsertDocument(nullptr, "<d>one</d>").value();
@@ -654,7 +655,7 @@ TEST_F(EngineFaultTest, ScrubCountsMatchInjectedFaults) {
   uint64_t doc = 0;
   uint64_t flipped_pages = 3;
   {
-    Engine* crashed = Engine::Open(FileOptions()).MoveValue().release();
+    Engine* crashed = IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
     Collection* coll = crashed->CreateCollection("docs").value();
     ASSERT_TRUE(crashed->Checkpoint().ok());
     doc = coll->InsertDocument(nullptr, "<d>payload</d>").value();
@@ -693,7 +694,7 @@ TEST_F(EngineFaultTest, ScrubCountsMatchInjectedFaults) {
 TEST_F(EngineFaultTest, BitFlipSweepNeverWrongNeverLost) {
   std::map<uint64_t, std::string> expected;
   {
-    Engine* crashed = Engine::Open(FileOptions()).MoveValue().release();
+    Engine* crashed = IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
     Collection* coll = crashed->CreateCollection("docs").value();
     // Checkpoint first so the catalog knows the collection while every
     // insert's redo record stays in the WAL (nothing may be lost below).

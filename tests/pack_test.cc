@@ -183,7 +183,9 @@ TEST(PackedRoundTripTest, MultiRecordDocuments) {
     opts.products_per_category = 12;
     std::string xml = workload::GenCatalogXml(&rng, opts);
     ASSERT_TRUE(fx.Store(1, xml).ok());
-    if (budget <= 200) EXPECT_GT(fx.record_count_, 5) << budget;
+    if (budget <= 200) {
+      EXPECT_GT(fx.record_count_, 5) << budget;
+    }
     EXPECT_EQ(fx.ReadBack(1).value(), fx.original_tokens_[1])
         << "budget " << budget;
   }

@@ -74,7 +74,9 @@ TEST_P(RecordManagerPageSizeSweep, InsertUpdateDeleteInvariants) {
   ASSERT_TRUE(rm.ScanAll([&](Rid rid, Slice data) {
                   auto it = model.find(rid.Pack());
                   EXPECT_NE(it, model.end());
-                  if (it != model.end()) EXPECT_EQ(data.ToString(), it->second);
+                  if (it != model.end()) {
+                    EXPECT_EQ(data.ToString(), it->second);
+                  }
                   seen++;
                   return Status::OK();
                 })
@@ -106,13 +108,17 @@ TEST_P(BtreeBufferSweep, SortedIterationUnderEviction) {
   size_t count = 0;
   std::string prev;
   while (it.Valid()) {
-    if (count > 0) ASSERT_LT(Slice(prev).Compare(it.key()), 0);
+    if (count > 0) {
+      ASSERT_LT(Slice(prev).Compare(it.key()), 0);
+    }
     prev = it.key().ToString();
     count++;
     ASSERT_TRUE(it.Next().ok());
   }
   EXPECT_EQ(count, model.size());
-  if (GetParam() <= 8) EXPECT_GT(bm.stats().evictions, 0u);
+  if (GetParam() <= 8) {
+    EXPECT_GT(bm.stats().evictions, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(BufferSizes, BtreeBufferSweep,
