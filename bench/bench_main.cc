@@ -1,0 +1,106 @@
+// Shared benchmark main: runs the registered benchmarks with the normal
+// console output and additionally writes a machine-readable summary to
+// BENCH_RESULTS.json (override the path with XDB_BENCH_JSON; set it empty to
+// skip the file). CI uploads the file as an artifact so runs are comparable
+// across commits without scraping console logs.
+//
+// Schema: a JSON array of objects {"name", "iters", "ns_per_op", "bytes_per_s"}
+// — bytes_per_s is 0 when the bench does not call SetBytesProcessed.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchRow {
+  std::string name;
+  int64_t iters = 0;
+  double ns_per_op = 0;
+  double bytes_per_s = 0;
+};
+
+/// Console output as usual, plus one row collected per reported run.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      BenchRow row;
+      row.name = r.benchmark_name();
+      row.iters = r.iterations;
+      // Compute ns/op from the raw accumulated time instead of the
+      // unit-adjusted helpers so the JSON is unit-stable across benches.
+      if (r.iterations > 0)
+        row.ns_per_op =
+            r.real_accumulated_time * 1e9 / static_cast<double>(r.iterations);
+      auto it = r.counters.find("bytes_per_second");
+      if (it != r.counters.end()) row.bytes_per_s = it->second;
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<BenchRow> rows_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool WriteJson(const std::string& path, const std::vector<BenchRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); i++) {
+    const BenchRow& r = rows[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"iters\": %lld, \"ns_per_op\": %.3f, "
+                 "\"bytes_per_s\": %.1f}%s\n",
+                 JsonEscape(r.name).c_str(), static_cast<long long>(r.iters),
+                 r.ns_per_op, r.bytes_per_s, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const char* env = std::getenv("XDB_BENCH_JSON");
+  std::string path = env != nullptr ? env : "BENCH_RESULTS.json";
+  if (!path.empty()) {
+    if (!WriteJson(path, reporter.rows())) {
+      std::fprintf(stderr, "bench_main: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bench results written to %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -861,25 +861,27 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
         xpath::QueryTree::Compile(path, *engine_->dict(),
                                   options.want_values));
 
-    auto eval_doc = [&](uint64_t doc_id) -> Status {
-      // Doc lock first (it can block), then the shared latch for the reads.
-      if (!snapshot_read) XDB_RETURN_NOT_OK(ReadLockDoc(at.get(), doc_id));
-      ReaderMutexLock latch(latch_);
-      StoredDocSource source(records_.get(), locator, doc_id);
-      xpath::QuickXScan scan(full_tree.get(), doc_id);
-      NodeSequence hits;
-      Status est = scan.Run(&source, &hits);
-      if (est.IsNotFound()) return Status::OK();  // invisible at snapshot
-      XDB_RETURN_NOT_OK(est);
-      result.stats.records_fetched += source.records_fetched();
-      result.stats.docs_evaluated++;
-      for (ResultNode& r : hits) result.nodes.push_back(std::move(r));
-      return Status::OK();
+    // Evaluates the full query over a candidate DocID list, fanning out to
+    // the engine's query pool when the list is big enough to pay for it.
+    // The chunked path appends results in exactly the order the serial loop
+    // would, so parallelism never changes the answer.
+    auto eval_docs = [&](const std::vector<uint64_t>& docs_list) -> Status {
+      Transaction* lock_txn = snapshot_read ? nullptr : at.get();
+      const size_t parallelism =
+          static_cast<size_t>(EffectiveParallelism(options));
+      std::vector<query::WorkRange> ranges =
+          query::PartitionForParallelism(docs_list.size(), parallelism);
+      if (ranges.empty()) {
+        return EvalDocRange(lock_txn, docs_list, 0, docs_list.size(),
+                            full_tree.get(), locator, &result);
+      }
+      return EvalDocsParallel(lock_txn, docs_list, ranges, parallelism,
+                              full_tree.get(), locator, &result);
     };
 
     if (plan.method == query::AccessMethod::kFullScan) {
       XDB_ASSIGN_OR_RETURN(std::vector<uint64_t> all_docs, ListDocIds());
-      for (uint64_t doc_id : all_docs) XDB_RETURN_NOT_OK(eval_doc(doc_id));
+      XDB_RETURN_NOT_OK(eval_docs(all_docs));
       NormalizeSequence(&result.nodes);
       return Status::OK();
     }
@@ -907,14 +909,10 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
 
     if (!node_level) {
       // DocID list / ANDing / ORing, then per-document evaluation.
-      std::vector<std::vector<uint64_t>> doc_lists;
-      for (auto& postings : postings_per_probe)
-        doc_lists.push_back(query::DistinctDocIds(postings));
       std::vector<uint64_t> docs_list =
-          plan.disjunctive ? query::UnionDocIds(std::move(doc_lists))
-                           : query::IntersectDocIds(std::move(doc_lists));
+          query::MergeCandidateDocIds(postings_per_probe, plan.disjunctive);
       result.stats.candidate_docs = docs_list.size();
-      for (uint64_t doc_id : docs_list) XDB_RETURN_NOT_OK(eval_doc(doc_id));
+      XDB_RETURN_NOT_OK(eval_docs(docs_list));
       NormalizeSequence(&result.nodes);
       return Status::OK();
     }
@@ -977,36 +975,103 @@ Status Collection::RecheckAnchors(Transaction* txn,
       xpath::QueryTree::Compile(residual, *engine_->dict(),
                                 options.want_values));
 
-  std::set<uint64_t> locked_docs;
-  for (const Posting& anchor : anchors) {
-    // Doc lock first (it can block), then the shared latch for this
-    // anchor's reads; the latch drops at the end of each iteration.
-    if (txn != nullptr && locked_docs.insert(anchor.doc_id).second) {
-      XDB_RETURN_NOT_OK(ReadLockDoc(txn, anchor.doc_id));
+  // Doc locks first, all on this thread: they can block, and the
+  // transaction's lock table is not safe for concurrent mutation. Locks are
+  // held until commit either way, so taking them up front is equivalent.
+  if (txn != nullptr) {
+    std::set<uint64_t> locked_docs;
+    for (const Posting& anchor : anchors)
+      if (locked_docs.insert(anchor.doc_id).second)
+        XDB_RETURN_NOT_OK(ReadLockDoc(txn, anchor.doc_id));
+  }
+
+  const size_t parallelism =
+      static_cast<size_t>(EffectiveParallelism(options));
+  std::vector<query::WorkRange> ranges =
+      query::PartitionForParallelism(anchors.size(), parallelism);
+  if (ranges.empty()) {
+    for (const Posting& anchor : anchors)
+      XDB_RETURN_NOT_OK(EvalAnchor(anchor, residual_tree.get(),
+                                   prefix_pattern, locator, result));
+    return Status::OK();
+  }
+
+  // Parallel recheck: one task per contiguous anchor chunk; per-chunk
+  // results merge in chunk order so the output matches the serial loop.
+  std::vector<QueryResult> chunks(ranges.size());
+  std::vector<Status> chunk_status(ranges.size());
+  engine_->query_pool()->ParallelFor(
+      ranges.size(), parallelism, [&](size_t i) {
+        for (size_t j = ranges[i].begin;
+             j < ranges[i].end && chunk_status[i].ok(); j++) {
+          chunk_status[i] = EvalAnchor(anchors[j], residual_tree.get(),
+                                       prefix_pattern, locator, &chunks[i]);
+        }
+      });
+  for (const Status& st : chunk_status) XDB_RETURN_NOT_OK(st);
+  for (QueryResult& c : chunks) {
+    result->stats.records_fetched += c.stats.records_fetched;
+    for (ResultNode& r : c.nodes) result->nodes.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+Status Collection::EvalAnchor(const Posting& anchor,
+                              const xpath::QueryTree* residual,
+                              const xpath::Path& prefix_pattern,
+                              NodeLocator* locator, QueryResult* result) {
+  ReaderMutexLock latch(latch_);
+  // Verify the anchor's own path against the main-path prefix.
+  {
+    auto rid = locator->Lookup(anchor.doc_id, Slice(anchor.node_id));
+    if (!rid.ok()) return Status::OK();  // e.g. not visible at this snapshot
+    std::string record;
+    Status st = records_->Get(rid.value(), &record);
+    if (!st.ok()) return Status::OK();
+    RecordWalker walker((Slice(record)));
+    XDB_RETURN_NOT_OK(walker.Init());
+    // Build the anchor's concrete path: header path + in-record names.
+    xpath::Path concrete;
+    concrete.absolute = true;
+    const RecordHeader& header = walker.header();
+    std::vector<Slice> levels;
+    XDB_RETURN_NOT_OK(nodeid::SplitLevels(header.context_node_id, &levels));
+    bool bad = false;
+    for (size_t i = 0; i < header.root_path.size(); i++) {
+      xpath::Step step;
+      step.axis = xpath::Axis::kChild;
+      step.test = xpath::NodeTest::kName;
+      auto name = engine_->dict()->Name(header.root_path[i].local);
+      if (!name.ok()) {
+        bad = true;
+        break;
+      }
+      step.name = name.MoveValue();
+      concrete.steps.push_back(std::move(step));
     }
-    ReaderMutexLock latch(latch_);
-    // Verify the anchor's own path against the main-path prefix.
-    {
-      auto rid = locator->Lookup(anchor.doc_id, Slice(anchor.node_id));
-      if (!rid.ok()) continue;  // e.g. not visible at this snapshot
-      std::string record;
-      Status st = records_->Get(rid.value(), &record);
-      if (!st.ok()) continue;
-      RecordWalker walker((Slice(record)));
-      XDB_RETURN_NOT_OK(walker.Init());
-      // Build the anchor's concrete path: header path + in-record names.
-      xpath::Path concrete;
-      concrete.absolute = true;
-      const RecordHeader& header = walker.header();
-      std::vector<Slice> levels;
-      XDB_RETURN_NOT_OK(
-          nodeid::SplitLevels(header.context_node_id, &levels));
-      bool bad = false;
-      for (size_t i = 0; i < header.root_path.size(); i++) {
+    if (bad) return Status::OK();
+    // Walk down to the anchor collecting element names.
+    bool found = Slice(anchor.node_id) == header.context_node_id;
+    while (!found) {
+      RecordWalker::Event ev;
+      XDB_RETURN_NOT_OK(walker.Next(&ev));
+      if (ev.type == RecordWalker::EventType::kDone) break;
+      if (ev.type != RecordWalker::EventType::kStart) continue;
+      Slice abs(ev.entry.abs_id);
+      bool on_path = abs == Slice(anchor.node_id) ||
+                     nodeid::IsAncestor(abs, Slice(anchor.node_id));
+      if (!on_path) {
+        if (ev.entry.kind == NodeKind::kElement) walker.SkipChildren();
+        continue;
+      }
+      if (ev.entry.kind == NodeKind::kElement ||
+          ev.entry.kind == NodeKind::kAttribute) {
         xpath::Step step;
-        step.axis = xpath::Axis::kChild;
+        step.axis = ev.entry.kind == NodeKind::kAttribute
+                        ? xpath::Axis::kAttribute
+                        : xpath::Axis::kChild;
         step.test = xpath::NodeTest::kName;
-        auto name = engine_->dict()->Name(header.root_path[i].local);
+        auto name = engine_->dict()->Name(ev.entry.local);
         if (!name.ok()) {
           bad = true;
           break;
@@ -1014,52 +1079,83 @@ Status Collection::RecheckAnchors(Transaction* txn,
         step.name = name.MoveValue();
         concrete.steps.push_back(std::move(step));
       }
-      if (bad) continue;
-      // Walk down to the anchor collecting element names.
-      bool found = Slice(anchor.node_id) == header.context_node_id;
-      while (!found) {
-        RecordWalker::Event ev;
-        XDB_RETURN_NOT_OK(walker.Next(&ev));
-        if (ev.type == RecordWalker::EventType::kDone) break;
-        if (ev.type != RecordWalker::EventType::kStart) continue;
-        Slice abs(ev.entry.abs_id);
-        bool on_path = abs == Slice(anchor.node_id) ||
-                       nodeid::IsAncestor(abs, Slice(anchor.node_id));
-        if (!on_path) {
-          if (ev.entry.kind == NodeKind::kElement) walker.SkipChildren();
-          continue;
-        }
-        if (ev.entry.kind == NodeKind::kElement ||
-            ev.entry.kind == NodeKind::kAttribute) {
-          xpath::Step step;
-          step.axis = ev.entry.kind == NodeKind::kAttribute
-                          ? xpath::Axis::kAttribute
-                          : xpath::Axis::kChild;
-          step.test = xpath::NodeTest::kName;
-          auto name = engine_->dict()->Name(ev.entry.local);
-          if (!name.ok()) {
-            bad = true;
-            break;
-          }
-          step.name = name.MoveValue();
-          concrete.steps.push_back(std::move(step));
-        }
-        if (abs == Slice(anchor.node_id)) found = true;
-      }
-      if (bad || !found) continue;
-      if (!xpath::PathContains(prefix_pattern, concrete)) continue;
+      if (abs == Slice(anchor.node_id)) found = true;
     }
+    if (bad || !found) return Status::OK();
+    if (!xpath::PathContains(prefix_pattern, concrete)) return Status::OK();
+  }
 
-    // Evaluate the residual on the anchor subtree.
-    StoredDocSource source(records_.get(), locator, anchor.doc_id,
-                           anchor.node_id);
-    xpath::QuickXScan scan(residual_tree.get(), anchor.doc_id);
+  // Evaluate the residual on the anchor subtree.
+  StoredDocSource source(records_.get(), locator, anchor.doc_id,
+                         anchor.node_id);
+  xpath::QuickXScan scan(residual, anchor.doc_id);
+  NodeSequence hits;
+  Status st = scan.Run(&source, &hits);
+  if (st.IsNotFound()) return Status::OK();
+  XDB_RETURN_NOT_OK(st);
+  result->stats.records_fetched += source.records_fetched();
+  for (ResultNode& r : hits) result->nodes.push_back(std::move(r));
+  return Status::OK();
+}
+
+int Collection::EffectiveParallelism(const QueryOptions& options) const {
+  if (engine_ == nullptr || engine_->query_pool() == nullptr) return 1;
+  int p = options.parallelism > 0 ? options.parallelism
+                                  : engine_->options().num_query_threads;
+  int cap = static_cast<int>(engine_->query_pool()->size()) + 1;
+  return std::max(1, std::min(p, cap));
+}
+
+Status Collection::EvalDocRange(Transaction* txn,
+                                const std::vector<uint64_t>& docs,
+                                size_t begin, size_t end,
+                                const xpath::QueryTree* tree,
+                                NodeLocator* locator, QueryResult* result) {
+  for (size_t i = begin; i < end; i++) {
+    const uint64_t doc_id = docs[i];
+    // Doc lock first (it can block), then the shared latch for the reads.
+    if (txn != nullptr) XDB_RETURN_NOT_OK(ReadLockDoc(txn, doc_id));
+    ReaderMutexLock latch(latch_);
+    StoredDocSource source(records_.get(), locator, doc_id);
+    xpath::QuickXScan scan(tree, doc_id);
     NodeSequence hits;
-    Status st = scan.Run(&source, &hits);
-    if (st.IsNotFound()) continue;
-    XDB_RETURN_NOT_OK(st);
+    Status est = scan.Run(&source, &hits);
+    if (est.IsNotFound()) continue;  // invisible at snapshot
+    XDB_RETURN_NOT_OK(est);
     result->stats.records_fetched += source.records_fetched();
+    result->stats.docs_evaluated++;
     for (ResultNode& r : hits) result->nodes.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+Status Collection::EvalDocsParallel(Transaction* txn,
+                                    const std::vector<uint64_t>& docs,
+                                    const std::vector<query::WorkRange>& ranges,
+                                    size_t parallelism,
+                                    const xpath::QueryTree* tree,
+                                    NodeLocator* locator,
+                                    QueryResult* result) {
+  // Doc locks first, all on this thread (see RecheckAnchors for why).
+  if (txn != nullptr)
+    for (uint64_t doc_id : docs) XDB_RETURN_NOT_OK(ReadLockDoc(txn, doc_id));
+  std::vector<QueryResult> chunks(ranges.size());
+  std::vector<Status> chunk_status(ranges.size());
+  engine_->query_pool()->ParallelFor(
+      ranges.size(), parallelism, [&](size_t i) {
+        chunk_status[i] =
+            EvalDocRange(nullptr, docs, ranges[i].begin, ranges[i].end, tree,
+                         locator, &chunks[i]);
+      });
+  // Merge in chunk order: chunk i holds exactly the results the serial loop
+  // would have appended for docs[ranges[i]], so concatenation reproduces the
+  // serial sequence. The lowest-index chunk's error wins, like a serial
+  // loop stopping at the first failure.
+  for (const Status& st : chunk_status) XDB_RETURN_NOT_OK(st);
+  for (QueryResult& c : chunks) {
+    result->stats.records_fetched += c.stats.records_fetched;
+    result->stats.docs_evaluated += c.stats.docs_evaluated;
+    for (ResultNode& r : c.nodes) result->nodes.push_back(std::move(r));
   }
   return Status::OK();
 }
@@ -1105,7 +1201,8 @@ Status Collection::RebuildStorage() {
     XDB_ASSIGN_OR_RETURN(space_, TableSpace::Create(space_path_, ts));
   }
 
-  buffer_ = std::make_unique<BufferManager>(space_.get(), buffer_pages_);
+  buffer_ =
+      std::make_unique<BufferManager>(space_.get(), buffer_pages_, buffer_shards_);
   Engine* eng = engine_;
   buffer_->set_lsn_source(
       [eng] { return eng->wal_ != nullptr ? eng->wal_->size() : 0; });

@@ -21,6 +21,7 @@
 #include "pack/record_builder.h"
 #include "pack/tree_cursor.h"
 #include "query/access_path.h"
+#include "query/executor.h"
 #include "storage/buffer_manager.h"
 #include "storage/record_manager.h"
 #include "storage/tablespace.h"
@@ -29,6 +30,10 @@
 
 namespace xdb {
 
+namespace xpath {
+class QueryTree;
+}  // namespace xpath
+
 class Engine;
 
 struct CollectionOptions {
@@ -36,6 +41,9 @@ struct CollectionOptions {
   std::string schema;             // registered schema to validate against
   size_t record_budget = 3000;    // packing budget (the p knob)
   size_t buffer_pages = 512;
+  /// Buffer pool shards (0 = engine default, which itself defaults to
+  /// BufferManager::DefaultShardCount for the pool size).
+  size_t buffer_shards = 0;
   uint32_t page_size = kDefaultPageSize;
 };
 
@@ -62,6 +70,11 @@ using query::ForceMethod;
 struct QueryOptions {
   ForceMethod force = ForceMethod::kAuto;
   bool want_values = false;  // compute result nodes' string values
+  /// Threads evaluating this query, including the caller. 0 = the engine
+  /// default (EngineOptions::num_query_threads), 1 = serial. Values above 1
+  /// only take effect when the engine has a query pool; small candidate
+  /// sets fall back to serial regardless (see query::PartitionForParallelism).
+  int parallelism = 0;
 };
 
 /// Plan plus planner narration — what Plan() hands to the executor.
@@ -215,6 +228,39 @@ class Collection {
                         const QueryOptions& options, NodeLocator* locator,
                         QueryResult* result) XDB_EXCLUDES(latch_);
 
+  /// Effective thread count for one query: options.parallelism, falling back
+  /// to the engine default, clamped to 1 when the engine has no pool.
+  int EffectiveParallelism(const QueryOptions& options) const;
+
+  /// Evaluates QuickXScan over `docs[begin, end)` serially, appending
+  /// matches to `result` in list order. A non-null `txn` S-locks each doc
+  /// first (the serial executor); the parallel executor pre-locks on the
+  /// caller's thread and passes null. Takes latch_ shared per document.
+  Status EvalDocRange(Transaction* txn, const std::vector<uint64_t>& docs,
+                      size_t begin, size_t end, const xpath::QueryTree* tree,
+                      NodeLocator* locator, QueryResult* result)
+      XDB_EXCLUDES(latch_);
+
+  /// Fans EvalDocRange out over the engine's query pool (one task per chunk
+  /// from query::PartitionForParallelism) and merges per-chunk results in
+  /// chunk order, reproducing the serial append order exactly. Doc S-locks
+  /// are all taken on the calling thread first (the transaction's lock table
+  /// is not thread-safe, and the locks are held to commit anyway). Returns
+  /// the lowest-index chunk's error when any chunk fails.
+  Status EvalDocsParallel(Transaction* txn, const std::vector<uint64_t>& docs,
+                          const std::vector<query::WorkRange>& ranges,
+                          size_t parallelism, const xpath::QueryTree* tree,
+                          NodeLocator* locator, QueryResult* result)
+      XDB_EXCLUDES(latch_);
+
+  /// One anchor's recheck: verifies the anchor path against the main-path
+  /// prefix, then evaluates the residual tree over the anchor subtree.
+  /// Benign misses (invisible at snapshot, stale posting) return OK with no
+  /// output. The anchor's doc lock must already be held.
+  Status EvalAnchor(const Posting& anchor, const xpath::QueryTree* residual,
+                    const xpath::Path& prefix_pattern, NodeLocator* locator,
+                    QueryResult* result) XDB_EXCLUDES(latch_);
+
   /// kCorruption when the collection is quarantined; call at the top of every
   /// public data operation.
   Status GuardRepair() const;
@@ -279,6 +325,7 @@ class Collection {
   std::string repair_reason_;
   std::string space_path_;     // for recreating a space whose header is gone
   size_t buffer_pages_ = 512;  // for rebuilding the buffer pool
+  size_t buffer_shards_ = 0;   // resolved engine/collection shard setting
   uint32_t page_size_hint_ = kDefaultPageSize;
 };
 

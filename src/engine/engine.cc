@@ -20,6 +20,12 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
   auto engine = std::unique_ptr<Engine>(new Engine());
   engine->options_ = options;
   engine->txns_ = std::make_unique<TransactionManager>(&engine->locks_);
+  if (options.num_query_threads > 1) {
+    // The querying thread is one of the num_query_threads executors, so the
+    // shared pool only needs the helpers.
+    engine->query_pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<size_t>(options.num_query_threads - 1));
+  }
 
   if (options.in_memory) return engine;
 
@@ -88,6 +94,8 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
   coll->meta_ = meta;
   coll->record_budget_ = options.record_budget;
   coll->buffer_pages_ = options.buffer_pages;
+  coll->buffer_shards_ = options.buffer_shards != 0 ? options.buffer_shards
+                                                    : options_.buffer_shards;
   coll->page_size_hint_ = options.page_size;
 
   TableSpaceOptions ts_options;
@@ -103,8 +111,8 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
     } else {
       XDB_ASSIGN_OR_RETURN(coll->space_, TableSpace::Open(path, ts_options));
     }
-    coll->buffer_ = std::make_unique<BufferManager>(coll->space_.get(),
-                                                    options.buffer_pages);
+    coll->buffer_ = std::make_unique<BufferManager>(
+        coll->space_.get(), options.buffer_pages, coll->buffer_shards_);
     coll->buffer_->set_lsn_source(
         [this] { return wal_ != nullptr ? wal_->size() : 0; });
     coll->records_ = std::make_unique<RecordManager>(coll->buffer_.get());
@@ -281,6 +289,14 @@ Status Engine::LogNewNames() {
   return Status::OK();
 }
 
+Status Engine::AppendWal(WalRecordType type, Slice payload) {
+  XDB_RETURN_NOT_OK(wal_->Append(type, payload).status());
+  // Group commit: under sync_commits every logged operation becomes durable
+  // before it returns, but concurrent committers share one fdatasync.
+  if (options_.sync_commits) return wal_->Commit();
+  return Status::OK();
+}
+
 Status Engine::LogInsert(const std::string& collection, uint64_t doc_id,
                          Slice tokens) {
   if (wal_ == nullptr || replaying_) return Status::OK();
@@ -289,7 +305,7 @@ Status Engine::LogInsert(const std::string& collection, uint64_t doc_id,
   PutLengthPrefixed(&payload, collection);
   PutFixed64(&payload, doc_id);
   payload.append(tokens.data(), tokens.size());
-  return wal_->Append(WalRecordType::kInsertDocument, payload).status();
+  return AppendWal(WalRecordType::kInsertDocument, payload);
 }
 
 Status Engine::LogDelete(const std::string& collection, uint64_t doc_id) {
@@ -297,7 +313,7 @@ Status Engine::LogDelete(const std::string& collection, uint64_t doc_id) {
   std::string payload;
   PutLengthPrefixed(&payload, collection);
   PutFixed64(&payload, doc_id);
-  return wal_->Append(WalRecordType::kDeleteDocument, payload).status();
+  return AppendWal(WalRecordType::kDeleteDocument, payload);
 }
 
 Status Engine::LogUpdate(const std::string& collection, uint64_t doc_id,
@@ -308,7 +324,7 @@ Status Engine::LogUpdate(const std::string& collection, uint64_t doc_id,
   PutFixed64(&payload, doc_id);
   PutLengthPrefixed(&payload, node_id);
   payload.append(new_text.data(), new_text.size());
-  return wal_->Append(WalRecordType::kUpdateNode, payload).status();
+  return AppendWal(WalRecordType::kUpdateNode, payload);
 }
 
 Status Engine::LogInsertSubtree(const std::string& collection,
@@ -322,7 +338,7 @@ Status Engine::LogInsertSubtree(const std::string& collection,
   PutLengthPrefixed(&payload, parent_id);
   PutLengthPrefixed(&payload, after_id);
   payload.append(tokens.data(), tokens.size());
-  return wal_->Append(WalRecordType::kInsertSubtree, payload).status();
+  return AppendWal(WalRecordType::kInsertSubtree, payload);
 }
 
 Status Engine::LogDeleteSubtree(const std::string& collection,
@@ -332,7 +348,7 @@ Status Engine::LogDeleteSubtree(const std::string& collection,
   PutLengthPrefixed(&payload, collection);
   PutFixed64(&payload, doc_id);
   payload.append(node_id.data(), node_id.size());
-  return wal_->Append(WalRecordType::kDeleteSubtree, payload).status();
+  return AppendWal(WalRecordType::kDeleteSubtree, payload);
 }
 
 Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {

@@ -21,6 +21,7 @@
 #include "schema/schema_compiler.h"
 #include "schema/validator_vm.h"
 #include "storage/wal_log.h"
+#include "util/thread_pool.h"
 #include "xml/name_dictionary.h"
 #include "xml/parser.h"
 
@@ -35,6 +36,19 @@ struct EngineOptions {
   bool strip_whitespace = true;
   /// Write-ahead logging for document operations.
   bool enable_wal = true;
+  /// Maximum threads evaluating one query (including the caller). Values
+  /// > 1 create a shared work-stealing pool of num_query_threads - 1
+  /// helpers; queries opt in per call via QueryOptions::parallelism (0 =
+  /// this default). 1 keeps the serial executor with no pool at all.
+  int num_query_threads = 1;
+  /// Buffer pool shards per collection (0 = auto from the pool size,
+  /// rounded down to a power of two). Overridable per collection.
+  size_t buffer_shards = 0;
+  /// Fsync the WAL after every logged document operation. Concurrent
+  /// committers coalesce onto one fdatasync (group commit). Off by default:
+  /// the engine's durability unit is the checkpoint, and WAL records reach
+  /// the OS (surviving a process crash) without the fsync cost.
+  bool sync_commits = false;
 };
 
 /// What Engine::Scrub() found and fixed across the whole database.
@@ -101,6 +115,12 @@ class Engine {
   NameDictionary* dict() { return &dict_; }
   LockManager* locks() { return &locks_; }
   TransactionManager* txns() { return txns_.get(); }
+  /// Shared query worker pool; null when the engine is configured serial
+  /// (num_query_threads <= 1).
+  util::ThreadPool* query_pool() { return query_pool_.get(); }
+  /// The write-ahead log (null for in-memory engines or enable_wal=false).
+  /// Exposed for tests and benches inspecting commit/sync counters.
+  WalLog* wal() { return wal_.get(); }
   const EngineOptions& options() const { return options_; }
   Parser MakeParser() {
     ParserOptions po;
@@ -126,6 +146,8 @@ class Engine {
   /// the last checkpoint (or the last call). Must run before logging any
   /// record whose token payload references those names.
   Status LogNewNames() XDB_EXCLUDES(wal_names_mu_);
+  /// Appends one redo record and, when sync_commits is on, group-commits it.
+  Status AppendWal(WalRecordType type, Slice payload);
   Status LogInsert(const std::string& collection, uint64_t doc_id,
                    Slice tokens);
   Status LogDelete(const std::string& collection, uint64_t doc_id);
@@ -143,6 +165,9 @@ class Engine {
   LockManager locks_;
   std::unique_ptr<TransactionManager> txns_;
   std::unique_ptr<WalLog> wal_;
+  /// num_query_threads - 1 work-stealing helpers shared by all collections
+  /// (the querying thread itself is the final executor). Fixed after Open.
+  std::unique_ptr<util::ThreadPool> query_pool_;
   Mutex mu_;
   std::map<std::string, std::unique_ptr<Collection>> collections_
       XDB_GUARDED_BY(mu_);

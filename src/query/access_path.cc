@@ -220,6 +220,17 @@ std::vector<uint64_t> UnionDocIds(std::vector<std::vector<uint64_t>> lists) {
   return std::vector<uint64_t>(acc.begin(), acc.end());
 }
 
+std::vector<uint64_t> MergeCandidateDocIds(
+    const std::vector<std::vector<Posting>>& postings_per_probe,
+    bool disjunctive) {
+  std::vector<std::vector<uint64_t>> doc_lists;
+  doc_lists.reserve(postings_per_probe.size());
+  for (const auto& postings : postings_per_probe)
+    doc_lists.push_back(DistinctDocIds(postings));
+  return disjunctive ? UnionDocIds(std::move(doc_lists))
+                     : IntersectDocIds(std::move(doc_lists));
+}
+
 namespace {
 struct PostingKeyLess {
   bool operator()(const Posting& a, const Posting& b) const {

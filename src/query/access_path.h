@@ -103,6 +103,14 @@ Status AnchorPostings(const std::vector<Posting>& postings, int strip_levels,
 std::vector<uint64_t> IntersectDocIds(std::vector<std::vector<uint64_t>> lists);
 std::vector<uint64_t> UnionDocIds(std::vector<std::vector<uint64_t>> lists);
 
+/// Candidate DocID list of a doc-level plan: distinct DocIDs per probe,
+/// combined by union (ORing) or intersection (ANDing). This is the list the
+/// executor partitions for parallel per-document evaluation, so its order is
+/// part of the engine's deterministic-output contract.
+std::vector<uint64_t> MergeCandidateDocIds(
+    const std::vector<std::vector<Posting>>& postings_per_probe,
+    bool disjunctive);
+
 /// Set operations on (doc, node) anchors. Postings must be anchored first.
 std::vector<Posting> IntersectPostings(std::vector<std::vector<Posting>> lists);
 std::vector<Posting> UnionPostings(std::vector<std::vector<Posting>> lists);

@@ -155,5 +155,23 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
   return plan;
 }
 
+std::vector<WorkRange> PartitionForParallelism(size_t n, size_t parallelism) {
+  std::vector<WorkRange> ranges;
+  if (parallelism <= 1 || n < 2 * kMinItemsPerTask) return ranges;
+  // Over-decompose so stealing can re-balance, but never below the per-task
+  // floor: tasks = min(2 * parallelism, n / kMinItemsPerTask).
+  size_t tasks = std::min(2 * parallelism, n / kMinItemsPerTask);
+  if (tasks < 2) return ranges;
+  size_t base = n / tasks;
+  size_t extra = n % tasks;  // first `extra` chunks get one more item
+  size_t begin = 0;
+  for (size_t t = 0; t < tasks; t++) {
+    size_t len = base + (t < extra ? 1 : 0);
+    ranges.push_back(WorkRange{begin, begin + len});
+    begin += len;
+  }
+  return ranges;
+}
+
 }  // namespace query
 }  // namespace xdb

@@ -33,6 +33,28 @@ struct PlannerContext {
 Result<QueryPlan> ChoosePlan(const xpath::Path& query,
                              const PlannerContext& ctx, ForceMethod force);
 
+// --- parallel execution policy ---
+
+/// A contiguous [begin, end) slice of the candidate list, one per task.
+struct WorkRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Minimum candidates per task before fan-out pays for itself: below it the
+/// chunk's QuickXScan work is cheaper than the pool handoff, so the serial
+/// fallback stays the default for tiny result sets.
+inline constexpr size_t kMinItemsPerTask = 4;
+
+/// Partitions `n` candidates into DocID-order-preserving contiguous chunks
+/// for up to `parallelism` threads. Returns an empty vector when the work is
+/// too small (cost threshold: fewer than two chunks of kMinItemsPerTask) or
+/// `parallelism <= 1` — callers then run the plain serial loop. Chunk count
+/// over-decomposes (2x parallelism) so work stealing can re-balance skewed
+/// documents; concatenating per-chunk results in range order reproduces the
+/// serial evaluation order exactly.
+std::vector<WorkRange> PartitionForParallelism(size_t n, size_t parallelism);
+
 }  // namespace query
 }  // namespace xdb
 

@@ -37,16 +37,38 @@ void PageHandle::Release() {
   }
 }
 
-BufferManager::BufferManager(TableSpace* space, size_t capacity)
+namespace {
+size_t FloorPow2(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+}  // namespace
+
+size_t BufferManager::DefaultShardCount(size_t capacity) {
+  size_t want = std::min<size_t>(8, capacity / 64);
+  return want < 1 ? 1 : FloorPow2(want);
+}
+
+BufferManager::BufferManager(TableSpace* space, size_t capacity, size_t shards)
     : space_(space),
       capacity_(capacity == 0 ? 1 : capacity),
       data_offset_(space->data_offset()),
       checksums_(space->format_version() >= kTableSpaceFormatV2) {
+  if (shards == 0) shards = DefaultShardCount(capacity_);
+  shards = FloorPow2(std::min(shards, capacity_));
+  shard_mask_ = shards - 1;
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; s++) shards_.push_back(std::make_unique<Shard>());
   frames_.reserve(capacity_);
   for (size_t i = 0; i < capacity_; i++) {
     auto f = std::make_unique<internal::Frame>();
     f->data = std::make_unique<char[]>(space_->page_size());
-    free_frames_.push_back(f.get());
+    // Deal frames round-robin so every shard gets capacity/shards (±1).
+    f->shard = static_cast<uint32_t>(i % shards);
+    Shard& shard = *shards_[f->shard];
+    MutexLock lock(shard.mu);
+    shard.free_frames.push_back(f.get());
     frames_.push_back(std::move(f));
   }
 }
@@ -55,65 +77,70 @@ BufferManager::BufferManager(TableSpace* space, size_t capacity)
 // (checksum verify) or via explicit FlushAll calls that do check.
 BufferManager::~BufferManager() { (void)FlushAll(); }
 
-Status BufferManager::WriteBack(internal::Frame* frame) {
+Status BufferManager::WriteBack(Shard& shard, internal::Frame* frame) {
   if (!frame->dirty) return Status::OK();
   if (auto* fi = testing::FaultInjector::active())
     XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kBufferWriteback));
   if (checksums_) {
-    uint64_t lsn = lsn_source_ ? lsn_source_() : 0;
+    uint64_t lsn = 0;
+    {
+      MutexLock lock(lsn_mu_);
+      if (lsn_source_) lsn = lsn_source_();
+    }
     StampPageHeader(frame->data.get(), space_->page_size(), lsn, 0);
   }
   XDB_RETURN_NOT_OK(space_->WritePage(frame->page_id, frame->data.get()));
   frame->dirty = false;
-  stats_.writebacks++;
+  shard.stats.writebacks++;
   return Status::OK();
 }
 
-Result<internal::Frame*> BufferManager::GetFreeFrame() {
-  if (!free_frames_.empty()) {
-    internal::Frame* f = free_frames_.back();
-    free_frames_.pop_back();
+Result<internal::Frame*> BufferManager::GetFreeFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    internal::Frame* f = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return f;
   }
-  if (lru_.empty())
-    return Status::Busy("all buffer frames are pinned");
-  internal::Frame* victim = lru_.front();
-  lru_.pop_front();
+  if (shard.lru.empty())
+    return Status::Busy("all buffer frames of the shard are pinned");
+  internal::Frame* victim = shard.lru.front();
+  shard.lru.pop_front();
   victim->in_lru = false;
-  XDB_RETURN_NOT_OK(WriteBack(victim));
-  table_.erase(victim->page_id);
-  stats_.evictions++;
+  XDB_RETURN_NOT_OK(WriteBack(shard, victim));
+  shard.table.erase(victim->page_id);
+  shard.stats.evictions++;
   return victim;
 }
 
 Result<PageHandle> BufferManager::FixPage(PageId id) {
-  MutexLock lock(mu_);
-  if (quarantined_.count(id) != 0)
+  Shard& shard = ShardFor(id);
+  MutexLock lock(shard.mu);
+  if (shard.quarantined.count(id) != 0)
     return Status::Corruption("page " + std::to_string(id) +
                               " is quarantined");
-  auto it = table_.find(id);
-  if (it != table_.end()) {
+  auto it = shard.table.find(id);
+  if (it != shard.table.end()) {
     internal::Frame* f = it->second;
     if (f->in_lru) {
-      lru_.erase(f->lru_pos);
+      shard.lru.erase(f->lru_pos);
       f->in_lru = false;
     }
     f->pin_count++;
-    stats_.hits++;
+    shard.stats.hits++;
     return PageHandle(this, f, id, data_offset_);
   }
-  stats_.misses++;
-  XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame());
+  shard.stats.misses++;
+  XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame(shard));
   Status read = space_->ReadPage(id, f->data.get());
   if (read.ok() && checksums_)
     read = VerifyPageChecksum(f->data.get(), space_->page_size(), id);
   if (!read.ok()) {
-    // The frame was never published in table_; hand it back so a failed read
-    // doesn't shrink the pool.
-    free_frames_.push_back(f);
+    // The frame was never published in the table; hand it back so a failed
+    // read doesn't shrink the pool.
+    shard.free_frames.push_back(f);
     if (read.IsCorruption()) {
-      quarantined_.insert(id);
-      stats_.checksum_failures++;
+      shard.quarantined.insert(id);
+      shard.stats.checksum_failures++;
       space_->mutable_io_stats()->checksum_failures.fetch_add(
           1, std::memory_order_relaxed);
     }
@@ -122,66 +149,102 @@ Result<PageHandle> BufferManager::FixPage(PageId id) {
   f->page_id = id;
   f->pin_count = 1;
   f->dirty = false;
-  table_[id] = f;
+  shard.table[id] = f;
   return PageHandle(this, f, id, data_offset_);
 }
 
 Result<PageHandle> BufferManager::NewPage() {
   XDB_ASSIGN_OR_RETURN(PageId id, space_->AllocatePage());
-  MutexLock lock(mu_);
-  quarantined_.erase(id);  // a recycled page starts a new, clean life
-  XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame());
+  Shard& shard = ShardFor(id);
+  MutexLock lock(shard.mu);
+  shard.quarantined.erase(id);  // a recycled page starts a new, clean life
+  XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame(shard));
   std::memset(f->data.get(), 0, space_->page_size());
   f->page_id = id;
   f->pin_count = 1;
   f->dirty = true;
-  table_[id] = f;
+  shard.table[id] = f;
   return PageHandle(this, f, id, data_offset_);
 }
 
 Status BufferManager::FreePage(PageId id) {
   {
-    MutexLock lock(mu_);
-    auto it = table_.find(id);
-    if (it != table_.end()) {
+    Shard& shard = ShardFor(id);
+    MutexLock lock(shard.mu);
+    auto it = shard.table.find(id);
+    if (it != shard.table.end()) {
       internal::Frame* f = it->second;
       if (f->pin_count > 0)
         return Status::Busy("freeing a pinned page");
       if (f->in_lru) {
-        lru_.erase(f->lru_pos);
+        shard.lru.erase(f->lru_pos);
         f->in_lru = false;
       }
       f->dirty = false;
-      table_.erase(it);
-      free_frames_.push_back(f);
+      shard.table.erase(it);
+      shard.free_frames.push_back(f);
     }
   }
   return space_->FreePage(id);
 }
 
 void BufferManager::Unpin(internal::Frame* frame) {
-  MutexLock lock(mu_);
+  Shard& shard = *shards_[frame->shard];
+  MutexLock lock(shard.mu);
   assert(frame->pin_count > 0);
   frame->pin_count--;
   if (frame->pin_count == 0) {
-    lru_.push_back(frame);
-    frame->lru_pos = std::prev(lru_.end());
+    shard.lru.push_back(frame);
+    frame->lru_pos = std::prev(shard.lru.end());
     frame->in_lru = true;
   }
 }
 
 Status BufferManager::FlushAll() {
-  MutexLock lock(mu_);
-  for (auto& [id, f] : table_) {
-    (void)id;
-    XDB_RETURN_NOT_OK(WriteBack(f));
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    for (auto& [id, f] : shard->table) {
+      (void)id;
+      XDB_RETURN_NOT_OK(WriteBack(*shard, f));
+    }
   }
   return Status::OK();
 }
 
 std::vector<PageId> BufferManager::quarantined_pages() const {
-  MutexLock lock(mu_);
-  return std::vector<PageId>(quarantined_.begin(), quarantined_.end());
+  std::vector<PageId> out;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    out.insert(out.end(), shard->quarantined.begin(),
+               shard->quarantined.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+BufferManagerStats BufferManager::shard_stats(size_t shard) const {
+  MutexLock lock(shards_[shard]->mu);
+  return shards_[shard]->stats;
+}
+
+BufferManagerStats BufferManager::stats() const {
+  BufferManagerStats total;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.writebacks += shard->stats.writebacks;
+    total.checksum_failures += shard->stats.checksum_failures;
+  }
+  return total;
+}
+
+void BufferManager::ResetStats() {
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->stats = BufferManagerStats{};
+  }
 }
 
 }  // namespace xdb

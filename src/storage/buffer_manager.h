@@ -2,6 +2,13 @@
 // dirty tracking, and LRU replacement — the paper's reused "buffer manager"
 // infrastructure component.
 //
+// The cache is split into N = power-of-two shards keyed by a page-id hash.
+// Each shard owns its slice of the frames plus its own mutex, frame table,
+// LRU list, quarantine set, and stats, so parallel query workers fixing
+// pages of different shards never contend on one global lock. `stats()`
+// aggregates across shards; checksum verification and quarantine stay
+// per-shard (a corrupt page poisons only its own shard's table).
+//
 // For format-v2 table spaces this layer owns page integrity: every fetch
 // verifies the page checksum (failures quarantine the page and surface
 // kCorruption), every writeback stamps the header with the current CRC and
@@ -11,6 +18,7 @@
 #ifndef XDB_STORAGE_BUFFER_MANAGER_H_
 #define XDB_STORAGE_BUFFER_MANAGER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -31,10 +39,12 @@ class BufferManager;
 
 namespace internal {
 // Frame bookkeeping (page_id, pin_count, in_lru, lru_pos) is protected by the
-// owning BufferManager's mu_. `data` and `dirty` belong exclusively to the
-// pinning thread between FixPage and Unpin; once the frame is unpinned, mu_
-// hands them over to eviction/writeback (Unpin's lock release is the
-// synchronization point).
+// owning shard's mutex; `shard` is fixed at construction. `data` and `dirty`
+// belong exclusively to the pinning thread between FixPage and Unpin; once
+// the frame is unpinned, the shard mutex hands them over to
+// eviction/writeback (Unpin's lock release is the synchronization point).
+// Concurrent pinners of one page may read `data` together; mutation requires
+// a higher-level latch (the collection latch) excluding other pinners.
 struct Frame {
   PageId page_id = kInvalidPageId;
   int pin_count = 0;
@@ -42,6 +52,7 @@ struct Frame {
   std::unique_ptr<char[]> data;
   std::list<Frame*>::iterator lru_pos;
   bool in_lru = false;
+  uint32_t shard = 0;  // owning shard index, fixed after construction
 };
 }  // namespace internal
 
@@ -85,70 +96,95 @@ struct BufferManagerStats {
 
 class BufferManager {
  public:
-  /// `capacity` is the number of page frames held in memory.
-  BufferManager(TableSpace* space, size_t capacity);
+  /// `capacity` is the number of page frames held in memory, divided evenly
+  /// across `shards` (0 = DefaultShardCount; rounded down to a power of two
+  /// and clamped so every shard owns at least one frame).
+  BufferManager(TableSpace* space, size_t capacity, size_t shards = 0);
   ~BufferManager();
   BufferManager(const BufferManager&) = delete;
   BufferManager& operator=(const BufferManager&) = delete;
 
+  /// Sizing policy for `shards = 0`: one shard per 64 frames, capped at 8,
+  /// rounded down to a power of two. Small pools (tests, tiny collections)
+  /// stay single-shard and behave exactly like the unsharded manager.
+  static size_t DefaultShardCount(size_t capacity);
+
   /// Pins page `id`, reading it from the table space on a miss. Returns
   /// kCorruption (and quarantines the page) when its checksum fails.
-  Result<PageHandle> FixPage(PageId id) XDB_EXCLUDES(mu_);
+  Result<PageHandle> FixPage(PageId id);
 
   /// Allocates a fresh page in the table space and pins it.
-  Result<PageHandle> NewPage() XDB_EXCLUDES(mu_);
+  Result<PageHandle> NewPage();
 
   /// Unpins and frees page `id` back to the table space. The page must not
   /// be pinned by anyone else.
-  Status FreePage(PageId id) XDB_EXCLUDES(mu_);
+  Status FreePage(PageId id);
 
   /// Writes back all dirty pages. Callers must exclude concurrent page
   /// writers (the engine holds the collection latch across checkpoints).
-  Status FlushAll() XDB_EXCLUDES(mu_);
+  Status FlushAll();
 
   /// WAL position stamped into page headers on writeback (page LSN). Unset,
   /// pages are stamped with LSN 0.
-  void set_lsn_source(std::function<uint64_t()> source) XDB_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
+  void set_lsn_source(std::function<uint64_t()> source) XDB_EXCLUDES(lsn_mu_) {
+    MutexLock lock(lsn_mu_);
     lsn_source_ = std::move(source);
   }
 
   /// Pages whose checksum failed; they stay unreadable until repaired.
-  std::vector<PageId> quarantined_pages() const XDB_EXCLUDES(mu_);
+  /// Sorted, so the report is deterministic across shard layouts.
+  std::vector<PageId> quarantined_pages() const;
 
   TableSpace* space() { return space_; }
   /// Client-usable bytes per page (physical size minus the page header).
   uint32_t page_size() const { return space_->usable_page_size(); }
-  /// Snapshot of the counters (copied under the lock).
-  BufferManagerStats stats() const XDB_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return stats_;
-  }
-  void ResetStats() XDB_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    stats_ = BufferManagerStats{};
-  }
+
+  size_t shard_count() const { return shards_.size(); }
+  /// Counters of one shard (copied under its lock); tests verify that the
+  /// aggregate equals the per-shard sum.
+  BufferManagerStats shard_stats(size_t shard) const;
+  /// Aggregate counters summed across all shards.
+  BufferManagerStats stats() const;
+  void ResetStats();
 
  private:
   friend class PageHandle;
 
-  void Unpin(internal::Frame* frame) XDB_EXCLUDES(mu_);
-  Result<internal::Frame*> GetFreeFrame() XDB_REQUIRES(mu_);
-  Status WriteBack(internal::Frame* frame) XDB_REQUIRES(mu_);
+  /// One independent slice of the cache: its own lock, table, LRU and stats.
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<PageId, internal::Frame*> table XDB_GUARDED_BY(mu);
+    std::unordered_set<PageId> quarantined XDB_GUARDED_BY(mu);
+    /// front = coldest unpinned frame
+    std::list<internal::Frame*> lru XDB_GUARDED_BY(mu);
+    std::vector<internal::Frame*> free_frames XDB_GUARDED_BY(mu);
+    BufferManagerStats stats XDB_GUARDED_BY(mu);
+  };
+
+  /// Fibonacci-hash of the page id onto a shard; adjacent page ids (B+tree
+  /// node chains, record pages) spread across shards instead of clustering.
+  size_t ShardIndex(PageId id) const {
+    return static_cast<size_t>((id * 0x9E3779B97F4A7C15ull) >> 32) &
+           shard_mask_;
+  }
+  Shard& ShardFor(PageId id) { return *shards_[ShardIndex(id)]; }
+  const Shard& ShardFor(PageId id) const { return *shards_[ShardIndex(id)]; }
+
+  void Unpin(internal::Frame* frame);
+  Result<internal::Frame*> GetFreeFrame(Shard& shard) XDB_REQUIRES(shard.mu);
+  Status WriteBack(Shard& shard, internal::Frame* frame)
+      XDB_REQUIRES(shard.mu);
 
   TableSpace* space_;
   size_t capacity_;
   uint32_t data_offset_;
   bool checksums_;
-  std::function<uint64_t()> lsn_source_ XDB_GUARDED_BY(mu_);
-  mutable Mutex mu_;
-  std::unordered_map<PageId, internal::Frame*> table_ XDB_GUARDED_BY(mu_);
-  std::unordered_set<PageId> quarantined_ XDB_GUARDED_BY(mu_);
-  /// front = coldest unpinned frame
-  std::list<internal::Frame*> lru_ XDB_GUARDED_BY(mu_);
+  /// Leaf lock (acquired inside a shard lock during writeback).
+  mutable Mutex lsn_mu_;
+  std::function<uint64_t()> lsn_source_ XDB_GUARDED_BY(lsn_mu_);
+  std::vector<std::unique_ptr<Shard>> shards_;  // fixed after ctor
+  size_t shard_mask_ = 0;
   std::vector<std::unique_ptr<internal::Frame>> frames_;  // fixed after ctor
-  std::vector<internal::Frame*> free_frames_ XDB_GUARDED_BY(mu_);
-  BufferManagerStats stats_ XDB_GUARDED_BY(mu_);
 };
 
 }  // namespace xdb

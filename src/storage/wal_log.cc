@@ -84,6 +84,47 @@ Status WalLog::Sync() {
   });
 }
 
+Status WalLog::Commit() {
+  // The CSN: everything appended before this call must become durable.
+  const uint64_t target = size_.load(std::memory_order_acquire);
+  {
+    MutexLock lock(commit_mu_);
+    commit_stats_.commits++;
+  }
+  for (;;) {
+    uint64_t sync_goal = 0;
+    {
+      MutexLock lock(commit_mu_);
+      if (synced_upto_ >= target) return Status::OK();  // piggybacked
+      if (sync_active_) {
+        // A leader's fsync is in flight; wait for its round to finish and
+        // re-check coverage (a failed round leaves synced_upto_ behind and
+        // this caller becomes the retry leader).
+        commit_cv_.Wait(lock);
+        continue;
+      }
+      sync_active_ = true;
+      commit_stats_.syncs++;
+      // Sync through the *current* end of log, not just our own CSN: later
+      // appends that raced in ride along for free.
+      sync_goal = size_.load(std::memory_order_acquire);
+    }
+    Status st = Sync();  // commit_mu_ dropped: appends and waiters proceed
+    {
+      MutexLock lock(commit_mu_);
+      sync_active_ = false;
+      if (st.ok() && sync_goal > synced_upto_) synced_upto_ = sync_goal;
+    }
+    commit_cv_.NotifyAll();
+    if (!st.ok()) return st;
+  }
+}
+
+WalCommitStats WalLog::commit_stats() const {
+  MutexLock lock(commit_mu_);
+  return commit_stats_;
+}
+
 Status WalLog::Replay(
     const std::function<Status(uint64_t, WalRecordType, Slice)>& visit,
     WalReplayInfo* info) {
@@ -143,6 +184,8 @@ Status WalLog::Reset() {
   MutexLock lock(mu_);
   if (::ftruncate(fd_, 0) != 0) return Status::IOError("ftruncate failed");
   size_.store(0, std::memory_order_relaxed);
+  MutexLock clock(commit_mu_);
+  synced_upto_ = 0;
   return Status::OK();
 }
 

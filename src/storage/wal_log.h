@@ -51,6 +51,14 @@ struct WalReplayInfo {
   bool torn_tail = false;
 };
 
+/// Group-commit counters: `commits` counts Commit() calls, `syncs` the
+/// fdatasync rounds issued on their behalf. Under concurrent commit load
+/// syncs < commits — followers piggyback on the leader's fsync.
+struct WalCommitStats {
+  uint64_t commits = 0;
+  uint64_t syncs = 0;
+};
+
 class WalLog {
  public:
   ~WalLog();
@@ -65,6 +73,17 @@ class WalLog {
 
   /// Forces all appended records to stable storage.
   Status Sync();
+
+  /// Group commit: makes everything appended so far durable, coalescing
+  /// concurrent callers onto one fdatasync. The caller snapshots the current
+  /// end of log as its commit sequence number; if a sync covering that CSN
+  /// is already running it waits on the condvar for the leader's round (or a
+  /// retry round after a failed one) instead of issuing its own, so N
+  /// concurrent committers cost far fewer than N fsyncs.
+  Status Commit() XDB_EXCLUDES(commit_mu_);
+
+  /// Snapshot of the group-commit counters (copied under the lock).
+  WalCommitStats commit_stats() const XDB_EXCLUDES(commit_mu_);
 
   /// Replays every intact record in order. Stops cleanly at a torn tail
   /// (truncated or CRC-failing last record), which is the normal crash case;
@@ -96,6 +115,16 @@ class WalLog {
   RetryPolicy retry_policy_;
   IoClock* clock_ = nullptr;
   IoStats io_stats_;
+
+  /// Group-commit state. Lock order: mu_ before commit_mu_ (Reset() takes
+  /// both); Commit() takes only commit_mu_ and drops it around the fsync.
+  mutable Mutex commit_mu_;
+  CondVar commit_cv_;
+  /// Byte offset the log is durable up to (the highest synced CSN).
+  uint64_t synced_upto_ XDB_GUARDED_BY(commit_mu_) = 0;
+  /// True while a leader is inside fdatasync with commit_mu_ dropped.
+  bool sync_active_ XDB_GUARDED_BY(commit_mu_) = false;
+  WalCommitStats commit_stats_ XDB_GUARDED_BY(commit_mu_);
 };
 
 }  // namespace xdb

@@ -1,0 +1,128 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xdb {
+namespace util {
+
+thread_local int ThreadPool::pool_thread_index_ = -1;
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; i++)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; i++)
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.NotifyAll();
+  for (std::thread& t : threads_) t.join();
+  // Workers exit as soon as they observe stop_, possibly leaving queued
+  // tasks behind; run them here so any Latch they count down is released.
+  for (auto& w : workers_) {
+    MutexLock lock(w->mu);
+    while (!w->queue.empty()) {
+      std::function<void()> fn = std::move(w->queue.front());
+      w->queue.pop_front();
+      fn();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  size_t idx = pool_thread_index_ >= 0
+                   ? static_cast<size_t>(pool_thread_index_)
+                   : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                         workers_.size();
+  if (idx >= workers_.size()) idx = 0;  // a worker of some *other* pool
+  {
+    MutexLock lock(workers_[idx]->mu);
+    workers_[idx]->queue.push_back(std::move(fn));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  MutexLock lock(idle_mu_);
+  idle_cv_.NotifyOne();
+}
+
+bool ThreadPool::TryRunOne(size_t self) {
+  std::function<void()> fn;
+  {
+    // Own deque first, newest task first (LIFO keeps the working set warm).
+    MutexLock lock(workers_[self]->mu);
+    if (!workers_[self]->queue.empty()) {
+      fn = std::move(workers_[self]->queue.back());
+      workers_[self]->queue.pop_back();
+    }
+  }
+  if (!fn) {
+    // Steal oldest-first from the other workers, scanning round-robin from
+    // our right neighbour so victims spread instead of piling on worker 0.
+    for (size_t k = 1; k < workers_.size() && !fn; k++) {
+      Worker& victim = *workers_[(self + k) % workers_.size()];
+      MutexLock lock(victim.mu);
+      if (!victim.queue.empty()) {
+        fn = std::move(victim.queue.front());
+        victim.queue.pop_front();
+      }
+    }
+  }
+  if (!fn) return false;
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  fn();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  pool_thread_index_ = static_cast<int>(self);
+  for (;;) {
+    if (TryRunOne(self)) continue;
+    MutexLock lock(idle_mu_);
+    if (stop_) return;
+    if (pending_.load(std::memory_order_acquire) == 0) idle_cv_.Wait(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t max_parallelism,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  size_t cap = max_parallelism == 0 ? workers_.size() + 1 : max_parallelism;
+  // Nested fan-out from a pool thread runs serially: the caller's own
+  // iterations always make progress, so waiting on helpers that may be
+  // queued behind this very task could deadlock the pool.
+  size_t helpers =
+      (workers_.empty() || pool_thread_index_ >= 0 || cap <= 1)
+          ? 0
+          : std::min({cap - 1, workers_.size(), n - 1});
+  std::atomic<size_t> next{0};
+  auto run = [&next, n, &fn] {
+    size_t i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) fn(i);
+  };
+  if (helpers == 0) {
+    run();
+    return;
+  }
+  Latch done(helpers);
+  for (size_t h = 0; h < helpers; h++) {
+    Submit([&run, &done] {
+      run();
+      done.CountDown();
+    });
+  }
+  run();
+  done.Wait();
+}
+
+}  // namespace util
+}  // namespace xdb

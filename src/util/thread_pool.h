@@ -1,0 +1,99 @@
+// Work-stealing thread pool for parallel query execution.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (cache-warm)
+// and steals FIFO from the other workers when its deque runs dry, so one
+// long-running chunk cannot strand queued work behind it. The pool is shared
+// by all collections of an engine; queries fan per-document evaluation out to
+// it and the submitting thread always participates in its own batch
+// (ParallelFor), so a pool smaller than the number of concurrent queries
+// degrades to serial execution instead of deadlocking.
+#ifndef XDB_UTIL_THREAD_POOL_H_
+#define XDB_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace xdb {
+namespace util {
+
+/// One-shot countdown latch (std::latch without the C++20 header so the
+/// annotated CondVar/Mutex pair stays visible to the thread-safety analysis).
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void CountDown() XDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.NotifyAll();
+  }
+
+  void Wait() XDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (count_ > 0) cv_.Wait(lock);
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  size_t count_ XDB_GUARDED_BY(mu_);
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 makes every Submit run inline (a valid
+  /// degenerate pool, used when the engine is configured serial).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn` on this worker's own deque when called from a pool
+  /// thread, else round-robin across workers. Runs inline on an empty pool.
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(0..n-1), distributing iterations dynamically over at most
+  /// `max_parallelism` threads (0 = no cap beyond the pool size). The
+  /// calling thread always executes iterations itself and the call returns
+  /// only after every iteration finished. Nested calls from a pool thread
+  /// run serially (no helper submission), which cannot deadlock.
+  void ParallelFor(size_t n, size_t max_parallelism,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  struct Worker {
+    Mutex mu;
+    std::deque<std::function<void()>> queue XDB_GUARDED_BY(mu);
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops own work (LIFO) or steals (FIFO) and runs it.
+  bool TryRunOne(size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  Mutex idle_mu_;
+  CondVar idle_cv_;
+  bool stop_ XDB_GUARDED_BY(idle_mu_) = false;
+  /// Tasks pushed but not yet popped, across all deques (idle-wait predicate).
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<uint64_t> next_queue_{0};
+  /// Index of the current thread within its owning pool, -1 off-pool.
+  static thread_local int pool_thread_index_;
+};
+
+}  // namespace util
+}  // namespace xdb
+
+#endif  // XDB_UTIL_THREAD_POOL_H_

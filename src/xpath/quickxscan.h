@@ -35,9 +35,16 @@ struct QuickXScanStats {
   size_t memory_bytes = 0;           // instance pool footprint
 };
 
+/// Re-entrancy: a scan holds all of its mutable state (instance pool,
+/// stacks, depth bookkeeping, stats) in the QuickXScan object itself and
+/// only *reads* the compiled QueryTree, so any number of scans — one per
+/// document chunk in the parallel executor — may share one tree from
+/// different threads concurrently. The tree must not be recompiled or
+/// mutated while scans are running.
 class QuickXScan {
  public:
-  /// `tree` must outlive the scan.
+  /// `tree` must outlive the scan and stay immutable while it runs; many
+  /// concurrent scans may share it (see the re-entrancy note above).
   QuickXScan(const QueryTree* tree, uint64_t doc_id);
 
   /// Consumes the whole event stream and appends matched result nodes (in

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "engine/engine.h"
 #include "testing/differential.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
@@ -137,6 +138,65 @@ TEST(DifferentialTest, HandPickedAdversarialCases) {
   for (const auto& c : kCases) {
     EXPECT_EQ(CompareEngines(c.doc, c.query, true), "")
         << "doc=" << c.doc << " query=" << c.query;
+  }
+}
+
+// --- parallel execution determinism: the fan-out must be invisible ---
+
+// The same query over the same multi-document collection, parallelism=1 vs
+// parallelism=8, must produce byte-identical (doc_id, node_id, string_value)
+// sequences. The executor evaluates contiguous candidate chunks on worker
+// threads and merges them in chunk order before normalization, so any
+// divergence here is an executor bug, not nondeterminism to tolerate.
+TEST(DifferentialTest, ParallelExecutionMatchesSerial) {
+  EngineOptions eopts;
+  eopts.in_memory = true;
+  eopts.enable_wal = false;
+  eopts.num_query_threads = 8;
+  auto engine = Engine::Open(eopts).MoveValue();
+  Collection* coll = engine->CreateCollection("diff").value();
+
+  DiffOptions opts;
+  constexpr uint64_t kDocs = 32;
+  for (uint64_t seed = 1; seed <= kDocs; seed++) {
+    DiffCase c = GenCase(flags()->base_seed + seed, opts);
+    ASSERT_TRUE(coll->InsertDocument(nullptr, c.doc).ok())
+        << "doc seed " << flags()->base_seed + seed;
+  }
+
+  // The generated queries share the generators' tag alphabet, so they hit a
+  // varying subset of the 32 documents — small sets take the serial
+  // fallback, large ones the parallel path; both must agree.
+  constexpr ForceMethod kForces[] = {ForceMethod::kAuto, ForceMethod::kScan};
+  for (uint64_t qseed = 1; qseed <= 60; qseed++) {
+    DiffCase c = GenCase(flags()->base_seed + 1000 + qseed, opts);
+    for (ForceMethod force : kForces) {
+      QueryOptions serial;
+      serial.force = force;
+      serial.want_values = true;
+      serial.parallelism = 1;
+      QueryOptions par = serial;
+      par.parallelism = 8;
+      auto rs = coll->Query(nullptr, c.query, serial);
+      auto rp = coll->Query(nullptr, c.query, par);
+      ASSERT_EQ(rs.ok(), rp.ok())
+          << "query " << c.query << " serial=" << rs.status().ToString()
+          << " parallel=" << rp.status().ToString();
+      if (!rs.ok()) continue;
+      const NodeSequence& a = rs.value().nodes;
+      const NodeSequence& b = rp.value().nodes;
+      ASSERT_EQ(a.size(), b.size()) << "query " << c.query;
+      for (size_t i = 0; i < a.size(); i++) {
+        ASSERT_EQ(a[i].doc_id, b[i].doc_id)
+            << "query " << c.query << " position " << i;
+        ASSERT_EQ(a[i].node_id, b[i].node_id)
+            << "query " << c.query << " position " << i;
+        ASSERT_EQ(a[i].string_value, b[i].string_value)
+            << "query " << c.query << " position " << i;
+      }
+      EXPECT_EQ(rs.value().stats.docs_evaluated, rp.value().stats.docs_evaluated)
+          << "query " << c.query;
+    }
   }
 }
 

@@ -417,6 +417,80 @@ TEST(WalFaultTest, TornTailSweepRecoversCommittedPrefixAtEveryOffset) {
   }
 }
 
+// Group-commit variant of the torn-tail sweep: the first two records are made
+// durable through WalLog::Commit() — the group-commit path, one fdatasync
+// covering both — and then the third record tears at every byte offset.
+// Recovery must always yield exactly the synced prefix.
+TEST(WalFaultTest, GroupCommitTornTailSweepRecoversSyncedPrefix) {
+  const std::string payloads[] = {"alpha-record", "beta-record",
+                                  "the-final-record-that-tears"};
+  const size_t final_size = 4 + 1 + 4 + payloads[2].size();
+  for (size_t keep = 0; keep < final_size; keep++) {
+    FileGuard file(TempPath("wal_group_torn_sweep"));
+    {
+      auto wal = WalLog::Open(file.path()).MoveValue();
+      ASSERT_TRUE(
+          wal->Append(WalRecordType::kInsertDocument, payloads[0]).ok());
+      ASSERT_TRUE(
+          wal->Append(WalRecordType::kInsertDocument, payloads[1]).ok());
+      ASSERT_TRUE(wal->Commit().ok());
+      auto stats = wal->commit_stats();
+      EXPECT_EQ(stats.commits, 1u) << "keep=" << keep;
+      EXPECT_EQ(stats.syncs, 1u) << "keep=" << keep;
+      ScopedFaultInjector fi;
+      fi->Arm(FaultPoint::kWalAppend, 1, FaultKind::kTornWrite,
+              static_cast<uint32_t>(keep));
+      EXPECT_TRUE(wal->Append(WalRecordType::kInsertDocument, payloads[2])
+                      .status()
+                      .IsIOError())
+          << "keep=" << keep;
+    }
+    auto wal = WalLog::Open(file.path()).MoveValue();
+    std::vector<std::string> seen;
+    Status s = wal->Replay([&](uint64_t, WalRecordType, Slice payload) {
+      seen.push_back(payload.ToString());
+      return Status::OK();
+    });
+    ASSERT_TRUE(s.ok()) << "keep=" << keep << ": " << s.ToString();
+    ASSERT_EQ(seen.size(), 2u) << "keep=" << keep;
+    EXPECT_EQ(seen[0], payloads[0]);
+    EXPECT_EQ(seen[1], payloads[1]);
+  }
+}
+
+// A failed fsync fails the Commit() that led the round without marking its
+// CSN durable; the next Commit() becomes the retry leader, re-syncs, and the
+// record is durable after all. Guards against a failed round poisoning
+// synced_upto_ (which would make later commits no-op on unsynced data).
+TEST(WalFaultTest, GroupCommitSyncFaultIsRetriedByNextCommit) {
+  FileGuard file(TempPath("wal_group_sync_fault"));
+  {
+    auto wal = WalLog::Open(file.path()).MoveValue();
+    ASSERT_TRUE(wal->Append(WalRecordType::kInsertDocument, "solo").ok());
+    {
+      ScopedFaultInjector fi;
+      fi->Arm(FaultPoint::kWalSync, 1, FaultKind::kError, 0);
+      EXPECT_TRUE(wal->Commit().IsIOError());
+    }
+    EXPECT_TRUE(wal->Commit().ok());
+    auto stats = wal->commit_stats();
+    EXPECT_EQ(stats.commits, 2u);
+    EXPECT_EQ(stats.syncs, 2u);
+    // Coverage reached: a third commit piggybacks, no extra fsync.
+    EXPECT_TRUE(wal->Commit().ok());
+    EXPECT_EQ(wal->commit_stats().syncs, 2u);
+  }
+  auto wal = WalLog::Open(file.path()).MoveValue();
+  std::vector<std::string> seen;
+  ASSERT_TRUE(wal->Replay([&](uint64_t, WalRecordType, Slice payload) {
+                   seen.push_back(payload.ToString());
+                   return Status::OK();
+                 })
+                  .ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "solo");
+}
+
 // Same sweep at the file level (plain truncation instead of a torn write):
 // guards the boundary case where the tail is cut *between* records.
 TEST(WalFaultTest, TruncationSweepAcrossRecordBoundary) {
@@ -556,6 +630,62 @@ TEST_F(EngineFaultTest, CommittedSurviveUncommittedVanishAcrossFaultSweep) {
     auto ids = coll->ListDocIds().value();
     EXPECT_EQ(ids.size(), 1 + committed.size()) << "fault_op=" << fault_op;
     // And the store is fully usable after recovery.
+    uint64_t fresh =
+        coll->InsertDocument(nullptr, "<post>recovery</post>").value();
+    EXPECT_EQ(coll->GetDocumentText(nullptr, fresh).value(),
+              "<post>recovery</post>");
+    engine.reset();
+    TearDown();
+  }
+}
+
+// The committed-survive sweep again with sync_commits=true: every committed
+// insert goes through the WAL group-commit path (append + fdatasync) before
+// it returns. Crash recovery must behave exactly as in checkpoint-durability
+// mode, and the commit stats must show the group-commit path engaged.
+TEST_F(EngineFaultTest, SyncCommitsCommittedSurviveAcrossFaultSweep) {
+  for (uint64_t fault_op : {1u, 3u, 5u}) {
+    SetUp();  // fresh dir per sweep point
+    EngineOptions opts = FileOptions();
+    opts.sync_commits = true;
+    std::vector<std::pair<uint64_t, std::string>> committed;
+    uint64_t precheckpoint_doc = 0;
+    {
+      Engine* crashed =
+          IntentionallyLeaked(Engine::Open(opts).MoveValue().release());
+      Collection* coll = crashed->CreateCollection("docs").value();
+      precheckpoint_doc =
+          coll->InsertDocument(nullptr, "<doc n=\"base\">safe</doc>").value();
+      ASSERT_TRUE(crashed->Checkpoint().ok());
+
+      ScopedFaultInjector fi;
+      fi->set_crash_after_fire(true);
+      fi->Arm(FaultPoint::kWalAppend, fault_op, FaultKind::kTornWrite, 6);
+      Random rng(fault_op);
+      for (int i = 0; i < 6; i++) {
+        std::string xml = "<doc n=\"" + std::to_string(i) + "\">" +
+                          std::to_string(rng.Uniform(100000)) + "</doc>";
+        auto r = coll->InsertDocument(nullptr, xml);
+        if (r.ok()) committed.emplace_back(r.value(), xml);
+      }
+      EXPECT_EQ(committed.size(), fault_op - 1);
+      // Each successful insert ran one Commit(); a commit never takes more
+      // than one fsync here, and commits before the fault all synced.
+      auto stats = crashed->wal()->commit_stats();
+      EXPECT_GE(stats.commits, committed.size()) << "fault_op=" << fault_op;
+      EXPECT_LE(stats.syncs, stats.commits) << "fault_op=" << fault_op;
+      EXPECT_GT(stats.syncs, 0u) << "fault_op=" << fault_op;
+    }
+    auto engine = Engine::Open(opts).MoveValue();
+    Collection* coll = engine->GetCollection("docs").value();
+    EXPECT_EQ(coll->GetDocumentText(nullptr, precheckpoint_doc).value(),
+              "<doc n=\"base\">safe</doc>");
+    for (const auto& [doc_id, xml] : committed) {
+      EXPECT_EQ(coll->GetDocumentText(nullptr, doc_id).value(), xml)
+          << "fault_op=" << fault_op;
+    }
+    auto ids = coll->ListDocIds().value();
+    EXPECT_EQ(ids.size(), 1 + committed.size()) << "fault_op=" << fault_op;
     uint64_t fresh =
         coll->InsertDocument(nullptr, "<post>recovery</post>").value();
     EXPECT_EQ(coll->GetDocumentText(nullptr, fresh).value(),
