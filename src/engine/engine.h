@@ -165,14 +165,17 @@ class Engine {
   LockManager locks_;
   std::unique_ptr<TransactionManager> txns_;
   std::unique_ptr<WalLog> wal_;
-  /// num_query_threads - 1 work-stealing helpers shared by all collections
-  /// (the querying thread itself is the final executor). Fixed after Open.
-  std::unique_ptr<util::ThreadPool> query_pool_;
   Mutex mu_;
   std::map<std::string, std::unique_ptr<Collection>> collections_
       XDB_GUARDED_BY(mu_);
   std::map<std::string, schema::CompiledSchema> schemas_ XDB_GUARDED_BY(mu_);
   CatalogData catalog_ XDB_GUARDED_BY(mu_);
+  /// num_query_threads - 1 work-stealing helpers shared by all collections
+  /// (the querying thread itself is the final executor). Fixed after Open.
+  /// Declared after collections_ so ~Engine joins the pool — and drains any
+  /// still-queued ParallelFor chunk tasks — while the collections those
+  /// tasks reference are still alive.
+  std::unique_ptr<util::ThreadPool> query_pool_;
   RecoveryInfo recovery_;
   // True while ReplayWal() re-applies logged operations (so the operations
   // skip re-logging themselves). Read lock-free on every Log* call.

@@ -112,59 +112,106 @@ Result<internal::Frame*> BufferManager::GetFreeFrame(Shard& shard) {
   return victim;
 }
 
+Result<internal::Frame*> BufferManager::BorrowFrame(size_t dst) {
+  for (size_t k = 1; k < shards_.size(); k++) {
+    Shard& donor = *shards_[(dst + k) % shards_.size()];
+    MutexLock lock(donor.mu);
+    auto r = GetFreeFrame(donor);
+    if (r.status().IsBusy()) continue;  // this donor is fully pinned too
+    XDB_RETURN_NOT_OK(r.status());      // eviction writeback failed
+    internal::Frame* f = r.value();
+    f->page_id = kInvalidPageId;
+    f->shard = static_cast<uint32_t>(dst);
+    return f;
+  }
+  return Status::Busy("all buffer frames are pinned");
+}
+
 Result<PageHandle> BufferManager::FixPage(PageId id) {
-  Shard& shard = ShardFor(id);
-  MutexLock lock(shard.mu);
-  if (shard.quarantined.count(id) != 0)
-    return Status::Corruption("page " + std::to_string(id) +
-                              " is quarantined");
-  auto it = shard.table.find(id);
-  if (it != shard.table.end()) {
-    internal::Frame* f = it->second;
-    if (f->in_lru) {
-      shard.lru.erase(f->lru_pos);
-      f->in_lru = false;
+  const size_t shard_idx = ShardIndex(id);
+  Shard& shard = *shards_[shard_idx];
+  bool counted_miss = false;
+  for (;;) {
+    {
+      MutexLock lock(shard.mu);
+      if (shard.quarantined.count(id) != 0)
+        return Status::Corruption("page " + std::to_string(id) +
+                                  " is quarantined");
+      auto it = shard.table.find(id);
+      if (it != shard.table.end()) {
+        internal::Frame* f = it->second;
+        if (f->in_lru) {
+          shard.lru.erase(f->lru_pos);
+          f->in_lru = false;
+        }
+        f->pin_count++;
+        shard.stats.hits++;
+        return PageHandle(this, f, id, data_offset_);
+      }
+      if (!counted_miss) {
+        shard.stats.misses++;
+        counted_miss = true;
+      }
+      auto free = GetFreeFrame(shard);
+      if (free.ok()) {
+        internal::Frame* f = free.value();
+        Status read = space_->ReadPage(id, f->data.get());
+        if (read.ok() && checksums_)
+          read = VerifyPageChecksum(f->data.get(), space_->page_size(), id);
+        if (!read.ok()) {
+          // The frame was never published in the table; hand it back so a
+          // failed read doesn't shrink the pool.
+          shard.free_frames.push_back(f);
+          if (read.IsCorruption()) {
+            shard.quarantined.insert(id);
+            shard.stats.checksum_failures++;
+            space_->mutable_io_stats()->checksum_failures.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+          return read;
+        }
+        f->page_id = id;
+        f->pin_count = 1;
+        f->dirty = false;
+        shard.table[id] = f;
+        return PageHandle(this, f, id, data_offset_);
+      }
+      if (!free.status().IsBusy()) return free.status();
     }
-    f->pin_count++;
-    shard.stats.hits++;
-    return PageHandle(this, f, id, data_offset_);
+    // Every frame of this shard is pinned: borrow one from another shard
+    // (with no shard lock held), donate it to this shard's free list, and
+    // retry — the retry re-checks the table because a concurrent caller may
+    // have fixed the page, or consumed the donated frame, in the meantime.
+    XDB_ASSIGN_OR_RETURN(internal::Frame* borrowed, BorrowFrame(shard_idx));
+    MutexLock lock(shard.mu);
+    shard.free_frames.push_back(borrowed);
   }
-  shard.stats.misses++;
-  XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame(shard));
-  Status read = space_->ReadPage(id, f->data.get());
-  if (read.ok() && checksums_)
-    read = VerifyPageChecksum(f->data.get(), space_->page_size(), id);
-  if (!read.ok()) {
-    // The frame was never published in the table; hand it back so a failed
-    // read doesn't shrink the pool.
-    shard.free_frames.push_back(f);
-    if (read.IsCorruption()) {
-      shard.quarantined.insert(id);
-      shard.stats.checksum_failures++;
-      space_->mutable_io_stats()->checksum_failures.fetch_add(
-          1, std::memory_order_relaxed);
-    }
-    return read;
-  }
-  f->page_id = id;
-  f->pin_count = 1;
-  f->dirty = false;
-  shard.table[id] = f;
-  return PageHandle(this, f, id, data_offset_);
 }
 
 Result<PageHandle> BufferManager::NewPage() {
   XDB_ASSIGN_OR_RETURN(PageId id, space_->AllocatePage());
-  Shard& shard = ShardFor(id);
-  MutexLock lock(shard.mu);
-  shard.quarantined.erase(id);  // a recycled page starts a new, clean life
-  XDB_ASSIGN_OR_RETURN(internal::Frame* f, GetFreeFrame(shard));
-  std::memset(f->data.get(), 0, space_->page_size());
-  f->page_id = id;
-  f->pin_count = 1;
-  f->dirty = true;
-  shard.table[id] = f;
-  return PageHandle(this, f, id, data_offset_);
+  const size_t shard_idx = ShardIndex(id);
+  Shard& shard = *shards_[shard_idx];
+  for (;;) {
+    {
+      MutexLock lock(shard.mu);
+      shard.quarantined.erase(id);  // a recycled page starts a new, clean life
+      auto free = GetFreeFrame(shard);
+      if (free.ok()) {
+        internal::Frame* f = free.value();
+        std::memset(f->data.get(), 0, space_->page_size());
+        f->page_id = id;
+        f->pin_count = 1;
+        f->dirty = true;
+        shard.table[id] = f;
+        return PageHandle(this, f, id, data_offset_);
+      }
+      if (!free.status().IsBusy()) return free.status();
+    }
+    XDB_ASSIGN_OR_RETURN(internal::Frame* borrowed, BorrowFrame(shard_idx));
+    MutexLock lock(shard.mu);
+    shard.free_frames.push_back(borrowed);
+  }
 }
 
 Status BufferManager::FreePage(PageId id) {

@@ -52,7 +52,11 @@ struct Frame {
   std::unique_ptr<char[]> data;
   std::list<Frame*>::iterator lru_pos;
   bool in_lru = false;
-  uint32_t shard = 0;  // owning shard index, fixed after construction
+  /// Owning shard index. Changes only in BorrowFrame, while the frame is
+  /// unpublished (no table entry, pin_count 0) under the donor shard's lock;
+  /// pinners see the write via the destination shard's mutex when the frame
+  /// is published there.
+  uint32_t shard = 0;
 };
 }  // namespace internal
 
@@ -98,7 +102,10 @@ class BufferManager {
  public:
   /// `capacity` is the number of page frames held in memory, divided evenly
   /// across `shards` (0 = DefaultShardCount; rounded down to a power of two
-  /// and clamped so every shard owns at least one frame).
+  /// and clamped so every shard owns at least one frame). A shard whose
+  /// frames are all pinned borrows from other shards, so the pool only
+  /// reports Busy once all `capacity` frames are pinned — pin capacity is
+  /// not reduced to capacity/shards by skewed page-id distributions.
   BufferManager(TableSpace* space, size_t capacity, size_t shards = 0);
   ~BufferManager();
   BufferManager(const BufferManager&) = delete;
@@ -172,6 +179,12 @@ class BufferManager {
 
   void Unpin(internal::Frame* frame);
   Result<internal::Frame*> GetFreeFrame(Shard& shard) XDB_REQUIRES(shard.mu);
+  /// Takes a free (or evictable) frame from some other shard and re-homes it
+  /// to shard `dst`, so one shard's pins can spill into the whole pool.
+  /// Returns Busy only when every frame of every shard is pinned. Locks one
+  /// donor shard at a time and never two shard mutexes together; callers
+  /// must NOT hold any shard lock.
+  Result<internal::Frame*> BorrowFrame(size_t dst);
   Status WriteBack(Shard& shard, internal::Frame* frame)
       XDB_REQUIRES(shard.mu);
 

@@ -85,16 +85,27 @@ Status WalLog::Sync() {
 }
 
 Status WalLog::Commit() {
-  // The CSN: everything appended before this call must become durable.
-  const uint64_t target = size_.load(std::memory_order_acquire);
+  uint64_t gen;
   {
     MutexLock lock(commit_mu_);
     commit_stats_.commits++;
+    gen = reset_gen_;
   }
+  // The CSN: everything appended before this call must become durable.
+  // Snapshotted *after* the generation: a Reset() racing in between bumps
+  // reset_gen_ and the loop's generation check catches it; the reverse
+  // order would leave a window where a stale CSN slips past both checks.
+  const uint64_t target = size_.load(std::memory_order_acquire);
+  if (commit_race_hook_) commit_race_hook_();
   for (;;) {
     uint64_t sync_goal = 0;
     {
       MutexLock lock(commit_mu_);
+      // A checkpoint Reset() the log after our CSN snapshot: the bytes the
+      // CSN covered are gone (their effects are durable in the checkpoint),
+      // and `target` may forever exceed the truncated log's size — treating
+      // it as satisfied is the only way out.
+      if (reset_gen_ != gen) return Status::OK();
       if (synced_upto_ >= target) return Status::OK();  // piggybacked
       if (sync_active_) {
         // A leader's fsync is in flight; wait for its round to finish and
@@ -113,7 +124,12 @@ Status WalLog::Commit() {
     {
       MutexLock lock(commit_mu_);
       sync_active_ = false;
-      if (st.ok() && sync_goal > synced_upto_) synced_upto_ = sync_goal;
+      // A goal snapshotted before a concurrent Reset() counts bytes that no
+      // longer exist; publishing it would mark future appends durable that
+      // never hit disk. Skipping the update only costs the next leader an
+      // extra fsync.
+      if (st.ok() && reset_gen_ == gen && sync_goal > synced_upto_)
+        synced_upto_ = sync_goal;
     }
     commit_cv_.NotifyAll();
     if (!st.ok()) return st;
@@ -184,8 +200,14 @@ Status WalLog::Reset() {
   MutexLock lock(mu_);
   if (::ftruncate(fd_, 0) != 0) return Status::IOError("ftruncate failed");
   size_.store(0, std::memory_order_relaxed);
-  MutexLock clock(commit_mu_);
-  synced_upto_ = 0;
+  {
+    MutexLock clock(commit_mu_);
+    synced_upto_ = 0;
+    reset_gen_++;
+  }
+  // Wake committers waiting on an in-flight leader so they observe the
+  // generation bump instead of waiting to chase a pre-truncation CSN.
+  commit_cv_.NotifyAll();
   return Status::OK();
 }
 

@@ -102,6 +102,14 @@ class WalLog {
   void set_io_clock(IoClock* clock) { clock_ = clock; }
   IoStatsSnapshot io_stats() const { return SnapshotIoStats(io_stats_); }
 
+  /// Test-only: runs once per Commit(), right after the CSN snapshot with no
+  /// WAL lock held — the exact window where a concurrent checkpoint Reset()
+  /// used to livelock the commit. Re-entrant WalLog calls are allowed. Not
+  /// thread-safe; install before concurrent use.
+  void set_commit_race_hook_for_test(std::function<void()> hook) {
+    commit_race_hook_ = std::move(hook);
+  }
+
  private:
   WalLog() = default;
 
@@ -122,9 +130,17 @@ class WalLog {
   CondVar commit_cv_;
   /// Byte offset the log is durable up to (the highest synced CSN).
   uint64_t synced_upto_ XDB_GUARDED_BY(commit_mu_) = 0;
+  /// Bumped by Reset(). Commit() snapshots it with its CSN: a bump means a
+  /// checkpoint truncated the log out from under the commit, so its CSN
+  /// refers to bytes that no longer exist and can never be "synced" — the
+  /// commit returns OK (the checkpoint made its record's effects durable)
+  /// instead of fsyncing the now-short log forever.
+  uint64_t reset_gen_ XDB_GUARDED_BY(commit_mu_) = 0;
   /// True while a leader is inside fdatasync with commit_mu_ dropped.
   bool sync_active_ XDB_GUARDED_BY(commit_mu_) = false;
   WalCommitStats commit_stats_ XDB_GUARDED_BY(commit_mu_);
+  /// See set_commit_race_hook_for_test().
+  std::function<void()> commit_race_hook_;
 };
 
 }  // namespace xdb

@@ -46,11 +46,14 @@ void ThreadPool::Submit(std::function<void()> fn) {
                    : next_queue_.fetch_add(1, std::memory_order_relaxed) %
                          workers_.size();
   if (idx >= workers_.size()) idx = 0;  // a worker of some *other* pool
+  // Count the task before publishing it: a worker may pop it the instant the
+  // queue lock drops, and its fetch_sub must never observe pending_ == 0 (the
+  // transient wrap to ~2^64 would keep idle workers spinning).
+  pending_.fetch_add(1, std::memory_order_release);
   {
     MutexLock lock(workers_[idx]->mu);
     workers_[idx]->queue.push_back(std::move(fn));
   }
-  pending_.fetch_add(1, std::memory_order_release);
   MutexLock lock(idle_mu_);
   idle_cv_.NotifyOne();
 }

@@ -495,6 +495,94 @@ TEST(WalConcurrencyTest, InterleavedAppendCommitStressReplaysIntact) {
   EXPECT_EQ(count, uint64_t{kThreads * kPerThread});
 }
 
+TEST(WalConcurrencyTest, CommitRacingResetDoesNotLivelock) {
+  PathGuard file(TempPath("wal_gc_reset"));
+  auto wal = WalLog::Open(file.path()).MoveValue();
+
+  // A checkpoint's Reset() truncates the log while committers hold CSNs
+  // snapshotted against the pre-truncation size. Regression test for a
+  // livelock: such a commit must return (the checkpoint superseded its
+  // record), not fsync forever chasing a target the shrunken log can never
+  // reach. The assertion is termination itself.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> committers;
+  for (int t = 0; t < kThreads; t++) {
+    committers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        std::string payload = std::to_string(t) + ":" + std::to_string(i);
+        ASSERT_TRUE(
+            wal->Append(WalRecordType::kInsertDocument, payload).ok());
+        Status st = wal->Commit();
+        ASSERT_TRUE(st.ok()) << st.ToString();
+      }
+    });
+  }
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(wal->Reset().ok());
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : committers) th.join();
+  stop.store(true, std::memory_order_release);
+  resetter.join();
+
+  // The log still works after the storm: a fresh append group-commits and
+  // replays.
+  ASSERT_TRUE(wal->Append(WalRecordType::kInsertDocument, "tail").ok());
+  ASSERT_TRUE(wal->Commit().ok());
+  uint64_t count = 0;
+  ASSERT_TRUE(wal->Replay([&](uint64_t, WalRecordType, Slice) -> Status {
+                    count++;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_GE(count, 1u);
+}
+
+TEST(EngineConcurrencyTest, SyncCommitsWithConcurrentCheckpointer) {
+  PathGuard dir(TempPath("engine_gc_ckpt"));
+  EngineOptions opts;
+  opts.dir = dir.path();
+  opts.sync_commits = true;
+  auto engine = Engine::Open(opts).MoveValue();
+  Collection* coll = engine->CreateCollection("docs").value();
+
+  // Writers group-commit every insert while a checkpointer repeatedly
+  // flushes and truncates the WAL — the engine-level shape of the
+  // commit-vs-reset race above (writers commit outside the collection
+  // latch, Checkpoint resets the log concurrently).
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 15;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        auto res = coll->InsertDocument(
+            nullptr, "<d><v>t" + std::to_string(t) + "-" +
+                         std::to_string(i) + "</v></d>");
+        ASSERT_TRUE(res.ok()) << res.status().ToString();
+      }
+    });
+  }
+  std::thread checkpointer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Status st = engine->Checkpoint();
+      ASSERT_TRUE(AcceptableContention(st)) << st.ToString();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  checkpointer.join();
+
+  ASSERT_TRUE(engine->Checkpoint().ok());
+  EXPECT_EQ(coll->DocCount().value(), uint64_t{kThreads * kPerThread});
+}
+
 TEST(EngineConcurrencyTest, SyncCommitsDurableAcrossReopenWithFewerSyncs) {
   PathGuard dir(TempPath("engine_gc"));
   EngineOptions opts;

@@ -270,6 +270,54 @@ TEST(BufferManagerTest, AllPinnedReportsBusy) {
   EXPECT_TRUE(res.status().IsBusy());
 }
 
+TEST(BufferManagerTest, SkewedPinsBorrowFramesAcrossShards) {
+  TableSpaceOptions opts;
+  opts.in_memory = true;
+  auto ts = TableSpace::Create("", opts).MoveValue();
+  BufferManager bm(ts.get(), /*capacity=*/8, /*shards=*/4);
+  ASSERT_EQ(bm.shard_count(), 4u);
+
+  // Gather page ids that all hash to one shard (the manager's Fibonacci
+  // hash, replicated here) — more of them than the shard's own 8/4 = 2
+  // frames, so pinning them all only works if the shard borrows frames.
+  auto shard_of = [](PageId id) {
+    return static_cast<size_t>((id * 0x9E3779B97F4A7C15ull) >> 32) & 3;
+  };
+  std::vector<PageId> skewed;
+  size_t target_shard = 0;
+  while (skewed.size() < 6) {
+    PageId id = ts->AllocatePage().value();
+    if (skewed.empty()) target_shard = shard_of(id);
+    if (shard_of(id) == target_shard) skewed.push_back(id);
+  }
+
+  std::vector<PageHandle> pins;
+  for (PageId id : skewed) {
+    auto h = bm.FixPage(id);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    pins.push_back(h.MoveValue());
+  }
+
+  // Fill the remaining frames with arbitrary pages, then one more pin must
+  // report Busy: borrowing extends a shard's reach to the whole pool, not
+  // beyond it.
+  while (pins.size() < 8) {
+    PageId id = ts->AllocatePage().value();
+    auto h = bm.FixPage(id);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    pins.push_back(h.MoveValue());
+  }
+  PageId extra = ts->AllocatePage().value();
+  auto res = bm.FixPage(extra);
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsBusy());
+
+  // Unpinning any page frees capacity for any shard (via eviction or
+  // another borrow).
+  pins.pop_back();
+  EXPECT_TRUE(bm.FixPage(extra).ok());
+}
+
 class RecordManagerTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -509,6 +557,30 @@ TEST(WalLogTest, ResetTruncates) {
                    return Status::OK();
                  }).ok());
   EXPECT_EQ(count, 0);
+}
+
+TEST(WalLogTest, CommitSupersededByResetReturnsInsteadOfLivelocking) {
+  FileGuard file(TempPath("wal5"));
+  auto wal = WalLog::Open(file.path()).MoveValue();
+  ASSERT_TRUE(wal->Append(WalRecordType::kInsertDocument, "payload").ok());
+
+  // A checkpoint's Reset() lands in the exact window after Commit snapshots
+  // its CSN. The truncated log can never reach that CSN again, so the
+  // commit must treat the checkpoint as having superseded it and return OK
+  // — the pre-generation-counter code fsynced forever chasing the stale
+  // target.
+  int resets = 0;
+  wal->set_commit_race_hook_for_test([&] {
+    if (resets++ == 0) ASSERT_TRUE(wal->Reset().ok());
+  });
+  Status st = wal->Commit();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  wal->set_commit_race_hook_for_test(nullptr);
+  EXPECT_EQ(wal->size(), 0u);
+
+  // The log keeps working after the superseded commit.
+  ASSERT_TRUE(wal->Append(WalRecordType::kInsertDocument, "after").ok());
+  EXPECT_TRUE(wal->Commit().ok());
 }
 
 TEST(Crc32Test, KnownValueAndSensitivity) {
