@@ -12,6 +12,8 @@
 // scan-heavy case and a < 5% single-thread regression vs the serial seed.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/random.h"
@@ -77,6 +79,21 @@ void RunQuery(benchmark::State& state, const char* xpath,
                           static_cast<int64_t>(fx->stored_bytes));
   state.counters["results"] = static_cast<double>(results);
   state.counters["threads"] = static_cast<double>(state.range(0));
+
+  // With XDB_METRICS_JSON=<path>, dump the engine's cumulative metrics
+  // snapshot after every bench; the last write covers the whole run. CI
+  // uploads it next to BENCH_RESULTS.json so counter deltas across commits
+  // are diffable (buffer traffic, group-commit batches, query fan-out).
+  const char* metrics_path = std::getenv("XDB_METRICS_JSON");
+  if (metrics_path != nullptr && metrics_path[0] != '\0') {
+    std::string json = fx->engine->MetricsSnapshot().ToJson();
+    std::FILE* f = std::fopen(metrics_path, "w");
+    if (f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
 }
 
 // Scan-heavy: full QuickXScan over all 48 documents per query.

@@ -105,6 +105,9 @@ Status LockManager::LockDocument(TxnId txn, uint64_t doc_id, LockMode mode) {
     if (WouldDeadlock(txn, blockers)) {
       waits_for_.erase(txn);
       stats_.deadlocks++;
+      if (events_ != nullptr)
+        events_->Emit(obs::EventKind::kDeadlockVictim, txn, doc_id,
+                      std::string("doc lock ") + LockModeName(mode));
       return Status::Deadlock("waits-for cycle (doc " +
                               std::to_string(doc_id) + ", " +
                               LockModeName(mode) + ")");
@@ -117,6 +120,9 @@ Status LockManager::LockDocument(TxnId txn, uint64_t doc_id, LockMode mode) {
     if (!ok) {
       waits_for_.erase(txn);
       stats_.timeouts++;
+      if (events_ != nullptr)
+        events_->Emit(obs::EventKind::kLockTimeout, txn, doc_id,
+                      std::string("doc lock ") + LockModeName(mode));
       return Status::Deadlock("document lock timeout (doc " +
                               std::to_string(doc_id) + ", " +
                               LockModeName(mode) + ")");
@@ -173,6 +179,9 @@ Status LockManager::LockNode(TxnId txn, uint64_t doc_id, Slice node_id,
     if (WouldDeadlock(txn, blockers)) {
       waits_for_.erase(txn);
       stats_.deadlocks++;
+      if (events_ != nullptr)
+        events_->Emit(obs::EventKind::kDeadlockVictim, txn, doc_id,
+                      std::string("node lock ") + LockModeName(mode));
       return Status::Deadlock("waits-for cycle (node lock, doc " +
                               std::to_string(doc_id) + ")");
     }
@@ -184,6 +193,9 @@ Status LockManager::LockNode(TxnId txn, uint64_t doc_id, Slice node_id,
     if (!ok) {
       waits_for_.erase(txn);
       stats_.timeouts++;
+      if (events_ != nullptr)
+        events_->Emit(obs::EventKind::kLockTimeout, txn, doc_id,
+                      std::string("node lock ") + LockModeName(mode));
       return Status::Deadlock("node lock timeout");
     }
   }

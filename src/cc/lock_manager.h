@@ -30,6 +30,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/event_log.h"
 
 namespace xdb {
 
@@ -74,6 +75,11 @@ class LockManager {
 
   LockManagerStats stats() const XDB_EXCLUDES(mu_);
 
+  /// Destination for kDeadlockVictim / kLockTimeout events (engine-owned,
+  /// may be null). Emit() is lock-free, so it is safe under mu_. Install
+  /// before concurrent use.
+  void set_event_log(obs::EventLog* events) { events_ = events; }
+
  private:
   struct DocLock {
     std::map<TxnId, LockMode> granted;
@@ -113,6 +119,7 @@ class LockManager {
   /// wait iteration, erased on grant/timeout/victim).
   std::map<TxnId, std::vector<TxnId>> waits_for_ XDB_GUARDED_BY(mu_);
   LockManagerStats stats_ XDB_GUARDED_BY(mu_);
+  obs::EventLog* events_ = nullptr;
 };
 
 }  // namespace xdb

@@ -1,6 +1,7 @@
 #include "engine/collection.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <set>
 
@@ -818,27 +819,64 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
   XDB_RETURN_NOT_OK(GuardRepair());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   QueryResult result;
+  // Per-query profile, populated only on request (a default QueryProfile is
+  // cheap). The always-on cost of a query is just the engine query counter
+  // and latency histogram at the bottom of this function.
+  obs::QueryProfile& prof = result.profile;
+  if (options.explain || options.trace) {
+    prof.enabled = true;
+    prof.trace = options.trace;
+    prof.collection = meta_.name;
+    prof.query = path.ToString();
+  }
+  uint64_t pages_before = 0;
+  if (prof.enabled) {
+    // Attributed as a before/after delta of the pool counters; approximate
+    // under concurrent load (documented in query_trace.h).
+    BufferManagerStats bs = buffer_->stats();
+    pages_before = bs.hits + bs.misses;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
   Status st = [&]() -> Status {
     // Plan.
-    query::PlannerContext ctx;
-    XDB_ASSIGN_OR_RETURN(uint64_t docs, DocCount());
+    query::QueryPlan plan;
     {
-      // The index list is copied under a brief shared latch; the ValueIndex
-      // objects themselves are stable once created (never destroyed outside
-      // a rebuild, which requires the exclusive latch).
-      ReaderMutexLock latch(latch_);
-      for (auto& owned : value_indexes_)
-        ctx.indexes.push_back(owned.index.get());
+      obs::PhaseTimer timer(&prof, "plan");
+      query::PlannerContext ctx;
+      XDB_ASSIGN_OR_RETURN(uint64_t docs, DocCount());
+      {
+        // The index list is copied under a brief shared latch; the ValueIndex
+        // objects themselves are stable once created (never destroyed outside
+        // a rebuild, which requires the exclusive latch).
+        ReaderMutexLock latch(latch_);
+        for (auto& owned : value_indexes_)
+          ctx.indexes.push_back(owned.index.get());
+      }
+      ctx.doc_count = docs;
+      // Cheap cardinality statistic (no index walk): stored records per doc.
+      uint64_t live = records_->stats().live_records;
+      ctx.avg_records_per_doc =
+          docs == 0 ? 1.0
+                    : static_cast<double>(std::max<uint64_t>(live, docs)) /
+                          static_cast<double>(docs);
+      XDB_ASSIGN_OR_RETURN(plan, query::ChoosePlan(path, ctx, options.force));
+      if (prof.enabled) {
+        prof.access_method = query::AccessMethodName(plan.method);
+        prof.reason = plan.reason;
+        prof.disjunctive = plan.disjunctive;
+        prof.need_recheck = plan.need_recheck;
+        prof.anchor_step = plan.anchor_step;
+        prof.doc_count = ctx.doc_count;
+        prof.avg_records_per_doc = ctx.avg_records_per_doc;
+        for (const query::PlannedProbe& p : plan.probes)
+          prof.probes.push_back(
+              p.pred.full_path.ToString() + " " +
+              xpath::CompOpName(p.pred.op) + " ... index '" +
+              p.index->def().name + "' (" +
+              (p.match == xpath::IndexMatch::kExact ? "exact" : "filtering") +
+              ")");
+      }
     }
-    ctx.doc_count = docs;
-    // Cheap cardinality statistic (no index walk): stored records per doc.
-    uint64_t live = records_->stats().live_records;
-    ctx.avg_records_per_doc =
-        docs == 0 ? 1.0
-                  : static_cast<double>(std::max<uint64_t>(live, docs)) /
-                        static_cast<double>(docs);
-    XDB_ASSIGN_OR_RETURN(query::QueryPlan plan,
-                         query::ChoosePlan(path, ctx, options.force));
     result.stats.method = plan.method;
     result.stats.explain = plan.explain;
     result.stats.rechecked = plan.need_recheck;
@@ -866,11 +904,16 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
     // The chunked path appends results in exactly the order the serial loop
     // would, so parallelism never changes the answer.
     auto eval_docs = [&](const std::vector<uint64_t>& docs_list) -> Status {
+      obs::PhaseTimer timer(&prof, "eval");
       Transaction* lock_txn = snapshot_read ? nullptr : at.get();
       const size_t parallelism =
           static_cast<size_t>(EffectiveParallelism(options));
       std::vector<query::WorkRange> ranges =
           query::PartitionForParallelism(docs_list.size(), parallelism);
+      // Unconditional: two plain stores, and the always-on
+      // query.parallel_executions counter reads chunks afterwards.
+      prof.parallelism = ranges.empty() ? 1 : static_cast<int>(parallelism);
+      prof.chunks = ranges.empty() ? 1 : ranges.size();
       if (ranges.empty()) {
         return EvalDocRange(lock_txn, docs_list, 0, docs_list.size(),
                             full_tree.get(), locator, &result);
@@ -881,6 +924,8 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
 
     if (plan.method == query::AccessMethod::kFullScan) {
       XDB_ASSIGN_OR_RETURN(std::vector<uint64_t> all_docs, ListDocIds());
+      if (prof.enabled) prof.candidate_docs = all_docs.size();
+      result.stats.candidate_docs = all_docs.size();
       XDB_RETURN_NOT_OK(eval_docs(all_docs));
       NormalizeSequence(&result.nodes);
       return Status::OK();
@@ -890,8 +935,10 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
     // this cannot invert the doc-lock-before-latch order).
     std::vector<std::vector<Posting>> postings_per_probe;
     {
+      obs::PhaseTimer timer(&prof, "probe");
       ReaderMutexLock latch(latch_);
-      for (const query::PlannedProbe& probe : plan.probes) {
+      for (size_t pi = 0; pi < plan.probes.size(); pi++) {
+        const query::PlannedProbe& probe = plan.probes[pi];
         std::optional<KeyBound> lo, hi;
         bool not_equal = false;
         XDB_RETURN_NOT_OK(
@@ -899,6 +946,11 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
         std::vector<Posting> postings;
         XDB_RETURN_NOT_OK(probe.index->Scan(lo, hi, &postings));
         result.stats.index_postings += postings.size();
+        if (prof.trace)
+          prof.trace_lines.push_back(
+              "probe " + std::to_string(pi) + " index '" +
+              probe.index->def().name + "' -> " +
+              std::to_string(postings.size()) + " postings");
         postings_per_probe.push_back(std::move(postings));
       }
     }
@@ -909,32 +961,81 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
 
     if (!node_level) {
       // DocID list / ANDing / ORing, then per-document evaluation.
-      std::vector<uint64_t> docs_list =
-          query::MergeCandidateDocIds(postings_per_probe, plan.disjunctive);
+      std::vector<uint64_t> docs_list;
+      {
+        obs::PhaseTimer timer(&prof, "merge");
+        docs_list =
+            query::MergeCandidateDocIds(postings_per_probe, plan.disjunctive);
+      }
       result.stats.candidate_docs = docs_list.size();
+      if (prof.trace)
+        prof.trace_lines.push_back(
+            std::string(plan.disjunctive ? "union" : "intersection") +
+            " of doc lists -> " + std::to_string(docs_list.size()) +
+            " candidate docs");
       XDB_RETURN_NOT_OK(eval_docs(docs_list));
       NormalizeSequence(&result.nodes);
       return Status::OK();
     }
 
     // NodeID-level: anchor each posting at the predicate step.
-    std::vector<std::vector<Posting>> anchored;
-    for (size_t i = 0; i < postings_per_probe.size(); i++) {
-      std::vector<Posting> a;
-      XDB_RETURN_NOT_OK(query::AnchorPostings(
-          postings_per_probe[i], plan.probes[i].pred.strip_levels, &a));
-      anchored.push_back(std::move(a));
+    std::vector<Posting> anchors;
+    {
+      obs::PhaseTimer timer(&prof, "merge");
+      std::vector<std::vector<Posting>> anchored;
+      for (size_t i = 0; i < postings_per_probe.size(); i++) {
+        std::vector<Posting> a;
+        XDB_RETURN_NOT_OK(query::AnchorPostings(
+            postings_per_probe[i], plan.probes[i].pred.strip_levels, &a));
+        anchored.push_back(std::move(a));
+      }
+      anchors = plan.disjunctive
+                    ? query::UnionPostings(std::move(anchored))
+                    : query::IntersectPostings(std::move(anchored));
     }
-    std::vector<Posting> anchors =
-        plan.disjunctive ? query::UnionPostings(std::move(anchored))
-                         : query::IntersectPostings(std::move(anchored));
     result.stats.candidate_anchors = anchors.size();
-    XDB_RETURN_NOT_OK(RecheckAnchors(snapshot_read ? nullptr : at.get(), path,
-                                     plan.anchor_step, anchors, options,
-                                     locator, &result));
+    if (prof.trace)
+      prof.trace_lines.push_back(
+          std::string(plan.disjunctive ? "union" : "intersection") +
+          " of anchored postings -> " + std::to_string(anchors.size()) +
+          " candidate anchors");
+    {
+      obs::PhaseTimer timer(&prof, "recheck");
+      XDB_RETURN_NOT_OK(RecheckAnchors(snapshot_read ? nullptr : at.get(),
+                                       path, plan.anchor_step, anchors,
+                                       options, locator, &result));
+    }
     NormalizeSequence(&result.nodes);
     return Status::OK();
   }();
+  // Always-on query accounting: one histogram observe and one or two counter
+  // adds per query (the hot-path budget measured in EXPERIMENTS.md).
+  const uint64_t wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  if (engine_ != nullptr) {
+    const Engine::QueryMetrics& qm = engine_->query_metrics();
+    if (qm.executions != nullptr) qm.executions->Add(1);
+    if (qm.parallel_executions != nullptr && prof.chunks > 1)
+      qm.parallel_executions->Add(1);
+    if (qm.latency_us != nullptr) qm.latency_us->Observe(wall_us);
+  }
+  if (prof.enabled) {
+    prof.index_postings = result.stats.index_postings;
+    prof.candidate_anchors = result.stats.candidate_anchors;
+    if (prof.candidate_docs == 0)
+      prof.candidate_docs = result.stats.candidate_docs;
+    prof.docs_evaluated = result.stats.docs_evaluated;
+    prof.records_fetched = result.stats.records_fetched;
+    prof.results = result.nodes.size();
+    prof.scan_events = result.stats.scan_events;
+    prof.scan_instances = result.stats.scan_instances;
+    prof.scan_peak_live = result.stats.scan_peak_live;
+    BufferManagerStats bs = buffer_->stats();
+    prof.pages_fetched = bs.hits + bs.misses - pages_before;
+    prof.AddPhase("total", wall_us, 0);
+  }
   XDB_RETURN_NOT_OK(at.Finish(st));
   return result;
 }
@@ -989,6 +1090,9 @@ Status Collection::RecheckAnchors(Transaction* txn,
       static_cast<size_t>(EffectiveParallelism(options));
   std::vector<query::WorkRange> ranges =
       query::PartitionForParallelism(anchors.size(), parallelism);
+  result->profile.parallelism =
+      ranges.empty() ? 1 : static_cast<int>(parallelism);
+  result->profile.chunks = ranges.empty() ? 1 : ranges.size();
   if (ranges.empty()) {
     for (const Posting& anchor : anchors)
       XDB_RETURN_NOT_OK(EvalAnchor(anchor, residual_tree.get(),
@@ -1011,6 +1115,10 @@ Status Collection::RecheckAnchors(Transaction* txn,
   for (const Status& st : chunk_status) XDB_RETURN_NOT_OK(st);
   for (QueryResult& c : chunks) {
     result->stats.records_fetched += c.stats.records_fetched;
+    result->stats.scan_events += c.stats.scan_events;
+    result->stats.scan_instances += c.stats.scan_instances;
+    result->stats.scan_peak_live =
+        std::max(result->stats.scan_peak_live, c.stats.scan_peak_live);
     for (ResultNode& r : c.nodes) result->nodes.push_back(std::move(r));
   }
   return Status::OK();
@@ -1094,6 +1202,11 @@ Status Collection::EvalAnchor(const Posting& anchor,
   if (st.IsNotFound()) return Status::OK();
   XDB_RETURN_NOT_OK(st);
   result->stats.records_fetched += source.records_fetched();
+  const xpath::QuickXScanStats& ss = scan.stats();
+  result->stats.scan_events += ss.events;
+  result->stats.scan_instances += ss.instances_created;
+  result->stats.scan_peak_live =
+      std::max(result->stats.scan_peak_live, ss.peak_live_instances);
   for (ResultNode& r : hits) result->nodes.push_back(std::move(r));
   return Status::OK();
 }
@@ -1124,6 +1237,11 @@ Status Collection::EvalDocRange(Transaction* txn,
     XDB_RETURN_NOT_OK(est);
     result->stats.records_fetched += source.records_fetched();
     result->stats.docs_evaluated++;
+    const xpath::QuickXScanStats& ss = scan.stats();
+    result->stats.scan_events += ss.events;
+    result->stats.scan_instances += ss.instances_created;
+    result->stats.scan_peak_live =
+        std::max(result->stats.scan_peak_live, ss.peak_live_instances);
     for (ResultNode& r : hits) result->nodes.push_back(std::move(r));
   }
   return Status::OK();
@@ -1155,6 +1273,10 @@ Status Collection::EvalDocsParallel(Transaction* txn,
   for (QueryResult& c : chunks) {
     result->stats.records_fetched += c.stats.records_fetched;
     result->stats.docs_evaluated += c.stats.docs_evaluated;
+    result->stats.scan_events += c.stats.scan_events;
+    result->stats.scan_instances += c.stats.scan_instances;
+    result->stats.scan_peak_live =
+        std::max(result->stats.scan_peak_live, c.stats.scan_peak_live);
     for (ResultNode& r : c.nodes) result->nodes.push_back(std::move(r));
   }
   return Status::OK();
@@ -1199,10 +1321,12 @@ Status Collection::RebuildStorage() {
     ts.in_memory = engine_->options_.in_memory;
     ts.page_size = page_size_hint_;
     XDB_ASSIGN_OR_RETURN(space_, TableSpace::Create(space_path_, ts));
+    space_->set_event_log(engine_->events());
   }
 
   buffer_ =
       std::make_unique<BufferManager>(space_.get(), buffer_pages_, buffer_shards_);
+  buffer_->set_event_log(engine_->events());
   Engine* eng = engine_;
   buffer_->set_lsn_source(
       [eng] { return eng->wal_ != nullptr ? eng->wal_->size() : 0; });

@@ -18,6 +18,7 @@
 #include "engine/catalog.h"
 #include "index/nodeid_index.h"
 #include "index/value_index.h"
+#include "obs/query_trace.h"
 #include "pack/record_builder.h"
 #include "pack/tree_cursor.h"
 #include "query/access_path.h"
@@ -56,6 +57,9 @@ struct QueryStats {
   uint64_t candidate_anchors = 0; // node anchors identified before recheck
   uint64_t docs_evaluated = 0;    // documents QuickXScan actually ran over
   uint64_t records_fetched = 0;   // XML records fetched from storage
+  uint64_t scan_events = 0;       // QuickXScan events pumped (all scans)
+  uint64_t scan_instances = 0;    // pattern instances created (all scans)
+  uint64_t scan_peak_live = 0;    // max live instances in any one scan
   bool rechecked = false;
   std::string explain;
 };
@@ -63,6 +67,9 @@ struct QueryStats {
 struct QueryResult {
   NodeSequence nodes;
   QueryStats stats;
+  /// Populated when QueryOptions::explain/trace was set (profile.enabled
+  /// says so); default-constructed and empty otherwise.
+  obs::QueryProfile profile;
 };
 
 using query::ForceMethod;
@@ -75,6 +82,12 @@ struct QueryOptions {
   /// only take effect when the engine has a query pool; small candidate
   /// sets fall back to serial regardless (see query::PartitionForParallelism).
   int parallelism = 0;
+  /// Populate QueryResult::profile with the chosen access path, per-phase
+  /// cardinalities and timings (see obs::QueryProfile::PlanText()).
+  bool explain = false;
+  /// Implies explain; additionally records per-step trace lines (index probe
+  /// details, candidate lists) into profile.trace_lines.
+  bool trace = false;
 };
 
 /// Plan plus planner narration — what Plan() hands to the executor.

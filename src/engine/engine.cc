@@ -19,6 +19,23 @@ Engine::~Engine() {
 Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
   auto engine = std::unique_ptr<Engine>(new Engine());
   engine->options_ = options;
+  // Observability wiring comes first so every component opened below can
+  // already emit events and so the always-on query counters exist before the
+  // first query. The collector callback runs under the registry mutex with
+  // `engine` guaranteed alive: metrics_ is an Engine member.
+  engine->locks_.set_event_log(&engine->events_);
+  engine->query_metrics_.executions =
+      engine->metrics_.AddCounter("query.executions");
+  engine->query_metrics_.parallel_executions =
+      engine->metrics_.AddCounter("query.parallel_executions");
+  engine->query_metrics_.latency_us = engine->metrics_.AddHistogram(
+      "query.latency_us", obs::Histogram::LatencyBoundsUs());
+  {
+    Engine* raw = engine.get();
+    engine->metrics_.AddCollector([raw](std::vector<obs::Metric>* out) {
+      raw->CollectComponentMetrics(out);
+    });
+  }
   engine->txns_ = std::make_unique<TransactionManager>(&engine->locks_);
   if (options.num_query_threads > 1) {
     // The querying thread is one of the num_query_threads executors, so the
@@ -60,7 +77,25 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
 
   if (options.enable_wal) {
     XDB_ASSIGN_OR_RETURN(engine->wal_, WalLog::Open(options.dir + "/wal.log"));
+    engine->wal_->set_event_log(&engine->events_);
+    // Group-commit batches are small integers: powers of two 1..256.
+    engine->wal_->set_batch_size_histogram(engine->metrics_.AddHistogram(
+        "wal.group_commit.batch_size", obs::Histogram::ExponentialBounds(1, 9)));
+    engine->events_.Emit(obs::EventKind::kRecoveryBegin, 0, 0, "wal replay");
     XDB_RETURN_NOT_OK(engine->ReplayWal({}, &engine->recovery_.wal));
+    engine->events_.Emit(obs::EventKind::kRecoveryEnd,
+                         engine->recovery_.wal.records_replayed,
+                         engine->recovery_.wal.corrupt_records_skipped,
+                         "wal replay done");
+    if (engine->recovery_.wal.torn_tail)
+      engine->events_.Emit(obs::EventKind::kWalTornTail,
+                           engine->recovery_.wal.bytes_skipped, 0,
+                           "truncated mid-record tail dropped");
+    if (engine->recovery_.wal.corrupt_records_skipped > 0)
+      engine->events_.Emit(obs::EventKind::kWalCorruptRecords,
+                           engine->recovery_.wal.corrupt_records_skipped,
+                           engine->recovery_.wal.bytes_skipped,
+                           "corrupt mid-log records skipped");
   }
   // Quarantine decisions can come from open (structural damage) or from the
   // replay itself hitting a corrupt page — collect them all here.
@@ -70,6 +105,9 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
       if (coll->needs_repair())
         engine->recovery_.quarantined_collections.push_back(name);
   }
+  for (const std::string& name : engine->recovery_.quarantined_collections)
+    engine->events_.Emit(obs::EventKind::kCollectionQuarantined, 0, 0,
+                         "collection '" + name + "' quarantined at open");
   if (engine->recovery_.wal.corrupt_records_skipped > 0)
     engine->recovery_.warning +=
         "wal: skipped " +
@@ -111,8 +149,10 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
     } else {
       XDB_ASSIGN_OR_RETURN(coll->space_, TableSpace::Open(path, ts_options));
     }
+    coll->space_->set_event_log(&events_);
     coll->buffer_ = std::make_unique<BufferManager>(
         coll->space_.get(), options.buffer_pages, coll->buffer_shards_);
+    coll->buffer_->set_event_log(&events_);
     coll->buffer_->set_lsn_source(
         [this] { return wal_ != nullptr ? wal_->size() : 0; });
     coll->records_ = std::make_unique<RecordManager>(coll->buffer_.get());
@@ -230,6 +270,8 @@ Transaction Engine::Begin(IsolationMode mode) { return txns_->Begin(mode); }
 Status Engine::Checkpoint() {
   if (options_.in_memory) return Status::OK();
   MutexLock lock(mu_);
+  events_.Emit(obs::EventKind::kCheckpointBegin, collections_.size(), 0,
+               "checkpoint");
   catalog_.collections.clear();
   bool any_quarantined = false;
   for (auto& [name, coll] : collections_) {
@@ -270,6 +312,8 @@ Status Engine::Checkpoint() {
     MutexLock nlock(wal_names_mu_);
     wal_names_logged_ = saved_names;
   }
+  events_.Emit(obs::EventKind::kCheckpointEnd, collections_.size(),
+               any_quarantined ? 1 : 0, "checkpoint done");
   return Status::OK();
 }
 
@@ -471,6 +515,7 @@ Result<ScrubReport> Engine::Scrub() {
     MutexLock lock(mu_);
     for (auto& [name, coll] : collections_) colls.push_back(coll.get());
   }
+  events_.Emit(obs::EventKind::kScrubBegin, colls.size(), 0, "scrub");
 
   std::map<std::string, std::set<uint64_t>> salvaged, lost;
   std::map<std::string, bool> rebuilt;
@@ -479,6 +524,11 @@ Result<ScrubReport> Engine::Scrub() {
     XDB_RETURN_NOT_OK(coll->ScrubAndRepair(&crep, &salvaged[coll->name()],
                                            &lost[coll->name()]));
     rebuilt[coll->name()] = crep.rebuilt;
+    if (crep.checksum_failures + crep.envelope_failures > 0 || crep.rebuilt)
+      events_.Emit(obs::EventKind::kScrubFinding, crep.checksum_failures,
+                   crep.envelope_failures,
+                   "collection '" + crep.collection + "'" +
+                       (crep.rebuilt ? " rebuilt" : " damaged"));
     report.collections.push_back(std::move(crep));
   }
 
@@ -520,7 +570,113 @@ Result<ScrubReport> Engine::Scrub() {
 
   // Persist the repaired state and retire the WAL records it covers.
   XDB_RETURN_NOT_OK(Checkpoint());
+  events_.Emit(obs::EventKind::kScrubEnd, report.collections.size(),
+               report.clean ? 0 : 1, report.clean ? "scrub clean"
+                                                  : "scrub repaired damage");
   return report;
+}
+
+obs::MetricsSnapshot Engine::MetricsSnapshot() const {
+  return metrics_.Snapshot();
+}
+
+void Engine::CollectComponentMetrics(std::vector<obs::Metric>* out) const {
+  auto counter = [out](const char* name, uint64_t v) {
+    obs::Metric m;
+    m.name = name;
+    m.kind = obs::MetricKind::kCounter;
+    m.value = v;
+    out->push_back(std::move(m));
+  };
+  auto gauge = [out](const char* name, uint64_t v) {
+    obs::Metric m;
+    m.name = name;
+    m.kind = obs::MetricKind::kGauge;
+    m.value = v;
+    out->push_back(std::move(m));
+  };
+
+  // Sum per-collection component stats into engine-wide totals. Each
+  // component snapshot takes only that component's own (leaf) locks.
+  BufferManagerStats buf;
+  RecordManagerStats rec;
+  IoStatsSnapshot io;
+  size_t n_collections = 0;
+  {
+    MutexLock lock(mu_);
+    n_collections = collections_.size();
+    for (const auto& [name, coll] : collections_) {
+      if (coll->buffer_ != nullptr) {
+        BufferManagerStats b = coll->buffer_->stats();
+        buf.hits += b.hits;
+        buf.misses += b.misses;
+        buf.evictions += b.evictions;
+        buf.writebacks += b.writebacks;
+        buf.checksum_failures += b.checksum_failures;
+      }
+      if (coll->records_ != nullptr) {
+        RecordManagerStats r = coll->records_->stats();
+        rec.inserts += r.inserts;
+        rec.updates += r.updates;
+        rec.deletes += r.deletes;
+        rec.overflow_records += r.overflow_records;
+        rec.data_pages += r.data_pages;
+        rec.live_records += r.live_records;
+        rec.corrupt_pages += r.corrupt_pages;
+      }
+      if (coll->space_ != nullptr) {
+        IoStatsSnapshot s = coll->space_->io_stats();
+        io.reads += s.reads;
+        io.writes += s.writes;
+        io.syncs += s.syncs;
+        io.retries += s.retries;
+        io.transient_errors += s.transient_errors;
+        io.permanent_failures += s.permanent_failures;
+      }
+    }
+  }
+  gauge("engine.collections", n_collections);
+  counter("buffer.hits", buf.hits);
+  counter("buffer.misses", buf.misses);
+  counter("buffer.evictions", buf.evictions);
+  counter("buffer.writebacks", buf.writebacks);
+  counter("buffer.checksum_failures", buf.checksum_failures);
+  counter("record.inserts", rec.inserts);
+  counter("record.updates", rec.updates);
+  counter("record.deletes", rec.deletes);
+  counter("record.overflow_records", rec.overflow_records);
+  gauge("record.data_pages", rec.data_pages);
+  gauge("record.live_records", rec.live_records);
+  counter("record.corrupt_pages", rec.corrupt_pages);
+  counter("io.reads", io.reads);
+  counter("io.writes", io.writes);
+  counter("io.syncs", io.syncs);
+  counter("io.retries", io.retries);
+  counter("io.transient_errors", io.transient_errors);
+  counter("io.permanent_failures", io.permanent_failures);
+
+  if (wal_ != nullptr) {
+    IoStatsSnapshot ws = wal_->io_stats();
+    counter("wal.io.reads", ws.reads);
+    counter("wal.io.writes", ws.writes);
+    counter("wal.io.syncs", ws.syncs);
+    counter("wal.io.retries", ws.retries);
+    counter("wal.io.transient_errors", ws.transient_errors);
+    counter("wal.io.permanent_failures", ws.permanent_failures);
+    WalCommitStats cs = wal_->commit_stats();
+    counter("wal.commits", cs.commits);
+    counter("wal.group_commit.rounds", cs.syncs);
+  }
+
+  LockManagerStats ls = locks_.stats();
+  counter("lock.acquisitions", ls.acquisitions);
+  counter("lock.waits", ls.waits);
+  counter("lock.timeouts", ls.timeouts);
+  counter("lock.deadlocks", ls.deadlocks);
+  counter("lock.node_prefix_checks", ls.node_prefix_checks);
+
+  counter("events.emitted", events_.emitted());
+  counter("events.overwritten", events_.overwritten());
 }
 
 }  // namespace xdb

@@ -18,6 +18,8 @@
 #include "common/thread_annotations.h"
 #include "engine/catalog.h"
 #include "engine/collection.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "schema/schema_compiler.h"
 #include "schema/validator_vm.h"
 #include "storage/wal_log.h"
@@ -112,6 +114,32 @@ class Engine {
   /// WAL replay stats and quarantine decisions from the last Open().
   const RecoveryInfo& recovery_info() const { return recovery_; }
 
+  /// One coherent snapshot of every engine metric: buffer pool, WAL and
+  /// group commit, lock manager, tablespace I/O and retries, record manager,
+  /// query counters. Names follow the `component.noun` scheme documented in
+  /// DESIGN.md §Observability.
+  obs::MetricsSnapshot MetricsSnapshot() const XDB_EXCLUDES(mu_);
+
+  /// The most recent structured engine events, oldest first (checkpoints,
+  /// scrub findings, quarantines, deadlock victims, group-commit rounds,
+  /// I/O retries).
+  std::vector<obs::Event> RecentEvents(size_t max = SIZE_MAX) const {
+    return events_.Recent(max);
+  }
+
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  obs::EventLog* events() { return &events_; }
+
+  /// Always-on query instrumentation, registered at Open. Pointers into
+  /// metrics_ (stable for the engine's lifetime); null only before Open
+  /// finishes wiring.
+  struct QueryMetrics {
+    obs::Counter* executions = nullptr;
+    obs::Counter* parallel_executions = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+  const QueryMetrics& query_metrics() const { return query_metrics_; }
+
   NameDictionary* dict() { return &dict_; }
   LockManager* locks() { return &locks_; }
   TransactionManager* txns() { return txns_.get(); }
@@ -158,14 +186,26 @@ class Engine {
   Status LogDeleteSubtree(const std::string& collection, uint64_t doc_id,
                           Slice node_id);
 
+  /// Aggregates per-component stats into one snapshot; registered as a
+  /// registry collector at Open (takes mu_, then each component's own lock).
+  void CollectComponentMetrics(std::vector<obs::Metric>* out) const
+      XDB_EXCLUDES(mu_);
+
   // options_, dict_, locks_, txns_ and wal_ are fixed after Open() and
   // internally synchronized; mu_ guards the mutable catalog state below it.
   EngineOptions options_;
+  // Observability sinks. Declared before every component that holds a
+  // pointer into them (locks_, wal_, collections_ storage) so they are
+  // destroyed last; both are internally synchronized.
+  obs::MetricsRegistry metrics_;
+  obs::EventLog events_;
+  QueryMetrics query_metrics_;
   NameDictionary dict_;
   LockManager locks_;
   std::unique_ptr<TransactionManager> txns_;
   std::unique_ptr<WalLog> wal_;
-  Mutex mu_;
+  // Mutable so the const metrics collector can walk collections_.
+  mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Collection>> collections_
       XDB_GUARDED_BY(mu_);
   std::map<std::string, schema::CompiledSchema> schemas_ XDB_GUARDED_BY(mu_);

@@ -1,0 +1,447 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace xdb {
+namespace obs {
+
+size_t Counter::CellIndex() {
+  // Distinct small id per thread; hashed so consecutive ids don't all pile
+  // into neighboring cells of every counter in the same order.
+  static std::atomic<size_t> next{0};
+  thread_local size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return (id * 0x9E3779B97F4A7C15ull >> 56) % kCells;
+}
+
+uint64_t HistogramData::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen > rank) {
+      // Clamp the edge estimate by the observed extremes so tiny samples
+      // don't report a bucket edge far above the actual max.
+      uint64_t edge = i < bounds.size() ? bounds[i] : max;
+      return std::min(std::max(edge, min), max);
+    }
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(uint64_t value) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData d;
+  d.bounds = bounds_;
+  d.counts.reserve(buckets_.size());
+  for (const auto& b : buckets_)
+    d.counts.push_back(b.load(std::memory_order_relaxed));
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  d.min = mn == UINT64_MAX ? 0 : mn;
+  d.max = max_.load(std::memory_order_relaxed);
+  return d;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::ExponentialBounds(uint64_t start,
+                                                   size_t count) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  uint64_t edge = start == 0 ? 1 : start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    if (edge > UINT64_MAX / 2) break;  // saturated; overflow bucket takes over
+    edge *= 2;
+  }
+  return bounds;
+}
+
+const char* MetricKindName(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const Metric* MetricsSnapshot::Find(const std::string& name) const {
+  for (const Metric& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::Value(const std::string& name) const {
+  const Metric* m = Find(name);
+  return m == nullptr ? 0 : m->value;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendU64Array(std::string* out, const std::vector<uint64_t>& vs) {
+  out->push_back('[');
+  for (size_t i = 0; i < vs.size(); ++i) {
+    if (i) out->push_back(',');
+    AppendU64(out, vs[i]);
+  }
+  out->push_back(']');
+}
+
+/// Minimal recursive-descent parser for exactly the JSON ToJson() emits.
+/// Not a general-purpose JSON library — FromJson() documents that contract.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& in) : in_(in) {}
+
+  Result<MetricsSnapshot> Parse() {
+    MetricsSnapshot snap;
+    SkipWs();
+    XDB_RETURN_NOT_OK(Expect('{'));
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return snap;
+    }
+    for (;;) {
+      Metric m;
+      XDB_RETURN_NOT_OK(ParseString(&m.name));
+      SkipWs();
+      XDB_RETURN_NOT_OK(Expect(':'));
+      XDB_RETURN_NOT_OK(ParseMetricBody(&m));
+      snap.metrics.push_back(std::move(m));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      XDB_RETURN_NOT_OK(Expect('}'));
+      return snap;
+    }
+  }
+
+ private:
+  char Peek() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < in_.size() &&
+           (in_[pos_] == ' ' || in_[pos_] == '\n' || in_[pos_] == '\t' ||
+            in_[pos_] == '\r'))
+      ++pos_;
+  }
+  Status Expect(char c) {
+    SkipWs();
+    if (Peek() != c)
+      return Status::InvalidArgument(std::string("metrics json: expected '") +
+                                     c + "' at offset " +
+                                     std::to_string(pos_));
+    ++pos_;
+    return Status::OK();
+  }
+  Status ParseString(std::string* out) {
+    SkipWs();
+    XDB_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (pos_ < in_.size() && in_[pos_] != '"') {
+      char c = in_[pos_++];
+      if (c == '\\' && pos_ < in_.size()) {
+        char e = in_[pos_++];
+        switch (e) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'u': {
+            if (pos_ + 4 > in_.size())
+              return Status::InvalidArgument("metrics json: bad \\u escape");
+            unsigned v = 0;
+            std::sscanf(in_.c_str() + pos_, "%4x", &v);
+            pos_ += 4;
+            out->push_back(static_cast<char>(v));
+            break;
+          }
+          default:
+            out->push_back(e);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Expect('"');
+  }
+  Status ParseU64(uint64_t* out) {
+    SkipWs();
+    if (Peek() < '0' || Peek() > '9')
+      return Status::InvalidArgument("metrics json: expected number at " +
+                                     std::to_string(pos_));
+    uint64_t v = 0;
+    while (pos_ < in_.size() && in_[pos_] >= '0' && in_[pos_] <= '9')
+      v = v * 10 + static_cast<uint64_t>(in_[pos_++] - '0');
+    *out = v;
+    return Status::OK();
+  }
+  Status ParseU64Array(std::vector<uint64_t>* out) {
+    XDB_RETURN_NOT_OK(Expect('['));
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      uint64_t v;
+      XDB_RETURN_NOT_OK(ParseU64(&v));
+      out->push_back(v);
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+  Status ParseMetricBody(Metric* m) {
+    XDB_RETURN_NOT_OK(Expect('{'));
+    for (;;) {
+      std::string key;
+      XDB_RETURN_NOT_OK(ParseString(&key));
+      XDB_RETURN_NOT_OK(Expect(':'));
+      if (key == "kind") {
+        std::string kind;
+        XDB_RETURN_NOT_OK(ParseString(&kind));
+        if (kind == "counter") {
+          m->kind = MetricKind::kCounter;
+        } else if (kind == "gauge") {
+          m->kind = MetricKind::kGauge;
+        } else if (kind == "histogram") {
+          m->kind = MetricKind::kHistogram;
+        } else {
+          return Status::InvalidArgument("metrics json: unknown kind " + kind);
+        }
+      } else if (key == "value") {
+        XDB_RETURN_NOT_OK(ParseU64(&m->value));
+      } else if (key == "bounds") {
+        XDB_RETURN_NOT_OK(ParseU64Array(&m->hist.bounds));
+      } else if (key == "counts") {
+        XDB_RETURN_NOT_OK(ParseU64Array(&m->hist.counts));
+      } else if (key == "count") {
+        XDB_RETURN_NOT_OK(ParseU64(&m->hist.count));
+      } else if (key == "sum") {
+        XDB_RETURN_NOT_OK(ParseU64(&m->hist.sum));
+      } else if (key == "min") {
+        XDB_RETURN_NOT_OK(ParseU64(&m->hist.min));
+      } else if (key == "max") {
+        XDB_RETURN_NOT_OK(ParseU64(&m->hist.max));
+      } else {
+        return Status::InvalidArgument("metrics json: unknown key " + key);
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out.reserve(metrics.size() * 64 + 2);
+  out.push_back('{');
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const Metric& m = metrics[i];
+    if (i) out.push_back(',');
+    out.append("\n  ");
+    AppendJsonString(&out, m.name);
+    out.append(": {\"kind\": \"");
+    out.append(MetricKindName(m.kind));
+    out.append("\"");
+    if (m.kind == MetricKind::kHistogram) {
+      out.append(", \"count\": ");
+      AppendU64(&out, m.hist.count);
+      out.append(", \"sum\": ");
+      AppendU64(&out, m.hist.sum);
+      out.append(", \"min\": ");
+      AppendU64(&out, m.hist.min);
+      out.append(", \"max\": ");
+      AppendU64(&out, m.hist.max);
+      out.append(", \"bounds\": ");
+      AppendU64Array(&out, m.hist.bounds);
+      out.append(", \"counts\": ");
+      AppendU64Array(&out, m.hist.counts);
+    } else {
+      out.append(", \"value\": ");
+      AppendU64(&out, m.value);
+    }
+    out.push_back('}');
+  }
+  out.append("\n}\n");
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  size_t width = 0;
+  for (const Metric& m : metrics) width = std::max(width, m.name.size());
+  std::string out;
+  for (const Metric& m : metrics) {
+    out.append(m.name);
+    out.append(width - m.name.size() + 2, ' ');
+    char buf[160];
+    if (m.kind == MetricKind::kHistogram) {
+      const HistogramData& h = m.hist;
+      uint64_t avg = h.count == 0 ? 0 : h.sum / h.count;
+      std::snprintf(buf, sizeof(buf),
+                    "count=%" PRIu64 " avg=%" PRIu64 " p50=%" PRIu64
+                    " p99=%" PRIu64 " max=%" PRIu64,
+                    h.count, avg, h.Quantile(0.5), h.Quantile(0.99), h.max);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, m.value);
+    }
+    out.append(buf);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json) {
+  return JsonParser(json).Parse();
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  for (const Named& n : named_)
+    if (n.name == name && n.counter != nullptr) return n.counter;
+  counters_.emplace_back();
+  named_.push_back(Named{name, &counters_.back(), nullptr, nullptr});
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  for (const Named& n : named_)
+    if (n.name == name && n.gauge != nullptr) return n.gauge;
+  gauges_.emplace_back();
+  named_.push_back(Named{name, nullptr, &gauges_.back(), nullptr});
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  MutexLock lock(mu_);
+  for (const Named& n : named_)
+    if (n.name == name && n.histogram != nullptr) return n.histogram;
+  histograms_.emplace_back(std::move(bounds));
+  named_.push_back(Named{name, nullptr, nullptr, &histograms_.back()});
+  return &histograms_.back();
+}
+
+void MetricsRegistry::AddCollector(
+    std::function<void(std::vector<Metric>*)> collect) {
+  MutexLock lock(mu_);
+  collectors_.push_back(std::move(collect));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    MutexLock lock(mu_);
+    snap.metrics.reserve(named_.size());
+    for (const Named& n : named_) {
+      Metric m;
+      m.name = n.name;
+      if (n.counter != nullptr) {
+        m.kind = MetricKind::kCounter;
+        m.value = n.counter->value();
+      } else if (n.gauge != nullptr) {
+        m.kind = MetricKind::kGauge;
+        int64_t v = n.gauge->value();
+        m.value = v < 0 ? 0 : static_cast<uint64_t>(v);
+      } else {
+        m.kind = MetricKind::kHistogram;
+        m.hist = n.histogram->Snapshot();
+      }
+      snap.metrics.push_back(std::move(m));
+    }
+    // Collector callbacks reach into other components (buffer manager
+    // shards, WAL commit state) and take their locks; mu_ is a leaf in that
+    // order (registration never calls out), so holding it here is safe and
+    // keeps the callback list stable.
+    for (const auto& c : collectors_) c(&snap.metrics);
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace xdb

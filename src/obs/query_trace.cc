@@ -1,0 +1,96 @@
+#include "obs/query_trace.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace xdb {
+namespace obs {
+
+namespace {
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+uint64_t ThreadCpuMicros() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000;
+}
+
+uint64_t WallMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+std::string QueryProfile::PlanText() const {
+  std::string out;
+  Appendf(&out, "query: %s\n", query.c_str());
+  Appendf(&out, "access path: %s (%s)\n", access_method.c_str(),
+          reason.c_str());
+  for (const std::string& p : probes) Appendf(&out, "  probe: %s\n", p.c_str());
+  if (!probes.empty() && probes.size() > 1)
+    Appendf(&out, "  combine: %s\n", disjunctive ? "ORing" : "ANDing");
+  Appendf(&out, "recheck: %s", need_recheck ? "yes" : "no");
+  if (access_method == "nodeid-list" || access_method == "nodeid-anding/oring")
+    Appendf(&out, "  anchor step: %zu", anchor_step);
+  out.push_back('\n');
+  Appendf(&out,
+          "cardinality: postings=%" PRIu64 " candidate_docs=%" PRIu64
+          " candidate_anchors=%" PRIu64 " docs_evaluated=%" PRIu64
+          " records_fetched=%" PRIu64 " results=%" PRIu64 "\n",
+          index_postings, candidate_docs, candidate_anchors, docs_evaluated,
+          records_fetched, results);
+  Appendf(&out,
+          "scan: events=%" PRIu64 " instances=%" PRIu64 " peak_live=%" PRIu64
+          "\n",
+          scan_events, scan_instances, scan_peak_live);
+  Appendf(&out, "parallelism: %d (chunks=%zu)\n", parallelism, chunks);
+  return out;
+}
+
+std::string QueryProfile::ToText() const {
+  std::string out = PlanText();
+  Appendf(&out, "pages fetched: %" PRIu64 "\n", pages_fetched);
+  for (const QueryPhase& ph : phases)
+    Appendf(&out, "phase %-8s wall=%" PRIu64 "us cpu=%" PRIu64 "us\n",
+            ph.name.c_str(), ph.wall_us, ph.cpu_us);
+  for (const std::string& line : trace_lines)
+    Appendf(&out, "trace: %s\n", line.c_str());
+  return out;
+}
+
+PhaseTimer::PhaseTimer(QueryProfile* profile, const char* name)
+    : profile_(profile != nullptr && profile->enabled ? profile : nullptr),
+      name_(name) {
+  if (profile_ == nullptr) return;
+  wall_start_us_ = WallMicros();
+  cpu_start_us_ = ThreadCpuMicros();
+}
+
+void PhaseTimer::Stop() {
+  if (profile_ == nullptr) return;
+  profile_->AddPhase(name_, WallMicros() - wall_start_us_,
+                     ThreadCpuMicros() - cpu_start_us_);
+  profile_ = nullptr;
+}
+
+}  // namespace obs
+}  // namespace xdb

@@ -1,0 +1,118 @@
+// Per-query EXPLAIN and trace: the profile a query fills in when
+// QueryOptions::explain/trace is set, plus its stable text renderings.
+//
+// The paper's central planner claim — QuickXScan full scan vs. value-index
+// DocID/NodeID lists with ANDing/ORing (Table 2) — is unverifiable at
+// runtime without this: EXPLAIN names the chosen access path and the reason,
+// and reports the cardinality funnel (index postings -> candidates ->
+// anchors -> evaluated -> results) per phase with wall/CPU timings.
+//
+// Two renderings:
+//  * PlanText(): deterministic — no timings, no pointers — so golden tests
+//    can pin the exact format.
+//  * ToText(): PlanText() plus the timing/fan-out section for humans.
+#ifndef XDB_OBS_QUERY_TRACE_H_
+#define XDB_OBS_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xdb {
+namespace obs {
+
+/// One timed phase of query execution (plan, probe, merge, eval, recheck).
+struct QueryPhase {
+  std::string name;
+  uint64_t wall_us = 0;
+  uint64_t cpu_us = 0;
+};
+
+/// Everything EXPLAIN/trace knows about one execution. Filled by
+/// Collection::ExecutePath when enabled; always default-constructed (cheap)
+/// when not.
+struct QueryProfile {
+  bool enabled = false;  // explain requested: plan + counters populated
+  bool trace = false;    // trace requested: per-step trace_lines too
+
+  std::string collection;
+  std::string query;  // the XPath text as given
+
+  // --- plan ---
+  std::string access_method;  // AccessMethodName() of the chosen path
+  std::string reason;         // why the planner chose it
+  std::vector<std::string> probes;  // one line per planned index probe
+  bool disjunctive = false;
+  bool need_recheck = false;
+  size_t anchor_step = 0;  // meaningful for node-level methods
+
+  // --- planner inputs ---
+  uint64_t doc_count = 0;
+  double avg_records_per_doc = 0;
+
+  // --- cardinality funnel ---
+  uint64_t index_postings = 0;
+  uint64_t candidate_docs = 0;
+  uint64_t candidate_anchors = 0;
+  uint64_t docs_evaluated = 0;
+  uint64_t records_fetched = 0;
+  uint64_t results = 0;
+
+  // --- QuickXScan work ---
+  uint64_t scan_events = 0;         // parse/storage events pumped
+  uint64_t scan_instances = 0;      // pattern instances created
+  uint64_t scan_peak_live = 0;      // max live instances in any one doc
+
+  // --- parallel fan-out ---
+  int parallelism = 1;
+  size_t chunks = 1;  // work ranges the candidate list was split into
+
+  // --- buffer traffic (pool accesses attributed to this query; approximate
+  // under concurrent load — it is a before/after delta of pool counters) ---
+  uint64_t pages_fetched = 0;
+
+  std::vector<QueryPhase> phases;
+  std::vector<std::string> trace_lines;  // trace=true only
+
+  void AddPhase(const std::string& name, uint64_t wall_us, uint64_t cpu_us) {
+    phases.push_back(QueryPhase{name, wall_us, cpu_us});
+  }
+
+  /// Deterministic plan text (golden-tested). Layout:
+  ///   query: <xpath>
+  ///   access path: <method> (<reason>)
+  ///     probe: <index> <op> <value> [containment]
+  ///   recheck: yes|no    [anchoring step: N]
+  ///   cardinality: postings=.. candidates=.. evaluated=.. results=..
+  ///   scan: events=.. instances=.. peak_live=..
+  ///   parallelism: N (chunks=M)
+  std::string PlanText() const;
+
+  /// PlanText() plus timings, pages fetched, and trace lines.
+  std::string ToText() const;
+};
+
+/// Scoped wall+CPU timer appending one QueryPhase on destruction (or Stop()).
+/// CPU time is the calling thread's CLOCK_THREAD_CPUTIME_ID, so phases that
+/// fan out measure the coordinating thread only — per-chunk work shows up in
+/// the chunk counters instead.
+class PhaseTimer {
+ public:
+  PhaseTimer(QueryProfile* profile, const char* name);
+  ~PhaseTimer() { Stop(); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  void Stop();
+
+ private:
+  QueryProfile* profile_;  // null = disabled (no-op timer)
+  const char* name_;
+  uint64_t wall_start_us_ = 0;
+  uint64_t cpu_start_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace xdb
+
+#endif  // XDB_OBS_QUERY_TRACE_H_

@@ -88,6 +88,9 @@ struct QueryPlan {
   bool need_recheck = true;
   size_t anchor_step = 0;  // step the node-level methods anchor at
   std::string explain;
+  /// Why the planner picked `method` (heuristic fired, forced, no usable
+  /// index, …) — surfaced verbatim in EXPLAIN output.
+  std::string reason;
 };
 
 // --- posting-list algebra (executor building blocks) ---

@@ -1,5 +1,6 @@
 #include "query/executor.h"
 
+#include <cstdio>
 #include <map>
 #include <set>
 
@@ -45,7 +46,11 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
   QueryPlan plan;
   plan.method = AccessMethod::kFullScan;
   plan.explain = "full scan (QuickXScan per document)";
-  if (force == ForceMethod::kScan) return plan;
+  if (force == ForceMethod::kScan) {
+    plan.reason = "forced";
+    return plan;
+  }
+  plan.reason = "no indexable predicates";
 
   std::vector<CandidatePredicate> candidates;
   bool unindexable = false;
@@ -92,7 +97,10 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
     disjunctive = true;
     uncovered = true;
   }
-  if (probes.empty()) return plan;
+  if (probes.empty()) {
+    plan.reason = "no index covers the predicates";
+    return plan;
+  }
 
   // Node-level anchoring needs every probe at the same step with a
   // child-only branch.
@@ -117,17 +125,40 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
 
   bool want_node_level;
   switch (force) {
-    case ForceMethod::kDocIdList: want_node_level = false; break;
-    case ForceMethod::kNodeIdList: want_node_level = true; break;
-    default:
+    case ForceMethod::kDocIdList:
+      want_node_level = false;
+      plan.reason = "forced";
+      break;
+    case ForceMethod::kNodeIdList:
+      want_node_level = true;
+      plan.reason = "forced";
+      break;
+    default: {
       // "For small documents, using indexes to identify qualifying
       // documents would be efficient ... For large documents, the DocID
       // list access is no longer efficient. Instead, the NodeID list
       // access applies."
       want_node_level = node_capable && ctx.avg_records_per_doc > 2.0;
+      char reason[96];
+      if (want_node_level) {
+        std::snprintf(reason, sizeof(reason),
+                      "avg records/doc %.2f > 2.00, anchorable",
+                      ctx.avg_records_per_doc);
+      } else if (node_capable) {
+        std::snprintf(reason, sizeof(reason),
+                      "avg records/doc %.2f <= 2.00",
+                      ctx.avg_records_per_doc);
+      } else {
+        std::snprintf(reason, sizeof(reason),
+                      "probes not anchorable at one step");
+      }
+      plan.reason = reason;
+    }
   }
-  if (want_node_level && !node_capable)
+  if (want_node_level && !node_capable) {
     want_node_level = false;
+    plan.reason = "probes not anchorable at one step";
+  }
 
   plan.probes = std::move(probes);
   plan.disjunctive = disjunctive;

@@ -165,8 +165,9 @@ Result<PageHandle> BufferManager::FixPage(PageId id) {
           if (read.IsCorruption()) {
             shard.quarantined.insert(id);
             shard.stats.checksum_failures++;
-            space_->mutable_io_stats()->checksum_failures.fetch_add(
-                1, std::memory_order_relaxed);
+            if (events_ != nullptr)
+              events_->Emit(obs::EventKind::kPageQuarantined, id, 0,
+                            "page checksum failed on fetch");
           }
           return read;
         }

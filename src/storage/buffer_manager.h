@@ -30,6 +30,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/event_log.h"
 #include "storage/page.h"
 #include "storage/tablespace.h"
 
@@ -90,6 +91,10 @@ class PageHandle {
   uint32_t offset_ = 0;
 };
 
+/// Per-shard (and aggregated) pool counters. `checksum_failures` lives here
+/// — not on the tablespace IoStats — because page verification is this
+/// layer's job; the metrics registry surfaces it as
+/// `buffer.checksum_failures` (single source of truth).
 struct BufferManagerStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -154,6 +159,9 @@ class BufferManager {
   BufferManagerStats stats() const;
   void ResetStats();
 
+  /// Destination for kPageQuarantined events (engine-owned, may be null).
+  void set_event_log(obs::EventLog* events) { events_ = events; }
+
  private:
   friend class PageHandle;
 
@@ -197,6 +205,7 @@ class BufferManager {
   std::function<uint64_t()> lsn_source_ XDB_GUARDED_BY(lsn_mu_);
   std::vector<std::unique_ptr<Shard>> shards_;  // fixed after ctor
   size_t shard_mask_ = 0;
+  obs::EventLog* events_ = nullptr;
   std::vector<std::unique_ptr<internal::Frame>> frames_;  // fixed after ctor
 };
 

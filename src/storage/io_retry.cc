@@ -37,12 +37,11 @@ IoStatsSnapshot SnapshotIoStats(const IoStats& stats) {
   s.transient_errors = stats.transient_errors.load(std::memory_order_relaxed);
   s.permanent_failures =
       stats.permanent_failures.load(std::memory_order_relaxed);
-  s.checksum_failures = stats.checksum_failures.load(std::memory_order_relaxed);
   return s;
 }
 
 Status RetryTransient(const RetryPolicy& policy, IoClock* clock,
-                      IoStats* stats, const char* what,
+                      IoStats* stats, obs::EventLog* events, const char* what,
                       const std::function<Status()>& op) {
   if (clock == nullptr) clock = IoClock::Default();
   int attempts = std::max(1, policy.max_attempts);
@@ -70,6 +69,9 @@ Status RetryTransient(const RetryPolicy& policy, IoClock* clock,
     clock->SleepMicros(sleep_us);
     if (stats != nullptr)
       stats->retries.fetch_add(1, std::memory_order_relaxed);
+    if (events != nullptr)
+      events->Emit(obs::EventKind::kIoRetry, static_cast<uint64_t>(attempt),
+                   sleep_us, what);
     backoff = std::min(policy.max_backoff_us, backoff * 2);
   }
 }

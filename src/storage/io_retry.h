@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "common/status.h"
+#include "obs/event_log.h"
 
 namespace xdb {
 
@@ -36,6 +37,10 @@ class IoClock {
 
 /// Per-tablespace (or per-WAL) I/O health counters. Atomic so readers never
 /// block the I/O path.
+/// (Checksum failures are NOT counted here: page verification happens in the
+/// buffer manager, which owns `BufferManagerStats::checksum_failures` as the
+/// single source of truth — surfaced as the `buffer.checksum_failures`
+/// metric.)
 struct IoStats {
   std::atomic<uint64_t> reads{0};
   std::atomic<uint64_t> writes{0};
@@ -43,7 +48,6 @@ struct IoStats {
   std::atomic<uint64_t> retries{0};
   std::atomic<uint64_t> transient_errors{0};
   std::atomic<uint64_t> permanent_failures{0};
-  std::atomic<uint64_t> checksum_failures{0};
 };
 
 /// Value snapshot of IoStats for reporting.
@@ -54,7 +58,6 @@ struct IoStatsSnapshot {
   uint64_t retries = 0;
   uint64_t transient_errors = 0;
   uint64_t permanent_failures = 0;
-  uint64_t checksum_failures = 0;
 };
 
 IoStatsSnapshot SnapshotIoStats(const IoStats& stats);
@@ -62,9 +65,11 @@ IoStatsSnapshot SnapshotIoStats(const IoStats& stats);
 /// Runs `op`, retrying transient failures per `policy`, sleeping on `clock`
 /// between attempts and accounting into `stats` (both may be null). The final
 /// failure of an exhausted retry loop is returned non-transient so callers
-/// upstream don't retry again.
+/// upstream don't retry again. A non-null `events` receives one kIoRetry
+/// event per backoff round (arg0 = attempt number) so transient storms are
+/// visible in Engine::RecentEvents().
 Status RetryTransient(const RetryPolicy& policy, IoClock* clock,
-                      IoStats* stats, const char* what,
+                      IoStats* stats, obs::EventLog* events, const char* what,
                       const std::function<Status()>& op);
 
 }  // namespace xdb

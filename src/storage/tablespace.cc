@@ -223,8 +223,8 @@ Status TableSpace::ReadPage(PageId id, char* buf) {
   if (id >= page_count_.load(std::memory_order_acquire))
     return Status::InvalidArgument("page out of range");
   io_stats_.reads.fetch_add(1, std::memory_order_relaxed);
-  return RetryTransient(retry_policy_, clock_, &io_stats_, "page read",
-                        [&] { return ReadPageImpl(id, buf); });
+  return RetryTransient(retry_policy_, clock_, &io_stats_, events_,
+                        "page read", [&] { return ReadPageImpl(id, buf); });
 }
 
 Status TableSpace::WritePageImpl(PageId id, const char* buf) {
@@ -264,14 +264,15 @@ Status TableSpace::WritePage(PageId id, const char* buf) {
   if (id >= page_count_.load(std::memory_order_acquire))
     return Status::InvalidArgument("page out of range");
   io_stats_.writes.fetch_add(1, std::memory_order_relaxed);
-  return RetryTransient(retry_policy_, clock_, &io_stats_, "page write",
-                        [&] { return WritePageImpl(id, buf); });
+  return RetryTransient(retry_policy_, clock_, &io_stats_, events_,
+                        "page write", [&] { return WritePageImpl(id, buf); });
 }
 
 Status TableSpace::Sync() {
   if (in_memory_) return Status::OK();
   io_stats_.syncs.fetch_add(1, std::memory_order_relaxed);
-  return RetryTransient(retry_policy_, clock_, &io_stats_, "space sync", [&] {
+  return RetryTransient(retry_policy_, clock_, &io_stats_, events_,
+                        "space sync", [&] {
     if (auto* fi = testing::FaultInjector::active())
       XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kTableSpaceSync));
     {

@@ -88,6 +88,9 @@ class TableSpace {
 
   void set_retry_policy(const RetryPolicy& p) { retry_policy_ = p; }
   void set_io_clock(IoClock* clock) { clock_ = clock; }
+  /// Destination for kIoRetry events (engine-owned; may outlive nothing —
+  /// the engine's log is destroyed after every component).
+  void set_event_log(obs::EventLog* events) { events_ = events; }
   IoStatsSnapshot io_stats() const { return SnapshotIoStats(io_stats_); }
   IoStats* mutable_io_stats() { return &io_stats_; }
 
@@ -113,6 +116,7 @@ class TableSpace {
   RetryPolicy retry_policy_;
   IoClock* clock_ = nullptr;
   IoStats io_stats_;
+  obs::EventLog* events_ = nullptr;
 };
 
 }  // namespace xdb

@@ -46,7 +46,8 @@ Result<uint64_t> WalLog::Append(WalRecordType type, Slice payload) {
   uint64_t lsn = size_.load(std::memory_order_relaxed);
   io_stats_.writes.fetch_add(1, std::memory_order_relaxed);
   Status s = RetryTransient(
-      retry_policy_, clock_, &io_stats_, "wal append", [&]() -> Status {
+      retry_policy_, clock_, &io_stats_, events_, "wal append",
+      [&]() -> Status {
         if (auto* fi = testing::FaultInjector::active()) {
           testing::FaultInjector::WriteSink sink;
           sink.fd = fd_;
@@ -72,7 +73,8 @@ Result<uint64_t> WalLog::Append(WalRecordType type, Slice payload) {
 
 Status WalLog::Sync() {
   io_stats_.syncs.fetch_add(1, std::memory_order_relaxed);
-  return RetryTransient(retry_policy_, clock_, &io_stats_, "wal sync", [&] {
+  return RetryTransient(retry_policy_, clock_, &io_stats_, events_, "wal sync",
+                        [&] {
     if (auto* fi = testing::FaultInjector::active())
       XDB_RETURN_NOT_OK(fi->OnOp(testing::FaultPoint::kWalSync));
     if (::fdatasync(fd_) != 0) {
@@ -89,6 +91,7 @@ Status WalLog::Commit() {
   {
     MutexLock lock(commit_mu_);
     commit_stats_.commits++;
+    round_commits_++;
     gen = reset_gen_;
   }
   // The CSN: everything appended before this call must become durable.
@@ -121,6 +124,7 @@ Status WalLog::Commit() {
       sync_goal = size_.load(std::memory_order_acquire);
     }
     Status st = Sync();  // commit_mu_ dropped: appends and waiters proceed
+    uint64_t batch = 0;
     {
       MutexLock lock(commit_mu_);
       sync_active_ = false;
@@ -128,8 +132,19 @@ Status WalLog::Commit() {
       // longer exist; publishing it would mark future appends durable that
       // never hit disk. Skipping the update only costs the next leader an
       // extra fsync.
-      if (st.ok() && reset_gen_ == gen && sync_goal > synced_upto_)
+      if (st.ok() && reset_gen_ == gen && sync_goal > synced_upto_) {
         synced_upto_ = sync_goal;
+        batch = round_commits_;
+        round_commits_ = 0;
+      }
+    }
+    if (batch > 0) {
+      // Emitted outside commit_mu_ purely to keep the critical section
+      // short; both sinks are lock-free anyway.
+      if (batch_hist_ != nullptr) batch_hist_->Observe(batch);
+      if (events_ != nullptr)
+        events_->Emit(obs::EventKind::kGroupCommitRound, batch, sync_goal,
+                      "wal commit round");
     }
     commit_cv_.NotifyAll();
     if (!st.ok()) return st;

@@ -18,6 +18,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 #include "storage/io_retry.h"
 
 namespace xdb {
@@ -100,6 +101,12 @@ class WalLog {
 
   void set_retry_policy(const RetryPolicy& p) { retry_policy_ = p; }
   void set_io_clock(IoClock* clock) { clock_ = clock; }
+  /// Engine-owned observability sinks (may be null). The histogram records
+  /// the number of Commit() calls each leader fsync round absorbed; the
+  /// event log gets one kGroupCommitRound event per successful round.
+  /// Install before concurrent use.
+  void set_event_log(obs::EventLog* events) { events_ = events; }
+  void set_batch_size_histogram(obs::Histogram* h) { batch_hist_ = h; }
   IoStatsSnapshot io_stats() const { return SnapshotIoStats(io_stats_); }
 
   /// Test-only: runs once per Commit(), right after the CSN snapshot with no
@@ -139,6 +146,13 @@ class WalLog {
   /// True while a leader is inside fdatasync with commit_mu_ dropped.
   bool sync_active_ XDB_GUARDED_BY(commit_mu_) = false;
   WalCommitStats commit_stats_ XDB_GUARDED_BY(commit_mu_);
+  /// Commit() calls since the last published leader round; becomes that
+  /// round's batch size. (A commit already covered by a previous round at
+  /// entry is still counted into the next batch — an acceptable skew for a
+  /// monitoring histogram, noted in DESIGN.md.)
+  uint64_t round_commits_ XDB_GUARDED_BY(commit_mu_) = 0;
+  obs::EventLog* events_ = nullptr;
+  obs::Histogram* batch_hist_ = nullptr;
   /// See set_commit_race_hook_for_test().
   std::function<void()> commit_race_hook_;
 };

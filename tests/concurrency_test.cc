@@ -17,6 +17,8 @@
 
 #include "cc/lock_manager.h"
 #include "engine/engine.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "storage/buffer_manager.h"
 #include "storage/tablespace.h"
 #include "storage/wal_log.h"
@@ -787,6 +789,96 @@ TEST(ParallelQueryConcurrencyTest, ParallelQueriesWithWritersAndCheckpointer) {
   ASSERT_TRUE(p.ok());
   EXPECT_EQ(s.value().nodes.size(), size_t{kSeedDocs + 20});
   EXPECT_EQ(p.value().nodes.size(), s.value().nodes.size());
+
+  // The stress ran entirely deadlock-free, and the always-on query metrics
+  // saw the whole run — including the fan-out of the parallel queries.
+  obs::MetricsSnapshot snap = engine->MetricsSnapshot();
+  EXPECT_EQ(snap.Value("lock.deadlocks"), 0u);
+  EXPECT_EQ(snap.Value("lock.timeouts"), 0u);
+  EXPECT_GE(snap.Value("query.executions"), queries_run.load());
+  EXPECT_GT(snap.Value("query.parallel_executions"), 0u);
+  const obs::Metric* lat = snap.Find("query.latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GE(lat->hist.count, queries_run.load());
+}
+
+// ---------------------------------------------------------------------------
+// Observability: metrics snapshots and event-log reads racing the engine's
+// own emitters (exercised under TSan in CI).
+// ---------------------------------------------------------------------------
+
+TEST(ObservabilityConcurrencyTest, SnapshotsRaceQueriesAndCheckpoints) {
+  PathGuard dir(TempPath("obs"));
+  EngineOptions opts;
+  opts.dir = dir.path();
+  opts.sync_commits = true;  // group commit emits events + batch histogram
+  auto engine = Engine::Open(opts).MoveValue();
+  Collection* coll = engine->CreateCollection("docs").value();
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(coll->InsertDocument(
+                        nullptr,
+                        "<doc><k>" + std::to_string(i) + "</k></doc>")
+                    .ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Writers drive WAL commits, buffer traffic, and lock activity.
+  for (int w = 0; w < 2; w++) {
+    threads.emplace_back([&, w] {
+      int i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto res = coll->InsertDocument(
+            nullptr, "<doc><k>w" + std::to_string(w) + "_" +
+                         std::to_string(i++) + "</k></doc>");
+        ASSERT_TRUE(res.ok()) << res.status().ToString();
+      }
+    });
+  }
+  // Queriers tick the always-on counters and the latency histogram.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto res = coll->Query(nullptr, "/doc/k");
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+    }
+  });
+  // Checkpointer emits checkpoint events while snapshots are being taken.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(engine->Checkpoint().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  // Snapshotters and event readers race everything above.
+  std::atomic<uint64_t> snapshots_taken{0};
+  for (int r = 0; r < 2; r++) {
+    threads.emplace_back([&] {
+      uint64_t last_emitted = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        obs::MetricsSnapshot snap = engine->MetricsSnapshot();
+        // Monotonic counters never go backwards between snapshots.
+        uint64_t emitted = snap.Value("events.emitted");
+        ASSERT_GE(emitted, last_emitted);
+        last_emitted = emitted;
+        ASSERT_FALSE(snap.ToJson().empty());
+        std::vector<obs::Event> events = engine->RecentEvents(64);
+        for (size_t i = 1; i < events.size(); i++)
+          ASSERT_LT(events[i - 1].seq, events[i].seq);
+        snapshots_taken.fetch_add(1);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(snapshots_taken.load(), 0u);
+  obs::MetricsSnapshot final_snap = engine->MetricsSnapshot();
+  EXPECT_GT(final_snap.Value("wal.commits"), 0u);
+  EXPECT_GT(final_snap.Value("query.executions"), 0u);
+  EXPECT_GT(final_snap.Value("events.emitted"), 0u);
+  EXPECT_EQ(final_snap.Value("lock.deadlocks"), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -756,5 +756,189 @@ TEST(CorruptionTest, TruncatedCompiledSchemaRejected) {
   }
 }
 
+// --- EXPLAIN / trace / metrics (DESIGN.md §Observability) ---
+
+// The streaming path: no usable index, QuickXScan over every document. The
+// plan text is deterministic by design (no timings, no pointers), so the
+// golden pins the exact format.
+TEST(ExplainTest, FullScanPlanGolden) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("docs").value();
+  ASSERT_TRUE(
+      coll->InsertDocument(nullptr, "<cat><p><price>10</price></p></cat>")
+          .ok());
+  ASSERT_TRUE(
+      coll->InsertDocument(nullptr, "<cat><p><price>3</price></p></cat>")
+          .ok());
+  QueryOptions o;
+  o.explain = true;
+  auto res = coll->Query(nullptr, "/cat/p[price > 5]", o).MoveValue();
+  ASSERT_EQ(res.nodes.size(), 1u);
+  EXPECT_EQ(res.profile.PlanText(),
+            "query: /cat/p[price > 5.000000]\n"
+            "access path: full-scan (no index covers the predicates)\n"
+            "recheck: yes\n"
+            "cardinality: postings=0 candidate_docs=2 candidate_anchors=0"
+            " docs_evaluated=2 records_fetched=2 results=1\n"
+            "scan: events=18 instances=8 peak_live=4\n"
+            "parallelism: 1 (chunks=1)\n");
+  // The timed rendering adds phases; "total" is always last.
+  std::string text = res.profile.ToText();
+  EXPECT_NE(text.find("pages fetched:"), std::string::npos);
+  EXPECT_NE(text.find("phase total"), std::string::npos);
+  ASSERT_FALSE(res.profile.phases.empty());
+  EXPECT_EQ(res.profile.phases.back().name, "total");
+}
+
+// The index path: two exact-match probes combined by DocID ANDing.
+TEST(ExplainTest, IndexAndingPlanGolden) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("docs").value();
+  ASSERT_TRUE(coll->CreateValueIndex(
+                      {"price", "/cat/p/price", ValueType::kDouble, 128})
+                  .ok());
+  ASSERT_TRUE(
+      coll->CreateValueIndex({"qty", "/cat/p/qty", ValueType::kDouble, 128})
+          .ok());
+  ASSERT_TRUE(coll->InsertDocument(
+                      nullptr,
+                      "<cat><p><price>10</price><qty>5</qty></p></cat>")
+                  .ok());
+  ASSERT_TRUE(coll->InsertDocument(
+                      nullptr,
+                      "<cat><p><price>10</price><qty>7</qty></p></cat>")
+                  .ok());
+  ASSERT_TRUE(coll->InsertDocument(
+                      nullptr,
+                      "<cat><p><price>8</price><qty>5</qty></p></cat>")
+                  .ok());
+  QueryOptions o;
+  o.explain = true;
+  auto res =
+      coll->Query(nullptr, "/cat/p[price = 10 and qty = 5]", o).MoveValue();
+  ASSERT_EQ(res.nodes.size(), 1u);
+  EXPECT_EQ(res.profile.PlanText(),
+            "query: /cat/p[price = 10.000000 and qty = 5.000000]\n"
+            "access path: docid-anding/oring (avg records/doc 1.00 <= 2.00)\n"
+            "  probe: /cat/p/qty = ... index 'qty' (exact)\n"
+            "  probe: /cat/p/price = ... index 'price' (exact)\n"
+            "  combine: ANDing\n"
+            "recheck: no\n"
+            "cardinality: postings=4 candidate_docs=1 candidate_anchors=0"
+            " docs_evaluated=1 records_fetched=1 results=1\n"
+            "scan: events=12 instances=5 peak_live=4\n"
+            "parallelism: 1 (chunks=1)\n");
+}
+
+// trace=true implies explain and adds per-step trace lines.
+TEST(ExplainTest, TraceAddsStepLines) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("docs").value();
+  ASSERT_TRUE(coll->CreateValueIndex(
+                      {"price", "/cat/p/price", ValueType::kDouble, 128})
+                  .ok());
+  ASSERT_TRUE(
+      coll->InsertDocument(nullptr, "<cat><p><price>10</price></p></cat>")
+          .ok());
+  QueryOptions o;
+  o.trace = true;
+  auto res = coll->Query(nullptr, "/cat/p[price = 10]", o).MoveValue();
+  EXPECT_TRUE(res.profile.enabled);
+  EXPECT_TRUE(res.profile.trace);
+  ASSERT_FALSE(res.profile.trace_lines.empty());
+  EXPECT_NE(res.profile.trace_lines[0].find("index 'price'"),
+            std::string::npos);
+  EXPECT_NE(res.profile.ToText().find("trace: "), std::string::npos);
+}
+
+// Plain queries must not pay for profiling: the profile stays disabled and
+// empty, while the always-on engine counters still tick.
+TEST(ExplainTest, DisabledByDefault) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("docs").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b></a>").ok());
+  auto res = coll->Query(nullptr, "/a/b").MoveValue();
+  EXPECT_FALSE(res.profile.enabled);
+  EXPECT_TRUE(res.profile.probes.empty());
+  EXPECT_TRUE(res.profile.phases.empty());
+  EXPECT_EQ(engine->MetricsSnapshot().Value("query.executions"), 1u);
+}
+
+TEST(MetricsTest, SnapshotCoversEverySubsystem) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("docs").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b></a>").ok());
+  auto res = coll->Query(nullptr, "/a/b").MoveValue();
+  ASSERT_EQ(res.nodes.size(), 1u);
+
+  obs::MetricsSnapshot snap = engine->MetricsSnapshot();
+  // One metric per canonical name, each subsystem represented.
+  for (const char* name :
+       {"buffer.hits", "buffer.misses", "buffer.evictions",
+        "buffer.writebacks", "buffer.checksum_failures", "record.inserts",
+        "record.live_records", "record.data_pages", "io.reads", "io.writes",
+        "io.syncs", "io.retries", "lock.acquisitions", "lock.deadlocks",
+        "query.executions", "query.parallel_executions", "query.latency_us",
+        "engine.collections", "events.emitted", "events.overwritten"}) {
+    EXPECT_NE(snap.Find(name), nullptr) << name;
+  }
+  EXPECT_EQ(snap.Value("engine.collections"), 1u);
+  EXPECT_EQ(snap.Value("record.inserts"), 1u);
+  EXPECT_EQ(snap.Value("record.live_records"), 1u);
+  EXPECT_EQ(snap.Value("query.executions"), 1u);
+  EXPECT_GT(snap.Value("buffer.hits"), 0u);
+  EXPECT_EQ(snap.Value("lock.deadlocks"), 0u);
+  const obs::Metric* lat = snap.Find("query.latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(lat->hist.count, 1u);
+  // The whole snapshot serializes and round-trips.
+  auto back = obs::MetricsSnapshot::FromJson(snap.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().metrics.size(), snap.metrics.size());
+  EXPECT_NE(snap.ToText().find("query.latency_us"), std::string::npos);
+}
+
+TEST(MetricsTest, WalCommitMetricsAndEvents) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("xdb_obs_wal_" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(dir);
+  {
+    EngineOptions opts;
+    opts.dir = dir;
+    opts.sync_commits = true;
+    auto engine = Engine::Open(opts).MoveValue();
+    Collection* coll = engine->CreateCollection("docs").value();
+    ASSERT_TRUE(coll->InsertDocument(nullptr, "<a>1</a>").ok());
+    ASSERT_TRUE(coll->InsertDocument(nullptr, "<a>2</a>").ok());
+
+    obs::MetricsSnapshot snap = engine->MetricsSnapshot();
+    EXPECT_GE(snap.Value("wal.commits"), 2u);
+    EXPECT_GE(snap.Value("wal.group_commit.rounds"), 1u);
+    EXPECT_GT(snap.Value("wal.io.writes"), 0u);
+    const obs::Metric* batch = snap.Find("wal.group_commit.batch_size");
+    ASSERT_NE(batch, nullptr);
+    EXPECT_GE(batch->hist.count, 1u);
+
+    ASSERT_TRUE(engine->Checkpoint().ok());
+    // The event log saw the recovery bracket from Open and the checkpoint.
+    std::vector<obs::Event> events = engine->RecentEvents();
+    ASSERT_GE(events.size(), 4u);
+    EXPECT_EQ(events[0].kind, obs::EventKind::kRecoveryBegin);
+    EXPECT_EQ(events[1].kind, obs::EventKind::kRecoveryEnd);
+    bool saw_begin = false, saw_end = false;
+    for (const obs::Event& e : events) {
+      if (e.kind == obs::EventKind::kCheckpointBegin) saw_begin = true;
+      if (e.kind == obs::EventKind::kCheckpointEnd) saw_end = true;
+    }
+    EXPECT_TRUE(saw_begin);
+    EXPECT_TRUE(saw_end);
+    for (size_t i = 1; i < events.size(); i++)
+      EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace xdb

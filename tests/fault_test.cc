@@ -73,12 +73,19 @@ TEST(RetryPolicyTest, TransientFailuresAreRetriedWithBackoff) {
   FakeClock clock;
   IoStats stats;
   int calls = 0;
-  Status s = RetryTransient(policy, &clock, &stats, "op", [&]() -> Status {
+  obs::EventLog events(16);
+  Status s = RetryTransient(policy, &clock, &stats, &events, "op",
+                            [&]() -> Status {
     if (++calls < 3) return Status::TransientIOError("blip");
     return Status::OK();
   });
   EXPECT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(calls, 3);
+  // Each backoff leaves an io.retry event carrying the attempt number.
+  std::vector<obs::Event> retry_events = events.Recent();
+  ASSERT_EQ(retry_events.size(), 2u);
+  EXPECT_EQ(retry_events[0].kind, obs::EventKind::kIoRetry);
+  EXPECT_EQ(retry_events[0].message, "op");
   EXPECT_EQ(stats.retries.load(), 2u);
   EXPECT_EQ(stats.transient_errors.load(), 2u);
   EXPECT_EQ(stats.permanent_failures.load(), 0u);
@@ -94,7 +101,7 @@ TEST(RetryPolicyTest, PermanentErrorsAreNotRetried) {
   FakeClock clock;
   IoStats stats;
   int calls = 0;
-  Status s = RetryTransient(RetryPolicy{}, &clock, &stats, "op", [&] {
+  Status s = RetryTransient(RetryPolicy{}, &clock, &stats, nullptr, "op", [&] {
     calls++;
     return Status::IOError("disk on fire");
   });
@@ -111,7 +118,7 @@ TEST(RetryPolicyTest, ExhaustionSurfacesAsPermanentFailure) {
   FakeClock clock;
   IoStats stats;
   int calls = 0;
-  Status s = RetryTransient(policy, &clock, &stats, "flaky op", [&] {
+  Status s = RetryTransient(policy, &clock, &stats, nullptr, "flaky op", [&] {
     calls++;
     return Status::TransientIOError("still flaky");
   });

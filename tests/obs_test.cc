@@ -1,0 +1,266 @@
+// Observability building blocks: metrics registry (counters, gauges,
+// histograms, collectors, serializers) and the lock-free event log.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
+namespace xdb {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsLoseNothing) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; i++) c.Add();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(5);
+  EXPECT_EQ(g.value(), 12);
+}
+
+TEST(HistogramTest, BucketsAndStats) {
+  Histogram h(std::vector<uint64_t>{1, 2, 4, 8});
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);   // lands in the <=4 bucket
+  h.Observe(100);  // overflow bucket
+  HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, 4u);
+  EXPECT_EQ(d.sum, 106u);
+  EXPECT_EQ(d.min, 1u);
+  EXPECT_EQ(d.max, 100u);
+  ASSERT_EQ(d.counts.size(), 5u);  // 4 bounds + overflow
+  EXPECT_EQ(d.counts[0], 1u);      // <=1
+  EXPECT_EQ(d.counts[1], 1u);      // <=2
+  EXPECT_EQ(d.counts[2], 1u);      // <=4
+  EXPECT_EQ(d.counts[3], 0u);      // <=8
+  EXPECT_EQ(d.counts[4], 1u);      // overflow
+}
+
+TEST(HistogramTest, QuantilesFromBuckets) {
+  Histogram h(Histogram::ExponentialBounds(1, 10));  // 1..512
+  for (int i = 0; i < 90; i++) h.Observe(3);         // <=4 bucket
+  for (int i = 0; i < 10; i++) h.Observe(100);       // <=128 bucket
+  HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.Quantile(0.5), 4u);
+  EXPECT_EQ(d.Quantile(0.99), 100u);  // clamped by max within the bucket
+  EXPECT_EQ(d.Quantile(0.0), 4u);     // bucket upper-edge estimate
+  EXPECT_EQ(HistogramData{}.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, ConcurrentObservationsLoseNothing) {
+  Histogram h(Histogram::LatencyBoundsUs());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; i++)
+        h.Observe(static_cast<uint64_t>(t * 37 + i % 1000));
+    });
+  for (auto& th : threads) th.join();
+  HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : d.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, d.count);
+  EXPECT_EQ(d.min, 0u);
+  EXPECT_EQ(d.max, 7u * 37 + 999);
+}
+
+TEST(HistogramTest, ExponentialBoundsDouble) {
+  std::vector<uint64_t> b = Histogram::ExponentialBounds(1, 4);
+  EXPECT_EQ(b, (std::vector<uint64_t>{1, 2, 4, 8}));
+}
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter* a = reg.AddCounter("x.count");
+  Counter* b = reg.AddCounter("x.count");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  Gauge* g1 = reg.AddGauge("x.level");
+  Gauge* g2 = reg.AddGauge("x.level");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = reg.AddHistogram("x.lat_us", Histogram::LatencyBoundsUs());
+  Histogram* h2 = reg.AddHistogram("x.lat_us", Histogram::LatencyBoundsUs());
+  EXPECT_EQ(h1, h2);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Value("x.count"), 3u);
+}
+
+TEST(RegistryTest, SnapshotSortedAndCollectorsRun) {
+  MetricsRegistry reg;
+  reg.AddCounter("b.count")->Add(2);
+  reg.AddGauge("c.level")->Set(9);
+  reg.AddCollector([](std::vector<Metric>* out) {
+    Metric m;
+    m.name = "a.collected";
+    m.kind = MetricKind::kCounter;
+    m.value = 7;
+    out->push_back(std::move(m));
+  });
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "a.collected");
+  EXPECT_EQ(snap.metrics[1].name, "b.count");
+  EXPECT_EQ(snap.metrics[2].name, "c.level");
+  EXPECT_EQ(snap.Value("a.collected"), 7u);
+  EXPECT_EQ(snap.Value("missing.metric"), 0u);
+  EXPECT_EQ(snap.Find("missing.metric"), nullptr);
+}
+
+TEST(SnapshotTest, JsonRoundTrip) {
+  MetricsRegistry reg;
+  reg.AddCounter("buffer.hits")->Add(123);
+  reg.AddGauge("engine.collections")->Set(2);
+  Histogram* h =
+      reg.AddHistogram("query.latency_us", Histogram::ExponentialBounds(1, 6));
+  h->Observe(3);
+  h->Observe(17);
+  h->Observe(1000);
+  MetricsSnapshot snap = reg.Snapshot();
+
+  std::string json = snap.ToJson();
+  auto parsed = MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const MetricsSnapshot& back = parsed.value();
+  ASSERT_EQ(back.metrics.size(), snap.metrics.size());
+  for (size_t i = 0; i < snap.metrics.size(); i++) {
+    EXPECT_EQ(back.metrics[i].name, snap.metrics[i].name);
+    EXPECT_EQ(back.metrics[i].kind, snap.metrics[i].kind);
+    EXPECT_EQ(back.metrics[i].value, snap.metrics[i].value);
+    EXPECT_EQ(back.metrics[i].hist, snap.metrics[i].hist);
+  }
+  // Serialization is deterministic.
+  EXPECT_EQ(back.ToJson(), json);
+}
+
+TEST(SnapshotTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(MetricsSnapshot::FromJson("not json").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{\"x\": [1,2}").ok());
+}
+
+TEST(SnapshotTest, ToTextMentionsEveryMetric) {
+  MetricsRegistry reg;
+  reg.AddCounter("wal.commits")->Add(5);
+  Histogram* h = reg.AddHistogram("wal.group_commit.batch_size",
+                                  Histogram::ExponentialBounds(1, 9));
+  h->Observe(4);
+  std::string text = reg.Snapshot().ToText();
+  EXPECT_NE(text.find("wal.commits"), std::string::npos);
+  EXPECT_NE(text.find("wal.group_commit.batch_size"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(EventLogTest, EmitAndRecentInOrder) {
+  EventLog log(16);
+  log.Emit(EventKind::kCheckpointBegin, 1, 0, "checkpoint");
+  log.Emit(EventKind::kCheckpointEnd, 1, 0, "checkpoint done");
+  std::vector<Event> events = log.Recent();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].kind, EventKind::kCheckpointBegin);
+  EXPECT_EQ(events[0].arg0, 1u);
+  EXPECT_EQ(events[0].message, "checkpoint");
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].kind, EventKind::kCheckpointEnd);
+  EXPECT_LE(events[0].timestamp_us, events[1].timestamp_us);
+  EXPECT_EQ(log.emitted(), 2u);
+  EXPECT_EQ(log.overwritten(), 0u);
+  std::string s = events[0].ToString();
+  EXPECT_NE(s.find("checkpoint.begin"), std::string::npos);
+}
+
+TEST(EventLogTest, OverflowKeepsNewestAndCounts) {
+  EventLog log(8);  // capacity rounds to 8
+  ASSERT_EQ(log.capacity(), 8u);
+  for (uint64_t i = 0; i < 20; i++)
+    log.Emit(EventKind::kIoRetry, i, 0, "retry " + std::to_string(i));
+  std::vector<Event> events = log.Recent();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first, contiguous, ending at the newest emit.
+  for (size_t i = 0; i < events.size(); i++) {
+    EXPECT_EQ(events[i].seq, 12 + i);
+    EXPECT_EQ(events[i].arg0, 12 + i);
+    EXPECT_EQ(events[i].message, "retry " + std::to_string(12 + i));
+  }
+  EXPECT_EQ(log.emitted(), 20u);
+  EXPECT_EQ(log.overwritten(), 12u);
+  // `max` trims from the old end.
+  std::vector<Event> last3 = log.Recent(3);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3[0].seq, 17u);
+}
+
+TEST(EventLogTest, LongMessagesTruncate) {
+  EventLog log(8);
+  std::string big(500, 'x');
+  log.Emit(EventKind::kScrubFinding, big);
+  std::vector<Event> events = log.Recent();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].message, big.substr(0, EventLog::kMaxMessage));
+}
+
+TEST(EventLogTest, ConcurrentEmittersAndReaders) {
+  EventLog log(64);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 10000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<Event> events = log.Recent();
+      // Whatever survives validation must be in strictly increasing seq
+      // order with untorn payloads.
+      for (size_t i = 1; i < events.size(); i++)
+        ASSERT_LT(events[i - 1].seq, events[i].seq);
+      for (const Event& e : events) {
+        ASSERT_EQ(e.kind, EventKind::kGroupCommitRound);
+        ASSERT_EQ(e.message, "w");
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; w++)
+    writers.emplace_back([&log] {
+      for (int i = 0; i < kPerWriter; i++)
+        log.Emit(EventKind::kGroupCommitRound, static_cast<uint64_t>(i), 0,
+                 "w");
+    });
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(log.emitted(), static_cast<uint64_t>(kWriters) * kPerWriter);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xdb

@@ -210,8 +210,10 @@ TEST(BufferManagerChecksumTest, FetchDetectsOnDiskCorruption) {
   BufferManager bm(ts.get(), 4);
   Status st = bm.FixPage(p).status();
   EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  // The buffer manager is the single owner of this count
+  // (`buffer.checksum_failures`); the tablespace I/O stats no longer mirror
+  // it.
   EXPECT_EQ(bm.stats().checksum_failures, 1u);
-  EXPECT_EQ(ts->io_stats().checksum_failures, 1u);
   ASSERT_EQ(bm.quarantined_pages().size(), 1u);
   EXPECT_EQ(bm.quarantined_pages()[0], p);
   // Quarantine is sticky: the page stays refused without re-reading it.
