@@ -1,5 +1,7 @@
 // EXPLAIN and engine metrics: run the same query over the streaming path and
-// the index path, print each plan, then dump the engine metrics snapshot.
+// the index path, print each plan (cost breakdown, statistics line and
+// plan-cache state included), show a plan-cache hit and the forced
+// heuristic planner, then dump the engine metrics snapshot.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -60,12 +62,28 @@ int main() {
   std::printf("--- with the price index ---\n%s\n",
               probed.profile.PlanText().c_str());
 
-  // 3. trace=true adds per-step lines and phase timings (ToText).
+  // 3. Run it again: the plan is served from the compiled-plan cache
+  // ("plan cache: hit", and the plan phase costs zero). Any insert or
+  // index change bumps the stats epoch and retires the cached plan.
+  auto cached = Unwrap(shop->Query(nullptr, query, opts), "cached query");
+  std::printf("--- same query again (cached plan) ---\n%s\n",
+              cached.profile.PlanText().c_str());
+
+  // 4. The pre-statistics Section 4.3 rules are still there for comparison
+  // (and as the automatic fallback when stats are missing after a crash).
+  QueryOptions heur = opts;
+  heur.use_heuristic_planner = true;
+  auto ruled = Unwrap(shop->Query(nullptr, query, heur), "heuristic query");
+  std::printf("--- forced heuristic planner ---\n%s\n",
+              ruled.profile.PlanText().c_str());
+
+  // 5. trace=true adds per-step lines and phase timings (ToText).
   opts.trace = true;
   auto traced = Unwrap(shop->Query(nullptr, query, opts), "traced query");
   std::printf("--- full trace ---\n%s\n", traced.profile.ToText().c_str());
 
-  // 4. The engine-wide metrics snapshot those queries fed.
+  // 6. The engine-wide metrics snapshot those queries fed — including
+  // query.plan_cache.{hits,misses,evictions,invalidations}.
   std::printf("--- engine metrics ---\n%s",
               engine->MetricsSnapshot().ToText().c_str());
   return 0;

@@ -8,7 +8,8 @@
 namespace xdb {
 
 namespace {
-constexpr uint32_t kCatalogMagic = 0x58444243;  // "XDBC"
+constexpr uint32_t kCatalogMagic = 0x58444243;    // "XDBC" (v1, no stats)
+constexpr uint32_t kCatalogMagicV2 = 0x58444244;  // "XDBD" (adds stats_epoch)
 
 void PutString(std::string* out, const std::string& s) {
   PutLengthPrefixed(out, s);
@@ -22,7 +23,7 @@ bool GetString(Slice* in, std::string* s) {
 }  // namespace
 
 void CatalogData::Serialize(std::string* out) const {
-  PutFixed32(out, kCatalogMagic);
+  PutFixed32(out, kCatalogMagicV2);
   PutVarint64(out, collections.size());
   for (const auto& [name, meta] : collections) {
     PutString(out, name);
@@ -32,6 +33,7 @@ void CatalogData::Serialize(std::string* out) const {
     PutFixed32(out, meta.versioned_index_root);
     PutFixed64(out, meta.next_doc_id);
     PutFixed64(out, meta.last_version);
+    PutFixed64(out, meta.stats_epoch);
     out->push_back(meta.mvcc_enabled ? 1 : 0);
     PutString(out, meta.schema_name);
     PutVarint64(out, meta.value_indexes.size());
@@ -53,7 +55,12 @@ void CatalogData::Serialize(std::string* out) const {
 
 Result<CatalogData> CatalogData::Deserialize(Slice data) {
   CatalogData cat;
-  if (data.size() < 4 || DecodeFixed32(data.data()) != kCatalogMagic)
+  if (data.size() < 4) return Status::Corruption("bad catalog magic");
+  const uint32_t magic = DecodeFixed32(data.data());
+  // Old-format (v1) catalogs still load: stats_epoch defaults to 0, which
+  // matches the "no stats saved yet" open-time semantics.
+  const bool v2 = magic == kCatalogMagicV2;
+  if (!v2 && magic != kCatalogMagic)
     return Status::Corruption("bad catalog magic");
   data.RemovePrefix(4);
   auto read_var = [&](uint64_t* v) -> bool {
@@ -69,7 +76,8 @@ Result<CatalogData> CatalogData::Deserialize(Slice data) {
     CollectionMeta meta;
     if (!GetString(&data, &name) || !GetString(&data, &meta.space_file))
       return Status::Corruption("bad collection meta");
-    if (data.size() < 4 * 3 + 8 * 2 + 1)
+    const size_t fixed = 4 * 3 + 8 * 2 + (v2 ? 8 : 0) + 1;
+    if (data.size() < fixed)
       return Status::Corruption("truncated collection meta");
     meta.name = name;
     meta.docid_index_root = DecodeFixed32(data.data());
@@ -77,8 +85,9 @@ Result<CatalogData> CatalogData::Deserialize(Slice data) {
     meta.versioned_index_root = DecodeFixed32(data.data() + 8);
     meta.next_doc_id = DecodeFixed64(data.data() + 12);
     meta.last_version = DecodeFixed64(data.data() + 20);
-    meta.mvcc_enabled = data[28] != 0;
-    data.RemovePrefix(29);
+    if (v2) meta.stats_epoch = DecodeFixed64(data.data() + 28);
+    meta.mvcc_enabled = data[fixed - 1] != 0;
+    data.RemovePrefix(fixed);
     if (!GetString(&data, &meta.schema_name))
       return Status::Corruption("bad collection schema name");
     uint64_t nvi;

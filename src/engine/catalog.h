@@ -30,6 +30,13 @@ struct CollectionMeta {
   std::vector<ValueIndexMeta> value_indexes;
   uint64_t next_doc_id = 1;
   uint64_t last_version = 0;  // persisted MVCC version counter
+  /// Stats epoch captured when stats.xdb was last written (checkpoint). At
+  /// open, a stats blob whose epoch disagrees is stale: the collection
+  /// degrades to heuristic planning instead of costing on wrong numbers.
+  /// The catalog write is the commit point of the stats save — stats.xdb is
+  /// written first, so a crash between the two only ever loses stats, never
+  /// trusts bad ones.
+  uint64_t stats_epoch = 0;
   bool mvcc_enabled = false;
   std::string schema_name;  // validate-on-insert when non-empty
 };

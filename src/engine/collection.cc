@@ -60,6 +60,23 @@ std::string DocKey(uint64_t doc_id) {
   return key;
 }
 
+/// Nodes one document contributes to the collection's node-count statistic
+/// (elements, attributes, text). One cheap pass over the token buffer; a
+/// parse error just under-counts (the estimate self-corrects on churn).
+uint64_t CountStatNodes(Slice tokens) {
+  TokenReader reader(tokens);
+  Token t;
+  uint64_t n = 0;
+  for (;;) {
+    auto more = reader.Next(&t);
+    if (!more.ok() || !more.value()) break;
+    if (t.kind == TokenKind::kStartElement || t.kind == TokenKind::kAttribute ||
+        t.kind == TokenKind::kText)
+      n++;
+  }
+  return n;
+}
+
 }  // namespace
 
 Status Collection::ReadLockDoc(Transaction* txn, uint64_t doc_id) {
@@ -133,6 +150,10 @@ Result<uint64_t> Collection::InsertTokensLocked(Transaction* txn, Slice tokens,
   // here would let concurrent queries scan the index while this document's
   // postings are half-written.
   XDB_RETURN_NOT_OK(AddValueIndexEntries(doc_id, tokens, nullptr));
+  // Statistics last, so a failed insert never counts. Runs for every insert
+  // path — client writes, WAL replay, scrub salvage — which is what keeps
+  // the incremental counters in step with the data.
+  stats_.NoteDocumentInserted(CountStatNodes(tokens));
   return doc_id;
 }
 
@@ -248,7 +269,9 @@ Status Collection::DeleteDocumentLocked(Transaction* txn, uint64_t doc_id) {
   for (uint64_t packed : rids) {
     XDB_RETURN_NOT_OK(records_->Delete(Rid::Unpack(packed)));
   }
-  return docid_tree_->Delete(DocKey(doc_id), Slice());
+  XDB_RETURN_NOT_OK(docid_tree_->Delete(DocKey(doc_id), Slice()));
+  stats_.NoteDocumentDeleted();
+  return Status::OK();
 }
 
 Status Collection::MaintainValueIndexesForTextUpdate(uint64_t doc_id,
@@ -376,7 +399,9 @@ Status Collection::UpdateTextNode(Transaction* txn, uint64_t doc_id,
     XDB_ASSIGN_OR_RETURN(std::string new_record,
                          ReplaceTextValue(old_record, node_id, new_text));
     if (!meta_.mvcc_enabled) {
-      return records_->Update(rid, new_record);
+      XDB_RETURN_NOT_OK(records_->Update(rid, new_record));
+      stats_.NoteDocumentMutated();
+      return Status::OK();
     }
 
     // MVCC: copy-on-write of the changed record under a new version.
@@ -399,6 +424,7 @@ Status Collection::UpdateTextNode(Transaction* txn, uint64_t doc_id,
     // The unversioned NodeID index tracks the newest version.
     XDB_RETURN_NOT_OK(node_index_->RemoveRecord(doc_id, old_record, rid));
     XDB_RETURN_NOT_OK(node_index_->AddRecord(doc_id, new_record, new_rid));
+    stats_.NoteDocumentMutated();
     return Status::OK();
   }();
   return at.Finish(st);
@@ -624,6 +650,7 @@ Result<std::string> Collection::InsertSubtreeLocked(Transaction* txn,
       node_index_->AddRecord(doc_id, new_parent_record, parent_rid));
 
   XDB_RETURN_NOT_OK(ReindexDocument(doc_id));
+  stats_.NoteDocumentMutated();
   return new_abs;
 }
 
@@ -684,7 +711,9 @@ Status Collection::DeleteSubtreeLocked(Transaction* txn, uint64_t doc_id,
     XDB_RETURN_NOT_OK(node_index_->RemoveRecord(doc_id, bytes, rid));
     XDB_RETURN_NOT_OK(records_->Delete(rid));
   }
-  return ReindexDocument(doc_id);
+  XDB_RETURN_NOT_OK(ReindexDocument(doc_id));
+  stats_.NoteDocumentMutated();
+  return Status::OK();
 }
 
 Status Collection::CreateValueIndex(const ValueIndexDef& def) {
@@ -703,6 +732,9 @@ Status Collection::CreateValueIndex(const ValueIndexDef& def) {
                        BTree::Create(buffer_.get()));
   auto index = std::make_unique<ValueIndex>(def, tree.get());
   ValueIndex* raw = index.get();
+  // Stats listener first, so the backfill below is counted too. This bumps
+  // the stats epoch, invalidating every cached plan priced without the index.
+  raw->set_stats_listener(stats_.NoteIndexCreated(def.name));
   meta_.value_indexes.push_back(ValueIndexMeta{def, tree->root()});
   value_indexes_.push_back(OwnedValueIndex{std::move(tree), std::move(index)});
 
@@ -714,6 +746,37 @@ Status Collection::CreateValueIndex(const ValueIndexDef& def) {
     TokenWriter tokens;
     XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
     XDB_RETURN_NOT_OK(AddValueIndexEntries(doc_id, tokens.data(), raw));
+  }
+  index_version_.fetch_add(1, std::memory_order_acq_rel);
+  plan_cache_.Invalidate("index created");
+  return Status::OK();
+}
+
+Status Collection::DropValueIndex(const std::string& name) {
+  XDB_RETURN_NOT_OK(GuardRepair());
+  WriterMutexLock latch(latch_);
+  size_t pos = value_indexes_.size();
+  for (size_t i = 0; i < value_indexes_.size(); i++) {
+    if (value_indexes_[i].index->def().name == name) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == value_indexes_.size())
+    return Status::NotFound("no value index '" + name + "'");
+  // Version bump + cache clear BEFORE the ValueIndex is destroyed: any plan
+  // compiled against the old index set fails the structure-version gate
+  // under this same latch, so its dangling pointer is never dereferenced.
+  index_version_.fetch_add(1, std::memory_order_acq_rel);
+  plan_cache_.Invalidate("index dropped");
+  stats_.NoteIndexDropped(name);
+  value_indexes_.erase(value_indexes_.begin() + static_cast<long>(pos));
+  for (auto it = meta_.value_indexes.begin(); it != meta_.value_indexes.end();
+       ++it) {
+    if (it->def.name == name) {
+      meta_.value_indexes.erase(it);
+      break;
+    }
   }
   return Status::OK();
 }
@@ -809,16 +872,173 @@ Result<std::string> Collection::SerializeSubtree(Transaction* txn,
 
 Result<QueryResult> Collection::Query(Transaction* txn, Slice xpath,
                                       const QueryOptions& options) {
-  XDB_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(xpath));
-  return ExecutePath(txn, path, options);
+  XDB_RETURN_NOT_OK(GuardRepair());
+  const bool cacheable =
+      plan_cache_.enabled() && !options.use_heuristic_planner;
+  const std::string text = xpath.ToString();
+  // Bounded replan loop: a compiled plan can go stale when an index drop or
+  // storage rebuild races execution. Staleness is reported via *plan_stale —
+  // NOT inferred from the status code, because kBusy is also how the buffer
+  // pool reports pinned frames, and those must not trigger a replan.
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < 3; attempt++) {
+    std::shared_ptr<const query::CompiledPlan> cp;
+    const char* cache_state = cacheable ? "miss" : "off";
+    uint64_t plan_wall_us = 0;
+    if (cacheable) {
+      cp = plan_cache_.Lookup(text, options.force, options.want_values,
+                              stats_.epoch());
+      if (cp != nullptr) cache_state = "hit";
+    }
+    if (cp == nullptr) {
+      const auto plan_start = std::chrono::steady_clock::now();
+      XDB_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(text));
+      XDB_ASSIGN_OR_RETURN(cp, CompileForExecution(std::move(path), options));
+      plan_wall_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - plan_start)
+              .count());
+      // Keyed by the epoch the plan was priced at: if the stats moved while
+      // we compiled, the entry simply never matches a future lookup.
+      if (cacheable)
+        plan_cache_.Insert(text, options.force, options.want_values,
+                           cp->stats_epoch, cp);
+    }
+    bool plan_stale = false;
+    Result<QueryResult> res = ExecuteCompiled(
+        txn, *cp, options, cache_state, plan_wall_us, &plan_stale);
+    if (res.ok() || !plan_stale) return res;
+    last = res.status();
+    // The plan probes an index that no longer exists; everything else
+    // compiled at the old structure version is equally dead.
+    if (cacheable) plan_cache_.Invalidate("stale plan replanned");
+  }
+  return last;
 }
 
 Result<QueryResult> Collection::ExecutePath(Transaction* txn,
                                             const xpath::Path& path,
                                             const QueryOptions& options) {
   XDB_RETURN_NOT_OK(GuardRepair());
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < 3; attempt++) {
+    const auto plan_start = std::chrono::steady_clock::now();
+    xpath::Path copy;
+    copy.absolute = path.absolute;
+    copy.steps.reserve(path.steps.size());
+    for (const xpath::Step& s : path.steps)
+      copy.steps.push_back(xpath::CloneStep(s));
+    XDB_ASSIGN_OR_RETURN(std::shared_ptr<const query::CompiledPlan> cp,
+                         CompileForExecution(std::move(copy), options));
+    const uint64_t plan_wall_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - plan_start)
+            .count());
+    bool plan_stale = false;
+    Result<QueryResult> res = ExecuteCompiled(txn, *cp, options, "off",
+                                              plan_wall_us, &plan_stale);
+    if (res.ok() || !plan_stale) return res;
+    last = res.status();
+  }
+  return last;
+}
+
+Result<std::shared_ptr<const query::CompiledPlan>>
+Collection::CompileForExecution(xpath::Path&& path,
+                                const QueryOptions& options) {
+  auto cp = std::make_shared<query::CompiledPlan>();
+  query::PlannerContext ctx;
+  XDB_ASSIGN_OR_RETURN(uint64_t docs, DocCount());
+  {
+    // The index list is copied under a brief shared latch; the ValueIndex
+    // objects themselves are stable while index_version_ is unchanged (the
+    // executor re-checks it against cp->index_version before probing).
+    ReaderMutexLock latch(latch_);
+    for (auto& owned : value_indexes_)
+      ctx.indexes.push_back(owned.index.get());
+    cp->index_version = index_version_.load(std::memory_order_acquire);
+  }
+  ctx.doc_count = docs;
+  // Cheap cardinality statistic (no index walk): stored records per doc.
+  uint64_t live = records_->stats().live_records;
+  ctx.avg_records_per_doc =
+      docs == 0 ? 1.0
+                : static_cast<double>(std::max<uint64_t>(live, docs)) /
+                      static_cast<double>(docs);
+  // Collected statistics drive the cost model; when they are unavailable
+  // (degraded at open) or explicitly bypassed, ChoosePlan falls back to the
+  // Section 4.3 heuristic rules.
+  query::CollectionStatsSnapshot snap = stats_.Snapshot();
+  if (!options.use_heuristic_planner) ctx.stats = &snap;
+  XDB_ASSIGN_OR_RETURN(cp->plan, query::ChoosePlan(path, ctx, options.force));
+  cp->stats_epoch = snap.epoch;
+  cp->stats_valid = cp->plan.cost_based;
+  cp->doc_count = docs;
+  cp->avg_records_per_doc = ctx.avg_records_per_doc;
+  cp->nodes_per_doc = snap.valid ? snap.avg_nodes_per_doc() : 0.0;
+  for (const query::PlannedProbe& p : cp->plan.probes)
+    cp->probe_lines.push_back(
+        p.pred.full_path.ToString() + " " + xpath::CompOpName(p.pred.op) +
+        " ... index '" + p.index->def().name + "' (" +
+        (p.match == xpath::IndexMatch::kExact ? "exact" : "filtering") + ")");
+
+  // Compile the full query once for scans and per-document evaluation.
+  XDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<xpath::QueryTree> tree,
+      xpath::QueryTree::Compile(path, *engine_->dict(), options.want_values));
+  cp->tree = std::move(tree);
+
+  const bool node_level =
+      cp->plan.method == query::AccessMethod::kNodeIdList ||
+      cp->plan.method == query::AccessMethod::kNodeIdAndOr;
+  if (node_level) {
+    const size_t anchor_step = cp->plan.anchor_step;
+    // Residual relative path evaluated on each anchor's subtree:
+    //   self-context [anchor predicates] / remaining steps...
+    xpath::Path residual;
+    residual.absolute = false;
+    {
+      xpath::Step self;
+      self.axis = xpath::Axis::kSelf;
+      self.test = xpath::NodeTest::kAnyKind;
+      // Anchor predicates are re-evaluated; index exactness already pruned
+      // most of the work, and this also covers predicates no index served.
+      for (const auto& pred : path.steps[anchor_step].predicates)
+        self.predicates.push_back(xpath::CloneExpr(*pred));
+      residual.steps.push_back(std::move(self));
+    }
+    for (size_t i = anchor_step + 1; i < path.steps.size(); i++)
+      residual.steps.push_back(xpath::CloneStep(path.steps[i]));
+
+    // Anchor names/structure above the anchor step are verified against the
+    // main-path prefix via the record header's root path when the index was
+    // only a filter; exact plans skip this.
+    xpath::Path prefix_pattern;
+    prefix_pattern.absolute = true;
+    for (size_t i = 0; i <= anchor_step; i++)
+      prefix_pattern.steps.push_back(xpath::CloneStep(path.steps[i]));
+    for (auto& s : prefix_pattern.steps) s.predicates.clear();
+
+    XDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<xpath::QueryTree> residual_tree,
+        xpath::QueryTree::Compile(residual, *engine_->dict(),
+                                  options.want_values));
+    cp->residual_tree = std::move(residual_tree);
+    cp->prefix_pattern = std::move(prefix_pattern);
+  }
+  cp->path = std::move(path);
+  return std::shared_ptr<const query::CompiledPlan>(std::move(cp));
+}
+
+Result<QueryResult> Collection::ExecuteCompiled(
+    Transaction* txn, const query::CompiledPlan& cp,
+    const QueryOptions& options, const char* cache_state,
+    uint64_t plan_wall_us, bool* plan_stale) {
+  *plan_stale = false;
+  XDB_RETURN_NOT_OK(GuardRepair());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   QueryResult result;
+  const query::QueryPlan& plan = cp.plan;
   // Per-query profile, populated only on request (a default QueryProfile is
   // cheap). The always-on cost of a query is just the engine query counter
   // and latency histogram at the bottom of this function.
@@ -827,7 +1047,22 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
     prof.enabled = true;
     prof.trace = options.trace;
     prof.collection = meta_.name;
-    prof.query = path.ToString();
+    prof.query = cp.path.ToString();
+    prof.access_method = query::AccessMethodName(plan.method);
+    prof.reason = plan.reason;
+    prof.probes = cp.probe_lines;
+    prof.disjunctive = plan.disjunctive;
+    prof.need_recheck = plan.need_recheck;
+    prof.anchor_step = plan.anchor_step;
+    prof.doc_count = cp.doc_count;
+    prof.avg_records_per_doc = cp.avg_records_per_doc;
+    prof.nodes_per_doc = cp.nodes_per_doc;
+    prof.stats_epoch = cp.stats_epoch;
+    prof.stats_valid = cp.stats_valid;
+    prof.plan_cache = cache_state;
+    // Planning time attributed by the caller: parse+plan+compile on a miss,
+    // 0 on a cache hit (the hit path skips all three).
+    prof.AddPhase("plan", plan_wall_us, 0);
   }
   uint64_t pages_before = 0;
   if (prof.enabled) {
@@ -838,45 +1073,6 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
   }
   const auto wall_start = std::chrono::steady_clock::now();
   Status st = [&]() -> Status {
-    // Plan.
-    query::QueryPlan plan;
-    {
-      obs::PhaseTimer timer(&prof, "plan");
-      query::PlannerContext ctx;
-      XDB_ASSIGN_OR_RETURN(uint64_t docs, DocCount());
-      {
-        // The index list is copied under a brief shared latch; the ValueIndex
-        // objects themselves are stable once created (never destroyed outside
-        // a rebuild, which requires the exclusive latch).
-        ReaderMutexLock latch(latch_);
-        for (auto& owned : value_indexes_)
-          ctx.indexes.push_back(owned.index.get());
-      }
-      ctx.doc_count = docs;
-      // Cheap cardinality statistic (no index walk): stored records per doc.
-      uint64_t live = records_->stats().live_records;
-      ctx.avg_records_per_doc =
-          docs == 0 ? 1.0
-                    : static_cast<double>(std::max<uint64_t>(live, docs)) /
-                          static_cast<double>(docs);
-      XDB_ASSIGN_OR_RETURN(plan, query::ChoosePlan(path, ctx, options.force));
-      if (prof.enabled) {
-        prof.access_method = query::AccessMethodName(plan.method);
-        prof.reason = plan.reason;
-        prof.disjunctive = plan.disjunctive;
-        prof.need_recheck = plan.need_recheck;
-        prof.anchor_step = plan.anchor_step;
-        prof.doc_count = ctx.doc_count;
-        prof.avg_records_per_doc = ctx.avg_records_per_doc;
-        for (const query::PlannedProbe& p : plan.probes)
-          prof.probes.push_back(
-              p.pred.full_path.ToString() + " " +
-              xpath::CompOpName(p.pred.op) + " ... index '" +
-              p.index->def().name + "' (" +
-              (p.match == xpath::IndexMatch::kExact ? "exact" : "filtering") +
-              ")");
-      }
-    }
     result.stats.method = plan.method;
     result.stats.explain = plan.explain;
     result.stats.rechecked = plan.need_recheck;
@@ -892,12 +1088,6 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
           engine_->txns()->Snapshot(at.get(), versions_.get()));
       locator = &snap;
     }
-
-    // Compile the full query once for rechecks/scans.
-    XDB_ASSIGN_OR_RETURN(
-        std::unique_ptr<xpath::QueryTree> full_tree,
-        xpath::QueryTree::Compile(path, *engine_->dict(),
-                                  options.want_values));
 
     // Evaluates the full query over a candidate DocID list, fanning out to
     // the engine's query pool when the list is big enough to pay for it.
@@ -916,10 +1106,10 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
       prof.chunks = ranges.empty() ? 1 : ranges.size();
       if (ranges.empty()) {
         return EvalDocRange(lock_txn, docs_list, 0, docs_list.size(),
-                            full_tree.get(), locator, &result);
+                            cp.tree.get(), locator, &result);
       }
       return EvalDocsParallel(lock_txn, docs_list, ranges, parallelism,
-                              full_tree.get(), locator, &result);
+                              cp.tree.get(), locator, &result);
     };
 
     if (plan.method == query::AccessMethod::kFullScan) {
@@ -937,6 +1127,15 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
     {
       obs::PhaseTimer timer(&prof, "probe");
       ReaderMutexLock latch(latch_);
+      // Structure-version gate: the plan's ValueIndex pointers are only safe
+      // to dereference while the index set is the one it was compiled
+      // against. A mismatch (index dropped, storage rebuilt) makes the plan
+      // stale — the caller replans; it is never served.
+      if (index_version_.load(std::memory_order_acquire) !=
+          cp.index_version) {
+        *plan_stale = true;
+        return Status::Busy("plan compiled against a changed index set");
+      }
       for (size_t pi = 0; pi < plan.probes.size(); pi++) {
         const query::PlannedProbe& probe = plan.probes[pi];
         std::optional<KeyBound> lo, hi;
@@ -1002,8 +1201,9 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
     {
       obs::PhaseTimer timer(&prof, "recheck");
       XDB_RETURN_NOT_OK(RecheckAnchors(snapshot_read ? nullptr : at.get(),
-                                       path, plan.anchor_step, anchors,
-                                       options, locator, &result));
+                                       cp.residual_tree.get(),
+                                       cp.prefix_pattern, anchors, options,
+                                       locator, &result));
     }
     NormalizeSequence(&result.nodes);
     return Status::OK();
@@ -1041,40 +1241,15 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
 }
 
 Status Collection::RecheckAnchors(Transaction* txn,
-                                  const xpath::Path& path, size_t anchor_step,
+                                  const xpath::QueryTree* residual_tree,
+                                  const xpath::Path& prefix_pattern,
                                   const std::vector<Posting>& anchors,
                                   const QueryOptions& options,
                                   NodeLocator* locator, QueryResult* result) {
-  // Residual relative path evaluated on each anchor's subtree:
-  //   self-context [anchor predicates] / remaining steps...
-  xpath::Path residual;
-  residual.absolute = false;
-  {
-    xpath::Step self;
-    self.axis = xpath::Axis::kSelf;
-    self.test = xpath::NodeTest::kAnyKind;
-    // Anchor predicates are re-evaluated; index exactness already pruned
-    // most of the work, and this also covers predicates no index served.
-    for (const auto& pred : path.steps[anchor_step].predicates)
-      self.predicates.push_back(xpath::CloneExpr(*pred));
-    residual.steps.push_back(std::move(self));
-  }
-  for (size_t i = anchor_step + 1; i < path.steps.size(); i++)
-    residual.steps.push_back(xpath::CloneStep(path.steps[i]));
-
-  // Anchor names/structure above the anchor step are verified against the
-  // main-path prefix via the record header's root path when the index was
-  // only a filter; exact plans skip this.
-  xpath::Path prefix_pattern;
-  prefix_pattern.absolute = true;
-  for (size_t i = 0; i <= anchor_step; i++)
-    prefix_pattern.steps.push_back(xpath::CloneStep(path.steps[i]));
-  for (auto& s : prefix_pattern.steps) s.predicates.clear();
-
-  XDB_ASSIGN_OR_RETURN(
-      std::unique_ptr<xpath::QueryTree> residual_tree,
-      xpath::QueryTree::Compile(residual, *engine_->dict(),
-                                options.want_values));
+  // The residual tree (self[anchor predicates]/remaining steps) and the
+  // predicate-free main-path prefix arrive pre-compiled in the CompiledPlan
+  // (see CompileForExecution), so a plan-cache hit reaches this phase with
+  // nothing left to parse or compile.
 
   // Doc locks first, all on this thread: they can block, and the
   // transaction's lock table is not safe for concurrent mutation. Locks are
@@ -1095,8 +1270,8 @@ Status Collection::RecheckAnchors(Transaction* txn,
   result->profile.chunks = ranges.empty() ? 1 : ranges.size();
   if (ranges.empty()) {
     for (const Posting& anchor : anchors)
-      XDB_RETURN_NOT_OK(EvalAnchor(anchor, residual_tree.get(),
-                                   prefix_pattern, locator, result));
+      XDB_RETURN_NOT_OK(EvalAnchor(anchor, residual_tree, prefix_pattern,
+                                   locator, result));
     return Status::OK();
   }
 
@@ -1108,7 +1283,7 @@ Status Collection::RecheckAnchors(Transaction* txn,
       ranges.size(), parallelism, [&](size_t i) {
         for (size_t j = ranges[i].begin;
              j < ranges[i].end && chunk_status[i].ok(); j++) {
-          chunk_status[i] = EvalAnchor(anchors[j], residual_tree.get(),
+          chunk_status[i] = EvalAnchor(anchors[j], residual_tree,
                                        prefix_pattern, locator, &chunks[i]);
         }
       });
@@ -1348,9 +1523,15 @@ Status Collection::RebuildStorage() {
                          BTree::Create(buffer_.get()));
     vi.root = tree->root();
     auto index = std::make_unique<ValueIndex>(vi.def, tree.get());
+    index->set_stats_listener(stats_.ListenerFor(vi.def.name));
     value_indexes_.push_back(
         OwnedValueIndex{std::move(tree), std::move(index)});
   }
+  // Empty storage, empty (but valid) statistics; the epoch stays monotonic
+  // so cached-plan keys from before the rebuild can never match again.
+  stats_.ResetEmpty(stats_.epoch());
+  index_version_.fetch_add(1, std::memory_order_acq_rel);
+  plan_cache_.Invalidate("storage rebuilt");
   return Status::OK();
 }
 

@@ -23,6 +23,8 @@
 #include "pack/tree_cursor.h"
 #include "query/access_path.h"
 #include "query/executor.h"
+#include "query/plan_cache.h"
+#include "query/stats.h"
 #include "storage/buffer_manager.h"
 #include "storage/record_manager.h"
 #include "storage/tablespace.h"
@@ -88,6 +90,10 @@ struct QueryOptions {
   /// Implies explain; additionally records per-step trace lines (index probe
   /// details, candidate lists) into profile.trace_lines.
   bool trace = false;
+  /// Plan with the Section 4.3 rules even when collected statistics are
+  /// available, and bypass the plan cache. Differential testing uses this to
+  /// check that cost-based and heuristic plans return identical answers.
+  bool use_heuristic_planner = false;
 };
 
 /// Plan plus planner narration — what Plan() hands to the executor.
@@ -168,9 +174,17 @@ class Collection {
   /// Creates an XPath value index and backfills it from existing documents.
   Status CreateValueIndex(const ValueIndexDef& def) XDB_EXCLUDES(latch_);
 
-  /// Evaluates an XPath query over the collection.
+  /// Drops a value index. Bumps the index-structure version and clears the
+  /// plan cache so no compiled plan ever probes the destroyed index.
+  Status DropValueIndex(const std::string& name) XDB_EXCLUDES(latch_);
+
+  /// Evaluates an XPath query over the collection. Compiled plans are served
+  /// from the per-collection plan cache when enabled (keyed by query text,
+  /// force mode, want_values and the stats epoch); a hit skips parsing,
+  /// planning and QueryTree compilation entirely.
   Result<QueryResult> Query(Transaction* txn, Slice xpath,
                             const QueryOptions& options = {});
+  /// Like Query but for an already-parsed path; never consults the cache.
   Result<QueryResult> ExecutePath(Transaction* txn, const xpath::Path& path,
                                   const QueryOptions& options)
       XDB_EXCLUDES(latch_);
@@ -190,6 +204,11 @@ class Collection {
                                        Slice node_id) XDB_EXCLUDES(latch_);
 
   // Component access for tests and benchmarks.
+  query::CollectionStats* stats() { return &stats_; }
+  query::PlanCache* plan_cache() { return &plan_cache_; }
+  uint64_t index_version() const {
+    return index_version_.load(std::memory_order_acquire);
+  }
   RecordManager* records() { return records_.get(); }
   NodeIdIndex* node_index() { return node_index_.get(); }
   VersionManager* versions() { return versions_.get(); }
@@ -235,8 +254,31 @@ class Collection {
   Status CollectSubtreeRecords(uint64_t doc_id, Slice node_id, Slice record,
                                std::vector<Rid>* out) XDB_REQUIRES(latch_);
 
-  Status RecheckAnchors(Transaction* txn, const xpath::Path& path,
-                        size_t anchor_step,
+  /// Compiles one execution-ready plan for `path`: plans (cost-based when
+  /// stats are valid and use_heuristic_planner is off), compiles the full
+  /// QueryTree, and for node-level plans also the recheck residual tree and
+  /// prefix pattern. The returned plan is immutable and shareable (this is
+  /// what the plan cache stores).
+  Result<std::shared_ptr<const query::CompiledPlan>> CompileForExecution(
+      xpath::Path&& path, const QueryOptions& options) XDB_EXCLUDES(latch_);
+
+  /// Runs a compiled plan. `cache_state` ("hit"/"miss"/"off") is surfaced in
+  /// EXPLAIN; `plan_wall_us` is the planning time to attribute (0 on a cache
+  /// hit). When the plan's index-structure version no longer matches (an
+  /// index was dropped or the storage rebuilt since compile), sets
+  /// *plan_stale and fails — callers replan and retry; the stale check is
+  /// what distinguishes this from other kBusy failures (pinned buffer
+  /// frames), which must NOT be retried with a fresh plan.
+  Result<QueryResult> ExecuteCompiled(Transaction* txn,
+                                      const query::CompiledPlan& cp,
+                                      const QueryOptions& options,
+                                      const char* cache_state,
+                                      uint64_t plan_wall_us, bool* plan_stale)
+      XDB_EXCLUDES(latch_);
+
+  Status RecheckAnchors(Transaction* txn,
+                        const xpath::QueryTree* residual_tree,
+                        const xpath::Path& prefix_pattern,
                         const std::vector<Posting>& anchors,
                         const QueryOptions& options, NodeLocator* locator,
                         QueryResult* result) XDB_EXCLUDES(latch_);
@@ -330,6 +372,21 @@ class Collection {
   // Doc id allocation (meta_.next_doc_id). Leaf lock: nothing else is
   // acquired while it is held.
   Mutex docid_mu_;
+
+  // Collected statistics (doc/node counts, per-index sketches, the stats
+  // epoch). Mutating notes run under the exclusive latch_; snapshots are
+  // taken lock-free of latch_ (stats_ has its own leaf mutex, acquired
+  // after every other lock and holding none).
+  query::CollectionStats stats_;
+  // Compiled-plan cache. Its internal mutex is a leaf like stats_'s.
+  query::PlanCache plan_cache_;
+  // Bumped (under the exclusive latch_) whenever the set of live ValueIndex
+  // objects changes: index create/drop and storage rebuild. Compiled plans
+  // record it and the executor re-checks it under the shared latch before
+  // dereferencing probe indexes, so a plan that raced a drop is replanned
+  // (kBusy), never served against freed memory. Separate from the stats
+  // epoch so document churn does not force replans of in-flight plans.
+  std::atomic<uint64_t> index_version_{0};
 
   // Quarantine + repair state. A collection whose table space or recovery
   // pass failed structurally still opens as a shell (so Engine::Open

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/coding.h"
+#include "engine/stats_store.h"
 #include "schema/schema_parser.h"
 
 namespace xdb {
@@ -30,6 +31,14 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
       engine->metrics_.AddCounter("query.parallel_executions");
   engine->query_metrics_.latency_us = engine->metrics_.AddHistogram(
       "query.latency_us", obs::Histogram::LatencyBoundsUs());
+  engine->plan_cache_counters_.hits =
+      engine->metrics_.AddCounter("query.plan_cache.hits");
+  engine->plan_cache_counters_.misses =
+      engine->metrics_.AddCounter("query.plan_cache.misses");
+  engine->plan_cache_counters_.evictions =
+      engine->metrics_.AddCounter("query.plan_cache.evictions");
+  engine->plan_cache_counters_.invalidations =
+      engine->metrics_.AddCounter("query.plan_cache.invalidations");
   {
     Engine* raw = engine.get();
     engine->metrics_.AddCollector([raw](std::vector<obs::Metric>* out) {
@@ -72,6 +81,64 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
       }
     } else if (cat.status().code() != Status::Code::kNotFound) {
       return cat.status();
+    }
+  }
+
+  // Restore collected statistics before WAL replay, so replayed document
+  // operations run the same incremental maintenance they ran originally on
+  // top of the checkpointed counts. Degradation is always graceful: a
+  // missing/stale/corrupt stats file turns cost-based planning off for the
+  // affected collection (heuristic fallback) and never fails Open.
+  {
+    MutexLock lock(engine->mu_);
+    StatsFileData stats_data;
+    Status stats_status = Status::OK();
+    if (!engine->collections_.empty()) {
+      auto loaded = LoadStatsFile(options.dir + "/stats.xdb");
+      if (loaded.ok()) {
+        stats_data = loaded.MoveValue();
+      } else {
+        stats_status = loaded.status();
+      }
+    }
+    for (auto& [name, coll] : engine->collections_) {
+      auto meta_it = engine->catalog_.collections.find(name);
+      const uint64_t expected =
+          meta_it != engine->catalog_.collections.end()
+              ? meta_it->second.stats_epoch
+              : 0;
+      if (expected == 0) {
+        // Never checkpointed with stats (fresh collection, or a pre-stats
+        // catalog): valid empty stats are exactly right — WAL replay
+        // rebuilds the counts from zero.
+        continue;
+      }
+      auto degrade = [&](const std::string& why) {
+        coll->stats()->Invalidate();
+        engine->events_.Emit(obs::EventKind::kStatsDegraded, expected, 0,
+                             "collection '" + name + "': " + why);
+      };
+      if (!stats_status.ok()) {
+        degrade("stats file unavailable (" + stats_status.ToString() + ")");
+        continue;
+      }
+      auto blob = stats_data.find(name);
+      if (blob == stats_data.end()) {
+        degrade("no stats blob in stats.xdb");
+        continue;
+      }
+      Status rs = coll->stats()->Restore(Slice(blob->second));
+      if (!rs.ok()) {
+        degrade("stats blob corrupt (" + rs.ToString() + ")");
+        continue;
+      }
+      if (coll->stats()->epoch() != expected) {
+        // Crash between stats.xdb and catalog.xdb writes: the catalog's
+        // epoch is the commit point, so a mismatch means these numbers do
+        // not belong to this catalog state.
+        degrade("stats epoch " + std::to_string(coll->stats()->epoch()) +
+                " != catalog epoch " + std::to_string(expected));
+      }
     }
   }
 
@@ -130,6 +197,8 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
   auto coll = std::unique_ptr<Collection>(new Collection());
   coll->engine_ = this;
   coll->meta_ = meta;
+  coll->plan_cache_.Configure(options_.plan_cache_capacity,
+                              plan_cache_counters_, &events_, meta.name);
   coll->record_budget_ = options.record_budget;
   coll->buffer_pages_ = options.buffer_pages;
   coll->buffer_shards_ = options.buffer_shards != 0 ? options.buffer_shards
@@ -182,6 +251,9 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
     for (const ValueIndexMeta& vi : meta.value_indexes) {
       XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree, open_tree(vi.root));
       auto index = std::make_unique<ValueIndex>(vi.def, tree.get());
+      // ListenerFor (not NoteIndexCreated): open-time wiring of indexes the
+      // persisted stats epoch already accounts for must not bump it.
+      index->set_stats_listener(coll->stats_.ListenerFor(vi.def.name));
       coll->value_indexes_.push_back(
           Collection::OwnedValueIndex{std::move(tree), std::move(index)});
     }
@@ -273,11 +345,14 @@ Status Engine::Checkpoint() {
   events_.Emit(obs::EventKind::kCheckpointBegin, collections_.size(), 0,
                "checkpoint");
   catalog_.collections.clear();
+  StatsFileData stats_data;
   bool any_quarantined = false;
   for (auto& [name, coll] : collections_) {
     if (coll->needs_repair_) {
       // Leave the damaged files and the last good metadata untouched so
-      // Scrub() still has everything to repair from.
+      // Scrub() still has everything to repair from. No stats blob either:
+      // after repair the epoch won't match, which correctly degrades the
+      // collection to heuristic planning until its next checkpoint.
       any_quarantined = true;
       catalog_.collections.emplace(name, coll->meta_);
       continue;
@@ -296,6 +371,12 @@ Status Engine::Checkpoint() {
     }
     if (coll->versions_ != nullptr)
       meta.last_version = coll->versions_->BeginSnapshot();
+    // Stable under the shared latch: every stats mutator runs holding it
+    // exclusively, so the blob and the epoch recorded in the catalog agree.
+    std::string stats_blob;
+    coll->stats_.Serialize(&stats_blob);
+    meta.stats_epoch = coll->stats_.epoch();
+    stats_data.emplace(name, std::move(stats_blob));
     catalog_.collections.emplace(name, std::move(meta));
   }
   catalog_.dictionary.clear();
@@ -304,6 +385,12 @@ Status Engine::Checkpoint() {
   // ids it already knows) while failing to log one loses it.
   size_t saved_names = dict_.size();
   dict_.Save(&catalog_.dictionary);
+  // Stats before catalog: the catalog's per-collection stats_epoch is the
+  // commit point. A crash between the two writes leaves a stats file whose
+  // epochs don't match the (old) catalog — detected at open, degrading to
+  // heuristic planning instead of planning on wrong numbers.
+  XDB_RETURN_NOT_OK(
+      SaveStatsFile(stats_data, options_.dir + "/stats.xdb"));
   XDB_RETURN_NOT_OK(SaveCatalog(catalog_, options_.dir + "/catalog.xdb"));
   // The WAL may still be the only copy of a quarantined collection's
   // post-checkpoint history — keep it until Scrub() has repaired everything.

@@ -51,6 +51,10 @@ struct EngineOptions {
   /// the engine's durability unit is the checkpoint, and WAL records reach
   /// the OS (surviving a process crash) without the fsync cost.
   bool sync_commits = false;
+  /// Compiled-plan cache entries per collection (0 disables the cache).
+  /// Entries are keyed by (query text, force mode, want_values, stats
+  /// epoch), so any document or index change implicitly invalidates them.
+  size_t plan_cache_capacity = 64;
 };
 
 /// What Engine::Scrub() found and fixed across the whole database.
@@ -200,6 +204,9 @@ class Engine {
   obs::MetricsRegistry metrics_;
   obs::EventLog events_;
   QueryMetrics query_metrics_;
+  /// Engine-wide plan-cache counters (query.plan_cache.*), shared by every
+  /// collection's cache; registered at Open alongside query_metrics_.
+  query::PlanCache::Counters plan_cache_counters_;
   NameDictionary dict_;
   LockManager locks_;
   std::unique_ptr<TransactionManager> txns_;

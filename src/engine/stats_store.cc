@@ -1,0 +1,63 @@
+#include "engine/stats_store.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/coding.h"
+
+namespace xdb {
+
+namespace {
+constexpr uint32_t kStatsMagic = 0x58444253;  // "XDBS"
+}  // namespace
+
+Status SaveStatsFile(const StatsFileData& data, const std::string& path) {
+  std::string payload;
+  PutVarint64(&payload, data.size());
+  for (const auto& [name, blob] : data) {
+    PutLengthPrefixed(&payload, name);
+    PutLengthPrefixed(&payload, blob);
+  }
+  std::string bytes;
+  PutFixed32(&bytes, kStatsMagic);
+  PutFixed32(&bytes, Crc32(payload.data(), payload.size()));
+  bytes += payload;
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot write " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IOError("short stats write");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    return Status::IOError("cannot rename stats file into place");
+  return Status::OK();
+}
+
+Result<StatsFileData> LoadStatsFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no stats file at " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  Slice data(bytes);
+  if (data.size() < 8 || DecodeFixed32(data.data()) != kStatsMagic)
+    return Status::Corruption("bad stats file magic");
+  uint32_t crc = DecodeFixed32(data.data() + 4);
+  data.RemovePrefix(8);
+  if (Crc32(data.data(), data.size()) != crc)
+    return Status::Corruption("stats file checksum mismatch");
+  uint64_t n;
+  size_t vn = GetVarint64(data.data(), data.data() + data.size(), &n);
+  if (vn == 0) return Status::Corruption("bad stats entry count");
+  data.RemovePrefix(vn);
+  StatsFileData out;
+  for (uint64_t i = 0; i < n; i++) {
+    Slice name, blob;
+    if (!GetLengthPrefixed(&data, &name) || !GetLengthPrefixed(&data, &blob))
+      return Status::Corruption("truncated stats entry");
+    out.emplace(name.ToString(), blob.ToString());
+  }
+  return out;
+}
+
+}  // namespace xdb

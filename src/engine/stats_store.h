@@ -1,0 +1,33 @@
+// stats.xdb: one file holding every collection's serialized statistics
+// (query/stats.h), written atomically at checkpoint *before* catalog.xdb.
+// Layout: magic, CRC32 over the payload (so silent media corruption is
+// caught, not silently restored), then length-prefixed (name, blob) pairs.
+// The catalog's per-collection stats_epoch is the commit point: a blob whose
+// embedded epoch disagrees with the catalog (crash between the two writes,
+// file from an older checkpoint, or no file at all) is ignored and the
+// collection degrades to heuristic planning — stale numbers are never
+// trusted. Losing this file is therefore always safe.
+#ifndef XDB_ENGINE_STATS_STORE_H_
+#define XDB_ENGINE_STATS_STORE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace xdb {
+
+/// collection name -> serialized CollectionStats blob.
+using StatsFileData = std::map<std::string, std::string>;
+
+/// Saves atomically (write temp + rename), like the catalog.
+Status SaveStatsFile(const StatsFileData& data, const std::string& path);
+
+/// NotFound when the file does not exist; Corruption on a damaged file.
+/// Callers treat both as "degrade to heuristic costing", never as an open
+/// failure.
+Result<StatsFileData> LoadStatsFile(const std::string& path);
+
+}  // namespace xdb
+
+#endif  // XDB_ENGINE_STATS_STORE_H_

@@ -12,7 +12,9 @@ Status ValueIndex::Add(Slice value, uint64_t doc_id, Slice node_id, Rid rid) {
   }
   std::string posting;
   EncodePosting(doc_id, node_id, rid.Pack(), &posting);
-  return tree_->Insert(key, posting);
+  XDB_RETURN_NOT_OK(tree_->Insert(key, posting));
+  if (stats_ != nullptr) stats_->OnEntryAdded(key);
+  return Status::OK();
 }
 
 Status ValueIndex::Remove(Slice value, uint64_t doc_id, Slice node_id,
@@ -25,7 +27,9 @@ Status ValueIndex::Remove(Slice value, uint64_t doc_id, Slice node_id,
   }
   std::string posting;
   EncodePosting(doc_id, node_id, rid.Pack(), &posting);
-  return tree_->Delete(key, posting);
+  XDB_RETURN_NOT_OK(tree_->Delete(key, posting));
+  if (stats_ != nullptr) stats_->OnEntryRemoved(key);
+  return Status::OK();
 }
 
 Status ValueIndex::Scan(const std::optional<KeyBound>& lo,

@@ -42,6 +42,19 @@ struct KeyBound {
   bool inclusive = true;
 };
 
+/// Observer of successful entry adds/removes, keyed by the typed-encoded
+/// key. The planner's statistics (query::CollectionStats) implement this so
+/// every index-maintenance path — document insert/delete, subtree edits,
+/// text updates, backfill — feeds the per-index key-count and distinct-key
+/// sketch without per-call-site hooks. Calls happen under the collection's
+/// exclusive latch; implementations must not call back into the index.
+class ValueIndexStatsListener {
+ public:
+  virtual ~ValueIndexStatsListener() = default;
+  virtual void OnEntryAdded(Slice encoded_key) = 0;
+  virtual void OnEntryRemoved(Slice encoded_key) = 0;
+};
+
 class ValueIndex {
  public:
   ValueIndex(ValueIndexDef def, BTree* tree)
@@ -49,6 +62,11 @@ class ValueIndex {
 
   const ValueIndexDef& def() const { return def_; }
   BTree* tree() { return tree_; }
+
+  /// Installs (or clears, with nullptr) the statistics listener.
+  void set_stats_listener(ValueIndexStatsListener* listener) {
+    stats_ = listener;
+  }
 
   /// Adds an entry for a node whose string value is `value`. Values that do
   /// not cast to the index type produce no entry (returns OK).
@@ -72,6 +90,7 @@ class ValueIndex {
  private:
   ValueIndexDef def_;
   BTree* tree_;
+  ValueIndexStatsListener* stats_ = nullptr;
 };
 
 }  // namespace xdb

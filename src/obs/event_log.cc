@@ -41,6 +41,10 @@ const char* EventKindName(EventKind k) {
       return "wal.torn_tail";
     case EventKind::kWalCorruptRecords:
       return "wal.corrupt_records";
+    case EventKind::kStatsDegraded:
+      return "stats.degraded";
+    case EventKind::kPlanCacheInvalidated:
+      return "plan_cache.invalidated";
   }
   return "unknown";
 }

@@ -43,6 +43,8 @@ enum class EventKind : uint8_t {
   kIoRetry = 13,
   kWalTornTail = 14,
   kWalCorruptRecords = 15,
+  kStatsDegraded = 16,
+  kPlanCacheInvalidated = 17,
 };
 const char* EventKindName(EventKind k);
 

@@ -48,6 +48,12 @@ std::string QueryProfile::PlanText() const {
   for (const std::string& p : probes) Appendf(&out, "  probe: %s\n", p.c_str());
   if (!probes.empty() && probes.size() > 1)
     Appendf(&out, "  combine: %s\n", disjunctive ? "ORing" : "ANDing");
+  Appendf(&out,
+          "stats: epoch=%" PRIu64 " docs=%" PRIu64
+          " records/doc=%.2f nodes/doc=%.2f (%s)\n",
+          stats_epoch, doc_count, avg_records_per_doc, nodes_per_doc,
+          stats_valid ? "cost-based" : "heuristic");
+  Appendf(&out, "plan cache: %s\n", plan_cache.c_str());
   Appendf(&out, "recheck: %s", need_recheck ? "yes" : "no");
   if (access_method == "nodeid-list" || access_method == "nodeid-anding/oring")
     Appendf(&out, "  anchor step: %zu", anchor_step);

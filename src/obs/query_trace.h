@@ -49,6 +49,12 @@ struct QueryProfile {
   // --- planner inputs ---
   uint64_t doc_count = 0;
   double avg_records_per_doc = 0;
+  double nodes_per_doc = 0;     // from collected stats (0 when unavailable)
+  uint64_t stats_epoch = 0;     // collection stats epoch the plan was built at
+  bool stats_valid = false;     // cost-based (true) vs heuristic fallback
+  /// "hit", "miss", or "off" — whether this execution reused a compiled
+  /// plan from the per-collection plan cache.
+  std::string plan_cache = "off";
 
   // --- cardinality funnel ---
   uint64_t index_postings = 0;
@@ -82,6 +88,8 @@ struct QueryProfile {
   ///   query: <xpath>
   ///   access path: <method> (<reason>)
   ///     probe: <index> <op> <value> [containment]
+  ///   stats: epoch=E docs=N records/doc=R.RR nodes/doc=V.VV (cost-based|heuristic)
+  ///   plan cache: hit|miss|off
   ///   recheck: yes|no    [anchoring step: N]
   ///   cardinality: postings=.. candidates=.. evaluated=.. results=..
   ///   scan: events=.. instances=.. peak_live=..

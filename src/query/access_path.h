@@ -88,9 +88,16 @@ struct QueryPlan {
   bool need_recheck = true;
   size_t anchor_step = 0;  // step the node-level methods anchor at
   std::string explain;
-  /// Why the planner picked `method` (heuristic fired, forced, no usable
-  /// index, …) — surfaced verbatim in EXPLAIN output.
+  /// Why the planner picked `method`. Cost-based plans carry the full cost
+  /// breakdown ("cost: full-scan=… docid-list=…*"); heuristic/forced plans
+  /// keep the legacy rule text — surfaced verbatim in EXPLAIN output.
   std::string reason;
+  /// True when `method` came from the cost model (valid statistics were
+  /// available) rather than the Section 4.3 heuristics.
+  bool cost_based = false;
+  /// Cost-model cardinality estimates, for EXPLAIN (cost_based only).
+  double est_postings = 0;
+  double est_docs = 0;
 };
 
 // --- posting-list algebra (executor building blocks) ---

@@ -134,6 +134,26 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
       plan.reason = "forced";
       break;
     default: {
+      if (ctx.stats != nullptr && ctx.stats->valid) {
+        // Cost-based: price every feasible Table 2 path and take the
+        // cheapest. The breakdown becomes the plan's reason so EXPLAIN
+        // shows why each alternative lost.
+        CostBreakdown cost =
+            CostPlans(*ctx.stats, ctx.costs, probes, disjunctive,
+                      node_capable, ctx.avg_records_per_doc);
+        plan.cost_based = true;
+        plan.est_postings = cost.est_postings;
+        plan.est_docs = cost.est_docs;
+        plan.reason = cost.Reason();
+        if (cost.chosen == AccessMethod::kFullScan) {
+          // Probing priced out (tiny collection or unselective predicate):
+          // plan is already the full-scan default.
+          return plan;
+        }
+        want_node_level = cost.chosen == AccessMethod::kNodeIdList ||
+                          cost.chosen == AccessMethod::kNodeIdAndOr;
+        break;
+      }
       // "For small documents, using indexes to identify qualifying
       // documents would be efficient ... For large documents, the DocID
       // list access is no longer efficient. Instead, the NodeID list

@@ -8,6 +8,8 @@
 #include "common/status.h"
 #include "index/value_index.h"
 #include "query/access_path.h"
+#include "query/cost_model.h"
+#include "query/stats.h"
 #include "xpath/ast.h"
 
 namespace xdb {
@@ -19,9 +21,17 @@ struct PlannerContext {
   /// Average records per document; documents spanning several records make
   /// NodeID list access cheaper than fetching whole documents.
   double avg_records_per_doc = 1.0;
+  /// Collected statistics; when non-null and valid, plan choice is priced by
+  /// the cost model instead of the Section 4.3 rules. Null (or !valid) falls
+  /// back to the heuristic — degraded-stats mode after a failed restore.
+  const CollectionStatsSnapshot* stats = nullptr;
+  CostConstants costs;
 };
 
-/// Chooses the access method:
+/// Chooses the access method. With valid statistics in the context, every
+/// feasible Table 2 path is priced by the cost model (query/cost_model.h)
+/// and the cheapest wins; the plan's `reason` carries the cost breakdown.
+/// Without statistics, the Section 4.3 rules apply:
 ///  - no usable probe            -> full scan;
 ///  - probes whose predicates all anchor at one step and whose branches are
 ///    child-only chains         -> NodeID-level list/and/or when documents

@@ -1,0 +1,58 @@
+#include "query/plan_cache.h"
+
+namespace xdb {
+namespace query {
+
+std::shared_ptr<const CompiledPlan> PlanCache::Lookup(
+    const std::string& query_text, ForceMethod force, bool want_values,
+    uint64_t epoch) {
+  MutexLock lock(mu_);
+  if (capacity_ == 0) return nullptr;
+  Key key(query_text, static_cast<uint8_t>(force), want_values, epoch);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (counters_.misses != nullptr) counters_.misses->Add();
+    return nullptr;
+  }
+  lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+  if (counters_.hits != nullptr) counters_.hits->Add();
+  return it->second.plan;
+}
+
+void PlanCache::Insert(const std::string& query_text, ForceMethod force,
+                       bool want_values, uint64_t epoch,
+                       std::shared_ptr<const CompiledPlan> plan) {
+  MutexLock lock(mu_);
+  if (capacity_ == 0) return;
+  Key key(query_text, static_cast<uint8_t>(force), want_values, epoch);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Lost a compile race; keep the resident entry, just refresh recency.
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.front());
+    lru_.pop_front();
+    if (counters_.evictions != nullptr) counters_.evictions->Add();
+  }
+  auto lru_pos = lru_.insert(lru_.end(), key);
+  entries_.emplace(std::move(key), Entry{std::move(plan), lru_pos});
+}
+
+void PlanCache::Invalidate(const char* cause) {
+  size_t dropped;
+  {
+    MutexLock lock(mu_);
+    dropped = entries_.size();
+    entries_.clear();
+    lru_.clear();
+    if (counters_.invalidations != nullptr) counters_.invalidations->Add();
+    if (events_ != nullptr && dropped > 0)
+      events_->Emit(obs::EventKind::kPlanCacheInvalidated, dropped, 0,
+                    collection_ + ": " + cause);
+  }
+}
+
+}  // namespace query
+}  // namespace xdb

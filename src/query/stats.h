@@ -1,0 +1,144 @@
+// Per-collection statistics driving cost-based access-path selection.
+//
+// The paper picks among the Table 2 access methods with "relatively simple"
+// rules; making that choice data-driven needs per-collection cardinalities
+// maintained as documents come and go:
+//
+//  * document / node / record counts (doc_count exact, node_count a running
+//    estimate corrected on every insert and decayed by the collection
+//    average on delete);
+//  * per-value-index entry counts (exact) plus a distinct-key estimate and a
+//    uniform key sample from a bounded KMV ("K minimum values") sketch —
+//    hashing every key and keeping the K smallest hashes yields both a
+//    distinct-count estimator and an unbiased sample of distinct keys, which
+//    prices equality and range selectivity;
+//  * a monotonically bumping stats epoch. Every document insert/delete and
+//    every index create/drop bumps it; compiled plans are keyed by it, so an
+//    epoch bump implicitly invalidates every cached plan priced on the old
+//    numbers.
+//
+// Concurrency: mutating calls run under the collection's exclusive latch
+// (they piggyback on document writes), but readers snapshot without the
+// latch, so every method takes the internal leaf mutex `mu_`. Nothing is
+// acquired while `mu_` is held — it nests inside any engine lock.
+#ifndef XDB_QUERY_STATS_H_
+#define XDB_QUERY_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "index/value_index.h"
+
+namespace xdb {
+namespace query {
+
+/// Order-preserving 64-bit FNV-1a over the encoded key bytes. Deterministic
+/// across runs/platforms so goldens and replay stay stable.
+uint64_t StatsKeyHash(Slice key);
+
+/// Plain-data copy of one index's statistics (planning + persistence).
+struct IndexStatsSnapshot {
+  uint64_t entry_count = 0;
+  /// KMV distinct-key estimate, >= 1 whenever entry_count > 0.
+  double distinct_keys = 0;
+  /// Uniform sample of distinct encoded keys (sorted byte order). Encoded
+  /// keys compare like the index itself, so range selectivity is the
+  /// fraction of sample keys inside the probe's [lo, hi].
+  std::vector<std::string> sample_keys;
+};
+
+/// Plain-data copy of a collection's statistics at one epoch.
+struct CollectionStatsSnapshot {
+  /// False when stats were missing/stale at open: cost-based planning is
+  /// unavailable and the planner falls back to the PR-4 heuristic.
+  bool valid = false;
+  uint64_t epoch = 0;
+  uint64_t doc_count = 0;
+  uint64_t node_count = 0;  // running estimate (see header comment)
+  std::map<std::string, IndexStatsSnapshot> indexes;  // by index name
+
+  double avg_nodes_per_doc() const {
+    return doc_count == 0 ? 0.0
+                          : static_cast<double>(node_count) /
+                                static_cast<double>(doc_count);
+  }
+};
+
+/// The live, incrementally maintained statistics object (one per
+/// collection). Implements per-index maintenance by handing each ValueIndex
+/// a ValueIndexStatsListener that feeds entry adds/removes back here, so
+/// every maintenance path (insert, delete, subtree edits, text updates,
+/// backfill) is covered without per-call-site hooks.
+class CollectionStats {
+ public:
+  static constexpr size_t kSketchSize = 64;
+
+  // Both out of line: PerIndex is incomplete here and the map of
+  // unique_ptr<PerIndex> needs the complete type to destroy (including
+  // constructor unwinding).
+  CollectionStats();
+  ~CollectionStats();
+  CollectionStats(const CollectionStats&) = delete;
+  CollectionStats& operator=(const CollectionStats&) = delete;
+
+  // --- document-level maintenance (exclusive collection latch held) ---
+  void NoteDocumentInserted(uint64_t node_count) XDB_EXCLUDES(mu_);
+  void NoteDocumentDeleted() XDB_EXCLUDES(mu_);
+  /// Structural change that re-prices plans without changing counts
+  /// (subtree insert/delete, text update).
+  void NoteDocumentMutated() XDB_EXCLUDES(mu_);
+
+  // --- index lifecycle (exclusive collection latch held) ---
+  /// Registers the index and returns the listener to install on it. The
+  /// pointer stays valid until NoteIndexDropped / destruction.
+  ValueIndexStatsListener* NoteIndexCreated(const std::string& name)
+      XDB_EXCLUDES(mu_);
+  void NoteIndexDropped(const std::string& name) XDB_EXCLUDES(mu_);
+  /// Like NoteIndexCreated but without the epoch bump — open-time wiring of
+  /// indexes already reflected in the persisted epoch.
+  ValueIndexStatsListener* ListenerFor(const std::string& name)
+      XDB_EXCLUDES(mu_);
+
+  // --- epoch / validity ---
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  bool valid() const { return valid_.load(std::memory_order_acquire); }
+  /// Degrade to heuristic costing (stats file missing or stale at open).
+  void Invalidate() { valid_.store(false, std::memory_order_release); }
+
+  /// Copies everything under the leaf mutex. Cheap: a handful of counters
+  /// plus <= kSketchSize sample keys per index.
+  CollectionStatsSnapshot Snapshot() const XDB_EXCLUDES(mu_);
+
+  /// Resets to valid-and-empty (collection create, storage rebuild). Keeps
+  /// the epoch monotonic by bumping past the given floor.
+  void ResetEmpty(uint64_t epoch_floor) XDB_EXCLUDES(mu_);
+
+  // --- persistence (stats.xdb; see engine/stats_store.h) ---
+  void Serialize(std::string* out) const XDB_EXCLUDES(mu_);
+  Status Restore(Slice data) XDB_EXCLUDES(mu_);
+
+ private:
+  struct PerIndex;
+
+  void Bump() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<bool> valid_{true};
+  mutable Mutex mu_;
+  uint64_t doc_count_ XDB_GUARDED_BY(mu_) = 0;
+  uint64_t node_count_ XDB_GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::unique_ptr<PerIndex>> indexes_
+      XDB_GUARDED_BY(mu_);
+};
+
+}  // namespace query
+}  // namespace xdb
+
+#endif  // XDB_QUERY_STATS_H_

@@ -143,14 +143,20 @@ std::string CompareEnginesCounted(const std::string& doc,
   if (!ins_r.ok())
     return "stored insert failed: " + ins_r.status().ToString();
 
+  // Six planner flavors: the four force modes, the cost-based auto plan
+  // re-run so the second execution is served from the compiled-plan cache,
+  // and the forced Section 4.3 heuristic. Any stats- or cache-induced
+  // divergence from the DOM reference surfaces here.
   static const ForceMethod kForces[] = {
-      ForceMethod::kAuto, ForceMethod::kScan, ForceMethod::kDocIdList,
-      ForceMethod::kNodeIdList};
-  static const char* kForceNames[] = {"plan:auto", "plan:scan",
-                                      "plan:docid-list", "plan:nodeid-list"};
-  for (size_t f = 0; f < 4; f++) {
+      ForceMethod::kAuto, ForceMethod::kScan,      ForceMethod::kDocIdList,
+      ForceMethod::kNodeIdList, ForceMethod::kAuto, ForceMethod::kAuto};
+  static const char* kForceNames[] = {
+      "plan:auto",        "plan:scan",        "plan:docid-list",
+      "plan:nodeid-list", "plan:auto-cached", "plan:heuristic"};
+  for (size_t f = 0; f < 6; f++) {
     QueryOptions qo;
     qo.force = kForces[f];
+    qo.use_heuristic_planner = (f == 5);
     auto res_r = coll->Query(nullptr, query, qo);
     if (!res_r.ok())
       return std::string(kForceNames[f]) +

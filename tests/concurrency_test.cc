@@ -803,6 +803,79 @@ TEST(ParallelQueryConcurrencyTest, ParallelQueriesWithWritersAndCheckpointer) {
 }
 
 // ---------------------------------------------------------------------------
+// Plan cache vs index DDL: cached plans hold ValueIndex pointers, so a
+// query must never execute a plan compiled against an index set that a
+// concurrent create/drop has since changed. The executor re-validates the
+// collection's index-structure version under the probe latch and replans;
+// this storm tries to catch a stale plan slipping through (a dangling
+// probe would crash or return wrong counts).
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheConcurrencyTest, QueriesRaceIndexCreateAndDrop) {
+  EngineOptions opts;
+  opts.in_memory = true;
+  opts.enable_wal = false;
+  opts.plan_cache_capacity = 32;
+  auto engine = Engine::Open(opts).MoveValue();
+  Collection* coll = engine->CreateCollection("docs").value();
+
+  constexpr int kDocs = 30;
+  for (int i = 0; i < kDocs; i++) {
+    auto res = coll->InsertDocument(
+        nullptr,
+        "<doc><k>k" + std::to_string(i) + "</k><v>x</v></doc>");
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> query_failures{0};
+  std::atomic<uint64_t> queries_run{0};
+  std::vector<std::thread> threads;
+
+  // Queriers: the same indexable query over and over, so cached plans keep
+  // getting compiled against whatever index set currently exists. Results
+  // must stay exact no matter which plan (or replan) served them.
+  for (int q = 0; q < 3; q++) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto res = coll->Query(nullptr, "/doc[k = \"k7\"]/v");
+        if (res.ok()) {
+          if (res.value().nodes.size() != 1u) query_failures.fetch_add(1);
+          queries_run.fetch_add(1);
+        } else if (!AcceptableContention(res.status())) {
+          query_failures.fetch_add(1);
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // DDL churn: create and drop the index the query wants to probe.
+  threads.emplace_back([&] {
+    for (int round = 0; round < 60; round++) {
+      ValueIndexDef def{"k", "/doc/k", ValueType::kString, 64};
+      Status cs = coll->CreateValueIndex(def);
+      ASSERT_TRUE(cs.ok()) << cs.ToString();
+      std::this_thread::yield();
+      Status ds = coll->DropValueIndex("k");
+      ASSERT_TRUE(ds.ok()) << ds.ToString();
+    }
+  });
+
+  threads.back().join();
+  stop.store(true, std::memory_order_release);
+  for (int q = 0; q < 3; q++) threads[q].join();
+
+  EXPECT_EQ(query_failures.load(), 0);
+  EXPECT_GT(queries_run.load(), 0u);
+  // The index churn invalidated the cache every round (2 per round), and
+  // no cached plan ever probed a dropped index (no crash, exact answers).
+  obs::MetricsSnapshot snap = engine->MetricsSnapshot();
+  EXPECT_GE(snap.Value("query.plan_cache.invalidations"), 120u);
+  EXPECT_GE(snap.Value("query.executions"), queries_run.load());
+}
+
+// ---------------------------------------------------------------------------
 // Observability: metrics snapshots and event-log reads racing the engine's
 // own emitters (exercised under TSan in CI).
 // ---------------------------------------------------------------------------

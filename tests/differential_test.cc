@@ -46,7 +46,8 @@ TEST(DifferentialTest, SweepAgreesAcrossEngines) {
   EXPECT_EQ(res.quickxscan_runs, res.cases_run);
   EXPECT_GT(res.naive_stream_runs, 0u)
       << "no generated query fell in the naive evaluator's linear subset";
-  EXPECT_EQ(res.plan_runs, res.cases_run * 4);  // four planner force modes
+  // Four force modes + cached re-run of the auto plan + forced heuristic.
+  EXPECT_EQ(res.plan_runs, res.cases_run * 6);
 }
 
 TEST(DifferentialTest, SeedReplay) {
@@ -198,6 +199,63 @@ TEST(DifferentialTest, ParallelExecutionMatchesSerial) {
           << "query " << c.query;
     }
   }
+}
+
+// --- plan-cache transparency: cached plans must change nothing but time ---
+
+// Two engines over identical documents, one with the compiled-plan cache
+// disabled (capacity 0). Every generated query runs twice against both —
+// the second run on the caching engine is served from the cache — and the
+// (doc_id, node_id, string_value) sequences must stay byte-identical, with
+// stats epochs moving underneath from interleaved inserts.
+TEST(DifferentialTest, PlanCacheOnOffEnginesAgree) {
+  EngineOptions cached_opts;
+  cached_opts.in_memory = true;
+  cached_opts.enable_wal = false;
+  EngineOptions uncached_opts = cached_opts;
+  uncached_opts.plan_cache_capacity = 0;
+  auto cached_engine = Engine::Open(cached_opts).MoveValue();
+  auto uncached_engine = Engine::Open(uncached_opts).MoveValue();
+  Collection* cached = cached_engine->CreateCollection("diff").value();
+  Collection* uncached = uncached_engine->CreateCollection("diff").value();
+
+  DiffOptions opts;
+  auto insert_both = [&](uint64_t seed) {
+    DiffCase c = GenCase(flags()->base_seed + seed, opts);
+    ASSERT_TRUE(cached->InsertDocument(nullptr, c.doc).ok()) << c.doc;
+    ASSERT_TRUE(uncached->InsertDocument(nullptr, c.doc).ok()) << c.doc;
+  };
+  for (uint64_t seed = 1; seed <= 24; seed++) insert_both(seed);
+
+  for (uint64_t qseed = 1; qseed <= 50; qseed++) {
+    DiffCase c = GenCase(flags()->base_seed + 2000 + qseed, opts);
+    // Perturb the stats mid-sweep so cached plans get invalidated by epoch
+    // bumps, not only reused.
+    if (qseed % 10 == 0) insert_both(100 + qseed);
+    for (int pass = 0; pass < 2; pass++) {
+      QueryOptions qo;
+      qo.want_values = true;
+      auto a = cached->Query(nullptr, c.query, qo);
+      auto b = uncached->Query(nullptr, c.query, qo);
+      ASSERT_EQ(a.ok(), b.ok())
+          << "query " << c.query << " cached=" << a.status().ToString()
+          << " uncached=" << b.status().ToString();
+      if (!a.ok()) continue;
+      const NodeSequence& an = a.value().nodes;
+      const NodeSequence& bn = b.value().nodes;
+      ASSERT_EQ(an.size(), bn.size()) << "query " << c.query;
+      for (size_t i = 0; i < an.size(); i++) {
+        ASSERT_EQ(an[i].doc_id, bn[i].doc_id) << c.query << " pos " << i;
+        ASSERT_EQ(an[i].node_id, bn[i].node_id) << c.query << " pos " << i;
+        ASSERT_EQ(an[i].string_value, bn[i].string_value)
+            << c.query << " pos " << i;
+      }
+    }
+  }
+  // The caching engine must actually have cached something, and the
+  // disabled engine must have cached nothing.
+  EXPECT_GT(cached->plan_cache()->size(), 0u);
+  EXPECT_EQ(uncached->plan_cache()->size(), 0u);
 }
 
 // --- minimizer machinery (driven by synthetic predicates) ---

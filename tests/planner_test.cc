@@ -1,0 +1,243 @@
+// Planner regression suite: pins the cost-based access-path choice (and its
+// EXPLAIN rendering, cardinality funnel included) at the statistics-driven
+// crossover points the paper's Section 4.3 rules approximate:
+//
+//  1. Collection size  — tiny collections full-scan, grown ones probe the
+//     index (the SAME query flips when only the stats move).
+//  2. Selectivity      — a probe that matches everything costs more than the
+//     scan it fails to avoid; distinct keys make the list path win.
+//  3. Records per doc  — single-record documents evaluate whole docs off a
+//     DocID list; multi-record documents anchor at node level (the old
+//     "> 2 records/doc" rule emerges from the cost arithmetic).
+//
+// Every golden pins PlanText() exactly: access path, cost breakdown, stats
+// line (epoch, docs, records/doc, nodes/doc), plan-cache state, and the
+// postings -> candidates -> evaluated -> results funnel. If a cost-constant
+// or estimator change moves a crossover, these tests are the tripwire.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/engine.h"
+#include "leak_check.h"
+
+namespace xdb {
+namespace {
+
+std::unique_ptr<Engine> MemEngine() {
+  EngineOptions opts;
+  opts.in_memory = true;
+  opts.enable_wal = false;
+  return Engine::Open(opts).MoveValue();
+}
+
+std::string BookDoc(int i) {
+  return "<lib><book><title>t" + std::to_string(i) + "</title></book></lib>";
+}
+
+std::string Explain(Collection* coll, const std::string& xpath) {
+  QueryOptions o;
+  o.explain = true;
+  auto res = coll->Query(nullptr, xpath, o);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  if (!res.ok()) return "";
+  return res.value().profile.PlanText();
+}
+
+// Crossover 1: collection size. Two documents -> the full scan is cheaper
+// than one B-tree descent; forty documents -> the index probe wins. Same
+// query text, same index — only the statistics (and their epoch) changed.
+TEST(PlannerCrossoverTest, CollectionSizeFlipsScanToDocList) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("books").value();
+  ASSERT_TRUE(coll->CreateValueIndex(
+                      {"title", "/lib/book/title", ValueType::kString, 128})
+                  .ok());
+  for (int i = 0; i < 2; i++)
+    ASSERT_TRUE(coll->InsertDocument(nullptr, BookDoc(i)).ok());
+
+  EXPECT_EQ(Explain(coll, "/lib/book[title = \"t1\"]"),
+            "query: /lib/book[title = \"t1\"]\n"
+            "access path: full-scan (cost: full-scan=102* docid-list=112 "
+            "nodeid-list=135; est postings=1 docs=1)\n"
+            "stats: epoch=3 docs=2 records/doc=1.00 nodes/doc=4.00 "
+            "(cost-based)\n"
+            "plan cache: miss\n"
+            "recheck: yes\n"
+            "cardinality: postings=0 candidate_docs=2 candidate_anchors=0"
+            " docs_evaluated=2 records_fetched=2 results=1\n"
+            "scan: events=18 instances=8 peak_live=4\n"
+            "parallelism: 1 (chunks=1)\n");
+
+  for (int i = 2; i < 40; i++)
+    ASSERT_TRUE(coll->InsertDocument(nullptr, BookDoc(i)).ok());
+
+  EXPECT_EQ(Explain(coll, "/lib/book[title = \"t1\"]"),
+            "query: /lib/book[title = \"t1\"]\n"
+            "access path: docid-list (cost: full-scan=2032 "
+            "docid-list=112* nodeid-list=135; est postings=1 docs=1)\n"
+            "  probe: /lib/book/title = ... index 'title' (exact)\n"
+            "stats: epoch=41 docs=40 records/doc=1.00 nodes/doc=4.00 "
+            "(cost-based)\n"
+            "plan cache: miss\n"
+            "recheck: no\n"
+            "cardinality: postings=1 candidate_docs=1 candidate_anchors=0"
+            " docs_evaluated=1 records_fetched=1 results=1\n"
+            "scan: events=9 instances=4 peak_live=4\n"
+            "parallelism: 1 (chunks=1)\n");
+}
+
+// Crossover 2: selectivity. Same collection size, same query shape; an index
+// whose every key is identical emits every posting (the probe saves
+// nothing), while a distinct-keyed index emits one.
+TEST(PlannerCrossoverTest, SelectivityFlipsDocListToScan) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("books").value();
+  ASSERT_TRUE(coll->CreateValueIndex(
+                      {"cat", "/lib/book/cat", ValueType::kString, 128})
+                  .ok());
+  ASSERT_TRUE(coll->CreateValueIndex(
+                      {"title", "/lib/book/title", ValueType::kString, 128})
+                  .ok());
+  for (int i = 0; i < 30; i++) {
+    std::string doc = "<lib><book><title>t" + std::to_string(i) +
+                      "</title><cat>fiction</cat></book></lib>";
+    ASSERT_TRUE(coll->InsertDocument(nullptr, doc).ok());
+  }
+
+  // Every book is "fiction": the probe would emit all 30 postings and then
+  // evaluate all 30 documents anyway — the cost model keeps the scan.
+  EXPECT_EQ(Explain(coll, "/lib/book[cat = \"fiction\"]"),
+            "query: /lib/book[cat = \"fiction\"]\n"
+            "access path: full-scan (cost: full-scan=1596* docid-list=1692 "
+            "nodeid-list=2316; est postings=30 docs=30)\n"
+            "stats: epoch=32 docs=30 records/doc=1.00 nodes/doc=6.00 "
+            "(cost-based)\n"
+            "plan cache: miss\n"
+            "recheck: yes\n"
+            "cardinality: postings=0 candidate_docs=30 candidate_anchors=0"
+            " docs_evaluated=30 records_fetched=30 results=30\n"
+            "scan: events=360 instances=120 peak_live=4\n"
+            "parallelism: 1 (chunks=1)\n");
+
+  // Distinct titles: one expected posting, one candidate document.
+  EXPECT_EQ(Explain(coll, "/lib/book[title = \"t7\"]"),
+            "query: /lib/book[title = \"t7\"]\n"
+            "access path: docid-list (cost: full-scan=1596 "
+            "docid-list=114* nodeid-list=135; est postings=1 docs=1)\n"
+            "  probe: /lib/book/title = ... index 'title' (exact)\n"
+            "stats: epoch=32 docs=30 records/doc=1.00 nodes/doc=6.00 "
+            "(cost-based)\n"
+            "plan cache: miss\n"
+            "recheck: no\n"
+            "cardinality: postings=1 candidate_docs=1 candidate_anchors=0"
+            " docs_evaluated=1 records_fetched=1 results=1\n"
+            "scan: events=12 instances=4 peak_live=4\n"
+            "parallelism: 1 (chunks=1)\n");
+}
+
+// Crossover 3: records per document. Small documents (one record each) fetch
+// whole candidates off the DocID list; fat documents packed into many
+// records anchor at node level so only the matching subtree is fetched. The
+// paper's "> 2 records per document" rule falls out of the arithmetic.
+TEST(PlannerCrossoverTest, RecordsPerDocFlipsDocListToNodeList) {
+  auto engine = MemEngine();
+  CollectionOptions small_records;
+  small_records.record_budget = 64;  // force multi-record packing
+  Collection* thin = engine->CreateCollection("thin").value();
+  Collection* fat = engine->CreateCollection("fat", small_records).value();
+  for (Collection* coll : {thin, fat}) {
+    ASSERT_TRUE(coll->CreateValueIndex(
+                        {"title", "/lib/book/title", ValueType::kString, 128})
+                    .ok());
+    for (int i = 0; i < 40; i++) {
+      std::string doc = "<lib><book><title>t" + std::to_string(i) +
+                        "</title>";
+      for (int j = 0; j < 6; j++)
+        doc += "<blurb>some longer prose to fill the record budget " +
+               std::to_string(j) + "</blurb>";
+      doc += "</book></lib>";
+      ASSERT_TRUE(coll->InsertDocument(nullptr, doc).ok());
+    }
+  }
+
+  // Default budget: each document is one record; fetch-and-eval is cheap.
+  EXPECT_EQ(Explain(thin, "/lib/book[title = \"t5\"]"),
+            "query: /lib/book[title = \"t5\"]\n"
+            "access path: docid-list (cost: full-scan=2608 "
+            "docid-list=126* nodeid-list=135; est postings=1 docs=1)\n"
+            "  probe: /lib/book/title = ... index 'title' (exact)\n"
+            "stats: epoch=41 docs=40 records/doc=1.00 nodes/doc=16.00 "
+            "(cost-based)\n"
+            "plan cache: miss\n"
+            "recheck: no\n"
+            "cardinality: postings=1 candidate_docs=1 candidate_anchors=0"
+            " docs_evaluated=1 records_fetched=1 results=1\n"
+            "scan: events=27 instances=4 peak_live=4\n"
+            "parallelism: 1 (chunks=1)\n");
+
+  // Tight budget: five records per document make whole-document evaluation
+  // expensive; the NodeID list fetches the anchor subtree instead.
+  EXPECT_EQ(Explain(fat, "/lib/book[title = \"t5\"]"),
+            "query: /lib/book[title = \"t5\"]\n"
+            "access path: nodeid-list (cost: full-scan=4848 docid-list=182 "
+            "nodeid-list=135*; est postings=1 docs=1)\n"
+            "  probe: /lib/book/title = ... index 'title' (exact)\n"
+            "stats: epoch=41 docs=40 records/doc=5.00 nodes/doc=16.00 "
+            "(cost-based)\n"
+            "plan cache: miss\n"
+            "recheck: no  anchor step: 1\n"
+            "cardinality: postings=1 candidate_docs=0 candidate_anchors=1"
+            " docs_evaluated=0 records_fetched=4 results=1\n"
+            "scan: events=23 instances=4 peak_live=4\n"
+            "parallelism: 1 (chunks=1)\n");
+}
+
+// The answers must not depend on the planner flavor: force the heuristic on
+// the size-crossover collection and compare node-for-node.
+TEST(PlannerCrossoverTest, CostBasedAndHeuristicAgree) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("books").value();
+  ASSERT_TRUE(coll->CreateValueIndex(
+                      {"title", "/lib/book/title", ValueType::kString, 128})
+                  .ok());
+  for (int i = 0; i < 25; i++)
+    ASSERT_TRUE(coll->InsertDocument(nullptr, BookDoc(i % 7)).ok());
+  for (const char* q :
+       {"/lib/book[title = \"t1\"]", "/lib/book[title = \"t9\"]",
+        "/lib/book[title > \"t3\"]", "/lib/book/title"}) {
+    QueryOptions cost;
+    QueryOptions heur;
+    heur.use_heuristic_planner = true;
+    auto a = coll->Query(nullptr, q, cost);
+    auto b = coll->Query(nullptr, q, heur);
+    ASSERT_TRUE(a.ok() && b.ok()) << q;
+    ASSERT_EQ(a.value().nodes.size(), b.value().nodes.size()) << q;
+    for (size_t i = 0; i < a.value().nodes.size(); i++) {
+      EXPECT_EQ(a.value().nodes[i].doc_id, b.value().nodes[i].doc_id) << q;
+      EXPECT_EQ(a.value().nodes[i].node_id, b.value().nodes[i].node_id) << q;
+    }
+  }
+}
+
+// A served cached plan renders "plan cache: hit" and attributes zero
+// planning time — the hit path never parses, prices, or compiles.
+TEST(PlannerCrossoverTest, CacheHitGolden) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("books").value();
+  for (int i = 0; i < 3; i++)
+    ASSERT_TRUE(coll->InsertDocument(nullptr, BookDoc(i)).ok());
+  QueryOptions o;
+  o.explain = true;
+  auto first = coll->Query(nullptr, "/lib/book/title", o).MoveValue();
+  EXPECT_EQ(first.profile.plan_cache, "miss");
+  auto second = coll->Query(nullptr, "/lib/book/title", o).MoveValue();
+  EXPECT_EQ(second.profile.plan_cache, "hit");
+  ASSERT_FALSE(second.profile.phases.empty());
+  EXPECT_EQ(second.profile.phases[0].name, "plan");
+  EXPECT_EQ(second.profile.phases[0].wall_us, 0u);
+  EXPECT_EQ(first.nodes.size(), second.nodes.size());
+}
+
+}  // namespace
+}  // namespace xdb

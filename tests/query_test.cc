@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "btree/btree.h"
+#include "engine/engine.h"
+#include "obs/event_log.h"
 #include "query/access_path.h"
 #include "query/executor.h"
 #include "storage/buffer_manager.h"
@@ -258,6 +260,156 @@ TEST_F(PlannerFixture, ProbeBoundsFromOperators) {
   EXPECT_FALSE(lo.has_value());
   ASSERT_TRUE(hi.has_value());
   EXPECT_FALSE(hi->inclusive);
+}
+
+// --- compiled-plan cache lifecycle (hits, misses, evictions, invalidation) ---
+
+std::unique_ptr<Engine> CacheEngine(size_t capacity) {
+  EngineOptions opts;
+  opts.in_memory = true;
+  opts.enable_wal = false;
+  opts.plan_cache_capacity = capacity;
+  return Engine::Open(opts).MoveValue();
+}
+
+uint64_t Counter(Engine* engine, const char* name) {
+  return engine->MetricsSnapshot().Value(name);
+}
+
+TEST(PlanCacheTest, HitMissCountersAndProfileState) {
+  auto engine = CacheEngine(8);
+  Collection* coll = engine->CreateCollection("c").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b></a>").ok());
+
+  QueryOptions o;
+  o.explain = true;
+  auto first = coll->Query(nullptr, "/a/b", o).MoveValue();
+  EXPECT_EQ(first.profile.plan_cache, "miss");
+  EXPECT_EQ(Counter(engine.get(), "query.plan_cache.misses"), 1u);
+  EXPECT_EQ(Counter(engine.get(), "query.plan_cache.hits"), 0u);
+  EXPECT_EQ(coll->plan_cache()->size(), 1u);
+
+  auto second = coll->Query(nullptr, "/a/b", o).MoveValue();
+  EXPECT_EQ(second.profile.plan_cache, "hit");
+  EXPECT_EQ(Counter(engine.get(), "query.plan_cache.hits"), 1u);
+  EXPECT_EQ(coll->plan_cache()->size(), 1u);
+
+  // Different want_values / force / text are distinct keys.
+  QueryOptions vals = o;
+  vals.want_values = true;
+  EXPECT_TRUE(coll->Query(nullptr, "/a/b", vals).ok());
+  QueryOptions forced = o;
+  forced.force = ForceMethod::kScan;
+  EXPECT_TRUE(coll->Query(nullptr, "/a/b", forced).ok());
+  EXPECT_TRUE(coll->Query(nullptr, "/a", o).ok());
+  EXPECT_EQ(Counter(engine.get(), "query.plan_cache.misses"), 4u);
+  EXPECT_EQ(coll->plan_cache()->size(), 4u);
+}
+
+TEST(PlanCacheTest, EpochBumpMakesCachedPlansUnreachable) {
+  auto engine = CacheEngine(8);
+  Collection* coll = engine->CreateCollection("c").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b></a>").ok());
+  QueryOptions o;
+  o.explain = true;
+  EXPECT_EQ(coll->Query(nullptr, "/a/b", o).value().profile.plan_cache,
+            "miss");
+  EXPECT_EQ(coll->Query(nullptr, "/a/b", o).value().profile.plan_cache,
+            "hit");
+  // Any document write bumps the stats epoch: the cached plan's key no
+  // longer matches and the same text compiles (and re-prices) again.
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>2</b></a>").ok());
+  EXPECT_EQ(coll->Query(nullptr, "/a/b", o).value().profile.plan_cache,
+            "miss");
+  EXPECT_EQ(coll->Query(nullptr, "/a/b", o).value().profile.plan_cache,
+            "hit");
+}
+
+TEST(PlanCacheTest, LruEvictsAtCapacity) {
+  auto engine = CacheEngine(2);
+  Collection* coll = engine->CreateCollection("c").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b><c>2</c></a>").ok());
+  QueryOptions o;
+  EXPECT_TRUE(coll->Query(nullptr, "/a/b", o).ok());
+  EXPECT_TRUE(coll->Query(nullptr, "/a/c", o).ok());
+  EXPECT_EQ(Counter(engine.get(), "query.plan_cache.evictions"), 0u);
+  EXPECT_TRUE(coll->Query(nullptr, "/a", o).ok());  // evicts LRU (/a/b)
+  EXPECT_EQ(Counter(engine.get(), "query.plan_cache.evictions"), 1u);
+  EXPECT_EQ(coll->plan_cache()->size(), 2u);
+  // /a/b was the least recently used entry, so it is the one that left.
+  QueryOptions ex;
+  ex.explain = true;
+  EXPECT_EQ(coll->Query(nullptr, "/a/c", ex).value().profile.plan_cache,
+            "hit");
+  EXPECT_EQ(coll->Query(nullptr, "/a/b", ex).value().profile.plan_cache,
+            "miss");
+}
+
+TEST(PlanCacheTest, IndexLifecycleInvalidatesOutright) {
+  auto engine = CacheEngine(8);
+  Collection* coll = engine->CreateCollection("c").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b></a>").ok());
+  EXPECT_TRUE(coll->Query(nullptr, "/a/b").ok());
+  EXPECT_GT(coll->plan_cache()->size(), 0u);
+
+  ASSERT_TRUE(
+      coll->CreateValueIndex({"b", "/a/b", ValueType::kString, 64}).ok());
+  EXPECT_EQ(coll->plan_cache()->size(), 0u);
+  EXPECT_EQ(Counter(engine.get(), "query.plan_cache.invalidations"), 1u);
+
+  EXPECT_TRUE(coll->Query(nullptr, "/a/b").ok());
+  EXPECT_GT(coll->plan_cache()->size(), 0u);
+  ASSERT_TRUE(coll->DropValueIndex("b").ok());
+  EXPECT_EQ(coll->plan_cache()->size(), 0u);
+  EXPECT_EQ(Counter(engine.get(), "query.plan_cache.invalidations"), 2u);
+
+  // Both invalidations landed in the event log with their causes.
+  int created = 0, dropped = 0;
+  for (const obs::Event& e : engine->RecentEvents()) {
+    if (e.kind != obs::EventKind::kPlanCacheInvalidated) continue;
+    if (e.message.find("index created") != std::string::npos) created++;
+    if (e.message.find("index dropped") != std::string::npos) dropped++;
+  }
+  EXPECT_EQ(created, 1);
+  EXPECT_EQ(dropped, 1);
+
+  // Queries still work (and re-cache) after the drop.
+  EXPECT_TRUE(coll->Query(nullptr, "/a/b").ok());
+  EXPECT_GT(coll->plan_cache()->size(), 0u);
+}
+
+TEST(PlanCacheTest, DisabledCacheReportsOffAndStoresNothing) {
+  auto engine = CacheEngine(0);
+  Collection* coll = engine->CreateCollection("c").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b></a>").ok());
+  QueryOptions o;
+  o.explain = true;
+  for (int i = 0; i < 3; i++) {
+    EXPECT_EQ(coll->Query(nullptr, "/a/b", o).value().profile.plan_cache,
+              "off");
+  }
+  EXPECT_EQ(coll->plan_cache()->size(), 0u);
+  EXPECT_EQ(Counter(engine.get(), "query.plan_cache.hits"), 0u);
+  EXPECT_EQ(Counter(engine.get(), "query.plan_cache.misses"), 0u);
+}
+
+TEST(PlanCacheTest, HeuristicPlannerBypassesCache) {
+  auto engine = CacheEngine(8);
+  Collection* coll = engine->CreateCollection("c").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b></a>").ok());
+  QueryOptions o;
+  o.explain = true;
+  o.use_heuristic_planner = true;
+  EXPECT_EQ(coll->Query(nullptr, "/a/b", o).value().profile.plan_cache,
+            "off");
+  EXPECT_EQ(coll->plan_cache()->size(), 0u);
+  // The cost-based flavor of the same query caches normally afterwards.
+  QueryOptions cost;
+  cost.explain = true;
+  EXPECT_EQ(coll->Query(nullptr, "/a/b", cost).value().profile.plan_cache,
+            "miss");
+  EXPECT_EQ(coll->Query(nullptr, "/a/b", cost).value().profile.plan_cache,
+            "hit");
 }
 
 }  // namespace

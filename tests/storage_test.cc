@@ -573,7 +573,9 @@ TEST(WalLogTest, CommitSupersededByResetReturnsInsteadOfLivelocking) {
   // target.
   int resets = 0;
   wal->set_commit_race_hook_for_test([&] {
-    if (resets++ == 0) ASSERT_TRUE(wal->Reset().ok());
+    if (resets++ == 0) {
+      ASSERT_TRUE(wal->Reset().ok());
+    }
   });
   Status st = wal->Commit();
   EXPECT_TRUE(st.ok()) << st.ToString();
