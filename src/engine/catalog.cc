@@ -57,8 +57,10 @@ Result<CatalogData> CatalogData::Deserialize(Slice data) {
   CatalogData cat;
   if (data.size() < 4) return Status::Corruption("bad catalog magic");
   const uint32_t magic = DecodeFixed32(data.data());
-  // Old-format (v1) catalogs still load: stats_epoch defaults to 0, which
-  // matches the "no stats saved yet" open-time semantics.
+  // Old-format (v1) catalogs still load: stats_epoch defaults to 0 ("no
+  // stats saved yet"). Engine::Open treats epoch 0 as valid-empty only for
+  // collections with no checkpointed documents; otherwise it degrades them
+  // to heuristic planning (their documents are not reflected in any stats).
   const bool v2 = magic == kCatalogMagicV2;
   if (!v2 && magic != kCatalogMagic)
     return Status::Corruption("bad catalog magic");

@@ -947,40 +947,50 @@ Result<std::shared_ptr<const query::CompiledPlan>>
 Collection::CompileForExecution(xpath::Path&& path,
                                 const QueryOptions& options) {
   auto cp = std::make_shared<query::CompiledPlan>();
-  query::PlannerContext ctx;
   XDB_ASSIGN_OR_RETURN(uint64_t docs, DocCount());
+  query::CollectionStatsSnapshot snap;
   {
-    // The index list is copied under a brief shared latch; the ValueIndex
-    // objects themselves are stable while index_version_ is unchanged (the
-    // executor re-checks it against cp->index_version before probing).
+    // Planning dereferences the ValueIndex objects (def() for matching,
+    // EncodeKey for probe bounds, def().name for the EXPLAIN probe lines),
+    // so the shared latch is held across ChoosePlan and the probe-line
+    // rendering — not just the pointer copy. A concurrent DropValueIndex or
+    // RebuildStorage takes the exclusive latch and destroys the ValueIndex,
+    // so releasing earlier would leave planning on freed memory; the
+    // index_version_ check in ExecuteCompiled only protects the later probe
+    // phase. Planning is pure computation on the index definitions (no page
+    // I/O), so the hold stays brief.
     ReaderMutexLock latch(latch_);
+    query::PlannerContext ctx;
     for (auto& owned : value_indexes_)
       ctx.indexes.push_back(owned.index.get());
     cp->index_version = index_version_.load(std::memory_order_acquire);
+    ctx.doc_count = docs;
+    // Cheap cardinality statistic (no index walk): stored records per doc.
+    uint64_t live = records_->stats().live_records;
+    ctx.avg_records_per_doc =
+        docs == 0 ? 1.0
+                  : static_cast<double>(std::max<uint64_t>(live, docs)) /
+                        static_cast<double>(docs);
+    // Collected statistics drive the cost model; when they are unavailable
+    // (degraded at open) or explicitly bypassed, ChoosePlan falls back to
+    // the Section 4.3 heuristic rules. stats_'s mutex is a leaf acquired
+    // after latch_ (see the member comment), so snapshotting here is safe.
+    snap = stats_.Snapshot();
+    if (!options.use_heuristic_planner) ctx.stats = &snap;
+    XDB_ASSIGN_OR_RETURN(cp->plan,
+                         query::ChoosePlan(path, ctx, options.force));
+    cp->avg_records_per_doc = ctx.avg_records_per_doc;
+    for (const query::PlannedProbe& p : cp->plan.probes)
+      cp->probe_lines.push_back(
+          p.pred.full_path.ToString() + " " + xpath::CompOpName(p.pred.op) +
+          " ... index '" + p.index->def().name + "' (" +
+          (p.match == xpath::IndexMatch::kExact ? "exact" : "filtering") +
+          ")");
   }
-  ctx.doc_count = docs;
-  // Cheap cardinality statistic (no index walk): stored records per doc.
-  uint64_t live = records_->stats().live_records;
-  ctx.avg_records_per_doc =
-      docs == 0 ? 1.0
-                : static_cast<double>(std::max<uint64_t>(live, docs)) /
-                      static_cast<double>(docs);
-  // Collected statistics drive the cost model; when they are unavailable
-  // (degraded at open) or explicitly bypassed, ChoosePlan falls back to the
-  // Section 4.3 heuristic rules.
-  query::CollectionStatsSnapshot snap = stats_.Snapshot();
-  if (!options.use_heuristic_planner) ctx.stats = &snap;
-  XDB_ASSIGN_OR_RETURN(cp->plan, query::ChoosePlan(path, ctx, options.force));
   cp->stats_epoch = snap.epoch;
   cp->stats_valid = cp->plan.cost_based;
   cp->doc_count = docs;
-  cp->avg_records_per_doc = ctx.avg_records_per_doc;
   cp->nodes_per_doc = snap.valid ? snap.avg_nodes_per_doc() : 0.0;
-  for (const query::PlannedProbe& p : cp->plan.probes)
-    cp->probe_lines.push_back(
-        p.pred.full_path.ToString() + " " + xpath::CompOpName(p.pred.op) +
-        " ... index '" + p.index->def().name + "' (" +
-        (p.match == xpath::IndexMatch::kExact ? "exact" : "filtering") + ")");
 
   // Compile the full query once for scans and per-document evaluation.
   XDB_ASSIGN_OR_RETURN(

@@ -381,11 +381,13 @@ class Collection {
   // Compiled-plan cache. Its internal mutex is a leaf like stats_'s.
   query::PlanCache plan_cache_;
   // Bumped (under the exclusive latch_) whenever the set of live ValueIndex
-  // objects changes: index create/drop and storage rebuild. Compiled plans
-  // record it and the executor re-checks it under the shared latch before
-  // dereferencing probe indexes, so a plan that raced a drop is replanned
-  // (kBusy), never served against freed memory. Separate from the stats
-  // epoch so document churn does not force replans of in-flight plans.
+  // objects changes: index create/drop and storage rebuild. Planning holds
+  // the shared latch across every ValueIndex dereference it makes
+  // (CompileForExecution), and compiled plans record this version so the
+  // executor can re-check it under the shared latch before dereferencing
+  // probe indexes — a plan that raced a drop is replanned (kBusy), never
+  // served against freed memory. Separate from the stats epoch so document
+  // churn does not force replans of in-flight plans.
   std::atomic<uint64_t> index_version_{0};
 
   // Quarantine + repair state. A collection whose table space or recovery

@@ -107,17 +107,27 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
           meta_it != engine->catalog_.collections.end()
               ? meta_it->second.stats_epoch
               : 0;
-      if (expected == 0) {
-        // Never checkpointed with stats (fresh collection, or a pre-stats
-        // catalog): valid empty stats are exactly right — WAL replay
-        // rebuilds the counts from zero.
-        continue;
-      }
       auto degrade = [&](const std::string& why) {
         coll->stats()->Invalidate();
         engine->events_.Emit(obs::EventKind::kStatsDegraded, expected, 0,
                              "collection '" + name + "': " + why);
       };
+      if (expected == 0) {
+        // Never checkpointed with stats. For a fresh collection valid empty
+        // stats are exactly right — WAL replay rebuilds the counts from
+        // zero. But a catalog that already allocated doc ids (a pre-stats
+        // catalog, or one checkpointed before this feature) holds documents
+        // that are NOT in the WAL (checkpoint resets it), so empty counts
+        // would be trusted as real and the cost model would price full
+        // scans at zero forever. Degrade to heuristic planning until a
+        // rebuild/checkpoint establishes real counts.
+        const bool checkpointed_docs =
+            meta_it != engine->catalog_.collections.end() &&
+            meta_it->second.next_doc_id > 1;
+        if (checkpointed_docs)
+          degrade("catalog predates collected stats");
+        continue;
+      }
       if (!stats_status.ok()) {
         degrade("stats file unavailable (" + stats_status.ToString() + ")");
         continue;

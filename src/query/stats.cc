@@ -83,26 +83,25 @@ CollectionStats::CollectionStats() = default;
 CollectionStats::~CollectionStats() = default;
 
 void CollectionStats::NoteDocumentInserted(uint64_t node_count) {
-  {
-    MutexLock lock(mu_);
-    doc_count_++;
-    node_count_ += node_count;
-  }
+  // The epoch bump happens under mu_ in every mutator so a Snapshot() never
+  // pairs new counters with an older epoch (a plan priced on the new counts
+  // but cached under the old epoch key would be served at that epoch).
+  MutexLock lock(mu_);
+  doc_count_++;
+  node_count_ += node_count;
   Bump();
 }
 
 void CollectionStats::NoteDocumentDeleted() {
-  {
-    MutexLock lock(mu_);
-    if (doc_count_ > 0) {
-      // The deleted document's node count is unknown without an extra
-      // storage pass; decay by the collection average. Self-corrects as
-      // documents churn and is rebuilt exactly on storage rebuild.
-      node_count_ -= std::min(node_count_, node_count_ / doc_count_);
-      doc_count_--;
-    } else {
-      node_count_ = 0;
-    }
+  MutexLock lock(mu_);
+  if (doc_count_ > 0) {
+    // The deleted document's node count is unknown without an extra
+    // storage pass; decay by the collection average. Self-corrects as
+    // documents churn and is rebuilt exactly on storage rebuild.
+    node_count_ -= std::min(node_count_, node_count_ / doc_count_);
+    doc_count_--;
+  } else {
+    node_count_ = 0;
   }
   Bump();
 }
@@ -120,24 +119,27 @@ ValueIndexStatsListener* CollectionStats::ListenerFor(
 
 ValueIndexStatsListener* CollectionStats::NoteIndexCreated(
     const std::string& name) {
-  ValueIndexStatsListener* listener = ListenerFor(name);
+  MutexLock lock(mu_);
+  auto it = indexes_.find(name);
+  if (it == indexes_.end())
+    it = indexes_.emplace(name, std::make_unique<PerIndex>(this)).first;
   Bump();
-  return listener;
+  return it->second.get();
 }
 
 void CollectionStats::NoteIndexDropped(const std::string& name) {
-  {
-    MutexLock lock(mu_);
-    indexes_.erase(name);
-  }
+  MutexLock lock(mu_);
+  indexes_.erase(name);
   Bump();
 }
 
 CollectionStatsSnapshot CollectionStats::Snapshot() const {
   CollectionStatsSnapshot snap;
+  // epoch/valid are read under mu_, the same hold every mutator bumps
+  // under, so the snapshot's epoch always matches its counters.
+  MutexLock lock(mu_);
   snap.valid = valid();
   snap.epoch = epoch();
-  MutexLock lock(mu_);
   snap.doc_count = doc_count_;
   snap.node_count = node_count_;
   for (const auto& [name, ix] : indexes_) {
@@ -153,17 +155,17 @@ CollectionStatsSnapshot CollectionStats::Snapshot() const {
 }
 
 void CollectionStats::ResetEmpty(uint64_t epoch_floor) {
-  {
-    MutexLock lock(mu_);
-    doc_count_ = 0;
-    node_count_ = 0;
-    for (auto& [name, ix] : indexes_) {
-      ix->entry_count = 0;
-      ix->saturated = false;
-      ix->sketch.clear();
-    }
+  MutexLock lock(mu_);
+  doc_count_ = 0;
+  node_count_ = 0;
+  for (auto& [name, ix] : indexes_) {
+    ix->entry_count = 0;
+    ix->saturated = false;
+    ix->sketch.clear();
   }
-  // Callers hold the collection's exclusive latch, so no concurrent bumps.
+  // Under mu_ so a concurrent Snapshot() never pairs the zeroed counters
+  // with the pre-reset epoch; the read-modify-write itself is safe from
+  // concurrent bumps because callers hold the collection's exclusive latch.
   epoch_.store(std::max(epoch() + 1, epoch_floor + 1),
                std::memory_order_release);
   valid_.store(true, std::memory_order_release);

@@ -39,8 +39,10 @@
 namespace xdb {
 namespace query {
 
-/// Order-preserving 64-bit FNV-1a over the encoded key bytes. Deterministic
-/// across runs/platforms so goldens and replay stay stable.
+/// Deterministic 64-bit FNV-1a over the encoded key bytes — stable across
+/// runs/platforms so goldens and replay stay stable. Not order-preserving:
+/// range selectivity relies on the sampled key bytes (sorted in encoded-key
+/// order), never on hash order.
 uint64_t StatsKeyHash(Slice key);
 
 /// Plain-data copy of one index's statistics (planning + persistence).

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/catalog.h"
 #include "engine/engine.h"
 #include "leak_check.h"
 #include "obs/event_log.h"
@@ -875,6 +876,47 @@ TEST_F(EngineFaultTest, StaleStatsFileEpochMismatchDegrades) {
   auto res = coll->Query(nullptr, "/doc/k");
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(res.value().nodes.size(), 2u);
+}
+
+// A catalog checkpointed before collected statistics existed (stats epoch
+// 0) but holding documents must not open as "valid empty stats": the
+// checkpointed documents are not in the WAL (checkpoint resets it), so the
+// zero counts would never self-correct and the cost model would price full
+// scans at zero forever. The collection degrades to heuristic planning.
+TEST_F(EngineFaultTest, PreStatsCatalogWithDocumentsDegradesToHeuristic) {
+  {
+    auto engine = Engine::Open(FileOptions()).MoveValue();
+    Collection* coll = engine->CreateCollection("docs").value();
+    ASSERT_TRUE(coll->CreateValueIndex({"k", "/doc/k", ValueType::kString, 64})
+                    .ok());
+    for (int i = 0; i < 5; i++) {
+      ASSERT_TRUE(coll->InsertDocument(nullptr, "<doc><k>v" +
+                                                    std::to_string(i) +
+                                                    "</k></doc>")
+                      .ok());
+    }
+    ASSERT_TRUE(engine->Checkpoint().ok());
+  }
+  // Rewrite the catalog as a pre-stats one (epoch 0, no stats.xdb) — the
+  // on-disk state a v1 engine would have left behind.
+  const std::string catalog_path = dir_ + "/catalog.xdb";
+  CatalogData cat = LoadCatalog(catalog_path).MoveValue();
+  for (auto& [name, meta] : cat.collections) meta.stats_epoch = 0;
+  ASSERT_TRUE(SaveCatalog(cat, catalog_path).ok());
+  std::filesystem::remove(dir_ + "/stats.xdb");
+
+  auto engine = Engine::Open(FileOptions()).MoveValue();
+  Collection* coll = engine->GetCollection("docs").value();
+  EXPECT_TRUE(SawStatsDegraded(engine.get()));
+  EXPECT_FALSE(coll->stats()->valid());
+  QueryOptions o;
+  o.explain = true;
+  auto res = coll->Query(nullptr, "/doc[k = \"v2\"]", o);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().nodes.size(), 1u);
+  EXPECT_NE(res.value().profile.PlanText().find("(heuristic)"),
+            std::string::npos)
+      << res.value().profile.PlanText();
 }
 
 // --- corruption scrub & repair ---
