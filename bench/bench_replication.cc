@@ -1,0 +1,178 @@
+// Replication pipeline cost: what a replica pays to stay caught up, and
+// what a reader pays for asking for freshness.
+//
+//  - pipeline:   steady-state ship+apply rounds — primary inserts a batch,
+//                the shipper tails the durable WAL prefix, the applier
+//                replays it; bytes/sec is the end-to-end stream rate.
+//  - catchup:    a cold replica replaying a whole spool archive (the
+//                bootstrap / rebuild path); docs/sec of pure apply.
+//  - freshness:  the min_csn gate on a caught-up replica — the fast path a
+//                read-your-writes query takes when no waiting is needed.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "repl/replica_applier.h"
+#include "repl/ship_transport.h"
+#include "repl/wal_shipper.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+std::string FreshDir(const char* name) {
+  static int counter = 0;
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("xdb_bench_repl_" + std::string(name) + "_" +
+                      std::to_string(::getpid()) + "_" +
+                      std::to_string(counter++)))
+                        .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string DocXml(int i) {
+  return "<order id=\"" + std::to_string(i) + "\"><sku>SKU-" +
+         std::to_string(i % 97) + "</sku><qty>" + std::to_string(1 + i % 9) +
+         "</qty><note>steady-state replication payload row</note></order>";
+}
+
+// --- steady state: insert a batch, ship it, apply it, repeat ---
+
+void BM_ReplicationPipeline(benchmark::State& state) {
+  const std::string pdir = FreshDir("pipe_p"), rdir = FreshDir("pipe_r");
+  EngineOptions popts;
+  popts.dir = pdir;
+  EngineOptions ropts;
+  ropts.dir = rdir;
+  ropts.replica = true;
+  auto primary = Engine::Open(popts).MoveValue();
+  auto replica = Engine::Open(ropts).MoveValue();
+  repl::InProcessTransport transport;
+  repl::WalShipper shipper(primary.get(), &transport);
+  auto applier =
+      repl::ReplicaApplier::Attach(replica.get(), &transport).MoveValue();
+  Collection* coll = primary->CreateCollection("orders").value();
+
+  const int batch = static_cast<int>(state.range(0));
+  int next = 0;
+  uint64_t last_csn = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; i++) {
+      if (!coll->InsertDocument(nullptr, DocXml(next++)).ok()) std::abort();
+    }
+    if (!shipper.ShipAll().ok()) std::abort();
+    if (!applier->CatchUp().ok()) std::abort();
+    if (replica->applied_csn() <= last_csn) std::abort();
+    last_csn = replica->applied_csn();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(last_csn));
+  state.counters["docs/s"] = benchmark::Counter(
+      static_cast<double>(next), benchmark::Counter::kIsRate);
+  std::filesystem::remove_all(pdir);
+  std::filesystem::remove_all(rdir);
+}
+BENCHMARK(BM_ReplicationPipeline)->Arg(1)->Arg(16)->Arg(64);
+
+// --- cold catch-up: a fresh replica drains a pre-built spool archive ---
+
+void BM_ReplicationCatchUp(benchmark::State& state) {
+  const int docs = static_cast<int>(state.range(0));
+  const std::string pdir = FreshDir("cold_p"), sdir = FreshDir("cold_s");
+  uint64_t stream_bytes = 0;
+  {
+    EngineOptions popts;
+    popts.dir = pdir;
+    auto primary = Engine::Open(popts).MoveValue();
+    auto spool = repl::FileTransport::Open(sdir).MoveValue();
+    repl::WalShipper shipper(primary.get(), spool.get());
+    Collection* coll = primary->CreateCollection("orders").value();
+    for (int i = 0; i < docs; i++) {
+      if (!coll->InsertDocument(nullptr, DocXml(i)).ok()) std::abort();
+    }
+    if (!shipper.ShipAll().ok()) std::abort();
+    stream_bytes = shipper.shipped_csn();
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string rdir = FreshDir("cold_r");
+    EngineOptions ropts;
+    ropts.dir = rdir;
+    ropts.replica = true;
+    auto replica = Engine::Open(ropts).MoveValue();
+    // A fresh FileTransport over an existing spool reads from genesis.
+    auto spool = repl::FileTransport::Open(sdir).MoveValue();
+    auto applier =
+        repl::ReplicaApplier::Attach(replica.get(), spool.get()).MoveValue();
+    state.ResumeTiming();
+
+    if (!applier->CatchUp().ok()) std::abort();
+    if (replica->applied_csn() != stream_bytes) std::abort();
+
+    state.PauseTiming();
+    applier.reset();
+    replica.reset();
+    std::filesystem::remove_all(rdir);
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(stream_bytes) *
+                          state.iterations());
+  state.counters["docs/s"] = benchmark::Counter(
+      static_cast<double>(docs) * state.iterations(),
+      benchmark::Counter::kIsRate);
+  std::filesystem::remove_all(pdir);
+  std::filesystem::remove_all(sdir);
+}
+BENCHMARK(BM_ReplicationCatchUp)->Arg(200)->Unit(benchmark::kMillisecond);
+
+// --- the freshness gate on a caught-up replica (read-your-writes path) ---
+
+void BM_ReplicationFreshReadGate(benchmark::State& state) {
+  const bool bounded = state.range(0) != 0;
+  const std::string pdir = FreshDir("gate_p"), rdir = FreshDir("gate_r");
+  EngineOptions popts;
+  popts.dir = pdir;
+  EngineOptions ropts;
+  ropts.dir = rdir;
+  ropts.replica = true;
+  auto primary = Engine::Open(popts).MoveValue();
+  auto replica = Engine::Open(ropts).MoveValue();
+  repl::InProcessTransport transport;
+  repl::WalShipper shipper(primary.get(), &transport);
+  auto applier =
+      repl::ReplicaApplier::Attach(replica.get(), &transport).MoveValue();
+  Collection* coll = primary->CreateCollection("orders").value();
+  for (int i = 0; i < 32; i++) {
+    if (!coll->InsertDocument(nullptr, DocXml(i)).ok()) std::abort();
+  }
+  if (!shipper.ShipAll().ok()) std::abort();
+  if (!applier->CatchUp().ok()) std::abort();
+  Collection* rcoll = replica->GetCollection("orders").value();
+
+  QueryOptions qo;
+  if (bounded) qo.min_csn = replica->applied_csn();
+  uint64_t results = 0;
+  for (auto _ : state) {
+    auto res = rcoll->Query(nullptr, "/order/sku", qo);
+    if (!res.ok()) std::abort();
+    results = res.value().nodes.size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  std::filesystem::remove_all(pdir);
+  std::filesystem::remove_all(rdir);
+}
+BENCHMARK(BM_ReplicationFreshReadGate)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("min_csn");
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb

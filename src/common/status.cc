@@ -16,6 +16,7 @@ const char* CodeName(Status::Code code) {
     case Status::Code::kParseError: return "ParseError";
     case Status::Code::kValidationError: return "ValidationError";
     case Status::Code::kFull: return "Full";
+    case Status::Code::kStale: return "Stale";
   }
   return "Unknown";
 }

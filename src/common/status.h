@@ -26,6 +26,7 @@ class [[nodiscard]] Status {
     kParseError,
     kValidationError,
     kFull,
+    kStale,
   };
 
   Status() : code_(Code::kOk) {}
@@ -69,6 +70,13 @@ class [[nodiscard]] Status {
   static Status Full(std::string msg = "") {
     return Status(Code::kFull, std::move(msg));
   }
+  /// A replica could not satisfy the caller's freshness bound
+  /// (QueryOptions::min_csn) within the allowed wait: the data it would
+  /// serve is older than the caller requires. Retry later, relax the bound,
+  /// or read from the primary.
+  static Status Stale(std::string msg = "") {
+    return Status(Code::kStale, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -77,6 +85,7 @@ class [[nodiscard]] Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsStale() const { return code_ == Code::kStale; }
   /// True for failures worth retrying with backoff (see TransientIOError).
   bool IsTransient() const { return retryable_; }
   Code code() const { return code_; }

@@ -10,6 +10,7 @@ namespace xdb {
 namespace {
 constexpr uint32_t kCatalogMagic = 0x58444243;    // "XDBC" (v1, no stats)
 constexpr uint32_t kCatalogMagicV2 = 0x58444244;  // "XDBD" (adds stats_epoch)
+constexpr uint32_t kCatalogMagicV3 = 0x58444245;  // "XDBE" (replica CSN)
 
 void PutString(std::string* out, const std::string& s) {
   PutLengthPrefixed(out, s);
@@ -23,7 +24,8 @@ bool GetString(Slice* in, std::string* s) {
 }  // namespace
 
 void CatalogData::Serialize(std::string* out) const {
-  PutFixed32(out, kCatalogMagicV2);
+  PutFixed32(out, kCatalogMagicV3);
+  PutFixed64(out, replica_wal_base);
   PutVarint64(out, collections.size());
   for (const auto& [name, meta] : collections) {
     PutString(out, name);
@@ -61,10 +63,16 @@ Result<CatalogData> CatalogData::Deserialize(Slice data) {
   // stats saved yet"). Engine::Open treats epoch 0 as valid-empty only for
   // collections with no checkpointed documents; otherwise it degrades them
   // to heuristic planning (their documents are not reflected in any stats).
-  const bool v2 = magic == kCatalogMagicV2;
+  const bool v3 = magic == kCatalogMagicV3;
+  const bool v2 = v3 || magic == kCatalogMagicV2;
   if (!v2 && magic != kCatalogMagic)
     return Status::Corruption("bad catalog magic");
   data.RemovePrefix(4);
+  if (v3) {
+    if (data.size() < 8) return Status::Corruption("truncated catalog header");
+    cat.replica_wal_base = DecodeFixed64(data.data());
+    data.RemovePrefix(8);
+  }
   auto read_var = [&](uint64_t* v) -> bool {
     size_t n = GetVarint64(data.data(), data.data() + data.size(), v);
     if (n == 0) return false;

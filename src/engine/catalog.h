@@ -45,6 +45,17 @@ struct CatalogData {
   std::map<std::string, CollectionMeta> collections;
   std::map<std::string, std::string> schemas;  // name -> compiled binary
   std::string dictionary;                      // serialized NameDictionary
+  /// Replica only: the replication-stream CSN at byte 0 of the replica's
+  /// local WAL. The replica's applied position is always this base plus the
+  /// intact bytes in its local WAL, which makes crash accounting exact: the
+  /// base changes only when the WAL resets (checkpoint), and the checkpoint
+  /// saves the catalog on both sides of the reset, so every crash window
+  /// yields either the correct position or an undercount (safe: the replica
+  /// re-requests bytes it already has and re-applies them idempotently),
+  /// never an overcount that would skip real segments. Stored in the catalog
+  /// (not a side file) so base and checkpointed image commit atomically via
+  /// the catalog's temp+rename. Zero (and ignored) on a primary.
+  uint64_t replica_wal_base = 0;
 
   void Serialize(std::string* out) const;
   static Result<CatalogData> Deserialize(Slice data);

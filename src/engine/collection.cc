@@ -105,7 +105,7 @@ Result<uint64_t> Collection::InsertDocument(Transaction* txn, Slice xml) {
 }
 
 Result<uint64_t> Collection::InsertTokens(Transaction* txn, Slice tokens) {
-  XDB_RETURN_NOT_OK(GuardRepair());
+  XDB_RETURN_NOT_OK(GuardWrite());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   uint64_t doc_id;
   {
@@ -229,7 +229,7 @@ Result<std::string> Collection::GetDocumentText(Transaction* txn,
 }
 
 Status Collection::DeleteDocument(Transaction* txn, uint64_t doc_id) {
-  XDB_RETURN_NOT_OK(GuardRepair());
+  XDB_RETURN_NOT_OK(GuardWrite());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   Status st = [&]() -> Status {
     XDB_RETURN_NOT_OK(WriteLockDoc(at.get(), doc_id));
@@ -376,7 +376,7 @@ Status Collection::MaintainValueIndexesForTextUpdate(uint64_t doc_id,
 
 Status Collection::UpdateTextNode(Transaction* txn, uint64_t doc_id,
                                   Slice node_id, Slice new_text) {
-  XDB_RETURN_NOT_OK(GuardRepair());
+  XDB_RETURN_NOT_OK(GuardWrite());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
   Status st = [&]() -> Status {
     // Subdocument protocol: IX on the document, X on the updated subtree.
@@ -491,7 +491,7 @@ Result<std::string> Collection::InsertSubtree(Transaction* txn,
                                               Slice parent_id,
                                               Slice after_sibling_id,
                                               Slice fragment) {
-  XDB_RETURN_NOT_OK(GuardRepair());
+  XDB_RETURN_NOT_OK(GuardWrite());
   if (meta_.mvcc_enabled)
     return Status::NotSupported(
         "subtree operations on MVCC collections are future work");
@@ -656,7 +656,7 @@ Result<std::string> Collection::InsertSubtreeLocked(Transaction* txn,
 
 Status Collection::DeleteSubtree(Transaction* txn, uint64_t doc_id,
                                  Slice node_id) {
-  XDB_RETURN_NOT_OK(GuardRepair());
+  XDB_RETURN_NOT_OK(GuardWrite());
   if (meta_.mvcc_enabled)
     return Status::NotSupported(
         "subtree operations on MVCC collections are future work");
@@ -717,68 +717,78 @@ Status Collection::DeleteSubtreeLocked(Transaction* txn, uint64_t doc_id,
 }
 
 Status Collection::CreateValueIndex(const ValueIndexDef& def) {
-  XDB_RETURN_NOT_OK(GuardRepair());
+  XDB_RETURN_NOT_OK(GuardWrite());
   XDB_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(def.path));
   if (!xpath::IsIndexablePath(path))
     return Status::InvalidArgument(
         "value index paths must be linear, predicate-free, and end in an "
         "element or attribute");
-  WriterMutexLock latch(latch_);
-  for (auto& owned : value_indexes_) {
-    if (owned.index->def().name == def.name)
-      return Status::InvalidArgument("index '" + def.name + "' exists");
-  }
-  XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree,
-                       BTree::Create(buffer_.get()));
-  auto index = std::make_unique<ValueIndex>(def, tree.get());
-  ValueIndex* raw = index.get();
-  // Stats listener first, so the backfill below is counted too. This bumps
-  // the stats epoch, invalidating every cached plan priced without the index.
-  raw->set_stats_listener(stats_.NoteIndexCreated(def.name));
-  meta_.value_indexes.push_back(ValueIndexMeta{def, tree->root()});
-  value_indexes_.push_back(OwnedValueIndex{std::move(tree), std::move(index)});
+  {
+    WriterMutexLock latch(latch_);
+    for (auto& owned : value_indexes_) {
+      if (owned.index->def().name == def.name)
+        return Status::InvalidArgument("index '" + def.name + "' exists");
+    }
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree,
+                         BTree::Create(buffer_.get()));
+    auto index = std::make_unique<ValueIndex>(def, tree.get());
+    ValueIndex* raw = index.get();
+    // Stats listener first, so the backfill below is counted too. This bumps
+    // the stats epoch, invalidating every cached plan priced without the
+    // index.
+    raw->set_stats_listener(stats_.NoteIndexCreated(def.name));
+    meta_.value_indexes.push_back(ValueIndexMeta{def, tree->root()});
+    value_indexes_.push_back(
+        OwnedValueIndex{std::move(tree), std::move(index)});
 
-  // Backfill from existing documents, still under the exclusive latch so a
-  // concurrent query never plans against a half-backfilled index.
-  XDB_ASSIGN_OR_RETURN(std::vector<uint64_t> docs, ListDocIdsUnlocked());
-  for (uint64_t doc_id : docs) {
-    StoredDocSource source(records_.get(), node_index_.get(), doc_id);
-    TokenWriter tokens;
-    XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
-    XDB_RETURN_NOT_OK(AddValueIndexEntries(doc_id, tokens.data(), raw));
+    // Backfill from existing documents, still under the exclusive latch so a
+    // concurrent query never plans against a half-backfilled index.
+    XDB_ASSIGN_OR_RETURN(std::vector<uint64_t> docs, ListDocIdsUnlocked());
+    for (uint64_t doc_id : docs) {
+      StoredDocSource source(records_.get(), node_index_.get(), doc_id);
+      TokenWriter tokens;
+      XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
+      XDB_RETURN_NOT_OK(AddValueIndexEntries(doc_id, tokens.data(), raw));
+    }
+    index_version_.fetch_add(1, std::memory_order_acq_rel);
+    plan_cache_.Invalidate("index created");
   }
-  index_version_.fetch_add(1, std::memory_order_acq_rel);
-  plan_cache_.Invalidate("index created");
-  return Status::OK();
+  // WAL append happens outside the latch: replay holds the WAL lock while
+  // taking collection latches, so the reverse order would deadlock.
+  return engine_->LogCreateIndex(meta_.name, def);
 }
 
 Status Collection::DropValueIndex(const std::string& name) {
-  XDB_RETURN_NOT_OK(GuardRepair());
-  WriterMutexLock latch(latch_);
-  size_t pos = value_indexes_.size();
-  for (size_t i = 0; i < value_indexes_.size(); i++) {
-    if (value_indexes_[i].index->def().name == name) {
-      pos = i;
-      break;
+  XDB_RETURN_NOT_OK(GuardWrite());
+  {
+    WriterMutexLock latch(latch_);
+    size_t pos = value_indexes_.size();
+    for (size_t i = 0; i < value_indexes_.size(); i++) {
+      if (value_indexes_[i].index->def().name == name) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == value_indexes_.size())
+      return Status::NotFound("no value index '" + name + "'");
+    // Version bump + cache clear BEFORE the ValueIndex is destroyed: any plan
+    // compiled against the old index set fails the structure-version gate
+    // under this same latch, so its dangling pointer is never dereferenced.
+    index_version_.fetch_add(1, std::memory_order_acq_rel);
+    plan_cache_.Invalidate("index dropped");
+    stats_.NoteIndexDropped(name);
+    value_indexes_.erase(value_indexes_.begin() + static_cast<long>(pos));
+    for (auto it = meta_.value_indexes.begin();
+         it != meta_.value_indexes.end(); ++it) {
+      if (it->def.name == name) {
+        meta_.value_indexes.erase(it);
+        break;
+      }
     }
   }
-  if (pos == value_indexes_.size())
-    return Status::NotFound("no value index '" + name + "'");
-  // Version bump + cache clear BEFORE the ValueIndex is destroyed: any plan
-  // compiled against the old index set fails the structure-version gate
-  // under this same latch, so its dangling pointer is never dereferenced.
-  index_version_.fetch_add(1, std::memory_order_acq_rel);
-  plan_cache_.Invalidate("index dropped");
-  stats_.NoteIndexDropped(name);
-  value_indexes_.erase(value_indexes_.begin() + static_cast<long>(pos));
-  for (auto it = meta_.value_indexes.begin(); it != meta_.value_indexes.end();
-       ++it) {
-    if (it->def.name == name) {
-      meta_.value_indexes.erase(it);
-      break;
-    }
-  }
-  return Status::OK();
+  // WAL append happens outside the latch: replay holds the WAL lock while
+  // taking collection latches, so the reverse order would deadlock.
+  return engine_->LogDropIndex(meta_.name, name);
 }
 
 ValueIndex* Collection::FindValueIndex(const std::string& name) {
@@ -873,6 +883,9 @@ Result<std::string> Collection::SerializeSubtree(Transaction* txn,
 Result<QueryResult> Collection::Query(Transaction* txn, Slice xpath,
                                       const QueryOptions& options) {
   XDB_RETURN_NOT_OK(GuardRepair());
+  if (options.min_csn > 0)
+    XDB_RETURN_NOT_OK(
+        engine_->WaitForFreshness(options.min_csn, options.freshness_timeout_us));
   const bool cacheable =
       plan_cache_.enabled() && !options.use_heuristic_planner;
   const std::string text = xpath.ToString();
@@ -920,6 +933,9 @@ Result<QueryResult> Collection::ExecutePath(Transaction* txn,
                                             const xpath::Path& path,
                                             const QueryOptions& options) {
   XDB_RETURN_NOT_OK(GuardRepair());
+  if (options.min_csn > 0)
+    XDB_RETURN_NOT_OK(
+        engine_->WaitForFreshness(options.min_csn, options.freshness_timeout_us));
   Status last = Status::OK();
   for (int attempt = 0; attempt < 3; attempt++) {
     const auto plan_start = std::chrono::steady_clock::now();
@@ -1472,6 +1488,11 @@ Status Collection::GuardRepair() const {
   return Status::Corruption("collection '" + meta_.name +
                             "' is quarantined pending repair: " +
                             repair_reason_);
+}
+
+Status Collection::GuardWrite() const {
+  XDB_RETURN_NOT_OK(GuardRepair());
+  return engine_->GuardWritable();
 }
 
 Result<std::string> Collection::ReadDocTokensForScrub(uint64_t doc_id) {

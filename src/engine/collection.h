@@ -94,6 +94,16 @@ struct QueryOptions {
   /// available, and bypass the plan cache. Differential testing uses this to
   /// check that cost-based and heuristic plans return identical answers.
   bool use_heuristic_planner = false;
+  /// Freshness bound for replica reads: the query only runs once the
+  /// engine's applied-CSN watermark reaches this value, waiting at most
+  /// freshness_timeout_us and failing with kStale otherwise. 0 (default)
+  /// reads whatever is applied; on a primary the bound is trivially
+  /// satisfied. Callers get read-your-writes by passing the primary
+  /// shipper's EndCsn() (or any CSN an earlier write observed).
+  uint64_t min_csn = 0;
+  /// Microseconds WaitForFreshness may block for min_csn (0 = fail
+  /// immediately when the replica is behind).
+  uint64_t freshness_timeout_us = 0;
 };
 
 /// Plan plus planner narration — what Plan() hands to the executor.
@@ -319,6 +329,9 @@ class Collection {
   /// kCorruption when the collection is quarantined; call at the top of every
   /// public data operation.
   Status GuardRepair() const;
+  /// GuardRepair plus the replica read-only gate (kNotSupported on a replica
+  /// outside the apply path); call at the top of every public mutation.
+  Status GuardWrite() const;
 
   /// Sweeps every page of the table space (checksum + record-envelope
   /// checks), and if any damage is found salvages what is readable, rebuilds

@@ -20,6 +20,12 @@ Engine::~Engine() {
 Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
   auto engine = std::unique_ptr<Engine>(new Engine());
   engine->options_ = options;
+  if (options.replica && !options.in_memory) {
+    if (!options.enable_wal)
+      return Status::InvalidArgument(
+          "a replica requires the WAL: its durability is its own local log");
+    engine->replica_.store(true, std::memory_order_release);
+  }
   // Observability wiring comes first so every component opened below can
   // already emit events and so the always-on query counters exist before the
   // first query. The collector callback runs under the registry mutex with
@@ -173,6 +179,19 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
                            engine->recovery_.wal.corrupt_records_skipped,
                            engine->recovery_.wal.bytes_skipped,
                            "corrupt mid-log records skipped");
+    if (engine->is_replica()) {
+      // Restore the applied watermark: stream base (catalog) plus the intact
+      // bytes the local WAL held. A torn tail (crash mid-AppendRaw) is cut
+      // off so the next shipped segment lands on an intact record boundary —
+      // the torn record was never applied, never acknowledged, and will be
+      // re-shipped.
+      MutexLock lock(engine->mu_);
+      engine->replica_wal_base_ = engine->catalog_.replica_wal_base;
+      const uint64_t intact = engine->recovery_.wal.end_lsn;
+      if (engine->recovery_.wal.torn_tail || intact < engine->wal_->size())
+        XDB_RETURN_NOT_OK(engine->wal_->TruncateTo(intact));
+      engine->PublishAppliedCsn(engine->replica_wal_base_ + intact);
+    }
   }
   // Quarantine decisions can come from open (structural damage) or from the
   // replay itself hitting a corrupt page — collect them all here.
@@ -285,9 +304,24 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
   return coll;
 }
 
+Status Engine::GuardWritable() const {
+  if (replica_.load(std::memory_order_acquire) &&
+      !replaying_.load(std::memory_order_acquire))
+    return Status::NotSupported("replica is read-only (promote it to write)");
+  return Status::OK();
+}
+
 Result<Collection*> Engine::CreateCollection(const std::string& name,
                                              const CollectionOptions& options) {
+  XDB_RETURN_NOT_OK(GuardWritable());
   MutexLock lock(mu_);
+  XDB_ASSIGN_OR_RETURN(Collection * raw, CreateCollectionLocked(name, options));
+  XDB_RETURN_NOT_OK(LogCreateCollection(name, options));
+  return raw;
+}
+
+Result<Collection*> Engine::CreateCollectionLocked(
+    const std::string& name, const CollectionOptions& options) {
   if (collections_.find(name) != collections_.end())
     return Status::InvalidArgument("collection '" + name + "' exists");
   if (!options.schema.empty() &&
@@ -315,7 +349,13 @@ Result<Collection*> Engine::GetCollection(const std::string& name) {
 }
 
 Status Engine::DropCollection(const std::string& name) {
+  XDB_RETURN_NOT_OK(GuardWritable());
   MutexLock lock(mu_);
+  XDB_RETURN_NOT_OK(DropCollectionLocked(name));
+  return LogDropCollection(name);
+}
+
+Status Engine::DropCollectionLocked(const std::string& name) {
   auto it = collections_.find(name);
   if (it == collections_.end())
     return Status::NotFound("no collection '" + name + "'");
@@ -327,6 +367,7 @@ Status Engine::DropCollection(const std::string& name) {
 }
 
 Status Engine::RegisterSchema(const std::string& name, Slice schema_text) {
+  XDB_RETURN_NOT_OK(GuardWritable());
   XDB_ASSIGN_OR_RETURN(schema::SchemaDoc doc,
                        schema::ParseSchema(schema_text));
   XDB_ASSIGN_OR_RETURN(schema::CompiledSchema cs, schema::CompileSchema(doc));
@@ -334,7 +375,17 @@ Status Engine::RegisterSchema(const std::string& name, Slice schema_text) {
   cs.Serialize(&binary);
   MutexLock lock(mu_);
   schemas_[name] = std::move(cs);
+  XDB_RETURN_NOT_OK(LogRegisterSchema(name, binary));
   catalog_.schemas[name] = std::move(binary);
+  return Status::OK();
+}
+
+Status Engine::RegisterSchemaBinaryLocked(const std::string& name,
+                                          Slice binary) {
+  XDB_ASSIGN_OR_RETURN(schema::CompiledSchema cs,
+                       schema::CompiledSchema::Deserialize(binary));
+  schemas_[name] = std::move(cs);
+  catalog_.schemas[name] = binary.ToString();
   return Status::OK();
 }
 
@@ -401,13 +452,34 @@ Status Engine::Checkpoint() {
   // heuristic planning instead of planning on wrong numbers.
   XDB_RETURN_NOT_OK(
       SaveStatsFile(stats_data, options_.dir + "/stats.xdb"));
+  // On a replica the saved base must describe the WAL image this catalog
+  // can coexist with — which is still the *current* one; the post-reset base
+  // is committed by a second save below, so a crash in between only ever
+  // undercounts the applied position (safe: re-ship + idempotent re-apply).
+  catalog_.replica_wal_base = replica_wal_base_;
   XDB_RETURN_NOT_OK(SaveCatalog(catalog_, options_.dir + "/catalog.xdb"));
   // The WAL may still be the only copy of a quarantined collection's
   // post-checkpoint history — keep it until Scrub() has repaired everything.
+  // MaybeReset also refuses while an attached replication shipper still
+  // needs unshipped (or unacknowledged) bytes — a truncation there would
+  // silently punch a hole in the replication stream.
   if (wal_ != nullptr && !any_quarantined) {
-    XDB_RETURN_NOT_OK(wal_->Reset());
-    MutexLock nlock(wal_names_mu_);
-    wal_names_logged_ = saved_names;
+    XDB_ASSIGN_OR_RETURN(bool reset, wal_->MaybeReset());
+    if (reset) {
+      {
+        MutexLock nlock(wal_names_mu_);
+        wal_names_logged_ = saved_names;
+      }
+      if (replica_.load(std::memory_order_acquire)) {
+        // The local WAL just restarted at byte 0: commit the new base. A
+        // crash before this save leaves the old base with an empty WAL —
+        // an undercount the resync path absorbs.
+        replica_wal_base_ = applied_csn_.load(std::memory_order_acquire);
+        catalog_.replica_wal_base = replica_wal_base_;
+        XDB_RETURN_NOT_OK(
+            SaveCatalog(catalog_, options_.dir + "/catalog.xdb"));
+      }
+    }
   }
   events_.Emit(obs::EventKind::kCheckpointEnd, collections_.size(),
                any_quarantined ? 1 : 0, "checkpoint done");
@@ -492,6 +564,52 @@ Status Engine::LogDeleteSubtree(const std::string& collection,
   return AppendWal(WalRecordType::kDeleteSubtree, payload);
 }
 
+Status Engine::LogCreateCollection(const std::string& name,
+                                   const CollectionOptions& options) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, name);
+  payload.push_back(options.mvcc ? 1 : 0);
+  PutLengthPrefixed(&payload, options.schema);
+  return AppendWal(WalRecordType::kCreateCollection, payload);
+}
+
+Status Engine::LogDropCollection(const std::string& name) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, name);
+  return AppendWal(WalRecordType::kDropCollection, payload);
+}
+
+Status Engine::LogCreateIndex(const std::string& collection,
+                              const ValueIndexDef& def) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, collection);
+  PutLengthPrefixed(&payload, def.name);
+  PutLengthPrefixed(&payload, def.path);
+  payload.push_back(static_cast<char>(def.type));
+  PutFixed32(&payload, def.max_string_len);
+  return AppendWal(WalRecordType::kCreateValueIndex, payload);
+}
+
+Status Engine::LogDropIndex(const std::string& collection,
+                            const std::string& index_name) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, collection);
+  PutLengthPrefixed(&payload, index_name);
+  return AppendWal(WalRecordType::kDropValueIndex, payload);
+}
+
+Status Engine::LogRegisterSchema(const std::string& name, Slice binary) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, name);
+  payload.append(binary.data(), binary.size());
+  return AppendWal(WalRecordType::kRegisterSchema, payload);
+}
+
 Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
   // Replay is single-threaded but mutates catalog state (collections_ via
   // the visitor), so it runs under mu_. The visitor is a separate function
@@ -501,6 +619,26 @@ Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
   Status replay_status = wal_->Replay(
       [&](uint64_t /*lsn*/, WalRecordType type,
           Slice payload) XDB_NO_THREAD_SAFETY_ANALYSIS -> Status {
+        return ApplyWalRecordLocked(type, payload, filter);
+      },
+      info);
+  replaying_.store(false, std::memory_order_release);
+  return replay_status;
+}
+
+Status Engine::ApplyWalRange(Slice records, uint64_t base_lsn,
+                             const ReplayFilter& filter, WalReplayInfo* info) {
+  return ScanWalRecords(
+      records, base_lsn,
+      [&](uint64_t /*lsn*/, WalRecordType type,
+          Slice payload) XDB_NO_THREAD_SAFETY_ANALYSIS -> Status {
+        return ApplyWalRecordLocked(type, payload, filter);
+      },
+      info);
+}
+
+Status Engine::ApplyWalRecordLocked(WalRecordType type, Slice payload,
+                                    const ReplayFilter& filter) {
     if (type == WalRecordType::kDefineName) {
       if (payload.size() < 4) return Status::Corruption("bad wal name record");
       NameId id = DecodeFixed32(payload.data());
@@ -510,6 +648,75 @@ Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
         return Status::Corruption("wal name record out of order");
       dict_.Intern(payload);
       return Status::OK();
+    }
+    // DDL records carry their own payload shapes and always apply (the
+    // filter is a per-document concept). Each is idempotent: re-applying
+    // after a crash, or applying a re-shipped segment on a replica, finds
+    // the object already in (or already out of) the catalog and succeeds.
+    switch (type) {
+      case WalRecordType::kCreateCollection: {
+        Slice cname;
+        if (!GetLengthPrefixed(&payload, &cname) || payload.empty())
+          return Status::Corruption("bad wal create-collection record");
+        CollectionOptions copts;
+        copts.mvcc = payload[0] != 0;
+        payload.RemovePrefix(1);
+        Slice schema;
+        if (!GetLengthPrefixed(&payload, &schema))
+          return Status::Corruption("bad wal create-collection record");
+        copts.schema = schema.ToString();
+        if (collections_.find(cname.ToString()) != collections_.end())
+          return Status::OK();  // redone
+        return CreateCollectionLocked(cname.ToString(), copts).status();
+      }
+      case WalRecordType::kDropCollection: {
+        Slice cname;
+        if (!GetLengthPrefixed(&payload, &cname))
+          return Status::Corruption("bad wal drop-collection record");
+        Status st = DropCollectionLocked(cname.ToString());
+        if (st.IsNotFound()) return Status::OK();  // already gone
+        return st;
+      }
+      case WalRecordType::kCreateValueIndex: {
+        Slice cname;
+        ValueIndexDef def;
+        Slice iname, ipath;
+        if (!GetLengthPrefixed(&payload, &cname) ||
+            !GetLengthPrefixed(&payload, &iname) ||
+            !GetLengthPrefixed(&payload, &ipath) || payload.size() < 5)
+          return Status::Corruption("bad wal create-index record");
+        def.name = iname.ToString();
+        def.path = ipath.ToString();
+        def.type = static_cast<ValueType>(payload[0]);
+        def.max_string_len = DecodeFixed32(payload.data() + 1);
+        auto cit = collections_.find(cname.ToString());
+        if (cit == collections_.end()) return Status::OK();  // dropped later
+        Collection* c = cit->second.get();
+        if (c->needs_repair()) return Status::OK();
+        if (c->FindValueIndex(def.name) != nullptr) return Status::OK();
+        return c->CreateValueIndex(def);
+      }
+      case WalRecordType::kDropValueIndex: {
+        Slice cname, iname;
+        if (!GetLengthPrefixed(&payload, &cname) ||
+            !GetLengthPrefixed(&payload, &iname))
+          return Status::Corruption("bad wal drop-index record");
+        auto cit = collections_.find(cname.ToString());
+        if (cit == collections_.end()) return Status::OK();
+        Collection* c = cit->second.get();
+        if (c->needs_repair()) return Status::OK();
+        Status st = c->DropValueIndex(iname.ToString());
+        if (st.IsNotFound()) return Status::OK();
+        return st;
+      }
+      case WalRecordType::kRegisterSchema: {
+        Slice sname;
+        if (!GetLengthPrefixed(&payload, &sname))
+          return Status::Corruption("bad wal register-schema record");
+        return RegisterSchemaBinaryLocked(sname.ToString(), payload);
+      }
+      default:
+        break;  // document records: fall through to the common parse
     }
     Slice name_slice;
     if (!GetLengthPrefixed(&payload, &name_slice))
@@ -599,10 +806,78 @@ Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
       return Status::OK();
     }
     return op_status;
-  },
-  info);
+}
+
+Status Engine::ApplyReplicatedRecords(Slice framed_records,
+                                      uint64_t publish_csn,
+                                      WalReplayInfo* info) {
+  MutexLock lock(mu_);
+  if (!replica_.load(std::memory_order_acquire))
+    return Status::NotSupported(
+        "not a replica (stale segments cannot apply to promoted state)");
+  if (wal_ == nullptr) return Status::NotSupported("replica has no WAL");
+  if (framed_records.empty()) {
+    PublishAppliedCsn(publish_csn);
+    return Status::OK();
+  }
+  // Durability first: land the shipped bytes in the local log, then apply.
+  // A crash after the append replays these records from the local WAL at
+  // reopen; a crash during it leaves a torn tail that reopen truncates. The
+  // watermark is published only after a successful apply, so an
+  // acknowledged CSN is always a durably *applied* CSN.
+  XDB_RETURN_NOT_OK(wal_->AppendRaw(framed_records).status());
+  if (options_.sync_commits) XDB_RETURN_NOT_OK(wal_->Commit());
+  replaying_.store(true, std::memory_order_release);
+  Status s = ApplyWalRange(framed_records,
+                           publish_csn - framed_records.size(), {}, info);
   replaying_.store(false, std::memory_order_release);
-  return replay_status;
+  XDB_RETURN_NOT_OK(s);
+  PublishAppliedCsn(publish_csn);
+  return Status::OK();
+}
+
+void Engine::PublishAppliedCsn(uint64_t csn) {
+  MutexLock lock(fresh_mu_);
+  applied_csn_.store(csn, std::memory_order_release);
+  fresh_cv_.NotifyAll();
+}
+
+Status Engine::WaitForFreshness(uint64_t min_csn, uint64_t timeout_us) {
+  if (min_csn == 0 || !replica_.load(std::memory_order_acquire))
+    return Status::OK();
+  if (applied_csn_.load(std::memory_order_acquire) >= min_csn)
+    return Status::OK();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  MutexLock lock(fresh_mu_);
+  while (applied_csn_.load(std::memory_order_acquire) < min_csn) {
+    if (timeout_us == 0 ||
+        fresh_cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+      // One last check: the publish may have raced the timeout.
+      if (applied_csn_.load(std::memory_order_acquire) >= min_csn)
+        return Status::OK();
+      return Status::Stale(
+          "replica applied csn " +
+          std::to_string(applied_csn_.load(std::memory_order_acquire)) +
+          " < required " + std::to_string(min_csn));
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::Promote() {
+  if (!replica_.load(std::memory_order_acquire))
+    return Status::InvalidArgument("engine is not a replica");
+  // Scrub is the promotion gate: a full page sweep (every checksum, every
+  // record envelope), repair of anything damaged, and a checkpoint — the
+  // promoted primary starts from a verified durable image rather than
+  // whatever mix of pages and WAL tail the apply pipeline left behind.
+  XDB_ASSIGN_OR_RETURN(ScrubReport report, Scrub());
+  replica_.store(false, std::memory_order_release);
+  events_.Emit(obs::EventKind::kPromoted,
+               applied_csn_.load(std::memory_order_acquire),
+               report.clean ? 0 : 1, "replica promoted to primary");
+  return Status::OK();
 }
 
 Result<ScrubReport> Engine::Scrub() {

@@ -55,6 +55,14 @@ struct EngineOptions {
   /// Entries are keyed by (query text, force mode, want_values, stats
   /// epoch), so any document or index change implicitly invalidates them.
   size_t plan_cache_capacity = 64;
+  /// Open as a read-only replica: every local mutation API (document ops and
+  /// DDL alike) fails with kNotSupported, and state changes arrive only
+  /// through ApplyReplicatedRecords() — the WAL-shipping apply path driven
+  /// by repl::ReplicaApplier. Queries can demand freshness via
+  /// QueryOptions::min_csn against the applied-CSN watermark. Requires
+  /// enable_wal (the replica's durability is its own local WAL) and implies
+  /// the engine stays read-only until Promote(). Ignored when in_memory.
+  bool replica = false;
 };
 
 /// What Engine::Scrub() found and fixed across the whole database.
@@ -118,6 +126,48 @@ class Engine {
   /// WAL replay stats and quarantine decisions from the last Open().
   const RecoveryInfo& recovery_info() const { return recovery_; }
 
+  // ---- replication (see src/repl/ and DESIGN.md "Replication & failover") --
+
+  /// True while this engine is a read-only replica (cleared by Promote()).
+  bool is_replica() const {
+    return replica_.load(std::memory_order_acquire);
+  }
+
+  /// The replication-stream CSN this replica has durably applied and
+  /// published. 0 on a never-promoted primary (a primary's position is its
+  /// shipper's end CSN; local reads there are fresh by definition); a
+  /// promoted replica retains its promotion-time value.
+  uint64_t applied_csn() const {
+    return applied_csn_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until applied_csn() >= min_csn, at most `timeout_us`
+  /// microseconds (0 = fail immediately when behind), then kStale. On a
+  /// primary it returns OK without waiting. Queries call this when
+  /// QueryOptions::min_csn is set — the read-your-writes gate.
+  Status WaitForFreshness(uint64_t min_csn, uint64_t timeout_us)
+      XDB_EXCLUDES(fresh_mu_);
+
+  /// Replica only. Durably lands `framed_records` (whole, CRC-intact WAL
+  /// records exactly as shipped) in the replica's own WAL, applies them
+  /// through the shared replay path, and publishes `publish_csn` as the new
+  /// applied watermark. The local append happens BEFORE the apply: a crash
+  /// at any point replays the local WAL on reopen, so the invariant
+  /// `applied_csn == catalog.replica_wal_base + local_wal_bytes` holds
+  /// across restarts. Records are applied idempotently (a re-shipped
+  /// duplicate segment is the applier's job to drop; record-level re-apply
+  /// after a crash is tolerated the same way crash recovery tolerates it).
+  Status ApplyReplicatedRecords(Slice framed_records, uint64_t publish_csn,
+                                WalReplayInfo* info = nullptr)
+      XDB_EXCLUDES(mu_);
+
+  /// Turns a replica into a writable primary. Runs Scrub() — the full page
+  /// sweep + repair + checkpoint pass — so the promoted engine starts from a
+  /// verified, checkpointed image, then lifts the read-only gate and emits
+  /// kPromoted. After promotion ApplyReplicatedRecords() fails; a stale
+  /// primary's segments can never be applied over promoted state.
+  Status Promote() XDB_EXCLUDES(mu_);
+
   /// One coherent snapshot of every engine metric: buffer pool, WAL and
   /// group commit, lock manager, tablespace I/O and retries, record manager,
   /// query counters. Names follow the `component.noun` scheme documented in
@@ -169,11 +219,40 @@ class Engine {
                                                      const CollectionOptions& options);
   /// Replays the WAL. When `filter` is set, only records for which
   /// filter(collection, doc_id) returns true are applied (Scrub uses this to
-  /// skip documents it already salvaged); kDefineName records always apply.
-  /// Replay stats land in `info` when non-null.
+  /// skip documents it already salvaged); kDefineName and DDL records always
+  /// apply. Replay stats land in `info` when non-null.
   using ReplayFilter = std::function<bool(const std::string&, uint64_t)>;
   Status ReplayWal(const ReplayFilter& filter = {},
                    WalReplayInfo* info = nullptr) XDB_EXCLUDES(mu_);
+  /// The one redo-application switch: applies a single WAL record to engine
+  /// state. Crash recovery (ReplayWal), scrub's filtered replay, and the
+  /// replica applier (ApplyWalRange) all funnel through here so the paths
+  /// cannot drift. Storage damage during apply quarantines the collection
+  /// and returns OK (the record is skipped, the WAL survives for Scrub).
+  Status ApplyWalRecordLocked(WalRecordType type, Slice payload,
+                              const ReplayFilter& filter) XDB_REQUIRES(mu_);
+  /// Applies every intact record in `records` (framed WAL bytes whose first
+  /// byte sits at `base_lsn`) via ApplyWalRecordLocked — the replay loop for
+  /// byte ranges that are not the engine's own WAL file. Callers hold mu_
+  /// and have set replaying_.
+  Status ApplyWalRange(Slice records, uint64_t base_lsn,
+                       const ReplayFilter& filter, WalReplayInfo* info)
+      XDB_REQUIRES(mu_);
+  /// kNotSupported while the engine is a read-only replica (and not inside
+  /// the replay/apply path); checked by every mutation entry point.
+  Status GuardWritable() const;
+  /// Body of CreateCollection/DropCollection without the lock, shared with
+  /// DDL replay. Neither logs; the public wrappers do.
+  Result<Collection*> CreateCollectionLocked(const std::string& name,
+                                             const CollectionOptions& options)
+      XDB_REQUIRES(mu_);
+  Status DropCollectionLocked(const std::string& name) XDB_REQUIRES(mu_);
+  /// Installs an already-compiled schema binary (the form DDL replay and
+  /// the WAL record carry).
+  Status RegisterSchemaBinaryLocked(const std::string& name, Slice binary)
+      XDB_REQUIRES(mu_);
+  /// Publishes a new applied-CSN watermark and wakes freshness waiters.
+  void PublishAppliedCsn(uint64_t csn) XDB_EXCLUDES(fresh_mu_);
   /// Appends a kDefineName record for every dictionary entry interned since
   /// the last checkpoint (or the last call). Must run before logging any
   /// record whose token payload references those names.
@@ -189,6 +268,20 @@ class Engine {
                           Slice parent_id, Slice after_id, Slice tokens);
   Status LogDeleteSubtree(const std::string& collection, uint64_t doc_id,
                           Slice node_id);
+  /// DDL redo records (see WalRecordType). Logged after the operation
+  /// succeeds locally: a failed DDL must never replicate, and the crash
+  /// window (applied but unlogged) only orphans a table-space file that the
+  /// next create truncates. The catalog still persists DDL at checkpoint;
+  /// these records cover the gap since the last checkpoint and carry DDL to
+  /// replicas.
+  Status LogCreateCollection(const std::string& name,
+                             const CollectionOptions& options);
+  Status LogDropCollection(const std::string& name);
+  Status LogCreateIndex(const std::string& collection,
+                        const ValueIndexDef& def);
+  Status LogDropIndex(const std::string& collection,
+                      const std::string& index_name);
+  Status LogRegisterSchema(const std::string& name, Slice binary);
 
   /// Aggregates per-component stats into one snapshot; registered as a
   /// registry collector at Open (takes mu_, then each component's own lock).
@@ -231,6 +324,18 @@ class Engine {
   // checkpointed catalog or already in the WAL).
   Mutex wal_names_mu_;
   size_t wal_names_logged_ XDB_GUARDED_BY(wal_names_mu_) = 0;
+  /// Read-only replica gate; set from options at Open, cleared by Promote().
+  std::atomic<bool> replica_{false};
+  /// Replica only: stream CSN at byte 0 of the local WAL (the in-memory twin
+  /// of catalog.replica_wal_base; changes only when the WAL resets).
+  uint64_t replica_wal_base_ XDB_GUARDED_BY(mu_) = 0;
+  /// The published replication watermark (replicas only). Written under
+  /// fresh_mu_ (so waiters don't miss wakeups) but atomic so the query-path
+  /// fast check is a single load. fresh_mu_ is a leaf lock: acquired with
+  /// mu_ held (ApplyReplicatedRecords) and never the other way around.
+  std::atomic<uint64_t> applied_csn_{0};
+  Mutex fresh_mu_;
+  CondVar fresh_cv_;
 };
 
 }  // namespace xdb

@@ -45,6 +45,12 @@ const char* EventKindName(EventKind k) {
       return "stats.degraded";
     case EventKind::kPlanCacheInvalidated:
       return "plan_cache.invalidated";
+    case EventKind::kReplicaStalled:
+      return "repl.replica_stalled";
+    case EventKind::kReplicaCaughtUp:
+      return "repl.replica_caught_up";
+    case EventKind::kPromoted:
+      return "repl.promoted";
   }
   return "unknown";
 }

@@ -45,6 +45,9 @@ enum class EventKind : uint8_t {
   kWalCorruptRecords = 15,
   kStatsDegraded = 16,
   kPlanCacheInvalidated = 17,
+  kReplicaStalled = 18,
+  kReplicaCaughtUp = 19,
+  kPromoted = 20,
 };
 const char* EventKindName(EventKind k);
 

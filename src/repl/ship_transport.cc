@@ -1,0 +1,226 @@
+#include "repl/ship_transport.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "testing/fault_injector.h"
+
+namespace xdb {
+namespace repl {
+
+namespace {
+
+/// One injector consult per delivery attempt (the no-injector case is a
+/// single atomic load).
+testing::ShipFault NextFault() {
+  testing::FaultInjector* fi = testing::FaultInjector::active();
+  if (fi == nullptr) return {};
+  return fi->OnShip();
+}
+
+std::string SegmentPath(const std::string& dir, uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%08llu",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- in-process
+
+Status InProcessTransport::Ship(const std::string& encoded) {
+  const testing::ShipFault f = NextFault();
+  MutexLock lock(mu_);
+  switch (f.action) {
+    case testing::NetFaultAction::kError:
+      return Status::TransientIOError("injected ship failure");
+    case testing::NetFaultAction::kDrop:
+      // Claims success; the segment evaporates. The applier's continuity
+      // check sees the gap and resyncs.
+      return Status::OK();
+    case testing::NetFaultAction::kReorder:
+      if (has_held_) queue_.push_back(std::move(held_));
+      held_ = encoded;
+      has_held_ = true;
+      return Status::OK();
+    case testing::NetFaultAction::kTruncate:
+      queue_.push_back(encoded.substr(
+          0, std::min<size_t>(f.truncate_len, encoded.size())));
+      break;
+    case testing::NetFaultAction::kDuplicate:
+      queue_.push_back(encoded);
+      queue_.push_back(encoded);
+      break;
+    case testing::NetFaultAction::kDeliver:
+      queue_.push_back(encoded);
+      break;
+  }
+  if (has_held_) {
+    // A previously reordered segment arrives after the one just delivered.
+    queue_.push_back(std::move(held_));
+    held_.clear();
+    has_held_ = false;
+  }
+  return Status::OK();
+}
+
+Result<bool> InProcessTransport::Receive(std::string* encoded) {
+  MutexLock lock(mu_);
+  if (queue_.empty()) return false;
+  *encoded = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void InProcessTransport::RequestResync(uint64_t from_csn) {
+  MutexLock lock(mu_);
+  // Everything still queued predates the request and cannot advance the
+  // replica (it just declared applied < all of it, or corrupt delivery).
+  queue_.clear();
+  held_.clear();
+  has_held_ = false;
+  resync_pending_ = true;
+  resync_from_ = from_csn;
+}
+
+bool InProcessTransport::TakeResyncRequest(uint64_t* from_csn) {
+  MutexLock lock(mu_);
+  if (!resync_pending_) return false;
+  *from_csn = resync_from_;
+  resync_pending_ = false;
+  return true;
+}
+
+size_t InProcessTransport::pending() const {
+  MutexLock lock(mu_);
+  return queue_.size() + (has_held_ ? 1 : 0);
+}
+
+// --------------------------------------------------------------- file spool
+
+Result<std::unique_ptr<FileTransport>> FileTransport::Open(
+    const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr)
+    return Status::IOError("cannot open spool directory " + dir);
+  uint64_t next = 0;
+  while (struct dirent* e = ::readdir(d)) {
+    unsigned long long seq = 0;
+    if (std::sscanf(e->d_name, "seg-%llu", &seq) == 1)
+      next = std::max<uint64_t>(next, seq + 1);
+  }
+  ::closedir(d);
+  auto t = std::unique_ptr<FileTransport>(new FileTransport(dir));
+  MutexLock lock(t->mu_);
+  t->next_write_ = next;
+  t->next_read_ = 0;  // a fresh reader starts at genesis
+  return t;
+}
+
+Status FileTransport::WriteSegmentFile(uint64_t seq, Slice bytes) {
+  const std::string path = SegmentPath(dir_, seq);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot write " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IOError("short segment write");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    return Status::IOError("cannot rename segment into place");
+  return Status::OK();
+}
+
+Status FileTransport::Ship(const std::string& encoded) {
+  const testing::ShipFault f = NextFault();
+  MutexLock lock(mu_);
+  switch (f.action) {
+    case testing::NetFaultAction::kError:
+      return Status::TransientIOError("injected ship failure");
+    case testing::NetFaultAction::kDrop:
+      // The sequence number is consumed but no file appears; Receive()
+      // skips the hole (a hole in an otherwise-advancing spool is loss).
+      next_write_++;
+      return Status::OK();
+    case testing::NetFaultAction::kReorder:
+      if (has_held_) {
+        XDB_RETURN_NOT_OK(WriteSegmentFile(next_write_, held_));
+        next_write_++;
+      }
+      held_ = encoded;
+      has_held_ = true;
+      return Status::OK();
+    case testing::NetFaultAction::kTruncate: {
+      Slice prefix(encoded.data(),
+                   std::min<size_t>(f.truncate_len, encoded.size()));
+      XDB_RETURN_NOT_OK(WriteSegmentFile(next_write_, prefix));
+      next_write_++;
+      break;
+    }
+    case testing::NetFaultAction::kDuplicate:
+      XDB_RETURN_NOT_OK(WriteSegmentFile(next_write_, encoded));
+      next_write_++;
+      XDB_RETURN_NOT_OK(WriteSegmentFile(next_write_, encoded));
+      next_write_++;
+      break;
+    case testing::NetFaultAction::kDeliver:
+      XDB_RETURN_NOT_OK(WriteSegmentFile(next_write_, encoded));
+      next_write_++;
+      break;
+  }
+  if (has_held_) {
+    Status s = WriteSegmentFile(next_write_, held_);
+    held_.clear();
+    has_held_ = false;
+    if (!s.ok()) return s;
+    next_write_++;
+  }
+  return Status::OK();
+}
+
+Result<bool> FileTransport::Receive(std::string* encoded) {
+  MutexLock lock(mu_);
+  while (next_read_ < next_write_) {
+    std::ifstream in(SegmentPath(dir_, next_read_), std::ios::binary);
+    if (!in) {
+      next_read_++;  // a dropped segment left a hole; skip it
+      continue;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    next_read_++;
+    *encoded = std::move(bytes);
+    return true;
+  }
+  return false;
+}
+
+void FileTransport::RequestResync(uint64_t from_csn) {
+  MutexLock lock(mu_);
+  next_read_ = next_write_;  // pending spool files are stale; skip them
+  held_.clear();
+  has_held_ = false;
+  resync_pending_ = true;
+  resync_from_ = from_csn;
+}
+
+bool FileTransport::TakeResyncRequest(uint64_t* from_csn) {
+  MutexLock lock(mu_);
+  if (!resync_pending_) return false;
+  *from_csn = resync_from_;
+  resync_pending_ = false;
+  return true;
+}
+
+uint64_t FileTransport::next_write_seq() const {
+  MutexLock lock(mu_);
+  return next_write_;
+}
+
+}  // namespace repl
+}  // namespace xdb

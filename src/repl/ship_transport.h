@@ -1,0 +1,140 @@
+// ShipTransport: the pluggable channel between a WalShipper (primary side)
+// and a ReplicaApplier (replica side).
+//
+// The engine deliberately does not open sockets; a transport is any ordered,
+// lossy-in-interesting-ways byte channel. Two implementations ship here:
+//
+//  * InProcessTransport — a bounded in-memory queue, the unit-test and
+//    single-process-failover workhorse.
+//  * FileTransport — a spool directory of numbered segment files written
+//    with temp+rename, modeling log shipping over a shared filesystem. The
+//    spool retains every segment since genesis, so a replica can also be
+//    bootstrapped by replaying the spool from the start.
+//
+// Both consult the process FaultInjector (kShipTransport / kNetworkError)
+// per delivery attempt, so tests can drop, duplicate, reorder and truncate
+// segments deterministically. Delivery faults are *transient* from the
+// shipper's point of view: Ship() failures are retried with backoff, and
+// anything that slips through (a dropped or mangled segment) is healed by
+// the applier's continuity check + resync request.
+#ifndef XDB_REPL_SHIP_TRANSPORT_H_
+#define XDB_REPL_SHIP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace xdb {
+namespace repl {
+
+class ShipTransport {
+ public:
+  virtual ~ShipTransport() = default;
+
+  /// Primary side: deliver one encoded segment. A transient failure means
+  /// "retry me"; the shipper wraps Ship() in RetryTransient. A transport may
+  /// also claim success and deliver nothing (network loss) — that is the
+  /// applier's gap detection's job, not the shipper's.
+  virtual Status Ship(const std::string& encoded) = 0;
+
+  /// Replica side: pops the next delivered segment into *encoded. Returns
+  /// false (and leaves *encoded alone) when nothing is pending.
+  virtual Result<bool> Receive(std::string* encoded) = 0;
+
+  /// Replica side: asks the primary to restart shipping at `from_csn`.
+  /// Undelivered segments queued ahead of the request are discarded — they
+  /// are stale by construction (the replica just declared it cannot use
+  /// them).
+  virtual void RequestResync(uint64_t from_csn) = 0;
+
+  /// Primary side: consumes a pending resync request, if any.
+  virtual bool TakeResyncRequest(uint64_t* from_csn) = 0;
+
+  /// Replica side: publishes the replica's durably-applied stream CSN.
+  /// The shipper's WAL retention hook reads it back via acked_upto(): the
+  /// primary may only truncate WAL bytes the replica has acknowledged.
+  virtual void AckApplied(uint64_t csn) = 0;
+  virtual uint64_t acked_upto() const = 0;
+};
+
+/// In-memory FIFO of encoded segments. Thread-safe; both endpoints live in
+/// one process (tests, single-process failover drills).
+class InProcessTransport : public ShipTransport {
+ public:
+  InProcessTransport() = default;
+
+  Status Ship(const std::string& encoded) override XDB_EXCLUDES(mu_);
+  Result<bool> Receive(std::string* encoded) override XDB_EXCLUDES(mu_);
+  void RequestResync(uint64_t from_csn) override XDB_EXCLUDES(mu_);
+  bool TakeResyncRequest(uint64_t* from_csn) override XDB_EXCLUDES(mu_);
+  void AckApplied(uint64_t csn) override {
+    acked_.store(csn, std::memory_order_release);
+  }
+  uint64_t acked_upto() const override {
+    return acked_.load(std::memory_order_acquire);
+  }
+
+  /// Segments currently queued (test visibility).
+  size_t pending() const XDB_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::deque<std::string> queue_ XDB_GUARDED_BY(mu_);
+  /// A segment held back by an injected reorder; delivered after the next.
+  std::string held_ XDB_GUARDED_BY(mu_);
+  bool has_held_ XDB_GUARDED_BY(mu_) = false;
+  bool resync_pending_ XDB_GUARDED_BY(mu_) = false;
+  uint64_t resync_from_ XDB_GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> acked_{0};
+};
+
+/// Spool-directory transport: segment N lands at `<dir>/seg-<N>` via
+/// temp+rename (a reader never sees a half-written file). The spool is
+/// append-only — consumed segments stay on disk — so it doubles as a
+/// shipping archive. Receive() tracks its own read cursor; a fresh
+/// FileTransport over an existing spool starts reading from genesis.
+class FileTransport : public ShipTransport {
+ public:
+  /// `dir` must already exist.
+  static Result<std::unique_ptr<FileTransport>> Open(const std::string& dir);
+
+  Status Ship(const std::string& encoded) override XDB_EXCLUDES(mu_);
+  Result<bool> Receive(std::string* encoded) override XDB_EXCLUDES(mu_);
+  void RequestResync(uint64_t from_csn) override XDB_EXCLUDES(mu_);
+  bool TakeResyncRequest(uint64_t* from_csn) override XDB_EXCLUDES(mu_);
+  void AckApplied(uint64_t csn) override {
+    acked_.store(csn, std::memory_order_release);
+  }
+  uint64_t acked_upto() const override {
+    return acked_.load(std::memory_order_acquire);
+  }
+
+  uint64_t next_write_seq() const XDB_EXCLUDES(mu_);
+
+ private:
+  explicit FileTransport(std::string dir) : dir_(std::move(dir)) {}
+
+  Status WriteSegmentFile(uint64_t seq, Slice bytes) XDB_REQUIRES(mu_);
+
+  const std::string dir_;
+  mutable Mutex mu_;
+  uint64_t next_write_ XDB_GUARDED_BY(mu_) = 0;
+  uint64_t next_read_ XDB_GUARDED_BY(mu_) = 0;
+  std::string held_ XDB_GUARDED_BY(mu_);
+  bool has_held_ XDB_GUARDED_BY(mu_) = false;
+  bool resync_pending_ XDB_GUARDED_BY(mu_) = false;
+  uint64_t resync_from_ XDB_GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> acked_{0};
+};
+
+}  // namespace repl
+}  // namespace xdb
+
+#endif  // XDB_REPL_SHIP_TRANSPORT_H_

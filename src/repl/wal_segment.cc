@@ -1,0 +1,42 @@
+#include "repl/wal_segment.h"
+
+#include "common/coding.h"
+
+namespace xdb {
+namespace repl {
+
+namespace {
+constexpr uint32_t kSegmentMagic = 0x58534547;  // "XSEG"
+}  // namespace
+
+void EncodeSegment(const WalSegment& seg, std::string* out) {
+  PutFixed32(out, kSegmentMagic);
+  PutFixed64(out, seg.stream_offset);
+  PutFixed64(out, seg.wal_gen);
+  PutFixed32(out, seg.record_count);
+  PutFixed32(out, static_cast<uint32_t>(seg.payload.size()));
+  PutFixed32(out, Crc32(seg.payload.data(), seg.payload.size()));
+  out->append(seg.payload);
+}
+
+Result<WalSegment> DecodeSegment(Slice in) {
+  if (in.size() < kSegmentHeaderSize)
+    return Status::Corruption("segment shorter than its header");
+  if (DecodeFixed32(in.data()) != kSegmentMagic)
+    return Status::Corruption("bad segment magic");
+  WalSegment seg;
+  seg.stream_offset = DecodeFixed64(in.data() + 4);
+  seg.wal_gen = DecodeFixed64(in.data() + 12);
+  seg.record_count = DecodeFixed32(in.data() + 20);
+  const uint32_t payload_len = DecodeFixed32(in.data() + 24);
+  const uint32_t payload_crc = DecodeFixed32(in.data() + 28);
+  if (in.size() != kSegmentHeaderSize + payload_len)
+    return Status::Corruption("segment length mismatch");
+  seg.payload.assign(in.data() + kSegmentHeaderSize, payload_len);
+  if (Crc32(seg.payload.data(), seg.payload.size()) != payload_crc)
+    return Status::Corruption("segment payload CRC mismatch");
+  return seg;
+}
+
+}  // namespace repl
+}  // namespace xdb

@@ -1,0 +1,55 @@
+// WalSegment: the unit of WAL shipping. A segment is a checksummed envelope
+// around a run of already-framed WAL records read off the primary's log by
+// WalShipper and applied on a replica by ReplicaApplier.
+//
+// Stream positions are *CSNs*: byte offsets in the logical replication
+// stream, which keeps growing across primary WAL truncations (the shipper
+// folds each truncated log's length into a stream base). A segment covers
+// stream bytes [stream_offset, stream_offset + payload.size()), so the
+// replica's continuity check is pure arithmetic on its applied watermark.
+#ifndef XDB_REPL_WAL_SEGMENT_H_
+#define XDB_REPL_WAL_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace xdb {
+namespace repl {
+
+struct WalSegment {
+  /// Stream CSN of the first payload byte.
+  uint64_t stream_offset = 0;
+  /// The primary WAL's reset_generation when the payload was read.
+  /// Diagnostic only — continuity is decided by stream_offset.
+  uint64_t wal_gen = 0;
+  /// Whole WAL records in the payload.
+  uint32_t record_count = 0;
+  /// Framed WAL record bytes exactly as they sit in the primary's log.
+  std::string payload;
+
+  /// Stream CSN one past the last payload byte — the replica's applied
+  /// watermark after this segment lands.
+  uint64_t end_csn() const { return stream_offset + payload.size(); }
+};
+
+/// Appends the wire form of `seg` to `out`: a fixed header (magic, stream
+/// offset, generation, record count, payload length, payload CRC) followed
+/// by the payload. The CRC covers the payload only; header fields are
+/// cross-checked against it at decode time.
+void EncodeSegment(const WalSegment& seg, std::string* out);
+
+/// Parses one encoded segment. Any damage — short buffer, bad magic,
+/// length mismatch, CRC mismatch — is kCorruption: the applier treats a
+/// corrupt segment as lost in transit and re-requests from its watermark.
+Result<WalSegment> DecodeSegment(Slice in);
+
+/// Bytes EncodeSegment adds before the payload.
+constexpr size_t kSegmentHeaderSize = 4 + 8 + 8 + 4 + 4 + 4;
+
+}  // namespace repl
+}  // namespace xdb
+
+#endif  // XDB_REPL_WAL_SEGMENT_H_

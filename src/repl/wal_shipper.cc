@@ -1,0 +1,131 @@
+#include "repl/wal_shipper.h"
+
+#include <algorithm>
+#include <string>
+
+#include "repl/wal_segment.h"
+
+namespace xdb {
+namespace repl {
+
+WalShipper::WalShipper(Engine* primary, ShipTransport* transport,
+                       const ShipperOptions& options)
+    : engine_(primary),
+      wal_(primary->wal()),
+      transport_(transport),
+      options_(options) {
+  obs::MetricsRegistry* m = engine_->metrics();
+  segments_ = m->AddCounter("repl.ship.segments");
+  bytes_ = m->AddCounter("repl.ship.bytes");
+  records_ = m->AddCounter("repl.ship.records");
+  resyncs_ = m->AddCounter("repl.ship.resyncs");
+  lag_bytes_ = m->AddGauge("repl.ship.lag_bytes");
+  if (wal_ != nullptr) {
+    wal_->set_retain_hook([this] { return RetainFloor(); });
+    last_gen_ = wal_->reset_generation();
+  }
+}
+
+WalShipper::~WalShipper() {
+  if (wal_ != nullptr) wal_->set_retain_hook(nullptr);
+}
+
+uint64_t WalShipper::RetainFloor() const {
+  const uint64_t base = stream_base_.load(std::memory_order_acquire);
+  const uint64_t acked = transport_->acked_upto();
+  const uint64_t acked_local = acked > base ? acked - base : 0;
+  return std::min(pos_.load(std::memory_order_acquire), acked_local);
+}
+
+Result<bool> WalShipper::ShipOnce() {
+  if (wal_ == nullptr)
+    return Status::NotSupported("primary has no WAL to ship");
+
+  // Fold a checkpoint truncation into the stream base first, so every CSN
+  // computed below uses the current epoch. Retention guarantees the
+  // truncated log was fully shipped and acked, so pos_ == old size and the
+  // fold is exact.
+  uint64_t gen = wal_->reset_generation();
+  if (gen != last_gen_) {
+    stream_base_.fetch_add(pos_.exchange(0, std::memory_order_acq_rel),
+                           std::memory_order_acq_rel);
+    last_gen_ = gen;
+  }
+
+  uint64_t resync_from = 0;
+  if (transport_->TakeResyncRequest(&resync_from)) {
+    resyncs_->Add(1);
+    const uint64_t base = stream_base_.load(std::memory_order_acquire);
+    if (resync_from < base) {
+      // Those stream bytes were truncated away before this replica asked.
+      // Unreachable for a continuously attached replica (retention pins the
+      // log down to its ack); a brand-new replica joining a long-lived
+      // primary hits it and must bootstrap from a base image instead.
+      return Status::NotFound(
+          "resync CSN " + std::to_string(resync_from) +
+          " is below the retained stream base " + std::to_string(base) +
+          "; bootstrap the replica from a base image");
+    }
+    pos_.store(std::min(resync_from - base, wal_->size()),
+               std::memory_order_release);
+  }
+
+  // Group-commit so everything appended so far becomes durable — the
+  // shipper never ships bytes a primary crash could still rewrite.
+  XDB_RETURN_NOT_OK(wal_->Commit());
+
+  const uint64_t from = pos_.load(std::memory_order_acquire);
+  std::string payload;
+  uint64_t end = from;
+  uint32_t count = 0;
+  // kCorruption here is damage inside the already-synced region of the
+  // primary's own WAL: stall (and keep stalling) rather than ship it.
+  XDB_RETURN_NOT_OK(
+      wal_->ReadDurable(from, options_.max_segment_bytes, &payload, &end,
+                        &count));
+
+  // A checkpoint may have truncated the log between the fold above and the
+  // read; the bytes just read belong to the new epoch at wrong offsets.
+  // Drop them and let the next call re-fold and re-read.
+  if (wal_->reset_generation() != last_gen_) return false;
+
+  const uint64_t base = stream_base_.load(std::memory_order_acquire);
+  if (payload.empty()) {
+    lag_bytes_->Set(static_cast<int64_t>(
+        base + from - std::min(base + from, transport_->acked_upto())));
+    return false;
+  }
+
+  WalSegment seg;
+  seg.stream_offset = base + from;
+  seg.wal_gen = gen;
+  seg.record_count = count;
+  seg.payload = std::move(payload);
+  std::string encoded;
+  EncodeSegment(seg, &encoded);
+
+  IoClock* clock = options_.clock != nullptr ? options_.clock
+                                             : IoClock::Default();
+  XDB_RETURN_NOT_OK(RetryTransient(
+      options_.retry, clock, nullptr, engine_->events(), "repl.ship",
+      [&] { return transport_->Ship(encoded); }));
+
+  pos_.store(end, std::memory_order_release);
+  segments_->Add(1);
+  bytes_->Add(seg.payload.size());
+  records_->Add(count);
+  const uint64_t shipped = base + end;
+  lag_bytes_->Set(static_cast<int64_t>(
+      shipped - std::min(shipped, transport_->acked_upto())));
+  return true;
+}
+
+Status WalShipper::ShipAll() {
+  while (true) {
+    XDB_ASSIGN_OR_RETURN(bool sent, ShipOnce());
+    if (!sent) return Status::OK();
+  }
+}
+
+}  // namespace repl
+}  // namespace xdb

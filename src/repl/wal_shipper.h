@@ -1,0 +1,104 @@
+// WalShipper: the primary-side half of WAL-shipping replication.
+//
+// The shipper tails the primary's WAL — only its *durable* prefix, via
+// WalLog::ReadDurable — packages runs of framed records into checksummed
+// WalSegments, and hands them to a ShipTransport, retrying transient
+// delivery failures with the same bounded-backoff policy the storage stack
+// uses for physical I/O.
+//
+// Stream accounting. LSNs restart at zero every time a checkpoint truncates
+// the WAL, so the shipper maintains a *stream base*: the stream CSN of local
+// WAL byte 0. shipped CSN = base + local position. When it observes a
+// reset-generation bump it folds the old log's length into the base — which
+// is safe exactly because of retention: the shipper installs a WAL retain
+// hook, so MaybeReset() refuses to truncate while any byte is unshipped or
+// unacknowledged by the replica. A truncation therefore implies
+// pos == old size, and the fold is exact.
+//
+// Failure handling:
+//  * Transient Ship() failures: RetryTransient (backoff + jitter).
+//  * Replica resync request: rewind the local position to the requested
+//    CSN and re-ship; duplicates are the applier's job to skip.
+//  * Resync below the stream base: the bytes were truncated before the
+//    replica existed — kNotFound ("bootstrap from a base image", see
+//    DESIGN.md; retention makes this unreachable for an attached replica).
+//  * CRC damage inside the durable WAL region: primary media damage. The
+//    shipper stalls with kCorruption rather than shipping damaged bytes.
+#ifndef XDB_REPL_WAL_SHIPPER_H_
+#define XDB_REPL_WAL_SHIPPER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "repl/ship_transport.h"
+#include "storage/io_retry.h"
+
+namespace xdb {
+namespace repl {
+
+struct ShipperOptions {
+  /// Soft cap on a segment's payload; one oversized record still ships
+  /// alone (ReadDurable always makes progress).
+  size_t max_segment_bytes = 256 * 1024;
+  /// Backoff for transient transport failures.
+  RetryPolicy retry;
+  /// Sleep source for the backoff (null = real clock).
+  IoClock* clock = nullptr;
+};
+
+class WalShipper {
+ public:
+  /// `primary` must have a WAL (not in-memory, enable_wal). The shipper
+  /// installs the WAL retention hook on construction and removes it on
+  /// destruction; at most one shipper per engine.
+  WalShipper(Engine* primary, ShipTransport* transport,
+             const ShipperOptions& options = {});
+  ~WalShipper();
+  WalShipper(const WalShipper&) = delete;
+  WalShipper& operator=(const WalShipper&) = delete;
+
+  /// Ships at most one segment. Returns true when a segment went out,
+  /// false when the replica is caught up with the durable log. Commits the
+  /// WAL first so freshly appended records become durable and shippable.
+  Result<bool> ShipOnce();
+
+  /// ShipOnce until caught up.
+  Status ShipAll();
+
+  /// Stream CSN one past the last shipped byte.
+  uint64_t shipped_csn() const {
+    return stream_base_.load(std::memory_order_acquire) +
+           pos_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Lowest local LSN still needed: min(unshipped, unacked). Runs under the
+  /// WAL's mutex — reads only atomics, never calls back into the log.
+  uint64_t RetainFloor() const;
+
+  Engine* const engine_;
+  WalLog* const wal_;
+  ShipTransport* const transport_;
+  const ShipperOptions options_;
+
+  /// Next local WAL LSN to ship.
+  std::atomic<uint64_t> pos_{0};
+  /// Stream CSN of local WAL byte 0.
+  std::atomic<uint64_t> stream_base_{0};
+  /// Last observed WAL reset generation.
+  uint64_t last_gen_ = 0;
+
+  obs::Counter* segments_ = nullptr;
+  obs::Counter* bytes_ = nullptr;
+  obs::Counter* records_ = nullptr;
+  obs::Counter* resyncs_ = nullptr;
+  obs::Gauge* lag_bytes_ = nullptr;
+};
+
+}  // namespace repl
+}  // namespace xdb
+
+#endif  // XDB_REPL_WAL_SHIPPER_H_

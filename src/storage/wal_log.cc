@@ -17,6 +17,57 @@ namespace {
 constexpr size_t kRecordHeader = 4 + 1 + 4;
 }  // namespace
 
+Status ScanWalRecords(
+    Slice buf, uint64_t base_lsn,
+    const std::function<Status(uint64_t, WalRecordType, Slice)>& visit,
+    WalReplayInfo* info) {
+  WalReplayInfo local;
+  if (info == nullptr) info = &local;
+  *info = WalReplayInfo{};
+  info->end_lsn = base_lsn;
+  const size_t size = buf.size();
+  size_t pos = 0;
+  while (pos + kRecordHeader <= size) {
+    const char* hdr = buf.data() + pos;
+    uint32_t len = DecodeFixed32(hdr);
+    uint8_t type = static_cast<uint8_t>(hdr[4]);
+    uint32_t crc = DecodeFixed32(hdr + 5);
+    uint64_t end = pos + kRecordHeader + len;
+    if (end > size) {
+      // Truncated last record — the normal crash signature. (A corrupted
+      // length field mid-log also lands here; without a trustworthy length
+      // there is no way to resynchronize, so stopping is the safe choice.)
+      info->torn_tail = true;
+      break;
+    }
+    const char* payload = buf.data() + pos + kRecordHeader;
+    if (Crc32(payload, len) != crc) {
+      if (end == size) {
+        // CRC failure on the very last record: torn/partial final write.
+        info->torn_tail = true;
+        break;
+      }
+      // Intact records follow — this is mid-log corruption, not a crash
+      // artifact. Skip the record, keep replaying, and let the caller warn.
+      info->corrupt_records_skipped++;
+      info->bytes_skipped += kRecordHeader + len;
+      pos = end;
+      info->end_lsn = base_lsn + pos;
+      continue;
+    }
+    XDB_RETURN_NOT_OK(visit(base_lsn + pos, static_cast<WalRecordType>(type),
+                            Slice(payload, len)));
+    info->records_replayed++;
+    pos = end;
+    info->end_lsn = base_lsn + pos;
+  }
+  if (pos + kRecordHeader > size && pos < size && !info->torn_tail) {
+    // A trailing fragment shorter than a header is a torn tail too.
+    info->torn_tail = true;
+  }
+  return Status::OK();
+}
+
 WalLog::~WalLog() {
   if (fd_ >= 0) ::close(fd_);
 }
@@ -43,6 +94,15 @@ Result<uint64_t> WalLog::Append(WalRecordType type, Slice payload) {
   rec.append(payload.data(), payload.size());
 
   MutexLock lock(mu_);
+  return AppendFramedLocked(rec);
+}
+
+Result<uint64_t> WalLog::AppendRaw(Slice framed_records) {
+  MutexLock lock(mu_);
+  return AppendFramedLocked(framed_records);
+}
+
+Result<uint64_t> WalLog::AppendFramedLocked(Slice rec) {
   uint64_t lsn = size_.load(std::memory_order_relaxed);
   io_stats_.writes.fetch_add(1, std::memory_order_relaxed);
   Status s = RetryTransient(
@@ -160,59 +220,121 @@ Status WalLog::Replay(
     const std::function<Status(uint64_t, WalRecordType, Slice)>& visit,
     WalReplayInfo* info) {
   MutexLock lock(mu_);
-  WalReplayInfo local;
-  if (info == nullptr) info = &local;
-  *info = WalReplayInfo{};
   const uint64_t size = size_.load(std::memory_order_relaxed);
-  uint64_t pos = 0;
-  std::vector<char> buf;
-  while (pos + kRecordHeader <= size) {
+  std::vector<char> buf(size);
+  uint64_t got = 0;
+  while (got < size) {
+    ssize_t n = ::pread(fd_, buf.data() + got, size - got,
+                        static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("wal replay read failed");
+    }
+    if (n == 0) break;  // file shorter than size_: treat the rest as torn
+    got += static_cast<uint64_t>(n);
+  }
+  Status s = ScanWalRecords(Slice(buf.data(), got), 0, visit, info);
+  if (s.ok() && info != nullptr && got < size) info->torn_tail = true;
+  return s;
+}
+
+Status WalLog::ReadDurable(uint64_t from_lsn, size_t max_bytes,
+                           std::string* out, uint64_t* end_lsn,
+                           uint32_t* record_count) {
+  out->clear();
+  *end_lsn = from_lsn;
+  *record_count = 0;
+  uint64_t upto;
+  {
+    MutexLock clock(commit_mu_);
+    upto = synced_upto_;
+  }
+  MutexLock lock(mu_);
+  // A racing Reset() can shrink the file after the synced_upto_ snapshot;
+  // clamping to the current size keeps the reads in bounds (the caller
+  // detects the restart via reset_generation() and rebases).
+  const uint64_t size = size_.load(std::memory_order_relaxed);
+  if (upto > size) upto = size;
+  if (from_lsn >= upto) return Status::OK();
+
+  uint64_t pos = from_lsn;
+  std::vector<char> rec;
+  while (pos + kRecordHeader <= upto) {
     char hdr[kRecordHeader];
     ssize_t n = ::pread(fd_, hdr, kRecordHeader, static_cast<off_t>(pos));
-    if (n != static_cast<ssize_t>(kRecordHeader)) {
-      info->torn_tail = true;
-      break;
-    }
+    if (n != static_cast<ssize_t>(kRecordHeader))
+      return Status::IOError("wal tail read failed");
     uint32_t len = DecodeFixed32(hdr);
-    uint8_t type = static_cast<uint8_t>(hdr[4]);
     uint32_t crc = DecodeFixed32(hdr + 5);
     uint64_t end = pos + kRecordHeader + len;
-    if (end > size) {
-      // Truncated last record — the normal crash signature. (A corrupted
-      // length field mid-log also lands here; without a trustworthy length
-      // there is no way to resynchronize, so stopping is the safe choice.)
-      info->torn_tail = true;
+    if (end > upto) break;  // record not yet fully durable: stop here
+    if (!out->empty() && end - from_lsn > max_bytes) break;
+    rec.resize(len);
+    n = ::pread(fd_, rec.data(), len, static_cast<off_t>(pos + kRecordHeader));
+    if (n != static_cast<ssize_t>(len))
+      return Status::IOError("wal tail read failed");
+    if (Crc32(rec.data(), len) != crc) {
+      // A CRC failure *inside* the durable region is media damage on the
+      // primary, not a torn tail. Return what accumulated so far; a call
+      // starting at the damaged record has nothing safe to ship.
+      if (out->empty())
+        return Status::Corruption("wal record damaged inside durable region");
       break;
     }
-    buf.resize(len);
-    n = ::pread(fd_, buf.data(), len, static_cast<off_t>(pos + kRecordHeader));
-    if (n != static_cast<ssize_t>(len)) {
-      info->torn_tail = true;
-      break;
-    }
-    if (Crc32(buf.data(), len) != crc) {
-      if (end == size) {
-        // CRC failure on the very last record: torn/partial final write.
-        info->torn_tail = true;
-        break;
-      }
-      // Intact records follow — this is mid-log corruption, not a crash
-      // artifact. Skip the record, keep replaying, and let the caller warn.
-      info->corrupt_records_skipped++;
-      info->bytes_skipped += kRecordHeader + len;
-      pos = end;
-      continue;
-    }
-    XDB_RETURN_NOT_OK(visit(pos, static_cast<WalRecordType>(type),
-                            Slice(buf.data(), len)));
-    info->records_replayed++;
+    out->append(hdr, kRecordHeader);
+    out->append(rec.data(), len);
+    (*record_count)++;
     pos = end;
+  }
+  *end_lsn = pos;
+  return Status::OK();
+}
+
+uint64_t WalLog::durable_upto() const {
+  MutexLock clock(commit_mu_);
+  return synced_upto_;
+}
+
+uint64_t WalLog::reset_generation() const {
+  MutexLock clock(commit_mu_);
+  return reset_gen_;
+}
+
+void WalLog::set_retain_hook(std::function<uint64_t()> hook) {
+  MutexLock lock(mu_);
+  retain_hook_ = std::move(hook);
+}
+
+Status WalLog::TruncateTo(uint64_t lsn) {
+  MutexLock lock(mu_);
+  const uint64_t size = size_.load(std::memory_order_relaxed);
+  if (lsn >= size) return Status::OK();
+  if (::ftruncate(fd_, static_cast<off_t>(lsn)) != 0)
+    return Status::IOError("ftruncate failed");
+  size_.store(lsn, std::memory_order_relaxed);
+  {
+    MutexLock clock(commit_mu_);
+    if (synced_upto_ > lsn) synced_upto_ = lsn;
   }
   return Status::OK();
 }
 
 Status WalLog::Reset() {
   MutexLock lock(mu_);
+  return ResetLocked();
+}
+
+Result<bool> WalLog::MaybeReset() {
+  MutexLock lock(mu_);
+  if (retain_hook_ != nullptr &&
+      retain_hook_() < size_.load(std::memory_order_relaxed)) {
+    return false;  // a tailer still needs bytes in the log: keep them
+  }
+  XDB_RETURN_NOT_OK(ResetLocked());
+  return true;
+}
+
+Status WalLog::ResetLocked() {
   if (::ftruncate(fd_, 0) != 0) return Status::IOError("ftruncate failed");
   size_.store(0, std::memory_order_relaxed);
   {

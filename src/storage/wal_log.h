@@ -38,6 +38,16 @@ enum class WalRecordType : uint8_t {
   /// persists the dictionary at checkpoint time, so without these records a
   /// crash would leave replayed documents pointing at unknown name ids.
   kDefineName = 9,
+  /// DDL redo records. The catalog only persists collections, value indexes
+  /// and schemas at checkpoint time; without these a crash after DDL (but
+  /// before the next checkpoint) silently dropped the object *and* every
+  /// subsequent document record referencing it. They also carry DDL to
+  /// replicas over the WAL-shipping stream.
+  kCreateCollection = 10,
+  kDropCollection = 11,
+  kCreateValueIndex = 12,
+  kDropValueIndex = 13,
+  kRegisterSchema = 14,
 };
 
 /// What Replay() found besides the replayable records. A torn tail (the last
@@ -49,8 +59,23 @@ struct WalReplayInfo {
   uint64_t records_replayed = 0;
   uint64_t corrupt_records_skipped = 0;
   uint64_t bytes_skipped = 0;
+  /// LSN one past the last record the scan consumed (replayed or skipped):
+  /// where a tailer resumes, and where any torn tail begins. Includes the
+  /// scan's base LSN, so it is directly comparable to log offsets.
+  uint64_t end_lsn = 0;
   bool torn_tail = false;
 };
+
+/// The one WAL-record framing loop: walks `buf` (whose first byte sits at
+/// `base_lsn` in its log), CRC-checks each record and calls `visit` for the
+/// intact ones, with exactly Replay()'s torn-tail / mid-log-corruption
+/// semantics. Shared by crash recovery (WalLog::Replay), the replication
+/// shipper's segment reader and the replica's segment apply, so the three
+/// paths cannot drift.
+Status ScanWalRecords(
+    Slice buf, uint64_t base_lsn,
+    const std::function<Status(uint64_t lsn, WalRecordType, Slice)>& visit,
+    WalReplayInfo* info);
 
 /// Group-commit counters: `commits` counts Commit() calls, `syncs` the
 /// fdatasync rounds issued on their behalf. Under concurrent commit load
@@ -71,6 +96,13 @@ class WalLog {
   /// Sync().
   Result<uint64_t> Append(WalRecordType type, Slice payload)
       XDB_EXCLUDES(mu_);
+
+  /// Appends already-framed record bytes verbatim (a shipped replication
+  /// segment's payload: [len][type][crc][payload]... as produced by Append on
+  /// another log). Returns the LSN the first byte landed at. The caller is
+  /// responsible for the bytes being whole, intact records — they are
+  /// CRC-verified again when replayed or re-shipped.
+  Result<uint64_t> AppendRaw(Slice framed_records) XDB_EXCLUDES(mu_);
 
   /// Forces all appended records to stable storage.
   Status Sync();
@@ -97,6 +129,43 @@ class WalLog {
   /// Truncates the log (after a checkpoint has made its contents redundant).
   Status Reset() XDB_EXCLUDES(mu_);
 
+  /// Reset() unless the retention hook (see set_retain_hook) reports that a
+  /// tailer still needs bytes in the log. Returns whether it truncated.
+  /// Checkpoints use this so an attached replication shipper never loses
+  /// unshipped (or un-acknowledged) records to a WAL truncation.
+  Result<bool> MaybeReset() XDB_EXCLUDES(mu_);
+
+  /// Drops everything at and after `lsn` (a clean record boundary). Used by
+  /// a replica to cut a torn tail off its local log after recovery so later
+  /// raw appends land on an intact boundary. Not valid concurrently with
+  /// appends or commits.
+  Status TruncateTo(uint64_t lsn) XDB_EXCLUDES(mu_);
+
+  /// Reads whole, CRC-intact records starting at `from_lsn`, stopping at the
+  /// durable boundary (min(synced_upto_, size)) so a tailer never reads past
+  /// group commit's sync point — the bytes beyond it may still be rewritten
+  /// by a torn-tail crash. Appends the raw framed bytes to `out` (cleared
+  /// first), stops after `max_bytes` (always making progress: the first
+  /// record is included even when larger), and reports the resume point and
+  /// record count. An empty `out` with OK means nothing durable is pending.
+  /// A CRC-failing record *inside* the durable region is media damage:
+  /// everything before it is returned, and the next call (starting at it)
+  /// fails with kCorruption instead of shipping damaged bytes.
+  Status ReadDurable(uint64_t from_lsn, size_t max_bytes, std::string* out,
+                     uint64_t* end_lsn, uint32_t* record_count)
+      XDB_EXCLUDES(mu_);
+
+  /// Byte offset the log is durable up to (highest synced CSN).
+  uint64_t durable_upto() const XDB_EXCLUDES(commit_mu_);
+  /// Bumped by every Reset(); lets a tailer detect that LSNs restarted.
+  uint64_t reset_generation() const XDB_EXCLUDES(commit_mu_);
+
+  /// Installs (or clears, with nullptr) the retention hook consulted by
+  /// MaybeReset(): it returns the lowest LSN a tailer still needs; the log
+  /// is only truncated when that is >= size(). Called under the log's
+  /// append/replay mutex — the hook must not call back into this WalLog.
+  void set_retain_hook(std::function<uint64_t()> hook) XDB_EXCLUDES(mu_);
+
   uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 
   void set_retry_policy(const RetryPolicy& p) { retry_policy_ = p; }
@@ -120,6 +189,12 @@ class WalLog {
  private:
   WalLog() = default;
 
+  /// Shared body of Append/AppendRaw: lands `rec` (already framed) at the
+  /// current end of log under mu_.
+  Result<uint64_t> AppendFramedLocked(Slice rec) XDB_REQUIRES(mu_);
+  /// Shared body of Reset/MaybeReset.
+  Status ResetLocked() XDB_REQUIRES(mu_) XDB_EXCLUDES(commit_mu_);
+
   /// Serializes appends (LSN assignment + pwrite) and replay/reset against
   /// each other. fd_/path_ are fixed after Open; size_ is atomic so size()
   /// and Sync() stay lock-free.
@@ -127,6 +202,9 @@ class WalLog {
   int fd_ = -1;
   std::string path_;
   std::atomic<uint64_t> size_{0};
+  /// Lowest LSN a tailer (replication shipper) still needs, or null when no
+  /// tailer is attached. See set_retain_hook().
+  std::function<uint64_t()> retain_hook_ XDB_GUARDED_BY(mu_);
   RetryPolicy retry_policy_;
   IoClock* clock_ = nullptr;
   IoStats io_stats_;

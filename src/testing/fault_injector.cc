@@ -19,6 +19,7 @@ const char* FaultPointName(FaultPoint p) {
     case FaultPoint::kWalAppend: return "wal-append";
     case FaultPoint::kWalSync: return "wal-sync";
     case FaultPoint::kBufferWriteback: return "buffer-writeback";
+    case FaultPoint::kShipTransport: return "ship-transport";
   }
   return "?";
 }
@@ -116,6 +117,10 @@ Status FaultInjector::OnWrite(FaultPoint point, const char* buf, size_t len,
       return Injected(point, "write error");
     case FaultKind::kTransientError:
       return InjectedTransient(point);
+    case FaultKind::kNetworkError:
+      // A network fault armed on a storage write point degenerates to an
+      // error; use OnShip() for the real semantics.
+      return Injected(point, "write error");
   }
   return Status::OK();
 }
@@ -138,6 +143,29 @@ Status FaultInjector::OnRead(FaultPoint point, char* buf, size_t len) {
     default:
       return Injected(point, "read error");
   }
+}
+
+ShipFault FaultInjector::OnShip() {
+  MutexLock lock(mu_);
+  Armed* a = Count(FaultPoint::kShipTransport);
+  ShipFault f;
+  if (a == nullptr) return f;
+  if (a->kind != FaultKind::kNetworkError) {
+    f.action = NetFaultAction::kError;
+    return f;
+  }
+  switch (a->bytes & 0xff) {
+    case 0: f.action = NetFaultAction::kError; break;
+    case 1: f.action = NetFaultAction::kDrop; break;
+    case 2: f.action = NetFaultAction::kDuplicate; break;
+    case 3: f.action = NetFaultAction::kReorder; break;
+    case 4:
+      f.action = NetFaultAction::kTruncate;
+      f.truncate_len = a->bytes >> 8;
+      break;
+    default: f.action = NetFaultAction::kError; break;
+  }
+  return f;
 }
 
 Status FaultInjector::OnOp(FaultPoint point) {

@@ -34,8 +34,11 @@ enum class FaultPoint : uint8_t {
   kWalAppend,
   kWalSync,
   kBufferWriteback,
+  /// A replication segment handed to a ShipTransport (see src/repl/). The
+  /// transport consults OnShip() per delivery attempt.
+  kShipTransport,
 };
-constexpr int kNumFaultPoints = 6;
+constexpr int kNumFaultPoints = 7;
 
 const char* FaultPointName(FaultPoint p);
 
@@ -55,6 +58,24 @@ enum class FaultKind : uint8_t {
   /// — the storage retry policy is expected to mask it. No bytes reach the
   /// medium on the failing attempt; the retried operation proceeds normally.
   kTransientError,
+  /// A replication-transport fault (kShipTransport only). `bytes` selects
+  /// the misbehavior — see ShipFault / OnShip().
+  kNetworkError,
+};
+
+/// What a faulted ShipTransport should do with the segment in flight.
+enum class NetFaultAction : uint8_t {
+  kDeliver,    // no fault armed: deliver normally
+  kError,      // fail the send with a transient error (sender retries)
+  kDrop,       // claim success but deliver nothing (silent loss)
+  kDuplicate,  // deliver the segment twice
+  kReorder,    // hold this segment back and deliver it after the next one
+  kTruncate,   // deliver only a prefix (ShipFault::truncate_len bytes)
+};
+
+struct ShipFault {
+  NetFaultAction action = NetFaultAction::kDeliver;
+  uint32_t truncate_len = 0;
 };
 
 class FaultInjector {
@@ -108,6 +129,13 @@ class FaultInjector {
 
   /// Called before an operation with no data payload (syncs, writebacks).
   Status OnOp(FaultPoint point) XDB_EXCLUDES(mu_);
+
+  /// Called by a ShipTransport per delivery attempt. A kNetworkError fault
+  /// armed on kShipTransport maps its `bytes` parameter to the action:
+  /// 0 = transient send error, 1 = drop, 2 = duplicate, 3 = reorder,
+  /// 4 + (len << 8) = truncate the delivered segment to `len` bytes.
+  /// Non-network fault kinds armed here degenerate to kError.
+  ShipFault OnShip() XDB_EXCLUDES(mu_);
 
   /// The installed injector, or nullptr (the common case).
   static FaultInjector* active() {
