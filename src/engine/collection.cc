@@ -717,6 +717,16 @@ Status Collection::DeleteSubtreeLocked(Transaction* txn, uint64_t doc_id,
 }
 
 Status Collection::CreateValueIndex(const ValueIndexDef& def) {
+  // ddl_mu_ spans the mutation AND its WAL record: a concurrent drop of the
+  // same index cannot slip its record into the log between them, so the log
+  // order always matches the application order (replay/replica convergence
+  // depends on it).
+  MutexLock ddl(ddl_mu_);
+  XDB_RETURN_NOT_OK(ApplyCreateValueIndex(def));
+  return engine_->LogCreateIndex(meta_.name, def);
+}
+
+Status Collection::ApplyCreateValueIndex(const ValueIndexDef& def) {
   XDB_RETURN_NOT_OK(GuardWrite());
   XDB_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(def.path));
   if (!xpath::IsIndexablePath(path))
@@ -753,12 +763,20 @@ Status Collection::CreateValueIndex(const ValueIndexDef& def) {
     index_version_.fetch_add(1, std::memory_order_acq_rel);
     plan_cache_.Invalidate("index created");
   }
-  // WAL append happens outside the latch: replay holds the WAL lock while
-  // taking collection latches, so the reverse order would deadlock.
-  return engine_->LogCreateIndex(meta_.name, def);
+  // No WAL append here: the logging wrapper (CreateValueIndex) does it,
+  // outside the latch — replay holds the WAL lock while taking collection
+  // latches, so appending under the latch would deadlock.
+  return Status::OK();
 }
 
 Status Collection::DropValueIndex(const std::string& name) {
+  // Same atomicity as CreateValueIndex: mutation + WAL record under ddl_mu_.
+  MutexLock ddl(ddl_mu_);
+  XDB_RETURN_NOT_OK(ApplyDropValueIndex(name));
+  return engine_->LogDropIndex(meta_.name, name);
+}
+
+Status Collection::ApplyDropValueIndex(const std::string& name) {
   XDB_RETURN_NOT_OK(GuardWrite());
   {
     WriterMutexLock latch(latch_);
@@ -786,9 +804,7 @@ Status Collection::DropValueIndex(const std::string& name) {
       }
     }
   }
-  // WAL append happens outside the latch: replay holds the WAL lock while
-  // taking collection latches, so the reverse order would deadlock.
-  return engine_->LogDropIndex(meta_.name, name);
+  return Status::OK();
 }
 
 ValueIndex* Collection::FindValueIndex(const std::string& name) {

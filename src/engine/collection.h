@@ -326,6 +326,15 @@ class Collection {
                     const xpath::Path& prefix_pattern, NodeLocator* locator,
                     QueryResult* result) XDB_EXCLUDES(latch_);
 
+  /// Bodies of CreateValueIndex/DropValueIndex without the DDL mutex and
+  /// without logging — the form WAL replay and the replica apply path call
+  /// (replay must not take ddl_mu_: it already holds the WAL mutex, which a
+  /// client DDL acquires only AFTER ddl_mu_, so the reverse nesting would
+  /// deadlock; replay applies records in log order single-threaded and
+  /// needs no DDL serialization of its own).
+  Status ApplyCreateValueIndex(const ValueIndexDef& def) XDB_EXCLUDES(latch_);
+  Status ApplyDropValueIndex(const std::string& name) XDB_EXCLUDES(latch_);
+
   /// kCorruption when the collection is quarantined; call at the top of every
   /// public data operation.
   Status GuardRepair() const;
@@ -385,6 +394,13 @@ class Collection {
   // Doc id allocation (meta_.next_doc_id). Leaf lock: nothing else is
   // acquired while it is held.
   Mutex docid_mu_;
+  // Serializes client value-index DDL (create/drop) TOGETHER WITH its WAL
+  // append: held across both the latched mutation and the log record, so
+  // concurrent create+drop of the same index can never log in the opposite
+  // order of their application — an inversion crash replay or a replica
+  // would converge to the wrong final state from. Ordered before latch_ and
+  // before the WAL mutex; WAL replay never takes it (see the Apply* pair).
+  Mutex ddl_mu_;
 
   // Collected statistics (doc/node counts, per-index sketches, the stats
   // epoch). Mutating notes run under the exclusive latch_; snapshots are

@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <set>
 
@@ -10,6 +11,35 @@
 #include "schema/schema_parser.h"
 
 namespace xdb {
+
+namespace {
+/// Which engine the current thread is replaying into (null = none). Replay
+/// permission must be per-thread: GuardWritable() consults it so that ONLY
+/// the thread driving WAL replay / replicated-segment apply may mutate a
+/// read-only replica — with an engine-wide flag, any client mutation racing
+/// a mid-flight apply would slip through the gate (TOCTOU) and append local
+/// writes to the replica's WAL, corrupting the stream accounting. The Log*
+/// skip uses it for the same reason in reverse: a primary client write
+/// concurrent with a Scrub replay must still log itself.
+thread_local const Engine* t_replaying_engine = nullptr;
+
+/// RAII replay scope, nestable and restoring the previous value (a replica
+/// apply never nests today, but restoring is free and future-proof).
+class ReplayScope {
+ public:
+  explicit ReplayScope(const Engine* e) : prev_(t_replaying_engine) {
+    t_replaying_engine = e;
+  }
+  ~ReplayScope() { t_replaying_engine = prev_; }
+  ReplayScope(const ReplayScope&) = delete;
+  ReplayScope& operator=(const ReplayScope&) = delete;
+
+ private:
+  const Engine* prev_;
+};
+}  // namespace
+
+bool Engine::InReplay() const { return t_replaying_engine == this; }
 
 Engine::~Engine() {
   // Best-effort flush on clean shutdown; a failure here is what recovery
@@ -184,10 +214,17 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
       // bytes the local WAL held. A torn tail (crash mid-AppendRaw) is cut
       // off so the next shipped segment lands on an intact record boundary —
       // the torn record was never applied, never acknowledged, and will be
-      // re-shipped.
+      // re-shipped. Corrupt records *inside* the log (local media damage)
+      // cap the watermark the same way: replay skipped them, so counting
+      // them as applied would acknowledge stream bytes whose updates this
+      // replica silently lost. Truncating at the first damaged record makes
+      // the resync path re-ship everything from there; re-applying the
+      // records after it is idempotent, like any crash re-apply.
       MutexLock lock(engine->mu_);
       engine->replica_wal_base_ = engine->catalog_.replica_wal_base;
-      const uint64_t intact = engine->recovery_.wal.end_lsn;
+      uint64_t intact = engine->recovery_.wal.end_lsn;
+      if (engine->recovery_.wal.corrupt_records_skipped > 0)
+        intact = std::min(intact, engine->recovery_.wal.first_corrupt_lsn);
       if (engine->recovery_.wal.torn_tail || intact < engine->wal_->size())
         XDB_RETURN_NOT_OK(engine->wal_->TruncateTo(intact));
       engine->PublishAppliedCsn(engine->replica_wal_base_ + intact);
@@ -305,8 +342,7 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
 }
 
 Status Engine::GuardWritable() const {
-  if (replica_.load(std::memory_order_acquire) &&
-      !replaying_.load(std::memory_order_acquire))
+  if (replica_.load(std::memory_order_acquire) && !InReplay())
     return Status::NotSupported("replica is read-only (promote it to write)");
   return Status::OK();
 }
@@ -487,7 +523,7 @@ Status Engine::Checkpoint() {
 }
 
 Status Engine::LogNewNames() {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   MutexLock lock(wal_names_mu_);
   while (wal_names_logged_ < dict_.size()) {
     NameId id = static_cast<NameId>(wal_names_logged_);
@@ -512,7 +548,7 @@ Status Engine::AppendWal(WalRecordType type, Slice payload) {
 
 Status Engine::LogInsert(const std::string& collection, uint64_t doc_id,
                          Slice tokens) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   XDB_RETURN_NOT_OK(LogNewNames());
   std::string payload;
   PutLengthPrefixed(&payload, collection);
@@ -522,7 +558,7 @@ Status Engine::LogInsert(const std::string& collection, uint64_t doc_id,
 }
 
 Status Engine::LogDelete(const std::string& collection, uint64_t doc_id) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   std::string payload;
   PutLengthPrefixed(&payload, collection);
   PutFixed64(&payload, doc_id);
@@ -531,7 +567,7 @@ Status Engine::LogDelete(const std::string& collection, uint64_t doc_id) {
 
 Status Engine::LogUpdate(const std::string& collection, uint64_t doc_id,
                          Slice node_id, Slice new_text) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   std::string payload;
   PutLengthPrefixed(&payload, collection);
   PutFixed64(&payload, doc_id);
@@ -543,7 +579,7 @@ Status Engine::LogUpdate(const std::string& collection, uint64_t doc_id,
 Status Engine::LogInsertSubtree(const std::string& collection,
                                 uint64_t doc_id, Slice parent_id,
                                 Slice after_id, Slice tokens) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   XDB_RETURN_NOT_OK(LogNewNames());
   std::string payload;
   PutLengthPrefixed(&payload, collection);
@@ -556,7 +592,7 @@ Status Engine::LogInsertSubtree(const std::string& collection,
 
 Status Engine::LogDeleteSubtree(const std::string& collection,
                                 uint64_t doc_id, Slice node_id) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   std::string payload;
   PutLengthPrefixed(&payload, collection);
   PutFixed64(&payload, doc_id);
@@ -566,7 +602,7 @@ Status Engine::LogDeleteSubtree(const std::string& collection,
 
 Status Engine::LogCreateCollection(const std::string& name,
                                    const CollectionOptions& options) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   std::string payload;
   PutLengthPrefixed(&payload, name);
   payload.push_back(options.mvcc ? 1 : 0);
@@ -575,7 +611,7 @@ Status Engine::LogCreateCollection(const std::string& name,
 }
 
 Status Engine::LogDropCollection(const std::string& name) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   std::string payload;
   PutLengthPrefixed(&payload, name);
   return AppendWal(WalRecordType::kDropCollection, payload);
@@ -583,7 +619,7 @@ Status Engine::LogDropCollection(const std::string& name) {
 
 Status Engine::LogCreateIndex(const std::string& collection,
                               const ValueIndexDef& def) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   std::string payload;
   PutLengthPrefixed(&payload, collection);
   PutLengthPrefixed(&payload, def.name);
@@ -595,7 +631,7 @@ Status Engine::LogCreateIndex(const std::string& collection,
 
 Status Engine::LogDropIndex(const std::string& collection,
                             const std::string& index_name) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   std::string payload;
   PutLengthPrefixed(&payload, collection);
   PutLengthPrefixed(&payload, index_name);
@@ -603,7 +639,7 @@ Status Engine::LogDropIndex(const std::string& collection,
 }
 
 Status Engine::LogRegisterSchema(const std::string& name, Slice binary) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
+  if (wal_ == nullptr || InReplay()) return Status::OK();
   std::string payload;
   PutLengthPrefixed(&payload, name);
   payload.append(binary.data(), binary.size());
@@ -615,15 +651,13 @@ Status Engine::ReplayWal(const ReplayFilter& filter, WalReplayInfo* info) {
   // the visitor), so it runs under mu_. The visitor is a separate function
   // to the analysis and cannot see the lock held here, hence the opt-out.
   MutexLock lock(mu_);
-  replaying_.store(true, std::memory_order_release);
-  Status replay_status = wal_->Replay(
+  ReplayScope replay(this);
+  return wal_->Replay(
       [&](uint64_t /*lsn*/, WalRecordType type,
           Slice payload) XDB_NO_THREAD_SAFETY_ANALYSIS -> Status {
         return ApplyWalRecordLocked(type, payload, filter);
       },
       info);
-  replaying_.store(false, std::memory_order_release);
-  return replay_status;
 }
 
 Status Engine::ApplyWalRange(Slice records, uint64_t base_lsn,
@@ -694,7 +728,10 @@ Status Engine::ApplyWalRecordLocked(WalRecordType type, Slice payload,
         Collection* c = cit->second.get();
         if (c->needs_repair()) return Status::OK();
         if (c->FindValueIndex(def.name) != nullptr) return Status::OK();
-        return c->CreateValueIndex(def);
+        // The Apply* form: no ddl_mu_ (crash replay holds the WAL mutex,
+        // which client DDL takes after ddl_mu_ — nesting the other way
+        // would deadlock) and no re-logging.
+        return c->ApplyCreateValueIndex(def);
       }
       case WalRecordType::kDropValueIndex: {
         Slice cname, iname;
@@ -705,7 +742,7 @@ Status Engine::ApplyWalRecordLocked(WalRecordType type, Slice payload,
         if (cit == collections_.end()) return Status::OK();
         Collection* c = cit->second.get();
         if (c->needs_repair()) return Status::OK();
-        Status st = c->DropValueIndex(iname.ToString());
+        Status st = c->ApplyDropValueIndex(iname.ToString());
         if (st.IsNotFound()) return Status::OK();
         return st;
       }
@@ -825,13 +862,28 @@ Status Engine::ApplyReplicatedRecords(Slice framed_records,
   // reopen; a crash during it leaves a torn tail that reopen truncates. The
   // watermark is published only after a successful apply, so an
   // acknowledged CSN is always a durably *applied* CSN.
-  XDB_RETURN_NOT_OK(wal_->AppendRaw(framed_records).status());
+  XDB_ASSIGN_OR_RETURN(const uint64_t append_lsn,
+                       wal_->AppendRaw(framed_records));
   if (options_.sync_commits) XDB_RETURN_NOT_OK(wal_->Commit());
-  replaying_.store(true, std::memory_order_release);
-  Status s = ApplyWalRange(framed_records,
-                           publish_csn - framed_records.size(), {}, info);
-  replaying_.store(false, std::memory_order_release);
-  XDB_RETURN_NOT_OK(s);
+  Status s;
+  {
+    ReplayScope replay(this);
+    s = ApplyWalRange(framed_records, publish_csn - framed_records.size(), {},
+                      info);
+  }
+  if (!s.ok()) {
+    // The segment failed to apply (e.g. a corrupt DDL payload) and will
+    // never be acknowledged, so its bytes must not stay in the local log:
+    // the watermark is reconstructed at reopen as base + WAL length, and the
+    // resync path re-ships these exact stream bytes — leaving them appended
+    // would double-count them and make the replica skip real segments.
+    Status trunc = wal_->TruncateTo(append_lsn);
+    if (!trunc.ok())
+      events_.Emit(obs::EventKind::kReplicaStalled, append_lsn, 0,
+                   "repl: failed-apply rollback truncate failed: " +
+                       trunc.ToString());
+    return s;
+  }
   PublishAppliedCsn(publish_csn);
   return Status::OK();
 }

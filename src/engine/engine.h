@@ -234,13 +234,20 @@ class Engine {
   /// Applies every intact record in `records` (framed WAL bytes whose first
   /// byte sits at `base_lsn`) via ApplyWalRecordLocked — the replay loop for
   /// byte ranges that are not the engine's own WAL file. Callers hold mu_
-  /// and have set replaying_.
+  /// and run inside a ReplayScope.
   Status ApplyWalRange(Slice records, uint64_t base_lsn,
                        const ReplayFilter& filter, WalReplayInfo* info)
       XDB_REQUIRES(mu_);
-  /// kNotSupported while the engine is a read-only replica (and not inside
-  /// the replay/apply path); checked by every mutation entry point.
+  /// kNotSupported while the engine is a read-only replica (and the calling
+  /// thread is not the one inside the replay/apply path); checked by every
+  /// mutation entry point.
   Status GuardWritable() const;
+  /// True when the calling thread is inside this engine's WAL replay or
+  /// replicated-segment apply (a ReplayScope is active). Thread-scoped on
+  /// purpose: an engine-wide flag would let unrelated client threads slip
+  /// past the replica read-only gate — or skip WAL logging on a primary —
+  /// whenever a replay happens to be in flight.
+  bool InReplay() const;
   /// Body of CreateCollection/DropCollection without the lock, shared with
   /// DDL replay. Neither logs; the public wrappers do.
   Result<Collection*> CreateCollectionLocked(const std::string& name,
@@ -317,9 +324,7 @@ class Engine {
   /// tasks reference are still alive.
   std::unique_ptr<util::ThreadPool> query_pool_;
   RecoveryInfo recovery_;
-  // True while ReplayWal() re-applies logged operations (so the operations
-  // skip re-logging themselves). Read lock-free on every Log* call.
-  std::atomic<bool> replaying_{false};
+  // (Replay permission is thread-scoped, not engine state: see InReplay().)
   // Dictionary entries with id < wal_names_logged_ are durable (in the
   // checkpointed catalog or already in the WAL).
   Mutex wal_names_mu_;

@@ -21,8 +21,9 @@ WalShipper::WalShipper(Engine* primary, ShipTransport* transport,
   resyncs_ = m->AddCounter("repl.ship.resyncs");
   lag_bytes_ = m->AddGauge("repl.ship.lag_bytes");
   if (wal_ != nullptr) {
-    wal_->set_retain_hook([this] { return RetainFloor(); });
-    last_gen_ = wal_->reset_generation();
+    last_gen_.store(wal_->reset_generation(), std::memory_order_release);
+    wal_->set_retain_hook(
+        [this](uint64_t gen) { return RetainFloor(gen); });
   }
 }
 
@@ -30,7 +31,12 @@ WalShipper::~WalShipper() {
   if (wal_ != nullptr) wal_->set_retain_hook(nullptr);
 }
 
-uint64_t WalShipper::RetainFloor() const {
+uint64_t WalShipper::RetainFloor(uint64_t wal_gen) const {
+  // An unfolded reset means pos_/stream_base_ still describe the previous
+  // log: comparing them against the current log's size would let a second
+  // checkpoint truncate unshipped bytes (they would silently vanish from
+  // the stream). Refuse until ShipOnce rebases into this generation.
+  if (wal_gen != last_gen_.load(std::memory_order_acquire)) return 0;
   const uint64_t base = stream_base_.load(std::memory_order_acquire);
   const uint64_t acked = transport_->acked_upto();
   const uint64_t acked_local = acked > base ? acked - base : 0;
@@ -46,10 +52,12 @@ Result<bool> WalShipper::ShipOnce() {
   // truncated log was fully shipped and acked, so pos_ == old size and the
   // fold is exact.
   uint64_t gen = wal_->reset_generation();
-  if (gen != last_gen_) {
+  if (gen != last_gen_.load(std::memory_order_acquire)) {
     stream_base_.fetch_add(pos_.exchange(0, std::memory_order_acq_rel),
                            std::memory_order_acq_rel);
-    last_gen_ = gen;
+    // Published last (release): the retention hook treats a matching
+    // generation as "the fold for it is complete".
+    last_gen_.store(gen, std::memory_order_release);
   }
 
   uint64_t resync_from = 0;
@@ -87,7 +95,8 @@ Result<bool> WalShipper::ShipOnce() {
   // A checkpoint may have truncated the log between the fold above and the
   // read; the bytes just read belong to the new epoch at wrong offsets.
   // Drop them and let the next call re-fold and re-read.
-  if (wal_->reset_generation() != last_gen_) return false;
+  if (wal_->reset_generation() != last_gen_.load(std::memory_order_acquire))
+    return false;
 
   const uint64_t base = stream_base_.load(std::memory_order_acquire);
   if (payload.empty()) {

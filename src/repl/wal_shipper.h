@@ -13,7 +13,10 @@
 // is safe exactly because of retention: the shipper installs a WAL retain
 // hook, so MaybeReset() refuses to truncate while any byte is unshipped or
 // unacknowledged by the replica. A truncation therefore implies
-// pos == old size, and the fold is exact.
+// pos == old size, and the fold is exact. The hook is generation-aware: it
+// refuses any further truncation until ShipOnce has folded the previous one,
+// so a second checkpoint arriving before the next ShipOnce can never compare
+// the stale pre-fold position against the new log and drop unshipped bytes.
 //
 // Failure handling:
 //  * Transient Ship() failures: RetryTransient (backoff + jitter).
@@ -75,9 +78,13 @@ class WalShipper {
   }
 
  private:
-  /// Lowest local LSN still needed: min(unshipped, unacked). Runs under the
-  /// WAL's mutex — reads only atomics, never calls back into the log.
-  uint64_t RetainFloor() const;
+  /// Lowest local LSN still needed: min(unshipped, unacked), or 0 when
+  /// `wal_gen` (the log's current reset generation, supplied by MaybeReset)
+  /// differs from the last generation ShipOnce folded — then pos_ and
+  /// stream_base_ are still in the previous epoch's coordinates and no
+  /// truncation is safe until the fold runs. Runs under the WAL's mutex —
+  /// reads only atomics, never calls back into the log.
+  uint64_t RetainFloor(uint64_t wal_gen) const;
 
   Engine* const engine_;
   WalLog* const wal_;
@@ -88,8 +95,11 @@ class WalShipper {
   std::atomic<uint64_t> pos_{0};
   /// Stream CSN of local WAL byte 0.
   std::atomic<uint64_t> stream_base_{0};
-  /// Last observed WAL reset generation.
-  uint64_t last_gen_ = 0;
+  /// Last WAL reset generation folded into stream_base_. Written by ShipOnce
+  /// (release, after the fold) and read by the retention hook on the
+  /// checkpointing thread (acquire), so a matching generation implies the
+  /// fold for it completed and pos_ is in this epoch's coordinates.
+  std::atomic<uint64_t> last_gen_{0};
 
   obs::Counter* segments_ = nullptr;
   obs::Counter* bytes_ = nullptr;

@@ -49,6 +49,8 @@ Status ScanWalRecords(
       }
       // Intact records follow — this is mid-log corruption, not a crash
       // artifact. Skip the record, keep replaying, and let the caller warn.
+      if (info->corrupt_records_skipped == 0)
+        info->first_corrupt_lsn = base_lsn + pos;
       info->corrupt_records_skipped++;
       info->bytes_skipped += kRecordHeader + len;
       pos = end;
@@ -300,7 +302,7 @@ uint64_t WalLog::reset_generation() const {
   return reset_gen_;
 }
 
-void WalLog::set_retain_hook(std::function<uint64_t()> hook) {
+void WalLog::set_retain_hook(std::function<uint64_t(uint64_t)> hook) {
   MutexLock lock(mu_);
   retain_hook_ = std::move(hook);
 }
@@ -326,9 +328,18 @@ Status WalLog::Reset() {
 
 Result<bool> WalLog::MaybeReset() {
   MutexLock lock(mu_);
-  if (retain_hook_ != nullptr &&
-      retain_hook_() < size_.load(std::memory_order_relaxed)) {
-    return false;  // a tailer still needs bytes in the log: keep them
+  if (retain_hook_ != nullptr) {
+    uint64_t gen;
+    {
+      MutexLock clock(commit_mu_);
+      gen = reset_gen_;
+    }
+    // The hook gets the current generation so a tailer whose position still
+    // refers to a previous log epoch (it has not folded a prior Reset() into
+    // its stream base yet) can refuse truncation outright instead of
+    // comparing a stale offset against this log's size.
+    if (retain_hook_(gen) < size_.load(std::memory_order_relaxed))
+      return false;  // a tailer still needs bytes in the log: keep them
   }
   XDB_RETURN_NOT_OK(ResetLocked());
   return true;

@@ -59,6 +59,11 @@ struct WalReplayInfo {
   uint64_t records_replayed = 0;
   uint64_t corrupt_records_skipped = 0;
   uint64_t bytes_skipped = 0;
+  /// LSN of the first corrupt (skipped) record, UINT64_MAX when none were.
+  /// A replica recovering its local log must not count anything at or past
+  /// this point as applied: the skipped bytes came off the replication
+  /// stream, and acking them would lose their updates forever.
+  uint64_t first_corrupt_lsn = UINT64_MAX;
   /// LSN one past the last record the scan consumed (replayed or skipped):
   /// where a tailer resumes, and where any torn tail begins. Includes the
   /// scan's base LSN, so it is directly comparable to log offsets.
@@ -161,10 +166,15 @@ class WalLog {
   uint64_t reset_generation() const XDB_EXCLUDES(commit_mu_);
 
   /// Installs (or clears, with nullptr) the retention hook consulted by
-  /// MaybeReset(): it returns the lowest LSN a tailer still needs; the log
-  /// is only truncated when that is >= size(). Called under the log's
-  /// append/replay mutex — the hook must not call back into this WalLog.
-  void set_retain_hook(std::function<uint64_t()> hook) XDB_EXCLUDES(mu_);
+  /// MaybeReset(): it receives the log's current reset generation and
+  /// returns the lowest LSN a tailer still needs; the log is only truncated
+  /// when that is >= size(). The generation lets a tailer whose position is
+  /// still in a previous log epoch's coordinates refuse truncation (return
+  /// 0) instead of comparing a stale offset against the new log. Called
+  /// under the log's append/replay mutex — the hook must not call back into
+  /// this WalLog.
+  void set_retain_hook(std::function<uint64_t(uint64_t reset_gen)> hook)
+      XDB_EXCLUDES(mu_);
 
   uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 
@@ -204,7 +214,7 @@ class WalLog {
   std::atomic<uint64_t> size_{0};
   /// Lowest LSN a tailer (replication shipper) still needs, or null when no
   /// tailer is attached. See set_retain_hook().
-  std::function<uint64_t()> retain_hook_ XDB_GUARDED_BY(mu_);
+  std::function<uint64_t(uint64_t)> retain_hook_ XDB_GUARDED_BY(mu_);
   RetryPolicy retry_policy_;
   IoClock* clock_ = nullptr;
   IoStats io_stats_;

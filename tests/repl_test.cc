@@ -5,10 +5,15 @@
 // resume, DDL replication, and the promotion path.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/coding.h"
 
 #include "engine/engine.h"
 #include "leak_check.h"
@@ -586,6 +591,269 @@ TEST_F(ReplTest, DuplicateReorderAndDropDeliveriesAllConverge) {
   EXPECT_GT(snap.Value("repl.apply.duplicates") +
                 snap.Value("repl.apply.gaps"),
             0u);
+}
+
+// Regression: the retention hook is generation-aware. After a checkpoint
+// truncates the WAL, the shipper's position stays in the OLD log's
+// coordinates until its next ShipOnce folds the reset into the stream base.
+// A second checkpoint arriving inside that window used to compare the stale
+// position (old log size) against the new log and truncate unshipped bytes
+// whenever fewer bytes had been appended than the old log held — they
+// vanished from the stream with no error and the replica silently diverged.
+TEST_F(ReplTest, SecondCheckpointBeforeNextShipRetainsUnshippedBytes) {
+  auto primary = Engine::Open(PrimaryOptions()).MoveValue();
+  auto replica = Engine::Open(ReplicaOptions()).MoveValue();
+  InProcessTransport transport;
+  WalShipper shipper(primary.get(), &transport);
+  auto applier =
+      ReplicaApplier::Attach(replica.get(), &transport).MoveValue();
+
+  Collection* coll = primary->CreateCollection("docs").value();
+  // A fat first epoch: its size is the stale retain floor the bug compares
+  // against the new log.
+  for (int i = 0; i < 5; i++)
+    ASSERT_TRUE(coll->InsertDocument(nullptr, "<d><pad>" +
+                                                  std::string(200, 'x') +
+                                                  "</pad></d>")
+                    .ok());
+  Pump(&shipper, applier.get());
+
+  // Fully shipped + acked: this checkpoint truncates and bumps the reset
+  // generation. The shipper has NOT run since, so it has not folded.
+  ASSERT_TRUE(primary->Checkpoint().ok());
+  ASSERT_EQ(primary->wal()->size(), 0u);
+
+  // Fewer bytes than the old log held, all unshipped.
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<d>tail</d>").ok());
+  const uint64_t unshipped = primary->wal()->size();
+  ASSERT_GT(unshipped, 0u);
+
+  // The second checkpoint must refuse to truncate: the only copy of the new
+  // bytes is this log.
+  ASSERT_TRUE(primary->Checkpoint().ok());
+  EXPECT_EQ(primary->wal()->size(), unshipped)
+      << "checkpoint truncated unshipped bytes behind the stale retain floor";
+
+  Pump(&shipper, applier.get());
+  EXPECT_EQ(replica->applied_csn(), shipper.shipped_csn());
+  Collection* rcoll = replica->GetCollection("docs").value();
+  EXPECT_EQ(rcoll->DocCount().value(), 6u);
+  EXPECT_EQ(rcoll->GetDocumentText(nullptr, 6).value(), "<d>tail</d>");
+}
+
+// Regression: a segment whose bytes land in the replica's local WAL but then
+// fail to apply must be truncated back out. Leaving them appended breaks the
+// `applied_csn == base + local-WAL-bytes` reconstruction at reopen: the
+// resync re-ships the same stream bytes, they get appended AGAIN, and the
+// replica starts skipping real segments.
+TEST_F(ReplTest, FailedSegmentApplyRollsBackLocalWal) {
+  auto replica = Engine::Open(ReplicaOptions()).MoveValue();
+
+  // A framed, CRC-intact record whose PAYLOAD is semantically corrupt: a
+  // name-dictionary entry far ahead of the dictionary ("out of order").
+  std::string payload;
+  PutFixed32(&payload, 7);
+  std::string framed;
+  PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+  framed.push_back(static_cast<char>(WalRecordType::kDefineName));
+  PutFixed32(&framed, Crc32(payload.data(), payload.size()));
+  framed.append(payload);
+
+  Status s = replica->ApplyReplicatedRecords(framed, framed.size());
+  ASSERT_FALSE(s.ok());
+  // The failed segment left no trace: watermark unmoved, local WAL empty.
+  EXPECT_EQ(replica->applied_csn(), 0u);
+  EXPECT_EQ(replica->wal()->size(), 0u)
+      << "failed apply left unacknowledged bytes in the local WAL";
+
+  // The stream accounting is intact: a real pipeline attaches at CSN 0 and
+  // converges normally.
+  auto primary = Engine::Open(PrimaryOptions()).MoveValue();
+  InProcessTransport transport;
+  WalShipper shipper(primary.get(), &transport);
+  auto applier =
+      ReplicaApplier::Attach(replica.get(), &transport).MoveValue();
+  Collection* coll = primary->CreateCollection("docs").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a>ok</a>").ok());
+  Pump(&shipper, applier.get());
+  EXPECT_EQ(replica->applied_csn(), shipper.shipped_csn());
+  EXPECT_EQ(
+      replica->GetCollection("docs").value()->DocCount().value(), 1u);
+}
+
+// Regression: a replica recovering a local WAL with mid-log damage (CRC-dead
+// records with intact ones after them) must NOT count the skipped records as
+// applied — acking them would lose their updates forever with no resync. The
+// watermark stops at the first damaged record and the range is re-shipped.
+TEST_F(ReplTest, ReplicaRecoveryAfterMidLogDamageResyncsInsteadOfAcking) {
+  auto primary = Engine::Open(PrimaryOptions()).MoveValue();
+  InProcessTransport transport;
+  WalShipper shipper(primary.get(), &transport);
+  Collection* coll = primary->CreateCollection("docs").value();
+
+  uint64_t total = 0;
+  {
+    Engine* replica = IntentionallyLeaked(
+        Engine::Open(ReplicaOptions()).MoveValue().release());
+    auto applier = ReplicaApplier::Attach(replica, &transport).MoveValue();
+    for (int i = 0; i < 10; i++)
+      ASSERT_TRUE(
+          coll->InsertDocument(nullptr, "<a>" + std::to_string(i) + "</a>")
+              .ok());
+    Pump(&shipper, applier.get());
+    total = replica->applied_csn();
+    ASSERT_EQ(total, shipper.shipped_csn());
+    // Crash: no checkpoint, the whole stream still lives in the local WAL.
+  }
+
+  // Flip one payload byte of a middle record: mid-log corruption (intact
+  // records follow), the signature recovery used to ack right through.
+  const std::string wal_path = replica_dir_ + "/wal.log";
+  std::string buf;
+  {
+    std::ifstream in(wal_path, std::ios::binary);
+    buf.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+  }
+  std::vector<size_t> payload_offsets;
+  ASSERT_TRUE(ScanWalRecords(
+                  Slice(buf),
+                  0,
+                  [&](uint64_t, WalRecordType, Slice p) {
+                    payload_offsets.push_back(
+                        static_cast<size_t>(p.data() - buf.data()));
+                    return Status::OK();
+                  },
+                  nullptr)
+                  .ok());
+  ASSERT_GT(payload_offsets.size(), 4u);
+  const size_t flip_at = payload_offsets[payload_offsets.size() / 2];
+  {
+    std::fstream f(wal_path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(flip_at));
+    char c = static_cast<char>(f.get());
+    f.seekp(static_cast<std::streamoff>(flip_at));
+    f.put(static_cast<char>(c ^ 0x20));
+  }
+
+  // Reopen: never fails to open, and the watermark stops BEFORE the damaged
+  // record (its start precedes the flipped payload byte).
+  auto replica = Engine::Open(ReplicaOptions()).MoveValue();
+  EXPECT_LT(replica->applied_csn(), total)
+      << "damaged stream bytes were acknowledged as applied";
+  EXPECT_LE(replica->applied_csn(), flip_at);
+
+  // New primary traffic makes the replica see the gap, resync, and converge
+  // — including the re-shipped damaged range.
+  auto applier =
+      ReplicaApplier::Attach(replica.get(), &transport).MoveValue();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a>post</a>").ok());
+  Pump(&shipper, applier.get(), /*rounds=*/12);
+  EXPECT_EQ(replica->applied_csn(), shipper.shipped_csn());
+  Collection* rcoll = replica->GetCollection("docs").value();
+  EXPECT_EQ(rcoll->DocCount().value(), 11u);
+  for (uint64_t d = 1; d <= 10; d++)
+    EXPECT_EQ(rcoll->GetDocumentText(nullptr, d).value(),
+              "<a>" + std::to_string(d - 1) + "</a>");
+}
+
+// Regression: the replica read-only gate is thread-scoped. While the applier
+// thread is mid-ApplyReplicatedRecords, client mutations on other threads
+// used to slip past the engine-wide "replaying" flag (TOCTOU) and append
+// local writes to the replica's WAL. Every attempt must fail kNotSupported,
+// no matter how it interleaves with the apply.
+TEST_F(ReplTest, ClientMutationsDuringApplyAlwaysRejected) {
+  auto primary = Engine::Open(PrimaryOptions()).MoveValue();
+  auto replica = Engine::Open(ReplicaOptions()).MoveValue();
+  InProcessTransport transport;
+  ShipperOptions sopts;
+  sopts.max_segment_bytes = 64;  // many segments → a wide apply window
+  WalShipper shipper(primary.get(), &transport, sopts);
+  auto applier =
+      ReplicaApplier::Attach(replica.get(), &transport).MoveValue();
+  Collection* coll = primary->CreateCollection("docs").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a>seed</a>").ok());
+  Pump(&shipper, applier.get());
+  Collection* rcoll = replica->GetCollection("docs").value();
+
+  for (int i = 0; i < 50; i++)
+    ASSERT_TRUE(
+        coll->InsertDocument(nullptr, "<a>" + std::to_string(i) + "</a>")
+            .ok());
+  ASSERT_TRUE(shipper.ShipAll().ok());  // queue everything, apply nothing
+
+  const uint64_t wal_before_storm = replica->wal()->size();
+  std::atomic<bool> done{false};
+  std::atomic<int> rejected{0};
+  std::atomic<int> leaked_writes{0};
+  std::thread writer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      Status s = rcoll->InsertDocument(nullptr, "<a>local</a>").status();
+      if (s.IsNotSupported())
+        rejected.fetch_add(1, std::memory_order_relaxed);
+      else
+        leaked_writes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // Don't let a fast apply win by default: the storm is provably underway
+  // before the first segment is applied.
+  while (rejected.load(std::memory_order_relaxed) +
+             leaked_writes.load(std::memory_order_relaxed) ==
+         0)
+    std::this_thread::yield();
+  Status apply_status = applier->CatchUp();
+  done.store(true, std::memory_order_release);
+  writer.join();
+  ASSERT_TRUE(apply_status.ok()) << apply_status.ToString();
+
+  EXPECT_EQ(leaked_writes.load(), 0)
+      << "a client write slipped past the replica read-only gate mid-apply";
+  EXPECT_GT(rejected.load(), 0);
+  // Stream accounting intact: local WAL grew by exactly the shipped bytes.
+  EXPECT_EQ(replica->applied_csn(), shipper.shipped_csn());
+  EXPECT_GT(replica->wal()->size(), wal_before_storm);
+  EXPECT_EQ(rcoll->DocCount().value(), 51u);
+}
+
+// Regression: value-index DDL and its WAL record are atomic. Concurrent
+// create+drop of the same index used to be able to log in the opposite order
+// of their application, so crash replay (and any replica) converged to the
+// opposite final state from the primary.
+TEST_F(ReplTest, ConcurrentIndexDdlReplayConvergesToPrimaryState) {
+  Engine* primary = IntentionallyLeaked(
+      Engine::Open(PrimaryOptions()).MoveValue().release());
+  auto replica = Engine::Open(ReplicaOptions()).MoveValue();
+  InProcessTransport transport;
+  WalShipper shipper(primary, &transport);
+  auto applier =
+      ReplicaApplier::Attach(replica.get(), &transport).MoveValue();
+  Collection* coll = primary->CreateCollection("docs").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b></a>").ok());
+
+  const ValueIndexDef def{"i", "/a/b", ValueType::kString, 64};
+  std::thread creator([&] {
+    for (int i = 0; i < 40; i++) (void)coll->CreateValueIndex(def);
+  });
+  std::thread dropper([&] {
+    for (int i = 0; i < 40; i++) (void)coll->DropValueIndex("i");
+  });
+  creator.join();
+  dropper.join();
+
+  const bool on_primary = coll->FindValueIndex("i") != nullptr;
+  Pump(&shipper, applier.get());
+  Collection* rcoll = replica->GetCollection("docs").value();
+  EXPECT_EQ(rcoll->FindValueIndex("i") != nullptr, on_primary)
+      << "replica converged to the opposite index state (log order inverted "
+         "against application order)";
+
+  // Crash (no clean close, so no catalog save): the reopened engine rebuilds
+  // the index state purely from WAL replay — the log IS the application
+  // order, so it must land on the same final state.
+  auto reopened = Engine::Open(PrimaryOptions()).MoveValue();
+  Collection* rcoll2 = reopened->GetCollection("docs").value();
+  EXPECT_EQ(rcoll2->FindValueIndex("i") != nullptr, on_primary);
 }
 
 TEST_F(ReplTest, TransientShipErrorsAreRetriedWithBackoff) {
