@@ -111,7 +111,7 @@ class LockManager {
       XDB_REQUIRES(mu_);
 
   std::chrono::milliseconds timeout_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kLockManager};
   CondVar cv_;
   std::map<uint64_t, DocLock> doc_locks_ XDB_GUARDED_BY(mu_);
   std::map<uint64_t, DocNodeLocks> node_locks_ XDB_GUARDED_BY(mu_);

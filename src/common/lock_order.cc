@@ -1,0 +1,175 @@
+#include "common/lock_order.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xdb {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kMetricsRegistry:
+      return "kMetricsRegistry";
+    case LockRank::kEngineCatalog:
+      return "kEngineCatalog";
+    case LockRank::kCollectionDdl:
+      return "kCollectionDdl";
+    case LockRank::kWalNames:
+      return "kWalNames";
+    case LockRank::kWalAppend:
+      return "kWalAppend";
+    case LockRank::kWalCommit:
+      return "kWalCommit";
+    case LockRank::kLockManager:
+      return "kLockManager";
+    case LockRank::kCollectionLatch:
+      return "kCollectionLatch";
+    case LockRank::kRecordManager:
+      return "kRecordManager";
+    case LockRank::kBufferShard:
+      return "kBufferShard";
+    case LockRank::kBufferLsn:
+      return "kBufferLsn";
+    case LockRank::kTableSpace:
+      return "kTableSpace";
+    case LockRank::kCollectionDocId:
+      return "kCollectionDocId";
+    case LockRank::kNameDictionary:
+      return "kNameDictionary";
+    case LockRank::kCollectionStats:
+      return "kCollectionStats";
+    case LockRank::kPlanCache:
+      return "kPlanCache";
+    case LockRank::kEngineFreshness:
+      return "kEngineFreshness";
+    case LockRank::kThreadPoolWorker:
+      return "kThreadPoolWorker";
+    case LockRank::kThreadPoolIdle:
+      return "kThreadPoolIdle";
+    case LockRank::kSyncLatch:
+      return "kSyncLatch";
+    case LockRank::kShipTransport:
+      return "kShipTransport";
+    case LockRank::kFaultInjector:
+      return "kFaultInjector";
+    case LockRank::kTestLow:
+      return "kTestLow";
+    case LockRank::kTestMid:
+      return "kTestMid";
+    case LockRank::kTestHigh:
+      return "kTestHigh";
+  }
+  return "<unknown rank>";
+}
+
+#if defined(XDB_LOCK_ORDER_CHECK)
+
+namespace lock_order {
+namespace {
+
+/// Deep enough for the longest real chain (metrics → engine → WAL → replay →
+/// latch → record → shard → lsn/space → fault injector is 9) with headroom
+/// for tests; blowing it means a lock leak, which deserves the abort.
+constexpr int kMaxHeld = 32;
+
+struct ThreadStack {
+  HeldLock held[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local ThreadStack tls;
+
+[[noreturn]] void Abort(const char* kind, LockRank rank, const void* instance,
+                        const char* file, int line, const HeldLock& top) {
+  // Primary report on one line so death tests (and grep) can match both
+  // sites together; the full stack follows for humans.
+  std::fprintf(
+      stderr,
+      "xdb lock-order violation (%s): acquiring %s (rank %u, instance %p) at "
+      "%s:%d while holding %s (rank %u, instance %p) acquired at %s:%d\n",
+      kind, LockRankName(rank), static_cast<unsigned>(rank), instance, file,
+      line, LockRankName(top.rank), static_cast<unsigned>(top.rank),
+      top.instance, top.file, top.line);
+  std::fprintf(stderr, "held locks (outermost first):\n");
+  for (int i = 0; i < tls.depth; i++) {
+    const HeldLock& h = tls.held[i];
+    std::fprintf(stderr, "  #%d %s%s (instance %p) acquired at %s:%d\n", i,
+                 LockRankName(h.rank), h.shared ? " [shared]" : "", h.instance,
+                 h.file, h.line);
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void CheckAcquire(LockRank rank, const void* instance, const char* file,
+                  int line) {
+  if (tls.depth == 0) return;
+  const HeldLock& top = tls.held[tls.depth - 1];
+  if (rank > top.rank) return;
+  const char* kind;
+  if (top.instance == instance)
+    kind = "re-entrant acquire";
+  else if (rank == top.rank)
+    kind = "same-rank cross-instance acquire";
+  else
+    kind = "out-of-order acquire";
+  Abort(kind, rank, instance, file, line, top);
+}
+
+void RecordAcquire(LockRank rank, const void* instance, const char* file,
+                   int line, bool shared) {
+  if (tls.depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "xdb lock-order violation (held-stack overflow): %d locks "
+                 "held while acquiring %s at %s:%d\n",
+                 tls.depth, LockRankName(rank), file, line);
+    std::abort();
+  }
+  tls.held[tls.depth++] = HeldLock{rank, instance, file, line, shared};
+}
+
+void RecordRelease(const void* instance) {
+  for (int i = tls.depth - 1; i >= 0; i--) {
+    if (tls.held[i].instance != instance) continue;
+    for (int j = i; j + 1 < tls.depth; j++) tls.held[j] = tls.held[j + 1];
+    tls.depth--;
+    return;
+  }
+  std::fprintf(stderr,
+               "xdb lock-order violation (release of unheld lock): instance "
+               "%p released by a thread that does not hold it\n",
+               instance);
+  std::abort();
+}
+
+HeldLock BeginWait(const void* instance) {
+  for (int i = tls.depth - 1; i >= 0; i--) {
+    if (tls.held[i].instance != instance) continue;
+    HeldLock token = tls.held[i];
+    for (int j = i; j + 1 < tls.depth; j++) tls.held[j] = tls.held[j + 1];
+    tls.depth--;
+    return token;
+  }
+  std::fprintf(stderr,
+               "xdb lock-order violation (wait on unheld lock): instance %p "
+               "waited on by a thread that does not hold it\n",
+               instance);
+  std::abort();
+}
+
+void EndWait(const HeldLock& token) {
+  // The thread blocked for the whole wait, so its stack is exactly the
+  // acquire-time stack minus this lock: re-validating keeps the invariant
+  // honest if a callback ever acquires during the wait window.
+  CheckAcquire(token.rank, token.instance, token.file, token.line);
+  RecordAcquire(token.rank, token.instance, token.file, token.line,
+                token.shared);
+}
+
+int HeldDepthForTest() { return tls.depth; }
+
+}  // namespace lock_order
+
+#endif  // XDB_LOCK_ORDER_CHECK
+
+}  // namespace xdb

@@ -1,0 +1,85 @@
+// Runtime lock-order enforcement (the dynamic half of xdb-check).
+//
+// Built with -DXDB_LOCK_ORDER_CHECK=ON, every Mutex/SharedMutex acquisition
+// is checked against a thread-local stack of currently held locks: the new
+// lock's LockRank must be strictly greater than the rank on top of the
+// stack. A violation — out-of-order acquire, same-rank acquire (even of a
+// different instance), or re-entrant acquire — aborts the process, printing
+// BOTH acquisition sites (the one being attempted and the one already held)
+// on a single line, plus the full held stack. Unlike a deadlock or a TSan
+// report, this fires on ANY execution that takes the locks in the wrong
+// order: no second thread, no unlucky interleaving needed.
+//
+// The check happens BEFORE the underlying lock() call, so an inversion
+// aborts with a readable report instead of deadlocking against the thread
+// that holds the locks in the documented order.
+//
+// CondVar waits release the mutex inside the wait: BeginWait() pops the
+// lock's stack entry (returning it as a token) and EndWait() re-validates
+// and re-pushes it after the wake-up re-acquire, so the stack always
+// mirrors what the thread actually holds.
+//
+// Without the option, every function here is an empty inline: the LockRank
+// constructor argument is discarded, no thread-local exists, and release
+// builds are bit-for-bit free of the machinery (satellite bench datapoint
+// in BENCH_RESULTS.json).
+#ifndef XDB_COMMON_LOCK_ORDER_H_
+#define XDB_COMMON_LOCK_ORDER_H_
+
+#include "common/lock_rank.h"
+
+namespace xdb {
+namespace lock_order {
+
+#if defined(XDB_LOCK_ORDER_CHECK)
+
+/// One held lock, as seen by this thread.
+struct HeldLock {
+  LockRank rank;
+  const void* instance;
+  const char* file;
+  int line;
+  bool shared;
+};
+
+/// Validates that acquiring (rank, instance) from this thread respects the
+/// global order; aborts with both acquisition sites if not. Call before the
+/// underlying lock()/lock_shared() so inversions report instead of
+/// deadlocking.
+void CheckAcquire(LockRank rank, const void* instance, const char* file,
+                  int line);
+
+/// Pushes the lock onto this thread's held stack (call once the underlying
+/// acquisition succeeded).
+void RecordAcquire(LockRank rank, const void* instance, const char* file,
+                   int line, bool shared);
+
+/// Removes `instance`'s entry from this thread's held stack (topmost match;
+/// RAII scopes make this the literal top). Aborts if the thread does not
+/// hold it — an unlock-without-lock is a bug in its own right.
+void RecordRelease(const void* instance);
+
+/// Pops `instance`'s entry for the duration of a condition wait; the
+/// returned token re-pushes it in EndWait() after the re-acquire.
+HeldLock BeginWait(const void* instance);
+void EndWait(const HeldLock& token);
+
+/// Number of locks this thread currently holds (tests).
+int HeldDepthForTest();
+
+#else  // !XDB_LOCK_ORDER_CHECK
+
+struct HeldLock {};
+inline void CheckAcquire(LockRank, const void*, const char*, int) {}
+inline void RecordAcquire(LockRank, const void*, const char*, int, bool) {}
+inline void RecordRelease(const void*) {}
+inline HeldLock BeginWait(const void*) { return {}; }
+inline void EndWait(const HeldLock&) {}
+inline int HeldDepthForTest() { return 0; }
+
+#endif  // XDB_LOCK_ORDER_CHECK
+
+}  // namespace lock_order
+}  // namespace xdb
+
+#endif  // XDB_COMMON_LOCK_ORDER_H_

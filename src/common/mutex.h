@@ -1,13 +1,22 @@
-// Annotated mutex wrappers for Clang Thread Safety Analysis.
+// Annotated, rank-checked mutex wrappers.
 //
 // libstdc++'s std::mutex / std::shared_mutex / std::lock_guard carry no
 // capability attributes, so GUARDED_BY members protected by a raw std::mutex
 // are invisible to -Wthread-safety. These thin wrappers (same idea as
-// absl::Mutex) forward to the standard types and add the attributes; they
-// cost nothing at runtime.
+// absl::Mutex) forward to the standard types and add two things:
+//
+//  1. Clang Thread Safety Analysis attributes (compile-time, always on —
+//     they cost nothing at runtime).
+//  2. A mandatory LockRank (common/lock_rank.h): every construction site
+//     names its position in the global lock order. Under
+//     -DXDB_LOCK_ORDER_CHECK=ON each acquisition is validated against a
+//     thread-local held stack and an out-of-order acquire aborts, naming
+//     both acquisition sites (common/lock_order.h). In normal builds the
+//     rank argument is discarded by an empty constructor and the wrappers
+//     compile down to the bare std primitives.
 //
 // Usage:
-//   mutable Mutex mu_;
+//   mutable Mutex mu_{LockRank::kTableSpace};
 //   std::map<K, V> table_ XDB_GUARDED_BY(mu_);
 //
 //   void Get(K k) {
@@ -16,7 +25,11 @@
 //   }
 //
 // CondVar wants a MutexLock (which wraps std::unique_lock) rather than a raw
-// Mutex so waits can atomically release/reacquire.
+// Mutex so waits can atomically release/reacquire; the rank stack entry is
+// popped for the duration of the wait and re-pushed after the re-acquire.
+//
+// xdb_lint rule raw-std-sync keeps the underlying std types confined to
+// this header.
 #ifndef XDB_COMMON_MUTEX_H_
 #define XDB_COMMON_MUTEX_H_
 
@@ -25,7 +38,19 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lock_order.h"
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
+
+// Acquisition-site capture: with the checker on, every Lock() call site is
+// recorded via __builtin_FILE/__builtin_LINE default arguments (no macros at
+// call sites). With it off, the parameters do not exist at all, so release
+// call sites pass nothing and the rank machinery vanishes entirely.
+#if defined(XDB_LOCK_ORDER_CHECK)
+#define XDB_LOCK_SITE_PARAMS \
+  const char* xdb_file = __builtin_FILE(), int xdb_line = __builtin_LINE()
+#define XDB_LOCK_SITE_ARGS xdb_file, xdb_line
+#endif
 
 namespace xdb {
 
@@ -34,29 +59,68 @@ class CondVar;
 /// Exclusive mutex. Prefer the RAII MutexLock over manual Lock/Unlock.
 class XDB_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+#if defined(XDB_LOCK_ORDER_CHECK)
+  explicit Mutex(LockRank rank) : rank_(rank) {}
+#else
+  explicit Mutex(LockRank) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if defined(XDB_LOCK_ORDER_CHECK)
+  void Lock(XDB_LOCK_SITE_PARAMS) XDB_ACQUIRE() {
+    lock_order::CheckAcquire(rank_, this, XDB_LOCK_SITE_ARGS);
+    mu_.lock();
+    lock_order::RecordAcquire(rank_, this, XDB_LOCK_SITE_ARGS,
+                              /*shared=*/false);
+  }
+  void Unlock() XDB_RELEASE() {
+    lock_order::RecordRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock(XDB_LOCK_SITE_PARAMS) XDB_TRY_ACQUIRE(true) {
+    // A try-acquire cannot deadlock, but the discipline is the same: code
+    // that try-locks against the order is one refactor away from blocking
+    // against it.
+    lock_order::CheckAcquire(rank_, this, XDB_LOCK_SITE_ARGS);
+    if (!mu_.try_lock()) return false;
+    lock_order::RecordAcquire(rank_, this, XDB_LOCK_SITE_ARGS,
+                              /*shared=*/false);
+    return true;
+  }
+#else
   void Lock() XDB_ACQUIRE() { mu_.lock(); }
   void Unlock() XDB_RELEASE() { mu_.unlock(); }
   bool TryLock() XDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
 
  private:
   friend class MutexLock;
   std::mutex mu_;
+#if defined(XDB_LOCK_ORDER_CHECK)
+  const LockRank rank_;
+#endif
 };
 
 /// RAII exclusive lock over Mutex; wraps std::unique_lock so CondVar can
 /// wait on it.
 class XDB_SCOPED_CAPABILITY MutexLock {
  public:
-  // Acquires through the annotated Mutex::Lock (so the analysis sees it),
-  // then hands ownership to the unique_lock CondVar waits on.
+  // Acquires through the annotated Mutex::Lock (so the analysis sees it and
+  // the rank checker records the MutexLock construction site), then hands
+  // ownership to the unique_lock CondVar waits on.
+#if defined(XDB_LOCK_ORDER_CHECK)
+  explicit MutexLock(Mutex& mu, XDB_LOCK_SITE_PARAMS) XDB_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(XDB_LOCK_SITE_ARGS);
+    lock_ = std::unique_lock<std::mutex>(mu_.mu_, std::adopt_lock);
+  }
+#else
   explicit MutexLock(Mutex& mu) XDB_ACQUIRE(mu) : mu_(mu) {
     mu_.Lock();
     lock_ = std::unique_lock<std::mutex>(mu_.mu_, std::adopt_lock);
   }
+#endif
   ~MutexLock() XDB_RELEASE() {
     lock_.release();  // drop ownership; unlock through the annotated path
     mu_.Unlock();
@@ -77,13 +141,24 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void Wait(MutexLock& lock) {
+    // The wait releases the mutex until the wake-up re-acquire; the rank
+    // stack mirrors that so other acquisitions made by *this thread* are
+    // impossible by construction (it is blocked) and the entry is restored
+    // with its original acquisition site once the lock is held again.
+    lock_order::HeldLock token = lock_order::BeginWait(&lock.mu_);
+    cv_.wait(lock.lock_);
+    lock_order::EndWait(token);
+  }
 
   template <typename Clock, typename Duration>
   std::cv_status WaitUntil(
       MutexLock& lock,
       const std::chrono::time_point<Clock, Duration>& deadline) {
-    return cv_.wait_until(lock.lock_, deadline);
+    lock_order::HeldLock token = lock_order::BeginWait(&lock.mu_);
+    std::cv_status status = cv_.wait_until(lock.lock_, deadline);
+    lock_order::EndWait(token);
+    return status;
   }
 
   void NotifyOne() { cv_.notify_one(); }
@@ -96,26 +171,74 @@ class CondVar {
 /// Reader/writer latch (std::shared_mutex with capability attributes).
 class XDB_CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+#if defined(XDB_LOCK_ORDER_CHECK)
+  explicit SharedMutex(LockRank rank) : rank_(rank) {}
+#else
+  explicit SharedMutex(LockRank) {}
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
+#if defined(XDB_LOCK_ORDER_CHECK)
+  void Lock(XDB_LOCK_SITE_PARAMS) XDB_ACQUIRE() {
+    lock_order::CheckAcquire(rank_, this, XDB_LOCK_SITE_ARGS);
+    mu_.lock();
+    lock_order::RecordAcquire(rank_, this, XDB_LOCK_SITE_ARGS,
+                              /*shared=*/false);
+  }
+  void Unlock() XDB_RELEASE() {
+    lock_order::RecordRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock(XDB_LOCK_SITE_PARAMS) XDB_TRY_ACQUIRE(true) {
+    lock_order::CheckAcquire(rank_, this, XDB_LOCK_SITE_ARGS);
+    if (!mu_.try_lock()) return false;
+    lock_order::RecordAcquire(rank_, this, XDB_LOCK_SITE_ARGS,
+                              /*shared=*/false);
+    return true;
+  }
+  void LockShared(XDB_LOCK_SITE_PARAMS) XDB_ACQUIRE_SHARED() {
+    // Same-thread shared-after-shared on one instance is UB in
+    // std::shared_mutex, so shared acquisitions obey the same strict-rank
+    // rule as exclusive ones.
+    lock_order::CheckAcquire(rank_, this, XDB_LOCK_SITE_ARGS);
+    mu_.lock_shared();
+    lock_order::RecordAcquire(rank_, this, XDB_LOCK_SITE_ARGS,
+                              /*shared=*/true);
+  }
+  void UnlockShared() XDB_RELEASE_SHARED() {
+    lock_order::RecordRelease(this);
+    mu_.unlock_shared();
+  }
+#else
   void Lock() XDB_ACQUIRE() { mu_.lock(); }
   void Unlock() XDB_RELEASE() { mu_.unlock(); }
   bool TryLock() XDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
   void LockShared() XDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
   void UnlockShared() XDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+#endif
 
  private:
   std::shared_mutex mu_;
+#if defined(XDB_LOCK_ORDER_CHECK)
+  const LockRank rank_;
+#endif
 };
 
 /// RAII exclusive (writer) lock over SharedMutex.
 class XDB_SCOPED_CAPABILITY WriterMutexLock {
  public:
+#if defined(XDB_LOCK_ORDER_CHECK)
+  explicit WriterMutexLock(SharedMutex& mu, XDB_LOCK_SITE_PARAMS)
+      XDB_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(XDB_LOCK_SITE_ARGS);
+  }
+#else
   explicit WriterMutexLock(SharedMutex& mu) XDB_ACQUIRE(mu) : mu_(mu) {
     mu_.Lock();
   }
+#endif
   ~WriterMutexLock() XDB_RELEASE() { mu_.Unlock(); }
   WriterMutexLock(const WriterMutexLock&) = delete;
   WriterMutexLock& operator=(const WriterMutexLock&) = delete;
@@ -127,9 +250,17 @@ class XDB_SCOPED_CAPABILITY WriterMutexLock {
 /// RAII shared (reader) lock over SharedMutex.
 class XDB_SCOPED_CAPABILITY ReaderMutexLock {
  public:
+#if defined(XDB_LOCK_ORDER_CHECK)
+  explicit ReaderMutexLock(SharedMutex& mu, XDB_LOCK_SITE_PARAMS)
+      XDB_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared(XDB_LOCK_SITE_ARGS);
+  }
+#else
   explicit ReaderMutexLock(SharedMutex& mu) XDB_ACQUIRE_SHARED(mu) : mu_(mu) {
     mu_.LockShared();
   }
+#endif
   ~ReaderMutexLock() XDB_RELEASE() { mu_.UnlockShared(); }
   ReaderMutexLock(const ReaderMutexLock&) = delete;
   ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;

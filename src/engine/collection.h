@@ -147,7 +147,7 @@ class Collection {
   /// Stores an already-tokenized document (constructor pipelines insert
   /// without an XML-text round trip).
   Result<uint64_t> InsertTokens(Transaction* txn, Slice tokens)
-      XDB_EXCLUDES(latch_);
+      XDB_EXCLUDES(latch_) XDB_EXCLUDES(docid_mu_);
 
   /// Serializes the stored document back to XML text.
   Result<std::string> GetDocumentText(Transaction* txn, uint64_t doc_id)
@@ -182,11 +182,13 @@ class Collection {
       XDB_EXCLUDES(latch_);
 
   /// Creates an XPath value index and backfills it from existing documents.
-  Status CreateValueIndex(const ValueIndexDef& def) XDB_EXCLUDES(latch_);
+  Status CreateValueIndex(const ValueIndexDef& def)
+      XDB_EXCLUDES(latch_) XDB_EXCLUDES(ddl_mu_);
 
   /// Drops a value index. Bumps the index-structure version and clears the
   /// plan cache so no compiled plan ever probes the destroyed index.
-  Status DropValueIndex(const std::string& name) XDB_EXCLUDES(latch_);
+  Status DropValueIndex(const std::string& name)
+      XDB_EXCLUDES(latch_) XDB_EXCLUDES(ddl_mu_);
 
   /// Evaluates an XPath query over the collection. Compiled plans are served
   /// from the per-collection plan cache when enabled (keyed by query text,
@@ -390,17 +392,17 @@ class Collection {
   // the REQUIRES-annotated *Locked helpers. Lock order: transaction-level
   // document/node locks (LockManager) are always acquired BEFORE latch_ —
   // never block on a doc lock while holding the latch.
-  mutable SharedMutex latch_;
+  mutable SharedMutex latch_{LockRank::kCollectionLatch};
   // Doc id allocation (meta_.next_doc_id). Leaf lock: nothing else is
   // acquired while it is held.
-  Mutex docid_mu_;
+  Mutex docid_mu_{LockRank::kCollectionDocId};
   // Serializes client value-index DDL (create/drop) TOGETHER WITH its WAL
   // append: held across both the latched mutation and the log record, so
   // concurrent create+drop of the same index can never log in the opposite
   // order of their application — an inversion crash replay or a replica
   // would converge to the wrong final state from. Ordered before latch_ and
   // before the WAL mutex; WAL replay never takes it (see the Apply* pair).
-  Mutex ddl_mu_;
+  Mutex ddl_mu_{LockRank::kCollectionDdl};
 
   // Collected statistics (doc/node counts, per-index sketches, the stats
   // epoch). Mutating notes run under the exclusive latch_; snapshots are

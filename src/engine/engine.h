@@ -312,7 +312,7 @@ class Engine {
   std::unique_ptr<TransactionManager> txns_;
   std::unique_ptr<WalLog> wal_;
   // Mutable so the const metrics collector can walk collections_.
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kEngineCatalog};
   std::map<std::string, std::unique_ptr<Collection>> collections_
       XDB_GUARDED_BY(mu_);
   std::map<std::string, schema::CompiledSchema> schemas_ XDB_GUARDED_BY(mu_);
@@ -327,7 +327,7 @@ class Engine {
   // (Replay permission is thread-scoped, not engine state: see InReplay().)
   // Dictionary entries with id < wal_names_logged_ are durable (in the
   // checkpointed catalog or already in the WAL).
-  Mutex wal_names_mu_;
+  Mutex wal_names_mu_{LockRank::kWalNames};
   size_t wal_names_logged_ XDB_GUARDED_BY(wal_names_mu_) = 0;
   /// Read-only replica gate; set from options at Open, cleared by Promote().
   std::atomic<bool> replica_{false};
@@ -339,7 +339,7 @@ class Engine {
   /// fast check is a single load. fresh_mu_ is a leaf lock: acquired with
   /// mu_ held (ApplyReplicatedRecords) and never the other way around.
   std::atomic<uint64_t> applied_csn_{0};
-  Mutex fresh_mu_;
+  Mutex fresh_mu_{LockRank::kEngineFreshness};
   CondVar fresh_cv_;
 };
 

@@ -201,7 +201,7 @@ class MetricsRegistry {
     Histogram* histogram = nullptr;
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry};
   /// Deques for pointer stability across registrations.
   std::deque<Counter> counters_ XDB_GUARDED_BY(mu_);
   std::deque<Gauge> gauges_ XDB_GUARDED_BY(mu_);

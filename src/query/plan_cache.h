@@ -122,7 +122,7 @@ class PlanCache {
     std::list<Key>::iterator lru_pos;  // back = most recent
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kPlanCache};
   size_t capacity_ XDB_GUARDED_BY(mu_);
   Counters counters_ XDB_GUARDED_BY(mu_);
   obs::EventLog* events_ XDB_GUARDED_BY(mu_) = nullptr;

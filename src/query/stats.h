@@ -133,7 +133,7 @@ class CollectionStats {
 
   std::atomic<uint64_t> epoch_{0};
   std::atomic<bool> valid_{true};
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kCollectionStats};
   uint64_t doc_count_ XDB_GUARDED_BY(mu_) = 0;
   uint64_t node_count_ XDB_GUARDED_BY(mu_) = 0;
   std::map<std::string, std::unique_ptr<PerIndex>> indexes_

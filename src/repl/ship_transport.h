@@ -85,7 +85,7 @@ class InProcessTransport : public ShipTransport {
   size_t pending() const XDB_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kShipTransport};
   std::deque<std::string> queue_ XDB_GUARDED_BY(mu_);
   /// A segment held back by an injected reorder; delivered after the next.
   std::string held_ XDB_GUARDED_BY(mu_);
@@ -124,7 +124,7 @@ class FileTransport : public ShipTransport {
   Status WriteSegmentFile(uint64_t seq, Slice bytes) XDB_REQUIRES(mu_);
 
   const std::string dir_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kShipTransport};
   uint64_t next_write_ XDB_GUARDED_BY(mu_) = 0;
   uint64_t next_read_ XDB_GUARDED_BY(mu_) = 0;
   std::string held_ XDB_GUARDED_BY(mu_);

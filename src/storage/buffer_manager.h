@@ -167,7 +167,7 @@ class BufferManager {
 
   /// One independent slice of the cache: its own lock, table, LRU and stats.
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kBufferShard};
     std::unordered_map<PageId, internal::Frame*> table XDB_GUARDED_BY(mu);
     std::unordered_set<PageId> quarantined XDB_GUARDED_BY(mu);
     /// front = coldest unpinned frame
@@ -201,7 +201,7 @@ class BufferManager {
   uint32_t data_offset_;
   bool checksums_;
   /// Leaf lock (acquired inside a shard lock during writeback).
-  mutable Mutex lsn_mu_;
+  mutable Mutex lsn_mu_{LockRank::kBufferLsn};
   std::function<uint64_t()> lsn_source_ XDB_GUARDED_BY(lsn_mu_);
   std::vector<std::unique_ptr<Shard>> shards_;  // fixed after ctor
   size_t shard_mask_ = 0;

@@ -113,7 +113,7 @@ class RecordManager {
   Status FreeCellAt(PageHandle& page, uint16_t slot) XDB_EXCLUDES(mu_);
 
   BufferManager* bm_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kRecordManager};
   // page id -> free bytes (approximate; refreshed on modification).
   std::map<PageId, uint32_t> free_space_ XDB_GUARDED_BY(mu_);
   RecordManagerStats stats_ XDB_GUARDED_BY(mu_);

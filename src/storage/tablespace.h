@@ -104,7 +104,7 @@ class TableSpace {
   Status ReadPageImpl(PageId id, char* buf) XDB_EXCLUDES(mu_);
   Status WritePageImpl(PageId id, const char* buf) XDB_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTableSpace};
   int fd_ = -1;
   bool in_memory_ = false;
   uint32_t page_size_ = kDefaultPageSize;

@@ -208,7 +208,7 @@ class WalLog {
   /// Serializes appends (LSN assignment + pwrite) and replay/reset against
   /// each other. fd_/path_ are fixed after Open; size_ is atomic so size()
   /// and Sync() stay lock-free.
-  Mutex mu_;
+  Mutex mu_{LockRank::kWalAppend};
   int fd_ = -1;
   std::string path_;
   std::atomic<uint64_t> size_{0};
@@ -221,7 +221,7 @@ class WalLog {
 
   /// Group-commit state. Lock order: mu_ before commit_mu_ (Reset() takes
   /// both); Commit() takes only commit_mu_ and drops it around the fsync.
-  mutable Mutex commit_mu_;
+  mutable Mutex commit_mu_{LockRank::kWalCommit};
   CondVar commit_cv_;
   /// Byte offset the log is durable up to (the highest synced CSN).
   uint64_t synced_upto_ XDB_GUARDED_BY(commit_mu_) = 0;

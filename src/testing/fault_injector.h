@@ -156,7 +156,7 @@ class FaultInjector {
   /// Counts the op and returns the armed fault firing on it, if any.
   Armed* Count(FaultPoint point) XDB_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kFaultInjector};
   uint64_t counts_[kNumFaultPoints] XDB_GUARDED_BY(mu_) = {};
   std::vector<Armed> armed_ XDB_GUARDED_BY(mu_);
   bool crash_after_fire_ XDB_GUARDED_BY(mu_) = false;

@@ -43,7 +43,7 @@ class Latch {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kSyncLatch};
   CondVar cv_;
   size_t count_ XDB_GUARDED_BY(mu_);
 };
@@ -73,7 +73,7 @@ class ThreadPool {
 
  private:
   struct Worker {
-    Mutex mu;
+    Mutex mu{LockRank::kThreadPoolWorker};
     std::deque<std::function<void()>> queue XDB_GUARDED_BY(mu);
   };
 
@@ -83,7 +83,7 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  Mutex idle_mu_;
+  Mutex idle_mu_{LockRank::kThreadPoolIdle};
   CondVar idle_cv_;
   bool stop_ XDB_GUARDED_BY(idle_mu_) = false;
   /// Tasks pushed but not yet popped, across all deques (idle-wait predicate).

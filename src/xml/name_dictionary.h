@@ -46,7 +46,7 @@ class NameDictionary {
   Status Load(Slice data) XDB_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kNameDictionary};
   std::unordered_map<std::string, NameId> ids_ XDB_GUARDED_BY(mu_);
   std::vector<std::string> names_ XDB_GUARDED_BY(mu_);
 };

@@ -25,6 +25,7 @@
 #include "storage/buffer_manager.h"
 #include "storage/tablespace.h"
 #include "storage/wal_log.h"
+#include "common/lock_order.h"
 #include "testing/fault_injector.h"
 #include "leak_check.h"
 #include "xml/name_dictionary.h"
@@ -1179,6 +1180,78 @@ TEST(ReplicationConcurrencyTest, ApplyVsReadStorm) {
   EXPECT_EQ(rcoll->Query(nullptr, "/d/n", fresh).value().nodes.size(),
             uint64_t{kDocs} + 1);
   EXPECT_GT(fresh_reads.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order enforcer: the engine's real lock DAG under a mixed workload.
+// ---------------------------------------------------------------------------
+
+// Regression for the xdb-check rank assignment: drives every heavy lock
+// chain at once — document writes (LockManager → WAL → latch → storage),
+// queries (latch → buffer), index DDL (ddl_mu_ → latch → WAL), checkpoints
+// (catalog → latch → WAL reset → commit), and metrics snapshots (registry →
+// every component lock) — in one process. Built with XDB_LOCK_ORDER_CHECK=ON
+// (the asan-ubsan and tsan CI lanes) any rank inversion introduced into
+// these paths aborts the test; the end-of-test assertions additionally pin
+// that no code path leaks a held-stack entry.
+TEST(LockOrderEnforcerTest, MixedWorkloadRespectsRankDag) {
+  PathGuard dir(TempPath("lockorder"));
+  EngineOptions opts;
+  opts.dir = dir.path();
+  auto engine = Engine::Open(opts).MoveValue();
+  Collection* coll = engine->CreateCollection("docs").value();
+
+  constexpr int kDocs = 24;
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < kDocs; i++) {
+      std::string doc =
+          "<d><n v='" + std::to_string(i) + "'>x</n></d>";
+      ASSERT_TRUE(coll->InsertDocument(nullptr, doc).ok());
+    }
+    EXPECT_EQ(lock_order::HeldDepthForTest(), 0);
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto res = coll->Query(nullptr, "/d/n", {});
+      ASSERT_TRUE(AcceptableContention(res.status()))
+          << res.status().ToString();
+    }
+    EXPECT_EQ(lock_order::HeldDepthForTest(), 0);
+  });
+  std::thread ddl([&] {
+    for (int i = 0; i < 4 && !stop.load(std::memory_order_acquire); i++) {
+      ValueIndexDef def{"vidx", "/d/n", ValueType::kString, 64};
+      ASSERT_TRUE(AcceptableContention(coll->CreateValueIndex(def)));
+      ASSERT_TRUE(AcceptableContention(coll->DropValueIndex("vidx")));
+    }
+    EXPECT_EQ(lock_order::HeldDepthForTest(), 0);
+  });
+  std::thread checkpointer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(engine->Checkpoint().ok());
+      std::this_thread::yield();
+    }
+    EXPECT_EQ(lock_order::HeldDepthForTest(), 0);
+  });
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)engine->metrics()->Snapshot();
+      std::this_thread::yield();
+    }
+    EXPECT_EQ(lock_order::HeldDepthForTest(), 0);
+  });
+
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  ddl.join();
+  checkpointer.join();
+  snapshotter.join();
+
+  EXPECT_EQ(coll->DocCount().value(), uint64_t{kDocs});
+  EXPECT_EQ(lock_order::HeldDepthForTest(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,22 @@
+// Fixture: annotation-coverage audit violations.
+#pragma once
+#include "fixture_decls.h"
+
+namespace xdb {
+
+class BadAudit {
+ public:
+  // A *Locked method with no lock contract at all.
+  void RebuildLocked();  // LINT-EXPECT[locked-needs-requires]
+
+  // Names a mutex that is not a member of this (or any enclosing) class.
+  int Read() const XDB_REQUIRES(phantom_mu_);  // LINT-EXPECT[dangling-annotation]
+
+ private:
+  int value_ XDB_GUARDED_BY(ghost_mu_);  // LINT-EXPECT[dangling-annotation]
+
+  // No annotation anywhere in the file refers to this lock.
+  Mutex silent_mu_{LockRank::kTestLow};  // LINT-EXPECT[unannotated-mutex]
+};
+
+}  // namespace xdb

@@ -1,0 +1,26 @@
+// Fixture: mutating entry points that skip the replica write guard.
+#include "fixture_decls.h"
+
+namespace xdb {
+
+// Mutates (takes the write latch) before ever calling GuardWrite.
+Result<uint64_t> Collection::InsertTokens(Transaction* txn, Slice tokens) {
+  WriterMutexLock latch(latch_);  // LINT-EXPECT[guard-writable]
+  return Apply(tokens);
+}
+
+// Calls it, but only AFTER the first state change.
+Status Collection::DeleteDocument(Transaction* txn, uint64_t doc_id) {
+  engine_->LogDelete(meta_.name, doc_id);  // LINT-EXPECT[guard-writable]
+  XDB_RETURN_NOT_OK(GuardWrite());
+  return Status::OK();
+}
+
+// Never calls GuardWritable at all; the diagnostic anchors on the line of
+// the function body's opening brace.
+Status Engine::RegisterSchema(const std::string& name, Slice text) {  // LINT-EXPECT[guard-writable]
+  catalog_.Add(name, text);
+  return Status::OK();
+}
+
+}  // namespace xdb

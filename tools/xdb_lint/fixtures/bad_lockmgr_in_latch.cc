@@ -1,0 +1,19 @@
+// Fixture: LockManager acquisition under the structure latch.
+#include "fixture_decls.h"
+
+namespace xdb {
+
+Status Collection::BadLockUnderLatch(Transaction* txn, uint64_t doc_id) {
+  WriterMutexLock latch(latch_);
+  return engine_->locks()->LockDocument(txn, doc_id);  // LINT-EXPECT[lockmgr-in-latch]
+}
+
+Status Collection::GoodLockThenLatch(Transaction* txn, uint64_t doc_id) {
+  // The transaction lock comes first, at its own rank...
+  XDB_RETURN_NOT_OK(engine_->locks()->LockDocument(txn, doc_id));
+  // ...then the latch.
+  WriterMutexLock latch(latch_);
+  return Mutate();
+}
+
+}  // namespace xdb

@@ -1,0 +1,19 @@
+// Fixture: raw std synchronization primitives outside common/mutex.h.
+#include "fixture_decls.h"
+
+namespace xdb {
+
+class RawSyncUser {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> g(mu_);  // LINT-EXPECT[raw-std-sync] LINT-EXPECT[raw-std-sync]
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;  // LINT-EXPECT[raw-std-sync]
+  std::condition_variable cv_;  // LINT-EXPECT[raw-std-sync]
+  int count_ = 0;
+};
+
+}  // namespace xdb

@@ -1,0 +1,18 @@
+// Fixture: replay-only Apply* variants that re-log or take the DDL mutex.
+#include "fixture_decls.h"
+
+namespace xdb {
+
+Status Collection::ApplyCreateValueIndex(const ValueIndexDef& def) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  MutexLock ddl(ddl_mu_);  // LINT-EXPECT[replay-apply]
+  return Install(def);
+}
+
+Status Collection::ApplyDropValueIndex(const std::string& name) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  XDB_RETURN_NOT_OK(engine_->LogDropIndex(meta_.name, name));  // LINT-EXPECT[replay-apply]
+  return AppendWal(name);  // LINT-EXPECT[replay-apply]
+}
+
+}  // namespace xdb

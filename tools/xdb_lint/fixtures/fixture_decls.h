@@ -1,0 +1,5 @@
+// Shared fixture pseudo-declarations. The lexical backend never resolves
+// includes, so nothing here needs to compile — the fixtures only have to
+// LOOK like engine code to the scanner. This file itself must stay
+// lint-clean (the runner lints every file in this directory).
+#pragma once

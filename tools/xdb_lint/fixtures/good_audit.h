@@ -1,0 +1,35 @@
+// Fixture: fully covered annotations — must stay quiet. Exercises the
+// two-pass shape the real headers have: annotated methods are declared
+// BEFORE the private member section, brace-initialized members, nested
+// structs referenced through dotted annotation args, and *Locked methods
+// with either contract direction.
+#pragma once
+#include "fixture_decls.h"
+
+namespace xdb {
+
+class GoodAudit {
+ public:
+  // Caller holds the latch.
+  Status RebuildLocked() XDB_REQUIRES(latch_);
+  // Caller holds it shared.
+  Status ScanLocked() const XDB_REQUIRES_SHARED(latch_);
+  // "Locked" refers to an external lock; the method takes mu_ itself.
+  Status InsertLocked(uint64_t doc_id) XDB_EXCLUDES(mu_);
+  // Dotted reference into a nested struct's member.
+  void FlushShard() XDB_EXCLUDES(shard_.mu);
+
+ private:
+  struct Shard {
+    // Covered by the dotted shard_.mu reference above (file-wide pool).
+    Mutex mu{LockRank::kTestMid};
+    int frames = 0;
+  };
+
+  SharedMutex latch_{LockRank::kTestHigh};
+  Mutex mu_{LockRank::kTestLow};
+  int counter_ XDB_GUARDED_BY(mu_) = 0;
+  Shard shard_;
+};
+
+}  // namespace xdb

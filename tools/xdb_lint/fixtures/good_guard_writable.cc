@@ -1,0 +1,26 @@
+// Fixture: correctly guarded entry points — must stay quiet.
+#include "fixture_decls.h"
+
+namespace xdb {
+
+Result<uint64_t> Collection::InsertTokens(Transaction* txn, Slice tokens) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  XDB_RETURN_NOT_OK(engine_->LogInsert(meta_.name, 1, tokens));
+  return InsertTokensLocked(txn, tokens, 1);
+}
+
+// Delegation counts: InsertDocument's only path runs through InsertTokens,
+// which guards first itself.
+Result<uint64_t> Collection::InsertDocument(Transaction* txn, Slice xml) {
+  Tokens tokens;
+  XDB_RETURN_NOT_OK(Parse(xml, &tokens));
+  return InsertTokens(txn, tokens.data());
+}
+
+Status Engine::CreateCollection(const std::string& name) {
+  XDB_RETURN_NOT_OK(GuardWritable());
+  MutexLock lock(mu_);
+  return catalog_.Create(name);
+}
+
+}  // namespace xdb

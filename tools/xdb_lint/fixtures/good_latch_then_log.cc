@@ -1,0 +1,30 @@
+// Fixture: the correct log-before-latch shape — must stay quiet.
+#include "fixture_decls.h"
+
+namespace xdb {
+
+Status Collection::GoodLogThenLatch(Transaction* txn, Slice tokens) {
+  // WAL record first, at its own rank...
+  XDB_RETURN_NOT_OK(engine_->LogInsert(meta_.name, 1, tokens));
+  // ...then the structure latch for the in-memory mutation.
+  WriterMutexLock latch(latch_);
+  return ApplyTokens(tokens);
+}
+
+Status Collection::GoodSequentialScopes(Transaction* txn) {
+  {
+    WriterMutexLock latch(latch_);
+    Mutate();
+  }
+  // The latch scope above is closed before the append.
+  return wal_->Commit(9);
+}
+
+Status Collection::GoodOtherLockIsNotALatch(Transaction* txn) {
+  // docid_mu_ is not latch_: appends under it are a different rule's
+  // business (the rank checker's), not latch-then-log's.
+  MutexLock lock(docid_mu_);
+  return wal_->Append(Slice());
+}
+
+}  // namespace xdb

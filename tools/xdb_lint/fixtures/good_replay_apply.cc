@@ -1,0 +1,27 @@
+// Fixture: correct replay-only Apply* variants — must stay quiet.
+#include "fixture_decls.h"
+
+namespace xdb {
+
+// Applies the mutation under the latch; never logs, never touches ddl_mu_.
+Status Collection::ApplyCreateValueIndex(const ValueIndexDef& def) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  WriterMutexLock latch(latch_);
+  return Install(def);
+}
+
+Status Collection::ApplyDropValueIndex(const std::string& name) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  WriterMutexLock latch(latch_);
+  return Remove(name);
+}
+
+// Non-Apply functions may name ddl_mu_ and log freely.
+Status Collection::CreateValueIndex(const ValueIndexDef& def) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  MutexLock ddl(ddl_mu_);
+  XDB_RETURN_NOT_OK(ApplyCreateValueIndex(def));
+  return engine_->LogCreateIndex(meta_.name, def);
+}
+
+}  // namespace xdb

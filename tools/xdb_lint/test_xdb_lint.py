@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fixture suite for xdb_lint.
+
+Every file in fixtures/ is linted (lexical backend — deterministic and
+dependency-free); expectations are `// LINT-EXPECT[rule-id]` markers on the
+exact line each diagnostic must anchor to (repeat the marker for multiple
+findings on one line). The comparison is an exact multiset match over
+(file, line, rule): a missed finding, a spurious finding, or a finding on
+the wrong line all fail. `good_*` fixtures carry no markers and so assert
+total silence.
+
+Also asserts the linter runs CLEAN over the repo's src/ tree, which is the
+same gate CI applies.
+"""
+
+import collections
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "xdb_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+SRC = os.path.join(os.path.dirname(os.path.dirname(HERE)), "src")
+
+EXPECT_RE = re.compile(r"LINT-EXPECT\[([a-z-]+)\]")
+DIAG_RE = re.compile(r"^(.*?):(\d+): \[([a-z-]+)\]")
+
+
+def collect_expectations(paths):
+    expected = collections.Counter()
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                for m in EXPECT_RE.finditer(line):
+                    expected[(path, lineno, m.group(1))] += 1
+    return expected
+
+
+def run_lint(args):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--backend=lex"] + args,
+        capture_output=True, text=True)
+    diags = collections.Counter()
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            diags[(m.group(1), int(m.group(2)), m.group(3))] += 1
+    return proc, diags
+
+
+def main():
+    fixture_files = sorted(
+        os.path.join(FIXTURES, f) for f in os.listdir(FIXTURES)
+        if f.endswith((".cc", ".h")))
+    if not fixture_files:
+        print("FAIL: no fixtures found", file=sys.stderr)
+        return 1
+
+    failures = []
+
+    # 1. Exact multiset match over the fixture directory.
+    expected = collect_expectations(fixture_files)
+    proc, got = run_lint(fixture_files)
+    for key in sorted(set(expected) | set(got)):
+        want, have = expected[key], got[key]
+        if want != have:
+            path, line, rule = key
+            failures.append(
+                f"{os.path.basename(path)}:{line} [{rule}]: "
+                f"expected {want} finding(s), got {have}")
+    rules_covered = {rule for (_, _, rule) in expected}
+    print(f"fixtures: {len(fixture_files)} files, "
+          f"{sum(expected.values())} expected findings, "
+          f"{len(rules_covered)} rules covered "
+          f"({', '.join(sorted(rules_covered))})")
+
+    # Every rule the linter knows must be exercised by some fixture.
+    all_rules_out = subprocess.run(
+        [sys.executable, LINT, "--rules=no-such-rule"],
+        capture_output=True, text=True)
+    known = set(re.findall(r"'([a-z-]+)'", all_rules_out.stderr))
+    known.discard("no-such-rule")
+    if not known:
+        # Fallback: parse the module's ALL_RULES without importing it.
+        with open(LINT, encoding="utf-8") as f:
+            text = f.read()
+        known = set(re.findall(r'^RULE_\w+ = "([a-z-]+)"$', text, re.M))
+    missing = known - rules_covered
+    if missing:
+        failures.append(f"rules with no firing fixture: {sorted(missing)}")
+
+    # 2. The repo itself must be clean — same gate as CI.
+    repo_proc, repo_diags = run_lint(["--root", SRC])
+    if repo_proc.returncode != 0 or repo_diags:
+        failures.append(
+            f"src/ tree not clean ({sum(repo_diags.values())} findings):\n"
+            + repo_proc.stdout)
+    else:
+        print(f"repo: clean ({repo_proc.stderr.strip()})")
+
+    if failures:
+        print("FAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
