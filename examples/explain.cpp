@@ -1,7 +1,8 @@
 // EXPLAIN and engine metrics: run the same query over the streaming path and
 // the index path, print each plan (cost breakdown, statistics line and
-// plan-cache state included), show a plan-cache hit and the forced
-// heuristic planner, then dump the engine metrics snapshot.
+// plan-cache state included), show a plan-cache hit, the forced heuristic
+// planner, and a descendant query flipping to the structural interval
+// index, then dump the engine metrics snapshot.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -77,12 +78,39 @@ int main() {
   std::printf("--- forced heuristic planner ---\n%s\n",
               ruled.profile.PlanText().c_str());
 
-  // 5. trace=true adds per-step lines and phase timings (ToText).
+  // 5. Structural (pre,post)-interval index: a descendant query has no
+  // value predicate to probe, so it full-scans — until a structural index
+  // covers the element and the interval range scan becomes cheaper than
+  // walking every document. Deep documents where only a few contain the
+  // queried element are the payoff case.
+  for (int i = 0; i < 16; i++) {
+    std::string xml;
+    for (int d = 0; d < 30; d++) xml += "<section>";
+    if (i % 8 == 0) xml += "<appendix>notes</appendix>";
+    for (int d = 0; d < 30; d++) xml += "</section>";
+    Unwrap(shop->InsertDocument(nullptr, xml), "insert deep");
+  }
+  auto deep_scan =
+      Unwrap(shop->Query(nullptr, "//section//appendix", opts), "deep scan");
+  std::printf("--- descendant query, no structural index ---\n%s\n",
+              deep_scan.profile.PlanText().c_str());
+  st = shop->CreateStructuralIndex({"structure", ""});
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL (create structural index): %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  auto interval = Unwrap(shop->Query(nullptr, "//section//appendix", opts),
+                         "structural query");
+  std::printf("--- with the structural index (interval scan) ---\n%s\n",
+              interval.profile.PlanText().c_str());
+
+  // 6. trace=true adds per-step lines and phase timings (ToText).
   opts.trace = true;
   auto traced = Unwrap(shop->Query(nullptr, query, opts), "traced query");
   std::printf("--- full trace ---\n%s\n", traced.profile.ToText().c_str());
 
-  // 6. The engine-wide metrics snapshot those queries fed — including
+  // 7. The engine-wide metrics snapshot those queries fed — including
   // query.plan_cache.{hits,misses,evictions,invalidations}.
   std::printf("--- engine metrics ---\n%s",
               engine->MetricsSnapshot().ToText().c_str());

@@ -11,6 +11,7 @@ namespace {
 constexpr uint32_t kCatalogMagic = 0x58444243;    // "XDBC" (v1, no stats)
 constexpr uint32_t kCatalogMagicV2 = 0x58444244;  // "XDBD" (adds stats_epoch)
 constexpr uint32_t kCatalogMagicV3 = 0x58444245;  // "XDBE" (replica CSN)
+constexpr uint32_t kCatalogMagicV4 = 0x58444246;  // "XDBF" (structural ix)
 
 void PutString(std::string* out, const std::string& s) {
   PutLengthPrefixed(out, s);
@@ -24,7 +25,7 @@ bool GetString(Slice* in, std::string* s) {
 }  // namespace
 
 void CatalogData::Serialize(std::string* out) const {
-  PutFixed32(out, kCatalogMagicV3);
+  PutFixed32(out, kCatalogMagicV4);
   PutFixed64(out, replica_wal_base);
   PutVarint64(out, collections.size());
   for (const auto& [name, meta] : collections) {
@@ -46,6 +47,12 @@ void CatalogData::Serialize(std::string* out) const {
       PutVarint32(out, vi.def.max_string_len);
       PutFixed32(out, vi.root);
     }
+    PutVarint64(out, meta.structural_indexes.size());
+    for (const auto& si : meta.structural_indexes) {
+      PutString(out, si.def.name);
+      PutString(out, si.def.element_name);
+      PutFixed32(out, si.root);
+    }
   }
   PutVarint64(out, schemas.size());
   for (const auto& [name, binary] : schemas) {
@@ -63,7 +70,8 @@ Result<CatalogData> CatalogData::Deserialize(Slice data) {
   // stats saved yet"). Engine::Open treats epoch 0 as valid-empty only for
   // collections with no checkpointed documents; otherwise it degrades them
   // to heuristic planning (their documents are not reflected in any stats).
-  const bool v3 = magic == kCatalogMagicV3;
+  const bool v4 = magic == kCatalogMagicV4;
+  const bool v3 = v4 || magic == kCatalogMagicV3;
   const bool v2 = v3 || magic == kCatalogMagicV2;
   if (!v2 && magic != kCatalogMagic)
     return Status::Corruption("bad catalog magic");
@@ -118,6 +126,23 @@ Result<CatalogData> CatalogData::Deserialize(Slice data) {
       vi.root = DecodeFixed32(data.data());
       data.RemovePrefix(4);
       meta.value_indexes.push_back(std::move(vi));
+    }
+    if (v4) {
+      // Pre-v4 catalogs have no structural section; they load with none.
+      uint64_t nsi;
+      if (!read_var(&nsi))
+        return Status::Corruption("bad structural index count");
+      for (uint64_t k = 0; k < nsi; k++) {
+        StructuralIndexMeta si;
+        if (!GetString(&data, &si.def.name) ||
+            !GetString(&data, &si.def.element_name))
+          return Status::Corruption("bad structural index meta");
+        if (data.size() < 4)
+          return Status::Corruption("truncated structural index meta");
+        si.root = DecodeFixed32(data.data());
+        data.RemovePrefix(4);
+        meta.structural_indexes.push_back(std::move(si));
+      }
     }
     cat.collections.emplace(name, std::move(meta));
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/structural_index.h"
 #include "index/value_index.h"
 #include "storage/page.h"
 
@@ -21,6 +22,11 @@ struct ValueIndexMeta {
   PageId root = kInvalidPageId;
 };
 
+struct StructuralIndexMeta {
+  StructuralIndexDef def;
+  PageId root = kInvalidPageId;
+};
+
 struct CollectionMeta {
   std::string name;
   std::string space_file;  // file name within the engine directory
@@ -28,6 +34,7 @@ struct CollectionMeta {
   PageId nodeid_index_root = kInvalidPageId;
   PageId versioned_index_root = kInvalidPageId;  // MVCC collections only
   std::vector<ValueIndexMeta> value_indexes;
+  std::vector<StructuralIndexMeta> structural_indexes;
   uint64_t next_doc_id = 1;
   uint64_t last_version = 0;  // persisted MVCC version counter
   /// Stats epoch captured when stats.xdb was last written (checkpoint). At

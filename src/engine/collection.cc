@@ -150,6 +150,7 @@ Result<uint64_t> Collection::InsertTokensLocked(Transaction* txn, Slice tokens,
   // here would let concurrent queries scan the index while this document's
   // postings are half-written.
   XDB_RETURN_NOT_OK(AddValueIndexEntries(doc_id, tokens, nullptr));
+  XDB_RETURN_NOT_OK(AddStructuralIndexEntries(doc_id, tokens, nullptr));
   // Statistics last, so a failed insert never counts. Runs for every insert
   // path — client writes, WAL replay, scrub salvage — which is what keeps
   // the incremental counters in step with the data.
@@ -196,6 +197,52 @@ Status Collection::RemoveValueIndexEntries(Transaction* txn, uint64_t doc_id) {
       XDB_RETURN_NOT_OK(index->Remove(Slice(hit.string_value), doc_id,
                                       Slice(hit.node_id), rid));
     }
+  }
+  return Status::OK();
+}
+
+Status Collection::AddStructuralIndexEntries(uint64_t doc_id, Slice tokens,
+                                             StructuralIndex* only_index) {
+  if (structural_indexes_.empty()) return Status::OK();
+  // One derivation pass serves every structural index: the (pre, post,
+  // level) numbering falls out of the same canonical Dewey walk the record
+  // builder performs, so there is no second parse of the document.
+  TokenStreamSource source(tokens);
+  std::vector<StructuralEntry> entries;
+  XDB_RETURN_NOT_OK(DeriveStructuralEntries(&source, &entries));
+  for (auto& owned : structural_indexes_) {
+    StructuralIndex* index = owned.index.get();
+    if (only_index != nullptr && index != only_index) continue;
+    XDB_RETURN_NOT_OK(index->AddEntries(*engine_->dict(), doc_id, entries));
+  }
+  return Status::OK();
+}
+
+Status Collection::AddStructuralIndexEntriesFromStorage(
+    uint64_t doc_id, StructuralIndex* only_index) {
+  if (structural_indexes_.empty()) return Status::OK();
+  StoredDocSource source(records_.get(), node_index_.get(), doc_id);
+  std::vector<StructuralEntry> entries;
+  XDB_RETURN_NOT_OK(DeriveStructuralEntries(&source, &entries));
+  for (auto& owned : structural_indexes_) {
+    StructuralIndex* index = owned.index.get();
+    if (only_index != nullptr && index != only_index) continue;
+    XDB_RETURN_NOT_OK(index->AddEntries(*engine_->dict(), doc_id, entries));
+  }
+  return Status::OK();
+}
+
+Status Collection::RemoveStructuralIndexEntries(uint64_t doc_id) {
+  if (structural_indexes_.empty()) return Status::OK();
+  // Derive from stored records, not a token round-trip: the entries to
+  // delete must carry the exact node IDs (and the (pre, post) numbering
+  // implied by their document order) that AddEntries previously wrote.
+  StoredDocSource source(records_.get(), node_index_.get(), doc_id);
+  std::vector<StructuralEntry> entries;
+  XDB_RETURN_NOT_OK(DeriveStructuralEntries(&source, &entries));
+  for (auto& owned : structural_indexes_) {
+    XDB_RETURN_NOT_OK(
+        owned.index->RemoveEntries(*engine_->dict(), doc_id, entries));
   }
   return Status::OK();
 }
@@ -248,6 +295,7 @@ Status Collection::DeleteDocument(Transaction* txn, uint64_t doc_id) {
     // records.
     WriterMutexLock latch(latch_);
     XDB_RETURN_NOT_OK(RemoveValueIndexEntries(at.get(), doc_id));
+    XDB_RETURN_NOT_OK(RemoveStructuralIndexEntries(doc_id));
     return DeleteDocumentLocked(at.get(), doc_id);
   }();
   return at.Finish(st);
@@ -431,11 +479,17 @@ Status Collection::UpdateTextNode(Transaction* txn, uint64_t doc_id,
 }
 
 Status Collection::ReindexDocument(uint64_t doc_id) {
-  if (value_indexes_.empty()) return Status::OK();
-  StoredDocSource source(records_.get(), node_index_.get(), doc_id);
-  TokenWriter tokens;
-  XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
-  return AddValueIndexEntries(doc_id, tokens.data(), nullptr);
+  if (!value_indexes_.empty()) {
+    StoredDocSource source(records_.get(), node_index_.get(), doc_id);
+    TokenWriter tokens;
+    XDB_RETURN_NOT_OK(EventsToTokens(&source, &tokens));
+    XDB_RETURN_NOT_OK(AddValueIndexEntries(doc_id, tokens.data(), nullptr));
+  }
+  // Structural entries are re-derived straight from storage: the stored
+  // node IDs (Between()-allocated after a subtree edit) are what queries
+  // see, and the token round-trip above re-synthesizes ordinal IDs that no
+  // longer match them.
+  return AddStructuralIndexEntriesFromStorage(doc_id, nullptr);
 }
 
 Status Collection::CollectSubtreeRecords(uint64_t doc_id, Slice node_id,
@@ -529,7 +583,10 @@ Result<std::string> Collection::InsertSubtreeLocked(Transaction* txn,
   (void)txn;
   // Value index entries are rebuilt from scratch around the change (ancestor
   // string values change too, so per-entry surgery would be error-prone).
+  // Structural entries likewise: the insert renumbers (pre, post) for every
+  // node after the splice point, so removal must see the pre-mutation IDs.
   XDB_RETURN_NOT_OK(RemoveValueIndexEntries(nullptr, doc_id));
+  XDB_RETURN_NOT_OK(RemoveStructuralIndexEntries(doc_id));
 
   XDB_ASSIGN_OR_RETURN(Rid parent_rid,
                        node_index_->Lookup(doc_id, parent_id));
@@ -683,6 +740,7 @@ Status Collection::DeleteSubtreeLocked(Transaction* txn, uint64_t doc_id,
   if (parent_id.empty())
     return Status::InvalidArgument("cannot delete the root element");
   XDB_RETURN_NOT_OK(RemoveValueIndexEntries(nullptr, doc_id));
+  XDB_RETURN_NOT_OK(RemoveStructuralIndexEntries(doc_id));
 
   // The record holding the parent's child list holds either the subtree
   // inline or a proxy for it.
@@ -809,6 +867,95 @@ Status Collection::ApplyDropValueIndex(const std::string& name) {
 
 ValueIndex* Collection::FindValueIndex(const std::string& name) {
   for (auto& owned : value_indexes_) {
+    if (owned.index->def().name == name) return owned.index.get();
+  }
+  return nullptr;
+}
+
+Status Collection::CreateStructuralIndex(const StructuralIndexDef& def) {
+  // Same DDL atomicity as CreateValueIndex: mutation + WAL record under
+  // ddl_mu_ so log order always matches application order.
+  MutexLock ddl(ddl_mu_);
+  XDB_RETURN_NOT_OK(ApplyCreateStructuralIndex(def));
+  return engine_->LogCreateStructuralIndex(meta_.name, def);
+}
+
+Status Collection::ApplyCreateStructuralIndex(const StructuralIndexDef& def) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  if (def.name.empty())
+    return Status::InvalidArgument("structural index needs a name");
+  {
+    WriterMutexLock latch(latch_);
+    for (auto& owned : structural_indexes_) {
+      if (owned.index->def().name == def.name)
+        return Status::InvalidArgument("structural index '" + def.name +
+                                       "' exists");
+    }
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree,
+                         BTree::Create(buffer_.get()));
+    auto index = std::make_unique<StructuralIndex>(def, tree.get());
+    StructuralIndex* raw = index.get();
+    // Stats listener first, so the backfill below is counted too. Bumps the
+    // stats epoch, invalidating every cached plan priced without the index.
+    raw->set_stats_listener(stats_.NoteStructuralIndexCreated(def.name));
+    meta_.structural_indexes.push_back(StructuralIndexMeta{def, tree->root()});
+    structural_indexes_.push_back(
+        OwnedStructuralIndex{std::move(tree), std::move(index)});
+
+    // Backfill from existing documents under the exclusive latch, deriving
+    // from stored records so documents reshaped by subtree edits index
+    // their real node IDs.
+    XDB_ASSIGN_OR_RETURN(std::vector<uint64_t> docs, ListDocIdsUnlocked());
+    for (uint64_t doc_id : docs)
+      XDB_RETURN_NOT_OK(AddStructuralIndexEntriesFromStorage(doc_id, raw));
+    index_version_.fetch_add(1, std::memory_order_acq_rel);
+    plan_cache_.Invalidate("structural index created");
+  }
+  // No WAL append here: the logging wrapper does it outside the latch (see
+  // ApplyCreateValueIndex).
+  return Status::OK();
+}
+
+Status Collection::DropStructuralIndex(const std::string& name) {
+  MutexLock ddl(ddl_mu_);
+  XDB_RETURN_NOT_OK(ApplyDropStructuralIndex(name));
+  return engine_->LogDropStructuralIndex(meta_.name, name);
+}
+
+Status Collection::ApplyDropStructuralIndex(const std::string& name) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  {
+    WriterMutexLock latch(latch_);
+    size_t pos = structural_indexes_.size();
+    for (size_t i = 0; i < structural_indexes_.size(); i++) {
+      if (structural_indexes_[i].index->def().name == name) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == structural_indexes_.size())
+      return Status::NotFound("no structural index '" + name + "'");
+    // Version bump + cache clear BEFORE the StructuralIndex is destroyed:
+    // any plan compiled against the old index set fails the
+    // structure-version gate under this same latch.
+    index_version_.fetch_add(1, std::memory_order_acq_rel);
+    plan_cache_.Invalidate("structural index dropped");
+    stats_.NoteStructuralIndexDropped(name);
+    structural_indexes_.erase(structural_indexes_.begin() +
+                              static_cast<long>(pos));
+    for (auto it = meta_.structural_indexes.begin();
+         it != meta_.structural_indexes.end(); ++it) {
+      if (it->def.name == name) {
+        meta_.structural_indexes.erase(it);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StructuralIndex* Collection::FindStructuralIndex(const std::string& name) {
+  for (auto& owned : structural_indexes_) {
     if (owned.index->def().name == name) return owned.index.get();
   }
   return nullptr;
@@ -995,6 +1142,8 @@ Collection::CompileForExecution(xpath::Path&& path,
     query::PlannerContext ctx;
     for (auto& owned : value_indexes_)
       ctx.indexes.push_back(owned.index.get());
+    for (auto& owned : structural_indexes_)
+      ctx.structural_indexes.push_back(owned.index.get());
     cp->index_version = index_version_.load(std::memory_order_acquire);
     ctx.doc_count = docs;
     // Cheap cardinality statistic (no index walk): stored records per doc.
@@ -1018,6 +1167,17 @@ Collection::CompileForExecution(xpath::Path&& path,
           " ... index '" + p.index->def().name + "' (" +
           (p.match == xpath::IndexMatch::kExact ? "exact" : "filtering") +
           ")");
+    if (cp->plan.structural_index != nullptr) {
+      cp->probe_lines.push_back(
+          "structural element '" + cp->plan.structural_name +
+          "' ... index '" + cp->plan.structural_index->def().name +
+          "' (interval" +
+          (cp->plan.structural_anchor ? ", anchor join)" : ")"));
+      // Lookup, not Intern: planning a query must never mutate the
+      // dictionary. An absent name means an empty scan at execution.
+      cp->structural_name_id =
+          engine_->dict()->Lookup(Slice(cp->plan.structural_name));
+    }
   }
   cp->stats_epoch = snap.epoch;
   cp->stats_valid = cp->plan.cost_based;
@@ -1032,7 +1192,8 @@ Collection::CompileForExecution(xpath::Path&& path,
 
   const bool node_level =
       cp->plan.method == query::AccessMethod::kNodeIdList ||
-      cp->plan.method == query::AccessMethod::kNodeIdAndOr;
+      cp->plan.method == query::AccessMethod::kNodeIdAndOr ||
+      cp->plan.method == query::AccessMethod::kStructuralScan;
   if (node_level) {
     const size_t anchor_step = cp->plan.anchor_step;
     // Residual relative path evaluated on each anchor's subtree:
@@ -1057,6 +1218,17 @@ Collection::CompileForExecution(xpath::Path&& path,
     // only a filter; exact plans skip this.
     xpath::Path prefix_pattern;
     prefix_pattern.absolute = true;
+    if (!path.absolute) {
+      // Relative queries evaluate with the root element as their implicit
+      // context; model that context as a wildcard first step so the
+      // prefix check accepts anchors the evaluators actually reach
+      // (without it a relative "c" compiles to /c and rejects every
+      // non-root anchor).
+      xpath::Step ctx;
+      ctx.axis = xpath::Axis::kChild;
+      ctx.test = xpath::NodeTest::kAnyName;
+      prefix_pattern.steps.push_back(std::move(ctx));
+    }
     for (size_t i = 0; i <= anchor_step; i++)
       prefix_pattern.steps.push_back(xpath::CloneStep(path.steps[i]));
     for (auto& s : prefix_pattern.steps) s.predicates.clear();
@@ -1166,6 +1338,7 @@ Result<QueryResult> Collection::ExecuteCompiled(
     // Probe the indexes under the shared latch (no doc locks held yet, so
     // this cannot invert the doc-lock-before-latch order).
     std::vector<std::vector<Posting>> postings_per_probe;
+    std::vector<Posting> structural_postings;
     {
       obs::PhaseTimer timer(&prof, "probe");
       ReaderMutexLock latch(latch_);
@@ -1194,6 +1367,48 @@ Result<QueryResult> Collection::ExecuteCompiled(
               std::to_string(postings.size()) + " postings");
         postings_per_probe.push_back(std::move(postings));
       }
+      // Structural range scan, under the same latch + version gate as the
+      // value probes (the plan's StructuralIndex pointer has the same
+      // lifetime contract). A never-interned name scans nothing.
+      if (plan.structural_index != nullptr &&
+          cp.structural_name_id != NameDictionary::kInvalidNameId) {
+        std::vector<StructuralPosting> entries;
+        XDB_RETURN_NOT_OK(
+            plan.structural_index->Scan(cp.structural_name_id, &entries));
+        structural_postings.reserve(entries.size());
+        for (StructuralPosting& e : entries)
+          structural_postings.push_back(
+              Posting{e.doc_id, std::move(e.node_id), Rid()});
+        result.stats.index_postings += structural_postings.size();
+        if (prof.trace)
+          prof.trace_lines.push_back(
+              "structural scan index '" +
+              plan.structural_index->def().name + "' element '" +
+              plan.structural_name + "' -> " +
+              std::to_string(structural_postings.size()) + " entries");
+      }
+    }
+
+    if (plan.method == query::AccessMethod::kStructuralScan) {
+      // The scan IS the anchor list: entries arrive ordered by (doc,
+      // document position), which is exactly the (doc, node-ID byte) order
+      // the recheck pipeline expects. The prefix pattern plus residual
+      // validate the full path around each instance.
+      std::vector<Posting> anchors = std::move(structural_postings);
+      result.stats.candidate_anchors = anchors.size();
+      if (prof.trace)
+        prof.trace_lines.push_back("structural anchors -> " +
+                                   std::to_string(anchors.size()) +
+                                   " candidates");
+      {
+        obs::PhaseTimer timer(&prof, "recheck");
+        XDB_RETURN_NOT_OK(RecheckAnchors(snapshot_read ? nullptr : at.get(),
+                                         cp.residual_tree.get(),
+                                         cp.prefix_pattern, anchors, options,
+                                         locator, &result));
+      }
+      NormalizeSequence(&result.nodes);
+      return Status::OK();
     }
 
     const bool node_level =
@@ -1226,8 +1441,16 @@ Result<QueryResult> Collection::ExecuteCompiled(
       std::vector<std::vector<Posting>> anchored;
       for (size_t i = 0; i < postings_per_probe.size(); i++) {
         std::vector<Posting> a;
-        XDB_RETURN_NOT_OK(query::AnchorPostings(
-            postings_per_probe[i], plan.probes[i].pred.strip_levels, &a));
+        if (plan.structural_anchor &&
+            plan.probes[i].pred.strip_levels < 0) {
+          // Descendant branch: the value node's anchor ancestors come from
+          // the interval join instead of level-stripping.
+          XDB_RETURN_NOT_OK(query::StructuralAnchorJoin(
+              postings_per_probe[i], structural_postings, &a));
+        } else {
+          XDB_RETURN_NOT_OK(query::AnchorPostings(
+              postings_per_probe[i], plan.probes[i].pred.strip_levels, &a));
+        }
         anchored.push_back(std::move(a));
       }
       anchors = plan.disjunctive
@@ -1526,6 +1749,7 @@ Status Collection::RebuildStorage() {
   WriterMutexLock latch(latch_);
   // Tear down top-down so nothing flushes into the space after it is reset.
   value_indexes_.clear();
+  structural_indexes_.clear();
   node_index_.reset();
   versions_.reset();
   docid_tree_.reset();
@@ -1573,6 +1797,15 @@ Status Collection::RebuildStorage() {
     index->set_stats_listener(stats_.ListenerFor(vi.def.name));
     value_indexes_.push_back(
         OwnedValueIndex{std::move(tree), std::move(index)});
+  }
+  for (StructuralIndexMeta& si : meta_.structural_indexes) {
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree,
+                         BTree::Create(buffer_.get()));
+    si.root = tree->root();
+    auto index = std::make_unique<StructuralIndex>(si.def, tree.get());
+    index->set_stats_listener(stats_.StructuralListenerFor(si.def.name));
+    structural_indexes_.push_back(
+        OwnedStructuralIndex{std::move(tree), std::move(index)});
   }
   // Empty storage, empty (but valid) statistics; the epoch stays monotonic
   // so cached-plan keys from before the rebuild can never match again.

@@ -17,6 +17,7 @@
 #include "common/thread_annotations.h"
 #include "engine/catalog.h"
 #include "index/nodeid_index.h"
+#include "index/structural_index.h"
 #include "index/value_index.h"
 #include "obs/query_trace.h"
 #include "pack/record_builder.h"
@@ -190,6 +191,17 @@ class Collection {
   Status DropValueIndex(const std::string& name)
       XDB_EXCLUDES(latch_) XDB_EXCLUDES(ddl_mu_);
 
+  /// Creates a structural (pre,post)-interval index and backfills it from
+  /// existing documents. Same DDL discipline as CreateValueIndex: logged to
+  /// the WAL under ddl_mu_, crash-recovers and replicates.
+  Status CreateStructuralIndex(const StructuralIndexDef& def)
+      XDB_EXCLUDES(latch_) XDB_EXCLUDES(ddl_mu_);
+
+  /// Drops a structural index (same invalidation contract as value-index
+  /// drop: index-version bump + plan-cache clear).
+  Status DropStructuralIndex(const std::string& name)
+      XDB_EXCLUDES(latch_) XDB_EXCLUDES(ddl_mu_);
+
   /// Evaluates an XPath query over the collection. Compiled plans are served
   /// from the per-collection plan cache when enabled (keyed by query text,
   /// force mode, want_values and the stats epoch); a hit skips parsing,
@@ -225,6 +237,7 @@ class Collection {
   NodeIdIndex* node_index() { return node_index_.get(); }
   VersionManager* versions() { return versions_.get(); }
   ValueIndex* FindValueIndex(const std::string& name);
+  StructuralIndex* FindStructuralIndex(const std::string& name);
   BufferManager* buffer_manager() { return buffer_.get(); }
   const CollectionMeta& meta() const { return meta_; }
   uint64_t storage_bytes() const { return records_->StorageBytes(); }
@@ -247,6 +260,21 @@ class Collection {
                               ValueIndex* only_index) XDB_REQUIRES(latch_);
   Status RemoveValueIndexEntries(Transaction* txn, uint64_t doc_id)
       XDB_REQUIRES(latch_);
+  /// Adds one document's structural entries to every (or one) structural
+  /// index, deriving (pre, post, level) from the freshly-inserted token
+  /// stream's canonical Dewey walk.
+  Status AddStructuralIndexEntries(uint64_t doc_id, Slice tokens,
+                                   StructuralIndex* only_index)
+      XDB_REQUIRES(latch_);
+  /// Re-derives entries from stored records (real node IDs, so documents
+  /// reshaped by Between()-allocated subtree inserts stay faithful) and
+  /// adds them to every (or one) structural index.
+  Status AddStructuralIndexEntriesFromStorage(uint64_t doc_id,
+                                              StructuralIndex* only_index)
+      XDB_REQUIRES(latch_);
+  /// Removes one document's structural entries (derived from stored
+  /// records) from every structural index.
+  Status RemoveStructuralIndexEntries(uint64_t doc_id) XDB_REQUIRES(latch_);
   Status MaintainValueIndexesForTextUpdate(uint64_t doc_id, Slice text_node_id,
                                            NodeLocator* locator,
                                            Slice old_text, Slice new_text)
@@ -336,6 +364,12 @@ class Collection {
   /// needs no DDL serialization of its own).
   Status ApplyCreateValueIndex(const ValueIndexDef& def) XDB_EXCLUDES(latch_);
   Status ApplyDropValueIndex(const std::string& name) XDB_EXCLUDES(latch_);
+  /// Structural-index DDL bodies, same replay/log-separation contract as
+  /// the value-index pair above.
+  Status ApplyCreateStructuralIndex(const StructuralIndexDef& def)
+      XDB_EXCLUDES(latch_);
+  Status ApplyDropStructuralIndex(const std::string& name)
+      XDB_EXCLUDES(latch_);
 
   /// kCorruption when the collection is quarantined; call at the top of every
   /// public data operation.
@@ -383,6 +417,11 @@ class Collection {
     std::unique_ptr<ValueIndex> index;
   };
   std::vector<OwnedValueIndex> value_indexes_;
+  struct OwnedStructuralIndex {
+    std::unique_ptr<BTree> tree;
+    std::unique_ptr<StructuralIndex> index;
+  };
+  std::vector<OwnedStructuralIndex> structural_indexes_;
   // Short-duration structure latch over the storage components above
   // (records_, trees, node_index_, value_indexes_). Writers (document
   // insert/delete, subtree edits, index creation, rebuild) hold it

@@ -325,6 +325,20 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
     }
     for (size_t i = 0; i < coll->value_indexes_.size(); i++)
       coll->meta_.value_indexes[i].root = coll->value_indexes_[i].tree->root();
+
+    for (const StructuralIndexMeta& si : meta.structural_indexes) {
+      XDB_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree, open_tree(si.root));
+      auto index = std::make_unique<StructuralIndex>(si.def, tree.get());
+      // StructuralListenerFor, not NoteStructuralIndexCreated: same
+      // no-epoch-bump rule as the value indexes above.
+      index->set_stats_listener(
+          coll->stats_.StructuralListenerFor(si.def.name));
+      coll->structural_indexes_.push_back(
+          Collection::OwnedStructuralIndex{std::move(tree), std::move(index)});
+    }
+    for (size_t i = 0; i < coll->structural_indexes_.size(); i++)
+      coll->meta_.structural_indexes[i].root =
+          coll->structural_indexes_[i].tree->root();
     return Status::OK();
   }();
   if (!st.ok()) {
@@ -638,6 +652,25 @@ Status Engine::LogDropIndex(const std::string& collection,
   return AppendWal(WalRecordType::kDropValueIndex, payload);
 }
 
+Status Engine::LogCreateStructuralIndex(const std::string& collection,
+                                        const StructuralIndexDef& def) {
+  if (wal_ == nullptr || InReplay()) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, collection);
+  PutLengthPrefixed(&payload, def.name);
+  PutLengthPrefixed(&payload, def.element_name);
+  return AppendWal(WalRecordType::kCreateStructuralIndex, payload);
+}
+
+Status Engine::LogDropStructuralIndex(const std::string& collection,
+                                      const std::string& index_name) {
+  if (wal_ == nullptr || InReplay()) return Status::OK();
+  std::string payload;
+  PutLengthPrefixed(&payload, collection);
+  PutLengthPrefixed(&payload, index_name);
+  return AppendWal(WalRecordType::kDropStructuralIndex, payload);
+}
+
 Status Engine::LogRegisterSchema(const std::string& name, Slice binary) {
   if (wal_ == nullptr || InReplay()) return Status::OK();
   std::string payload;
@@ -743,6 +776,35 @@ Status Engine::ApplyWalRecordLocked(WalRecordType type, Slice payload,
         Collection* c = cit->second.get();
         if (c->needs_repair()) return Status::OK();
         Status st = c->ApplyDropValueIndex(iname.ToString());
+        if (st.IsNotFound()) return Status::OK();
+        return st;
+      }
+      case WalRecordType::kCreateStructuralIndex: {
+        Slice cname, iname, ename;
+        if (!GetLengthPrefixed(&payload, &cname) ||
+            !GetLengthPrefixed(&payload, &iname) ||
+            !GetLengthPrefixed(&payload, &ename))
+          return Status::Corruption("bad wal create-structural record");
+        StructuralIndexDef def;
+        def.name = iname.ToString();
+        def.element_name = ename.ToString();
+        auto cit = collections_.find(cname.ToString());
+        if (cit == collections_.end()) return Status::OK();  // dropped later
+        Collection* c = cit->second.get();
+        if (c->needs_repair()) return Status::OK();
+        if (c->FindStructuralIndex(def.name) != nullptr) return Status::OK();
+        return c->ApplyCreateStructuralIndex(def);
+      }
+      case WalRecordType::kDropStructuralIndex: {
+        Slice cname, iname;
+        if (!GetLengthPrefixed(&payload, &cname) ||
+            !GetLengthPrefixed(&payload, &iname))
+          return Status::Corruption("bad wal drop-structural record");
+        auto cit = collections_.find(cname.ToString());
+        if (cit == collections_.end()) return Status::OK();
+        Collection* c = cit->second.get();
+        if (c->needs_repair()) return Status::OK();
+        Status st = c->ApplyDropStructuralIndex(iname.ToString());
         if (st.IsNotFound()) return Status::OK();
         return st;
       }

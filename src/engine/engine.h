@@ -288,6 +288,10 @@ class Engine {
                         const ValueIndexDef& def);
   Status LogDropIndex(const std::string& collection,
                       const std::string& index_name);
+  Status LogCreateStructuralIndex(const std::string& collection,
+                                  const StructuralIndexDef& def);
+  Status LogDropStructuralIndex(const std::string& collection,
+                                const std::string& index_name);
   Status LogRegisterSchema(const std::string& name, Slice binary);
 
   /// Aggregates per-component stats into one snapshot; registered as a

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "xml/node_id.h"
+
 namespace xdb {
 namespace query {
 
@@ -14,6 +16,7 @@ const char* AccessMethodName(AccessMethod m) {
     case AccessMethod::kNodeIdList: return "nodeid-list";
     case AccessMethod::kDocIdAndOr: return "docid-anding/oring";
     case AccessMethod::kNodeIdAndOr: return "nodeid-anding/oring";
+    case AccessMethod::kStructuralScan: return "structural-scan";
   }
   return "?";
 }
@@ -269,6 +272,42 @@ std::vector<Posting> UnionPostings(std::vector<std::vector<Posting>> lists) {
   std::sort(acc.begin(), acc.end(), PostingKeyLess());
   acc.erase(std::unique(acc.begin(), acc.end(), SamePosting), acc.end());
   return acc;
+}
+
+Status StructuralAnchorJoin(const std::vector<Posting>& values,
+                            const std::vector<Posting>& anchors,
+                            std::vector<Posting>* out) {
+  out->clear();
+  if (values.empty() || anchors.empty()) return Status::OK();
+  std::vector<Posting> v = values;
+  std::vector<Posting> a = anchors;
+  std::sort(v.begin(), v.end(), PostingKeyLess());
+  std::sort(a.begin(), a.end(), PostingKeyLess());
+  // One forward pass in document order. `open` is the chain of anchors whose
+  // intervals are still open at the current position; levels are
+  // self-delimiting, so "ancestor-or-self" is exactly a prefix test, and an
+  // anchor popped here can never contain a later value (byte order places a
+  // node between a prefix and its extensions only if it shares the prefix).
+  auto contains = [](const Posting& anc, const Posting& node) {
+    return anc.doc_id == node.doc_id &&
+           (Slice(anc.node_id) == Slice(node.node_id) ||
+            nodeid::IsAncestor(Slice(anc.node_id), Slice(node.node_id)));
+  };
+  std::vector<const Posting*> open;
+  PostingKeyLess less;
+  size_t ai = 0;
+  for (const Posting& p : v) {
+    while (ai < a.size() && !less(p, a[ai])) {
+      while (!open.empty() && !contains(*open.back(), a[ai])) open.pop_back();
+      open.push_back(&a[ai]);
+      ai++;
+    }
+    while (!open.empty() && !contains(*open.back(), p)) open.pop_back();
+    for (const Posting* anc : open) out->push_back(*anc);
+  }
+  std::sort(out->begin(), out->end(), PostingKeyLess());
+  out->erase(std::unique(out->begin(), out->end(), SamePosting), out->end());
+  return Status::OK();
 }
 
 Status ProbeBounds(const ValueIndex& index, const CandidatePredicate& pred,

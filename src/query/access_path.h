@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/structural_index.h"
 #include "index/value_index.h"
 #include "xpath/ast.h"
 #include "xpath/path_containment.h"
@@ -53,13 +54,16 @@ xpath::Path ClonePathSkeleton(const xpath::Path& path);
 xpath::Path ConcatPredicatePath(const xpath::Path& main, size_t step_index,
                                 const xpath::Path& branch);
 
-/// Access methods of Table 2.
+/// Access methods of Table 2, plus the structural (pre,post) interval scan:
+/// all instances of one element name come straight off the structural index
+/// as candidate anchors, and the residual path rechecks each.
 enum class AccessMethod : uint8_t {
   kFullScan = 0,
   kDocIdList = 1,
   kNodeIdList = 2,
   kDocIdAndOr = 3,
   kNodeIdAndOr = 4,
+  kStructuralScan = 5,
 };
 
 const char* AccessMethodName(AccessMethod m);
@@ -70,6 +74,7 @@ enum class ForceMethod : uint8_t {
   kScan = 1,
   kDocIdList = 2,
   kNodeIdList = 3,
+  kStructural = 4,
 };
 
 /// One index probe in a plan.
@@ -98,6 +103,16 @@ struct QueryPlan {
   /// Cost-model cardinality estimates, for EXPLAIN (cost_based only).
   double est_postings = 0;
   double est_docs = 0;
+  /// kStructuralScan, or value probes anchored via the structural index
+  /// (structural_anchor): the index to range-scan and the element name whose
+  /// entries it yields. The pointer is protected by the same index-structure
+  /// version gate as the ValueIndex pointers in `probes`.
+  StructuralIndex* structural_index = nullptr;
+  std::string structural_name;
+  /// Descendant-branch conjuncts (strip_levels == -1) anchored at node level
+  /// by joining value postings against the anchor name's structural entries
+  /// instead of being demoted to a doc-level recheck.
+  bool structural_anchor = false;
 };
 
 // --- posting-list algebra (executor building blocks) ---
@@ -124,6 +139,17 @@ std::vector<uint64_t> MergeCandidateDocIds(
 /// Set operations on (doc, node) anchors. Postings must be anchored first.
 std::vector<Posting> IntersectPostings(std::vector<std::vector<Posting>> lists);
 std::vector<Posting> UnionPostings(std::vector<std::vector<Posting>> lists);
+
+/// Ancestor join for descendant-branch conjuncts: emits one (doc, anchor)
+/// posting for every `anchors` entry that is an ancestor-or-self of a
+/// `values` entry in the same document. Both inputs are sorted internally;
+/// the merge walks them in document order keeping the open ancestor chain on
+/// a stack (node-ID byte order sorts ancestors before their descendants, so
+/// one forward pass suffices). Output is sorted by (doc, node), distinct —
+/// ready for IntersectPostings/UnionPostings.
+Status StructuralAnchorJoin(const std::vector<Posting>& values,
+                            const std::vector<Posting>& anchors,
+                            std::vector<Posting>* out);
 
 /// Converts a comparison into index key range bounds for a probe.
 Status ProbeBounds(const ValueIndex& index, const CandidatePredicate& pred,

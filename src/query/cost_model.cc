@@ -92,8 +92,13 @@ std::string CostBreakdown::Reason() const {
     Appendf(&out, " docid-list=%.0f%s", doc_list, chose_doc ? "*" : "");
   if (node_list >= 0)
     Appendf(&out, " nodeid-list=%.0f%s", node_list, chose_node ? "*" : "");
+  if (structural >= 0)
+    Appendf(&out, " structural=%.0f%s", structural,
+            chosen == AccessMethod::kStructuralScan ? "*" : "");
   if (doc_list >= 0)
     Appendf(&out, "; est postings=%.0f docs=%.0f", est_postings, est_docs);
+  else if (structural >= 0)
+    Appendf(&out, "; est anchors=%.0f", est_anchors);
   return out;
 }
 
@@ -101,6 +106,7 @@ CostBreakdown CostPlans(const CollectionStatsSnapshot& stats,
                         const CostConstants& cc,
                         const std::vector<PlannedProbe>& probes,
                         bool disjunctive, bool node_capable,
+                        const StructuralOption& structural,
                         double avg_records_per_doc) {
   CostBreakdown out;
   const double docs = static_cast<double>(stats.doc_count);
@@ -108,8 +114,22 @@ CostBreakdown CostPlans(const CollectionStatsSnapshot& stats,
                               avg_records_per_doc * cc.record_fetch +
                               stats.avg_nodes_per_doc() * cc.node_scan;
   out.full_scan = docs * per_doc_eval;
+  // Structural range scan: one descent, every entry of the name off the
+  // leaves, then a per-anchor prefix recheck plus the residual evaluated
+  // over its average subtree span.
+  const double struct_entries = std::max(structural.name_entries, 1.0);
+  const double struct_scan_cost =
+      cc.probe_descend + struct_entries * cc.posting_scan;
+  if (structural.scan_available && probes.empty()) {
+    out.structural = struct_scan_cost +
+                     struct_entries * (cc.anchor_recheck + cc.record_fetch +
+                                       structural.avg_subtree * cc.node_scan);
+    out.est_anchors = struct_entries;
+  }
   if (probes.empty()) {
     out.chosen = AccessMethod::kFullScan;
+    if (out.structural >= 0 && out.structural <= out.full_scan)
+      out.chosen = AccessMethod::kStructuralScan;
     return out;
   }
 
@@ -144,7 +164,7 @@ CostBreakdown CostPlans(const CollectionStatsSnapshot& stats,
   }
   out.doc_list = probe_cost + out.est_docs * per_doc_eval;
 
-  if (node_capable) {
+  if (node_capable || structural.anchor_join) {
     // Anchors after node-level combine: ANDing is bounded by the smallest
     // list, ORing by the sum.
     if (disjunctive) {
@@ -155,12 +175,20 @@ CostBreakdown CostPlans(const CollectionStatsSnapshot& stats,
     }
     out.node_list =
         probe_cost + out.est_anchors * (cc.anchor_recheck + cc.record_fetch);
+    if (!node_capable) {
+      // Anchoring via the structural join adds one range scan over the
+      // anchor name, the interval merge, and the residual recheck over each
+      // surviving anchor's subtree.
+      out.node_list += struct_scan_cost +
+                       (struct_entries + out.est_postings) * cc.list_merge +
+                       out.est_anchors * structural.avg_subtree * cc.node_scan;
+    }
   }
 
   // Cheapest wins; ties prefer the exact-list paths over scanning.
   out.chosen = AccessMethod::kFullScan;
   double best = out.full_scan;
-  if (node_capable && out.node_list <= best) {
+  if (out.node_list >= 0 && out.node_list <= best) {
     best = out.node_list;
     out.chosen = probes.size() > 1 ? AccessMethod::kNodeIdAndOr
                                    : AccessMethod::kNodeIdList;

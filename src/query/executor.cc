@@ -39,6 +39,37 @@ PlannedProbe MatchIndexes(const CandidatePredicate& cand,
   return best;
 }
 
+// A step can anchor a structural plan when it names elements reached by
+// child/descendant/descendant-or-self (attribute and self steps never have
+// structural entries of their own).
+bool StructuralAnchorableStep(const xpath::Step& s) {
+  return s.test == xpath::NodeTest::kName &&
+         (s.axis == xpath::Axis::kChild ||
+          s.axis == xpath::Axis::kDescendant ||
+          s.axis == xpath::Axis::kDescendantOrSelf);
+}
+
+// A per-name index over exactly `name` wins over an all-names index (same
+// entries for the name, smaller tree to scan through).
+StructuralIndex* FindCoveringStructural(
+    const std::vector<StructuralIndex*>& indexes, const std::string& name) {
+  StructuralIndex* all_names = nullptr;
+  for (StructuralIndex* ix : indexes) {
+    if (ix->def().element_name == name) return ix;
+    if (ix->def().element_name.empty() && all_names == nullptr) all_names = ix;
+  }
+  return all_names;
+}
+
+void FillStructuralStats(const CollectionStatsSnapshot& stats,
+                         const StructuralIndex* ix, const std::string& name,
+                         StructuralOption* opt) {
+  auto it = stats.structural.find(ix->def().name);
+  if (it == stats.structural.end()) return;
+  opt->name_entries = it->second.EstimateNameCount(name);
+  opt->avg_subtree = it->second.AvgSubtreeSize(name);
+}
+
 }  // namespace
 
 Result<QueryPlan> ChoosePlan(const xpath::Path& query,
@@ -50,12 +81,86 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
     plan.reason = "forced";
     return plan;
   }
+
+  // Node-level plans recheck an anchor by verifying its name path against
+  // the predicate-free prefix and evaluating self[anchor predicates] plus
+  // the remaining steps on its subtree. Predicates on steps strictly above
+  // the anchor appear in neither — so an anchor below the first predicated
+  // step would silently drop those predicates and over-report.
+  size_t first_pred_step = query.steps.size();
+  for (size_t i = 0; i < query.steps.size(); i++) {
+    if (!query.steps[i].predicates.empty()) {
+      first_pred_step = i;
+      break;
+    }
+  }
+
+  // Structural-only anchor: the deepest name-test step a structural index
+  // covers without leaving a predicate above the anchor. Steps after it
+  // become the recheck residual; the predicate-free prefix pattern verifies
+  // everything above it.
+  size_t so_step = 0;
+  StructuralIndex* so_ix = nullptr;
+  for (size_t i = query.steps.size(); i-- > 0;) {
+    if (i > first_pred_step) continue;
+    const xpath::Step& s = query.steps[i];
+    if (!StructuralAnchorableStep(s)) continue;
+    StructuralIndex* ix =
+        FindCoveringStructural(ctx.structural_indexes, s.name);
+    if (ix != nullptr) {
+      so_step = i;
+      so_ix = ix;
+      break;
+    }
+  }
+  auto make_structural = [&](size_t astep, StructuralIndex* ix) {
+    plan.method = AccessMethod::kStructuralScan;
+    plan.structural_index = ix;
+    plan.structural_name = query.steps[astep].name;
+    plan.anchor_step = astep;
+    plan.probes.clear();
+    plan.disjunctive = false;
+    plan.need_recheck = true;
+    plan.explain = "structural-scan via [element '" + plan.structural_name +
+                   "' using structural index '" + ix->def().name +
+                   "' (interval)] + recheck";
+  };
+  if (force == ForceMethod::kStructural) {
+    if (so_ix == nullptr) {
+      plan.reason = "forced structural: no covering index";
+      return plan;
+    }
+    make_structural(so_step, so_ix);
+    plan.reason = "forced";
+    return plan;
+  }
+  // Prices the structural-only scan against the full scan when no value
+  // probe is usable. Heuristic (stats-invalid) planning never picks it
+  // uninvited — the structural path only enters cost-based plans, keeping
+  // the legacy heuristic goldens stable.
+  auto consider_structural_only = [&]() {
+    if (so_ix == nullptr || ctx.stats == nullptr || !ctx.stats->valid) return;
+    StructuralOption opt;
+    opt.scan_available = true;
+    FillStructuralStats(*ctx.stats, so_ix, query.steps[so_step].name, &opt);
+    CostBreakdown cost = CostPlans(*ctx.stats, ctx.costs, {}, false, false,
+                                   opt, ctx.avg_records_per_doc);
+    plan.cost_based = true;
+    plan.est_postings = cost.est_postings;
+    plan.est_docs = cost.est_docs;
+    plan.reason = cost.Reason();
+    if (cost.chosen == AccessMethod::kStructuralScan)
+      make_structural(so_step, so_ix);
+  };
   plan.reason = "no indexable predicates";
 
   std::vector<CandidatePredicate> candidates;
   bool unindexable = false;
   XDB_RETURN_NOT_OK(ExtractCandidates(query, &candidates, &unindexable));
-  if (candidates.empty()) return plan;
+  if (candidates.empty()) {
+    consider_structural_only();
+    return plan;
+  }
 
   // Match candidates against indexes. OR groups are usable only if *every*
   // member of the group has an index; otherwise the group is dropped and
@@ -99,19 +204,37 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
   }
   if (probes.empty()) {
     plan.reason = "no index covers the predicates";
+    consider_structural_only();
     return plan;
   }
 
   // Node-level anchoring needs every probe at the same step with a
   // child-only branch.
-  bool node_capable = true;
+  bool same_step = true;
   size_t anchor = probes[0].pred.step_index;
   for (const PlannedProbe& p : probes) {
-    if (p.pred.step_index != anchor || p.pred.strip_levels < 0) {
-      node_capable = false;
+    if (p.pred.step_index != anchor) {
+      same_step = false;
       break;
     }
   }
+  bool all_strippable = true;
+  for (const PlannedProbe& p : probes)
+    if (p.pred.strip_levels < 0) all_strippable = false;
+  // Same dropped-predicate hazard as the structural-only anchor above: a
+  // predicate on a step above the anchor is in neither the prefix pattern
+  // nor the residual, so such queries must stay at document level.
+  const bool prefix_predicate_free = anchor <= first_pred_step;
+  bool node_capable = same_step && all_strippable && prefix_predicate_free;
+  // Descendant-branch conjuncts (strip_levels == -1) are not demoted to a
+  // doc-level recheck when a structural index covers the anchor step's
+  // name: joining the value postings against the name's interval entries
+  // anchors them at node level instead.
+  StructuralIndex* anchor_ix = nullptr;
+  if (same_step && prefix_predicate_free && !node_capable &&
+      StructuralAnchorableStep(query.steps[anchor]))
+    anchor_ix =
+        FindCoveringStructural(ctx.structural_indexes, query.steps[anchor].name);
 
   bool all_exact = true;
   for (const PlannedProbe& p : probes)
@@ -138,9 +261,14 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
         // Cost-based: price every feasible Table 2 path and take the
         // cheapest. The breakdown becomes the plan's reason so EXPLAIN
         // shows why each alternative lost.
+        StructuralOption sopt;
+        sopt.anchor_join = anchor_ix != nullptr;
+        if (anchor_ix != nullptr)
+          FillStructuralStats(*ctx.stats, anchor_ix,
+                              query.steps[anchor].name, &sopt);
         CostBreakdown cost =
             CostPlans(*ctx.stats, ctx.costs, probes, disjunctive,
-                      node_capable, ctx.avg_records_per_doc);
+                      node_capable, sopt, ctx.avg_records_per_doc);
         plan.cost_based = true;
         plan.est_postings = cost.est_postings;
         plan.est_docs = cost.est_docs;
@@ -176,8 +304,14 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
     }
   }
   if (want_node_level && !node_capable) {
-    want_node_level = false;
-    plan.reason = "probes not anchorable at one step";
+    if (anchor_ix != nullptr) {
+      plan.structural_anchor = true;
+      plan.structural_index = anchor_ix;
+      plan.structural_name = query.steps[anchor].name;
+    } else {
+      want_node_level = false;
+      plan.reason = "probes not anchorable at one step";
+    }
   }
 
   plan.probes = std::move(probes);
@@ -185,7 +319,9 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
   plan.anchor_step = anchor;
   bool anchor_exact =
       want_node_level ? (!disjunctive && any_exact) || all_exact : all_exact;
-  plan.need_recheck = uncovered || !anchor_exact;
+  // A structural-joined anchor always rechecks: the join proves only that
+  // some value hit lies below the anchor, not the branch's exact depth.
+  plan.need_recheck = uncovered || !anchor_exact || plan.structural_anchor;
   if (plan.probes.size() > 1) {
     plan.method = want_node_level ? AccessMethod::kNodeIdAndOr
                                   : AccessMethod::kDocIdAndOr;
@@ -202,6 +338,9 @@ Result<QueryPlan> ChoosePlan(const xpath::Path& query,
                                                           : "filtering") +
                     ")]";
   }
+  if (plan.structural_anchor)
+    plan.explain += " [anchored via structural index '" +
+                    plan.structural_index->def().name + "']";
   if (plan.need_recheck) plan.explain += " + recheck";
   return plan;
 }

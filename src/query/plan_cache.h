@@ -56,6 +56,10 @@ struct CompiledPlan {
   /// recheck phase has nothing left to build.
   std::shared_ptr<const xpath::QueryTree> residual_tree;
   xpath::Path prefix_pattern;
+  /// For structural plans: the anchor element name resolved against the
+  /// name dictionary at compile time. kInvalidNameId means the name was
+  /// never interned — no document contains it, so the scan is empty.
+  uint32_t structural_name_id = 0xFFFFFFFFu;
   uint64_t stats_epoch = 0;
   /// Collection's index-structure version at plan time; the executor
   /// refuses to probe when it no longer matches (see header comment).

@@ -79,6 +79,51 @@ struct CollectionStats::PerIndex final : public ValueIndexStatsListener {
   std::map<uint64_t, SampleEntry> sketch;  // hash -> sampled key
 };
 
+/// One structural index's live stats: exact entry count plus a bounded
+/// per-name (count, span-sum) table. Names past the cap pool into
+/// `other_count` — the planner then estimates an untracked name at the whole
+/// pool's size, which overprices (never underprices) the structural scan.
+/// Removes of pooled names only decrement the pool, the same safe-direction
+/// drift as the KMV sketch above.
+struct CollectionStats::PerStructural final
+    : public StructuralIndexStatsListener {
+  explicit PerStructural(CollectionStats* owner_in) : owner(owner_in) {}
+
+  void OnElementAdded(Slice local_name, uint32_t subtree_size) override {
+    MutexLock lock(owner->mu_);
+    entry_count++;
+    std::string key = local_name.ToString();
+    auto it = names.find(key);
+    if (it == names.end()) {
+      if (names.size() >= kMaxStructuralNames) {
+        other_count++;
+        return;
+      }
+      it = names.emplace(std::move(key), StructuralNameStats{}).first;
+    }
+    it->second.count++;
+    it->second.span_sum += subtree_size;
+  }
+
+  void OnElementRemoved(Slice local_name, uint32_t subtree_size) override {
+    MutexLock lock(owner->mu_);
+    if (entry_count > 0) entry_count--;
+    auto it = names.find(local_name.ToString());
+    if (it == names.end()) {
+      if (other_count > 0) other_count--;
+      return;
+    }
+    StructuralNameStats& s = it->second;
+    s.span_sum -= std::min<uint64_t>(s.span_sum, subtree_size);
+    if (s.count > 0 && --s.count == 0) names.erase(it);
+  }
+
+  CollectionStats* owner;
+  uint64_t entry_count = 0;
+  uint64_t other_count = 0;
+  std::map<std::string, StructuralNameStats> names;
+};
+
 CollectionStats::CollectionStats() = default;
 CollectionStats::~CollectionStats() = default;
 
@@ -133,6 +178,33 @@ void CollectionStats::NoteIndexDropped(const std::string& name) {
   Bump();
 }
 
+StructuralIndexStatsListener* CollectionStats::StructuralListenerFor(
+    const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = structural_.find(name);
+  if (it == structural_.end())
+    it = structural_.emplace(name, std::make_unique<PerStructural>(this))
+             .first;
+  return it->second.get();
+}
+
+StructuralIndexStatsListener* CollectionStats::NoteStructuralIndexCreated(
+    const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = structural_.find(name);
+  if (it == structural_.end())
+    it = structural_.emplace(name, std::make_unique<PerStructural>(this))
+             .first;
+  Bump();
+  return it->second.get();
+}
+
+void CollectionStats::NoteStructuralIndexDropped(const std::string& name) {
+  MutexLock lock(mu_);
+  structural_.erase(name);
+  Bump();
+}
+
 CollectionStatsSnapshot CollectionStats::Snapshot() const {
   CollectionStatsSnapshot snap;
   // epoch/valid are read under mu_, the same hold every mutator bumps
@@ -151,6 +223,13 @@ CollectionStatsSnapshot CollectionStats::Snapshot() const {
     std::sort(s.sample_keys.begin(), s.sample_keys.end());
     snap.indexes.emplace(name, std::move(s));
   }
+  for (const auto& [name, st] : structural_) {
+    StructuralStatsSnapshot s;
+    s.entry_count = st->entry_count;
+    s.other_count = st->other_count;
+    s.names = st->names;
+    snap.structural.emplace(name, std::move(s));
+  }
   return snap;
 }
 
@@ -162,6 +241,11 @@ void CollectionStats::ResetEmpty(uint64_t epoch_floor) {
     ix->entry_count = 0;
     ix->saturated = false;
     ix->sketch.clear();
+  }
+  for (auto& [name, st] : structural_) {
+    st->entry_count = 0;
+    st->other_count = 0;
+    st->names.clear();
   }
   // Under mu_ so a concurrent Snapshot() never pairs the zeroed counters
   // with the pre-reset epoch; the read-modify-write itself is safe from
@@ -186,6 +270,21 @@ void CollectionStats::Serialize(std::string* out) const {
       PutFixed64(out, hash);
       PutFixed64(out, entry.count);
       PutLengthPrefixed(out, entry.key);
+    }
+  }
+  // Structural section, appended after the value-index records so blobs
+  // written by older builds (which simply end here) still restore: a
+  // missing section means "no structural indexes".
+  PutVarint64(out, structural_.size());
+  for (const auto& [name, st] : structural_) {
+    PutLengthPrefixed(out, name);
+    PutFixed64(out, st->entry_count);
+    PutFixed64(out, st->other_count);
+    PutVarint64(out, st->names.size());
+    for (const auto& [elem, ns] : st->names) {
+      PutLengthPrefixed(out, elem);
+      PutFixed64(out, ns.count);
+      PutFixed64(out, ns.span_sum);
     }
   }
 }
@@ -238,6 +337,39 @@ Status CollectionStats::Restore(Slice data) {
     }
     parsed.push_back(std::move(pi));
   }
+  // Structural section; absent in blobs from before structural indexing.
+  struct ParsedStructural {
+    std::string name;
+    uint64_t entry_count = 0;
+    uint64_t other_count = 0;
+    std::map<std::string, StructuralNameStats> names;
+  };
+  std::vector<ParsedStructural> parsed_structural;
+  if (!data.empty()) {
+    uint64_t n_structural;
+    if (!read_var(&n_structural))
+      return Status::Corruption("bad structural stats count");
+    for (uint64_t i = 0; i < n_structural; i++) {
+      ParsedStructural ps;
+      Slice name;
+      if (!GetLengthPrefixed(&data, &name))
+        return Status::Corruption("bad structural stats name");
+      ps.name = name.ToString();
+      uint64_t n_names;
+      if (!read_fix(&ps.entry_count) || !read_fix(&ps.other_count) ||
+          !read_var(&n_names))
+        return Status::Corruption("bad structural stats header");
+      for (uint64_t s = 0; s < n_names; s++) {
+        Slice elem;
+        StructuralNameStats ns;
+        if (!GetLengthPrefixed(&data, &elem) || !read_fix(&ns.count) ||
+            !read_fix(&ns.span_sum))
+          return Status::Corruption("bad structural name record");
+        ps.names.emplace(elem.ToString(), ns);
+      }
+      parsed_structural.push_back(std::move(ps));
+    }
+  }
   // Update in place: open-time wiring may already have handed out listener
   // pointers into indexes_, so existing PerIndex objects must survive.
   MutexLock lock(mu_);
@@ -250,6 +382,15 @@ Status CollectionStats::Restore(Slice data) {
     it->second->entry_count = pi.entry_count;
     it->second->saturated = pi.saturated;
     it->second->sketch = std::move(pi.sketch);
+  }
+  for (ParsedStructural& ps : parsed_structural) {
+    auto it = structural_.find(ps.name);
+    if (it == structural_.end())
+      it = structural_.emplace(ps.name, std::make_unique<PerStructural>(this))
+               .first;
+    it->second->entry_count = ps.entry_count;
+    it->second->other_count = ps.other_count;
+    it->second->names = std::move(ps.names);
   }
   epoch_.store(epoch, std::memory_order_release);
   valid_.store(true, std::memory_order_release);

@@ -34,6 +34,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "index/structural_index.h"
 #include "index/value_index.h"
 
 namespace xdb {
@@ -56,6 +57,41 @@ struct IndexStatsSnapshot {
   std::vector<std::string> sample_keys;
 };
 
+/// Per-element-name structural facts: how many instances of the name one
+/// structural index holds and how wide their subtrees are on average (the
+/// span prices the residual recheck of one structural anchor).
+struct StructuralNameStats {
+  uint64_t count = 0;
+  uint64_t span_sum = 0;  // sum of descendant-element counts
+  double avg_subtree() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(span_sum) /
+                            static_cast<double>(count);
+  }
+};
+
+/// Plain-data copy of one structural index's statistics. The per-name map is
+/// bounded (CollectionStats::kMaxStructuralNames); entries for names beyond
+/// the cap pool into `other_count`, so an uncached name estimates high
+/// (never prices a structural scan as free when it is not).
+struct StructuralStatsSnapshot {
+  uint64_t entry_count = 0;
+  uint64_t other_count = 0;  // entries whose name fell past the cap
+  std::map<std::string, StructuralNameStats> names;
+
+  /// Expected instances of `name`: the tracked count, or the pooled
+  /// overflow count for names past the cap (conservatively high).
+  double EstimateNameCount(const std::string& name) const {
+    auto it = names.find(name);
+    if (it != names.end()) return static_cast<double>(it->second.count);
+    return static_cast<double>(other_count);
+  }
+  double AvgSubtreeSize(const std::string& name) const {
+    auto it = names.find(name);
+    return it == names.end() ? 0.0 : it->second.avg_subtree();
+  }
+};
+
 /// Plain-data copy of a collection's statistics at one epoch.
 struct CollectionStatsSnapshot {
   /// False when stats were missing/stale at open: cost-based planning is
@@ -65,6 +101,8 @@ struct CollectionStatsSnapshot {
   uint64_t doc_count = 0;
   uint64_t node_count = 0;  // running estimate (see header comment)
   std::map<std::string, IndexStatsSnapshot> indexes;  // by index name
+  /// Structural indexes, by index name.
+  std::map<std::string, StructuralStatsSnapshot> structural;
 
   double avg_nodes_per_doc() const {
     return doc_count == 0 ? 0.0
@@ -81,6 +119,9 @@ struct CollectionStatsSnapshot {
 class CollectionStats {
  public:
   static constexpr size_t kSketchSize = 64;
+  /// Distinct element names tracked per structural index before new names
+  /// pool into the overflow bucket.
+  static constexpr size_t kMaxStructuralNames = 256;
 
   // Both out of line: PerIndex is incomplete here and the map of
   // unique_ptr<PerIndex> needs the complete type to destroy (including
@@ -108,6 +149,15 @@ class CollectionStats {
   ValueIndexStatsListener* ListenerFor(const std::string& name)
       XDB_EXCLUDES(mu_);
 
+  // --- structural index lifecycle (exclusive collection latch held) ---
+  /// Same contract as the value-index trio, for structural indexes: the
+  /// returned listener feeds the per-name count + span sketch.
+  StructuralIndexStatsListener* NoteStructuralIndexCreated(
+      const std::string& name) XDB_EXCLUDES(mu_);
+  void NoteStructuralIndexDropped(const std::string& name) XDB_EXCLUDES(mu_);
+  StructuralIndexStatsListener* StructuralListenerFor(const std::string& name)
+      XDB_EXCLUDES(mu_);
+
   // --- epoch / validity ---
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   bool valid() const { return valid_.load(std::memory_order_acquire); }
@@ -128,6 +178,7 @@ class CollectionStats {
 
  private:
   struct PerIndex;
+  struct PerStructural;
 
   void Bump() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
@@ -137,6 +188,8 @@ class CollectionStats {
   uint64_t doc_count_ XDB_GUARDED_BY(mu_) = 0;
   uint64_t node_count_ XDB_GUARDED_BY(mu_) = 0;
   std::map<std::string, std::unique_ptr<PerIndex>> indexes_
+      XDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<PerStructural>> structural_
       XDB_GUARDED_BY(mu_);
 };
 

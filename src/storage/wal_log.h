@@ -48,6 +48,8 @@ enum class WalRecordType : uint8_t {
   kCreateValueIndex = 12,
   kDropValueIndex = 13,
   kRegisterSchema = 14,
+  kCreateStructuralIndex = 15,
+  kDropStructuralIndex = 16,
 };
 
 /// What Replay() found besides the replayable records. A torn tail (the last

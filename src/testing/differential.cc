@@ -139,24 +139,37 @@ std::string CompareEnginesCounted(const std::string& doc,
     }
   }
 
+  // An all-names structural index so the forced structural flavor below
+  // runs a real (pre, post)-interval scan rather than its full-scan
+  // fallback; maintenance runs through the same insert as the records.
+  {
+    Status si = coll->CreateStructuralIndex({"structure", ""});
+    if (!si.ok())
+      return "structural index create failed: " + si.ToString();
+  }
+
   auto ins_r = coll->InsertDocument(nullptr, doc);
   if (!ins_r.ok())
     return "stored insert failed: " + ins_r.status().ToString();
 
-  // Six planner flavors: the four force modes, the cost-based auto plan
-  // re-run so the second execution is served from the compiled-plan cache,
-  // and the forced Section 4.3 heuristic. Any stats- or cache-induced
-  // divergence from the DOM reference surfaces here.
+  // Seven planner flavors: the five force modes (structural included), the
+  // cost-based auto plan re-run so the second execution is served from the
+  // compiled-plan cache, and the forced Section 4.3 heuristic. Any stats-,
+  // cache- or interval-induced divergence from the DOM reference surfaces
+  // here.
   static const ForceMethod kForces[] = {
-      ForceMethod::kAuto, ForceMethod::kScan,      ForceMethod::kDocIdList,
-      ForceMethod::kNodeIdList, ForceMethod::kAuto, ForceMethod::kAuto};
+      ForceMethod::kAuto,       ForceMethod::kScan,
+      ForceMethod::kDocIdList,  ForceMethod::kNodeIdList,
+      ForceMethod::kStructural, ForceMethod::kAuto,
+      ForceMethod::kAuto};
   static const char* kForceNames[] = {
       "plan:auto",        "plan:scan",        "plan:docid-list",
-      "plan:nodeid-list", "plan:auto-cached", "plan:heuristic"};
-  for (size_t f = 0; f < 6; f++) {
+      "plan:nodeid-list", "plan:structural",  "plan:auto-cached",
+      "plan:heuristic"};
+  for (size_t f = 0; f < 7; f++) {
     QueryOptions qo;
     qo.force = kForces[f];
-    qo.use_heuristic_planner = (f == 5);
+    qo.use_heuristic_planner = (f == 6);
     auto res_r = coll->Query(nullptr, query, qo);
     if (!res_r.ok())
       return std::string(kForceNames[f]) +

@@ -10,8 +10,9 @@
 //   * QuickXScan over the virtual-SAX event stream,
 //   * NaiveStreamEvaluator (when the query is in its linear subset),
 //   * Collection::Query through the stored engine, under every planner
-//     force mode (auto / full scan / DocID list / NodeID list), with value
-//     indexes derived from the query's own predicates so the index-backed
+//     force mode (auto / full scan / DocID list / NodeID list / structural
+//     interval scan), with value indexes derived from the query's own
+//     predicates and an all-names structural index, so the index-backed
 //     plans actually probe.
 //
 // All engines must produce the same node-ID result set. On divergence the

@@ -1,5 +1,6 @@
 #include "util/workload.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -133,8 +134,27 @@ void GenRandomElement(Random* rng, const RandomXmlOptions& options,
 
 std::string GenRandomXml(Random* rng, const RandomXmlOptions& options) {
   std::string out;
+  uint32_t spine = 0;
+  if (options.spine_depth_max > 0) {
+    uint32_t lo = options.spine_depth_min;
+    uint32_t hi = std::max(options.spine_depth_max, lo);
+    spine = lo + static_cast<uint32_t>(rng->Uniform(hi - lo + 1));
+  }
+  std::vector<char> spine_names;
+  for (uint32_t i = 0; i < spine; i++) {
+    char name = static_cast<char>('a' + rng->Uniform(options.element_names));
+    spine_names.push_back(name);
+    out.push_back('<');
+    out.push_back(name);
+    out.push_back('>');
+  }
   uint32_t budget = options.max_nodes == 0 ? 1 : options.max_nodes;
-  GenRandomElement(rng, options, &budget, 0, &out);
+  GenRandomElement(rng, options, &budget, static_cast<int>(spine), &out);
+  for (auto it = spine_names.rbegin(); it != spine_names.rend(); ++it) {
+    out.append("</");
+    out.push_back(*it);
+    out.push_back('>');
+  }
   return out;
 }
 

@@ -56,6 +56,14 @@ struct RandomXmlOptions {
   /// round-trip tests spuriously fail — or pass for the wrong reason).
   /// Setting this lets duplicates through, for parser-rejection tests only.
   bool allow_duplicate_attrs = false;
+  /// Deep-document mode: when spine_depth_max > 0, the random tree is
+  /// wrapped in a nested spine of spine_depth_min..spine_depth_max single
+  /// elements whose names repeat from the same a.. alphabet. Descendant
+  /// axes then cross dozens of levels of recurring names — the regime where
+  /// (pre, post)-interval containment has to agree with the streaming
+  /// evaluators on every reflexive // match.
+  uint32_t spine_depth_min = 0;
+  uint32_t spine_depth_max = 0;
 };
 
 /// Random tree for differential testing: up to `max_nodes` nodes with

@@ -8,6 +8,7 @@
 // (env vars XDB_DIFF_SEED / XDB_DIFF_ITERS work too, for ctest -E setups).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -51,8 +52,31 @@ TEST(DifferentialTest, SweepAgreesAcrossEngines) {
   EXPECT_EQ(res.quickxscan_runs, res.cases_run);
   EXPECT_GT(res.naive_stream_runs, 0u)
       << "no generated query fell in the naive evaluator's linear subset";
-  // Four force modes + cached re-run of the auto plan + forced heuristic.
-  EXPECT_EQ(res.plan_runs, res.cases_run * 6);
+  // Five force modes (structural interval scan included) + cached re-run
+  // of the auto plan + forced heuristic.
+  EXPECT_EQ(res.plan_runs, res.cases_run * 7);
+}
+
+// The same sweep in deep-document mode: every document gains a 20–60 level
+// spine of recurring element names, so descendant axes cross dozens of
+// levels and reflexively match spine elements. This is the regime the
+// structural index's (pre, post) containment test is for — and where an
+// off-by-one in pre/post numbering or interval bounds would diverge from
+// the streaming engines.
+TEST(DifferentialTest, DeepDocumentSweepAgreesAcrossEngines) {
+  if (flags()->replay) GTEST_SKIP() << "replaying --seed instead";
+  DiffOptions opts;
+  opts.xml.spine_depth_min = 20;
+  opts.xml.spine_depth_max = 60;
+  opts.xml.element_names = 3;  // denser name reuse along the spine
+  opts.xpath.descendant_prob = 0.7;
+  const uint64_t iters = std::min<uint64_t>(flags()->iters, 300);
+  SweepResult res = RunSweep(flags()->base_seed + 0xDEE9, iters, opts,
+                             &std::cerr);
+  EXPECT_TRUE(res.ok) << res.first_failure.Report();
+  EXPECT_EQ(res.cases_run, iters);
+  EXPECT_EQ(res.quickxscan_runs, res.cases_run);
+  EXPECT_EQ(res.plan_runs, res.cases_run * 7);
 }
 
 TEST(DifferentialTest, SeedReplay) {

@@ -789,6 +789,68 @@ TEST_F(EngineFaultTest, StatsSurviveCheckpointAndCrashReplay) {
       << res.value().profile.PlanText();
 }
 
+// Structural-index DDL through the full durability matrix: a create that
+// made the checkpoint (catalog V4 entry + checkpointed B+tree pages), a
+// create and an insert that live only in the WAL (kCreateStructuralIndex
+// redo + backfill replay), then a WAL-only drop across a second crash.
+TEST_F(EngineFaultTest, StructuralIndexDdlSurvivesCrashReplay) {
+  {
+    Engine* crashed =
+        IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
+    Collection* coll = crashed->CreateCollection("docs").value();
+    ASSERT_TRUE(coll->CreateStructuralIndex({"pre_ckpt", ""}).ok());
+    ASSERT_TRUE(
+        coll->InsertDocument(nullptr, "<a><b><c>1</c></b></a>").ok());
+    ASSERT_TRUE(crashed->Checkpoint().ok());
+    // WAL-only tail: a per-name index (backfilled over the checkpointed
+    // document) and a second document that both indexes must cover.
+    ASSERT_TRUE(coll->CreateStructuralIndex({"post_ckpt", "b"}).ok());
+    ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>2</b></a>").ok());
+  }
+  {
+    Engine* engine =
+        IntentionallyLeaked(Engine::Open(FileOptions()).MoveValue().release());
+    Collection* coll = engine->GetCollection("docs").value();
+    StructuralIndex* pre = coll->FindStructuralIndex("pre_ckpt");
+    StructuralIndex* post = coll->FindStructuralIndex("post_ckpt");
+    ASSERT_NE(pre, nullptr);
+    ASSERT_NE(post, nullptr);
+    // pre_ckpt covers all names: 3 elements in doc 1, 2 in doc 2. post_ckpt
+    // covers only <b>: one per document (the first via backfill replay).
+    EXPECT_EQ(pre->CountEntries().value(), 5u);
+    EXPECT_EQ(post->CountEntries().value(), 2u);
+    QueryOptions structural;
+    structural.force = ForceMethod::kStructural;
+    QueryOptions scan;
+    scan.force = ForceMethod::kScan;
+    for (const char* q : {"//b", "//a//c", "//c"}) {
+      auto a = coll->Query(nullptr, q, structural);
+      auto b = coll->Query(nullptr, q, scan);
+      ASSERT_TRUE(a.ok() && b.ok()) << q;
+      ASSERT_EQ(a.value().nodes.size(), b.value().nodes.size()) << q;
+      for (size_t i = 0; i < a.value().nodes.size(); i++) {
+        EXPECT_EQ(a.value().nodes[i].doc_id, b.value().nodes[i].doc_id) << q;
+        EXPECT_EQ(a.value().nodes[i].node_id, b.value().nodes[i].node_id)
+            << q;
+      }
+    }
+    // Drop the all-names index and crash without a checkpoint: only the
+    // kDropStructuralIndex WAL record carries the intent.
+    ASSERT_TRUE(coll->DropStructuralIndex("pre_ckpt").ok());
+  }
+  auto engine = Engine::Open(FileOptions()).MoveValue();
+  Collection* coll = engine->GetCollection("docs").value();
+  EXPECT_EQ(coll->FindStructuralIndex("pre_ckpt"), nullptr);
+  StructuralIndex* post = coll->FindStructuralIndex("post_ckpt");
+  ASSERT_NE(post, nullptr);
+  EXPECT_EQ(post->CountEntries().value(), 2u);
+  QueryOptions structural;
+  structural.force = ForceMethod::kStructural;
+  auto res = coll->Query(nullptr, "//b", structural);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().nodes.size(), 2u);
+}
+
 // A fresh collection checkpointed before any write carries stats epoch 0 —
 // a valid empty state, not a degradation.
 TEST_F(EngineFaultTest, FreshCollectionEpochZeroStaysValidAcrossReopen) {

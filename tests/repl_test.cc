@@ -271,6 +271,9 @@ TEST_F(ReplTest, ReplicaRejectsEveryLocalMutation) {
           .IsNotSupported());
   EXPECT_TRUE(rcoll->DropValueIndex("i").IsNotSupported());
   EXPECT_TRUE(
+      rcoll->CreateStructuralIndex({"structure", ""}).IsNotSupported());
+  EXPECT_TRUE(rcoll->DropStructuralIndex("structure").IsNotSupported());
+  EXPECT_TRUE(
       replica->CreateCollection("nope").status().IsNotSupported());
   EXPECT_TRUE(replica->DropCollection("docs").IsNotSupported());
   EXPECT_TRUE(
@@ -418,6 +421,7 @@ TEST_F(ReplTest, DdlReplicates) {
       coll->CreateValueIndex({"pidx", "/catalog/product/price",
                               ValueType::kDouble, 128})
           .ok());
+  ASSERT_TRUE(coll->CreateStructuralIndex({"structure", ""}).ok());
   Random rng(7);
   for (int i = 0; i < 5; i++)
     ASSERT_TRUE(
@@ -443,6 +447,24 @@ TEST_F(ReplTest, DdlReplicates) {
   ASSERT_TRUE(planned.ok()) << planned.status().ToString();
   ASSERT_TRUE(scan.ok());
   EXPECT_EQ(planned.value().nodes.size(), scan.value().nodes.size());
+
+  // The structural index arrived too, was backfilled over the replicated
+  // documents, and a forced interval scan matches the full scan.
+  ASSERT_NE(rcoll->FindStructuralIndex("structure"), nullptr);
+  QueryOptions force_structural;
+  force_structural.force = ForceMethod::kStructural;
+  auto structural =
+      rcoll->Query(nullptr, "//product", force_structural);
+  auto sscan = rcoll->Query(nullptr, "//product", force_scan);
+  ASSERT_TRUE(structural.ok()) << structural.status().ToString();
+  ASSERT_TRUE(sscan.ok());
+  ASSERT_EQ(structural.value().nodes.size(), sscan.value().nodes.size());
+  for (size_t i = 0; i < structural.value().nodes.size(); i++) {
+    EXPECT_EQ(structural.value().nodes[i].doc_id,
+              sscan.value().nodes[i].doc_id);
+    EXPECT_EQ(structural.value().nodes[i].node_id,
+              sscan.value().nodes[i].node_id);
+  }
 }
 
 // The DDL WAL records also close a latent single-node hole: DDL after the

@@ -15,4 +15,12 @@ Status Collection::ApplyDropValueIndex(const std::string& name) {
   return AppendWal(name);  // LINT-EXPECT[replay-apply]
 }
 
+// A structural-index replay variant that re-logs the DDL: replay would
+// append a second record for an operation already in the WAL.
+Status Collection::ApplyCreateStructuralIndex(const StructuralIndexDef& def) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  XDB_RETURN_NOT_OK(Install(def));
+  return engine_->LogCreateStructuralIndex(meta_.name, def);  // LINT-EXPECT[replay-apply]
+}
+
 }  // namespace xdb

@@ -23,4 +23,19 @@ Status Engine::CreateCollection(const std::string& name) {
   return catalog_.Create(name);
 }
 
+// Structural-index DDL mirrors value-index DDL: the logging entry point
+// delegates to its Apply* variant (which guards first itself) before
+// writing the WAL record.
+Status Collection::CreateStructuralIndex(const StructuralIndexDef& def) {
+  MutexLock ddl(ddl_mu_);
+  XDB_RETURN_NOT_OK(ApplyCreateStructuralIndex(def));
+  return engine_->LogCreateStructuralIndex(meta_.name, def);
+}
+
+Status Collection::ApplyCreateStructuralIndex(const StructuralIndexDef& def) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  WriterMutexLock latch(latch_);
+  return Install(def);
+}
+
 }  // namespace xdb

@@ -24,4 +24,17 @@ Status Collection::CreateValueIndex(const ValueIndexDef& def) {
   return engine_->LogCreateIndex(meta_.name, def);
 }
 
+// Structural-index replay variants follow the same contract.
+Status Collection::ApplyCreateStructuralIndex(const StructuralIndexDef& def) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  WriterMutexLock latch(latch_);
+  return Install(def);
+}
+
+Status Collection::ApplyDropStructuralIndex(const std::string& name) {
+  XDB_RETURN_NOT_OK(GuardWrite());
+  WriterMutexLock latch(latch_);
+  return Remove(name);
+}
+
 }  // namespace xdb

@@ -95,6 +95,12 @@ ENTRY_GUARDS = {
     "Collection::DropValueIndex": ["GuardWrite", "ApplyDropValueIndex"],
     "Collection::ApplyCreateValueIndex": ["GuardWrite"],
     "Collection::ApplyDropValueIndex": ["GuardWrite"],
+    "Collection::CreateStructuralIndex": ["GuardWrite",
+                                          "ApplyCreateStructuralIndex"],
+    "Collection::DropStructuralIndex": ["GuardWrite",
+                                        "ApplyDropStructuralIndex"],
+    "Collection::ApplyCreateStructuralIndex": ["GuardWrite"],
+    "Collection::ApplyDropStructuralIndex": ["GuardWrite"],
 }
 
 RAW_SYNC_TYPES = {
