@@ -94,6 +94,22 @@ void RunQuery(benchmark::State& state, const char* xpath,
       std::fclose(f);
     }
   }
+  // Likewise XDB_SNAPSHOT_JSON=<path> dumps the full DebugSnapshot (the
+  // xdb_top payload: metrics + wait histograms + events + slow queries +
+  // per-collection residency). CI feeds it back through `xdb_top --json
+  // --file` as a schema round-trip smoke-test.
+  const char* snapshot_path = std::getenv("XDB_SNAPSHOT_JSON");
+  if (snapshot_path != nullptr && snapshot_path[0] != '\0') {
+    std::string json = fx->engine->DebugSnapshot().ToJson();
+    std::FILE* f = std::fopen(snapshot_path, "w");
+    if (f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      // ToJson ends with a newline; keep the file byte-identical to what
+      // `xdb_top --json --file` re-emits so CI can plain-diff the two.
+      if (json.empty() || json.back() != '\n') std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
 }
 
 // Scan-heavy: full QuickXScan over all 48 documents per query.

@@ -1,0 +1,130 @@
+// Cost of always-on wait-state attribution.
+//
+// Three micro shapes price the mechanism itself:
+//  - recorded: a span that actually arms (TLS scope installed, sink wired) —
+//    two steady_clock reads plus a histogram observe and two relaxed adds;
+//  - disarmed: a span with no sink and no scope — one TLS read, no clocks;
+//  - disabled: the process-wide kill switch off — the A/B control.
+//
+// Then the number that gates the feature: the same indexed parallel query
+// with accounting enabled vs disabled. The acceptance bar (EXPERIMENTS.md)
+// is <= 3% wall-time overhead on the enabled run.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/random.h"
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "obs/wait_state.h"
+#include "util/workload.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+void BM_WaitSpan_Recorded(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::WaitSink sink;
+  sink.Register(&reg);
+  obs::WaitStats stats;
+  obs::QueryWaitScope scope(&stats);
+  for (auto _ : state) {
+    obs::WaitSpan span(&sink, obs::WaitState::kLatch);
+    span.Finish();
+  }
+  state.counters["observed"] =
+      static_cast<double>(stats.Count(obs::WaitState::kLatch));
+}
+BENCHMARK(BM_WaitSpan_Recorded);
+
+void BM_WaitSpan_Disarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::WaitSpan span(nullptr, obs::WaitState::kLatch);
+    span.Finish();
+  }
+}
+BENCHMARK(BM_WaitSpan_Disarmed);
+
+void BM_WaitSpan_Disabled(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::WaitSink sink;
+  sink.Register(&reg);
+  obs::WaitStats stats;
+  obs::QueryWaitScope scope(&stats);
+  obs::SetWaitAccountingEnabled(false);
+  for (auto _ : state) {
+    obs::WaitSpan span(&sink, obs::WaitState::kLatch);
+    span.Finish();
+  }
+  obs::SetWaitAccountingEnabled(true);
+}
+BENCHMARK(BM_WaitSpan_Disabled);
+
+// End-to-end A/B: the bench_parallel_query index-heavy shape, accounting on
+// vs off. Both states run the identical query on the identical fixture; the
+// only difference is whether the spans crossed (latch per evaluated doc,
+// index probe, buffer I/O on any miss) read clocks and feed histograms.
+struct QueryFixture {
+  QueryFixture() {
+    EngineOptions eopts;
+    eopts.in_memory = true;
+    eopts.enable_wal = false;
+    eopts.num_query_threads = 4;
+    engine = Engine::Open(eopts).MoveValue();
+    coll = engine->CreateCollection("catalog").value();
+    if (!coll->CreateValueIndex({"regprice",
+                                 "/Catalog/Categories/Product/RegPrice",
+                                 ValueType::kDecimal, 128})
+             .ok())
+      std::abort();
+    Random rng(42);
+    workload::CatalogOptions gen;
+    gen.categories = 4;
+    gen.products_per_category = 50;
+    for (int i = 0; i < 32; i++) {
+      if (!coll->InsertDocument(nullptr, workload::GenCatalogXml(&rng, gen))
+               .ok())
+        std::abort();
+    }
+  }
+  std::unique_ptr<Engine> engine;
+  Collection* coll = nullptr;
+};
+
+QueryFixture* Fixture() {
+  static QueryFixture* fx = new QueryFixture();
+  return fx;
+}
+
+void RunIndexedQuery(benchmark::State& state, bool enabled) {
+  QueryFixture* fx = Fixture();
+  obs::SetWaitAccountingEnabled(enabled);
+  QueryOptions qopts;
+  qopts.force = query::ForceMethod::kDocIdList;
+  qopts.parallelism = 4;
+  for (auto _ : state) {
+    auto res = fx->coll->Query(
+        nullptr, "/Catalog/Categories/Product[RegPrice > 100]/ProductName",
+        qopts);
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().nodes.size());
+  }
+  obs::SetWaitAccountingEnabled(true);
+  state.counters["accounting"] = enabled ? 1 : 0;
+}
+
+void BM_IndexedQuery_AccountingOn(benchmark::State& state) {
+  RunIndexedQuery(state, true);
+}
+BENCHMARK(BM_IndexedQuery_AccountingOn)->Unit(benchmark::kMillisecond);
+
+void BM_IndexedQuery_AccountingOff(benchmark::State& state) {
+  RunIndexedQuery(state, false);
+}
+BENCHMARK(BM_IndexedQuery_AccountingOff)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb

@@ -115,7 +115,11 @@ Status LockManager::LockDocument(TxnId txn, uint64_t doc_id, LockMode mode) {
     waits_for_[txn] = std::move(blockers);
     waited = true;
     dl.waiters++;
+    // One span per blocked iteration: only threads that actually sleep on
+    // the condvar pay for wait accounting.
+    obs::WaitSpan wait_span(wait_sink_, obs::WaitState::kLockWait);
     bool ok = cv_.WaitUntil(lock, deadline) != std::cv_status::timeout;
+    wait_span.Finish();
     dl.waiters--;
     if (!ok) {
       waits_for_.erase(txn);
@@ -188,7 +192,9 @@ Status LockManager::LockNode(TxnId txn, uint64_t doc_id, Slice node_id,
     waits_for_[txn] = std::move(blockers);
     waited = true;
     dn.waiters++;
+    obs::WaitSpan wait_span(wait_sink_, obs::WaitState::kLockWait);
     bool ok = cv_.WaitUntil(lock, deadline) != std::cv_status::timeout;
+    wait_span.Finish();
     dn.waiters--;
     if (!ok) {
       waits_for_.erase(txn);

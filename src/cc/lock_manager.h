@@ -31,6 +31,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "obs/event_log.h"
+#include "obs/wait_state.h"
 
 namespace xdb {
 
@@ -80,6 +81,11 @@ class LockManager {
   /// before concurrent use.
   void set_event_log(obs::EventLog* events) { events_ = events; }
 
+  /// Destination for kLockWait spans: one span per wait-loop iteration, so
+  /// the uncontended grant path never reads a clock (engine-owned, may be
+  /// null). Install before concurrent use.
+  void set_wait_sink(obs::WaitSink* sink) { wait_sink_ = sink; }
+
  private:
   struct DocLock {
     std::map<TxnId, LockMode> granted;
@@ -120,6 +126,7 @@ class LockManager {
   std::map<TxnId, std::vector<TxnId>> waits_for_ XDB_GUARDED_BY(mu_);
   LockManagerStats stats_ XDB_GUARDED_BY(mu_);
   obs::EventLog* events_ = nullptr;
+  obs::WaitSink* wait_sink_ = nullptr;
 };
 
 }  // namespace xdb

@@ -7,6 +7,8 @@
 
 #include "common/coding.h"
 #include "engine/engine.h"
+#include "obs/slow_query_log.h"
+#include "obs/wait_state.h"
 #include "query/executor.h"
 #include "runtime/iterators.h"
 #include "xml/node_id.h"
@@ -1251,6 +1253,14 @@ Result<QueryResult> Collection::ExecuteCompiled(
   *plan_stale = false;
   XDB_RETURN_NOT_OK(GuardRepair());
   AutoTxn at(engine_, txn, IsolationMode::kLocking);
+  // Always-on wait attribution: every WaitSpan crossed while this scope is
+  // installed (lock-manager waits, buffer-miss I/O, latch acquisitions,
+  // index probes, WAL commits) adds to `waits`, on this thread and — via
+  // the per-chunk re-install in EvalDocsParallel/RecheckAnchors — on pool
+  // threads working for this query. Cost when nothing blocks: a TLS store
+  // here and two clock reads per span actually crossed.
+  obs::WaitStats waits;
+  obs::QueryWaitScope wait_scope(&waits);
   QueryResult result;
   const query::QueryPlan& plan = cp.plan;
   // Per-query profile, populated only on request (a default QueryProfile is
@@ -1341,7 +1351,9 @@ Result<QueryResult> Collection::ExecuteCompiled(
     std::vector<Posting> structural_postings;
     {
       obs::PhaseTimer timer(&prof, "probe");
+      obs::WaitSpan latch_span(engine_->wait_sink(), obs::WaitState::kLatch);
       ReaderMutexLock latch(latch_);
+      latch_span.Finish();
       // Structure-version gate: the plan's ValueIndex pointers are only safe
       // to dereference while the index set is the one it was compiled
       // against. A mismatch (index dropped, storage rebuilt) makes the plan
@@ -1358,7 +1370,10 @@ Result<QueryResult> Collection::ExecuteCompiled(
         XDB_RETURN_NOT_OK(
             query::ProbeBounds(*probe.index, probe.pred, &lo, &hi, &not_equal));
         std::vector<Posting> postings;
+        obs::WaitSpan probe_span(engine_->wait_sink(),
+                                 obs::WaitState::kIndexProbe);
         XDB_RETURN_NOT_OK(probe.index->Scan(lo, hi, &postings));
+        probe_span.Finish();
         result.stats.index_postings += postings.size();
         if (prof.trace)
           prof.trace_lines.push_back(
@@ -1373,8 +1388,11 @@ Result<QueryResult> Collection::ExecuteCompiled(
       if (plan.structural_index != nullptr &&
           cp.structural_name_id != NameDictionary::kInvalidNameId) {
         std::vector<StructuralPosting> entries;
+        obs::WaitSpan probe_span(engine_->wait_sink(),
+                                 obs::WaitState::kIndexProbe);
         XDB_RETURN_NOT_OK(
             plan.structural_index->Scan(cp.structural_name_id, &entries));
+        probe_span.Finish();
         structural_postings.reserve(entries.size());
         for (StructuralPosting& e : entries)
           structural_postings.push_back(
@@ -1499,7 +1517,41 @@ Result<QueryResult> Collection::ExecuteCompiled(
     prof.scan_peak_live = result.stats.scan_peak_live;
     BufferManagerStats bs = buffer_->stats();
     prof.pages_fetched = bs.hits + bs.misses - pages_before;
-    prof.AddPhase("total", wall_us, 0);
+    // "total" covers plan + execution, so the per-phase lines (plan, probe,
+    // merge, eval/recheck) sum to it up to untimed glue between phases.
+    prof.AddPhase("total", plan_wall_us + wall_us, 0);
+    for (size_t s = 0; s < obs::kWaitStateCount; s++) {
+      const obs::WaitState ws = static_cast<obs::WaitState>(s);
+      const uint64_t c = waits.Count(ws);
+      if (c == 0) continue;
+      prof.waits.push_back(obs::QueryProfile::WaitLine{
+          obs::WaitStateName(ws), waits.TotalUs(ws), c});
+    }
+    prof.wait_total_us = waits.GrandTotalUs();
+  }
+  // Slow-query capture (always-on; one comparison when under the
+  // threshold). Strings are built only for queries actually captured.
+  const uint64_t slow_threshold_us =
+      engine_ != nullptr ? engine_->slow_query_threshold_us() : 0;
+  if (slow_threshold_us > 0 && plan_wall_us + wall_us >= slow_threshold_us) {
+    obs::SlowQueryRecord rec;
+    rec.timestamp_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    rec.wall_us = plan_wall_us + wall_us;
+    rec.results = result.nodes.size();
+    rec.parallelism =
+        prof.chunks > 1 ? static_cast<uint64_t>(prof.parallelism) : 1;
+    rec.collection = meta_.name;
+    rec.query = cp.path.ToString();
+    rec.access_method = query::AccessMethodName(plan.method);
+    for (size_t s = 0; s < obs::kWaitStateCount; s++) {
+      const obs::WaitState ws = static_cast<obs::WaitState>(s);
+      rec.wait_us[s] = waits.TotalUs(ws);
+      rec.wait_count[s] = waits.Count(ws);
+    }
+    engine_->slow_queries()->Record(rec);
   }
   XDB_RETURN_NOT_OK(at.Finish(st));
   return result;
@@ -1544,8 +1596,13 @@ Status Collection::RecheckAnchors(Transaction* txn,
   // results merge in chunk order so the output matches the serial loop.
   std::vector<QueryResult> chunks(ranges.size());
   std::vector<Status> chunk_status(ranges.size());
+  // Pool threads have no wait scope of their own; re-install this query's
+  // so per-chunk latch/buffer waits attribute to it (WaitStats is atomic,
+  // safe for concurrent Add from every chunk).
+  obs::WaitStats* query_waits = obs::QueryWaitScope::current();
   engine_->query_pool()->ParallelFor(
       ranges.size(), parallelism, [&](size_t i) {
+        obs::QueryWaitScope chunk_scope(query_waits);
         for (size_t j = ranges[i].begin;
              j < ranges[i].end && chunk_status[i].ok(); j++) {
           chunk_status[i] = EvalAnchor(anchors[j], residual_tree,
@@ -1568,7 +1625,9 @@ Status Collection::EvalAnchor(const Posting& anchor,
                               const xpath::QueryTree* residual,
                               const xpath::Path& prefix_pattern,
                               NodeLocator* locator, QueryResult* result) {
+  obs::WaitSpan latch_span(engine_->wait_sink(), obs::WaitState::kLatch);
   ReaderMutexLock latch(latch_);
+  latch_span.Finish();
   // Verify the anchor's own path against the main-path prefix.
   {
     auto rid = locator->Lookup(anchor.doc_id, Slice(anchor.node_id));
@@ -1668,7 +1727,9 @@ Status Collection::EvalDocRange(Transaction* txn,
     const uint64_t doc_id = docs[i];
     // Doc lock first (it can block), then the shared latch for the reads.
     if (txn != nullptr) XDB_RETURN_NOT_OK(ReadLockDoc(txn, doc_id));
+    obs::WaitSpan latch_span(engine_->wait_sink(), obs::WaitState::kLatch);
     ReaderMutexLock latch(latch_);
+    latch_span.Finish();
     StoredDocSource source(records_.get(), locator, doc_id);
     xpath::QuickXScan scan(tree, doc_id);
     NodeSequence hits;
@@ -1699,8 +1760,11 @@ Status Collection::EvalDocsParallel(Transaction* txn,
     for (uint64_t doc_id : docs) XDB_RETURN_NOT_OK(ReadLockDoc(txn, doc_id));
   std::vector<QueryResult> chunks(ranges.size());
   std::vector<Status> chunk_status(ranges.size());
+  // See RecheckAnchors: carry the query's wait scope onto pool threads.
+  obs::WaitStats* query_waits = obs::QueryWaitScope::current();
   engine_->query_pool()->ParallelFor(
       ranges.size(), parallelism, [&](size_t i) {
+        obs::QueryWaitScope chunk_scope(query_waits);
         chunk_status[i] =
             EvalDocRange(nullptr, docs, ranges[i].begin, ranges[i].end, tree,
                          locator, &chunks[i]);
@@ -1773,6 +1837,7 @@ Status Collection::RebuildStorage() {
   buffer_ =
       std::make_unique<BufferManager>(space_.get(), buffer_pages_, buffer_shards_);
   buffer_->set_event_log(engine_->events());
+  buffer_->set_wait_sink(engine_->wait_sink());
   Engine* eng = engine_;
   buffer_->set_lsn_source(
       [eng] { return eng->wal_ != nullptr ? eng->wal_->size() : 0; });

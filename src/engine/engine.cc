@@ -60,7 +60,9 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
   // already emit events and so the always-on query counters exist before the
   // first query. The collector callback runs under the registry mutex with
   // `engine` guaranteed alive: metrics_ is an Engine member.
+  engine->wait_sink_.Register(&engine->metrics_);
   engine->locks_.set_event_log(&engine->events_);
+  engine->locks_.set_wait_sink(&engine->wait_sink_);
   engine->query_metrics_.executions =
       engine->metrics_.AddCounter("query.executions");
   engine->query_metrics_.parallel_executions =
@@ -191,6 +193,7 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
   if (options.enable_wal) {
     XDB_ASSIGN_OR_RETURN(engine->wal_, WalLog::Open(options.dir + "/wal.log"));
     engine->wal_->set_event_log(&engine->events_);
+    engine->wal_->set_wait_sink(&engine->wait_sink_);
     // Group-commit batches are small integers: powers of two 1..256.
     engine->wal_->set_batch_size_histogram(engine->metrics_.AddHistogram(
         "wal.group_commit.batch_size", obs::Histogram::ExponentialBounds(1, 9)));
@@ -288,6 +291,7 @@ Result<std::unique_ptr<Collection>> Engine::OpenCollection(
     coll->buffer_ = std::make_unique<BufferManager>(
         coll->space_.get(), options.buffer_pages, coll->buffer_shards_);
     coll->buffer_->set_event_log(&events_);
+    coll->buffer_->set_wait_sink(&wait_sink_);
     coll->buffer_->set_lsn_source(
         [this] { return wal_ != nullptr ? wal_->size() : 0; });
     coll->records_ = std::make_unique<RecordManager>(coll->buffer_.get());
@@ -910,6 +914,9 @@ Status Engine::ApplyWalRecordLocked(WalRecordType type, Slice payload,
 Status Engine::ApplyReplicatedRecords(Slice framed_records,
                                       uint64_t publish_csn,
                                       WalReplayInfo* info) {
+  // The applier thread's time in here is the replica's "apply lag" cost;
+  // attribute the whole call (local append + apply + publish) as kReplApply.
+  obs::WaitSpan apply_span(&wait_sink_, obs::WaitState::kReplApply);
   MutexLock lock(mu_);
   if (!replica_.load(std::memory_order_acquire))
     return Status::NotSupported(
@@ -963,6 +970,10 @@ Status Engine::WaitForFreshness(uint64_t min_csn, uint64_t timeout_us) {
     return Status::OK();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(timeout_us);
+  // Only reached when the replica is actually behind: the span covers the
+  // blocking wait (or the immediate-stale path), never the fresh fast path
+  // above. fresh_mu_ is the span's own component lock (kEngineFreshness).
+  obs::WaitSpan fresh_span(&wait_sink_, obs::WaitState::kFreshness);
   MutexLock lock(fresh_mu_);
   while (applied_csn_.load(std::memory_order_acquire) < min_csn) {
     if (timeout_us == 0 ||
@@ -1066,6 +1077,47 @@ obs::MetricsSnapshot Engine::MetricsSnapshot() const {
   return metrics_.Snapshot();
 }
 
+obs::DebugSnapshot Engine::DebugSnapshot() const {
+  obs::DebugSnapshot snap;
+  snap.captured_at_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  snap.role = replica_.load(std::memory_order_acquire) ? "replica" : "primary";
+  snap.applied_csn = applied_csn_.load(std::memory_order_acquire);
+  if (wal_ != nullptr) {
+    snap.wal_size = wal_->size();
+    snap.wal_durable_upto = wal_->durable_upto();
+  }
+  {
+    MutexLock lock(mu_);
+    snap.collections.reserve(collections_.size());
+    for (const auto& [name, coll] : collections_) {
+      obs::DebugSnapshot::CollectionInfo info;
+      info.name = name;
+      query::CollectionStatsSnapshot st = coll->stats()->Snapshot();
+      info.doc_count = st.doc_count;
+      info.node_count = st.node_count;
+      info.stats_epoch = st.epoch;
+      info.stats_valid = st.valid;
+      if (coll->buffer_ != nullptr) {
+        info.buffer_resident = coll->buffer_->resident_frames();
+        info.buffer_capacity = coll->buffer_->capacity();
+        BufferManagerStats bs = coll->buffer_->stats();
+        info.buffer_hits = bs.hits;
+        info.buffer_misses = bs.misses;
+      }
+      snap.collections.push_back(std::move(info));
+    }
+  }
+  // collections_ is a std::map, so the vector is already name-sorted — the
+  // determinism contract in obs/debug_snapshot.h.
+  snap.metrics = metrics_.Snapshot();
+  snap.events = events_.Recent();
+  snap.slow_queries = slow_queries_.Recent();
+  return snap;
+}
+
 void Engine::CollectComponentMetrics(std::vector<obs::Metric>* out) const {
   auto counter = [out](const char* name, uint64_t v) {
     obs::Metric m;
@@ -1088,10 +1140,24 @@ void Engine::CollectComponentMetrics(std::vector<obs::Metric>* out) const {
   RecordManagerStats rec;
   IoStatsSnapshot io;
   size_t n_collections = 0;
+  // Structural-index stats aggregated engine-wide (satellite of the wait
+  // layer: surfaced as index.structural.*). Per-name posting counts are
+  // capped; the tail pools into `_other` so the metric set stays bounded.
+  uint64_t st_indexes = 0, st_entries = 0, st_added = 0, st_removed = 0;
+  std::map<std::string, uint64_t> st_postings;
   {
     MutexLock lock(mu_);
     n_collections = collections_.size();
     for (const auto& [name, coll] : collections_) {
+      query::CollectionStatsSnapshot css = coll->stats()->Snapshot();
+      for (const auto& [ix_name, st] : css.structural) {
+        st_indexes++;
+        st_entries += st.entry_count;
+        st_added += st.entries_added;
+        st_removed += st.entries_removed;
+        for (const auto& [elem, ns] : st.names) st_postings[elem] += ns.count;
+        if (st.other_count > 0) st_postings["_other"] += st.other_count;
+      }
       if (coll->buffer_ != nullptr) {
         BufferManagerStats b = coll->buffer_->stats();
         buf.hits += b.hits;
@@ -1160,6 +1226,42 @@ void Engine::CollectComponentMetrics(std::vector<obs::Metric>* out) const {
   counter("lock.timeouts", ls.timeouts);
   counter("lock.deadlocks", ls.deadlocks);
   counter("lock.node_prefix_checks", ls.node_prefix_checks);
+
+  if (st_indexes > 0) {
+    gauge("index.structural.indexes", st_indexes);
+    gauge("index.structural.entries", st_entries);
+    counter("index.structural.entries_added", st_added);
+    counter("index.structural.entries_removed", st_removed);
+    // Bounded per-name breakdown: the first kMaxPostingNames element names
+    // (map order = lexicographic, deterministic) get their own gauge, the
+    // rest pool into `_other` alongside the caps already applied upstream.
+    static constexpr size_t kMaxPostingNames = 32;
+    size_t named = 0;
+    uint64_t pooled = 0;
+    uint64_t names_total = 0;
+    for (const auto& [elem, count] : st_postings) {
+      if (elem == "_other") {
+        pooled += count;
+        continue;
+      }
+      names_total++;
+      if (named < kMaxPostingNames) {
+        obs::Metric m;
+        m.name = "index.structural.postings." + elem;
+        m.kind = obs::MetricKind::kGauge;
+        m.value = count;
+        out->push_back(std::move(m));
+        named++;
+      } else {
+        pooled += count;
+      }
+    }
+    gauge("index.structural.names", names_total);
+    if (pooled > 0) gauge("index.structural.postings._other", pooled);
+  }
+
+  counter("slowlog.recorded", slow_queries_.recorded());
+  counter("slowlog.overwritten", slow_queries_.overwritten());
 
   counter("events.emitted", events_.emitted());
   counter("events.overwritten", events_.overwritten());

@@ -18,8 +18,11 @@
 #include "common/thread_annotations.h"
 #include "engine/catalog.h"
 #include "engine/collection.h"
+#include "obs/debug_snapshot.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/wait_state.h"
 #include "schema/schema_compiler.h"
 #include "schema/validator_vm.h"
 #include "storage/wal_log.h"
@@ -63,6 +66,11 @@ struct EngineOptions {
   /// enable_wal (the replica's durability is its own local WAL) and implies
   /// the engine stays read-only until Promote(). Ignored when in_memory.
   bool replica = false;
+  /// Queries whose wall time is at least this many microseconds land in the
+  /// engine's slow-query ring (Engine::slow_queries(), xdb_top, and
+  /// DebugSnapshot()) with their full wait-state breakdown. 0 disables
+  /// capture. Always-on: the check is one comparison per query.
+  uint64_t slow_query_us = 10000;
 };
 
 /// What Engine::Scrub() found and fixed across the whole database.
@@ -183,6 +191,19 @@ class Engine {
 
   obs::MetricsRegistry* metrics() { return &metrics_; }
   obs::EventLog* events() { return &events_; }
+  /// Engine-wide wait-state histograms (wait.<state>.us); components record
+  /// into it, queries additionally attribute spans to themselves via
+  /// obs::QueryWaitScope. Registered against metrics_ at Open.
+  obs::WaitSink* wait_sink() { return &wait_sink_; }
+  /// The slow-query ring (see EngineOptions::slow_query_us).
+  obs::SlowQueryLog* slow_queries() { return &slow_queries_; }
+  uint64_t slow_query_threshold_us() const { return options_.slow_query_us; }
+
+  /// One deterministic, serializable view of engine health: metrics
+  /// snapshot, recent events, slow queries, per-collection stats epochs and
+  /// buffer residency, WAL positions and the replication watermark. The
+  /// struct xdb_top renders and CI's schema smoke-test round-trips.
+  obs::DebugSnapshot DebugSnapshot() const XDB_EXCLUDES(mu_);
 
   /// Always-on query instrumentation, registered at Open. Pointers into
   /// metrics_ (stable for the engine's lifetime); null only before Open
@@ -307,6 +328,10 @@ class Engine {
   // destroyed last; both are internally synchronized.
   obs::MetricsRegistry metrics_;
   obs::EventLog events_;
+  /// Wait-state sink and slow-query ring: same lifetime rule as metrics_/
+  /// events_ (components hold raw pointers into them).
+  obs::WaitSink wait_sink_;
+  obs::SlowQueryLog slow_queries_{128};
   QueryMetrics query_metrics_;
   /// Engine-wide plan-cache counters (query.plan_cache.*), shared by every
   /// collection's cache; registered at Open alongside query_metrics_.

@@ -1,0 +1,552 @@
+#include "obs/debug_snapshot.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace xdb {
+namespace obs {
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendKeyU64(std::string* out, const char* key, uint64_t v, bool comma) {
+  if (comma) out->append(", ");
+  out->push_back('"');
+  out->append(key);
+  out->append("\": ");
+  AppendU64(out, v);
+}
+
+void AppendKeyString(std::string* out, const char* key, const std::string& v,
+                     bool comma) {
+  if (comma) out->append(", ");
+  out->push_back('"');
+  out->append(key);
+  out->append("\": ");
+  AppendJsonString(out, v);
+}
+
+void AppendWaitArray(std::string* out, const char* key, const uint64_t* vs) {
+  out->append(", \"");
+  out->append(key);
+  out->append("\": [");
+  for (size_t i = 0; i < kWaitStateCount; ++i) {
+    if (i) out->push_back(',');
+    AppendU64(out, vs[i]);
+  }
+  out->push_back(']');
+}
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0)
+    out->append(buf,
+                std::min<size_t>(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+/// Minimal recursive-descent parser for exactly the JSON ToJson() emits
+/// (the same contract as MetricsSnapshot::FromJson; the nested metrics
+/// object is delegated to that parser by balanced-brace capture).
+class Parser {
+ public:
+  explicit Parser(const std::string& in) : in_(in) {}
+
+  Result<DebugSnapshot> Parse() {
+    DebugSnapshot snap;
+    XDB_RETURN_NOT_OK(Expect('{'));
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return snap;
+    }
+    for (;;) {
+      std::string key;
+      XDB_RETURN_NOT_OK(ParseString(&key));
+      XDB_RETURN_NOT_OK(Expect(':'));
+      if (key == "captured_at_us") {
+        XDB_RETURN_NOT_OK(ParseU64(&snap.captured_at_us));
+      } else if (key == "role") {
+        XDB_RETURN_NOT_OK(ParseString(&snap.role));
+      } else if (key == "applied_csn") {
+        XDB_RETURN_NOT_OK(ParseU64(&snap.applied_csn));
+      } else if (key == "wal_size") {
+        XDB_RETURN_NOT_OK(ParseU64(&snap.wal_size));
+      } else if (key == "wal_durable_upto") {
+        XDB_RETURN_NOT_OK(ParseU64(&snap.wal_durable_upto));
+      } else if (key == "collections") {
+        XDB_RETURN_NOT_OK(ParseCollections(&snap.collections));
+      } else if (key == "metrics") {
+        std::string sub;
+        XDB_RETURN_NOT_OK(CaptureObject(&sub));
+        XDB_ASSIGN_OR_RETURN(snap.metrics, MetricsSnapshot::FromJson(sub));
+      } else if (key == "events") {
+        XDB_RETURN_NOT_OK(ParseEvents(&snap.events));
+      } else if (key == "slow_queries") {
+        XDB_RETURN_NOT_OK(ParseSlowQueries(&snap.slow_queries));
+      } else {
+        return Status::InvalidArgument("debug snapshot json: unknown key " +
+                                       key);
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      XDB_RETURN_NOT_OK(Expect('}'));
+      return snap;
+    }
+  }
+
+ private:
+  char Peek() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < in_.size() &&
+           (in_[pos_] == ' ' || in_[pos_] == '\n' || in_[pos_] == '\t' ||
+            in_[pos_] == '\r'))
+      ++pos_;
+  }
+  Status Expect(char c) {
+    SkipWs();
+    if (Peek() != c)
+      return Status::InvalidArgument(
+          std::string("debug snapshot json: expected '") + c + "' at offset " +
+          std::to_string(pos_));
+    ++pos_;
+    return Status::OK();
+  }
+  Status ParseString(std::string* out) {
+    SkipWs();
+    XDB_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (pos_ < in_.size() && in_[pos_] != '"') {
+      char c = in_[pos_++];
+      if (c == '\\' && pos_ < in_.size()) {
+        char e = in_[pos_++];
+        switch (e) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'u': {
+            if (pos_ + 4 > in_.size())
+              return Status::InvalidArgument(
+                  "debug snapshot json: bad \\u escape");
+            unsigned v = 0;
+            std::sscanf(in_.c_str() + pos_, "%4x", &v);
+            pos_ += 4;
+            out->push_back(static_cast<char>(v));
+            break;
+          }
+          default:
+            out->push_back(e);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Expect('"');
+  }
+  Status ParseU64(uint64_t* out) {
+    SkipWs();
+    if (Peek() < '0' || Peek() > '9')
+      return Status::InvalidArgument(
+          "debug snapshot json: expected number at " + std::to_string(pos_));
+    uint64_t v = 0;
+    while (pos_ < in_.size() && in_[pos_] >= '0' && in_[pos_] <= '9')
+      v = v * 10 + static_cast<uint64_t>(in_[pos_++] - '0');
+    *out = v;
+    return Status::OK();
+  }
+  Status ParseBool(bool* out) {
+    SkipWs();
+    if (in_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = true;
+      return Status::OK();
+    }
+    if (in_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = false;
+      return Status::OK();
+    }
+    return Status::InvalidArgument("debug snapshot json: expected bool at " +
+                                   std::to_string(pos_));
+  }
+  Status ParseWaitArray(uint64_t* vs) {
+    XDB_RETURN_NOT_OK(Expect('['));
+    for (size_t i = 0; i < kWaitStateCount; ++i) {
+      if (i) XDB_RETURN_NOT_OK(Expect(','));
+      XDB_RETURN_NOT_OK(ParseU64(&vs[i]));
+    }
+    return Expect(']');
+  }
+  /// Captures one balanced `{...}` object verbatim (string-aware), leaving
+  /// pos_ just past its closing brace.
+  Status CaptureObject(std::string* out) {
+    SkipWs();
+    if (Peek() != '{')
+      return Status::InvalidArgument(
+          "debug snapshot json: expected object at " + std::to_string(pos_));
+    size_t start = pos_;
+    int depth = 0;
+    bool in_string = false;
+    while (pos_ < in_.size()) {
+      char c = in_[pos_++];
+      if (in_string) {
+        if (c == '\\' && pos_ < in_.size())
+          ++pos_;
+        else if (c == '"')
+          in_string = false;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          out->assign(in_, start, pos_ - start);
+          return Status::OK();
+        }
+      }
+    }
+    return Status::InvalidArgument("debug snapshot json: unterminated object");
+  }
+  Status ParseCollections(std::vector<DebugSnapshot::CollectionInfo>* out) {
+    XDB_RETURN_NOT_OK(Expect('['));
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      DebugSnapshot::CollectionInfo ci;
+      XDB_RETURN_NOT_OK(Expect('{'));
+      for (;;) {
+        std::string key;
+        XDB_RETURN_NOT_OK(ParseString(&key));
+        XDB_RETURN_NOT_OK(Expect(':'));
+        if (key == "name") {
+          XDB_RETURN_NOT_OK(ParseString(&ci.name));
+        } else if (key == "doc_count") {
+          XDB_RETURN_NOT_OK(ParseU64(&ci.doc_count));
+        } else if (key == "node_count") {
+          XDB_RETURN_NOT_OK(ParseU64(&ci.node_count));
+        } else if (key == "stats_epoch") {
+          XDB_RETURN_NOT_OK(ParseU64(&ci.stats_epoch));
+        } else if (key == "stats_valid") {
+          XDB_RETURN_NOT_OK(ParseBool(&ci.stats_valid));
+        } else if (key == "buffer_resident") {
+          XDB_RETURN_NOT_OK(ParseU64(&ci.buffer_resident));
+        } else if (key == "buffer_capacity") {
+          XDB_RETURN_NOT_OK(ParseU64(&ci.buffer_capacity));
+        } else if (key == "buffer_hits") {
+          XDB_RETURN_NOT_OK(ParseU64(&ci.buffer_hits));
+        } else if (key == "buffer_misses") {
+          XDB_RETURN_NOT_OK(ParseU64(&ci.buffer_misses));
+        } else {
+          return Status::InvalidArgument(
+              "debug snapshot json: unknown collection key " + key);
+        }
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        XDB_RETURN_NOT_OK(Expect('}'));
+        break;
+      }
+      out->push_back(std::move(ci));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+  Status ParseEvents(std::vector<Event>* out) {
+    XDB_RETURN_NOT_OK(Expect('['));
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      Event e;
+      XDB_RETURN_NOT_OK(Expect('{'));
+      for (;;) {
+        std::string key;
+        XDB_RETURN_NOT_OK(ParseString(&key));
+        XDB_RETURN_NOT_OK(Expect(':'));
+        if (key == "seq") {
+          XDB_RETURN_NOT_OK(ParseU64(&e.seq));
+        } else if (key == "timestamp_us") {
+          XDB_RETURN_NOT_OK(ParseU64(&e.timestamp_us));
+        } else if (key == "kind") {
+          uint64_t k = 0;
+          XDB_RETURN_NOT_OK(ParseU64(&k));
+          e.kind = static_cast<EventKind>(k);
+        } else if (key == "arg0") {
+          XDB_RETURN_NOT_OK(ParseU64(&e.arg0));
+        } else if (key == "arg1") {
+          XDB_RETURN_NOT_OK(ParseU64(&e.arg1));
+        } else if (key == "message") {
+          XDB_RETURN_NOT_OK(ParseString(&e.message));
+        } else {
+          return Status::InvalidArgument(
+              "debug snapshot json: unknown event key " + key);
+        }
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        XDB_RETURN_NOT_OK(Expect('}'));
+        break;
+      }
+      out->push_back(std::move(e));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+  Status ParseSlowQueries(std::vector<SlowQueryRecord>* out) {
+    XDB_RETURN_NOT_OK(Expect('['));
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SlowQueryRecord r;
+      XDB_RETURN_NOT_OK(Expect('{'));
+      for (;;) {
+        std::string key;
+        XDB_RETURN_NOT_OK(ParseString(&key));
+        XDB_RETURN_NOT_OK(Expect(':'));
+        if (key == "seq") {
+          XDB_RETURN_NOT_OK(ParseU64(&r.seq));
+        } else if (key == "timestamp_us") {
+          XDB_RETURN_NOT_OK(ParseU64(&r.timestamp_us));
+        } else if (key == "wall_us") {
+          XDB_RETURN_NOT_OK(ParseU64(&r.wall_us));
+        } else if (key == "results") {
+          XDB_RETURN_NOT_OK(ParseU64(&r.results));
+        } else if (key == "parallelism") {
+          XDB_RETURN_NOT_OK(ParseU64(&r.parallelism));
+        } else if (key == "collection") {
+          XDB_RETURN_NOT_OK(ParseString(&r.collection));
+        } else if (key == "query") {
+          XDB_RETURN_NOT_OK(ParseString(&r.query));
+        } else if (key == "access_method") {
+          XDB_RETURN_NOT_OK(ParseString(&r.access_method));
+        } else if (key == "wait_us") {
+          XDB_RETURN_NOT_OK(ParseWaitArray(r.wait_us));
+        } else if (key == "wait_count") {
+          XDB_RETURN_NOT_OK(ParseWaitArray(r.wait_count));
+        } else {
+          return Status::InvalidArgument(
+              "debug snapshot json: unknown slow-query key " + key);
+        }
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        XDB_RETURN_NOT_OK(Expect('}'));
+        break;
+      }
+      out->push_back(std::move(r));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string DebugSnapshot::ToJson() const {
+  std::string out;
+  out.reserve(4096);
+  out.append("{\n\"captured_at_us\": ");
+  AppendU64(&out, captured_at_us);
+  AppendKeyString(&out, "role", role, true);
+  AppendKeyU64(&out, "applied_csn", applied_csn, true);
+  AppendKeyU64(&out, "wal_size", wal_size, true);
+  AppendKeyU64(&out, "wal_durable_upto", wal_durable_upto, true);
+  out.append(",\n\"collections\": [");
+  for (size_t i = 0; i < collections.size(); ++i) {
+    const CollectionInfo& ci = collections[i];
+    if (i) out.push_back(',');
+    out.append("\n {");
+    AppendKeyString(&out, "name", ci.name, false);
+    AppendKeyU64(&out, "doc_count", ci.doc_count, true);
+    AppendKeyU64(&out, "node_count", ci.node_count, true);
+    AppendKeyU64(&out, "stats_epoch", ci.stats_epoch, true);
+    out.append(", \"stats_valid\": ");
+    out.append(ci.stats_valid ? "true" : "false");
+    AppendKeyU64(&out, "buffer_resident", ci.buffer_resident, true);
+    AppendKeyU64(&out, "buffer_capacity", ci.buffer_capacity, true);
+    AppendKeyU64(&out, "buffer_hits", ci.buffer_hits, true);
+    AppendKeyU64(&out, "buffer_misses", ci.buffer_misses, true);
+    out.push_back('}');
+  }
+  out.append("],\n\"events\": [");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i) out.push_back(',');
+    out.append("\n {");
+    AppendKeyU64(&out, "seq", e.seq, false);
+    AppendKeyU64(&out, "timestamp_us", e.timestamp_us, true);
+    AppendKeyU64(&out, "kind", static_cast<uint64_t>(e.kind), true);
+    AppendKeyU64(&out, "arg0", e.arg0, true);
+    AppendKeyU64(&out, "arg1", e.arg1, true);
+    AppendKeyString(&out, "message", e.message, true);
+    out.push_back('}');
+  }
+  out.append("],\n\"slow_queries\": [");
+  for (size_t i = 0; i < slow_queries.size(); ++i) {
+    const SlowQueryRecord& r = slow_queries[i];
+    if (i) out.push_back(',');
+    out.append("\n {");
+    AppendKeyU64(&out, "seq", r.seq, false);
+    AppendKeyU64(&out, "timestamp_us", r.timestamp_us, true);
+    AppendKeyU64(&out, "wall_us", r.wall_us, true);
+    AppendKeyU64(&out, "results", r.results, true);
+    AppendKeyU64(&out, "parallelism", r.parallelism, true);
+    AppendKeyString(&out, "collection", r.collection, true);
+    AppendKeyString(&out, "query", r.query, true);
+    AppendKeyString(&out, "access_method", r.access_method, true);
+    AppendWaitArray(&out, "wait_us", r.wait_us);
+    AppendWaitArray(&out, "wait_count", r.wait_count);
+    out.push_back('}');
+  }
+  out.append("],\n\"metrics\": ");
+  std::string mjson = metrics.ToJson();
+  // MetricsSnapshot::ToJson ends with a newline; trim it so the embedding
+  // stays canonical.
+  while (!mjson.empty() && mjson.back() == '\n') mjson.pop_back();
+  out.append(mjson);
+  out.append("\n}\n");
+  return out;
+}
+
+std::string DebugSnapshot::ToText() const {
+  std::string out;
+  Appendf(&out, "xdb engine snapshot  captured_at_us=%" PRIu64 " role=%s\n",
+          captured_at_us, role.c_str());
+  Appendf(&out,
+          "replication: applied_csn=%" PRIu64 "  wal: size=%" PRIu64
+          " durable_upto=%" PRIu64 "\n",
+          applied_csn, wal_size, wal_durable_upto);
+  Appendf(&out, "\ncollections (%zu):\n", collections.size());
+  for (const CollectionInfo& ci : collections) {
+    Appendf(&out,
+            "  %-20s docs=%-8" PRIu64 " nodes~%-10" PRIu64 " epoch=%" PRIu64
+            " (%s)\n",
+            ci.name.c_str(), ci.doc_count, ci.node_count, ci.stats_epoch,
+            ci.stats_valid ? "cost-based" : "heuristic");
+    Appendf(&out,
+            "  %-20s buffer: %" PRIu64 "/%" PRIu64 " frames resident, hits=%"
+            PRIu64 " misses=%" PRIu64 "\n",
+            "", ci.buffer_resident, ci.buffer_capacity, ci.buffer_hits,
+            ci.buffer_misses);
+  }
+  // The engine-wide wait profile: the wait.<state>.us histograms from the
+  // metrics snapshot, rendered as one table.
+  out.append("\nwaits (engine-wide):\n");
+  bool any_wait = false;
+  for (const Metric& m : metrics.metrics) {
+    if (m.name.rfind("wait.", 0) != 0 || m.kind != MetricKind::kHistogram)
+      continue;
+    any_wait = true;
+    const HistogramData& h = m.hist;
+    if (h.count == 0) {
+      Appendf(&out, "  %-24s count=0\n", m.name.c_str());
+    } else {
+      Appendf(&out,
+              "  %-24s count=%-8" PRIu64 " total=%" PRIu64 "us p50=%" PRIu64
+              "us p99=%" PRIu64 "us max=%" PRIu64 "us\n",
+              m.name.c_str(), h.count, h.sum, h.Quantile(0.5),
+              h.Quantile(0.99), h.max);
+    }
+  }
+  if (!any_wait) out.append("  (no wait metrics registered)\n");
+  Appendf(&out, "\nslow queries (%zu):\n", slow_queries.size());
+  for (const SlowQueryRecord& r : slow_queries) {
+    out.append("  ");
+    out.append(r.ToString());
+    out.push_back('\n');
+  }
+  Appendf(&out, "\nrecent events (%zu):\n", events.size());
+  for (const Event& e : events) {
+    out.append("  ");
+    out.append(e.ToString());
+    out.push_back('\n');
+  }
+  Appendf(&out, "\nmetrics: %zu registered (use --json for the full dump)\n",
+          metrics.metrics.size());
+  return out;
+}
+
+Result<DebugSnapshot> DebugSnapshot::FromJson(const std::string& json) {
+  return Parser(json).Parse();
+}
+
+}  // namespace obs
+}  // namespace xdb

@@ -349,6 +349,28 @@ std::string MetricsSnapshot::ToJson() const {
   return out;
 }
 
+namespace {
+
+/// Display unit derived from the metric-name suffix convention
+/// (`_us`, `_bytes`; everything else is a pure count and gets no suffix).
+const char* MetricUnit(const std::string& name) {
+  auto ends_with = [&name](const char* suffix) {
+    const size_t n = std::strlen(suffix);
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("_us") || ends_with(".us")) return "us";
+  if (ends_with("_bytes") || ends_with(".bytes")) return "bytes";
+  return "";
+}
+
+void AppendValueWithUnit(std::string* out, uint64_t v, const char* unit) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 "%s", v, unit);
+  out->append(buf);
+}
+
+}  // namespace
+
 std::string MetricsSnapshot::ToText() const {
   size_t width = 0;
   for (const Metric& m : metrics) width = std::max(width, m.name.size());
@@ -359,15 +381,40 @@ std::string MetricsSnapshot::ToText() const {
     char buf[160];
     if (m.kind == MetricKind::kHistogram) {
       const HistogramData& h = m.hist;
-      uint64_t avg = h.count == 0 ? 0 : h.sum / h.count;
-      std::snprintf(buf, sizeof(buf),
-                    "count=%" PRIu64 " avg=%" PRIu64 " p50=%" PRIu64
-                    " p99=%" PRIu64 " max=%" PRIu64,
-                    h.count, avg, h.Quantile(0.5), h.Quantile(0.99), h.max);
+      const char* unit = MetricUnit(m.name);
+      std::snprintf(buf, sizeof(buf), "count=%" PRIu64 " ", h.count);
+      out.append(buf);
+      // Empty histograms render their extremes/quantiles as '-' instead of
+      // the internal sentinels (min starts at UINT64_MAX, max at 0).
+      if (h.count == 0) {
+        out.append("avg=- p50=- p99=- min=- max=-");
+      } else {
+        out.append("avg=");
+        AppendValueWithUnit(&out, h.sum / h.count, unit);
+        out.append(" p50=");
+        AppendValueWithUnit(&out, h.Quantile(0.5), unit);
+        out.append(" p99=");
+        AppendValueWithUnit(&out, h.Quantile(0.99), unit);
+        out.append(" min=");
+        AppendValueWithUnit(&out, h.min, unit);
+        out.append(" max=");
+        AppendValueWithUnit(&out, h.max, unit);
+      }
+      // Bucket bounds with units, so a reader knows both the histogram's
+      // resolution and what its numbers measure.
+      if (!h.bounds.empty()) {
+        std::snprintf(buf, sizeof(buf), " buckets=%zux[", h.bounds.size());
+        out.append(buf);
+        AppendValueWithUnit(&out, h.bounds.front(), unit);
+        out.append("..");
+        AppendValueWithUnit(&out, h.bounds.back(), unit);
+        out.push_back(']');
+      }
     } else {
-      std::snprintf(buf, sizeof(buf), "%" PRIu64, m.value);
+      const char* unit = MetricUnit(m.name);
+      std::snprintf(buf, sizeof(buf), "%" PRIu64 "%s", m.value, unit);
+      out.append(buf);
     }
-    out.append(buf);
     out.push_back('\n');
   }
   return out;

@@ -78,6 +78,11 @@ std::string QueryProfile::ToText() const {
   for (const QueryPhase& ph : phases)
     Appendf(&out, "phase %-8s wall=%" PRIu64 "us cpu=%" PRIu64 "us\n",
             ph.name.c_str(), ph.wall_us, ph.cpu_us);
+  for (const WaitLine& w : waits)
+    Appendf(&out, "wait  %-11s total=%" PRIu64 "us count=%" PRIu64 "\n",
+            w.state.c_str(), w.total_us, w.count);
+  if (!waits.empty())
+    Appendf(&out, "wait total: %" PRIu64 "us\n", wait_total_us);
   for (const std::string& line : trace_lines)
     Appendf(&out, "trace: %s\n", line.c_str());
   return out;

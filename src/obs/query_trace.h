@@ -80,6 +80,18 @@ struct QueryProfile {
   std::vector<QueryPhase> phases;
   std::vector<std::string> trace_lines;  // trace=true only
 
+  // --- wait-state attribution (always collected; rolled into the profile
+  // only when enabled — see obs/wait_state.h). One line per wait state the
+  // query actually hit, in WaitState enum order. ---
+  struct WaitLine {
+    std::string state;  // WaitStateName() token
+    uint64_t total_us = 0;
+    uint64_t count = 0;
+  };
+  std::vector<WaitLine> waits;
+  /// Sum over `waits` (microseconds spent off-CPU or probing, attributed).
+  uint64_t wait_total_us = 0;
+
   void AddPhase(const std::string& name, uint64_t wall_us, uint64_t cpu_us) {
     phases.push_back(QueryPhase{name, wall_us, cpu_us});
   }

@@ -1,0 +1,67 @@
+#include "obs/wait_state.h"
+
+#include <chrono>
+#include <string>
+
+namespace xdb {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_wait_accounting{true};
+thread_local WaitStats* t_query_waits = nullptr;
+}  // namespace
+
+const char* WaitStateName(WaitState s) {
+  switch (s) {
+    case WaitState::kBufferIo:
+      return "buffer_io";
+    case WaitState::kLockWait:
+      return "lock_wait";
+    case WaitState::kWalCommit:
+      return "wal_commit";
+    case WaitState::kLatch:
+      return "latch";
+    case WaitState::kFreshness:
+      return "freshness";
+    case WaitState::kIndexProbe:
+      return "index_probe";
+    case WaitState::kReplApply:
+      return "repl_apply";
+  }
+  return "unknown";
+}
+
+void SetWaitAccountingEnabled(bool enabled) {
+  g_wait_accounting.store(enabled, std::memory_order_relaxed);
+}
+
+bool WaitAccountingEnabled() {
+  return g_wait_accounting.load(std::memory_order_relaxed);
+}
+
+void WaitSink::Register(MetricsRegistry* registry) {
+  for (size_t i = 0; i < kWaitStateCount; ++i) {
+    const WaitState s = static_cast<WaitState>(i);
+    hist_[i] = registry->AddHistogram(
+        std::string("wait.") + WaitStateName(s) + ".us",
+        Histogram::LatencyBoundsUs());
+  }
+}
+
+QueryWaitScope::QueryWaitScope(WaitStats* stats) : prev_(t_query_waits) {
+  t_query_waits = stats;
+}
+
+QueryWaitScope::~QueryWaitScope() { t_query_waits = prev_; }
+
+WaitStats* QueryWaitScope::current() { return t_query_waits; }
+
+uint64_t WaitSpan::NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace obs
+}  // namespace xdb

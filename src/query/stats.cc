@@ -91,6 +91,7 @@ struct CollectionStats::PerStructural final
 
   void OnElementAdded(Slice local_name, uint32_t subtree_size) override {
     MutexLock lock(owner->mu_);
+    entries_added++;
     entry_count++;
     std::string key = local_name.ToString();
     auto it = names.find(key);
@@ -107,6 +108,7 @@ struct CollectionStats::PerStructural final
 
   void OnElementRemoved(Slice local_name, uint32_t subtree_size) override {
     MutexLock lock(owner->mu_);
+    entries_removed++;
     if (entry_count > 0) entry_count--;
     auto it = names.find(local_name.ToString());
     if (it == names.end()) {
@@ -121,6 +123,10 @@ struct CollectionStats::PerStructural final
   CollectionStats* owner;
   uint64_t entry_count = 0;
   uint64_t other_count = 0;
+  /// Process-lifetime maintenance counters; not persisted (see the
+  /// StructuralStatsSnapshot field comment).
+  uint64_t entries_added = 0;
+  uint64_t entries_removed = 0;
   std::map<std::string, StructuralNameStats> names;
 };
 
@@ -227,6 +233,8 @@ CollectionStatsSnapshot CollectionStats::Snapshot() const {
     StructuralStatsSnapshot s;
     s.entry_count = st->entry_count;
     s.other_count = st->other_count;
+    s.entries_added = st->entries_added;
+    s.entries_removed = st->entries_removed;
     s.names = st->names;
     snap.structural.emplace(name, std::move(s));
   }

@@ -77,6 +77,12 @@ struct StructuralNameStats {
 struct StructuralStatsSnapshot {
   uint64_t entry_count = 0;
   uint64_t other_count = 0;  // entries whose name fell past the cap
+  /// Cumulative maintenance counters (every listener add/remove since the
+  /// index object was created). Process-lifetime like the registry's
+  /// Counters — deliberately NOT persisted to stats.xdb; the metrics
+  /// registry surfaces them as index.structural.entries_added/removed.
+  uint64_t entries_added = 0;
+  uint64_t entries_removed = 0;
   std::map<std::string, StructuralNameStats> names;
 
   /// Expected instances of `name`: the tracked count, or the pooled

@@ -155,9 +155,13 @@ Result<PageHandle> BufferManager::FixPage(PageId id) {
       auto free = GetFreeFrame(shard);
       if (free.ok()) {
         internal::Frame* f = free.value();
+        // The miss-path read is the pool's dominant wait; attribute it as
+        // kBufferIo (the hit path above never starts a span).
+        obs::WaitSpan io_span(wait_sink_, obs::WaitState::kBufferIo);
         Status read = space_->ReadPage(id, f->data.get());
         if (read.ok() && checksums_)
           read = VerifyPageChecksum(f->data.get(), space_->page_size(), id);
+        io_span.Finish();
         if (!read.ok()) {
           // The frame was never published in the table; hand it back so a
           // failed read doesn't shrink the pool.
@@ -286,6 +290,15 @@ BufferManagerStats BufferManager::stats() const {
     total.checksum_failures += shard->stats.checksum_failures;
   }
   return total;
+}
+
+size_t BufferManager::resident_frames() const {
+  size_t resident = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    resident += shard->table.size();
+  }
+  return resident;
 }
 
 void BufferManager::ResetStats() {

@@ -31,6 +31,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "obs/event_log.h"
+#include "obs/wait_state.h"
 #include "storage/page.h"
 #include "storage/tablespace.h"
 
@@ -162,6 +163,16 @@ class BufferManager {
   /// Destination for kPageQuarantined events (engine-owned, may be null).
   void set_event_log(obs::EventLog* events) { events_ = events; }
 
+  /// Destination for kBufferIo wait spans covering miss-path page reads
+  /// (engine-owned, may be null). The hit path never touches it.
+  void set_wait_sink(obs::WaitSink* sink) { wait_sink_ = sink; }
+
+  /// Frames currently holding a page (published in some shard's table),
+  /// summed across shards. With `capacity()` this is the pool residency
+  /// reported by Engine::DebugSnapshot().
+  size_t resident_frames() const;
+  size_t capacity() const { return capacity_; }
+
  private:
   friend class PageHandle;
 
@@ -206,6 +217,7 @@ class BufferManager {
   std::vector<std::unique_ptr<Shard>> shards_;  // fixed after ctor
   size_t shard_mask_ = 0;
   obs::EventLog* events_ = nullptr;
+  obs::WaitSink* wait_sink_ = nullptr;
   std::vector<std::unique_ptr<internal::Frame>> frames_;  // fixed after ctor
 };
 

@@ -149,6 +149,10 @@ Status WalLog::Sync() {
 }
 
 Status WalLog::Commit() {
+  // One span for the whole call: leader fsync time and follower condvar
+  // time both count as kWalCommit. commit_mu_ (rank kWalCommit) is the
+  // span's own component lock, so holding the span across it is fine.
+  obs::WaitSpan commit_span(wait_sink_, obs::WaitState::kWalCommit);
   uint64_t gen;
   {
     MutexLock lock(commit_mu_);

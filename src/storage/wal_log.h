@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
+#include "obs/wait_state.h"
 #include "storage/io_retry.h"
 
 namespace xdb {
@@ -188,6 +189,10 @@ class WalLog {
   /// Install before concurrent use.
   void set_event_log(obs::EventLog* events) { events_ = events; }
   void set_batch_size_histogram(obs::Histogram* h) { batch_hist_ = h; }
+  /// Destination for kWalCommit spans covering each Commit() call — the
+  /// leader's fsync and the followers' condvar waits alike (engine-owned,
+  /// may be null). Install before concurrent use.
+  void set_wait_sink(obs::WaitSink* sink) { wait_sink_ = sink; }
   IoStatsSnapshot io_stats() const { return SnapshotIoStats(io_stats_); }
 
   /// Test-only: runs once per Commit(), right after the CSN snapshot with no
@@ -243,6 +248,7 @@ class WalLog {
   uint64_t round_commits_ XDB_GUARDED_BY(commit_mu_) = 0;
   obs::EventLog* events_ = nullptr;
   obs::Histogram* batch_hist_ = nullptr;
+  obs::WaitSink* wait_sink_ = nullptr;
   /// See set_commit_race_hook_for_test().
   std::function<void()> commit_race_hook_;
 };

@@ -968,5 +968,193 @@ TEST(MetricsTest, WalCommitMetricsAndEvents) {
   std::filesystem::remove_all(dir);
 }
 
+// --- wait-state attribution, slow-query ring, DebugSnapshot (this PR) ---
+
+// The acceptance scenario: a cold-cache indexed query's EXPLAIN shows where
+// the time went (buffer-miss I/O must appear after a reopen) and the phase
+// lines account for the total.
+TEST(WaitAttributionTest, ColdCacheExplainShowsWaitBreakdown) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("xdb_waits_" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(dir);
+  // Large documents + a deliberately tiny buffer pool: writing 64 ~6KB
+  // documents through 8 frames leaves almost none of them resident, so
+  // evaluating every candidate must take the miss path (kBufferIo) — the
+  // same read path a freshly reopened (cold) pool takes.
+  constexpr int kDocs = 64;
+  const std::string payload(6000, 'x');
+  {
+    EngineOptions opts;
+    opts.dir = dir;
+    auto engine = Engine::Open(opts).MoveValue();
+    CollectionOptions copts;
+    copts.buffer_pages = 8;
+    Collection* coll = engine->CreateCollection("docs", copts).value();
+    ASSERT_TRUE(coll->CreateValueIndex(
+                        {"price", "/cat/p/price", ValueType::kDouble, 128})
+                    .ok());
+    for (int i = 0; i < kDocs; i++) {
+      std::string doc = "<cat><p><price>" + std::to_string(i) +
+                        "</price><desc>" + payload + "</desc></p></cat>";
+      ASSERT_TRUE(coll->InsertDocument(nullptr, doc).ok());
+    }
+    ASSERT_TRUE(engine->Checkpoint().ok());
+    QueryOptions o;
+    o.explain = true;
+    o.force = ForceMethod::kDocIdList;
+    auto res = coll->Query(nullptr, "/cat/p[price >= 0]", o).MoveValue();
+    ASSERT_EQ(res.nodes.size(), static_cast<size_t>(kDocs));
+
+    const obs::QueryProfile& prof = res.profile;
+    ASSERT_FALSE(prof.waits.empty());
+    uint64_t line_sum = 0;
+    const obs::QueryProfile::WaitLine* buffer_io = nullptr;
+    for (const auto& w : prof.waits) {
+      EXPECT_GT(w.count, 0u) << w.state;
+      line_sum += w.total_us;
+      if (std::string(w.state) == "buffer_io") buffer_io = &w;
+    }
+    ASSERT_NE(buffer_io, nullptr) << prof.ToText();
+    EXPECT_GT(buffer_io->count, 0u);
+    EXPECT_EQ(prof.wait_total_us, line_sum);
+    std::string text = prof.ToText();
+    EXPECT_NE(text.find("wait  buffer_io"), std::string::npos) << text;
+    EXPECT_NE(text.find("wait total: "), std::string::npos) << text;
+
+    // Phase accounting: "total" covers plan + execution, and the timed
+    // phases (plan, probe, merge, eval) sum to it within 10% plus a small
+    // absolute slack for untimed glue on very fast queries.
+    ASSERT_FALSE(prof.phases.empty());
+    ASSERT_EQ(prof.phases.back().name, "total");
+    const uint64_t total = prof.phases.back().wall_us;
+    uint64_t phase_sum = 0;
+    for (const auto& ph : prof.phases)
+      if (ph.name != "total") phase_sum += ph.wall_us;
+    EXPECT_LE(phase_sum, total + total / 10 + 200) << prof.ToText();
+    EXPECT_GE(phase_sum + total / 10 + 200, total) << prof.ToText();
+    // The attributed waits are part of the measured wall time, never more.
+    EXPECT_LE(prof.wait_total_us, total + total / 10 + 200);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SlowQueryTest, RingCapturesOverThreshold) {
+  EngineOptions opts;
+  opts.in_memory = true;
+  opts.enable_wal = false;
+  opts.slow_query_us = 1;  // everything is slow
+  auto engine = Engine::Open(opts).MoveValue();
+  Collection* coll = engine->CreateCollection("docs").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b></a>").ok());
+  auto res = coll->Query(nullptr, "/a/b").MoveValue();
+  ASSERT_EQ(res.nodes.size(), 1u);
+
+  std::vector<obs::SlowQueryRecord> recent = engine->slow_queries()->Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  const obs::SlowQueryRecord& rec = recent[0];
+  EXPECT_EQ(rec.collection, "docs");
+  EXPECT_EQ(rec.query, "/a/b");
+  EXPECT_EQ(rec.access_method, "full-scan");
+  EXPECT_EQ(rec.results, 1u);
+  EXPECT_GE(rec.parallelism, 1u);
+  EXPECT_GE(rec.wall_us, 1u);
+  EXPECT_GT(rec.timestamp_us, 0u);
+  // The capture carries the full wait breakdown of the query.
+  EXPECT_LE(rec.TotalWaitUs(), rec.wall_us);
+  // And the always-on counters see the ring.
+  EXPECT_EQ(engine->MetricsSnapshot().Value("slowlog.recorded"), 1u);
+}
+
+TEST(SlowQueryTest, ZeroThresholdDisablesCapture) {
+  EngineOptions opts;
+  opts.in_memory = true;
+  opts.enable_wal = false;
+  opts.slow_query_us = 0;
+  auto engine = Engine::Open(opts).MoveValue();
+  Collection* coll = engine->CreateCollection("docs").value();
+  ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>1</b></a>").ok());
+  ASSERT_TRUE(coll->Query(nullptr, "/a/b").ok());
+  EXPECT_TRUE(engine->slow_queries()->Recent().empty());
+}
+
+TEST(EngineDebugSnapshotTest, CapturesStateAndRoundTrips) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("xdb_snap_" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(dir);
+  {
+    EngineOptions opts;
+    opts.dir = dir;
+    opts.slow_query_us = 1;
+    auto engine = Engine::Open(opts).MoveValue();
+    Collection* coll = engine->CreateCollection("docs").value();
+    for (int i = 0; i < 5; i++) {
+      ASSERT_TRUE(
+          coll->InsertDocument(nullptr, "<a><b>" + std::to_string(i) +
+                                            "</b></a>")
+              .ok());
+    }
+    ASSERT_TRUE(coll->Query(nullptr, "/a/b").ok());
+    ASSERT_TRUE(engine->Checkpoint().ok());
+    // Post-checkpoint WAL traffic so the snapshot sees a non-empty log.
+    ASSERT_TRUE(coll->InsertDocument(nullptr, "<a><b>post</b></a>").ok());
+
+    obs::DebugSnapshot snap = engine->DebugSnapshot();
+    EXPECT_GT(snap.captured_at_us, 0u);
+    EXPECT_EQ(snap.role, "primary");
+    EXPECT_GT(snap.wal_size, 0u);
+    ASSERT_EQ(snap.collections.size(), 1u);
+    const obs::DebugSnapshot::CollectionInfo& c = snap.collections[0];
+    EXPECT_EQ(c.name, "docs");
+    EXPECT_EQ(c.doc_count, 6u);
+    EXPECT_GT(c.node_count, 0u);
+    EXPECT_GT(c.buffer_capacity, 0u);
+    EXPECT_LE(c.buffer_resident, c.buffer_capacity);
+    EXPECT_GT(c.buffer_hits + c.buffer_misses, 0u);
+    // The snapshot embeds the other two observability layers wholesale.
+    EXPECT_NE(snap.metrics.Find("buffer.hits"), nullptr);
+    EXPECT_NE(snap.metrics.Find("wait.buffer_io.us"), nullptr);
+    ASSERT_FALSE(snap.events.empty());
+    ASSERT_FALSE(snap.slow_queries.empty());
+    EXPECT_EQ(snap.slow_queries[0].query, "/a/b");
+
+    // The xdb_top contract: serialize, parse, re-serialize, byte-equal.
+    std::string json = snap.ToJson();
+    auto back = obs::DebugSnapshot::FromJson(json);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value().ToJson(), json);
+    EXPECT_EQ(back.value().collections[0], c);
+    std::string text = snap.ToText();
+    EXPECT_NE(text.find("docs"), std::string::npos);
+    EXPECT_NE(text.find("primary"), std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MetricsTest, StructuralIndexStatsSurfaced) {
+  auto engine = MemEngine();
+  Collection* coll = engine->CreateCollection("docs").value();
+  ASSERT_TRUE(coll->CreateStructuralIndex({"structure", ""}).ok());
+  ASSERT_TRUE(
+      coll->InsertDocument(nullptr, "<a><b>x</b><b>y</b></a>").ok());
+
+  obs::MetricsSnapshot snap = engine->MetricsSnapshot();
+  EXPECT_EQ(snap.Value("index.structural.indexes"), 1u);
+  EXPECT_EQ(snap.Value("index.structural.entries"), 3u);  // a, b, b
+  EXPECT_EQ(snap.Value("index.structural.entries_added"), 3u);
+  EXPECT_EQ(snap.Value("index.structural.entries_removed"), 0u);
+  EXPECT_EQ(snap.Value("index.structural.names"), 2u);
+  EXPECT_EQ(snap.Value("index.structural.postings.a"), 1u);
+  EXPECT_EQ(snap.Value("index.structural.postings.b"), 2u);
+
+  // Removal keeps the lifetime counters monotonic while the gauges drop.
+  ASSERT_TRUE(coll->DeleteDocument(nullptr, 1).ok());
+  snap = engine->MetricsSnapshot();
+  EXPECT_EQ(snap.Value("index.structural.entries"), 0u);
+  EXPECT_EQ(snap.Value("index.structural.entries_added"), 3u);
+  EXPECT_EQ(snap.Value("index.structural.entries_removed"), 3u);
+}
+
 }  // namespace
 }  // namespace xdb

@@ -1,0 +1,70 @@
+// Fixture: wait-span guard objects held across lower-ranked mutex
+// construction. Each WaitState is pinned to its component's LockRank
+// (wait_state.h); a span left open across the construction of a guard on a
+// mutex ranked strictly below that component would fold a coarser-scope
+// wait into the wrong bucket.
+#include "fixture_decls.h"
+
+namespace xdb {
+
+// kBufferIo is pinned to kBufferShard (rank 100); commit_mu_ is rank 60.
+Status Collection::BadIoSpanOverCommitMutex(PageId id) {
+  obs::WaitSpan io_span(wait_sink_, obs::WaitState::kBufferIo);
+  MutexLock lock(commit_mu_);  // LINT-EXPECT[wait-span-rank]
+  return ReadPage(id);
+}
+
+// The span is still open inside nested blocks until its scope closes.
+Status Collection::BadFreshnessSpanOverLatch() {
+  obs::WaitSpan fresh_span(wait_sink_, obs::WaitState::kFreshness);
+  if (NeedsCatchup()) {
+    ReaderMutexLock latch(latch_);  // LINT-EXPECT[wait-span-rank]
+    return WaitForApply();
+  }
+  return Status::OK();
+}
+
+// Constructing a rank-literal Mutex under an open span is the same bug.
+Status Collection::BadSpanOverRankLiteralMutex() {
+  obs::WaitSpan probe_span(wait_sink_, obs::WaitState::kIndexProbe);
+  Mutex scratch{LockRank::kCollectionDdl};  // LINT-EXPECT[wait-span-rank]
+  return Probe();
+}
+
+// A span whose variable was Finish()ed no longer covers anything.
+Status Collection::GoodFinishBeforeGuard(PageId id) {
+  obs::WaitSpan io_span(wait_sink_, obs::WaitState::kBufferIo);
+  Status read = ReadPage(id);
+  io_span.Finish();
+  MutexLock lock(commit_mu_);
+  return read;
+}
+
+// Holding a span across its OWN component's lock (equal rank) is the
+// normal pattern: the WAL commit span brackets the whole group-commit wait
+// under commit_mu_.
+Status WalLog::GoodCommitSpanOverOwnMutex() {
+  obs::WaitSpan commit_span(wait_sink_, obs::WaitState::kWalCommit);
+  MutexLock lock(commit_mu_);
+  return WaitForDurable();
+}
+
+// Higher-ranked guards under an open span are fine too (rank order says
+// they are acquired later/finer).
+Status Collection::GoodSpanOverHigherRank() {
+  obs::WaitSpan commit_span(wait_sink_, obs::WaitState::kWalCommit);
+  MutexLock lock(docid_mu_);
+  return Allocate();
+}
+
+// Scope exit closes the span: the guard below is not covered.
+Status Collection::GoodScopeClosesSpan(PageId id) {
+  {
+    obs::WaitSpan io_span(wait_sink_, obs::WaitState::kBufferIo);
+    Status read = ReadPage(id);
+  }
+  MutexLock lock(commit_mu_);
+  return Status::OK();
+}
+
+}  // namespace xdb

@@ -19,6 +19,14 @@ src/common/lock_order.h). Rules:
   lockmgr-in-latch    (e) no LockManager acquisition (LockDocument/LockNode)
                           inside a latch scope: transaction locks come
                           BEFORE the structure latch, never under it.
+  wait-span-rank      (i) an armed obs::WaitSpan must not stay open across
+                          the construction of a mutex guard whose LockRank
+                          is strictly below the span's component rank: such
+                          a span would attribute a coarser-scope (earlier-
+                          rank) wait to a finer component, corrupting the
+                          breakdown. Holding a span across its OWN
+                          component's lock (equal rank) is the normal
+                          pattern and allowed.
 
 Annotation-coverage audit (same exit-code discipline; CI requires an empty
 report):
@@ -63,6 +71,7 @@ RULE_GUARD = "guard-writable"
 RULE_REPLAY = "replay-apply"
 RULE_RAW_SYNC = "raw-std-sync"
 RULE_LOCKMGR = "lockmgr-in-latch"
+RULE_WAIT_SPAN = "wait-span-rank"
 RULE_LOCKED_REQ = "locked-needs-requires"
 RULE_DANGLING = "dangling-annotation"
 RULE_UNANNOTATED = "unannotated-mutex"
@@ -73,6 +82,7 @@ ALL_RULES = [
     RULE_REPLAY,
     RULE_RAW_SYNC,
     RULE_LOCKMGR,
+    RULE_WAIT_SPAN,
     RULE_LOCKED_REQ,
     RULE_DANGLING,
     RULE_UNANNOTATED,
@@ -120,6 +130,63 @@ RAW_SYNC_TYPES = {
 
 LOG_CALL_RE = re.compile(r"Log[A-Z]\w*")
 CONTROL_KEYWORDS = {"if", "while", "for", "switch", "catch"}
+
+# Rule (i) configuration. Each WaitState is pinned to the LockRank of the
+# component whose waits it attributes; mirrors obs/wait_state.h.
+WAIT_STATE_RANK = {
+    "kBufferIo": 100,   # LockRank::kBufferShard
+    "kLockWait": 70,    # LockRank::kLockManager
+    "kWalCommit": 60,   # LockRank::kWalCommit
+    "kLatch": 80,       # LockRank::kCollectionLatch
+    "kFreshness": 170,  # LockRank::kEngineFreshness
+    "kIndexProbe": 80,  # LockRank::kCollectionLatch
+    "kReplApply": 20,   # LockRank::kEngineCatalog
+}
+
+# Mutex member name -> LockRank value, for guard constructions that name the
+# member directly. `mu_` is deliberately absent: the bare name is ambiguous
+# across classes (Engine::mu_ is kEngineCatalog, Shard::mu is kBufferShard),
+# so only unambiguous members participate. Guards constructed with an
+# explicit `LockRank::k...` argument are ranked from LOCK_RANK_VALUES
+# instead.
+MUTEX_NAME_RANK = {
+    "latch_": 80,         # kCollectionLatch
+    "commit_mu_": 60,     # kWalCommit
+    "fresh_mu_": 170,     # kEngineFreshness
+    "wal_names_mu_": 40,  # kWalNames
+    "ddl_mu_": 30,        # kCollectionDdl
+    "docid_mu_": 130,     # kCollectionDocId
+}
+
+# Mirrors common/lock_rank.h (engine ranks; the enforcer's test-only ranks
+# are irrelevant to production scans but harmless to include).
+LOCK_RANK_VALUES = {
+    "kMetricsRegistry": 10,
+    "kEngineCatalog": 20,
+    "kCollectionDdl": 30,
+    "kWalNames": 40,
+    "kWalAppend": 50,
+    "kWalCommit": 60,
+    "kLockManager": 70,
+    "kCollectionLatch": 80,
+    "kRecordManager": 90,
+    "kBufferShard": 100,
+    "kBufferLsn": 110,
+    "kTableSpace": 120,
+    "kCollectionDocId": 130,
+    "kNameDictionary": 140,
+    "kCollectionStats": 150,
+    "kPlanCache": 160,
+    "kEngineFreshness": 170,
+    "kThreadPoolWorker": 180,
+    "kThreadPoolIdle": 190,
+    "kSyncLatch": 200,
+    "kShipTransport": 210,
+    "kFaultInjector": 220,
+    "kTestLow": 1000,
+}
+
+GUARD_TYPES = ("MutexLock", "ReaderMutexLock", "WriterMutexLock")
 
 
 class Diagnostic:
@@ -506,6 +573,103 @@ def rule_lockmgr_in_latch(path, units, diags):
                     f"the structure latch, never under it"))
 
 
+def _paren_args(body, i):
+    """Token list inside the parens/braces opening at index i (exclusive),
+    plus the index just past the closer. body[i] must be '(' or '{'."""
+    openers = {"(": ")", "{": "}"}
+    closer = openers[body[i].text]
+    depth = 1
+    j = i + 1
+    args = []
+    while j < len(body) and depth:
+        tj = body[j].text
+        if tj in openers:
+            depth += 1
+        elif tj == closer:
+            depth -= 1
+            if depth == 0:
+                break
+        args.append(body[j])
+        j += 1
+    return args, j + 1
+
+
+def _args_wait_state(args):
+    """The WaitState::k... constant named in a token list, or None."""
+    for k in range(2, len(args)):
+        if (args[k].text in WAIT_STATE_RANK and args[k - 1].text == "::"
+                and args[k - 2].text == "WaitState"):
+            return args[k].text
+    return None
+
+
+def _args_mutex_rank(args):
+    """(rank, display-name) of the ranked mutex a guard/Mutex construction
+    names, or (None, None). Explicit LockRank::k... arguments win over the
+    member-name table."""
+    for k in range(2, len(args)):
+        if (args[k].text in LOCK_RANK_VALUES and args[k - 1].text == "::"
+                and args[k - 2].text == "LockRank"):
+            return LOCK_RANK_VALUES[args[k].text], f"LockRank::{args[k].text}"
+    for a in args:
+        if not is_ident(a.text):
+            continue
+        for mname, mrank in MUTEX_NAME_RANK.items():
+            if a.text.endswith(mname):
+                return mrank, a.text
+    return None, None
+
+
+def rule_wait_span_rank(path, units, diags):
+    """An open WaitSpan (declared, not yet Finish()ed, scope still live)
+    must not cover the construction of a mutex guard — or a rank-literal
+    Mutex — whose LockRank is strictly below the span's component rank."""
+    for unit in units:
+        body = unit.body_tokens
+        spans = []  # {"var","state","rank","depth","line"}
+        depth = 0
+        i = 0
+        n = len(body)
+        while i < n:
+            t = body[i]
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                spans = [s for s in spans if s["depth"] <= depth]
+            elif (t.text == "WaitSpan" and i + 2 < n
+                  and is_ident(body[i + 1].text)
+                  and body[i + 2].text == "("):
+                args, nxt = _paren_args(body, i + 2)
+                state = _args_wait_state(args)
+                if state is not None:
+                    spans.append({"var": body[i + 1].text, "state": state,
+                                  "rank": WAIT_STATE_RANK[state],
+                                  "depth": depth, "line": t.line})
+                i = nxt
+                continue
+            elif (is_ident(t.text) and i + 2 < n
+                  and body[i + 1].text == "." and body[i + 2].text == "Finish"):
+                spans = [s for s in spans if s["var"] != t.text]
+            elif (spans and t.text in GUARD_TYPES + ("Mutex", "SharedMutex")
+                  and i + 2 < n and is_ident(body[i + 1].text)
+                  and body[i + 2].text in ("(", "{")):
+                args, _ = _paren_args(body, i + 2)
+                rank, mutex = _args_mutex_rank(args)
+                if rank is not None:
+                    for s in spans:
+                        if rank < s["rank"]:
+                            diags.append(Diagnostic(
+                                path, t.line, RULE_WAIT_SPAN,
+                                f"{unit.qualified}: {t.text} on {mutex} "
+                                f"(rank {rank}) constructed while WaitSpan "
+                                f"'{s['var']}' ({s['state']}, component rank "
+                                f"{s['rank']}) is open — Finish() the span "
+                                f"first, or the {s['state']} bucket absorbs "
+                                f"a lower-ranked component's wait"))
+            i += 1
+
+
 MUTATION_MARKERS = ("AppendWal", "WriterMutexLock")
 
 
@@ -853,6 +1017,8 @@ def run(paths, backend, compile_args_by_file, rules):
                 rule_latch_then_log(rel, units, diags)
             if RULE_LOCKMGR in rules:
                 rule_lockmgr_in_latch(rel, units, diags)
+            if RULE_WAIT_SPAN in rules:
+                rule_wait_span_rank(rel, units, diags)
             if RULE_GUARD in rules:
                 rule_guard_writable(rel, units, diags)
             if RULE_REPLAY in rules:

@@ -1,0 +1,81 @@
+// xdb_top: render an engine DebugSnapshot for humans (default) or as the
+// canonical JSON (--json). Two sources:
+//
+//   xdb_top --db <dir>       open the database read-only-ish (a normal Open,
+//                            which runs recovery) and snapshot it;
+//   xdb_top --file <json>    parse a snapshot some other process captured
+//                            (Engine::DebugSnapshot().ToJson() — e.g. the
+//                            bench-smoke CI artifact) and render it.
+//
+// `--file x --json` is the round-trip mode CI uses as a schema smoke-test:
+// the output must be byte-identical to the input for a canonical snapshot.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/engine.h"
+#include "obs/debug_snapshot.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] (--db <dir> | --file <snapshot.json>)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string db_dir;
+  std::string file;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      db_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
+      file = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (db_dir.empty() == file.empty()) return Usage(argv[0]);
+
+  xdb::obs::DebugSnapshot snap;
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "xdb_top: cannot read %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = xdb::obs::DebugSnapshot::FromJson(buf.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "xdb_top: %s: %s\n", file.c_str(),
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    snap = parsed.MoveValue();
+  } else {
+    xdb::EngineOptions options;
+    options.dir = db_dir;
+    auto engine = xdb::Engine::Open(options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "xdb_top: open %s: %s\n", db_dir.c_str(),
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    snap = engine.value()->DebugSnapshot();
+  }
+
+  const std::string out = json ? snap.ToJson() : snap.ToText();
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  if (!out.empty() && out.back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}
